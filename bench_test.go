@@ -1,0 +1,396 @@
+// Package pimgo's top-level benchmarks map one-to-one onto the paper's
+// tables and figures (see DESIGN.md §4 and EXPERIMENTS.md): each benchmark
+// regenerates one artifact and reports the model metrics (IO time, PIM
+// time, CPU work) as custom benchmark units alongside wall-clock time.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package pimgo
+
+import (
+	"fmt"
+	"testing"
+
+	"pimgo/internal/adversary"
+	"pimgo/internal/ballsbins"
+	"pimgo/internal/baseline"
+	"pimgo/internal/core"
+	"pimgo/internal/rng"
+)
+
+const keySpace = uint64(1) << 40
+
+func lg(p int) int {
+	l := 1
+	for 1<<l < p {
+		l++
+	}
+	return l
+}
+
+func buildMap(b *testing.B, p, n int, seed uint64, opts ...func(*core.Config)) *core.Map[uint64, int64] {
+	b.Helper()
+	cfg := core.Config{P: p, Seed: seed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := core.New[uint64, int64](cfg, core.Uint64Hash)
+	r := rng.NewXoshiro256(seed ^ 0xF111)
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = 1 + r.Uint64n(keySpace)
+	}
+	m.Upsert(keys, vals)
+	return m
+}
+
+func reportStats(b *testing.B, st core.BatchStats) {
+	b.Helper()
+	b.ReportMetric(float64(st.IOTime), "IOtime")
+	b.ReportMetric(float64(st.PIMTime), "PIMtime")
+	b.ReportMetric(float64(st.Rounds), "rounds")
+	b.ReportMetric(float64(st.CPUWork)/float64(max(st.Batch, 1)), "CPUwork/op")
+	b.ReportMetric(float64(st.CPUMem), "minM")
+}
+
+// BenchmarkTable1Get — Table 1 row Get/Update (Theorem 4.1).
+func BenchmarkTable1Get(b *testing.B) {
+	for _, p := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m := buildMap(b, p, 1<<15, 1)
+			r := rng.NewXoshiro256(2)
+			batch := p * lg(p)
+			keys := make([]uint64, batch)
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range keys {
+					keys[j] = 1 + r.Uint64n(keySpace)
+				}
+				_, last = m.Get(keys)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkTable1Update — Table 1 row Get/Update, write path.
+func BenchmarkTable1Update(b *testing.B) {
+	for _, p := range []int{8, 32} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m := buildMap(b, p, 1<<15, 3)
+			present := m.KeysInOrder()
+			batch := p * lg(p)
+			keys := present[:batch]
+			vals := make([]int64, batch)
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, last = m.Update(keys, vals)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkTable1Successor — Table 1 row Predecessor/Successor
+// (Theorem 4.3), uniform workload.
+func BenchmarkTable1Successor(b *testing.B) {
+	for _, p := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m := buildMap(b, p, 1<<15, 5)
+			r := rng.NewXoshiro256(6)
+			batch := p * lg(p) * lg(p)
+			keys := make([]uint64, batch)
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range keys {
+					keys[j] = 1 + r.Uint64n(keySpace)
+				}
+				_, last = m.Successor(keys)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkTable1Predecessor — the symmetric row of Theorem 4.3.
+func BenchmarkTable1Predecessor(b *testing.B) {
+	p := 32
+	m := buildMap(b, p, 1<<15, 7)
+	r := rng.NewXoshiro256(8)
+	batch := p * lg(p) * lg(p)
+	keys := make([]uint64, batch)
+	var last core.BatchStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = 1 + r.Uint64n(keySpace)
+		}
+		_, last = m.Predecessor(keys)
+	}
+	reportStats(b, last)
+}
+
+// BenchmarkTable1Upsert — Table 1 row Upsert (Theorem 4.4). Fresh keys per
+// iteration: the structure grows while the metrics stay n-independent.
+func BenchmarkTable1Upsert(b *testing.B) {
+	for _, p := range []int{8, 32} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m := buildMap(b, p, 1<<14, 9)
+			r := rng.NewXoshiro256(10)
+			batch := p * lg(p) * lg(p)
+			keys := make([]uint64, batch)
+			vals := make([]int64, batch)
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range keys {
+					keys[j] = 1 + r.Uint64n(keySpace)
+				}
+				_, last = m.Upsert(keys, vals)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkTable1Delete — Table 1 row Delete (Theorem 4.5). Each iteration
+// re-inserts what it deletes so the structure size is stable.
+func BenchmarkTable1Delete(b *testing.B) {
+	for _, p := range []int{8, 32} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m := buildMap(b, p, 1<<14, 11)
+			batch := p * lg(p) * lg(p)
+			present := m.KeysInOrder()
+			keys := present[:batch]
+			vals := make([]int64, batch)
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, last = m.Delete(keys)
+				b.StopTimer()
+				m.Upsert(keys, vals)
+				b.StartTimer()
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkThm31Space — Theorem 3.1: build and report per-module space.
+func BenchmarkThm31Space(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		m := buildMap(b, 32, 1<<14, uint64(13+i))
+		lower, upper := m.NodeCounts()
+		var tot, maxm int64
+		for j := range lower {
+			s := lower[j] + upper[j]
+			tot += s
+			if s > maxm {
+				maxm = s
+			}
+		}
+		ratio = float64(maxm) / (float64(tot) / 32)
+	}
+	b.ReportMetric(ratio, "max/mean")
+}
+
+// BenchmarkLemma42Contention — Fig. 3 / Lemma 4.2: pivoted execution under
+// the same-successor adversary; MaxNodeAccess must stay O(1) per phase.
+func BenchmarkLemma42Contention(b *testing.B) {
+	p := 32
+	cfg := core.Config{P: p, Seed: 15, TrackAccess: true}
+	m := core.New[uint64, int64](cfg, core.Uint64Hash)
+	g := adversary.NewGen(16, keySpace)
+	anchors := g.SparseAnchors(1 << 12)
+	m.Upsert(anchors, make([]int64, len(anchors)))
+	keys := g.Batch(adversary.SameSuccessor, p*lg(p)*lg(p))
+	var last core.BatchStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, last = m.Successor(keys)
+	}
+	b.ReportMetric(float64(last.MaxNodeAccess), "maxNodeAccess")
+	reportStats(b, last)
+}
+
+// BenchmarkNaiveVsPivoted — §4.2's separation, reported as IO-time units.
+func BenchmarkNaiveVsPivoted(b *testing.B) {
+	for _, naive := range []bool{false, true} {
+		name := "pivoted"
+		if naive {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := 32
+			cfg := core.Config{P: p, Seed: 17, NaiveBatch: naive}
+			m := core.New[uint64, int64](cfg, core.Uint64Hash)
+			g := adversary.NewGen(18, keySpace)
+			m.Upsert(g.SparseAnchors(1<<12), make([]int64, 1<<12))
+			keys := g.Batch(adversary.SameSuccessor, p*lg(p)*lg(p))
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, last = m.Successor(keys)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkThm51RangeBroadcast — Theorem 5.1.
+func BenchmarkThm51RangeBroadcast(b *testing.B) {
+	m := buildMap(b, 32, 1<<15, 19)
+	keys := m.KeysInOrder()
+	lo, hi := keys[len(keys)/4], keys[3*len(keys)/4]
+	var last core.BatchStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, last = m.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeCount})
+	}
+	reportStats(b, last)
+}
+
+// BenchmarkThm52RangeTree — Theorem 5.2: a batch of small tree ranges.
+func BenchmarkThm52RangeTree(b *testing.B) {
+	p := 32
+	m := buildMap(b, p, 1<<15, 21)
+	keys := m.KeysInOrder()
+	B := p * lg(p)
+	ops := make([]core.RangeOp[uint64, int64], B)
+	stride := len(keys) / (B + 1)
+	for i := range ops {
+		lo := (i + 1) * stride
+		ops[i] = core.RangeOp[uint64, int64]{Lo: keys[lo], Hi: keys[min(lo+31, len(keys)-1)], Kind: core.RangeCount}
+	}
+	var last core.BatchStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, last = m.RangeTree(ops)
+	}
+	reportStats(b, last)
+}
+
+// BenchmarkLemma21 / BenchmarkLemma22 — the balls-in-bins lemmas.
+func BenchmarkLemma21(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = ballsbins.Throw(1024*10, 1024, uint64(i)).MaxMeanRatio()
+	}
+	b.ReportMetric(worst, "max/mean")
+}
+
+func BenchmarkLemma22(b *testing.B) {
+	w := ballsbins.CapWeights(1024*1000, 1024)
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = ballsbins.ThrowWeighted(w, 1024, uint64(i)).MaxMeanRatio()
+	}
+	b.ReportMetric(worst, "max/mean")
+}
+
+// BenchmarkVsRangePartition — §2.2/§3.1 comparison on the range-cluster
+// adversary (ours stays balanced; the baseline serializes).
+func BenchmarkVsRangePartition(b *testing.B) {
+	const p, n = 32, 1 << 14
+	g := adversary.NewGen(23, keySpace)
+	seed := g.Batch(adversary.Uniform, n)
+	vals := make([]int64, n)
+	batch := g.Batch(adversary.RangeCluster, p*lg(p))
+
+	b.Run("ours", func(b *testing.B) {
+		m := core.New[uint64, int64](core.Config{P: p, Seed: 1}, core.Uint64Hash)
+		m.Upsert(seed, vals)
+		var last core.BatchStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, last = m.Get(batch)
+		}
+		reportStats(b, last)
+	})
+	b.Run("rangepart", func(b *testing.B) {
+		m := baseline.New[uint64, int64](p, 1, baseline.UniformSplitters(p, keySpace))
+		m.Upsert(seed, vals)
+		var last core.BatchStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, last = m.Get(batch)
+		}
+		reportStats(b, last)
+	})
+}
+
+// BenchmarkAblateHLow — ABL-H: the lower-part height design knob.
+func BenchmarkAblateHLow(b *testing.B) {
+	p := 32
+	for _, d := range []int{-2, 0, 2} {
+		h := lg(p) + d
+		b.Run(fmt.Sprintf("hlow=%d", h), func(b *testing.B) {
+			m := buildMap(b, p, 1<<14, 25, func(c *core.Config) { c.HLow = h })
+			r := rng.NewXoshiro256(26)
+			keys := make([]uint64, p*lg(p)*lg(p))
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range keys {
+					keys[j] = 1 + r.Uint64n(keySpace)
+				}
+				_, last = m.Successor(keys)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkAblatePivots — ABL-PIV: pivot spacing under a uniform batch.
+func BenchmarkAblatePivots(b *testing.B) {
+	p := 32
+	for _, s := range []int{1, lg(p), lg(p) * lg(p)} {
+		b.Run(fmt.Sprintf("spacing=%d", s), func(b *testing.B) {
+			m := buildMap(b, p, 1<<14, 27, func(c *core.Config) { c.PivotSpacing = s })
+			r := rng.NewXoshiro256(28)
+			keys := make([]uint64, p*lg(p)*lg(p))
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range keys {
+					keys[j] = 1 + r.Uint64n(keySpace)
+				}
+				_, last = m.Successor(keys)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
+// BenchmarkBulkLoad — EXT-BULK: O(1)-round construction from sorted pairs,
+// vs. the equivalent batched Upsert.
+func BenchmarkBulkLoad(b *testing.B) {
+	const n = 1 << 14
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*64 + 1
+	}
+	b.Run("bulk", func(b *testing.B) {
+		var last core.BatchStats
+		for i := 0; i < b.N; i++ {
+			m := core.New[uint64, int64](core.Config{P: 32, Seed: uint64(i)}, core.Uint64Hash)
+			last = m.BulkLoad(keys, vals)
+		}
+		reportStats(b, last)
+	})
+	b.Run("upsert", func(b *testing.B) {
+		var last core.BatchStats
+		for i := 0; i < b.N; i++ {
+			m := core.New[uint64, int64](core.Config{P: 32, Seed: uint64(i)}, core.Uint64Hash)
+			_, last = m.Upsert(keys, vals)
+		}
+		reportStats(b, last)
+	})
+}

@@ -1,0 +1,477 @@
+package main
+
+import (
+	"runtime"
+	"time"
+
+	"fmt"
+	"math"
+	"pimgo/internal/cpu"
+
+	"pimgo/internal/adversary"
+	"pimgo/internal/ballsbins"
+	"pimgo/internal/baseline"
+	"pimgo/internal/core"
+)
+
+// runBalls regenerates Lemmas 2.1 and 2.2 empirically: max/mean bin loads
+// over many trials, swept across P and the balls-to-bins ratio.
+func runBalls(args []string) {
+	f := fs("balls")
+	trials := f.Int("trials", 25, "independent trials (whp envelope)")
+	f.Parse(args)
+
+	fmt.Println("Lemma 2.1: T balls in P bins; Θ(T/P) per bin whp once T = Ω(P logP)")
+	t := newTable("P", "T/P", "max/mean (worst of trials)")
+	for _, p := range []int{64, 256, 1024, 4096} {
+		for _, ratio := range []int{1, lg(p), lg(p) * lg(p)} {
+			worst := ballsbins.MaxOverTrials(*trials, uint64(p), func(seed uint64) ballsbins.Loads {
+				return ballsbins.Throw(p*ratio, p, seed)
+			})
+			t.add(p, ratio, worst)
+		}
+	}
+	t.print()
+
+	fmt.Println("\nLemma 2.2: weighted balls, cap W/(P·logP); O(W/P) per bin whp")
+	t2 := newTable("P", "weights", "max/mean (worst of trials)")
+	for _, p := range []int{64, 256, 1024} {
+		total := float64(p * 1000)
+		capw := ballsbins.CapWeights(total, p)
+		worst := ballsbins.MaxOverTrials(*trials, uint64(p)+1, func(seed uint64) ballsbins.Loads {
+			return ballsbins.ThrowWeighted(capw, p, seed)
+		})
+		t2.add(p, "all-at-cap", worst)
+		geo := ballsbins.GeometricWeights(p*100, total, p, 99)
+		worst = ballsbins.MaxOverTrials(*trials, uint64(p)+2, func(seed uint64) ballsbins.Loads {
+			return ballsbins.ThrowWeighted(geo, p, seed)
+		})
+		t2.add(p, "geometric(clipped)", worst)
+	}
+	t2.print()
+
+	fmt.Println("\nViolating the cap breaks the bound (one ball = W/2):")
+	p := 256
+	w := make([]float64, 100)
+	w[0] = 5000
+	for i := 1; i < len(w); i++ {
+		w[i] = 5000.0 / 99
+	}
+	fmt.Printf("  P=%d uncapped max/mean = %.1f (≈P/2 when the heavy ball lands alone)\n",
+		p, ballsbins.ThrowWeighted(w, p, 3).MaxMeanRatio())
+}
+
+// runImbalance reproduces §4.2's negative result: under the same-successor
+// adversary, naive batched Successor serializes (IO time Θ(batch·…)) while
+// the pivoted algorithm stays polylog.
+func runImbalance(args []string) {
+	f := fs("imbalance")
+	ps := f.String("P", "8,16,32,64", "module counts")
+	f.Parse(args)
+	fmt.Println("§4.2 — same-successor adversary, batch P·log²P:")
+	t := newTable("P", "batch", "pivotIO", "naiveIO", "naive/pivot", "pivotPIM", "naivePIM", "pivotRounds", "naiveRounds")
+	for _, p := range parseInts(*ps) {
+		b := p * lg(p) * lg(p)
+		m1, g1 := buildMapAnchored(p, 1<<12, 0xB1)
+		_, s1 := m1.Successor(g1.Batch(adversary.SameSuccessor, b))
+		m2, g2 := buildMapAnchored(p, 1<<12, 0xB1, func(c *core.Config) { c.NaiveBatch = true })
+		_, s2 := m2.Successor(g2.Batch(adversary.SameSuccessor, b))
+		t.add(p, b, s1.IOTime, s2.IOTime, float64(s2.IOTime)/float64(s1.IOTime),
+			s1.PIMTime, s2.PIMTime, s1.Rounds, s2.Rounds)
+	}
+	t.print()
+}
+
+// runRange regenerates Theorems 5.1 and 5.2 and locates the broadcast/tree
+// crossover in range size K.
+func runRange(args []string) {
+	f := fs("range")
+	mode := f.String("mode", "all", "broadcast|tree|crossover|auto|all")
+	f.Parse(args)
+	if *mode == "broadcast" || *mode == "all" {
+		rangeBroadcastExp()
+		fmt.Println()
+	}
+	if *mode == "tree" || *mode == "all" {
+		rangeTreeExp()
+		fmt.Println()
+	}
+	if *mode == "crossover" || *mode == "all" {
+		rangeCrossoverExp()
+		fmt.Println()
+	}
+	if *mode == "auto" || *mode == "all" {
+		rangeAutoExp()
+	}
+}
+
+func rangeBroadcastExp() {
+	fmt.Println("Theorem 5.1 — broadcast range ops: O(1) rounds, O(K/P+logn) PIM, O(K/P) return IO")
+	t := newTable("P", "n", "K", "rounds", "PIM", "PIM/(K/P+logn)", "IO", "IO/(K/P)")
+	for _, p := range []int{16, 64} {
+		n := 1 << 15
+		m := buildMap(p, n, 0xC1)
+		keys := m.KeysInOrder()
+		for _, frac := range []int{64, 16, 4} {
+			k := len(keys) / frac
+			lo, hi := keys[len(keys)/2-k/2], keys[len(keys)/2+k/2-1]
+			res, st := m.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeRead})
+			kpp := float64(res.Count)/float64(p) + float64(lg(n))
+			t.add(p, n, res.Count, st.Rounds, st.PIMTime, float64(st.PIMTime)/kpp,
+				st.IOTime, float64(st.IOTime)/(float64(res.Count)/float64(p)+1))
+		}
+	}
+	t.print()
+}
+
+func rangeTreeExp() {
+	fmt.Println("Theorem 5.2 — tree range ops, batch of B ranges covering κ keys:")
+	fmt.Println("IO O(κ/P + log³P), PIM O((κ/P + log²P)·logn), both whp")
+	t := newTable("P", "B", "κ", "IO", "IO/(κ/P+log³P)", "PIM", "rounds")
+	for _, p := range []int{16, 32} {
+		n := 1 << 15
+		m := buildMap(p, n, 0xC2)
+		keys := m.KeysInOrder()
+		for _, width := range []int{4, 32, 256} {
+			B := p * lg(p)
+			ops := make([]core.RangeOp[uint64, int64], B)
+			stride := len(keys) / (B + 1)
+			var kappa int64
+			for i := range ops {
+				loIdx := (i + 1) * stride
+				hiIdx := loIdx + width - 1
+				if hiIdx >= len(keys) {
+					hiIdx = len(keys) - 1
+				}
+				ops[i] = core.RangeOp[uint64, int64]{Lo: keys[loIdx], Hi: keys[hiIdx], Kind: core.RangeCount}
+			}
+			res, st := m.RangeTree(ops)
+			for _, r := range res {
+				kappa += r.Count
+			}
+			l := lg(p)
+			denom := float64(kappa)/float64(p) + float64(l*l*l)
+			t.add(p, B, kappa, st.IOTime, float64(st.IOTime)/denom, st.PIMTime, st.Rounds)
+		}
+	}
+	t.print()
+}
+
+func rangeAutoExp() {
+	fmt.Println("RangeAuto — the §5.2 hybrid: estimate sizes from the replicated upper part,")
+	fmt.Println("send big ranges to broadcast and small ones to the tree batch.")
+	t := newTable("mix", "autoWork", "treeWork", "bcastWork", "autoIO", "treeIO")
+	p := 32
+	m := buildMap(p, 1<<15, 0xC4)
+	keys := m.KeysInOrder()
+	mixes := map[string][]core.RangeOp[uint64, int64]{}
+	var tiny []core.RangeOp[uint64, int64]
+	for i := 0; i < 60; i++ {
+		lo := keys[100+i*400]
+		tiny = append(tiny, core.RangeOp[uint64, int64]{Lo: lo, Hi: keys[100+i*400+3], Kind: core.RangeCount})
+	}
+	mixes["tiny-only"] = tiny
+	huge := core.RangeOp[uint64, int64]{Lo: keys[0], Hi: keys[len(keys)-1], Kind: core.RangeCount}
+	mixes["mixed"] = append(append([]core.RangeOp[uint64, int64]{}, tiny...), huge)
+	mixes["huge-only"] = []core.RangeOp[uint64, int64]{huge}
+	for _, name := range []string{"tiny-only", "mixed", "huge-only"} {
+		ops := mixes[name]
+		_, sa := m.RangeAuto(ops)
+		_, stt := m.RangeTree(ops)
+		var bw int64
+		for _, op := range ops {
+			_, sb := m.RangeBroadcast(op)
+			bw += sb.TotalPIMWork
+		}
+		t.add(name, sa.TotalPIMWork, stt.TotalPIMWork, bw, sa.IOTime, stt.IOTime)
+	}
+	t.print()
+}
+
+func rangeCrossoverExp() {
+	fmt.Println("Broadcast vs tree, single range of K pairs. §5.2: broadcast \"is wasteful")
+	fmt.Println("for small ranges, as it involves all the PIM modules even when only a few")
+	fmt.Println("contain any keys in the range\" — so total PIM work and total messages are")
+	fmt.Println("the honest comparison; broadcast always wins raw IO time by construction.")
+	t := newTable("P", "K", "bcastWork", "treeWork", "bcastMsgs", "treeMsgs", "bcastIO", "treeIO", "winnerWork")
+	p := 32
+	n := 1 << 15
+	m := buildMap(p, n, 0xC3)
+	keys := m.KeysInOrder()
+	for _, k := range []int{8, 64, 512, 4096, len(keys) / 2} {
+		lo := keys[len(keys)/4]
+		hiIdx := len(keys)/4 + k - 1
+		if hiIdx >= len(keys) {
+			hiIdx = len(keys) - 1
+		}
+		hi := keys[hiIdx]
+		op := core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeRead}
+		_, bst := m.RangeBroadcast(op)
+		_, tst := m.RangeTreeOne(op)
+		winner := "tree"
+		if bst.TotalPIMWork < tst.TotalPIMWork {
+			winner = "broadcast"
+		}
+		t.add(p, k, bst.TotalPIMWork, tst.TotalPIMWork, bst.TotalMsgs, tst.TotalMsgs,
+			bst.IOTime, tst.IOTime, winner)
+	}
+	t.print()
+}
+
+// runBaseline compares the PIM skip list against the range-partitioned
+// baseline across workloads (§2.2/§3.1): who wins where, and by how much.
+func runBaseline(args []string) {
+	f := fs("baseline")
+	p := f.Int("P", 32, "modules")
+	f.Parse(args)
+	P := *p
+	const n = 1 << 14
+	b := P * lg(P)
+
+	fmt.Printf("Ours vs range-partitioned skip list (P=%d, n=%d, Get batches of %d):\n", P, n, b)
+	t := newTable("workload", "oursIO", "oursPIMbal", "rpIO", "rpPIMbal", "rp/ours IO")
+	for _, w := range []adversary.Workload{adversary.Uniform, adversary.SameKey, adversary.RangeCluster, adversary.Zipf, adversary.Sequential} {
+		g := adversary.NewGen(0xD1, keySpace)
+		seed := g.Batch(adversary.Uniform, n)
+		vals := make([]int64, n)
+
+		ours := core.New[uint64, int64](core.Config{P: P, Seed: 5}, core.Uint64Hash)
+		ours.Upsert(seed, vals)
+		rp := baseline.New[uint64, int64](P, 5, baseline.UniformSplitters(P, keySpace))
+		rp.Upsert(seed, vals)
+
+		batch := g.Batch(w, b)
+		_, so := ours.Get(batch)
+		_, sr := rp.Get(batch)
+		ratio := math.Inf(1)
+		if so.IOTime > 0 {
+			ratio = float64(sr.IOTime) / float64(so.IOTime)
+		}
+		t.add(string(w), so.IOTime, so.PIMBalanceWork(P), sr.IOTime, sr.PIMBalanceWork(P), ratio)
+	}
+	t.print()
+
+	fmt.Println("\nRange query comparison (range partitioning is GOOD at ranges — honest column):")
+	t2 := newTable("K", "oursBcastIO", "oursTreeIO", "rpRangeIO")
+	g := adversary.NewGen(0xD2, keySpace)
+	seed := g.Batch(adversary.Uniform, n)
+	vals := make([]int64, n)
+	ours := core.New[uint64, int64](core.Config{P: P, Seed: 6}, core.Uint64Hash)
+	ours.Upsert(seed, vals)
+	rp := baseline.New[uint64, int64](P, 6, baseline.UniformSplitters(P, keySpace))
+	rp.Upsert(seed, vals)
+	keys := ours.KeysInOrder()
+	for _, k := range []int{64, 1024, 8192} {
+		lo := keys[len(keys)/4]
+		hi := keys[min(len(keys)/4+k-1, len(keys)-1)]
+		op := core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeRead}
+		_, b1 := ours.RangeBroadcast(op)
+		_, b2 := ours.RangeTreeOne(op)
+		_, b3 := rp.Range(lo, hi)
+		t2.add(k, b1.IOTime, b2.IOTime, b3.IOTime)
+	}
+	t2.print()
+
+	fmt.Println("\nDynamic migration cannot keep up (§3.1: \"even with dynamic data")
+	fmt.Println("migration, suffers from PIM-imbalance\"): rebalance eagerly before every")
+	fmt.Println("batch; the adversary clusters each batch at a fresh location anyway.")
+	t3 := newTable("round", "migrationMsgs", "nextBatchIO", "nextBatchBal")
+	rp2 := baseline.New[uint64, int64](P, 7, baseline.UniformSplitters(P, keySpace))
+	g3 := adversary.NewGen(0xD3, keySpace)
+	rp2.Upsert(g3.Batch(adversary.Uniform, n), make([]int64, n))
+	for round := 0; round < 4; round++ {
+		mig := rp2.Rebalance()
+		fresh := g3.Batch(adversary.RangeCluster, b)
+		_, st := rp2.Get(fresh)
+		t3.add(round, mig.TotalMsgs, st.IOTime, st.PIMBalanceWork(P))
+	}
+	t3.print()
+}
+
+// runAblate sweeps the design knobs DESIGN.md calls out: the lower-part
+// height, the pivot spacing, and Get deduplication.
+func runAblate(args []string) {
+	f := fs("ablate")
+	what := f.String("what", "all", "hlow|pivot|dedup|all")
+	f.Parse(args)
+	if *what == "hlow" || *what == "all" {
+		ablateHLow()
+		fmt.Println()
+	}
+	if *what == "pivot" || *what == "all" {
+		ablatePivot()
+		fmt.Println()
+	}
+	if *what == "dedup" || *what == "all" {
+		ablateDedup()
+	}
+}
+
+func ablateHLow() {
+	const P = 32
+	fmt.Println("ABL-H — lower-part height h_low (paper: logP). Shallower ⇒ bigger replicated")
+	fmt.Println("upper part (space, broadcast cost); deeper ⇒ longer remote search chains.")
+	fmt.Println("The extremes are the §3.1 strawmen: h_low=1 ≈ full replication (fine for")
+	fmt.Println("reads, ruinous space/update broadcast); h_low=14 ≈ fine-grained partitioning")
+	fmt.Println("(no replication: 'every key search would access nodes in many different")
+	fmt.Println("PIM modules').")
+	t := newTable("hlow", "succIO", "succPIM", "upsertIO", "upperNodes/module", "space max/mean")
+	for _, h := range []int{1, lg(P) - 2, lg(P), lg(P) + 2, 14} {
+		if h < 1 {
+			continue
+		}
+		m := buildMap(P, 1<<14, 0xE1, func(c *core.Config) { c.HLow = h })
+		b := P * lg(P) * lg(P)
+		_, st := m.Successor(uniformKeys(13, b))
+		_, stU := m.Upsert(uniformKeys(14, b), make([]int64, b))
+		lower, upper := m.NodeCounts()
+		var tot, maxm int64
+		for i := range lower {
+			s := lower[i] + upper[i]
+			tot += s
+			if s > maxm {
+				maxm = s
+			}
+		}
+		t.add(h, st.IOTime, st.PIMTime, stU.IOTime, upper[0], float64(maxm)/(float64(tot)/float64(P)))
+	}
+	t.print()
+}
+
+func ablatePivot() {
+	const P = 32
+	fmt.Println("ABL-PIV — pivot spacing (paper: logP ops/segment) under the same-successor adversary.")
+	t := newTable("spacing", "pivots", "IO", "PIM", "rounds", "maxAccess")
+	b := P * lg(P) * lg(P)
+	for _, s := range []int{1, lg(P), lg(P) * lg(P), b / 2} {
+		m, g := buildMapAnchored(P, 1<<13, 0xE2, func(c *core.Config) { c.PivotSpacing = s })
+		keys := g.Batch(adversary.SameSuccessor, b)
+		_, st := m.Successor(keys)
+		t.add(s, (b+s-1)/s, st.IOTime, st.PIMTime, st.Rounds, st.MaxNodeAccess)
+	}
+	t.print()
+}
+
+func ablateDedup() {
+	const P = 32
+	fmt.Println("ABL-DEDUP — semisort dedup of Get batches vs duplicate fraction.")
+	t := newTable("dupFrac", "dedupIO", "noDedupIO", "noDedup/dedup")
+	b := P * lg(P) * lg(P)
+	for _, dupPct := range []int{0, 50, 90, 100} {
+		mk := func(nodedup bool) int64 {
+			m := buildMap(P, 1<<13, 0xE3, func(c *core.Config) { c.NoDedup = nodedup })
+			target, _ := m.SuccessorOne(0)
+			keys := uniformKeys(15, b)
+			for i := 0; i < len(keys)*dupPct/100; i++ {
+				keys[i] = target.Key
+			}
+			_, st := m.Get(keys)
+			return st.IOTime
+		}
+		d, nd := mk(false), mk(true)
+		t.add(fmt.Sprintf("%d%%", dupPct), d, nd, float64(nd)/float64(d))
+	}
+	t.print()
+}
+
+// runWhy answers the paper's opening question — "can we provide theoretical
+// justification for why processing-in-memory is a good idea?" — with the
+// model's own currency: data movement. Every unit of module-local work our
+// algorithms perform would be a cross-network access under the §2.2
+// shared-memory emulation (Valiant-style PRAM-on-BSP, where ALL accessed
+// memory moves across the network). The saving is TotalPIMWork/TotalMsgs:
+// how many memory touches stayed local per word that actually crossed.
+func runWhy(args []string) {
+	f := fs("why")
+	pFlag := f.Int("P", 32, "modules")
+	f.Parse(args)
+	P := *pFlag
+	n := 1 << 15
+	fmt.Printf("Data movement saved by processing-in-memory (P=%d, n=%d):\n", P, n)
+	fmt.Println("localTouches = PIM work our algorithms did next to the data;")
+	fmt.Println("moved        = words that actually crossed the network;")
+	fmt.Println("emulation moves localTouches+moved, so saving = (local+moved)/moved.")
+	t := newTable("operation", "batch", "localTouches", "moved", "saving")
+	m := buildMap(P, n, 0x11F)
+
+	record := func(name string, st core.BatchStats) {
+		moved := st.TotalMsgs
+		if moved == 0 {
+			moved = 1
+		}
+		t.add(name, st.Batch, st.TotalPIMWork, st.TotalMsgs,
+			float64(st.TotalPIMWork+st.TotalMsgs)/float64(moved))
+	}
+	_, st := m.Get(uniformKeys(31, P*lg(P)))
+	record("Get", st)
+	_, st = m.Successor(uniformKeys(32, P*lg(P)*lg(P)))
+	record("Successor", st)
+	b := P * lg(P) * lg(P)
+	_, st = m.Upsert(uniformKeys(33, b), make([]int64, b))
+	record("Upsert", st)
+	keys := m.KeysInOrder()
+	_, st = m.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: keys[len(keys)/4], Hi: keys[3*len(keys)/4], Kind: core.RangeCount})
+	record("RangeCount(bcast)", st)
+	_, st = m.RangeBroadcast(core.RangeOp[uint64, int64]{
+		Lo: keys[0], Hi: keys[len(keys)-1], Kind: core.RangeReduce,
+		Reduce: func(a, b int64) int64 { return a + b },
+	})
+	record("RangeSum(bcast)", st)
+	t.print()
+	fmt.Println("\nThe reductions and broadcast scans save the most: the computation visits")
+	fmt.Println("every pair but only one word per module crosses the network — exactly the")
+	fmt.Println("data-movement argument that motivates processing-in-memory (§1).")
+}
+
+// runCPUScale validates the §2.1 scheduling claim with a REAL work-stealing
+// runtime (internal/cpu.Pool): an algorithm with W work and D depth runs in
+// O(W/P' + D) expected time on P' cores. We time a fixed fork–join workload
+// on 1..P' workers and compare measured speedup to the predicted curve.
+func runCPUScale(args []string) {
+	f := fs("cpuscale")
+	iters := f.Int("leaf", 2000, "per-leaf spin iterations")
+	nFlag := f.Int("n", 1<<13, "parallel-for width")
+	f.Parse(args)
+	n := *nFlag
+	maxP := runtime.GOMAXPROCS(0)
+	fmt.Printf("work-stealing fork–join on up to %d cores; W = n·leaf, D ≈ log n + leaf\n", maxP)
+	t := newTable("P'", "wall", "speedup", "predicted (W/P'+D)/(W+D)⁻¹", "steals")
+
+	workload := func(p *cpu.Pool) time.Duration {
+		start := time.Now()
+		p.ParallelFor(0, n, 8, func(i int) {
+			x := uint64(i)
+			for j := 0; j < *iters; j++ {
+				x = x*6364136223846793005 + 1442695040888963407
+			}
+			if x == 42 {
+				panic("unreachable")
+			}
+		})
+		return time.Since(start)
+	}
+	var base time.Duration
+	for pp := 1; pp <= maxP; pp *= 2 {
+		pool := cpu.NewPool(pp, uint64(pp))
+		// Warm up, then take the best of 3 (scheduling noise).
+		workload(pool)
+		best := time.Duration(1 << 62)
+		for k := 0; k < 3; k++ {
+			if d := workload(pool); d < best {
+				best = d
+			}
+		}
+		steals := pool.Steals()
+		pool.Close()
+		if pp == 1 {
+			base = best
+		}
+		w := float64(n * *iters)
+		d := float64(cpu.SpanOf(n) + *iters)
+		predicted := (w + d) / (w/float64(pp) + d)
+		t.add(pp, best.String(), float64(base)/float64(best), predicted, steals)
+	}
+	t.print()
+	fmt.Println("\nMeasured speedups should track the predicted O(W/P'+D) curve (within")
+	fmt.Println("scheduler overhead); steals > 0 shows the load balancing is real.")
+}

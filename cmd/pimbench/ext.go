@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+
+	"pimgo/internal/pimmap"
+	"pimgo/internal/pimsort"
+	"pimgo/internal/rng"
+)
+
+// runExt exercises the future-work companions the paper's conclusion calls
+// for ("designing other algorithms for the PIM model"): distributed sample
+// sort and the batch-parallel hash map.
+func runExt(args []string) {
+	f := fs("ext")
+	what := f.String("what", "all", "sort|map|all")
+	f.Parse(args)
+	if *what == "sort" || *what == "all" {
+		extSort()
+		fmt.Println()
+	}
+	if *what == "map" || *what == "all" {
+		extMap()
+	}
+}
+
+func extSort() {
+	fmt.Println("EXT-SORT — distributed PIM sample sort: O(1) rounds, O(n/P) whp IO,")
+	fmt.Println("O((n/P)·logn) whp PIM time, Θ(PlogP)-word shared-memory sample.")
+	t := newTable("P", "n", "rounds", "IO", "IO/(n/P)", "PIM", "CPUmem", "maxRun/mean")
+	for _, p := range []int{8, 32, 128} {
+		for _, n := range []int{1 << 14, 1 << 17} {
+			s := pimsort.New(p, 0xE57)
+			r := rng.NewXoshiro256(uint64(n))
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = r.Uint64()
+			}
+			s.Load(keys)
+			st := s.Sort()
+			if err := s.Verify(); err != nil {
+				panic(err)
+			}
+			sizes := s.RunSizes()
+			maxSz := 0
+			for _, sz := range sizes {
+				if sz > maxSz {
+					maxSz = sz
+				}
+			}
+			t.add(p, n, st.Rounds, st.IOTime, float64(st.IOTime)/(float64(n)/float64(p)),
+				st.PIMTime, st.CPUMem, float64(maxSz)/(float64(n)/float64(p)))
+		}
+	}
+	t.print()
+
+	fmt.Println("\nadversarial duplicates (all keys equal) stay balanced via hash tiebreaks:")
+	s := pimsort.New(32, 0xE58)
+	keys := make([]uint64, 1<<15)
+	s.Load(keys)
+	s.Sort()
+	sizes := s.RunSizes()
+	maxSz := 0
+	for _, sz := range sizes {
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	fmt.Printf("  P=32 n=%d all-equal: max/mean output run = %.2f\n",
+		1<<15, float64(maxSz)/(float64(1<<15)/32))
+}
+
+func extMap() {
+	fmt.Println("EXT-MAP — PIM hash map: point ops at O(B/P) whp IO with dedup under any skew.")
+	t := newTable("P", "batch", "workload", "IO", "PIM", "balW")
+	for _, p := range []int{16, 64} {
+		m := pimmap.New[uint64, int64](p, 0xE59, rng.Mix64)
+		r := rng.NewXoshiro256(0xE60)
+		seed := make([]uint64, 1<<14)
+		for i := range seed {
+			seed[i] = r.Uint64()
+		}
+		m.Put(seed, make([]int64, len(seed)))
+		b := p * lg(p)
+		// uniform
+		keys := make([]uint64, b)
+		for i := range keys {
+			keys[i] = r.Uint64()
+		}
+		_, st := m.Get(keys)
+		t.add(p, b, "uniform", st.IOTime, st.PIMTime, st.PIMBalanceWork(p))
+		// all-same-key
+		for i := range keys {
+			keys[i] = seed[0]
+		}
+		_, st = m.Get(keys)
+		t.add(p, b, "same-key", st.IOTime, st.PIMTime, st.PIMBalanceWork(p))
+	}
+	t.print()
+}

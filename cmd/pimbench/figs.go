@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+
+	"pimgo/internal/core"
+)
+
+// runModel prints the Fig. 1 machine description and the metric
+// definitions the simulator implements.
+func runModel(args []string) {
+	fmt.Print(`Fig. 1 — the PIM model (implemented by internal/pim + internal/cpu):
+
+    CPU side                          PIM side
+  +------------------+   network   +--------------------------+
+  | parallel cores   | <=========> | P modules, each:         |
+  | shared memory M  |  bulk-sync  |   1 core                 |
+  | (words)          |   rounds    |   Θ(n/P)-word local mem  |
+  +------------------+             +--------------------------+
+
+Metrics measured per batch (core.BatchStats):
+  CPU work    Σ work over CPU strands           (cpu.Tracker)
+  CPU depth   critical path, binary forking     (cpu.Tracker)
+  PIM time    max total local work per module   (pim.Machine)
+  IO time     Σ_rounds max per-module messages  (h-relations)
+  rounds      bulk-synchronous rounds; sync cost = rounds·log P
+  min M       peak CPU shared-memory words declared by the batch
+
+PIM-balance (§2.1): an algorithm is PIM-balanced when
+  PIM time = O(TotalPIMWork / P)  and  IO time = O(TotalMsgs / P).
+`)
+}
+
+// runFig2 rebuilds the paper's Fig. 2 instance: keys {0,2,6,7,15,20,25,33}
+// on a 4-module system, and renders the solid (level lists) and dashed
+// (local leaf lists, next-leaf) pointers.
+func runFig2(args []string) {
+	cfg := core.Config{P: 4, Seed: 21}
+	m := core.New[uint64, int64](cfg, core.Uint64Hash)
+	keys := []uint64{0, 2, 6, 7, 15, 20, 25, 33}
+	vals := make([]int64, len(keys))
+	for i := range vals {
+		vals[i] = int64(keys[i]) * 10
+	}
+	m.Upsert(keys, vals)
+	if err := m.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Println("Fig. 2 — pointer structure, P = 4, keys {0,2,6,7,15,20,25,33}")
+	fmt.Println("(tower heights are seed-dependent; @U marks replicated upper-part nodes)")
+	fmt.Println()
+	fmt.Print(m.RenderStructure())
+	fmt.Println("\nDashed pointers (local leaf lists and next-leaf):")
+	fmt.Print(m.RenderLocalLists())
+}
+
+// runFig3 shows the stage-1 pivot phases of a batched Successor: the
+// divide-and-conquer order and the start hint of every pivot (root /
+// direct / lowest-common-ancestor level).
+func runFig3(args []string) {
+	m, g := buildMapAnchored(8, 1<<10, 0xF3)
+	keys := g.Batch("uniform", 8*lg(8)*lg(8))
+	_, st := m.Successor(keys)
+	fmt.Println("Fig. 3 — pivot phases of batched Successor (P=8, batch", len(keys), ")")
+	fmt.Println("stats:", st.String())
+	fmt.Println()
+	for i, ph := range m.LastPhases() {
+		fmt.Printf("phase %d: %d pivots\n", i, len(ph.Pivots))
+		for j, pv := range ph.Pivots {
+			fmt.Printf("  pivot rank %4d  start: %s\n", pv, ph.Hints[j])
+		}
+	}
+}
+
+// runFig4 shows batch insert and batch delete pointer surgery on a small
+// instance (before / after structures), the operation Fig. 4 illustrates.
+func runFig4(args []string) {
+	cfg := core.Config{P: 4, Seed: 17}
+	m := core.New[uint64, int64](cfg, core.Uint64Hash)
+	m.Upsert([]uint64{0, 6, 25}, []int64{0, 60, 250})
+	fmt.Println("Fig. 4 — batch Insert/Delete pointer construction (P = 4)")
+	fmt.Println("\nBefore (white nodes {0, 6, 25}):")
+	fmt.Print(m.RenderStructure())
+
+	// Batch-insert the figure's blue nodes {7, 20}; consecutive new nodes
+	// must be chained to each other (Algorithm 1) where they share pred/succ.
+	m.Upsert([]uint64{7, 20}, []int64{70, 200})
+	if err := m.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Println("\nAfter batch Insert {7, 20} (Algorithm 1 linked the new chain):")
+	fmt.Print(m.RenderStructure())
+
+	// Batch-delete them again; the green pointers of Fig. 4 are the splices
+	// computed by CPU-side list contraction.
+	m.Delete([]uint64{7, 20})
+	if err := m.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Println("\nAfter batch Delete {7, 20} (list contraction respliced):")
+	fmt.Print(m.RenderStructure())
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// Smoke tests: every experiment must run to completion on small parameters
+// without panicking. Output goes to stdout (discarded by `go test` unless
+// -v); correctness of the underlying numbers is asserted in the library
+// test suites — these tests keep the harness itself from rotting.
+
+func quiet(t *testing.T, f func()) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+		if r := recover(); r != nil {
+			t.Fatalf("experiment panicked: %v", r)
+		}
+	}()
+	f()
+}
+
+func TestRunModel(t *testing.T) { quiet(t, func() { runModel(nil) }) }
+func TestRunFig2(t *testing.T)  { quiet(t, func() { runFig2(nil) }) }
+func TestRunFig3(t *testing.T)  { quiet(t, func() { runFig3(nil) }) }
+func TestRunFig4(t *testing.T)  { quiet(t, func() { runFig4(nil) }) }
+func TestRunTable1(t *testing.T) {
+	quiet(t, func() { runTable1([]string{"-P", "4,8", "-n", "4096"}) })
+}
+func TestRunSpace(t *testing.T) {
+	quiet(t, func() { runSpace([]string{"-P", "8", "-n", "4096"}) })
+}
+func TestRunLemma42(t *testing.T) {
+	quiet(t, func() { runLemma42([]string{"-P", "8"}) })
+}
+func TestRunBalls(t *testing.T) {
+	quiet(t, func() { runBalls([]string{"-trials", "3"}) })
+}
+func TestRunImbalance(t *testing.T) {
+	quiet(t, func() { runImbalance([]string{"-P", "8"}) })
+}
+func TestRunRange(t *testing.T) {
+	quiet(t, func() { runRange([]string{"-mode", "crossover"}) })
+}
+func TestRunBaseline(t *testing.T) {
+	quiet(t, func() { runBaseline([]string{"-P", "8"}) })
+}
+func TestRunAblateDedup(t *testing.T) {
+	quiet(t, func() { runAblate([]string{"-what", "dedup"}) })
+}
+
+func TestParseInts(t *testing.T) {
+	got := parseInts("4, 8,16")
+	want := []int{4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestParseIntsPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	parseInts("4,x")
+}
+
+func TestLg(t *testing.T) {
+	cases := map[int]int{2: 1, 4: 2, 8: 3, 9: 4, 64: 6}
+	for p, want := range cases {
+		if lg(p) != want {
+			t.Fatalf("lg(%d) = %d want %d", p, lg(p), want)
+		}
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tb := newTable("a", "bb")
+	tb.add(1, 2.5)
+	tb.add("xyz", "w")
+	quiet(t, tb.print)
+	if len(tb.rows) != 2 || tb.rows[0][1] != "2.50" {
+		t.Fatalf("rows = %v", tb.rows)
+	}
+}
+
+func TestRunExt(t *testing.T) {
+	quiet(t, func() { runExt([]string{"-what", "map"}) })
+}
+
+func TestRunRangeAuto(t *testing.T) {
+	quiet(t, func() { runRange([]string{"-mode", "auto"}) })
+}
+
+func TestRunSweep(t *testing.T) {
+	quiet(t, func() { runSweep([]string{"-P", "4", "-n", "2048"}) })
+}
+
+func TestRunSweepToFile(t *testing.T) {
+	path := t.TempDir() + "/sweep.csv"
+	quiet(t, func() { runSweep([]string{"-P", "4", "-n", "2048", "-out", path}) })
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunWhy(t *testing.T) {
+	quiet(t, func() { runWhy([]string{"-P", "8"}) })
+}
+
+func TestRunCPUScale(t *testing.T) {
+	quiet(t, func() { runCPUScale([]string{"-leaf", "50", "-n", "256"}) })
+}

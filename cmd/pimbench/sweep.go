@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+
+	"pimgo/internal/core"
+)
+
+// runSweep produces the full P×n metric grid for every Table 1 row as CSV
+// (stdout or -out file) — the machine-readable companion of `table1`,
+// meant for plotting the scaling figures.
+func runSweep(args []string) {
+	f := fs("sweep")
+	ps := f.String("P", "4,8,16,32,64", "module counts")
+	ns := f.String("n", "8192,32768", "resident key counts")
+	outPath := f.String("out", "", "CSV output file (default stdout)")
+	f.Parse(args)
+
+	w := csv.NewWriter(os.Stdout)
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		w = csv.NewWriter(file)
+	}
+	defer w.Flush()
+
+	write := func(rec ...string) {
+		if err := w.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+	write("op", "P", "n", "batch", "io_time", "pim_time", "pim_round_time",
+		"rounds", "sync_cost", "total_msgs", "total_pim_work",
+		"cpu_work", "cpu_depth", "min_m", "phases", "max_node_access")
+
+	emit := func(op string, p, n int, st core.BatchStats) {
+		write(op,
+			itoa(p), itoa(n), itoa(st.Batch),
+			i64(st.IOTime), i64(st.PIMTime), i64(st.PIMRoundTime),
+			i64(st.Rounds), i64(st.SyncCost), i64(st.TotalMsgs), i64(st.TotalPIMWork),
+			i64(st.CPUWork), i64(st.CPUDepth), i64(st.CPUMem),
+			itoa(st.Phases), i64(st.MaxNodeAccess))
+	}
+
+	for _, p := range parseInts(*ps) {
+		for _, n := range parseInts(*ns) {
+			m := buildMap(p, n, 0x5EED)
+			// Get
+			_, st := m.Get(uniformKeys(21, p*lg(p)))
+			emit("get", p, n, st)
+			// Successor
+			_, st = m.Successor(uniformKeys(22, p*lg(p)*lg(p)))
+			emit("successor", p, n, st)
+			// Upsert
+			b := p * lg(p) * lg(p)
+			_, st = m.Upsert(uniformKeys(23, b), make([]int64, b))
+			emit("upsert", p, n, st)
+			// Delete (present keys)
+			present := m.KeysInOrder()
+			if b > len(present) {
+				b = len(present)
+			}
+			_, st = m.Delete(present[:b])
+			emit("delete", p, n, st)
+			// Range broadcast / tree (middle half of the keyspace)
+			present = m.KeysInOrder()
+			lo, hi := present[len(present)/4], present[3*len(present)/4]
+			_, st = m.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeCount})
+			emit("range_broadcast", p, n, st)
+			_, st = m.RangeTree([]core.RangeOp[uint64, int64]{{Lo: lo, Hi: hi, Kind: core.RangeCount}})
+			emit("range_tree", p, n, st)
+		}
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func i64(v int64) string { return fmt.Sprintf("%d", v) }

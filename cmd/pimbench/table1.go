@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+
+	"pimgo/internal/core"
+	"pimgo/internal/rng"
+)
+
+// runTable1 reproduces Table 1: for every operation row, measure IO time,
+// PIM time, CPU work/op, CPU depth, and minimum shared memory across a
+// sweep of P, and print the paper's asymptotic bound next to each metric.
+// Absolute values are simulator units; the claim under test is the growth
+// SHAPE as P scales (polylog in P, independent of n and skew).
+func runTable1(args []string) {
+	f := fs("table1")
+	op := f.String("op", "all", "get|succ|upsert|delete|all")
+	ps := f.String("P", "4,8,16,32,64", "module counts")
+	n := f.Int("n", 1<<15, "resident keys")
+	f.Parse(args)
+
+	run := func(name string) {
+		switch name {
+		case "get":
+			table1Get(parseInts(*ps), *n)
+		case "succ":
+			table1Succ(parseInts(*ps), *n)
+		case "upsert":
+			table1Upsert(parseInts(*ps), *n)
+		case "delete":
+			table1Delete(parseInts(*ps), *n)
+		default:
+			panic("unknown op " + name)
+		}
+	}
+	if *op == "all" {
+		for _, name := range []string{"get", "succ", "upsert", "delete"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*op)
+}
+
+func uniformKeys(seed uint64, b int) []uint64 {
+	r := rng.NewXoshiro256(seed)
+	keys := make([]uint64, b)
+	for i := range keys {
+		keys[i] = 1 + r.Uint64n(keySpace)
+	}
+	return keys
+}
+
+func table1Get(ps []int, n int) {
+	fmt.Println("Table 1 / Get-Update: batch P·logP — paper: IO O(logP), PIM O(logP), CPU/op O(1), depth O(logP), M Θ(PlogP)")
+	t := newTable("P", "batch", "IO", "IO/logP", "PIM", "PIM/logP", "CPUwork/op", "depth", "minM", "balIO", "balW")
+	for _, p := range ps {
+		m := buildMap(p, n, 0xA1)
+		b := p * lg(p)
+		_, st := m.Get(uniformKeys(7, b))
+		t.add(p, b, st.IOTime, float64(st.IOTime)/float64(lg(p)), st.PIMTime,
+			float64(st.PIMTime)/float64(lg(p)), float64(st.CPUWork)/float64(b),
+			st.CPUDepth, st.CPUMem, st.PIMBalanceIO(p), st.PIMBalanceWork(p))
+	}
+	t.print()
+}
+
+func table1Succ(ps []int, n int) {
+	fmt.Println("Table 1 / Successor: batch P·log²P — paper: IO O(log³P), PIM O(log²P·logn), CPU/op O(logP), depth O(log²P), M Θ(Plog²P)")
+	t := newTable("P", "batch", "IO", "IO/log³P", "PIM", "PIM/(log²P·logn)", "CPUwork/op", "depth", "minM", "phases", "maxAcc")
+	logn := lg(n)
+	for _, p := range ps {
+		m := buildMap(p, n, 0xA2)
+		b := p * lg(p) * lg(p)
+		_, st := m.Successor(uniformKeys(9, b))
+		l := lg(p)
+		t.add(p, b, st.IOTime, float64(st.IOTime)/float64(l*l*l), st.PIMTime,
+			float64(st.PIMTime)/float64(l*l*logn), float64(st.CPUWork)/float64(b),
+			st.CPUDepth, st.CPUMem, st.Phases, st.MaxNodeAccess)
+	}
+	t.print()
+}
+
+func table1Upsert(ps []int, n int) {
+	fmt.Println("Table 1 / Upsert: batch P·log²P — paper: IO O(log³P), PIM O(log²P·logn), CPU/op O(logP), depth O(log²P), M Θ(Plog²P)")
+	t := newTable("P", "batch", "IO", "IO/log³P", "PIM", "CPUwork/op", "depth", "minM")
+	for _, p := range ps {
+		m := buildMap(p, n, 0xA3)
+		b := p * lg(p) * lg(p)
+		keys := uniformKeys(11, b)
+		_, st := m.Upsert(keys, make([]int64, b))
+		l := lg(p)
+		if err := m.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("P=%d: %v", p, err))
+		}
+		t.add(p, b, st.IOTime, float64(st.IOTime)/float64(l*l*l), st.PIMTime,
+			float64(st.CPUWork)/float64(b), st.CPUDepth, st.CPUMem)
+	}
+	t.print()
+}
+
+func table1Delete(ps []int, n int) {
+	fmt.Println("Table 1 / Delete: batch P·log²P — paper: IO O(log²P), PIM O(log²P), CPU/op O(1), depth O(logP), M Θ(Plog²P)")
+	t := newTable("P", "batch", "IO", "IO/log²P", "PIM", "PIM/log²P", "CPUwork/op", "depth", "minM")
+	for _, p := range ps {
+		m := buildMap(p, n, 0xA4)
+		b := p * lg(p) * lg(p)
+		// Delete keys actually present: ask the structure for them.
+		present := m.KeysInOrder()
+		if len(present) < b {
+			b = len(present)
+		}
+		// Every lg(p)-th key, so deletions spread over the structure, plus
+		// one consecutive run to exercise contraction.
+		keys := make([]uint64, 0, b)
+		for i := 0; len(keys) < b/2 && i < len(present); i += 2 {
+			keys = append(keys, present[i])
+		}
+		for i := 0; len(keys) < b && i < len(present); i++ {
+			if i%2 == 1 {
+				keys = append(keys, present[i])
+			}
+		}
+		_, st := m.Delete(keys)
+		if err := m.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("P=%d: %v", p, err))
+		}
+		l := lg(p)
+		t.add(p, len(keys), st.IOTime, float64(st.IOTime)/float64(l*l), st.PIMTime,
+			float64(st.PIMTime)/float64(l*l), float64(st.CPUWork)/float64(len(keys)),
+			st.CPUDepth, st.CPUMem)
+	}
+	t.print()
+}
+
+func runSpace(args []string) {
+	f := fs("space")
+	ps := f.String("P", "8,16,32,64", "module counts")
+	ns := f.String("n", "4096,16384,65536", "key counts")
+	f.Parse(args)
+	fmt.Println("Theorem 3.1: O(n) words total, O(n/P) whp per module (max/mean ≈ 1)")
+	t := newTable("P", "n", "totalNodes", "maxModuleNodes", "max/mean", "upperNodes", "upper/module(O(n/P))")
+	for _, p := range parseInts(*ps) {
+		for _, n := range parseInts(*ns) {
+			m := buildMap(p, n, 0xA5)
+			lower, upper := m.NodeCounts()
+			var tot, maxm, up int64
+			for i := range lower {
+				s := lower[i] + upper[i]
+				tot += s
+				if s > maxm {
+					maxm = s
+				}
+				up = upper[i] // replicas: same count everywhere
+			}
+			mean := float64(tot) / float64(p)
+			t.add(p, n, tot, maxm, float64(maxm)/mean, up, fmt.Sprintf("%.2f", float64(up)/(float64(n)/float64(p))))
+		}
+	}
+	t.print()
+}
+
+func runLemma42(args []string) {
+	f := fs("lemma42")
+	pFlag := f.Int("P", 32, "modules")
+	f.Parse(args)
+	p := *pFlag
+	fmt.Println("Lemma 4.2: pivot phases access no node more than 3× per phase;")
+	fmt.Println("stage 2 is O(logP) by Lemma 2.2. Naive execution degrades to Θ(batch).")
+	t := newTable("algo", "batchScale", "batch", "maxAccess/phase", "logP", "IO")
+	for _, scale := range []int{1, 2, 4} {
+		b := scale * p * lg(p) * lg(p)
+		m, g := buildMapAnchored(p, 1<<13, 0xA6)
+		keys := g.Batch("same-successor", b)
+		_, st := m.Successor(keys)
+		t.add("pivoted", scale, b, st.MaxNodeAccess, lg(p), st.IOTime)
+	}
+	for _, scale := range []int{1, 2, 4} {
+		b := scale * p * lg(p) * lg(p)
+		m, g := buildMapAnchored(p, 1<<13, 0xA6, func(c *core.Config) { c.NaiveBatch = true })
+		keys := g.Batch("same-successor", b)
+		_, st := m.Successor(keys)
+		t.add("naive", scale, b, st.MaxNodeAccess, lg(p), st.IOTime)
+	}
+	t.print()
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pimgo/internal/adversary"
+	"pimgo/internal/core"
+	"pimgo/internal/rng"
+)
+
+// table is a simple aligned-column printer for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) print() {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// parseInts parses "4,8,16" into a slice.
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			panic(fmt.Sprintf("bad int list %q: %v", s, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func lg(p int) int {
+	l := 1
+	for 1<<l < p {
+		l++
+	}
+	return l
+}
+
+const keySpace = uint64(1) << 40
+
+// buildMap constructs a map with n uniform keys on P modules.
+func buildMap(p, n int, seed uint64, opts ...func(*core.Config)) *core.Map[uint64, int64] {
+	cfg := core.Config{P: p, Seed: seed, TrackAccess: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := core.New[uint64, int64](cfg, core.Uint64Hash)
+	r := rng.NewXoshiro256(seed ^ 0xF111)
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = 1 + r.Uint64n(keySpace)
+		vals[i] = int64(i)
+	}
+	m.Upsert(keys, vals)
+	return m
+}
+
+// buildMapAnchored seeds the map with adversary.SparseAnchors so the
+// same-successor workload has its reserved gap.
+func buildMapAnchored(p, n int, seed uint64, opts ...func(*core.Config)) (*core.Map[uint64, int64], *adversary.Gen) {
+	cfg := core.Config{P: p, Seed: seed, TrackAccess: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := core.New[uint64, int64](cfg, core.Uint64Hash)
+	g := adversary.NewGen(seed^0xAD, keySpace)
+	anchors := g.SparseAnchors(n)
+	m.Upsert(anchors, make([]int64, len(anchors)))
+	return m, g
+}

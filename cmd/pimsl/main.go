@@ -1,0 +1,219 @@
+// Command pimsl is an interactive shell for the PIM skip list: type batch
+// operations, watch the structure and the PIM-model cost of every batch.
+//
+// Usage:
+//
+//	pimsl [-P modules] [-seed n]
+//
+// Commands (keys and values are integers; commas separate batch items):
+//
+//	put k=v[,k=v...]    batched Upsert
+//	get k[,k...]        batched Get
+//	del k[,k...]        batched Delete
+//	succ k[,k...]       batched Successor
+//	pred k[,k...]       batched Predecessor
+//	range lo hi         broadcast range read
+//	count lo hi         tree range count
+//	render              print the structure (Fig. 2 style)
+//	check               verify all invariants
+//	stats               structure summary
+//	help                this text
+//	quit                exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pimgo/internal/core"
+)
+
+func main() {
+	p := flag.Int("P", 8, "number of PIM modules")
+	seed := flag.Uint64("seed", 1, "randomness seed")
+	flag.Parse()
+
+	m := core.New[uint64, int64](core.Config{P: *p, Seed: *seed}, core.Uint64Hash)
+	fmt.Printf("pimsl: PIM skip list on %d modules (type 'help')\n", *p)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, rest := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("put k=v[,..] | get k[,..] | del k[,..] | succ k[,..] | pred k[,..]")
+			fmt.Println("range lo hi | count lo hi | render | check | stats | quit")
+		case "put":
+			keys, vals, err := parsePairs(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			ins, st := m.Upsert(keys, vals)
+			n := 0
+			for _, b := range ins {
+				if b {
+					n++
+				}
+			}
+			fmt.Printf("inserted %d, updated %d | %s\n", n, len(ins)-n, st)
+		case "get":
+			keys, err := parseKeys(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			res, st := m.Get(keys)
+			for i, r := range res {
+				if r.Found {
+					fmt.Printf("%d = %d\n", keys[i], r.Value)
+				} else {
+					fmt.Printf("%d : not found\n", keys[i])
+				}
+			}
+			fmt.Println("|", st.String())
+		case "del":
+			keys, err := parseKeys(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			found, st := m.Delete(keys)
+			n := 0
+			for _, b := range found {
+				if b {
+					n++
+				}
+			}
+			fmt.Printf("deleted %d of %d | %s\n", n, len(found), st)
+		case "succ", "pred":
+			keys, err := parseKeys(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			var res []core.SearchResult[uint64, int64]
+			var st core.BatchStats
+			if cmd == "succ" {
+				res, st = m.Successor(keys)
+			} else {
+				res, st = m.Predecessor(keys)
+			}
+			for i, r := range res {
+				if r.Found {
+					fmt.Printf("%s(%d) = %d (value %d)\n", cmd, keys[i], r.Key, r.Value)
+				} else {
+					fmt.Printf("%s(%d) : none\n", cmd, keys[i])
+				}
+			}
+			fmt.Println("|", st.String())
+		case "range", "count":
+			if len(rest) != 2 {
+				fmt.Println("error: need lo hi")
+				continue
+			}
+			lo, err1 := strconv.ParseUint(rest[0], 10, 64)
+			hi, err2 := strconv.ParseUint(rest[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				fmt.Println("error: bad bounds")
+				continue
+			}
+			if cmd == "range" {
+				res, st := m.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeRead})
+				for _, p := range res.Pairs {
+					fmt.Printf("%d = %d\n", p.Key, p.Value)
+				}
+				fmt.Printf("%d pairs | %s\n", res.Count, st)
+			} else {
+				res, st := m.RangeTreeOne(core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeCount})
+				fmt.Printf("%d pairs | %s\n", res.Count, st)
+			}
+		case "render":
+			fmt.Print(m.RenderStructure())
+		case "check":
+			if err := m.CheckInvariants(); err != nil {
+				fmt.Println("INVARIANT VIOLATION:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "stats":
+			lower, upper := m.NodeCounts()
+			var lo, up int64
+			for i := range lower {
+				lo += lower[i]
+				up = upper[i]
+			}
+			fmt.Printf("keys=%d, lower nodes=%d, upper nodes/module=%d, P=%d\n",
+				m.Len(), lo, up, m.P())
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+	}
+}
+
+// parseKeys parses "1,2,3" (possibly split over several fields).
+func parseKeys(fields []string) ([]uint64, error) {
+	var keys []uint64
+	for _, f := range fields {
+		for _, part := range strings.Split(f, ",") {
+			if part == "" {
+				continue
+			}
+			k, err := strconv.ParseUint(part, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad key %q", part)
+			}
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("no keys")
+	}
+	return keys, nil
+}
+
+// parsePairs parses "1=10,2=20".
+func parsePairs(fields []string) ([]uint64, []int64, error) {
+	var keys []uint64
+	var vals []int64
+	for _, f := range fields {
+		for _, part := range strings.Split(f, ",") {
+			if part == "" {
+				continue
+			}
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) != 2 {
+				return nil, nil, fmt.Errorf("bad pair %q (want k=v)", part)
+			}
+			k, err := strconv.ParseUint(kv[0], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad key %q", kv[0])
+			}
+			v, err := strconv.ParseInt(kv[1], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad value %q", kv[1])
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, nil, fmt.Errorf("no pairs")
+	}
+	return keys, vals, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseKeys(t *testing.T) {
+	got, err := parseKeys([]string{"1,2", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestParseKeysErrors(t *testing.T) {
+	if _, err := parseKeys([]string{"x"}); err == nil {
+		t.Fatal("expected error on non-numeric key")
+	}
+	if _, err := parseKeys(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := parseKeys([]string{","}); err == nil {
+		t.Fatal("expected error on only separators")
+	}
+}
+
+func TestParsePairs(t *testing.T) {
+	keys, vals, err := parsePairs([]string{"1=10,2=-20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys[0] != 1 || vals[0] != 10 || keys[1] != 2 || vals[1] != -20 {
+		t.Fatalf("got %v %v", keys, vals)
+	}
+}
+
+func TestParsePairsErrors(t *testing.T) {
+	for _, bad := range [][]string{{"1"}, {"a=1"}, {"1=b"}, nil, {","}} {
+		if _, _, err := parsePairs(bad); err == nil {
+			t.Fatalf("expected error for %v", bad)
+		}
+	}
+}

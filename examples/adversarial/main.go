@@ -1,0 +1,82 @@
+// adversarial: the paper's central claim, live — the PIM skip list keeps
+// its performance under adversary-controlled batches while the
+// range-partitioned design (prior work, §2.2) collapses.
+//
+// Five workloads hit both structures with identical Get batches; the
+// same-successor adversary additionally hits batched Successor, comparing
+// the pivoted algorithm against the naive execution (§4.2).
+package main
+
+import (
+	"fmt"
+
+	"pimgo/internal/adversary"
+	"pimgo/internal/baseline"
+	"pimgo/internal/core"
+)
+
+const (
+	modules = 32
+	nKeys   = 1 << 14
+	space   = uint64(1) << 40
+)
+
+func lg(p int) int {
+	l := 1
+	for 1<<l < p {
+		l++
+	}
+	return l
+}
+
+func main() {
+	fmt.Printf("adversarial batches, P=%d, n=%d\n\n", modules, nKeys)
+	batch := modules * lg(modules)
+
+	fmt.Printf("%-15s %10s %10s %12s %12s\n", "workload", "ours IO", "prior IO", "ours bal", "prior bal")
+	for _, w := range adversary.Workloads() {
+		if w == adversary.SameSuccessor {
+			continue // covered below with Successor batches
+		}
+		g := adversary.NewGen(1, space)
+		seed := g.Batch(adversary.Uniform, nKeys)
+		vals := make([]int64, nKeys)
+
+		ours := core.New[uint64, int64](core.Config{P: modules, Seed: 2}, core.Uint64Hash)
+		ours.Upsert(seed, vals)
+		prior := baseline.New[uint64, int64](modules, 2, baseline.UniformSplitters(modules, space))
+		prior.Upsert(seed, vals)
+
+		keys := g.Batch(w, batch)
+		_, so := ours.Get(keys)
+		_, sp := prior.Get(keys)
+		fmt.Printf("%-15s %10d %10d %12.2f %12.2f\n",
+			w, so.IOTime, sp.IOTime, so.PIMBalanceWork(modules), sp.PIMBalanceWork(modules))
+	}
+
+	fmt.Println("\nsame-successor adversary vs batched Successor (ours, pivoted vs naive §4.2):")
+	succBatch := modules * lg(modules) * lg(modules)
+	for _, naive := range []bool{false, true} {
+		cfg := core.Config{P: modules, Seed: 3, NaiveBatch: naive, TrackAccess: true}
+		m := core.New[uint64, int64](cfg, core.Uint64Hash)
+		g := adversary.NewGen(4, space)
+		anchors := g.SparseAnchors(nKeys)
+		m.Upsert(anchors, make([]int64, len(anchors)))
+		keys := g.Batch(adversary.SameSuccessor, succBatch)
+		res, st := m.Successor(keys)
+		// Sanity: every query really does share one successor.
+		for _, r := range res {
+			if !r.Found || r.Key != res[0].Key {
+				panic("adversary construction broken")
+			}
+		}
+		name := "pivoted"
+		if naive {
+			name = "naive  "
+		}
+		fmt.Printf("  %s  IO=%7d  PIM=%7d  max node accesses=%5d (batch %d)\n",
+			name, st.IOTime, st.PIMTime, st.MaxNodeAccess, succBatch)
+	}
+	fmt.Println("\nThe pivoted algorithm's per-node contention stays O(1) per phase (Lemma 4.2);")
+	fmt.Println("the naive execution funnels the whole batch through one path.")
+}

@@ -1,0 +1,101 @@
+// kvstore: an ordered key-value store on the PIM skip list — the workload
+// the paper's introduction motivates (an in-memory index too big for the
+// CPU cache, maintained under batch-parallel updates and queries).
+//
+// The store ingests orders keyed by (timestamp-ordered) order IDs, serves
+// point lookups, ordered scans ("the 50 orders after X"), and windowed
+// deletions (retention), and prints the per-batch PIM-model costs so you
+// can see PIM-balance hold as the store grows.
+package main
+
+import (
+	"fmt"
+
+	"pimgo/internal/core"
+	"pimgo/internal/rng"
+)
+
+const (
+	modules   = 32
+	batchSize = 2048
+	batches   = 16
+)
+
+func main() {
+	store := core.New[uint64, int64](core.Config{P: modules, Seed: 7}, core.Uint64Hash)
+	r := rng.NewXoshiro256(99)
+
+	fmt.Printf("ordered KV store on %d PIM modules\n\n", modules)
+
+	// Ingest: batch upserts of new order IDs (sparse, ascending-ish with
+	// jitter, as real ID generators produce).
+	var nextID uint64 = 1 << 20
+	fmt.Println("ingest:")
+	for b := 0; b < batches; b++ {
+		keys := make([]uint64, batchSize)
+		vals := make([]int64, batchSize)
+		for i := range keys {
+			nextID += 1 + r.Uint64n(64)
+			keys[i] = nextID
+			vals[i] = int64(r.Uint64n(10000)) // order amount, cents
+		}
+		_, st := store.Upsert(keys, vals)
+		if b%4 == 0 {
+			fmt.Printf("  batch %2d: n=%7d  IO=%5d  PIM=%5d  rounds=%3d  balance(work)=%.2f\n",
+				b, store.Len(), st.IOTime, st.PIMTime, st.Rounds, st.PIMBalanceWork(modules))
+		}
+	}
+
+	// Point lookups: a mixed batch of hits and misses.
+	ids := store.KeysInOrder()
+	probe := make([]uint64, 1024)
+	for i := range probe {
+		if i%2 == 0 {
+			probe[i] = ids[int(r.Uint64n(uint64(len(ids))))]
+		} else {
+			probe[i] = r.Uint64n(nextID) // mostly misses
+		}
+	}
+	res, st := store.Get(probe)
+	hits := 0
+	for _, g := range res {
+		if g.Found {
+			hits++
+		}
+	}
+	fmt.Printf("\nlookup batch: %d/%d hits  IO=%d PIM=%d (independent of store size)\n",
+		hits, len(probe), st.IOTime, st.PIMTime)
+
+	// Ordered scan: "the 50 orders at or after a given ID" — a Successor
+	// to find the start, then a tree range.
+	start := ids[len(ids)/2]
+	s, _ := store.SuccessorOne(start)
+	scan, st := store.RangeTreeOne(core.RangeOp[uint64, int64]{
+		Lo: s.Key, Hi: ids[min(len(ids)/2+49, len(ids)-1)], Kind: core.RangeRead,
+	})
+	fmt.Printf("scan from %d: %d orders, first=%d last=%d  IO=%d\n",
+		start, scan.Count, scan.Pairs[0].Key, scan.Pairs[len(scan.Pairs)-1].Key, st.IOTime)
+
+	// Aggregate: total order value over the middle half of the ID space —
+	// large range, so the broadcast execution is the right tool.
+	lo, hi := ids[len(ids)/4], ids[3*len(ids)/4]
+	all, st := store.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeRead})
+	var total int64
+	for _, p := range all.Pairs {
+		total += p.Value
+	}
+	fmt.Printf("aggregate [%d, %d]: %d orders, %d cents  (1 round, IO=%d)\n",
+		lo, hi, all.Count, total, st.IOTime)
+
+	// Retention: delete the oldest quarter in one batch (a massive
+	// consecutive run — the list-contraction stress case).
+	oldest := ids[:len(ids)/4]
+	_, st = store.Delete(oldest)
+	fmt.Printf("\nretention: deleted %d oldest orders  IO=%d PIM=%d balance(work)=%.2f\n",
+		len(oldest), st.IOTime, st.PIMTime, st.PIMBalanceWork(modules))
+
+	if err := store.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("final store: %d orders, invariants ok\n", store.Len())
+}

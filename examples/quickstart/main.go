@@ -1,0 +1,58 @@
+// Quickstart: build a PIM skip list, run every batch operation once, and
+// read the PIM-model cost metrics that come back with each batch.
+package main
+
+import (
+	"fmt"
+
+	"pimgo/internal/core"
+)
+
+func main() {
+	// A machine with 16 PIM modules. The structure replicates its top
+	// log2(16) = 4 levels in every module and hash-distributes the rest.
+	m := core.New[uint64, int64](core.Config{P: 16, Seed: 42}, core.Uint64Hash)
+
+	// Batched Upsert: all operations in a batch run in parallel across the
+	// modules; each call returns the model's cost metrics for that batch.
+	keys := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	vals := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	inserted, st := m.Upsert(keys, vals)
+	fmt.Println("upsert inserted:", inserted)
+	fmt.Println("upsert cost:    ", st)
+
+	// Batched Get.
+	got, st := m.Get([]uint64{20, 25, 60})
+	for i, g := range got {
+		fmt.Printf("get %v -> found=%v value=%v\n", []uint64{20, 25, 60}[i], g.Found, g.Value)
+	}
+	fmt.Println("get cost:       ", st)
+
+	// Successor / Predecessor: ordered queries, the reason to use a skip
+	// list rather than a hash table.
+	succ, _ := m.SuccessorOne(35)
+	pred, _ := m.PredecessorOne(35)
+	fmt.Printf("successor(35) = %+v\n", succ)
+	fmt.Printf("predecessor(35) = %+v\n", pred)
+
+	// Range operations, both execution strategies.
+	sum := int64(0)
+	read, _ := m.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: 20, Hi: 60, Kind: core.RangeRead})
+	for _, p := range read.Pairs {
+		sum += p.Value
+	}
+	fmt.Printf("range [20,60] broadcast: %d pairs, value sum %d\n", read.Count, sum)
+	cnt, _ := m.RangeTreeOne(core.RangeOp[uint64, int64]{Lo: 20, Hi: 60, Kind: core.RangeCount})
+	fmt.Printf("range [20,60] tree:      %d pairs\n", cnt.Count)
+
+	// Batched Delete.
+	found, _ := m.Delete([]uint64{30, 99})
+	fmt.Println("delete found:", found)
+	fmt.Println("remaining keys in order:", m.KeysInOrder())
+
+	// The structure can always verify itself.
+	if err := m.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Println("invariants: ok")
+}

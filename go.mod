@@ -1,0 +1,3 @@
+module pimgo
+
+go 1.24

@@ -1,0 +1,166 @@
+// Package adversary generates the adversary-controlled batches the paper's
+// guarantees are quantified over (§2.1, §3.3, §4.2): the adversary picks
+// the batch contents (subject to same-operation batches and a minimum batch
+// size) but cannot depend on the algorithm's random choices.
+//
+// Each generator targets a specific failure mode of prior designs:
+//
+//   - Uniform: the friendly baseline workload.
+//   - SameKey: one key repeated through the whole batch — breaks designs
+//     without deduplication (§4.1).
+//   - SameSuccessor: distinct keys that all share one successor — breaks
+//     naive batched search (§4.2) by serializing on the shared path.
+//   - RangeCluster: keys packed into one contiguous key interval — breaks
+//     range-partitioned structures (§2.2: Choe et al., Liu et al.), which
+//     route the whole batch to one partition.
+//   - Zipf: skewed popularity, a softer version of SameKey.
+//   - Sequential: monotonically increasing keys (log-append pattern).
+package adversary
+
+import (
+	"math"
+
+	"pimgo/internal/rng"
+)
+
+// Workload names a batch generator shape.
+type Workload string
+
+const (
+	Uniform       Workload = "uniform"
+	SameKey       Workload = "same-key"
+	SameSuccessor Workload = "same-successor"
+	RangeCluster  Workload = "range-cluster"
+	Zipf          Workload = "zipf"
+	Sequential    Workload = "sequential"
+)
+
+// Workloads lists every generator, in presentation order.
+func Workloads() []Workload {
+	return []Workload{Uniform, SameKey, SameSuccessor, RangeCluster, Zipf, Sequential}
+}
+
+// Gen produces batches of keys for a universe of size space.
+type Gen struct {
+	r     *rng.Xoshiro256
+	space uint64
+	zipf  *zipfGen
+	seq   uint64
+}
+
+// NewGen returns a generator over keys in [1, space).
+func NewGen(seed, space uint64) *Gen {
+	return &Gen{r: rng.NewXoshiro256(seed), space: space}
+}
+
+// Batch returns a batch of b keys under workload w.
+func (g *Gen) Batch(w Workload, b int) []uint64 {
+	keys := make([]uint64, b)
+	switch w {
+	case Uniform:
+		for i := range keys {
+			keys[i] = 1 + g.r.Uint64n(g.space-1)
+		}
+	case SameKey:
+		k := 1 + g.r.Uint64n(g.space-1)
+		for i := range keys {
+			keys[i] = k
+		}
+	case SameSuccessor:
+		// Distinct keys inside one gap of the key space. Callers seed the
+		// structure with SparseAnchors so the gap (anchor, anchor') holds
+		// no keys: every query's successor is the same anchor.
+		base := g.space / 4
+		for i := range keys {
+			keys[i] = base + uint64(i) + 1
+		}
+	case RangeCluster:
+		// All keys within one narrow interval (one range partition).
+		width := g.space / 64
+		if width < uint64(b) {
+			width = uint64(b)
+		}
+		base := 1 + g.r.Uint64n(g.space-width-1)
+		for i := range keys {
+			keys[i] = base + g.r.Uint64n(width)
+		}
+	case Zipf:
+		if g.zipf == nil {
+			g.zipf = newZipf(g.r, 1.2, g.space-1)
+		}
+		for i := range keys {
+			keys[i] = 1 + g.zipf.next()
+		}
+	case Sequential:
+		for i := range keys {
+			g.seq++
+			keys[i] = g.seq
+		}
+	default:
+		panic("adversary: unknown workload " + string(w))
+	}
+	return keys
+}
+
+// SparseAnchors returns n keys spread evenly over the space, avoiding the
+// gap that SameSuccessor batches query into. Use them to populate the
+// structure before running the SameSuccessor adversary.
+func (g *Gen) SparseAnchors(n int) []uint64 {
+	keys := make([]uint64, n)
+	stride := g.space / uint64(n+2)
+	gapLo, gapHi := g.space/4, g.space/2
+	k := uint64(1)
+	for i := range keys {
+		k += stride
+		if k > gapLo && k < gapHi {
+			k = gapHi // hop over the reserved gap
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+// zipfGen draws from a Zipf distribution with the classic rejection-
+// inversion method (Gray et al. style approximation via the harmonic CDF).
+type zipfGen struct {
+	r     *rng.Xoshiro256
+	s     float64
+	n     uint64
+	hx0   float64
+	hxm   float64
+	alpha float64
+}
+
+func newZipf(r *rng.Xoshiro256, s float64, n uint64) *zipfGen {
+	z := &zipfGen{r: r, s: s, n: n}
+	z.hxm = z.h(float64(n) + 0.5)
+	z.hx0 = z.h(0.5) - 1
+	z.alpha = 1 / (1 - s)
+	return z
+}
+
+func (z *zipfGen) h(x float64) float64 {
+	return math.Exp((1-z.s)*math.Log(x)) / (1 - z.s)
+}
+
+func (z *zipfGen) hInv(x float64) float64 {
+	return math.Exp(z.alpha * math.Log((1-z.s)*x))
+}
+
+func (z *zipfGen) next() uint64 {
+	for {
+		u := z.hx0 + z.r.Float64()*(z.hxm-z.hx0)
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		// Accept with probability proportional to the true mass.
+		if u >= z.h(k+0.5)-math.Exp(-z.s*math.Log(k)) {
+			return uint64(k)
+		}
+	}
+}

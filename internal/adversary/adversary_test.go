@@ -1,0 +1,150 @@
+package adversary
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestUniformSpreads(t *testing.T) {
+	g := NewGen(1, 1<<20)
+	keys := g.Batch(Uniform, 10000)
+	if len(keys) != 10000 {
+		t.Fatalf("batch size %d", len(keys))
+	}
+	distinct := map[uint64]bool{}
+	for _, k := range keys {
+		if k == 0 || k >= 1<<20 {
+			t.Fatalf("key %d out of range", k)
+		}
+		distinct[k] = true
+	}
+	if len(distinct) < 9000 {
+		t.Fatalf("uniform batch has only %d distinct keys", len(distinct))
+	}
+}
+
+func TestSameKeyIsConstant(t *testing.T) {
+	g := NewGen(2, 1<<20)
+	keys := g.Batch(SameKey, 1000)
+	for _, k := range keys {
+		if k != keys[0] {
+			t.Fatal("same-key batch not constant")
+		}
+	}
+}
+
+func TestSameSuccessorDistinctAndInGap(t *testing.T) {
+	g := NewGen(3, 1<<20)
+	keys := g.Batch(SameSuccessor, 1000)
+	seen := map[uint64]bool{}
+	gapLo, gapHi := uint64(1<<20)/4, uint64(1<<20)/2
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatal("duplicate key in same-successor batch")
+		}
+		seen[k] = true
+		if k <= gapLo || k >= gapHi {
+			t.Fatalf("key %d escapes the reserved gap (%d,%d)", k, gapLo, gapHi)
+		}
+	}
+}
+
+func TestSparseAnchorsAvoidGap(t *testing.T) {
+	g := NewGen(4, 1<<20)
+	anchors := g.SparseAnchors(500)
+	gapLo, gapHi := uint64(1<<20)/4, uint64(1<<20)/2
+	for _, k := range anchors {
+		if k > gapLo && k < gapHi {
+			t.Fatalf("anchor %d inside the reserved gap", k)
+		}
+	}
+	// Anchors must surround the gap so SameSuccessor queries have a
+	// successor.
+	sorted := append([]uint64(nil), anchors...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if sorted[0] >= gapLo || sorted[len(sorted)-1] <= gapHi {
+		t.Fatalf("anchors do not straddle the gap: [%d, %d]", sorted[0], sorted[len(sorted)-1])
+	}
+}
+
+func TestRangeClusterIsNarrow(t *testing.T) {
+	g := NewGen(5, 1<<20)
+	keys := g.Batch(RangeCluster, 1000)
+	lo, hi := keys[0], keys[0]
+	for _, k := range keys {
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+	}
+	if hi-lo > (1<<20)/32 {
+		t.Fatalf("cluster spans %d, too wide", hi-lo)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewGen(6, 1<<16)
+	counts := map[uint64]int{}
+	const n = 50000
+	for _, k := range g.Batch(Zipf, n) {
+		counts[k]++
+	}
+	// The most popular key must carry far more than the uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/100 {
+		t.Fatalf("zipf max frequency %d too flat for n=%d", max, n)
+	}
+}
+
+func TestSequentialMonotone(t *testing.T) {
+	g := NewGen(7, 1<<20)
+	a := g.Batch(Sequential, 100)
+	b := g.Batch(Sequential, 100)
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[i-1]+1 {
+			t.Fatal("sequential batch not consecutive")
+		}
+	}
+	if b[0] != a[len(a)-1]+1 {
+		t.Fatal("sequential batches not continuous across calls")
+	}
+}
+
+func TestWorkloadsListComplete(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("expected 6 workloads, got %d", len(ws))
+	}
+	g := NewGen(8, 1<<18)
+	for _, w := range ws {
+		if got := g.Batch(w, 64); len(got) != 64 {
+			t.Fatalf("%s: batch size %d", w, len(got))
+		}
+	}
+}
+
+func TestUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGen(9, 1<<10).Batch(Workload("nope"), 1)
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := NewGen(42, 1<<20).Batch(Uniform, 100)
+	b := NewGen(42, 1<<20).Batch(Uniform, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

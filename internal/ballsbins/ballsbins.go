@@ -1,0 +1,155 @@
+// Package ballsbins provides the balls-in-bins machinery behind the PIM
+// model's load-balance arguments (Lemmas 2.1 and 2.2 of the paper) and the
+// statistics used by the PIM-balance experiments.
+//
+// Lemma 2.1 (Raab–Steger): placing T = Ω(P log P) balls into P bins
+// uniformly at random yields Θ(T/P) balls in every bin whp.
+//
+// Lemma 2.2 (proved in the paper's appendix via Bernstein's inequality):
+// placing weighted balls of total weight W, each of weight at most
+// W/(P log P), into P bins uniformly at random yields O(W/P) weight in
+// every bin whp.
+//
+// The experiments regenerate both lemmas empirically: they sweep T/P (or
+// the weight distribution) and report the max/mean bin ratio across trials,
+// which must stay bounded as P grows for the whp claims to hold in
+// practice.
+package ballsbins
+
+import (
+	"math"
+
+	"pimgo/internal/rng"
+)
+
+// Loads is the outcome of one balls-in-bins trial.
+type Loads struct {
+	Bins []float64
+}
+
+// Max returns the maximum bin load.
+func (l Loads) Max() float64 {
+	m := 0.0
+	for _, b := range l.Bins {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Mean returns the average bin load.
+func (l Loads) Mean() float64 {
+	if len(l.Bins) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, b := range l.Bins {
+		s += b
+	}
+	return s / float64(len(l.Bins))
+}
+
+// MaxMeanRatio returns Max/Mean, the PIM-balance figure of merit
+// (1.0 = perfectly balanced). Returns +Inf for an empty mean.
+func (l Loads) MaxMeanRatio() float64 {
+	mean := l.Mean()
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	return l.Max() / mean
+}
+
+// Stddev returns the standard deviation of bin loads.
+func (l Loads) Stddev() float64 {
+	mean := l.Mean()
+	s := 0.0
+	for _, b := range l.Bins {
+		d := b - mean
+		s += d * d
+	}
+	if len(l.Bins) == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(len(l.Bins)))
+}
+
+// Throw places t unit balls into p bins uniformly at random (Lemma 2.1).
+func Throw(t, p int, seed uint64) Loads {
+	r := rng.NewXoshiro256(seed)
+	bins := make([]float64, p)
+	for i := 0; i < t; i++ {
+		bins[r.Intn(p)]++
+	}
+	return Loads{Bins: bins}
+}
+
+// ThrowWeighted places balls with the given weights into p bins uniformly
+// at random (Lemma 2.2). Callers enforce the lemma's weight cap when
+// testing the lemma's hypothesis.
+func ThrowWeighted(weights []float64, p int, seed uint64) Loads {
+	r := rng.NewXoshiro256(seed)
+	bins := make([]float64, p)
+	for _, w := range weights {
+		bins[r.Intn(p)] += w
+	}
+	return Loads{Bins: bins}
+}
+
+// CapWeights returns weights for n balls of total weight roughly total in
+// which every ball has exactly the Lemma 2.2 cap total/(p·log2(p)) — the
+// hardest admissible instance, since fewer, larger balls maximize variance.
+// The ball count is adjusted to meet the total.
+func CapWeights(total float64, p int) []float64 {
+	lg := math.Log2(float64(p))
+	if lg < 1 {
+		lg = 1
+	}
+	cap_ := total / (float64(p) * lg)
+	n := int(total / cap_)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = cap_
+	}
+	return weights
+}
+
+// GeometricWeights returns n weights from a geometric-ish distribution
+// (heavy skew) clipped at the Lemma 2.2 cap for total weight ≈ total.
+func GeometricWeights(n int, total float64, p int, seed uint64) []float64 {
+	r := rng.NewXoshiro256(seed)
+	lg := math.Log2(float64(p))
+	if lg < 1 {
+		lg = 1
+	}
+	cap_ := total / (float64(p) * lg)
+	raw := make([]float64, n)
+	sum := 0.0
+	for i := range raw {
+		// Exponentially distributed raw weight.
+		raw[i] = -math.Log(1 - r.Float64())
+		sum += raw[i]
+	}
+	// Normalize to the requested total, then clip to the cap, redistributing
+	// nothing (the clipped total is ≤ total, which only helps the bound).
+	for i := range raw {
+		raw[i] = raw[i] / sum * total
+		if raw[i] > cap_ {
+			raw[i] = cap_
+		}
+	}
+	return raw
+}
+
+// MaxOverTrials runs trials independent trials of throw and returns the
+// largest MaxMeanRatio observed — an empirical "whp" envelope.
+func MaxOverTrials(trials int, seed uint64, throw func(seed uint64) Loads) float64 {
+	r := rng.NewXoshiro256(seed)
+	worst := 0.0
+	for i := 0; i < trials; i++ {
+		if v := throw(r.Uint64()).MaxMeanRatio(); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,169 @@
+package ballsbins
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThrowConservation(t *testing.T) {
+	l := Throw(1000, 16, 1)
+	total := 0.0
+	for _, b := range l.Bins {
+		total += b
+	}
+	if total != 1000 {
+		t.Fatalf("balls lost: %f", total)
+	}
+	if len(l.Bins) != 16 {
+		t.Fatalf("bins = %d", len(l.Bins))
+	}
+}
+
+func TestLemma21BalancedAtLogP(t *testing.T) {
+	// T = P log P balls into P bins: max/mean must be a small constant.
+	for _, p := range []int{16, 64, 256, 1024} {
+		lg := int(math.Log2(float64(p)))
+		ratio := MaxOverTrials(20, 7, func(seed uint64) Loads {
+			return Throw(p*lg, p, seed)
+		})
+		if ratio > 4.0 {
+			t.Fatalf("P=%d: max/mean = %f, Lemma 2.1 regime should be ≤4", p, ratio)
+		}
+	}
+}
+
+func TestLemma21RatioShrinksWithMoreBalls(t *testing.T) {
+	// With T = P log² P the ratio should be tighter than with T = P.
+	const p = 256
+	lg := int(math.Log2(float64(p)))
+	few := MaxOverTrials(20, 3, func(s uint64) Loads { return Throw(p, p, s) })
+	many := MaxOverTrials(20, 3, func(s uint64) Loads { return Throw(p*lg*lg, p, s) })
+	if many >= few {
+		t.Fatalf("ratio should shrink: T=P gives %f, T=P log²P gives %f", few, many)
+	}
+	if many > 2.0 {
+		t.Fatalf("T=P log²P ratio = %f, want ≤2", many)
+	}
+}
+
+func TestSmallBallsToBinsIsImbalanced(t *testing.T) {
+	// The paper's point about P tasks to P modules: some module gets
+	// Θ(log P / log log P) tasks whp — ratio well above constant.
+	const p = 1024
+	ratio := MaxOverTrials(20, 9, func(s uint64) Loads { return Throw(p, p, s) })
+	if ratio < 3.0 {
+		t.Fatalf("P balls in P bins should be imbalanced; ratio = %f", ratio)
+	}
+}
+
+func TestLemma22CapWeights(t *testing.T) {
+	for _, p := range []int{16, 64, 256} {
+		w := CapWeights(float64(p*1000), p)
+		ratio := MaxOverTrials(20, 11, func(seed uint64) Loads {
+			return ThrowWeighted(w, p, seed)
+		})
+		if ratio > 4.0 {
+			t.Fatalf("P=%d: weighted max/mean = %f, Lemma 2.2 says O(1)", p, ratio)
+		}
+	}
+}
+
+func TestLemma22GeometricWeights(t *testing.T) {
+	const p = 128
+	w := GeometricWeights(p*100, float64(p*1000), p, 5)
+	ratio := MaxOverTrials(20, 13, func(seed uint64) Loads {
+		return ThrowWeighted(w, p, seed)
+	})
+	if ratio > 4.0 {
+		t.Fatalf("geometric weights max/mean = %f", ratio)
+	}
+}
+
+func TestCapWeightsRespectCap(t *testing.T) {
+	const p = 64
+	total := 6400.0
+	w := CapWeights(total, p)
+	cap_ := total / (float64(p) * math.Log2(float64(p)))
+	sum := 0.0
+	for _, x := range w {
+		if x > cap_*1.0001 {
+			t.Fatalf("weight %f exceeds cap %f", x, cap_)
+		}
+		sum += x
+	}
+	if math.Abs(sum-total)/total > 0.01 {
+		t.Fatalf("total weight %f, want ~%f", sum, total)
+	}
+}
+
+func TestGeometricWeightsRespectCap(t *testing.T) {
+	const p = 64
+	total := 6400.0
+	w := GeometricWeights(1000, total, p, 1)
+	cap_ := total / (float64(p) * math.Log2(float64(p)))
+	for _, x := range w {
+		if x > cap_*1.0001 {
+			t.Fatalf("weight %f exceeds cap %f", x, cap_)
+		}
+		if x < 0 {
+			t.Fatalf("negative weight %f", x)
+		}
+	}
+}
+
+func TestUncappedWeightsBreakBalance(t *testing.T) {
+	// Violating Lemma 2.2's hypothesis must break the conclusion: one ball
+	// carrying half the weight forces max/mean ≥ P/2.
+	const p = 64
+	w := make([]float64, 100)
+	w[0] = 5000
+	for i := 1; i < len(w); i++ {
+		w[i] = 5000.0 / 99
+	}
+	ratio := ThrowWeighted(w, p, 3).MaxMeanRatio()
+	if ratio < float64(p)/4 {
+		t.Fatalf("uncapped ratio = %f, expected ≥ %d", ratio, p/4)
+	}
+}
+
+func TestLoadsStats(t *testing.T) {
+	l := Loads{Bins: []float64{1, 2, 3, 6}}
+	if l.Max() != 6 {
+		t.Fatalf("max = %f", l.Max())
+	}
+	if l.Mean() != 3 {
+		t.Fatalf("mean = %f", l.Mean())
+	}
+	if l.MaxMeanRatio() != 2 {
+		t.Fatalf("ratio = %f", l.MaxMeanRatio())
+	}
+	if sd := l.Stddev(); math.Abs(sd-math.Sqrt(3.5)) > 1e-9 {
+		t.Fatalf("stddev = %f", sd)
+	}
+}
+
+func TestEmptyLoads(t *testing.T) {
+	l := Loads{}
+	if l.Max() != 0 || l.Mean() != 0 || l.Stddev() != 0 {
+		t.Fatal("empty loads should be zero")
+	}
+	if !math.IsInf(l.MaxMeanRatio(), 1) {
+		t.Fatal("empty ratio should be +Inf")
+	}
+}
+
+func TestThrowDeterministic(t *testing.T) {
+	a := Throw(1000, 8, 42)
+	b := Throw(1000, 8, 42)
+	for i := range a.Bins {
+		if a.Bins[i] != b.Bins[i] {
+			t.Fatal("Throw not deterministic")
+		}
+	}
+}
+
+func BenchmarkThrow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Throw(1<<16, 256, uint64(i))
+	}
+}

@@ -1,0 +1,394 @@
+package baseline
+
+import (
+	"cmp"
+	"sort"
+
+	"pimgo/internal/core"
+	"pimgo/internal/cpu"
+	"pimgo/internal/pim"
+)
+
+// partState is one module's local state: its key range's skip list.
+type partState[K cmp.Ordered, V any] struct {
+	sl *skiplist[K, V]
+}
+
+// Map is the range-partitioned skip list. Module i owns the key interval
+// [splitters[i-1], splitters[i]) (with open ends at the extremes). The
+// partition is static, as in the cited prior work: the comparison point of
+// the paper is precisely that re-partitioning cannot keep up with an
+// adversary, and even *dynamic* migration ("their structure, even with
+// dynamic data migration, suffers from PIM-imbalance", §3.1).
+type Map[K cmp.Ordered, V any] struct {
+	p         int
+	splitters []K // len p-1, ascending
+	mach      *pim.Machine[*partState[K, V]]
+	n         int
+}
+
+// New builds a range-partitioned skip list over P modules with the given
+// P-1 ascending splitters (e.g. quantiles of the expected distribution).
+func New[K cmp.Ordered, V any](p int, seed uint64, splitters []K) *Map[K, V] {
+	if len(splitters) != p-1 {
+		panic("baseline: need P-1 splitters")
+	}
+	for i := 1; i < len(splitters); i++ {
+		if splitters[i] <= splitters[i-1] {
+			panic("baseline: splitters must be ascending")
+		}
+	}
+	m := &Map[K, V]{p: p, splitters: append([]K(nil), splitters...)}
+	m.mach = pim.NewMachine(p, func(id pim.ModuleID) *partState[K, V] {
+		return &partState[K, V]{sl: newSkiplist[K, V](seed ^ uint64(id)*0x9e3779b9)}
+	})
+	return m
+}
+
+// UniformSplitters returns P-1 evenly spaced uint64 splitters over [0, space).
+func UniformSplitters(p int, space uint64) []uint64 {
+	s := make([]uint64, p-1)
+	for i := range s {
+		s[i] = space / uint64(p) * uint64(i+1)
+	}
+	return s
+}
+
+// Len returns the number of keys.
+func (m *Map[K, V]) Len() int { return m.n }
+
+// P returns the module count.
+func (m *Map[K, V]) P() int { return m.p }
+
+// partOf routes a key to its partition by binary search over the splitters.
+func (m *Map[K, V]) partOf(k K) pim.ModuleID {
+	return pim.ModuleID(sort.Search(len(m.splitters), func(i int) bool { return k < m.splitters[i] }))
+}
+
+type blOp[K cmp.Ordered, V any] struct {
+	id   int32
+	kind int8 // 0 get, 1 upsert, 2 delete, 3 succ
+	key  K
+	val  V
+}
+
+type blReply[K cmp.Ordered, V any] struct {
+	id    int32
+	found bool
+	key   K
+	val   V
+}
+
+func (t *blOp[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
+	sl := c.State().sl
+	switch t.kind {
+	case 0:
+		v, ok, cost := sl.get(t.key)
+		c.Charge(cost)
+		c.Reply(blReply[K, V]{id: t.id, found: ok, key: t.key, val: v})
+	case 1:
+		ins, cost := sl.upsert(t.key, t.val)
+		c.Charge(cost)
+		c.Reply(blReply[K, V]{id: t.id, found: !ins})
+	case 2:
+		ok, cost := sl.del(t.key)
+		c.Charge(cost)
+		c.Reply(blReply[K, V]{id: t.id, found: ok})
+	case 3:
+		k, v, ok, cost := sl.succ(t.key)
+		c.Charge(cost)
+		c.Reply(blReply[K, V]{id: t.id, found: ok, key: k, val: v})
+	}
+}
+
+// runBatch routes one op per key and collects replies in id order.
+func (m *Map[K, V]) runBatch(kind int8, keys []K, vals []V) ([]blReply[K, V], core.BatchStats) {
+	m.mach.ResetMetrics()
+	tr := cpu.NewTracker()
+	c := tr.Root()
+	B := len(keys)
+	tr.Alloc(int64(B))
+	out := make([]blReply[K, V], B)
+	sends := make([]pim.Send[*partState[K, V]], B)
+	c.WorkFlat(int64(B) * int64(logCeil(m.p)))
+	for i, k := range keys {
+		op := &blOp[K, V]{id: int32(i), kind: kind, key: k}
+		if vals != nil {
+			op.val = vals[i]
+		}
+		sends[i] = pim.Send[*partState[K, V]]{To: m.partOf(k), Task: op}
+	}
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			v := r.V.(blReply[K, V])
+			out[v.id] = v
+		}
+		sends = next
+	}
+	tr.Free(int64(B))
+	tr.Finish(c)
+	met := m.mach.Metrics()
+	return out, core.BatchStats{
+		Batch:        B,
+		IOTime:       met.IOTime,
+		PIMTime:      m.mach.PIMTime(),
+		PIMRoundTime: met.PIMRoundTime,
+		Rounds:       met.Rounds,
+		SyncCost:     met.SyncCost(m.p),
+		TotalMsgs:    met.TotalMsgs,
+		TotalPIMWork: m.mach.TotalPIMWork(),
+		CPUWork:      tr.Work(),
+		CPUDepth:     tr.Depth(),
+		CPUMem:       tr.PeakMem(),
+	}
+}
+
+// Get looks up every key.
+func (m *Map[K, V]) Get(keys []K) ([]core.GetResult[V], core.BatchStats) {
+	rep, st := m.runBatch(0, keys, nil)
+	out := make([]core.GetResult[V], len(rep))
+	for i, r := range rep {
+		out[i] = core.GetResult[V]{Found: r.found, Value: r.val}
+	}
+	return out, st
+}
+
+// Upsert inserts or updates every key; returns inserted flags.
+func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, core.BatchStats) {
+	rep, st := m.runBatch(1, keys, vals)
+	out := make([]bool, len(rep))
+	for i, r := range rep {
+		out[i] = !r.found
+		if out[i] {
+			m.n++
+		}
+	}
+	return out, st
+}
+
+// Delete removes every key; returns found flags.
+func (m *Map[K, V]) Delete(keys []K) ([]bool, core.BatchStats) {
+	rep, st := m.runBatch(2, keys, nil)
+	out := make([]bool, len(rep))
+	for i, r := range rep {
+		out[i] = r.found
+		if r.found {
+			m.n--
+		}
+	}
+	return out, st
+}
+
+// Successor answers smallest-key-≥ queries. A query whose partition holds
+// no qualifying key must spill into the next partition — extra messages the
+// hash-distributed design never pays.
+func (m *Map[K, V]) Successor(keys []K) ([]core.SearchResult[K, V], core.BatchStats) {
+	m.mach.ResetMetrics()
+	tr := cpu.NewTracker()
+	c := tr.Root()
+	B := len(keys)
+	tr.Alloc(int64(B))
+	out := make([]core.SearchResult[K, V], B)
+	pending := make([]pim.Send[*partState[K, V]], 0, B)
+	part := make([]pim.ModuleID, B)
+	c.WorkFlat(int64(B) * int64(logCeil(m.p)))
+	for i, k := range keys {
+		part[i] = m.partOf(k)
+		pending = append(pending, pim.Send[*partState[K, V]]{
+			To:   part[i],
+			Task: &blOp[K, V]{id: int32(i), kind: 3, key: k},
+		})
+	}
+	for len(pending) > 0 {
+		replies, next := m.mach.Round(pending)
+		pending = next
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			v := r.V.(blReply[K, V])
+			if v.found {
+				out[v.id] = core.SearchResult[K, V]{Found: true, Key: v.key, Value: v.val}
+				continue
+			}
+			// Spill to the next partition to the right.
+			if int(part[v.id])+1 < m.p {
+				part[v.id]++
+				pending = append(pending, pim.Send[*partState[K, V]]{
+					To:   part[v.id],
+					Task: &blOp[K, V]{id: v.id, kind: 3, key: keys[v.id]},
+				})
+			}
+		}
+	}
+	tr.Free(int64(B))
+	tr.Finish(c)
+	met := m.mach.Metrics()
+	return out, core.BatchStats{
+		Batch: B, IOTime: met.IOTime, PIMTime: m.mach.PIMTime(),
+		PIMRoundTime: met.PIMRoundTime, Rounds: met.Rounds,
+		SyncCost: met.SyncCost(m.p), TotalMsgs: met.TotalMsgs,
+		TotalPIMWork: m.mach.TotalPIMWork(),
+		CPUWork:      tr.Work(), CPUDepth: tr.Depth(), CPUMem: tr.PeakMem(),
+	}
+}
+
+// rangeTask scans one partition's stretch of [lo, hi].
+type rangeTask[K cmp.Ordered, V any] struct {
+	lo, hi K
+}
+
+type rangeReply[K cmp.Ordered, V any] struct {
+	pairs []core.RangePair[K, V]
+}
+
+func (t *rangeTask[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
+	var pairs []core.RangePair[K, V]
+	_, cost := c.State().sl.scan(t.lo, t.hi, func(k K, v V) {
+		pairs = append(pairs, core.RangePair[K, V]{Key: k, Value: v})
+	})
+	c.Charge(cost)
+	c.ReplyWords(rangeReply[K, V]{pairs: pairs}, int64(1+2*len(pairs)))
+}
+
+// Range returns all pairs with lo ≤ key ≤ hi, ascending. Only the
+// partitions overlapping the interval are contacted — the range-partition
+// design's strength on range queries (§2.2, Ziegler et al.).
+func (m *Map[K, V]) Range(lo, hi K) ([]core.RangePair[K, V], core.BatchStats) {
+	m.mach.ResetMetrics()
+	tr := cpu.NewTracker()
+	c := tr.Root()
+	first, last := m.partOf(lo), m.partOf(hi)
+	var sends []pim.Send[*partState[K, V]]
+	for id := first; id <= last; id++ {
+		sends = append(sends, pim.Send[*partState[K, V]]{To: id, Task: &rangeTask[K, V]{lo: lo, hi: hi}})
+	}
+	var out []core.RangePair[K, V]
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			out = append(out, r.V.(rangeReply[K, V]).pairs...)
+		}
+		sends = next
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	c.WorkFlat(int64(len(out)) * int64(logCeil(len(out)+1)))
+	tr.Finish(c)
+	met := m.mach.Metrics()
+	return out, core.BatchStats{
+		Batch: 1, IOTime: met.IOTime, PIMTime: m.mach.PIMTime(),
+		PIMRoundTime: met.PIMRoundTime, Rounds: met.Rounds,
+		SyncCost: met.SyncCost(m.p), TotalMsgs: met.TotalMsgs,
+		TotalPIMWork: m.mach.TotalPIMWork(),
+		CPUWork:      tr.Work(), CPUDepth: tr.Depth(), CPUMem: tr.PeakMem(),
+	}
+}
+
+func logCeil(n int) int {
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	return lg
+}
+
+// collectTask streams one partition's entire contents to the CPU side
+// (used by Rebalance; words = 2 per pair).
+type collectTask[K cmp.Ordered, V any] struct{}
+
+func (t *collectTask[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
+	var pairs []core.RangePair[K, V]
+	sl := c.State().sl
+	cur := sl.head.next[0]
+	for cur != nil {
+		pairs = append(pairs, core.RangePair[K, V]{Key: cur.key, Value: cur.val})
+		cur = cur.next[0]
+	}
+	c.Charge(int64(len(pairs)))
+	c.ReplyWords(rangeReply[K, V]{pairs: pairs}, int64(1+2*len(pairs)))
+}
+
+// loadTask bulk-inserts pairs into a (fresh) partition.
+type loadTask[K cmp.Ordered, V any] struct {
+	pairs []core.RangePair[K, V]
+}
+
+func (t *loadTask[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
+	sl := c.State().sl
+	for _, p := range t.pairs {
+		_, cost := sl.upsert(p.Key, p.Value)
+		c.Charge(cost)
+	}
+}
+
+// Rebalance recomputes the splitters as quantiles of the CURRENT contents
+// and migrates every out-of-place key — the "dynamic data migration" the
+// paper grants the range-partitioned design in §3.1 ("their structure,
+// even with dynamic data migration, suffers from PIM-imbalance"). The
+// returned stats price the migration itself: collecting and redistributing
+// is Θ(n) messages, and it only balances the keys the adversary ALREADY
+// hit — the next batch clusters somewhere new.
+func (m *Map[K, V]) Rebalance() core.BatchStats {
+	m.mach.ResetMetrics()
+	tr := cpu.NewTracker()
+	c := tr.Root()
+	// Collect everything.
+	var all []core.RangePair[K, V]
+	sends := make([]pim.Send[*partState[K, V]], m.p)
+	for id := 0; id < m.p; id++ {
+		sends[id] = pim.Send[*partState[K, V]]{To: pim.ModuleID(id), Task: &collectTask[K, V]{}}
+	}
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			all = append(all, r.V.(rangeReply[K, V]).pairs...)
+		}
+		sends = next
+	}
+	tr.Alloc(int64(2 * len(all)))
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	c.WorkFlat(int64(len(all)) * int64(logCeil(len(all)+1)))
+	// Quantile splitters.
+	if len(all) >= m.p {
+		for i := 0; i < m.p-1; i++ {
+			m.splitters[i] = all[(i+1)*len(all)/m.p].Key
+		}
+	}
+	// Rebuild partitions from scratch and redistribute.
+	for id := 0; id < m.p; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		st.sl = newSkiplist[K, V](uint64(id)*0x9e3779b9 + 1)
+	}
+	perPart := make([][]core.RangePair[K, V], m.p)
+	for _, pr := range all {
+		d := m.partOf(pr.Key)
+		perPart[d] = append(perPart[d], pr)
+	}
+	c.WorkFlat(int64(len(all)))
+	sends = sends[:0]
+	for id := 0; id < m.p; id++ {
+		if len(perPart[id]) > 0 {
+			sends = append(sends, pim.Send[*partState[K, V]]{
+				To:    pim.ModuleID(id),
+				Task:  &loadTask[K, V]{pairs: perPart[id]},
+				Words: int64(2 * len(perPart[id])),
+			})
+		}
+	}
+	for len(sends) > 0 {
+		_, next := m.mach.Round(sends)
+		sends = next
+	}
+	tr.Free(int64(2 * len(all)))
+	tr.Finish(c)
+	met := m.mach.Metrics()
+	return core.BatchStats{
+		Batch: len(all), IOTime: met.IOTime, PIMTime: m.mach.PIMTime(),
+		PIMRoundTime: met.PIMRoundTime, Rounds: met.Rounds,
+		SyncCost: met.SyncCost(m.p), TotalMsgs: met.TotalMsgs,
+		TotalPIMWork: m.mach.TotalPIMWork(),
+		CPUWork:      tr.Work(), CPUDepth: tr.Depth(), CPUMem: tr.PeakMem(),
+	}
+}

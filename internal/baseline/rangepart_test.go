@@ -1,0 +1,265 @@
+package baseline
+
+import (
+	"sort"
+	"testing"
+
+	"pimgo/internal/adversary"
+	"pimgo/internal/rng"
+)
+
+const space = uint64(1) << 20
+
+func newBL(t *testing.T, p int) *Map[uint64, int64] {
+	t.Helper()
+	return New[uint64, int64](p, 0xBEEF, UniformSplitters(p, space))
+}
+
+func TestBasicOps(t *testing.T) {
+	m := newBL(t, 8)
+	keys := []uint64{100, 200000, 500000, 900000}
+	vals := []int64{1, 2, 3, 4}
+	ins, _ := m.Upsert(keys, vals)
+	for i, in := range ins {
+		if !in {
+			t.Fatalf("key %d not inserted", keys[i])
+		}
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	got, _ := m.Get(keys)
+	for i, g := range got {
+		if !g.Found || g.Value != vals[i] {
+			t.Fatalf("Get(%d) = %+v", keys[i], g)
+		}
+	}
+	found, _ := m.Delete([]uint64{200000, 12345})
+	if !found[0] || found[1] {
+		t.Fatalf("delete flags %v", found)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestSuccessorSpillsAcrossPartitions(t *testing.T) {
+	m := newBL(t, 8)
+	// One key in the last partition; a query in partition 0 must spill all
+	// the way across.
+	m.Upsert([]uint64{space - 10}, []int64{7})
+	res, st := m.Successor([]uint64{5})
+	if !res[0].Found || res[0].Key != space-10 {
+		t.Fatalf("spilled successor = %+v", res[0])
+	}
+	if st.Rounds < 7 {
+		t.Fatalf("expected one round per spilled partition, got %d", st.Rounds)
+	}
+	// No successor at all.
+	res2, _ := m.Successor([]uint64{space - 5})
+	if res2[0].Found {
+		t.Fatalf("expected miss, got %+v", res2[0])
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	m := newBL(t, 16)
+	ref := map[uint64]int64{}
+	r := rng.NewXoshiro256(11)
+	for round := 0; round < 20; round++ {
+		n := 100
+		keys := make([]uint64, n)
+		vals := make([]int64, n)
+		for i := range keys {
+			keys[i] = 1 + r.Uint64n(space-1)
+			vals[i] = int64(r.Uint64n(1 << 30))
+		}
+		m.Upsert(keys, vals)
+		for i := range keys {
+			ref[keys[i]] = vals[i]
+		}
+		dels := make([]uint64, 30)
+		for i := range dels {
+			dels[i] = 1 + r.Uint64n(space-1)
+		}
+		m.Delete(dels)
+		for _, k := range dels {
+			delete(ref, k)
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len %d vs ref %d", m.Len(), len(ref))
+	}
+	// Spot-check gets and successors.
+	var refKeys []uint64
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Slice(refKeys, func(i, j int) bool { return refKeys[i] < refKeys[j] })
+	qs := make([]uint64, 200)
+	for i := range qs {
+		qs[i] = 1 + r.Uint64n(space-1)
+	}
+	succ, _ := m.Successor(qs)
+	for i, q := range qs {
+		j := sort.Search(len(refKeys), func(x int) bool { return refKeys[x] >= q })
+		if j == len(refKeys) {
+			if succ[i].Found {
+				t.Fatalf("Successor(%d) = %+v, want miss", q, succ[i])
+			}
+		} else if !succ[i].Found || succ[i].Key != refKeys[j] {
+			t.Fatalf("Successor(%d) = %+v, want %d", q, succ[i], refKeys[j])
+		}
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	m := newBL(t, 8)
+	var keys []uint64
+	var vals []int64
+	for i := uint64(0); i < 1000; i++ {
+		keys = append(keys, i*1000+1)
+		vals = append(vals, int64(i))
+	}
+	m.Upsert(keys, vals)
+	pairs, _ := m.Range(100000, 200000)
+	want := 0
+	for _, k := range keys {
+		if k >= 100000 && k <= 200000 {
+			want++
+		}
+	}
+	if len(pairs) != want {
+		t.Fatalf("range returned %d pairs, want %d", len(pairs), want)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key <= pairs[i-1].Key {
+			t.Fatal("range pairs not ascending")
+		}
+	}
+}
+
+func TestUniformBatchIsBalanced(t *testing.T) {
+	const P = 16
+	m := newBL(t, P)
+	g := adversary.NewGen(3, space)
+	m.Upsert(g.Batch(adversary.Uniform, 5000), make([]int64, 5000))
+	keys := g.Batch(adversary.Uniform, 2000)
+	_, st := m.Get(keys)
+	if bal := st.PIMBalanceWork(P); bal > 4 {
+		t.Fatalf("uniform workload should be balanced; balance = %f", bal)
+	}
+}
+
+func TestRangeClusterCollapsesOnePartition(t *testing.T) {
+	// The paper's §3.1 criticism: adversarial clustering serializes the
+	// range-partitioned design.
+	const P = 16
+	m := newBL(t, P)
+	g := adversary.NewGen(4, space)
+	m.Upsert(g.Batch(adversary.Uniform, 5000), make([]int64, 5000))
+	keys := g.Batch(adversary.RangeCluster, 2000)
+	_, st := m.Get(keys)
+	// Nearly the whole batch lands in ≤2 partitions: IO time ≈ batch size.
+	if st.IOTime < int64(len(keys)) {
+		t.Fatalf("clustered batch should serialize: IO time %d < batch %d", st.IOTime, len(keys))
+	}
+	if bal := st.PIMBalanceWork(P); bal < float64(P)/4 {
+		t.Fatalf("clustered batch should be imbalanced: balance = %f", bal)
+	}
+}
+
+func TestSplitterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad splitter count")
+		}
+	}()
+	New[uint64, int64](4, 1, []uint64{1, 2})
+}
+
+func TestSplitterOrderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unordered splitters")
+		}
+	}()
+	New[uint64, int64](3, 1, []uint64{5, 5})
+}
+
+func TestLocalSkiplist(t *testing.T) {
+	sl := newSkiplist[uint64, int64](1)
+	ref := map[uint64]int64{}
+	r := rng.NewXoshiro256(2)
+	for i := 0; i < 5000; i++ {
+		k := r.Uint64n(1000)
+		switch r.Intn(3) {
+		case 0:
+			v := int64(r.Uint64n(100))
+			sl.upsert(k, v)
+			ref[k] = v
+		case 1:
+			got, _ := sl.del(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("del(%d) = %v want %v", k, got, want)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok, _ := sl.get(k)
+			wv, wok := ref[k]
+			if ok != wok || (ok && v != wv) {
+				t.Fatalf("get(%d) = %d,%v want %d,%v", k, v, ok, wv, wok)
+			}
+		}
+		if sl.len() != len(ref) {
+			t.Fatalf("len %d vs %d", sl.len(), len(ref))
+		}
+	}
+}
+
+func TestRebalanceRestoresBalanceOnce(t *testing.T) {
+	const P = 16
+	m := newBL(t, P)
+	g := adversary.NewGen(7, space)
+	// Load everything into one narrow cluster: grossly imbalanced storage.
+	keys := g.Batch(adversary.RangeCluster, 4000)
+	m.Upsert(keys, make([]int64, len(keys)))
+	st := m.Rebalance()
+	if st.TotalMsgs < int64(m.Len()) {
+		t.Fatalf("migration moved %d messages for %d keys; should be Θ(n)", st.TotalMsgs, m.Len())
+	}
+	// After rebalancing, a batch on the SAME cluster is balanced...
+	_, after := m.Get(keys[:P*8])
+	if bal := after.PIMBalanceWork(P); bal > 4 {
+		t.Fatalf("post-rebalance batch still imbalanced: %f", bal)
+	}
+	// Everything still present.
+	got, _ := m.Get(keys)
+	for i, gr := range got {
+		if !gr.Found {
+			t.Fatalf("key %d lost in migration", keys[i])
+		}
+	}
+}
+
+func TestRebalanceCannotKeepUpWithAdversary(t *testing.T) {
+	// §3.1's exact claim: even WITH dynamic migration the design suffers —
+	// the adversary clusters each batch at a fresh location, so every batch
+	// lands on (at most a few) partitions no matter how recently we
+	// rebalanced, and each rebalance costs Θ(n) traffic on top.
+	const P = 16
+	m := newBL(t, P)
+	g := adversary.NewGen(8, space)
+	m.Upsert(g.Batch(adversary.Uniform, 4000), make([]int64, 4000))
+	b := P * 8
+	for round := 0; round < 3; round++ {
+		m.Rebalance()                               // migrate eagerly, every round
+		fresh := g.Batch(adversary.RangeCluster, b) // new cluster location
+		m.Upsert(fresh, make([]int64, b))
+		_, st := m.Get(fresh)
+		if bal := st.PIMBalanceWork(P); bal < float64(P)/4 {
+			t.Fatalf("round %d: adversary should still serialize the batch (balance %f)", round, bal)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package baseline implements the prior-work comparator of §2.2/§3.1: a
+// skip list partitioned across PIM modules by disjoint contiguous key
+// ranges, as in Choe et al. [11] and Liu et al. [19]. Each module owns one
+// key range and a module-local sequential skip list; the CPU side routes
+// each operation to its range's module.
+//
+// Under uniformly random keys this is excellent (everything is one message
+// and a local search). Under the adversary-controlled batches the paper
+// considers, every operation can land in a single partition, serializing
+// the batch — the experiments reproduce exactly that collapse.
+package baseline
+
+import (
+	"cmp"
+
+	"pimgo/internal/rng"
+)
+
+// skiplist is a classic sequential skip list used as each module's local
+// structure. Costs (node visits) are reported so the simulator can charge
+// honest PIM work.
+type skiplist[K cmp.Ordered, V any] struct {
+	head     *slNode[K, V]
+	r        *rng.Xoshiro256
+	n        int
+	maxLevel int
+}
+
+type slNode[K cmp.Ordered, V any] struct {
+	key  K
+	val  V
+	neg  bool
+	next []*slNode[K, V]
+}
+
+func newSkiplist[K cmp.Ordered, V any](seed uint64) *skiplist[K, V] {
+	const maxLevel = 32
+	return &skiplist[K, V]{
+		head:     &slNode[K, V]{neg: true, next: make([]*slNode[K, V], maxLevel)},
+		r:        rng.NewXoshiro256(seed),
+		maxLevel: maxLevel,
+	}
+}
+
+func (s *skiplist[K, V]) len() int { return s.n }
+
+// findPreds locates the strict predecessor of k at every level and counts
+// visited nodes.
+func (s *skiplist[K, V]) findPreds(k K) (preds []*slNode[K, V], cost int64) {
+	preds = make([]*slNode[K, V], s.maxLevel)
+	cur := s.head
+	for l := s.maxLevel - 1; l >= 0; l-- {
+		for cur.next[l] != nil && cur.next[l].key < k {
+			cur = cur.next[l]
+			cost++
+		}
+		preds[l] = cur
+		cost++
+	}
+	return preds, cost
+}
+
+// get returns the value for k and the visit cost.
+func (s *skiplist[K, V]) get(k K) (V, bool, int64) {
+	preds, cost := s.findPreds(k)
+	if nx := preds[0].next[0]; nx != nil && nx.key == k {
+		return nx.val, true, cost + 1
+	}
+	var zero V
+	return zero, false, cost
+}
+
+// upsert inserts or updates k and reports whether it inserted.
+func (s *skiplist[K, V]) upsert(k K, v V) (bool, int64) {
+	preds, cost := s.findPreds(k)
+	if nx := preds[0].next[0]; nx != nil && nx.key == k {
+		nx.val = v
+		return false, cost + 1
+	}
+	h := s.r.GeometricHeight(s.maxLevel)
+	nd := &slNode[K, V]{key: k, val: v, next: make([]*slNode[K, V], h)}
+	for l := 0; l < h; l++ {
+		nd.next[l] = preds[l].next[l]
+		preds[l].next[l] = nd
+	}
+	s.n++
+	return true, cost + int64(h)
+}
+
+// del removes k, reporting whether it was present.
+func (s *skiplist[K, V]) del(k K) (bool, int64) {
+	preds, cost := s.findPreds(k)
+	nx := preds[0].next[0]
+	if nx == nil || nx.key != k {
+		return false, cost
+	}
+	for l := 0; l < len(nx.next); l++ {
+		if preds[l].next[l] == nx {
+			preds[l].next[l] = nx.next[l]
+		}
+	}
+	s.n--
+	return true, cost + int64(len(nx.next))
+}
+
+// succ returns the smallest key ≥ k.
+func (s *skiplist[K, V]) succ(k K) (K, V, bool, int64) {
+	preds, cost := s.findPreds(k)
+	if nx := preds[0].next[0]; nx != nil {
+		return nx.key, nx.val, true, cost + 1
+	}
+	var zk K
+	var zv V
+	return zk, zv, false, cost
+}
+
+// scan calls f for each pair with lo ≤ key ≤ hi, in order; returns count
+// and cost.
+func (s *skiplist[K, V]) scan(lo, hi K, f func(K, V)) (int64, int64) {
+	preds, cost := s.findPreds(lo)
+	cur := preds[0].next[0]
+	var count int64
+	for cur != nil && cur.key <= hi {
+		if f != nil {
+			f(cur.key, cur.val)
+		}
+		count++
+		cost++
+		cur = cur.next[0]
+	}
+	return count, cost
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+
+	"pimgo/internal/pim"
+)
+
+// bulkAllocMsg replies the lower-arena addresses reserved by a
+// bulkAllocRun, one message of count words.
+type bulkAllocMsg struct {
+	id    int32
+	addrs []uint32
+}
+
+// nodeInit carries the complete initial state of one node.
+type nodeInit[K cmp.Ordered, V any] struct {
+	addr    uint32
+	isUpper bool
+	key     K
+	val     V
+	level   int8
+
+	left, right pim.Ptr
+	rightKey    K
+	up, down    pim.Ptr
+
+	// Leaf-only:
+	isLeaf                bool
+	localLeft, localRight pim.Ptr
+	upChain               []pim.Ptr
+
+	// Upper-leaf replica-only:
+	nextLeaf pim.Ptr
+}
+
+// bulkInitTask initializes a batch of this module's nodes (one message of
+// ~8 words per node). Upper nodes are allocated at their fixed replicated
+// addresses; lower addresses come from the preceding alloc round.
+type bulkInitTask[K cmp.Ordered, V any] struct {
+	inits []nodeInit[K, V]
+}
+
+func (t *bulkInitTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	for i := range t.inits {
+		in := &t.inits[i]
+		var nd *node[K, V]
+		if in.isUpper {
+			nd = st.upper.AllocAt(in.addr)
+		} else {
+			nd = st.lower.At(in.addr)
+		}
+		nd.key, nd.val, nd.level = in.key, in.val, in.level
+		nd.left, nd.right, nd.rightKey = in.left, in.right, in.rightKey
+		nd.up, nd.down = in.up, in.down
+		nd.nextLeaf = in.nextLeaf
+		c.Charge(1)
+		if in.isLeaf {
+			nd.localLeft, nd.localRight = in.localLeft, in.localRight
+			nd.upChain = in.upChain
+			p0 := st.ht.Probes
+			st.ht.Put(in.key, in.addr)
+			c.Charge(st.ht.Probes - p0)
+		}
+	}
+}
+
+// bulkAllocRun is the module side of the alloc round.
+type bulkAllocRun[K cmp.Ordered, V any] struct {
+	id    int32
+	count int32
+}
+
+func (t *bulkAllocRun[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	addrs := make([]uint32, t.count)
+	for i := range addrs {
+		a, _ := st.lower.Alloc()
+		addrs[i] = a
+	}
+	c.Charge(int64(t.count))
+	c.ReplyWords(bulkAllocMsg{id: t.id, addrs: addrs}, int64(t.count))
+}
+
+// bulkLocalLinkTask splices this module's new leaves (already initialized,
+// ascending) into the local leaf list and repairs sentinel links — pure
+// local O(count) work.
+type bulkLocalLinkTask[K cmp.Ordered, V any] struct {
+	leaves []uint32 // ascending by key
+}
+
+func (t *bulkLocalLinkTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	prev := pim.LowerPtr(st.id, st.localHead)
+	for _, addr := range t.leaves {
+		cur := pim.LowerPtr(st.id, addr)
+		st.resolve(prev).localRight = cur
+		st.lower.At(addr).localLeft = prev
+		prev = cur
+		c.Charge(1)
+	}
+	tail := pim.LowerPtr(st.id, st.localTail)
+	st.resolve(prev).localRight = tail
+	st.lower.At(st.localTail).localLeft = prev
+	c.Charge(1)
+}
+
+// BulkLoad constructs the structure from strictly ascending unique
+// key-value pairs in O(1) network rounds with O(n/P)-whp per-module cost —
+// far cheaper than iterated Upsert batches, because the CPU side knows the
+// final shape and writes every pointer exactly once (no searches).
+//
+// The map must be freshly constructed (no operations executed yet); the
+// keys must be strictly ascending. BulkLoad is a construction-time utility:
+// its CPU-side staging is O(n) words, deliberately outside the M-word
+// online constraint (the model assumes the *input* of an algorithm already
+// resides in PIM modules; BulkLoad is how it gets there).
+func (m *Map[K, V]) BulkLoad(keys []K, vals []V) BatchStats {
+	if len(keys) != len(vals) {
+		panic("core: BulkLoad keys/vals length mismatch")
+	}
+	if m.n != 0 {
+		panic("core: BulkLoad requires an empty, freshly constructed map")
+	}
+	tr, c := m.beginBatch()
+	n := len(keys)
+	if n == 0 {
+		return m.endBatch(tr, c, 0, 0, 0)
+	}
+	// Staging is Θ(n) shared-memory words — declared, so the reported min-M
+	// makes the construction-vs-online trade-off visible.
+	c.Tracker().Alloc(int64(4 * n))
+	defer c.Tracker().Free(int64(4 * n))
+	c.WorkFlat(int64(n))
+	for i := 1; i < n; i++ {
+		if keys[i] <= keys[i-1] {
+			panic(fmt.Sprintf("core: BulkLoad keys not strictly ascending at %d", i))
+		}
+	}
+
+	cfg := m.cfg
+	// Heights and per-level membership.
+	heights := make([]int8, n)
+	maxH := 1
+	c.WorkFlat(int64(n))
+	for i := range heights {
+		h := m.r.GeometricHeight(cfg.MaxLevel - 1)
+		heights[i] = int8(h)
+		if h > maxH {
+			maxH = h
+		}
+	}
+
+	// Count lower nodes per module and allocate.
+	perMod := make([][]int, cfg.P) // perMod[mod] = flat list of (i*hLow+level) encodings
+	c.WorkFlat(int64(n))
+	for i, k := range keys {
+		kh := m.hashKey(k)
+		hl := min(int(heights[i]), cfg.HLow)
+		for l := 0; l < hl; l++ {
+			mod := m.moduleFor(kh, l)
+			perMod[mod] = append(perMod[mod], i*cfg.HLow+l)
+		}
+	}
+	var sends []pim.Send[*modState[K, V]]
+	for mod, list := range perMod {
+		if len(list) == 0 {
+			continue
+		}
+		sends = append(sends, pim.Send[*modState[K, V]]{
+			To: pim.ModuleID(mod), Task: &bulkAllocRun[K, V]{id: int32(mod), count: int32(len(list))},
+		})
+	}
+	addrOf := make([]pim.Ptr, n*cfg.HLow) // (i, l<hLow) → ptr
+	replies, follow := m.mach.Round(sends)
+	if len(follow) != 0 {
+		panic("core: unexpected follow-ups in bulk alloc")
+	}
+	c.WorkFlat(int64(n))
+	for _, r := range replies {
+		msg := r.V.(bulkAllocMsg)
+		for i, enc := range perMod[msg.id] {
+			addrOf[enc] = pim.LowerPtr(pim.ModuleID(msg.id), msg.addrs[i])
+		}
+	}
+
+	// Upper addresses (CPU-side allocator, replicated).
+	towers := make([][]pim.Ptr, n)
+	for i := range towers {
+		towers[i] = make([]pim.Ptr, heights[i])
+		hl := min(int(heights[i]), cfg.HLow)
+		for l := 0; l < hl; l++ {
+			towers[i][l] = addrOf[i*cfg.HLow+l]
+		}
+		for l := cfg.HLow; l < int(heights[i]); l++ {
+			towers[i][l] = pim.UpperPtr(m.allocUpper())
+		}
+	}
+	c.WorkFlat(int64(n))
+
+	// Per-level horizontal links (heads are the -∞ sentinels).
+	type link struct {
+		left, right pim.Ptr
+		rightKey    K
+		hasRight    bool
+	}
+	links := make(map[pim.Ptr]link, 2*n)
+	for l := 0; l < maxH; l++ {
+		prev := m.levelHead(l)
+		for i := 0; i < n; i++ {
+			if int(heights[i]) <= l {
+				continue
+			}
+			cur := towers[i][l]
+			pl := links[prev]
+			pl.right, pl.rightKey, pl.hasRight = cur, keys[i], true
+			links[prev] = pl
+			cl := links[cur]
+			cl.left = prev
+			links[cur] = cl
+			prev = cur
+		}
+	}
+	c.WorkFlat(int64(2 * n))
+
+	// Sentinel link updates (their left/right/rightKey may change).
+	sends = sends[:0]
+	for l := 0; l < maxH; l++ {
+		head := m.levelHead(l)
+		if hl, ok := links[head]; ok && hl.hasRight {
+			sends = append(sends, m.sendToOwner(head, &writeRightTask[K, V]{target: head, right: hl.right, rightKey: hl.rightKey}, 2)...)
+		}
+	}
+
+	// Build per-module init lists.
+	inits := make([][]nodeInit[K, V], cfg.P)
+	add := func(mod pim.ModuleID, in nodeInit[K, V]) {
+		inits[mod] = append(inits[mod], in)
+	}
+	// Per-module leaf lists (ascending — keys already sorted).
+	modLeaves := make([][]uint32, cfg.P)
+	modLeafKeys := make([][]K, cfg.P)
+	for i := 0; i < n; i++ {
+		tw := towers[i]
+		var chain []pim.Ptr
+		if len(tw) > 1 {
+			chain = append([]pim.Ptr(nil), tw[1:]...)
+		}
+		for l := 0; l < len(tw); l++ {
+			lk := links[tw[l]]
+			in := nodeInit[K, V]{
+				addr: tw[l].Addr(), isUpper: tw[l].IsUpper(),
+				key: keys[i], level: int8(l),
+				left: lk.left, right: lk.right, rightKey: lk.rightKey,
+			}
+			if l > 0 {
+				in.down = tw[l-1]
+			}
+			if l+1 < len(tw) {
+				in.up = tw[l+1]
+			}
+			if l == 0 {
+				in.isLeaf = true
+				in.val = vals[i]
+				in.upChain = chain
+				mod := tw[0].ModuleOf()
+				modLeaves[mod] = append(modLeaves[mod], tw[0].Addr())
+				modLeafKeys[mod] = append(modLeafKeys[mod], keys[i])
+			}
+			if tw[l].IsUpper() {
+				// Replicated: one init per module. The per-module
+				// next-leaf is filled in the second pass below, once the
+				// per-module leaf sets are complete.
+				for mod := 0; mod < cfg.P; mod++ {
+					add(pim.ModuleID(mod), in)
+				}
+			} else {
+				add(tw[l].ModuleOf(), in)
+			}
+		}
+	}
+	c.WorkFlat(int64(2 * n))
+
+	// Second pass: next-leaf for upper-leaf replicas, now that the
+	// per-module leaf sets are complete.
+	for mod := range inits {
+		for j := range inits[mod] {
+			in := &inits[mod][j]
+			if in.isUpper && int(in.level) == cfg.HLow {
+				in.nextLeaf = m.bulkNextLeaf(pim.ModuleID(mod), in.key, modLeafKeys[mod], modLeaves[mod])
+			}
+		}
+	}
+	// The -∞ upper leaf's next-leaf must also point at the first local leaf.
+	for mod := 0; mod < cfg.P; mod++ {
+		negNL := pim.LowerPtr(pim.ModuleID(mod), m.mach.Mod(pim.ModuleID(mod)).State.localTail)
+		if len(modLeaves[mod]) > 0 {
+			negNL = pim.LowerPtr(pim.ModuleID(mod), modLeaves[mod][0])
+		}
+		sends = append(sends, pim.Send[*modState[K, V]]{
+			To:    pim.ModuleID(mod),
+			Task:  &writeNextLeafTask[K, V]{target: pim.UpperPtr(m.sentUpper[len(m.sentUpper)-1]), nextLeaf: negNL},
+			Words: 2,
+		})
+	}
+	c.WorkFlat(int64(cfg.P))
+
+	// Init round + local list link round, batched per module.
+	for mod := 0; mod < cfg.P; mod++ {
+		if len(inits[mod]) > 0 {
+			sends = append(sends, pim.Send[*modState[K, V]]{
+				To:    pim.ModuleID(mod),
+				Task:  &bulkInitTask[K, V]{inits: inits[mod]},
+				Words: int64(8 * len(inits[mod])),
+			})
+		}
+	}
+	m.drive(c, sends)
+	sends = sends[:0]
+	for mod := 0; mod < cfg.P; mod++ {
+		if len(modLeaves[mod]) > 0 {
+			sends = append(sends, pim.Send[*modState[K, V]]{
+				To:    pim.ModuleID(mod),
+				Task:  &bulkLocalLinkTask[K, V]{leaves: modLeaves[mod]},
+				Words: int64(len(modLeaves[mod])),
+			})
+		}
+	}
+	m.drive(c, sends)
+
+	m.n = n
+	return m.endBatch(tr, c, n, 0, 0)
+}
+
+// bulkNextLeaf finds, for an upper leaf with key k in module mod, the first
+// local leaf ≥ k (or the local tail sentinel).
+func (m *Map[K, V]) bulkNextLeaf(mod pim.ModuleID, k K, leafKeys []K, leaves []uint32) pim.Ptr {
+	j := sort.Search(len(leafKeys), func(x int) bool { return leafKeys[x] >= k })
+	if j == len(leaves) {
+		return pim.LowerPtr(mod, m.mach.Mod(mod).State.localTail)
+	}
+	return pim.LowerPtr(mod, leaves[j])
+}
+
+// writeNextLeafTask overwrites the next-leaf field of one replica.
+type writeNextLeafTask[K cmp.Ordered, V any] struct {
+	target   pim.Ptr
+	nextLeaf pim.Ptr
+}
+
+func (t *writeNextLeafTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	st.resolve(t.target).nextLeaf = t.nextLeaf
+	c.Charge(1)
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+
+	"pimgo/internal/rng"
+)
+
+func sortedKeys(n int, seed uint64) ([]uint64, []int64) {
+	r := rng.NewXoshiro256(seed)
+	seen := map[uint64]bool{}
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := 1 + r.Uint64n(uint64(n)*100)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	// Insertion-sort-free: sort via stdlib in the test.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(keys[i] * 7)
+	}
+	return keys, vals
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16} {
+		m := newTestMap(t, p)
+		keys, vals := sortedKeys(500, uint64(p))
+		st := m.BulkLoad(keys, vals)
+		if m.Len() != 500 {
+			t.Fatalf("P=%d: Len = %d", p, m.Len())
+		}
+		mustCheck(t, m)
+		if st.Rounds > 4 {
+			t.Fatalf("P=%d: bulk load took %d rounds, want O(1)", p, st.Rounds)
+		}
+		got, _ := m.Get(keys)
+		for i, g := range got {
+			if !g.Found || g.Value != vals[i] {
+				t.Fatalf("P=%d: Get(%d) = %+v, want %d", p, keys[i], g, vals[i])
+			}
+		}
+	}
+}
+
+func TestBulkLoadMatchesUpsert(t *testing.T) {
+	keys, vals := sortedKeys(800, 3)
+	mb := newTestMap(t, 8)
+	mb.BulkLoad(keys, vals)
+	mu := newTestMap(t, 8)
+	mu.Upsert(keys, vals)
+	mustCheck(t, mb)
+	mustCheck(t, mu)
+
+	// Same logical content (physical layout differs: independent coins).
+	gb := mb.KeysInOrder()
+	gu := mu.KeysInOrder()
+	if len(gb) != len(gu) {
+		t.Fatalf("bulk %d keys vs upsert %d", len(gb), len(gu))
+	}
+	for i := range gb {
+		if gb[i] != gu[i] {
+			t.Fatalf("key order differs at %d", i)
+		}
+	}
+	// Queries agree.
+	r := rng.NewXoshiro256(4)
+	qs := make([]uint64, 300)
+	for i := range qs {
+		qs[i] = r.Uint64n(80000)
+	}
+	sb, _ := mb.Successor(qs)
+	su, _ := mu.Successor(qs)
+	for i := range sb {
+		if sb[i] != su[i] {
+			t.Fatalf("successor(%d) differs: %+v vs %+v", qs[i], sb[i], su[i])
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	m := newTestMap(t, 8)
+	keys, vals := sortedKeys(1000, 5)
+	m.BulkLoad(keys, vals)
+	// Interleave all batch operations on the bulk-loaded structure.
+	m.Upsert([]uint64{keys[10] + 1, keys[20] + 1}, []int64{-1, -2})
+	m.Delete(keys[100:200])
+	mustCheck(t, m)
+	if m.Len() != 1000+2-100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	s, _ := m.SuccessorOne(keys[99] + 1)
+	if !s.Found || s.Key != keys[200] {
+		// keys[100..199] deleted; the next survivor is keys[200] unless an
+		// upserted key fell in between.
+		if s.Key != keys[20]+1 || keys[20]+1 <= keys[99] {
+			t.Fatalf("successor after bulk+delete = %+v", s)
+		}
+	}
+	rr, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: 0, Hi: 1 << 62, Kind: RangeCount})
+	if rr.Count != int64(m.Len()) {
+		t.Fatalf("range count %d vs Len %d", rr.Count, m.Len())
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	m := newTestMap(t, 4)
+	st := m.BulkLoad(nil, nil)
+	if st.Batch != 0 || m.Len() != 0 {
+		t.Fatal("empty bulk load should be a no-op")
+	}
+	mustCheck(t, m)
+}
+
+func TestBulkLoadSingle(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.BulkLoad([]uint64{42}, []int64{420})
+	mustCheck(t, m)
+	g, _ := m.GetOne(42)
+	if !g.Found || g.Value != 420 {
+		t.Fatalf("got %+v", g)
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	m := newTestMap(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted keys")
+		}
+	}()
+	m.BulkLoad([]uint64{2, 1}, []int64{0, 0})
+}
+
+func TestBulkLoadRejectsDuplicates(t *testing.T) {
+	m := newTestMap(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate keys")
+		}
+	}()
+	m.BulkLoad([]uint64{1, 1}, []int64{0, 0})
+}
+
+func TestBulkLoadRejectsNonEmpty(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{5}, []int64{5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-empty map")
+		}
+	}()
+	m.BulkLoad([]uint64{1}, []int64{1})
+}
+
+func TestBulkLoadCheaperThanUpsert(t *testing.T) {
+	keys, vals := sortedKeys(4000, 7)
+	mb := newTestMap(t, 16)
+	stB := mb.BulkLoad(keys, vals)
+	mu := newTestMap(t, 16)
+	_, stU := mu.Upsert(keys, vals)
+	if stB.Rounds >= stU.Rounds {
+		t.Fatalf("bulk load rounds %d should beat upsert rounds %d", stB.Rounds, stU.Rounds)
+	}
+	if stB.IOTime >= stU.IOTime {
+		t.Fatalf("bulk load IO %d should beat upsert IO %d", stB.IOTime, stU.IOTime)
+	}
+}
+
+func TestBulkLoadLarge(t *testing.T) {
+	m := newTestMap(t, 32)
+	keys, vals := sortedKeys(20000, 9)
+	m.BulkLoad(keys, vals)
+	mustCheck(t, m)
+	// Balance: per-module nodes near uniform (Thm 3.1 applies to the
+	// bulk-built structure too).
+	lower, upper := m.NodeCounts()
+	var tot, maxm int64
+	for i := range lower {
+		s := lower[i] + upper[i]
+		tot += s
+		if s > maxm {
+			maxm = s
+		}
+	}
+	if ratio := float64(maxm) / (float64(tot) / 32); ratio > 1.3 {
+		t.Fatalf("bulk-loaded structure imbalanced: %f", ratio)
+	}
+}
+
+func TestBulkLoadThenRangeOps(t *testing.T) {
+	// The sweep relies on every rightKey cache; a bulk-built structure must
+	// serve both range strategies and the hybrid correctly.
+	m := newTestMap(t, 8)
+	keys, vals := sortedKeys(3000, 21)
+	m.BulkLoad(keys, vals)
+	for _, rg := range [][2]int{{0, 2999}, {100, 150}, {2990, 2999}} {
+		lo, hi := keys[rg[0]], keys[rg[1]]
+		want := int64(rg[1] - rg[0] + 1)
+		b, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: RangeCount})
+		tr, _ := m.RangeTreeOne(RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: RangeCount})
+		a, _ := m.RangeAuto([]RangeOp[uint64, int64]{{Lo: lo, Hi: hi, Kind: RangeCount}})
+		if b.Count != want || tr.Count != want || a[0].Count != want {
+			t.Fatalf("range [%d,%d]: bcast %d tree %d auto %d want %d",
+				lo, hi, b.Count, tr.Count, a[0].Count, want)
+		}
+	}
+	// Successor across the whole bulk structure.
+	succ, _ := m.Successor([]uint64{keys[0] - 1, keys[1500] + 1, keys[2999] + 1})
+	if !succ[0].Found || succ[0].Key != keys[0] {
+		t.Fatalf("succ before min = %+v", succ[0])
+	}
+	if succ[2].Found {
+		t.Fatalf("succ past max = %+v", succ[2])
+	}
+}

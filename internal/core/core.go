@@ -1,0 +1,416 @@
+// Package core implements the paper's primary contribution: a PIM-balanced
+// batch-parallel skip list (§3–§5 of "The Processing-in-Memory Model",
+// SPAA 2021).
+//
+// # Structure (Fig. 2)
+//
+// The skip list is divided horizontally at height HLow (default log2 P):
+//
+//   - The upper part (levels ≥ HLow) is replicated in every PIM module at
+//     identical local addresses, so upper-part traversal is always local.
+//   - The lower part (levels < HLow) is distributed: the node for (key,
+//     level) lives in module Hash(key, level) mod P, independently at every
+//     level — the "selective randomization" that load-balances access
+//     without destroying locality.
+//
+// Each node carries the usual left/right/up/down pointers (solid pointers
+// in Fig. 2). For range operations, leaves additionally carry local-left/
+// local-right pointers forming a per-module local leaf list, and each
+// upper-part leaf replica carries a next-leaf pointer to its successor in
+// that module's local leaf list (dashed pointers in Fig. 2).
+//
+// Every right pointer is accompanied by a cached copy of the neighbour's
+// key (rightKey). A plain distributed skip list would pay one extra message
+// to read a remote neighbour's key before deciding to move; caching the key
+// with the pointer makes every traversal decision local to the current
+// node, which is how the paper can count one IO message per lower-part node
+// on a search path. The cache is maintained by the same single-assignment
+// writes that maintain the pointers themselves.
+//
+// # Operations
+//
+// All seven operations are provided in adversary-safe batch form — Get,
+// Update, Predecessor, Successor, Upsert, Delete, and range operations in
+// both broadcast (§5.1) and tree-structure (§5.2) forms — plus single-op
+// variants used by the batch implementations. Every batch returns a
+// BatchStats with the model's cost metrics measured for that batch.
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"math/bits"
+
+	"pimgo/internal/hashtab"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+)
+
+// Config configures a Map. The zero value of optional fields selects the
+// paper's defaults.
+type Config struct {
+	// P is the number of PIM modules. Required, ≥ 2.
+	P int
+	// Seed drives all algorithmic randomness (node placement hash, tower
+	// heights, pivot-free tie breaking). Runs with equal seeds are
+	// bit-identical.
+	Seed uint64
+	// HLow is the height of the lower (distributed) part. 0 selects the
+	// paper's ceil(log2 P). The ablation experiments sweep it.
+	HLow int
+	// MaxLevel caps tower heights (and fixes the -∞ sentinel tower height).
+	// 0 selects 40, enough for 2^40 keys in expectation.
+	MaxLevel int
+	// PivotSpacing is the number of batch operations per pivot segment in
+	// stage 1 of batched Successor/Predecessor (§4.2). 0 selects the
+	// paper's ceil(log2 P).
+	PivotSpacing int
+	// NoDedup disables the semisort deduplication of Get/Update batches
+	// (ablation ABL-DEDUP; §4.1 explains why dedup is needed).
+	NoDedup bool
+	// NaiveBatch disables the pivot machinery of batched Successor/
+	// Predecessor, reproducing the PIM-imbalanced naive execution of §4.2.
+	NaiveBatch bool
+	// TrackAccess enables per-node access counters used by the Lemma 4.2
+	// contention experiments (small constant overhead).
+	TrackAccess bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.P < 2 {
+		panic(fmt.Sprintf("core: Config.P must be >= 2, got %d", c.P))
+	}
+	if c.HLow == 0 {
+		c.HLow = logCeil(c.P)
+	}
+	if c.MaxLevel == 0 {
+		c.MaxLevel = 40
+	}
+	if c.MaxLevel <= c.HLow {
+		c.MaxLevel = c.HLow + 8
+	}
+	if c.PivotSpacing == 0 {
+		c.PivotSpacing = logCeil(c.P)
+	}
+	return c
+}
+
+func logCeil(p int) int {
+	if p <= 1 {
+		return 1
+	}
+	return bits.Len(uint(p - 1))
+}
+
+// node is one skip-list node. Lower-part nodes live in the private arena of
+// their hash-assigned module; upper-part nodes live at the same address in
+// every module's upper arena.
+type node[K cmp.Ordered, V any] struct {
+	key   K
+	val   V    // meaningful at level 0 only
+	level int8 // 0 = leaf
+	neg   bool // -∞ sentinel tower
+	pos   bool // +∞ local-list tail sentinel (module-local only)
+
+	left, right pim.Ptr
+	up, down    pim.Ptr
+	rightKey    K // key of right neighbour; valid iff right != nil
+
+	// Leaf-only fields.
+	localLeft, localRight pim.Ptr   // module-local leaf list (Fig. 2 dashed)
+	upChain               []pim.Ptr // this key's tower nodes at levels 1.. (for Delete)
+	deleted               bool
+
+	// Upper-part-leaf replica-only field: successor of this key in THIS
+	// module's local leaf list (Fig. 2 dashed next-leaf).
+	nextLeaf pim.Ptr
+}
+
+// less orders node n against key k, honouring sentinels.
+func nodeKeyLess[K cmp.Ordered, V any](n *node[K, V], k K) bool {
+	if n.neg {
+		return true
+	}
+	if n.pos {
+		return false
+	}
+	return n.key < k
+}
+
+// modState is one module's private memory.
+type modState[K cmp.Ordered, V any] struct {
+	id    pim.ModuleID
+	lower pim.Arena[node[K, V]]
+	upper pim.Arena[node[K, V]]
+	ht    *hashtab.Table[K, uint32] // key → leaf address in lower arena
+
+	localHead uint32 // -∞ sentinel of the module-local leaf list
+	localTail uint32 // +∞ sentinel of the module-local leaf list
+
+	// Lemma 4.2 instrumentation: per-phase access counts of lower nodes.
+	access    map[uint32]int64
+	maxAccess int64
+}
+
+// Map is the PIM skip list. Create with New; methods are not safe for
+// concurrent use (the model executes one batch at a time).
+type Map[K cmp.Ordered, V any] struct {
+	cfg     Config
+	hashKey func(K) uint64
+	hasher  rng.Hasher
+	mach    *pim.Machine[*modState[K, V]]
+	r       *rng.Xoshiro256
+
+	// CPU-side allocator for replicated upper addresses: every module's
+	// upper arena mirrors these allocations in the same order.
+	upperNext uint32
+	upperFree []uint32
+
+	rootAddr uint32 // upper address of the -∞ node at the top level
+	n        int    // number of live keys
+
+	// Sentinel tower pointers, for introspection (checker, traces):
+	// sentUpper[i] is the -∞ upper node at level MaxLevel-1-i;
+	// sentLower[l] is the -∞ lower node at level l (l < HLow).
+	sentUpper []uint32
+	sentLower []pim.Ptr
+
+	// lastPhases traces the pivot phases of the most recent batched search
+	// (Fig. 3 reproduction; see fig.go).
+	lastPhases []PhaseInfo
+
+	// sentHash is the pseudo key-hash of the -∞ tower, fixing the modules
+	// that host its lower-part nodes.
+	sentHash uint64
+}
+
+// New constructs an empty Map on a fresh PIM machine. hash reduces keys to
+// 64 bits for placement and module-local hash tables; it must be
+// deterministic. See Uint64Hash and StringHash for ready-made hashers.
+func New[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) *Map[K, V] {
+	cfg = cfg.withDefaults()
+	m := &Map[K, V]{
+		cfg:      cfg,
+		hashKey:  hash,
+		hasher:   rng.NewHasher(cfg.Seed),
+		r:        rng.NewXoshiro256(cfg.Seed ^ 0x9bf),
+		sentHash: rng.Mix64(cfg.Seed ^ 0x5e117),
+	}
+	m.mach = pim.NewMachine(cfg.P, func(id pim.ModuleID) *modState[K, V] {
+		st := &modState[K, V]{
+			id: id,
+			ht: hashtab.New[K, uint32](cfg.Seed^uint64(id)*0x9e37, 64, hash),
+		}
+		// Local leaf-list sentinels. (Re-resolve after both allocations:
+		// Alloc may grow the arena and invalidate earlier node pointers.)
+		st.localHead, _ = st.lower.Alloc()
+		st.localTail, _ = st.lower.Alloc()
+		h, t := st.lower.At(st.localHead), st.lower.At(st.localTail)
+		h.neg, t.pos = true, true
+		h.localRight = pim.LowerPtr(id, st.localTail)
+		t.localLeft = pim.LowerPtr(id, st.localHead)
+		if cfg.TrackAccess {
+			st.access = make(map[uint32]int64)
+		}
+		return st
+	})
+	m.initSentinelTower()
+	return m
+}
+
+// Uint64Hash is a ready-made key hasher for uint64 keys.
+func Uint64Hash(k uint64) uint64 { return rng.Mix64(k) }
+
+// Int64Hash is a ready-made key hasher for int64 keys.
+func Int64Hash(k int64) uint64 { return rng.Mix64(uint64(k)) }
+
+// IntHash is a ready-made key hasher for int keys.
+func IntHash(k int) uint64 { return rng.Mix64(uint64(int64(k))) }
+
+// StringHash is a ready-made key hasher for string keys (FNV-1a).
+func StringHash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// moduleFor returns the module that hosts the lower-part node of the key
+// with hash kh at level.
+func (m *Map[K, V]) moduleFor(kh uint64, level int) pim.ModuleID {
+	return pim.ModuleID(m.hasher.HashMod(kh, level, m.cfg.P))
+}
+
+// allocUpper reserves a replicated upper address (CPU side).
+func (m *Map[K, V]) allocUpper() uint32 {
+	if n := len(m.upperFree); n > 0 {
+		a := m.upperFree[n-1]
+		m.upperFree = m.upperFree[:n-1]
+		return a
+	}
+	a := m.upperNext
+	m.upperNext++
+	return a
+}
+
+func (m *Map[K, V]) freeUpper(addr uint32) {
+	m.upperFree = append(m.upperFree, addr)
+}
+
+// initSentinelTower builds the -∞ tower: upper nodes (replicated) at levels
+// MaxLevel-1 .. HLow, lower nodes at levels HLow-1 .. 0 hosted in the
+// sentinel's hash-assigned modules. Built directly (no metered rounds):
+// construction precedes all measurements.
+func (m *Map[K, V]) initSentinelTower() {
+	cfg := m.cfg
+	// Upper part, top to HLow.
+	upperAddrs := make([]uint32, 0, cfg.MaxLevel-cfg.HLow)
+	for l := cfg.MaxLevel - 1; l >= cfg.HLow; l-- {
+		addr := m.allocUpper()
+		upperAddrs = append(upperAddrs, addr)
+		for id := 0; id < cfg.P; id++ {
+			st := m.mach.Mod(pim.ModuleID(id)).State
+			nd := st.upper.AllocAt(addr)
+			nd.neg = true
+			nd.level = int8(l)
+		}
+	}
+	m.rootAddr = upperAddrs[0]
+	// Link upper down/up pointers.
+	for i := 0; i+1 < len(upperAddrs); i++ {
+		for id := 0; id < cfg.P; id++ {
+			st := m.mach.Mod(pim.ModuleID(id)).State
+			st.upper.At(upperAddrs[i]).down = pim.UpperPtr(upperAddrs[i+1])
+			st.upper.At(upperAddrs[i+1]).up = pim.UpperPtr(upperAddrs[i])
+		}
+	}
+	m.sentUpper = upperAddrs
+	m.sentLower = make([]pim.Ptr, cfg.HLow)
+	// Lower part of the sentinel tower.
+	var prev pim.Ptr // node above (first lower link target is the bottom upper node)
+	prev = pim.UpperPtr(upperAddrs[len(upperAddrs)-1])
+	for l := cfg.HLow - 1; l >= 0; l-- {
+		mod := m.moduleFor(m.sentHash, l)
+		st := m.mach.Mod(mod).State
+		addr, nd := st.lower.Alloc()
+		nd.neg = true
+		nd.level = int8(l)
+		ptr := pim.LowerPtr(mod, addr)
+		m.sentLower[l] = ptr
+		// Link to the node above.
+		if prev.IsUpper() {
+			for id := 0; id < cfg.P; id++ {
+				m.mach.Mod(pim.ModuleID(id)).State.upper.At(prev.Addr()).down = ptr
+			}
+		} else {
+			m.mach.Mod(prev.ModuleOf()).State.lower.At(prev.Addr()).down = ptr
+		}
+		nd.up = prev
+		prev = ptr
+	}
+	// Per-module next-leaf of every upper sentinel replica: the first local
+	// leaf (= localTail while empty).
+	for id := 0; id < cfg.P; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		st.upper.At(upperAddrs[len(upperAddrs)-1]).nextLeaf = pim.LowerPtr(pim.ModuleID(id), st.localTail)
+	}
+}
+
+// Len returns the number of keys in the map.
+func (m *Map[K, V]) Len() int { return m.n }
+
+// P returns the number of PIM modules.
+func (m *Map[K, V]) P() int { return m.cfg.P }
+
+// Config returns the effective configuration (defaults resolved).
+func (m *Map[K, V]) Config() Config { return m.cfg }
+
+// Machine exposes the underlying PIM machine (read-only use: metrics).
+func (m *Map[K, V]) Machine() *pim.Machine[*modState[K, V]] { return m.mach }
+
+// SpaceWords returns the per-module memory footprint in words (node slots ×
+// node size estimate + hash-table words) — the Theorem 3.1 measurement.
+func (m *Map[K, V]) SpaceWords() []int64 {
+	const nodeWords = 12 // key, val, flags, 6 pointers + cached key, chain header
+	out := make([]int64, m.cfg.P)
+	for id := 0; id < m.cfg.P; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		out[id] = int64(st.lower.Cap()+st.upper.Cap())*nodeWords + st.ht.Words()
+	}
+	return out
+}
+
+// NodeCounts returns per-module (lower, upper) live node counts.
+func (m *Map[K, V]) NodeCounts() (lower, upper []int64) {
+	lower = make([]int64, m.cfg.P)
+	upper = make([]int64, m.cfg.P)
+	for id := 0; id < m.cfg.P; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		lower[id] = int64(st.lower.Len())
+		upper[id] = int64(st.upper.Len())
+	}
+	return
+}
+
+// resolve returns the node a pointer targets within module state st.
+// Lower pointers must belong to st's module.
+func (st *modState[K, V]) resolve(p pim.Ptr) *node[K, V] {
+	if p.IsUpper() {
+		return st.upper.At(p.Addr())
+	}
+	if p.ModuleOf() != st.id {
+		panic(fmt.Sprintf("core: module %d resolving foreign pointer %v", st.id, p))
+	}
+	return st.lower.At(p.Addr())
+}
+
+// localTo reports whether p can be dereferenced locally by module st.
+func (st *modState[K, V]) localTo(p pim.Ptr) bool {
+	return p.IsUpper() || p.ModuleOf() == st.id
+}
+
+// track counts an access to a lower node for the Lemma 4.2 experiments.
+func (st *modState[K, V]) track(addr uint32) {
+	if st.access == nil {
+		return
+	}
+	st.access[addr]++
+	if c := st.access[addr]; c > st.maxAccess {
+		st.maxAccess = c
+	}
+}
+
+// resetAccessPhase clears per-phase access counters on every module
+// (instrumentation only; runs between rounds, unmetered).
+func (m *Map[K, V]) resetAccessPhase() {
+	if !m.cfg.TrackAccess {
+		return
+	}
+	for id := 0; id < m.cfg.P; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		clear(st.access)
+	}
+}
+
+// maxAccessThisPhase returns the largest per-node access count recorded in
+// the current phase across all modules.
+func (m *Map[K, V]) maxAccessThisPhase() int64 {
+	var mx int64
+	for id := 0; id < m.cfg.P; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		for _, c := range st.access {
+			if c > mx {
+				mx = c
+			}
+		}
+	}
+	return mx
+}
+
+// resetMaxAccess clears the all-time per-node maxima (kept across phases).
+func (m *Map[K, V]) resetMaxAccess() {
+	for id := 0; id < m.cfg.P; id++ {
+		m.mach.Mod(pim.ModuleID(id)).State.maxAccess = 0
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"pimgo/internal/rng"
+)
+
+// refModel is the oracle: a plain sorted map.
+type refModel struct {
+	m map[uint64]int64
+}
+
+func newRef() *refModel { return &refModel{m: map[uint64]int64{}} }
+
+func (r *refModel) sortedKeys() []uint64 {
+	ks := make([]uint64, 0, len(r.m))
+	for k := range r.m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func (r *refModel) successor(k uint64) (uint64, int64, bool) {
+	var bk uint64
+	found := false
+	for key := range r.m {
+		if key >= k && (!found || key < bk) {
+			bk, found = key, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return bk, r.m[bk], true
+}
+
+func (r *refModel) predecessor(k uint64) (uint64, int64, bool) {
+	var bk uint64
+	found := false
+	for key := range r.m {
+		if key <= k && (!found || key > bk) {
+			bk, found = key, true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return bk, r.m[bk], true
+}
+
+func newTestMap(t *testing.T, p int, opts ...func(*Config)) *Map[uint64, int64] {
+	t.Helper()
+	cfg := Config{P: p, Seed: 0xC0FFEE, TrackAccess: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New[uint64, int64](cfg, Uint64Hash)
+}
+
+func mustCheck(t *testing.T, m *Map[uint64, int64]) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+func TestEmptyMapInvariants(t *testing.T) {
+	for _, p := range []int{2, 4, 7, 16} {
+		m := newTestMap(t, p)
+		mustCheck(t, m)
+		if m.Len() != 0 {
+			t.Fatalf("P=%d: empty map Len = %d", p, m.Len())
+		}
+	}
+}
+
+func TestUpsertThenGet(t *testing.T) {
+	m := newTestMap(t, 4)
+	keys := []uint64{10, 20, 30, 40, 50}
+	vals := []int64{1, 2, 3, 4, 5}
+	ins, _ := m.Upsert(keys, vals)
+	for i, in := range ins {
+		if !in {
+			t.Fatalf("key %d should be newly inserted", keys[i])
+		}
+	}
+	mustCheck(t, m)
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	res, _ := m.Get(keys)
+	for i, r := range res {
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("Get(%d) = %+v, want %d", keys[i], r, vals[i])
+		}
+	}
+	if r, _ := m.GetOne(99); r.Found {
+		t.Fatal("Get(99) should miss")
+	}
+}
+
+func TestUpsertUpdatesExisting(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{1, 2, 3}, []int64{10, 20, 30})
+	ins, _ := m.Upsert([]uint64{2, 3, 4}, []int64{200, 300, 400})
+	if ins[0] || ins[1] || !ins[2] {
+		t.Fatalf("inserted flags = %v, want [false false true]", ins)
+	}
+	mustCheck(t, m)
+	res, _ := m.Get([]uint64{1, 2, 3, 4})
+	want := []int64{10, 200, 300, 400}
+	for i, r := range res {
+		if !r.Found || r.Value != want[i] {
+			t.Fatalf("Get result %d = %+v, want %d", i, r, want[i])
+		}
+	}
+}
+
+func TestUpsertDuplicateKeysLastWins(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{7, 7, 7}, []int64{1, 2, 3})
+	mustCheck(t, m)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	r, _ := m.GetOne(7)
+	if !r.Found || r.Value != 3 {
+		t.Fatalf("Get(7) = %+v, want 3 (last value wins)", r)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{5, 6}, []int64{50, 60})
+	found, _ := m.Update([]uint64{5, 99}, []int64{500, 990})
+	if !found[0] || found[1] {
+		t.Fatalf("found = %v", found)
+	}
+	r, _ := m.GetOne(5)
+	if r.Value != 500 {
+		t.Fatalf("update lost: %d", r.Value)
+	}
+	if r, _ := m.GetOne(99); r.Found {
+		t.Fatal("Update must not insert")
+	}
+	mustCheck(t, m)
+}
+
+func TestSuccessorPredecessorBasic(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{10, 20, 30}, []int64{1, 2, 3})
+	mustCheck(t, m)
+
+	cases := []struct {
+		q         uint64
+		succ      uint64
+		succFound bool
+		pred      uint64
+		predFound bool
+	}{
+		{5, 10, true, 0, false},
+		{10, 10, true, 10, true},
+		{15, 20, true, 10, true},
+		{20, 20, true, 20, true},
+		{25, 30, true, 20, true},
+		{30, 30, true, 30, true},
+		{35, 0, false, 30, true},
+	}
+	for _, tc := range cases {
+		s, _ := m.SuccessorOne(tc.q)
+		if s.Found != tc.succFound || (s.Found && s.Key != tc.succ) {
+			t.Fatalf("Successor(%d) = %+v, want key=%d found=%v", tc.q, s, tc.succ, tc.succFound)
+		}
+		p, _ := m.PredecessorOne(tc.q)
+		if p.Found != tc.predFound || (p.Found && p.Key != tc.pred) {
+			t.Fatalf("Predecessor(%d) = %+v, want key=%d found=%v", tc.q, p, tc.pred, tc.predFound)
+		}
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{1, 2, 3, 4, 5}, []int64{1, 2, 3, 4, 5})
+	found, _ := m.Delete([]uint64{2, 4, 99})
+	if !found[0] || !found[1] || found[2] {
+		t.Fatalf("found = %v", found)
+	}
+	mustCheck(t, m)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	res, _ := m.Get([]uint64{1, 2, 3, 4, 5})
+	wantFound := []bool{true, false, true, false, true}
+	for i, r := range res {
+		if r.Found != wantFound[i] {
+			t.Fatalf("after delete, Get(%d).Found = %v", i+1, r.Found)
+		}
+	}
+	// Successor must skip deleted keys.
+	s, _ := m.SuccessorOne(2)
+	if !s.Found || s.Key != 3 {
+		t.Fatalf("Successor(2) after delete = %+v", s)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	m := newTestMap(t, 4)
+	keys := []uint64{10, 11, 12, 13, 14, 15}
+	vals := make([]int64, len(keys))
+	m.Upsert(keys, vals)
+	m.Delete(keys)
+	mustCheck(t, m)
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", m.Len())
+	}
+	if s, _ := m.SuccessorOne(0); s.Found {
+		t.Fatalf("Successor on empty map = %+v", s)
+	}
+	// Reinsert after emptying.
+	m.Upsert([]uint64{42}, []int64{42})
+	mustCheck(t, m)
+	r, _ := m.GetOne(42)
+	if !r.Found || r.Value != 42 {
+		t.Fatalf("reinsert after empty failed: %+v", r)
+	}
+}
+
+func TestConsecutiveRunDelete(t *testing.T) {
+	// The §4.4 adversary: delete a long consecutive run, exercising list
+	// contraction with one giant marked run.
+	m := newTestMap(t, 8)
+	var keys []uint64
+	var vals []int64
+	for i := uint64(0); i < 500; i++ {
+		keys = append(keys, i)
+		vals = append(vals, int64(i))
+	}
+	m.Upsert(keys, vals)
+	mustCheck(t, m)
+	m.Delete(keys[1:499])
+	mustCheck(t, m)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	s, _ := m.SuccessorOne(1)
+	if !s.Found || s.Key != 499 {
+		t.Fatalf("Successor(1) = %+v, want 499", s)
+	}
+}
+
+func TestBatchSuccessorAgainstModel(t *testing.T) {
+	m := newTestMap(t, 8)
+	ref := newRef()
+	r := rng.NewXoshiro256(77)
+	var keys []uint64
+	var vals []int64
+	for i := 0; i < 2000; i++ {
+		k := r.Uint64n(100000)
+		keys = append(keys, k)
+		vals = append(vals, int64(k*2))
+		ref.m[k] = int64(k * 2)
+	}
+	m.Upsert(keys, vals)
+	mustCheck(t, m)
+
+	queries := make([]uint64, 1000)
+	for i := range queries {
+		queries[i] = r.Uint64n(110000)
+	}
+	succ, _ := m.Successor(queries)
+	pred, _ := m.Predecessor(queries)
+	for i, q := range queries {
+		wk, wv, wf := ref.successor(q)
+		if succ[i].Found != wf || (wf && (succ[i].Key != wk || succ[i].Value != wv)) {
+			t.Fatalf("Successor(%d) = %+v, want (%d,%d,%v)", q, succ[i], wk, wv, wf)
+		}
+		wk, wv, wf = ref.predecessor(q)
+		if pred[i].Found != wf || (wf && (pred[i].Key != wk || pred[i].Value != wv)) {
+			t.Fatalf("Predecessor(%d) = %+v, want (%d,%d,%v)", q, pred[i], wk, wv, wf)
+		}
+	}
+}
+
+func TestSameSuccessorAdversary(t *testing.T) {
+	// §4.2's adversary: many distinct query keys, all with the same
+	// successor. Correctness here; the balance claims are in stats tests.
+	m := newTestMap(t, 8)
+	m.Upsert([]uint64{1, 1 << 40}, []int64{1, 2})
+	queries := make([]uint64, 512)
+	for i := range queries {
+		queries[i] = uint64(100 + i) // all in the gap (1, 1<<40)
+	}
+	res, _ := m.Successor(queries)
+	for i, r := range res {
+		if !r.Found || r.Key != 1<<40 {
+			t.Fatalf("query %d: %+v, want 1<<40", i, r)
+		}
+	}
+	mustCheck(t, m)
+}
+
+func TestRandomizedMixedWorkloadAgainstModel(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16} {
+		m := newTestMap(t, p)
+		ref := newRef()
+		r := rng.NewXoshiro256(uint64(p) * 1000003)
+		const keySpace = 5000
+		for round := 0; round < 30; round++ {
+			batch := 50 + r.Intn(200)
+			switch r.Intn(4) {
+			case 0: // upsert
+				keys := make([]uint64, batch)
+				vals := make([]int64, batch)
+				for i := range keys {
+					keys[i] = r.Uint64n(keySpace)
+					vals[i] = int64(r.Uint64n(1 << 30))
+				}
+				m.Upsert(keys, vals)
+				for i := range keys {
+					ref.m[keys[i]] = vals[i]
+				}
+			case 1: // delete
+				keys := make([]uint64, batch)
+				for i := range keys {
+					keys[i] = r.Uint64n(keySpace)
+				}
+				got, _ := m.Delete(keys)
+				seen := map[uint64]bool{}
+				for i, k := range keys {
+					_, present := ref.m[k]
+					want := present && !seen[k]
+					// With duplicates, every occurrence reports the key's
+					// original presence (dedup collapses them).
+					want = present
+					_ = want
+					if got[i] != present {
+						t.Fatalf("P=%d round %d: Delete(%d) = %v, want %v", p, round, k, got[i], present)
+					}
+					seen[k] = true
+				}
+				for _, k := range keys {
+					delete(ref.m, k)
+				}
+			case 2: // get
+				keys := make([]uint64, batch)
+				for i := range keys {
+					keys[i] = r.Uint64n(keySpace)
+				}
+				got, _ := m.Get(keys)
+				for i, k := range keys {
+					wv, wf := ref.m[k]
+					if got[i].Found != wf || (wf && got[i].Value != wv) {
+						t.Fatalf("P=%d round %d: Get(%d) = %+v, want (%d,%v)", p, round, k, got[i], wv, wf)
+					}
+				}
+			case 3: // successor
+				keys := make([]uint64, batch)
+				for i := range keys {
+					keys[i] = r.Uint64n(keySpace + 100)
+				}
+				got, _ := m.Successor(keys)
+				for i, k := range keys {
+					wk, wv, wf := ref.successor(k)
+					if got[i].Found != wf || (wf && (got[i].Key != wk || got[i].Value != wv)) {
+						t.Fatalf("P=%d round %d: Successor(%d) = %+v, want (%d,%d,%v)", p, round, k, got[i], wk, wv, wf)
+					}
+				}
+			}
+			if m.Len() != len(ref.m) {
+				t.Fatalf("P=%d round %d: Len %d vs ref %d", p, round, m.Len(), len(ref.m))
+			}
+		}
+		mustCheck(t, m)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (BatchStats, []SearchResult[uint64, int64]) {
+		m := newTestMap(t, 8)
+		r := rng.NewXoshiro256(5)
+		keys := make([]uint64, 500)
+		vals := make([]int64, 500)
+		for i := range keys {
+			keys[i] = r.Uint64()
+			vals[i] = int64(i)
+		}
+		m.Upsert(keys, vals)
+		q := make([]uint64, 300)
+		for i := range q {
+			q[i] = r.Uint64()
+		}
+		res, st := m.Successor(q)
+		return st, res
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs:\n%v\n%v", s1, s2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestSpaceTheorem31(t *testing.T) {
+	// Theorem 3.1: O(n/P) words per module whp.
+	m := newTestMap(t, 16)
+	r := rng.NewXoshiro256(3)
+	const n = 1 << 14
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	m.Upsert(keys, vals)
+	mustCheck(t, m)
+	lower, upper := m.NodeCounts()
+	var total, maxm int64
+	for i := range lower {
+		tot := lower[i] + upper[i]
+		total += tot
+		if tot > maxm {
+			maxm = tot
+		}
+	}
+	mean := float64(total) / 16
+	if ratio := float64(maxm) / mean; ratio > 1.5 {
+		t.Fatalf("per-module node count max/mean = %f, want near 1 (Thm 3.1)", ratio)
+	}
+}
+
+func TestNaiveBatchMatchesResults(t *testing.T) {
+	// The naive (§4.2, imbalanced) execution must still be correct.
+	mk := func(naive bool) []SearchResult[uint64, int64] {
+		m := newTestMap(t, 8, func(c *Config) { c.NaiveBatch = naive })
+		keys := make([]uint64, 300)
+		vals := make([]int64, 300)
+		r := rng.NewXoshiro256(9)
+		for i := range keys {
+			keys[i] = r.Uint64n(10000)
+		}
+		m.Upsert(keys, vals)
+		q := make([]uint64, 200)
+		for i := range q {
+			q[i] = r.Uint64n(11000)
+		}
+		res, _ := m.Successor(q)
+		return res
+	}
+	a, b := mk(false), mk(true)
+	for i := range a {
+		if a[i].Found != b[i].Found || a[i].Key != b[i].Key {
+			t.Fatalf("pivoted and naive disagree at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	m := newTestMap(t, 4)
+	if r, _ := m.Get(nil); len(r) != 0 {
+		t.Fatal("empty Get")
+	}
+	if r, _ := m.Successor(nil); len(r) != 0 {
+		t.Fatal("empty Successor")
+	}
+	if r, _ := m.Upsert(nil, nil); len(r) != 0 {
+		t.Fatal("empty Upsert")
+	}
+	if r, _ := m.Delete(nil); len(r) != 0 {
+		t.Fatal("empty Delete")
+	}
+	mustCheck(t, m)
+}
+
+func TestMismatchedLengthsPanics(t *testing.T) {
+	m := newTestMap(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Upsert([]uint64{1}, nil)
+}

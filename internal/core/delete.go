@@ -1,0 +1,287 @@
+package core
+
+import (
+	"cmp"
+
+	"pimgo/internal/listcontract"
+	"pimgo/internal/pim"
+)
+
+// markMsg reports one marked node (leaf, lower-tower node, or upper-tower
+// node read from a local replica) to the CPU side: its identity and its
+// neighbourhood at mark time, which is exactly what the CPU-side list
+// contraction of §4.4 needs.
+type markMsg[K cmp.Ordered] struct {
+	id       int32 // op index (set on the leaf's record, -1 on chain records)
+	ptr      pim.Ptr
+	level    int8
+	key      K
+	left     pim.Ptr
+	right    pim.Ptr
+	rightKey K // valid iff right != nil
+}
+
+// deleteProbeTask executes steps 1–3 of the single-op Delete (§4.4) for one
+// key: shortcut to the leaf via the local hash table, mark the leaf and
+// dispatch marking of its up-chain, splice the leaf out of the module-local
+// leaf list, and repair upper-leaf next-leaf pointers. The global
+// horizontal lists are repaired later by the CPU-side contraction.
+type deleteProbeTask[K cmp.Ordered, V any] struct {
+	m   *Map[K, V]
+	id  int32
+	key K
+}
+
+func (t *deleteProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	p0 := st.ht.Probes
+	addr, ok := st.ht.Get(t.key)
+	c.Charge(st.ht.Probes - p0)
+	if !ok {
+		c.Reply(getMsg[V]{id: t.id})
+		return
+	}
+	leaf := st.lower.At(addr)
+	leafPtr := pim.LowerPtr(st.id, addr)
+	leaf.deleted = true
+	st.ht.Delete(t.key)
+	c.Charge(1)
+
+	// Splice out of the module-local leaf list (all pointers local).
+	prev, next := leaf.localLeft, leaf.localRight
+	st.lower.At(prev.Addr()).localRight = next
+	st.lower.At(next.Addr()).localLeft = prev
+	c.Charge(1)
+
+	// Repair next-leaf pointers: every upper-leaf replica pointing at this
+	// leaf now points at its local successor.
+	u, _ := t.m.localUpperLeafFloor(c, st, t.key)
+	for u.nextLeaf == leafPtr {
+		u.nextLeaf = next
+		c.Charge(1)
+		if u.left.IsNil() {
+			break
+		}
+		u = st.upper.At(u.left.Addr())
+	}
+
+	// Report the marked leaf.
+	c.ReplyWords(markMsg[K]{
+		id: t.id, ptr: leafPtr, level: 0, key: t.key,
+		left: leaf.left, right: leaf.right, rightKey: leaf.rightKey,
+	}, 4)
+
+	// Mark the rest of the tower. Lower chain nodes live on other modules
+	// (one message each, O(1) expected per op); upper chain nodes are
+	// replicated, so this module reads its own replica and reports it —
+	// the CPU side will broadcast the actual deletion (§4.4 step 3).
+	for _, p := range leaf.upChain {
+		if p.IsUpper() {
+			un := st.upper.At(p.Addr())
+			c.Charge(1)
+			c.ReplyWords(markMsg[K]{
+				id: -1, ptr: p, level: un.level, key: un.key,
+				left: un.left, right: un.right, rightKey: un.rightKey,
+			}, 4)
+		} else {
+			c.Send(p.ModuleOf(), &markLowerTask[K, V]{ptr: p})
+		}
+	}
+	c.Reply(getMsg[V]{id: t.id, found: true})
+}
+
+// markLowerTask marks one lower-part tower node and reports its
+// neighbourhood.
+type markLowerTask[K cmp.Ordered, V any] struct {
+	ptr pim.Ptr
+}
+
+func (t *markLowerTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	nd := st.resolve(t.ptr)
+	nd.deleted = true
+	c.Charge(1)
+	c.ReplyWords(markMsg[K]{
+		id: -1, ptr: t.ptr, level: nd.level, key: nd.key,
+		left: nd.left, right: nd.right, rightKey: nd.rightKey,
+	}, 4)
+}
+
+// freeLowerTask releases a marked lower node's slot.
+type freeLowerTask[K cmp.Ordered, V any] struct {
+	addr uint32
+}
+
+func (t *freeLowerTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	c.State().lower.Free(t.addr)
+	c.Charge(1)
+}
+
+// freeUpperTask releases a marked upper node's replica slot (broadcast).
+type freeUpperTask[K cmp.Ordered, V any] struct {
+	addr uint32
+}
+
+func (t *freeUpperTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	c.State().upper.Free(t.addr)
+	c.Charge(1)
+}
+
+// Delete removes every present key, reporting per input position whether it
+// was found (§4.4, Theorem 4.5). Duplicate keys collapse. Arbitrarily long
+// runs of consecutive deletions are spliced with CPU-side parallel list
+// contraction, so the horizontal relinking needs O(1) writes per deleted
+// node regardless of run shape.
+func (m *Map[K, V]) Delete(keys []K) ([]bool, BatchStats) {
+	tr, c := m.beginBatch()
+	B := len(keys)
+	out := make([]bool, B)
+	if B == 0 {
+		return out, m.endBatch(tr, c, 0, 0, 0)
+	}
+	c.Tracker().Alloc(int64(2 * B))
+	defer c.Tracker().Free(int64(2 * B))
+
+	uniq, slot := m.dedup(c, keys)
+	found := make([]bool, len(uniq))
+
+	// Stage 1: mark leaves and towers, collect neighbourhood records.
+	var marks []markMsg[K]
+	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	c.WorkFlat(int64(len(uniq)))
+	for i, k := range uniq {
+		sends[i] = pim.Send[*modState[K, V]]{
+			To:   m.moduleFor(m.hashKey(k), 0),
+			Task: &deleteProbeTask[K, V]{m: m, id: int32(i), key: k},
+		}
+	}
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			switch v := r.V.(type) {
+			case getMsg[V]:
+				found[v.id] = v.found
+			case markMsg[K]:
+				marks = append(marks, v)
+			}
+		}
+		sends = next
+	}
+	c.Tracker().Alloc(int64(4 * len(marks)))
+	defer c.Tracker().Free(int64(4 * len(marks)))
+
+	// Stage 2: CPU-side list contraction over local copies of the marked
+	// nodes (§4.4): build the index graph of marked nodes plus their
+	// boundary (unmarked) neighbours, contract, then splice remotely.
+	idx := make(map[pim.Ptr]int32, 2*len(marks))
+	var left, right []int32
+	var marked, wasMarked []bool
+	var nodeKey []K
+	var nodePtr []pim.Ptr
+	var keyKnown []bool
+	var hadMarkedLeft, hadMarkedRight []bool
+	getIdx := func(p pim.Ptr) int32 {
+		if p.IsNil() {
+			return -1
+		}
+		if i, ok := idx[p]; ok {
+			return i
+		}
+		i := int32(len(left))
+		idx[p] = i
+		left = append(left, -1)
+		right = append(right, -1)
+		marked = append(marked, false)
+		wasMarked = append(wasMarked, false)
+		var zero K
+		nodeKey = append(nodeKey, zero)
+		keyKnown = append(keyKnown, false)
+		nodePtr = append(nodePtr, p)
+		hadMarkedLeft = append(hadMarkedLeft, false)
+		hadMarkedRight = append(hadMarkedRight, false)
+		return i
+	}
+	c.WorkFlat(int64(len(marks)))
+	for _, mk := range marks {
+		i := getIdx(mk.ptr)
+		marked[i], wasMarked[i] = true, true
+		nodeKey[i], keyKnown[i] = mk.key, true
+		l, r := getIdx(mk.left), getIdx(mk.right)
+		left[i], right[i] = l, r
+		if l >= 0 {
+			right[l] = i
+			hadMarkedRight[l] = true
+		}
+		if r >= 0 {
+			left[r] = i
+			hadMarkedLeft[r] = true
+			if !keyKnown[r] {
+				nodeKey[r], keyKnown[r] = mk.rightKey, true
+			}
+		}
+	}
+	listcontract.Splice(c, left, right, marked, m.r.Uint64())
+
+	// Stage 3: remote splices. A surviving (boundary) node needs its right
+	// pointer repaired iff it originally had a marked right neighbour, and
+	// its left pointer repaired iff it originally had a marked left
+	// neighbour; the contracted graph supplies the new neighbours.
+	sends = sends[:0]
+	c.WorkFlat(int64(len(left)))
+	for i := range left {
+		if wasMarked[i] {
+			continue
+		}
+		if hadMarkedRight[i] {
+			var rp pim.Ptr
+			var rk K
+			if right[i] >= 0 {
+				rp = nodePtr[right[i]]
+				rk = nodeKey[right[i]]
+			}
+			sends = append(sends, m.sendToOwner(nodePtr[i], &writeRightTask[K, V]{target: nodePtr[i], right: rp, rightKey: rk}, 2)...)
+		}
+		if hadMarkedLeft[i] {
+			var lp pim.Ptr
+			if left[i] >= 0 {
+				lp = nodePtr[left[i]]
+			}
+			sends = append(sends, m.sendToOwner(nodePtr[i], &writeLeftTask[K, V]{target: nodePtr[i], left: lp}, 1)...)
+		}
+	}
+
+	// Free the marked nodes (lower: their module; upper: broadcast + CPU
+	// allocator release).
+	for _, mk := range marks {
+		if mk.ptr.IsUpper() {
+			m.freeUpper(mk.ptr.Addr())
+			sends = append(sends, pim.Broadcast[*modState[K, V]](m.cfg.P, &freeUpperTask[K, V]{addr: mk.ptr.Addr()}, 1)...)
+		} else {
+			sends = append(sends, pim.Send[*modState[K, V]]{
+				To: mk.ptr.ModuleOf(), Task: &freeLowerTask[K, V]{addr: mk.ptr.Addr()},
+			})
+		}
+	}
+	c.WorkFlat(int64(len(sends)))
+	m.drive(c, sends)
+
+	deleted := 0
+	c.WorkFlat(int64(B))
+	for i := 0; i < B; i++ {
+		out[i] = found[slot[i]]
+	}
+	for _, f := range found {
+		if f {
+			deleted++
+		}
+	}
+	m.n -= deleted
+	return out, m.endBatch(tr, c, B, 0, 0)
+}
+
+// DeleteOne removes a single key (a batch of one).
+func (m *Map[K, V]) DeleteOne(key K) (bool, BatchStats) {
+	res, st := m.Delete([]K{key})
+	return res[0], st
+}

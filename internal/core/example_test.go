@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pimgo/internal/core"
+)
+
+func ExampleNew() {
+	m := core.New[uint64, int64](core.Config{P: 8, Seed: 1}, core.Uint64Hash)
+	m.Upsert([]uint64{3, 1, 2}, []int64{30, 10, 20})
+	fmt.Println(m.Len(), m.KeysInOrder())
+	// Output: 3 [1 2 3]
+}
+
+func ExampleMap_Get() {
+	m := core.New[uint64, int64](core.Config{P: 4, Seed: 1}, core.Uint64Hash)
+	m.Upsert([]uint64{10, 20}, []int64{100, 200})
+	res, _ := m.Get([]uint64{10, 15})
+	fmt.Println(res[0].Found, res[0].Value, res[1].Found)
+	// Output: true 100 false
+}
+
+func ExampleMap_Successor() {
+	m := core.New[uint64, int64](core.Config{P: 4, Seed: 1}, core.Uint64Hash)
+	m.Upsert([]uint64{10, 20, 30}, []int64{1, 2, 3})
+	s, _ := m.SuccessorOne(15)
+	p, _ := m.PredecessorOne(15)
+	fmt.Println(s.Key, p.Key)
+	// Output: 20 10
+}
+
+func ExampleMap_RangeBroadcast() {
+	m := core.New[uint64, int64](core.Config{P: 4, Seed: 1}, core.Uint64Hash)
+	m.Upsert([]uint64{1, 2, 3, 4, 5}, []int64{10, 20, 30, 40, 50})
+	res, _ := m.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: 2, Hi: 4, Kind: core.RangeRead})
+	for _, p := range res.Pairs {
+		fmt.Println(p.Key, p.Value)
+	}
+	// Output:
+	// 2 20
+	// 3 30
+	// 4 40
+}
+
+func ExampleMap_Delete() {
+	m := core.New[uint64, int64](core.Config{P: 4, Seed: 1}, core.Uint64Hash)
+	m.Upsert([]uint64{1, 2, 3}, []int64{0, 0, 0})
+	found, _ := m.Delete([]uint64{2, 9})
+	fmt.Println(found, m.KeysInOrder())
+	// Output: [true false] [1 3]
+}
+
+func ExampleMap_BulkLoad() {
+	m := core.New[uint64, int64](core.Config{P: 4, Seed: 1}, core.Uint64Hash)
+	st := m.BulkLoad([]uint64{1, 2, 3, 4}, []int64{1, 4, 9, 16})
+	fmt.Println(m.Len(), st.Rounds <= 4)
+	// Output: 4 true
+}
+
+func ExampleMap_Rank() {
+	m := core.New[uint64, int64](core.Config{P: 4, Seed: 1}, core.Uint64Hash)
+	m.Upsert([]uint64{10, 20, 30}, []int64{0, 0, 0})
+	ranks, _ := m.Rank([]uint64{5, 20, 99})
+	fmt.Println(ranks)
+	// Output: [0 1 3]
+}
+
+func ExampleBatchStats_PIMBalanceWork() {
+	m := core.New[uint64, int64](core.Config{P: 8, Seed: 1}, core.Uint64Hash)
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i) * 7919
+	}
+	_, st := m.Upsert(keys, make([]int64, len(keys)))
+	// 1.0 is perfect balance; the guarantee is O(1).
+	fmt.Println(st.PIMBalanceWork(8) < 4)
+	// Output: true
+}

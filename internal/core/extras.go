@@ -1,0 +1,288 @@
+package core
+
+import (
+	"cmp"
+
+	"pimgo/internal/cpu"
+	"pimgo/internal/parutil"
+	"pimgo/internal/pim"
+)
+
+// This file provides the convenience operations a downstream user of an
+// ordered map expects, built from the paper's primitives with honest
+// metering: Min/Max, AllPairs (a full export), and Rank (order statistics
+// via range counts).
+
+// minTask walks right from the -∞ leaf to the first real leaf (one remote
+// hop whp; the -∞ leaf's right neighbour is the minimum).
+type minTask[K cmp.Ordered, V any] struct {
+	m  *Map[K, V]
+	at pim.Ptr // current node; nil = start at the -∞ leaf's module
+}
+
+func (t *minTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	nd := st.resolve(t.at)
+	c.Charge(1)
+	if nd.neg {
+		r := nd.right
+		if r.IsNil() {
+			c.ReplyWords(resultMsg[K, V]{id: 0}, 2)
+			return
+		}
+		if !st.localTo(r) {
+			c.Send(r.ModuleOf(), &minTask[K, V]{m: t.m, at: r})
+			return
+		}
+		nd = st.resolve(r)
+		t.at = r
+		c.Charge(1)
+	}
+	c.ReplyWords(resultMsg[K, V]{id: 0, found: true, key: nd.key, val: nd.val, ptr: t.at}, 2)
+}
+
+// Min returns the smallest key (O(1) messages: the -∞ leaf knows its right
+// neighbour).
+func (m *Map[K, V]) Min() (SearchResult[K, V], BatchStats) {
+	tr, c := m.beginBatch()
+	start := m.sentLower[0]
+	var res resultMsg[K, V]
+	sends := []pim.Send[*modState[K, V]]{{
+		To: start.ModuleOf(), Task: &minTask[K, V]{m: m, at: start},
+	}}
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			res = r.V.(resultMsg[K, V])
+		}
+		sends = next
+	}
+	return SearchResult[K, V]{Found: res.found, Key: res.key, Value: res.val}, m.endBatch(tr, c, 1, 0, 0)
+}
+
+// maxTask descends the right spine: at each level, chase right pointers to
+// the level's last node, then drop. O(log n) whp hops, matching a plain
+// rightmost descent.
+type maxTask[K cmp.Ordered, V any] struct {
+	m     *Map[K, V]
+	at    pim.Ptr // nil = start at root
+	level int8
+}
+
+func (t *maxTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	var nd *node[K, V]
+	var at pim.Ptr
+	var lvl int8
+	if t.at.IsNil() {
+		at = pim.UpperPtr(t.m.rootAddr)
+		nd = st.upper.At(t.m.rootAddr)
+		lvl = int8(t.m.cfg.MaxLevel - 1)
+	} else {
+		at = t.at
+		nd = st.resolve(t.at)
+		lvl = t.level
+	}
+	for {
+		c.Charge(1)
+		if !nd.right.IsNil() {
+			next := nd.right
+			if st.localTo(next) {
+				at, nd = next, st.resolve(next)
+				continue
+			}
+			c.Send(next.ModuleOf(), &maxTask[K, V]{m: t.m, at: next, level: lvl})
+			return
+		}
+		if lvl == 0 {
+			if nd.neg {
+				c.ReplyWords(resultMsg[K, V]{id: 0}, 2)
+				return
+			}
+			c.ReplyWords(resultMsg[K, V]{id: 0, found: true, key: nd.key, val: nd.val, ptr: at}, 2)
+			return
+		}
+		d := nd.down
+		if st.localTo(d) {
+			at, nd = d, st.resolve(d)
+			lvl--
+			continue
+		}
+		c.Send(d.ModuleOf(), &maxTask[K, V]{m: t.m, at: d, level: lvl - 1})
+		return
+	}
+}
+
+// Max returns the largest key (a rightmost descent, O(log n) whp messages).
+func (m *Map[K, V]) Max() (SearchResult[K, V], BatchStats) {
+	tr, c := m.beginBatch()
+	var res resultMsg[K, V]
+	sends := []pim.Send[*modState[K, V]]{{
+		To: pim.ModuleID(m.r.Intn(m.cfg.P)), Task: &maxTask[K, V]{m: m},
+	}}
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			res = r.V.(resultMsg[K, V])
+		}
+		sends = next
+	}
+	return SearchResult[K, V]{Found: res.found, Key: res.key, Value: res.val}, m.endBatch(tr, c, 1, 0, 0)
+}
+
+// allPairsTask streams one module's whole local leaf list back to the CPU
+// side (the unbounded form of the broadcast range read).
+type allPairsTask[K cmp.Ordered, V any] struct{}
+
+func (t *allPairsTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	var pairs []RangePair[K, V]
+	cur := st.lower.At(st.localHead).localRight
+	for {
+		cn := st.lower.At(cur.Addr())
+		if cn.pos {
+			break
+		}
+		c.Charge(1)
+		pairs = append(pairs, RangePair[K, V]{Key: cn.key, Value: cn.val})
+		cur = cn.localRight
+	}
+	c.ReplyWords(bcastRangeMsg[K, V]{count: int64(len(pairs)), pairs: pairs}, int64(1+2*len(pairs)))
+}
+
+// AllPairs exports every pair, ascending — a full-structure broadcast read
+// with no range bounds (usable for any key type, unlike a [min,max] range).
+// O(1) rounds, Θ(n/P) whp IO time and PIM time.
+func (m *Map[K, V]) AllPairs() ([]RangePair[K, V], BatchStats) {
+	tr, c := m.beginBatch()
+	var out []RangePair[K, V]
+	sends := pim.Broadcast[*modState[K, V]](m.cfg.P, &allPairsTask[K, V]{}, 1)
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			out = append(out, r.V.(bcastRangeMsg[K, V]).pairs...)
+		}
+		sends = next
+	}
+	c.Tracker().Alloc(int64(2 * len(out)))
+	defer c.Tracker().Free(int64(2 * len(out)))
+	// Merge the per-module sorted streams by a full parallel sort (simple
+	// and O(n log n); a P-way merge would be O(n log P)).
+	sortPairs(c, out)
+	return out, m.endBatch(tr, c, 1, 0, 0)
+}
+
+// Rank returns, for each query key, the number of keys in the map strictly
+// smaller than it — order statistics via batched tree range counts over
+// [min, key) complement... implemented directly as count of keys < q using
+// a broadcast count per distinct prefix is wasteful; instead each module
+// counts its local leaves < q via its local list (O(n/P) per module worst
+// case) — for batched ranks the per-module counting is shared across the
+// batch in one broadcast of the whole (deduplicated, sorted) query list.
+func (m *Map[K, V]) Rank(keys []K) ([]int64, BatchStats) {
+	tr, c := m.beginBatch()
+	B := len(keys)
+	out := make([]int64, B)
+	if B == 0 {
+		return out, m.endBatch(tr, c, 0, 0, 0)
+	}
+	c.Tracker().Alloc(int64(2 * B))
+	defer c.Tracker().Free(int64(2 * B))
+	uniq, slot := m.dedup(c, keys)
+	qs := append([]K(nil), uniq...)
+	sortKeysCPU(c, qs)
+	// Broadcast the sorted query list once; each module merges it against
+	// its local leaf list and replies per-query local counts.
+	counts := make([]int64, len(qs))
+	sends := pim.Broadcast[*modState[K, V]](m.cfg.P, &rankTask[K, V]{qs: qs}, int64(len(qs)))
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			local := r.V.([]int64)
+			for i, v := range local {
+				counts[i] += v
+			}
+		}
+		sends = next
+	}
+	// Map sorted-unique counts back to input positions.
+	idxOf := make(map[K]int64, len(qs))
+	c.WorkFlat(int64(len(qs)))
+	for i, q := range qs {
+		idxOf[q] = counts[i]
+	}
+	c.WorkFlat(int64(B))
+	for i := range keys {
+		out[i] = idxOf[uniq[slot[i]]]
+	}
+	return out, m.endBatch(tr, c, B, 0, 0)
+}
+
+// rankTask merges the sorted query list against the module's local leaf
+// list: one pass, O(n/P + |qs|) local work; replies per-query local counts
+// of leaves with key < q.
+type rankTask[K cmp.Ordered, V any] struct {
+	qs []K // sorted ascending
+}
+
+func (t *rankTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	counts := make([]int64, len(t.qs))
+	cur := st.lower.At(st.localHead).localRight
+	var below int64
+	qi := 0
+	for {
+		cn := st.lower.At(cur.Addr())
+		if cn.pos {
+			break
+		}
+		c.Charge(1)
+		for qi < len(t.qs) && t.qs[qi] <= cn.key {
+			counts[qi] = below
+			qi++
+		}
+		below++
+		cur = cn.localRight
+	}
+	for ; qi < len(t.qs); qi++ {
+		counts[qi] = below
+	}
+	c.Charge(int64(len(t.qs)))
+	c.ReplyWords(counts, int64(len(t.qs)))
+}
+
+// sortPairs and sortKeysCPU are small instantiations of the parallel sort
+// for the helpers above.
+func sortPairs[K cmp.Ordered, V any](c *cpu.Ctx, pairs []RangePair[K, V]) {
+	parutil.Sort(c, pairs, func(a, b RangePair[K, V]) bool { return a.Key < b.Key })
+}
+
+func sortKeysCPU[K cmp.Ordered](c *cpu.Ctx, keys []K) {
+	parutil.Sort(c, keys, func(a, b K) bool { return a < b })
+}
+
+// Snapshot exports the full contents as sorted pairs (one broadcast;
+// Θ(n/P) whp per-module cost) — combined with BulkLoad on a fresh Map this
+// gives checkpoint/restore.
+func (m *Map[K, V]) Snapshot() ([]K, []V, BatchStats) {
+	pairs, st := m.AllPairs()
+	keys := make([]K, len(pairs))
+	vals := make([]V, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.Key
+		vals[i] = p.Value
+	}
+	return keys, vals, st
+}
+
+// Restore builds a fresh Map with the given configuration from a Snapshot
+// (an O(1)-round BulkLoad).
+func Restore[K cmp.Ordered, V any](cfg Config, hash func(K) uint64, keys []K, vals []V) (*Map[K, V], BatchStats) {
+	m := New[K, V](cfg, hash)
+	st := m.BulkLoad(keys, vals)
+	return m, st
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"pimgo/internal/rng"
+)
+
+func TestMinMax(t *testing.T) {
+	m := newTestMap(t, 8)
+	if r, _ := m.Min(); r.Found {
+		t.Fatalf("Min on empty map = %+v", r)
+	}
+	if r, _ := m.Max(); r.Found {
+		t.Fatalf("Max on empty map = %+v", r)
+	}
+	m.Upsert([]uint64{50, 10, 90, 30}, []int64{5, 1, 9, 3})
+	mn, st := m.Min()
+	if !mn.Found || mn.Key != 10 || mn.Value != 1 {
+		t.Fatalf("Min = %+v", mn)
+	}
+	if st.TotalMsgs > 8 {
+		t.Fatalf("Min used %d messages, want O(1)", st.TotalMsgs)
+	}
+	mx, _ := m.Max()
+	if !mx.Found || mx.Key != 90 || mx.Value != 9 {
+		t.Fatalf("Max = %+v", mx)
+	}
+	m.Delete([]uint64{10, 90})
+	mn, _ = m.Min()
+	mx, _ = m.Max()
+	if mn.Key != 30 || mx.Key != 50 {
+		t.Fatalf("after delete: min %+v max %+v", mn, mx)
+	}
+}
+
+func TestMinMaxSingleKey(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{7}, []int64{70})
+	mn, _ := m.Min()
+	mx, _ := m.Max()
+	if mn.Key != 7 || mx.Key != 7 {
+		t.Fatalf("min %+v max %+v", mn, mx)
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	m := newTestMap(t, 8)
+	r := rng.NewXoshiro256(51)
+	ref := map[uint64]int64{}
+	keys := make([]uint64, 2000)
+	vals := make([]int64, 2000)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 30)
+		vals[i] = int64(i)
+		ref[keys[i]] = vals[i]
+	}
+	m.Upsert(keys, vals)
+	pairs, st := m.AllPairs()
+	if len(pairs) != len(ref) {
+		t.Fatalf("exported %d pairs, have %d keys", len(pairs), len(ref))
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key <= pairs[i-1].Key {
+			t.Fatal("export not ascending")
+		}
+	}
+	for _, p := range pairs {
+		if ref[p.Key] != p.Value {
+			t.Fatalf("pair %+v wrong", p)
+		}
+	}
+	if st.Rounds > 2 {
+		t.Fatalf("AllPairs rounds = %d, want O(1)", st.Rounds)
+	}
+	// PIM-balance of the export.
+	if bal := st.PIMBalanceWork(8); bal > 2.5 {
+		t.Fatalf("AllPairs imbalanced: %f", bal)
+	}
+}
+
+func TestAllPairsEmpty(t *testing.T) {
+	m := newTestMap(t, 4)
+	pairs, _ := m.AllPairs()
+	if len(pairs) != 0 {
+		t.Fatalf("empty map exported %d pairs", len(pairs))
+	}
+}
+
+func TestRank(t *testing.T) {
+	m := newTestMap(t, 8)
+	keys := []uint64{10, 20, 30, 40, 50}
+	m.Upsert(keys, make([]int64, len(keys)))
+	qs := []uint64{5, 10, 15, 20, 55, 30, 10}
+	want := []int64{0, 0, 1, 1, 5, 2, 0}
+	got, st := m.Rank(qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rank(%d) = %d, want %d (all: %v)", qs[i], got[i], want[i], got)
+		}
+	}
+	if st.Rounds > 2 {
+		t.Fatalf("Rank rounds = %d", st.Rounds)
+	}
+}
+
+func TestRankAgainstModel(t *testing.T) {
+	m := newTestMap(t, 8)
+	r := rng.NewXoshiro256(53)
+	present := map[uint64]bool{}
+	keys := make([]uint64, 1500)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 16)
+		present[keys[i]] = true
+	}
+	m.Upsert(keys, make([]int64, len(keys)))
+	var sortedK []uint64
+	for k := range present {
+		sortedK = append(sortedK, k)
+	}
+	sort.Slice(sortedK, func(i, j int) bool { return sortedK[i] < sortedK[j] })
+
+	qs := make([]uint64, 300)
+	for i := range qs {
+		qs[i] = r.Uint64n(1 << 17)
+	}
+	got, _ := m.Rank(qs)
+	for i, q := range qs {
+		want := int64(sort.Search(len(sortedK), func(x int) bool { return sortedK[x] >= q }))
+		if got[i] != want {
+			t.Fatalf("Rank(%d) = %d, want %d", q, got[i], want)
+		}
+	}
+}
+
+func TestRankEmptyInputs(t *testing.T) {
+	m := newTestMap(t, 4)
+	if got, _ := m.Rank(nil); len(got) != 0 {
+		t.Fatal("empty rank")
+	}
+	got, _ := m.Rank([]uint64{5})
+	if got[0] != 0 {
+		t.Fatalf("rank in empty map = %d", got[0])
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := newTestMap(t, 8)
+	r := rng.NewXoshiro256(55)
+	keys := make([]uint64, 1500)
+	vals := make([]int64, 1500)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 30)
+		vals[i] = int64(i)
+	}
+	m.Upsert(keys, vals)
+	m.Delete(keys[:300])
+
+	sk, sv, _ := m.Snapshot()
+	m2, st := Restore(Config{P: 16, Seed: 999}, Uint64Hash, sk, sv) // different P and seed!
+	if st.Rounds > 4 {
+		t.Fatalf("restore rounds = %d", st.Rounds)
+	}
+	if err := m2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != m.Len() {
+		t.Fatalf("restored %d keys, had %d", m2.Len(), m.Len())
+	}
+	// Contents identical.
+	a := m.KeysInOrder()
+	b := m2.KeysInOrder()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("key order differs at %d", i)
+		}
+	}
+	got, _ := m2.Get(sk[:100])
+	for i, g := range got {
+		if !g.Found || g.Value != sv[i] {
+			t.Fatalf("restored Get(%d) = %+v want %d", sk[i], g, sv[i])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pimgo/internal/pim"
+)
+
+// This file renders the paper's structural figures from a live Map:
+//
+//   - RenderStructure reproduces Fig. 2: the levels of the skip list with
+//     each node's home (module number for lower-part nodes, "U" for
+//     replicated upper-part nodes).
+//   - RenderLocalLists reproduces Fig. 2's dashed pointers: each module's
+//     local leaf list and the next-leaf pointers of its upper-leaf
+//     replicas.
+//   - LastPhases reproduces Fig. 3: the pivot phases of the most recent
+//     batched Successor/Predecessor (which pivots ran in each phase and
+//     which start hints they used).
+//
+// All renderers are CPU-side introspection; they perform no metered work.
+
+// PhaseInfo records one stage-1 pivot phase (Fig. 3).
+type PhaseInfo struct {
+	// Pivot holds the batch ranks (sorted positions) of the pivots
+	// executed this phase.
+	Pivots []int
+	// Hints describes each pivot's start: "root", "direct", or
+	// "lca@L<level>".
+	Hints []string
+}
+
+// LastPhases returns the pivot-phase trace of the most recent batched
+// search (empty for naive executions).
+func (m *Map[K, V]) LastPhases() []PhaseInfo {
+	return m.lastPhases
+}
+
+// RenderStructure draws the skip list level by level (highest non-empty
+// level first). Lower-part nodes render as key@module; upper-part nodes as
+// key@U. The -∞ sentinel renders as -inf.
+func (m *Map[K, V]) RenderStructure() string {
+	var b strings.Builder
+	top := 0
+	for l := m.cfg.MaxLevel - 1; l >= 0; l-- {
+		if !m.deref(m.levelHead(l)).right.IsNil() {
+			top = l
+			break
+		}
+	}
+	for l := top; l >= 0; l-- {
+		fmt.Fprintf(&b, "L%-2d ", l)
+		ptr := m.levelHead(l)
+		nd := m.deref(ptr)
+		if l >= m.cfg.HLow {
+			b.WriteString("[-inf@U]")
+		} else {
+			fmt.Fprintf(&b, "[-inf@%d]", ptr.ModuleOf())
+		}
+		for !nd.right.IsNil() {
+			ptr = nd.right
+			nd = m.deref(ptr)
+			if ptr.IsUpper() {
+				fmt.Fprintf(&b, " -> [%v@U]", nd.key)
+			} else {
+				fmt.Fprintf(&b, " -> [%v@%d]", nd.key, ptr.ModuleOf())
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderLocalLists draws, per module, the local leaf list and the
+// next-leaf pointer of every upper-leaf replica (Fig. 2's dashed
+// pointers).
+func (m *Map[K, V]) RenderLocalLists() string {
+	var b strings.Builder
+	for id := 0; id < m.cfg.P; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		fmt.Fprintf(&b, "module %d leaves:", id)
+		cur := st.lower.At(st.localHead).localRight
+		for {
+			cn := st.lower.At(cur.Addr())
+			if cn.pos {
+				break
+			}
+			fmt.Fprintf(&b, " %v", cn.key)
+			cur = cn.localRight
+		}
+		b.WriteString("\n")
+		st.upper.Range(func(addr uint32, un *node[K, V]) bool {
+			if int(un.level) != m.cfg.HLow {
+				return true
+			}
+			name := fmt.Sprintf("%v", un.key)
+			if un.neg {
+				name = "-inf"
+			}
+			nl := st.lower.At(un.nextLeaf.Addr())
+			target := "<end>"
+			if !nl.pos {
+				target = fmt.Sprintf("%v", nl.key)
+			}
+			fmt.Fprintf(&b, "  upper-leaf %s next-leaf -> %s\n", name, target)
+			return true
+		})
+	}
+	return b.String()
+}
+
+// KeysInOrder walks the bottom level and returns every key ascending —
+// a convenience for tests and examples (O(n) introspection).
+func (m *Map[K, V]) KeysInOrder() []K {
+	var out []K
+	ptr := m.levelHead(0)
+	nd := m.deref(ptr)
+	for !nd.right.IsNil() {
+		ptr = nd.right
+		nd = m.deref(ptr)
+		out = append(out, nd.key)
+	}
+	return out
+}

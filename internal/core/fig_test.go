@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig2Structure rebuilds the paper's Fig. 2 instance (keys
+// {0,2,6,7,15,20,25,33} on P=4) and checks the structural properties the
+// figure illustrates.
+func TestFig2Structure(t *testing.T) {
+	m := newTestMap(t, 4)
+	keys := []uint64{0, 2, 6, 7, 15, 20, 25, 33}
+	vals := make([]int64, len(keys))
+	m.Upsert(keys, vals)
+	mustCheck(t, m)
+
+	// Level 0 holds every key in order.
+	got := m.KeysInOrder()
+	if len(got) != len(keys) {
+		t.Fatalf("bottom level has %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("bottom level order: %v", got)
+		}
+	}
+
+	// The render shows every key at level 0, module tags on lower nodes,
+	// and @U tags on upper nodes.
+	s := m.RenderStructure()
+	if !strings.Contains(s, "L0 ") || !strings.Contains(s, "[-inf@") {
+		t.Fatalf("render missing level 0 or sentinel:\n%s", s)
+	}
+	for _, k := range []string{"[0@", "[7@", "[33@"} {
+		if !strings.Contains(s, k) {
+			t.Fatalf("render missing key %s:\n%s", k, s)
+		}
+	}
+
+	// The local-list render covers every module and the -inf upper leaf.
+	ll := m.RenderLocalLists()
+	for _, want := range []string{"module 0 leaves:", "module 3 leaves:", "upper-leaf -inf next-leaf ->"} {
+		if !strings.Contains(ll, want) {
+			t.Fatalf("local list render missing %q:\n%s", want, ll)
+		}
+	}
+}
+
+// TestFig3PivotPhases checks the stage-1 phase schedule of batched
+// Successor: phase 0 runs the two extremes from the root, later phases run
+// segment medians, and the phase count is logarithmic in the pivot count.
+func TestFig3PivotPhases(t *testing.T) {
+	m := newTestMap(t, 8)
+	fill(t, m, 1<<10, 33)
+	B := 8 * lg(8) * lg(8)
+	keys := make([]uint64, B)
+	for i := range keys {
+		keys[i] = uint64(i * 1000)
+	}
+	_, st := m.Successor(keys)
+	phases := m.LastPhases()
+	if len(phases) == 0 {
+		t.Fatal("no phase trace recorded")
+	}
+	// Phase 0: the two extreme pivots, started at the root.
+	if len(phases[0].Pivots) != 2 {
+		t.Fatalf("phase 0 ran %d pivots, want 2 (extremes)", len(phases[0].Pivots))
+	}
+	if phases[0].Pivots[0] != 0 || phases[0].Pivots[1] != B-1 {
+		t.Fatalf("phase 0 pivots = %v, want [0 %d]", phases[0].Pivots, B-1)
+	}
+	for _, h := range phases[0].Hints {
+		if h != "root" {
+			t.Fatalf("phase 0 hint = %q, want root", h)
+		}
+	}
+	// Pivot count doubles per phase (divide and conquer).
+	for i := 1; i < len(phases); i++ {
+		if len(phases[i].Pivots) > 2*len(phases[i-1].Pivots) {
+			t.Fatalf("phase %d ran %d pivots after %d — not a doubling schedule",
+				i, len(phases[i].Pivots), len(phases[i-1].Pivots))
+		}
+	}
+	// The stats phase count = stage-1 phases + stage 2.
+	if int(st.Phases) != len(phases)+1 {
+		t.Fatalf("stats.Phases = %d, trace has %d stage-1 phases", st.Phases, len(phases))
+	}
+	// Later phases should use informed starts (direct or LCA) at least once
+	// on a sorted, dense batch.
+	informed := 0
+	for _, ph := range phases[1:] {
+		for _, h := range ph.Hints {
+			if h != "root" {
+				informed++
+			}
+		}
+	}
+	if informed == 0 {
+		t.Fatal("no pivot ever used a direct/LCA hint")
+	}
+}
+
+// TestFig4BatchLinking reproduces Fig. 4's scenario: batch-inserting
+// neighbouring new keys must chain them to each other (Algorithm 1), and
+// batch-deleting a run must resplice the survivors (list contraction).
+func TestFig4BatchLinking(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{0, 6, 25}, []int64{0, 60, 250})
+	mustCheck(t, m)
+
+	// The figure's blue nodes: 7 and 20, inserted in one batch. They are
+	// adjacent in the final order: 0, 6, [7, 20], 25.
+	m.Upsert([]uint64{7, 20}, []int64{70, 200})
+	mustCheck(t, m)
+	want := []uint64{0, 6, 7, 20, 25}
+	got := m.KeysInOrder()
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+
+	// Delete the blue nodes again in one batch; 6 and 25 must reconnect.
+	m.Delete([]uint64{7, 20})
+	mustCheck(t, m)
+	s, _ := m.SuccessorOne(7)
+	if !s.Found || s.Key != 25 {
+		t.Fatalf("after delete, successor(7) = %+v, want 25", s)
+	}
+}
+
+// TestKeysInOrder covers the introspection helper against sorted input.
+func TestKeysInOrder(t *testing.T) {
+	m := newTestMap(t, 4)
+	if got := m.KeysInOrder(); len(got) != 0 {
+		t.Fatalf("empty map KeysInOrder = %v", got)
+	}
+	m.Upsert([]uint64{5, 1, 9, 3}, make([]int64, 4))
+	got := m.KeysInOrder()
+	want := []uint64{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

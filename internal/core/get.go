@@ -1,0 +1,176 @@
+package core
+
+import (
+	"cmp"
+	"pimgo/internal/cpu"
+
+	"pimgo/internal/parutil"
+	"pimgo/internal/pim"
+)
+
+// GetResult is the outcome of one Get operation.
+type GetResult[V any] struct {
+	Found bool
+	Value V
+}
+
+// getMsg is the reply of a getTask or updateTask.
+type getMsg[V any] struct {
+	id    int32
+	found bool
+	val   V
+}
+
+// getTask looks a key up in the destination module's local hash table
+// (§4.1: the hash function is a shortcut to the module that must hold the
+// key, and a local hash table maps keys to leaves in O(1) whp).
+type getTask[K cmp.Ordered, V any] struct {
+	id  int32
+	key K
+}
+
+func (t *getTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	p0 := st.ht.Probes
+	addr, ok := st.ht.Get(t.key)
+	c.Charge(st.ht.Probes - p0)
+	if !ok {
+		c.Reply(getMsg[V]{id: t.id})
+		return
+	}
+	c.Charge(1)
+	c.Reply(getMsg[V]{id: t.id, found: true, val: st.lower.At(addr).val})
+}
+
+// updateTask writes a new value for an existing key; non-existent keys are
+// ignored (§3: Update(key, value)).
+type updateTask[K cmp.Ordered, V any] struct {
+	id  int32
+	key K
+	val V
+}
+
+func (t *updateTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	p0 := st.ht.Probes
+	addr, ok := st.ht.Get(t.key)
+	c.Charge(st.ht.Probes - p0)
+	if !ok {
+		c.Reply(getMsg[V]{id: t.id})
+		return
+	}
+	c.Charge(1)
+	st.lower.At(addr).val = t.val
+	c.Reply(getMsg[V]{id: t.id, found: true})
+}
+
+// Get returns, for every key, whether it is present and its value. The
+// batch is deduplicated with a parallel semisort before routing (§4.1), so
+// a batch of identical keys costs one message, not a hot module — that is
+// Theorem 4.1's PIM-balance guarantee. Results are in input order.
+func (m *Map[K, V]) Get(keys []K) ([]GetResult[V], BatchStats) {
+	tr, c := m.beginBatch()
+	B := len(keys)
+	out := make([]GetResult[V], B)
+	if B == 0 {
+		return out, m.endBatch(tr, c, 0, 0, 0)
+	}
+	c.Tracker().Alloc(int64(B))
+	defer c.Tracker().Free(int64(B))
+
+	uniq, slot := m.dedup(c, keys)
+	replies := make([]getMsg[V], len(uniq))
+	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	c.WorkFlat(int64(len(uniq)))
+	for i, k := range uniq {
+		sends[i] = pim.Send[*modState[K, V]]{
+			To:   m.moduleFor(m.hashKey(k), 0),
+			Task: &getTask[K, V]{id: int32(i), key: k},
+		}
+	}
+	m.drainInto(c, sends, func(v getMsg[V]) { replies[v.id] = v })
+	c.WorkFlat(int64(B))
+	for i := range keys {
+		r := replies[slot[i]]
+		out[i] = GetResult[V]{Found: r.found, Value: r.val}
+	}
+	return out, m.endBatch(tr, c, B, 0, 0)
+}
+
+// GetOne runs a single Get (a batch of one).
+func (m *Map[K, V]) GetOne(key K) (GetResult[V], BatchStats) {
+	res, st := m.Get([]K{key})
+	return res[0], st
+}
+
+// Update sets the value of every key that is present, reporting per key
+// whether it was found. Duplicate keys in the batch are collapsed to their
+// last occurrence (last-writer-wins), mirroring Get's deduplication.
+func (m *Map[K, V]) Update(keys []K, vals []V) ([]bool, BatchStats) {
+	if len(keys) != len(vals) {
+		panic("core: Update keys/vals length mismatch")
+	}
+	tr, c := m.beginBatch()
+	B := len(keys)
+	out := make([]bool, B)
+	if B == 0 {
+		return out, m.endBatch(tr, c, 0, 0, 0)
+	}
+	c.Tracker().Alloc(int64(2 * B))
+	defer c.Tracker().Free(int64(2 * B))
+
+	uniq, slot := m.dedup(c, keys)
+	// Last occurrence wins for the value.
+	chosen := make([]V, len(uniq))
+	c.WorkFlat(int64(B))
+	for i := range keys {
+		chosen[slot[i]] = vals[i]
+	}
+	replies := make([]getMsg[V], len(uniq))
+	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	c.WorkFlat(int64(len(uniq)))
+	for i, k := range uniq {
+		sends[i] = pim.Send[*modState[K, V]]{
+			To:   m.moduleFor(m.hashKey(k), 0),
+			Task: &updateTask[K, V]{id: int32(i), key: k, val: chosen[i]},
+		}
+	}
+	m.drainInto(c, sends, func(v getMsg[V]) { replies[v.id] = v })
+	c.WorkFlat(int64(B))
+	for i := range keys {
+		out[i] = replies[slot[i]].found
+	}
+	return out, m.endBatch(tr, c, B, 0, 0)
+}
+
+// UpdateOne runs a single Update (a batch of one).
+func (m *Map[K, V]) UpdateOne(key K, val V) (bool, BatchStats) {
+	res, st := m.Update([]K{key}, []V{val})
+	return res[0], st
+}
+
+// dedup collapses duplicate keys (semisort, §4.1) unless disabled for the
+// ABL-DEDUP ablation; slot maps every input position to its unique index.
+func (m *Map[K, V]) dedup(c *cpu.Ctx, keys []K) ([]K, []int32) {
+	if m.cfg.NoDedup {
+		slot := make([]int32, len(keys))
+		c.WorkFlat(int64(len(keys)))
+		for i := range slot {
+			slot[i] = int32(i)
+		}
+		return keys, slot
+	}
+	return parutil.Dedup(c, keys, m.hashKey)
+}
+
+// drainInto drives rounds to completion, delivering typed replies to f.
+func (m *Map[K, V]) drainInto(c *cpu.Ctx, sends []pim.Send[*modState[K, V]], f func(getMsg[V])) {
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			f(r.V.(getMsg[V]))
+		}
+		sends = next
+	}
+}

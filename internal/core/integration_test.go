@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"pimgo/internal/adversary"
+	"pimgo/internal/rng"
+)
+
+// TestAllWorkloadsAllOps drives every adversarial workload through every
+// operation against a reference model, with invariant checks after every
+// mutating batch — the "nothing breaks under any batch shape" integration
+// sweep. PIM-balance assertions live in stats_test.go; this test is purely
+// about correctness under adversarial inputs.
+func TestAllWorkloadsAllOps(t *testing.T) {
+	const P = 8
+	const space = uint64(1) << 24
+	for _, w := range adversary.Workloads() {
+		w := w
+		t.Run(string(w), func(t *testing.T) {
+			m := newTestMap(t, P)
+			g := adversary.NewGen(0x1122, space)
+			ref := map[uint64]int64{}
+
+			// Seed with anchors so same-successor batches have answers.
+			anchors := g.SparseAnchors(2000)
+			vals := make([]int64, len(anchors))
+			for i := range anchors {
+				vals[i] = int64(anchors[i])
+			}
+			m.Upsert(anchors, vals)
+			for i, k := range anchors {
+				ref[k] = vals[i]
+			}
+
+			refSorted := func() []uint64 {
+				ks := make([]uint64, 0, len(ref))
+				for k := range ref {
+					ks = append(ks, k)
+				}
+				sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+				return ks
+			}
+
+			for round := 0; round < 4; round++ {
+				batch := g.Batch(w, 200)
+
+				// Upsert the batch.
+				uv := make([]int64, len(batch))
+				for i := range uv {
+					uv[i] = int64(batch[i] * 2)
+				}
+				m.Upsert(batch, uv)
+				for i := range batch {
+					ref[batch[i]] = uv[i]
+				}
+				mustCheck(t, m)
+
+				// Get them all back.
+				got, _ := m.Get(batch)
+				for i, k := range batch {
+					if !got[i].Found || got[i].Value != ref[k] {
+						t.Fatalf("round %d: Get(%d) = %+v want %d", round, k, got[i], ref[k])
+					}
+				}
+
+				// Successor sweep against the model.
+				ks := refSorted()
+				succ, _ := m.Successor(batch)
+				for i, q := range batch {
+					j := sort.Search(len(ks), func(x int) bool { return ks[x] >= q })
+					if j == len(ks) {
+						if succ[i].Found {
+							t.Fatalf("round %d: Successor(%d) = %+v want none", round, q, succ[i])
+						}
+					} else if !succ[i].Found || succ[i].Key != ks[j] {
+						t.Fatalf("round %d: Successor(%d) = %+v want %d", round, q, succ[i], ks[j])
+					}
+				}
+
+				// Range count over the batch's hull, both strategies.
+				lo, hi := batch[0], batch[0]
+				for _, k := range batch {
+					if k < lo {
+						lo = k
+					}
+					if k > hi {
+						hi = k
+					}
+				}
+				var want int64
+				for k := range ref {
+					if k >= lo && k <= hi {
+						want++
+					}
+				}
+				bc, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: RangeCount})
+				tc, _ := m.RangeTreeOne(RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: RangeCount})
+				if bc.Count != want || tc.Count != want {
+					t.Fatalf("round %d: range [%d,%d] counts bcast=%d tree=%d want %d",
+						round, lo, hi, bc.Count, tc.Count, want)
+				}
+
+				// Delete half the batch.
+				dels := batch[:len(batch)/2]
+				m.Delete(dels)
+				for _, k := range dels {
+					delete(ref, k)
+				}
+				mustCheck(t, m)
+				if m.Len() != len(ref) {
+					t.Fatalf("round %d: Len %d vs ref %d", round, m.Len(), len(ref))
+				}
+			}
+		})
+	}
+}
+
+// TestTable1ScalingShapes is the slow, end-to-end validation that each
+// Table 1 row's measured growth stays within its bound's shape when P
+// quadruples. Run with -short to skip.
+func TestTable1ScalingShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep skipped in -short mode")
+	}
+	const n = 1 << 13
+	type row struct {
+		name string
+		// measure returns the metric at a given P.
+		measure func(p int) int64
+		// bound(p) is the paper's growth function (up to constants).
+		bound func(p int) float64
+		// slack multiplies the allowed ratio.
+		slack float64
+	}
+	mk := func(p int, opts ...func(*Config)) *Map[uint64, int64] {
+		m := newTestMap(t, p, opts...)
+		fill(t, m, n, 0x51)
+		return m
+	}
+	rows := []row{
+		{
+			name: "Get-IO",
+			measure: func(p int) int64 {
+				m := mk(p)
+				keys := make([]uint64, p*lg(p))
+				r := testKeys(0x52, len(keys))
+				copy(keys, r)
+				_, st := m.Get(keys)
+				return st.IOTime
+			},
+			bound: func(p int) float64 { return float64(lg(p)) },
+			slack: 2.5,
+		},
+		{
+			name: "Succ-IO",
+			measure: func(p int) int64 {
+				m := mk(p)
+				keys := testKeys(0x53, p*lg(p)*lg(p))
+				_, st := m.Successor(keys)
+				return st.IOTime
+			},
+			bound: func(p int) float64 { l := float64(lg(p)); return l * l * l },
+			slack: 2.5,
+		},
+		{
+			name: "Delete-IO",
+			measure: func(p int) int64 {
+				m := mk(p)
+				present := m.KeysInOrder()
+				b := min(p*lg(p)*lg(p), len(present))
+				_, st := m.Delete(present[:b])
+				return st.IOTime
+			},
+			bound: func(p int) float64 { l := float64(lg(p)); return l * l },
+			slack: 2.5,
+		},
+		{
+			name: "Upsert-IO",
+			measure: func(p int) int64 {
+				m := mk(p)
+				keys := testKeys(0x54, p*lg(p)*lg(p))
+				_, st := m.Upsert(keys, make([]int64, len(keys)))
+				return st.IOTime
+			},
+			bound: func(p int) float64 { l := float64(lg(p)); return l * l * l },
+			slack: 2.5,
+		},
+	}
+	for _, rw := range rows {
+		m8, m32 := rw.measure(8), rw.measure(32)
+		gotRatio := float64(m32) / float64(m8)
+		boundRatio := rw.bound(32) / rw.bound(8)
+		if gotRatio > boundRatio*rw.slack {
+			t.Errorf("%s: grew %.2fx from P=8→32; bound shape allows %.2fx (slack %.1f)",
+				rw.name, gotRatio, boundRatio, rw.slack)
+		}
+	}
+}
+
+// testKeys returns deterministic pseudo-random keys.
+func testKeys(seed uint64, n int) []uint64 {
+	r := rng.NewXoshiro256(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = 1 + r.Uint64n(1<<40)
+	}
+	return keys
+}

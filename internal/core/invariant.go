@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"pimgo/internal/pim"
+)
+
+// deref dereferences any global pointer from the CPU side — unmetered
+// introspection used only by the invariant checker, figure renderers, and
+// tests (never by the algorithms themselves).
+func (m *Map[K, V]) deref(p pim.Ptr) *node[K, V] {
+	if p.IsUpper() {
+		// Replica on module 0 (CheckInvariants separately verifies that all
+		// replicas agree).
+		return m.mach.Mod(0).State.upper.At(p.Addr())
+	}
+	return m.mach.Mod(p.ModuleOf()).State.lower.At(p.Addr())
+}
+
+// levelHead returns the -∞ node opening the horizontal list at level l.
+func (m *Map[K, V]) levelHead(l int) pim.Ptr {
+	if l < m.cfg.HLow {
+		return m.sentLower[l]
+	}
+	return pim.UpperPtr(m.sentUpper[m.cfg.MaxLevel-1-l])
+}
+
+// CheckInvariants validates the full pointer structure of Fig. 2 plus the
+// bookkeeping the algorithms rely on. It returns the first violation found,
+// or nil. It is O(n·P) CPU-side introspection for tests and experiments;
+// it performs no metered machine work.
+func (m *Map[K, V]) CheckInvariants() error {
+	cfg := m.cfg
+
+	// 1. Horizontal lists at every level: ascending keys, mirrored left
+	// pointers, accurate rightKey caches, correct node levels and module
+	// placement; collect tower heights per key.
+	height := map[K]int{}
+	levelCount := map[K]int{}
+	for l := 0; l < cfg.MaxLevel; l++ {
+		ptr := m.levelHead(l)
+		nd := m.deref(ptr)
+		if !nd.neg {
+			return fmt.Errorf("level %d head is not the -inf sentinel", l)
+		}
+		var prevKey K
+		first := true
+		prevPtr := ptr
+		for !nd.right.IsNil() {
+			rptr := nd.right
+			rn := m.deref(rptr)
+			if rn.deleted {
+				return fmt.Errorf("level %d: deleted node %v still linked", l, rptr)
+			}
+			if rn.neg || rn.pos {
+				return fmt.Errorf("level %d: sentinel %v linked as interior node", l, rptr)
+			}
+			if nd.rightKey != rn.key {
+				return fmt.Errorf("level %d: rightKey cache of %v is %v, neighbour key is %v", l, prevPtr, nd.rightKey, rn.key)
+			}
+			if rn.left != prevPtr {
+				return fmt.Errorf("level %d: left pointer of %v is %v, want %v", l, rptr, rn.left, prevPtr)
+			}
+			if int(rn.level) != l {
+				return fmt.Errorf("level %d: node %v records level %d", l, rptr, rn.level)
+			}
+			if !first && rn.key <= prevKey {
+				return fmt.Errorf("level %d: keys not ascending at %v (%v after %v)", l, rptr, rn.key, prevKey)
+			}
+			// Placement: lower nodes must be on their hash-assigned module;
+			// upper nodes must be upper pointers.
+			if l < cfg.HLow {
+				if rptr.IsUpper() {
+					return fmt.Errorf("level %d: upper pointer %v below HLow", l, rptr)
+				}
+				want := m.moduleFor(m.hashKey(rn.key), l)
+				if rptr.ModuleOf() != want {
+					return fmt.Errorf("level %d: key %v on module %d, hash says %d", l, rn.key, rptr.ModuleOf(), want)
+				}
+			} else if !rptr.IsUpper() {
+				return fmt.Errorf("level %d: lower pointer %v above HLow", l, rptr)
+			}
+			if l == 0 {
+				height[rn.key] = 1
+			}
+			levelCount[rn.key]++
+			prevKey, first = rn.key, false
+			prevPtr, nd = rptr, rn
+		}
+	}
+
+	// 2. Tower contiguity: every key at level l>0 also exists at l-1; a
+	// key's levels are 0..h-1. levelCount[k] must equal the tower height
+	// observed by walking up from the leaf.
+	nLeaves := 0
+	for k := range height {
+		nLeaves++
+		if levelCount[k] < 1 {
+			return fmt.Errorf("key %v: missing leaf level", k)
+		}
+	}
+	if nLeaves != m.n {
+		return fmt.Errorf("Len() = %d but %d leaves linked", m.n, nLeaves)
+	}
+
+	// 3. Leaf checks: hash-table membership, up-chain correctness, vertical
+	// pointers, and re-walk towers to confirm contiguity.
+	ptr := m.levelHead(0)
+	nd := m.deref(ptr)
+	for !nd.right.IsNil() {
+		lptr := nd.right
+		leaf := m.deref(lptr)
+		st := m.mach.Mod(lptr.ModuleOf()).State
+		addr, ok := st.ht.Get(leaf.key)
+		if !ok || addr != lptr.Addr() {
+			return fmt.Errorf("leaf %v (key %v) not in module %d hash table", lptr, leaf.key, lptr.ModuleOf())
+		}
+		// Walk the tower via up pointers.
+		towerLevels := 1
+		cur := lptr
+		cn := leaf
+		for !cn.up.IsNil() {
+			upPtr := cn.up
+			un := m.deref(upPtr)
+			if un.key != leaf.key {
+				return fmt.Errorf("tower of %v: up pointer reaches key %v", leaf.key, un.key)
+			}
+			if int(un.level) != towerLevels {
+				return fmt.Errorf("tower of %v: level %d node above level %d", leaf.key, un.level, towerLevels-1)
+			}
+			if un.down != cur {
+				return fmt.Errorf("tower of %v: down pointer of level %d is %v, want %v", leaf.key, un.level, un.down, cur)
+			}
+			if towerLevels-1 < len(leaf.upChain) && leaf.upChain[towerLevels-1] != upPtr {
+				return fmt.Errorf("leaf %v: upChain[%d] = %v, tower has %v", leaf.key, towerLevels-1, leaf.upChain[towerLevels-1], upPtr)
+			}
+			cur, cn = upPtr, un
+			towerLevels++
+		}
+		if towerLevels != levelCount[leaf.key] {
+			return fmt.Errorf("key %v: tower height %d but linked at %d levels", leaf.key, towerLevels, levelCount[leaf.key])
+		}
+		if len(leaf.upChain) != towerLevels-1 {
+			return fmt.Errorf("leaf %v: upChain length %d, tower height %d", leaf.key, len(leaf.upChain), towerLevels)
+		}
+		nd, ptr = leaf, lptr
+	}
+
+	// 4. Per-module checks: local leaf lists, hash-table sizes, next-leaf
+	// pointers, and upper-part replica agreement.
+	ref := m.mach.Mod(0).State
+	for id := 0; id < cfg.P; id++ {
+		st := m.mach.Mod(pim.ModuleID(id)).State
+		// Local leaf list ascending and consistent; membership equals the
+		// hash table's.
+		count := 0
+		cur := st.lower.At(st.localHead).localRight
+		prev := pim.LowerPtr(pim.ModuleID(id), st.localHead)
+		var prevKey K
+		first := true
+		for {
+			cn := st.lower.At(cur.Addr())
+			if cn.localLeft != prev {
+				return fmt.Errorf("module %d: local list back-pointer broken at %v", id, cur)
+			}
+			if cn.pos {
+				break
+			}
+			if cn.neg {
+				return fmt.Errorf("module %d: -inf sentinel inside local list", id)
+			}
+			if !first && cn.key <= prevKey {
+				return fmt.Errorf("module %d: local list not ascending at %v", id, cur)
+			}
+			if _, ok := st.ht.Get(cn.key); !ok {
+				return fmt.Errorf("module %d: local leaf %v missing from hash table", id, cur)
+			}
+			count++
+			prevKey, first = cn.key, false
+			prev, cur = cur, cn.localRight
+		}
+		if count != st.ht.Len() {
+			return fmt.Errorf("module %d: %d local leaves, hash table has %d", id, count, st.ht.Len())
+		}
+		// Upper replicas agree with module 0 on everything except nextLeaf.
+		if id != 0 {
+			mismatch := ""
+			st.upper.Range(func(addr uint32, un *node[K, V]) bool {
+				if !ref.upper.Live(addr) {
+					mismatch = fmt.Sprintf("module %d: upper addr %d not live on module 0", id, addr)
+					return false
+				}
+				rn := ref.upper.At(addr)
+				if un.key != rn.key || un.level != rn.level || un.neg != rn.neg ||
+					un.left != rn.left || un.right != rn.right || un.rightKey != rn.rightKey ||
+					un.up != rn.up || un.down != rn.down {
+					mismatch = fmt.Sprintf("module %d: upper replica %d diverges from module 0", id, addr)
+					return false
+				}
+				return true
+			})
+			if mismatch != "" {
+				return fmt.Errorf("%s", mismatch)
+			}
+			if st.upper.Len() != ref.upper.Len() {
+				return fmt.Errorf("module %d: %d upper nodes, module 0 has %d", id, st.upper.Len(), ref.upper.Len())
+			}
+		}
+		// next-leaf: every upper-leaf replica points at the first local
+		// leaf with key ≥ its key.
+		var nlErr error
+		st.upper.Range(func(addr uint32, un *node[K, V]) bool {
+			if int(un.level) != cfg.HLow {
+				return true
+			}
+			want := pim.LowerPtr(pim.ModuleID(id), st.localTail)
+			c := st.lower.At(st.localHead).localRight
+			for {
+				cn := st.lower.At(c.Addr())
+				if cn.pos {
+					break
+				}
+				if un.neg || cn.key >= un.key {
+					want = c
+					break
+				}
+				c = cn.localRight
+			}
+			if un.nextLeaf != want {
+				nlErr = fmt.Errorf("module %d: next-leaf of upper leaf %d (key %v) is %v, want %v", id, addr, un.key, un.nextLeaf, want)
+				return false
+			}
+			return true
+		})
+		if nlErr != nil {
+			return nlErr
+		}
+	}
+	return nil
+}

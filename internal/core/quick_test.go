@@ -1,0 +1,259 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pimgo/internal/rng"
+)
+
+// TestQuickUpsertGetRoundTrip: any batch of (key, value) pairs, upserted,
+// must be readable back with last-writer-wins semantics.
+func TestQuickUpsertGetRoundTrip(t *testing.T) {
+	if err := quick.Check(func(pairs []struct {
+		K uint16
+		V int32
+	}, pSel uint8) bool {
+		p := []int{2, 4, 8}[int(pSel)%3]
+		m := New[uint64, int64](Config{P: p, Seed: 77}, Uint64Hash)
+		keys := make([]uint64, len(pairs))
+		vals := make([]int64, len(pairs))
+		ref := map[uint64]int64{}
+		for i, pr := range pairs {
+			keys[i] = uint64(pr.K)
+			vals[i] = int64(pr.V)
+			ref[keys[i]] = vals[i]
+		}
+		m.Upsert(keys, vals)
+		if m.Len() != len(ref) {
+			return false
+		}
+		got, _ := m.Get(keys)
+		for i, g := range got {
+			if !g.Found || g.Value != ref[keys[i]] {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteComplement: deleting an arbitrary subset leaves exactly
+// the complement, in order.
+func TestQuickDeleteComplement(t *testing.T) {
+	if err := quick.Check(func(all []uint16, delMask []bool) bool {
+		m := New[uint64, int64](Config{P: 4, Seed: 78}, Uint64Hash)
+		ref := map[uint64]bool{}
+		keys := make([]uint64, len(all))
+		for i, k := range all {
+			keys[i] = uint64(k)
+			ref[keys[i]] = true
+		}
+		m.Upsert(keys, make([]int64, len(keys)))
+		var dels []uint64
+		for i, k := range all {
+			if i < len(delMask) && delMask[i] {
+				dels = append(dels, uint64(k))
+				delete(ref, uint64(k))
+			}
+		}
+		if len(dels) > 0 {
+			m.Delete(dels)
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		want := make([]uint64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := m.KeysInOrder()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSuccessorMonotone: successor is monotone nondecreasing in the
+// query, and idempotent (succ(succ(q).Key) == succ(q)).
+func TestQuickSuccessorMonotone(t *testing.T) {
+	m := New[uint64, int64](Config{P: 8, Seed: 79}, Uint64Hash)
+	r := rng.NewXoshiro256(80)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 20)
+	}
+	m.Upsert(keys, make([]int64, len(keys)))
+	if err := quick.Check(func(a, b uint32) bool {
+		qa, qb := uint64(a)%(1<<20), uint64(b)%(1<<20)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		res, _ := m.Successor([]uint64{qa, qb})
+		sa, sb := res[0], res[1]
+		if sa.Found && sa.Key < qa {
+			return false
+		}
+		if sa.Found && sb.Found && sa.Key > sb.Key {
+			return false // monotonicity violated
+		}
+		if !sa.Found && sb.Found {
+			return false // succ(qa) none but succ(qb≥qa) exists
+		}
+		if sa.Found {
+			again, _ := m.SuccessorOne(sa.Key)
+			if !again.Found || again.Key != sa.Key {
+				return false // idempotence violated
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPredSuccAdjoint: pred(q) ≤ q ≤ succ(q), and there is no key
+// strictly between pred(q) and q, nor between q and succ(q).
+func TestQuickPredSuccAdjoint(t *testing.T) {
+	m := New[uint64, int64](Config{P: 8, Seed: 81}, Uint64Hash)
+	r := rng.NewXoshiro256(82)
+	present := map[uint64]bool{}
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 16)
+		present[keys[i]] = true
+	}
+	m.Upsert(keys, make([]int64, len(keys)))
+	var sortedK []uint64
+	for k := range present {
+		sortedK = append(sortedK, k)
+	}
+	sort.Slice(sortedK, func(i, j int) bool { return sortedK[i] < sortedK[j] })
+
+	if err := quick.Check(func(q32 uint32) bool {
+		q := uint64(q32) % (1 << 17)
+		s, _ := m.SuccessorOne(q)
+		p, _ := m.PredecessorOne(q)
+		i := sort.Search(len(sortedK), func(x int) bool { return sortedK[x] >= q })
+		// successor check
+		if i == len(sortedK) {
+			if s.Found {
+				return false
+			}
+		} else if !s.Found || s.Key != sortedK[i] {
+			return false
+		}
+		// predecessor check
+		j := sort.Search(len(sortedK), func(x int) bool { return sortedK[x] > q })
+		if j == 0 {
+			if p.Found {
+				return false
+			}
+		} else if !p.Found || p.Key != sortedK[j-1] {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeCountConsistent: RangeCount equals the number of keys in
+// [lo, hi] under both execution strategies.
+func TestQuickRangeCountConsistent(t *testing.T) {
+	m := New[uint64, int64](Config{P: 8, Seed: 83}, Uint64Hash)
+	r := rng.NewXoshiro256(84)
+	present := map[uint64]bool{}
+	keys := make([]uint64, 800)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 16)
+		present[keys[i]] = true
+	}
+	m.Upsert(keys, make([]int64, len(keys)))
+	if err := quick.Check(func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want int64
+		for k := range present {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		bc, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: RangeCount})
+		tc, _ := m.RangeTreeOne(RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: RangeCount})
+		return bc.Count == want && tc.Count == want
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStringKeys exercises the generic key path end to end.
+func TestStringKeys(t *testing.T) {
+	m := New[string, string](Config{P: 4, Seed: 85}, StringHash)
+	keys := []string{"mango", "apple", "kiwi", "banana", "cherry"}
+	vals := []string{"M", "A", "K", "B", "C"}
+	m.Upsert(keys, vals)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := m.KeysInOrder()
+	want := []string{"apple", "banana", "cherry", "kiwi", "mango"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+	s, _ := m.SuccessorOne("blueberry")
+	if !s.Found || s.Key != "cherry" || s.Value != "C" {
+		t.Fatalf("successor(blueberry) = %+v", s)
+	}
+	p, _ := m.PredecessorOne("blueberry")
+	if !p.Found || p.Key != "banana" {
+		t.Fatalf("predecessor(blueberry) = %+v", p)
+	}
+	rr, _ := m.RangeBroadcast(RangeOp[string, string]{Lo: "b", Hi: "l", Kind: RangeRead})
+	if rr.Count != 3 { // banana, cherry, kiwi
+		t.Fatalf("range count = %d", rr.Count)
+	}
+	m.Delete([]string{"kiwi"})
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+// TestNegativeIntKeys exercises signed keys (ordering must be signed).
+func TestNegativeIntKeys(t *testing.T) {
+	m := New[int64, int64](Config{P: 4, Seed: 86}, Int64Hash)
+	m.Upsert([]int64{-100, -1, 0, 7, -50}, []int64{1, 2, 3, 4, 5})
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := m.KeysInOrder()
+	want := []int64{-100, -50, -1, 0, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+	s, _ := m.SuccessorOne(-60)
+	if !s.Found || s.Key != -50 {
+		t.Fatalf("successor(-60) = %+v", s)
+	}
+}

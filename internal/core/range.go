@@ -1,0 +1,452 @@
+package core
+
+import (
+	"cmp"
+	"sort"
+
+	"pimgo/internal/cpu"
+
+	"pimgo/internal/parutil"
+	"pimgo/internal/pim"
+)
+
+// RangeKind selects what a range operation does with each key-value pair in
+// its range (§5: RangeOperation(LKey, RKey, Func)).
+type RangeKind int8
+
+const (
+	// RangeCount counts the pairs in range.
+	RangeCount RangeKind = iota
+	// RangeRead returns the pairs in range, ascending by key.
+	RangeRead
+	// RangeTransform applies Op.Transform to every value in range (a
+	// fetch-and-add style read-modify-write); Count is also returned.
+	RangeTransform
+	// RangeReduce folds every value in range with the associative,
+	// commutative Op.Reduce starting from Op.Init — §5's extension ("we can
+	// extend function to allow for associative and commutative reduction
+	// functions"). Broadcast execution reduces module-locally and returns
+	// one word per module; tree execution reduces on the CPU side. The
+	// result lands in RangeResult.Reduced (and Count is also returned).
+	RangeReduce
+)
+
+// RangeOp is one range operation over the closed interval [Lo, Hi].
+type RangeOp[K cmp.Ordered, V any] struct {
+	Lo, Hi K
+	Kind   RangeKind
+	// Transform maps the old value to the new value (RangeTransform only).
+	// It must be pure: it may run on PIM modules (broadcast execution) or
+	// on the CPU side (tree execution), and operations in a batch apply in
+	// batch order.
+	Transform func(V) V
+	// Reduce folds two values (RangeReduce only). It must be associative
+	// and commutative; partial folds happen module-locally.
+	Reduce func(V, V) V
+	// Init is the fold's identity element (RangeReduce only).
+	Init V
+}
+
+// RangePair is one key-value pair returned by RangeRead.
+type RangePair[K cmp.Ordered, V any] struct {
+	Key   K
+	Value V
+}
+
+// RangeResult is the outcome of one range operation.
+type RangeResult[K cmp.Ordered, V any] struct {
+	// Count is the number of pairs in range.
+	Count int64
+	// Pairs holds the pairs ascending by key (RangeRead only).
+	Pairs []RangePair[K, V]
+	// Reduced is the fold over the values in range (RangeReduce only).
+	Reduced V
+}
+
+// --- broadcast execution (§5.1) ---
+
+// bcastRangeMsg carries one module's contribution back to the CPU side.
+type bcastRangeMsg[K cmp.Ordered, V any] struct {
+	count   int64
+	pairs   []RangePair[K, V]
+	reduced V
+}
+
+// bcastRangeTask executes a range operation locally on one module: find the
+// local successor of Lo via the upper part and next-leaf pointer (the three
+// steps of Theorem 5.1), then walk the local leaf list applying Func.
+type bcastRangeTask[K cmp.Ordered, V any] struct {
+	m  *Map[K, V]
+	op RangeOp[K, V]
+}
+
+func (t *bcastRangeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	// Step 1: rightmost upper-part leaf with key ≤ Lo (local replica).
+	u, _ := t.m.localUpperLeafFloor(c, st, t.op.Lo)
+	// Step 2: its next-leaf enters the local leaf list.
+	cur := u.nextLeaf
+	cn := st.lower.At(cur.Addr())
+	c.Charge(1)
+	// Step 3: walk to the local successor of Lo.
+	for !cn.pos && cn.key < t.op.Lo {
+		cur = cn.localRight
+		cn = st.lower.At(cur.Addr())
+		c.Charge(1)
+	}
+	// Apply Func over the local pairs in range.
+	var msg bcastRangeMsg[K, V]
+	msg.reduced = t.op.Init
+	for !cn.pos && cn.key <= t.op.Hi {
+		c.Charge(1)
+		msg.count++
+		switch t.op.Kind {
+		case RangeRead:
+			msg.pairs = append(msg.pairs, RangePair[K, V]{Key: cn.key, Value: cn.val})
+		case RangeTransform:
+			cn.val = t.op.Transform(cn.val)
+		case RangeReduce:
+			msg.reduced = t.op.Reduce(msg.reduced, cn.val)
+		}
+		cur = cn.localRight
+		cn = st.lower.At(cur.Addr())
+	}
+	words := int64(2 + 2*len(msg.pairs))
+	c.ReplyWords(msg, words)
+}
+
+// RangeBroadcast executes one range operation by broadcasting it to all P
+// modules (§5.1, Theorem 5.1): O(1) IO time to distribute, O(K/P + log n)
+// whp PIM time, O(K/P) whp IO time to return values, O(1) rounds.
+// Preferable to RangeTree when the range holds Ω(P log P) pairs.
+func (m *Map[K, V]) RangeBroadcast(op RangeOp[K, V]) (RangeResult[K, V], BatchStats) {
+	tr, c := m.beginBatch()
+	res := m.rangeBroadcastInner(c, op)
+	return res, m.endBatch(tr, c, 1, 0, 0)
+}
+
+// rangeBroadcastInner is the metered body of RangeBroadcast, reusable
+// inside composite operations (RangeAuto).
+func (m *Map[K, V]) rangeBroadcastInner(c *cpu.Ctx, op RangeOp[K, V]) RangeResult[K, V] {
+	var res RangeResult[K, V]
+	res.Reduced = op.Init
+	sends := pim.Broadcast[*modState[K, V]](m.cfg.P, &bcastRangeTask[K, V]{m: m, op: op}, 1)
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			v := r.V.(bcastRangeMsg[K, V])
+			res.Count += v.count
+			res.Pairs = append(res.Pairs, v.pairs...)
+			if op.Kind == RangeReduce {
+				res.Reduced = op.Reduce(res.Reduced, v.reduced)
+			}
+		}
+		sends = next
+	}
+	if op.Kind == RangeRead {
+		c.Tracker().Alloc(2 * res.Count)
+		defer c.Tracker().Free(2 * res.Count)
+		parutil.Sort(c, res.Pairs, func(a, b RangePair[K, V]) bool { return a.Key < b.Key })
+	}
+	return res
+}
+
+// --- tree-structured execution (§5.2) ---
+
+// rangeLeafMsg reports one in-range leaf found by an expansion sweep.
+type rangeLeafMsg[K cmp.Ordered, V any] struct {
+	seg int32
+	key K
+	val V
+	ptr pim.Ptr
+}
+
+// rangeSweepTask walks one level-ℓ segment of a search area: it visits
+// nodes from cur rightward while their keys stay below stop (the parent's
+// right-sibling key) and ≤ hi, spawning a child sweep under every visited
+// node and emitting every in-range leaf. Segment lengths are O(log P) whp
+// (geometric promotion), so the spawn tree has O(log n) round-depth.
+type rangeSweepTask[K cmp.Ordered, V any] struct {
+	m       *Map[K, V]
+	seg     int32
+	lo, hi  K
+	cur     pim.Ptr
+	level   int8
+	stop    K    // exclusive right bound inherited from the parent
+	hasStop bool // false → bounded by hi only
+}
+
+func (t *rangeSweepTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	cur := t.cur
+	for {
+		if !st.localTo(cur) {
+			nt := *t
+			nt.cur = cur
+			c.Send(cur.ModuleOf(), &nt)
+			return
+		}
+		u := st.resolve(cur)
+		c.Charge(1)
+		if !cur.IsUpper() {
+			st.track(cur.Addr())
+		}
+		// Past the parent's segment or the range? Done.
+		if !u.neg {
+			if t.hasStop && u.key >= t.stop {
+				return
+			}
+			if u.key > t.hi {
+				return
+			}
+		}
+		if t.level == 0 {
+			if !u.neg && u.key >= t.lo {
+				c.ReplyWords(rangeLeafMsg[K, V]{seg: t.seg, key: u.key, val: u.val, ptr: cur}, 2)
+			}
+		} else if !u.down.IsNil() {
+			// u's subtree at the level below spans [u.key, u.rightKey);
+			// skip it entirely when it ends before lo.
+			skip := !u.right.IsNil() && u.rightKey <= t.lo
+			if !skip {
+				child := &rangeSweepTask[K, V]{
+					m: t.m, seg: t.seg, lo: t.lo, hi: t.hi,
+					cur: u.down, level: t.level - 1,
+				}
+				if !u.right.IsNil() {
+					child.stop, child.hasStop = u.rightKey, true
+				}
+				if st.localTo(u.down) {
+					child.Run(c) // local hop: no message
+				} else {
+					c.Send(u.down.ModuleOf(), child)
+				}
+			}
+		}
+		if u.right.IsNil() {
+			return
+		}
+		cur = u.right
+	}
+}
+
+// rangeEnterTask starts a tree-range expansion at the root: it descends the
+// local upper replica to the rightmost upper leaf ≤ lo, then walks the
+// (local, replicated) upper-leaf level across the range, spawning one lower
+// sweep per upper leaf whose subtree intersects [lo, hi].
+type rangeEnterTask[K cmp.Ordered, V any] struct {
+	m      *Map[K, V]
+	seg    int32
+	lo, hi K
+}
+
+func (t *rangeEnterTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	u, uAddr := t.m.localUpperLeafFloor(c, st, t.lo)
+	for {
+		c.Charge(1)
+		if !u.neg && u.key > t.hi {
+			return
+		}
+		// Skip upper leaves whose whole subtree precedes lo.
+		subtreeEndsBeforeLo := !u.right.IsNil() && u.rightKey <= t.lo
+		if !subtreeEndsBeforeLo && !u.down.IsNil() {
+			child := &rangeSweepTask[K, V]{
+				m: t.m, seg: t.seg, lo: t.lo, hi: t.hi,
+				cur: u.down, level: int8(t.m.cfg.HLow - 1),
+			}
+			if !u.right.IsNil() {
+				child.stop, child.hasStop = u.rightKey, true
+			}
+			if st.localTo(u.down) {
+				child.Run(c)
+			} else {
+				c.Send(u.down.ModuleOf(), child)
+			}
+		}
+		if u.right.IsNil() {
+			return
+		}
+		uAddr = u.right.Addr()
+		u = st.upper.At(uAddr)
+	}
+}
+
+// segment is a maximal merged interval covering one or more batch ops.
+type segment[K cmp.Ordered] struct {
+	lo, hi K
+}
+
+// RangeTree executes a batch of range operations by tree traversal (§5.2,
+// Theorem 5.2). Overlapping ranges are merged into disjoint ascending
+// segments on the CPU side; segment boundary searches reuse the §4.2 pivot
+// machinery for their start hints; expansions then sweep the search areas
+// level by level; finally in-range pairs are fetched to the CPU side in
+// shared-memory-sized groups where Func is applied and written back.
+// Results are in input order.
+func (m *Map[K, V]) RangeTree(ops []RangeOp[K, V]) ([]RangeResult[K, V], BatchStats) {
+	tr, c := m.beginBatch()
+	out, phases, maxAcc := m.rangeTreeInner(c, ops)
+	return out, m.endBatch(tr, c, len(ops), phases, maxAcc)
+}
+
+// rangeTreeInner is the metered body of RangeTree, reusable inside
+// composite operations (RangeAuto).
+func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResult[K, V], int, int64) {
+	B := len(ops)
+	out := make([]RangeResult[K, V], B)
+	if B == 0 {
+		return out, 0, 0
+	}
+	c.Tracker().Alloc(int64(4 * B))
+	defer c.Tracker().Free(int64(4 * B))
+
+	// Split the batch into disjoint ascending segments (§5.2 step 1).
+	order := seqInts(B)
+	parutil.Sort(c, order, func(a, b int) bool {
+		if ops[a].Lo != ops[b].Lo {
+			return ops[a].Lo < ops[b].Lo
+		}
+		return ops[a].Hi < ops[b].Hi
+	})
+	var segs []segment[K]
+	opSeg := make([]int32, B)
+	c.WorkFlat(int64(B))
+	for _, oi := range order {
+		op := ops[oi]
+		if len(segs) > 0 && op.Lo <= segs[len(segs)-1].hi {
+			// Overlaps (or touches inside) the current segment: extend it.
+			if op.Hi > segs[len(segs)-1].hi {
+				segs[len(segs)-1].hi = op.Hi
+			}
+		} else {
+			segs = append(segs, segment[K]{lo: op.Lo, hi: op.Hi})
+		}
+		opSeg[oi] = int32(len(segs) - 1)
+	}
+
+	// Boundary searches with pivot hints (§5.2 steps 2–3).
+	los := make([]K, len(segs))
+	for i, s := range segs {
+		los[i] = s.lo
+	}
+	hints := make([]expandHint, len(segs))
+	_, phases, maxAcc, _ := m.searchCore(c, los, modeSuccessor, nil, hints)
+
+	// Expansion wave: one enter/sweep per segment.
+	var sends []pim.Send[*modState[K, V]]
+	for i, s := range segs {
+		if h := hints[i]; !h.start.IsNil() {
+			sends = append(sends, pim.Send[*modState[K, V]]{
+				To: h.start.ModuleOf(),
+				Task: &rangeSweepTask[K, V]{
+					m: m, seg: int32(i), lo: s.lo, hi: s.hi,
+					cur: h.start, level: h.level,
+				},
+			})
+		} else {
+			sends = append(sends, pim.Send[*modState[K, V]]{
+				To:   pim.ModuleID(m.r.Intn(m.cfg.P)),
+				Task: &rangeEnterTask[K, V]{m: m, seg: int32(i), lo: s.lo, hi: s.hi},
+			})
+		}
+	}
+	perSeg := make([][]rangeLeafMsg[K, V], len(segs))
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			v := r.V.(rangeLeafMsg[K, V])
+			perSeg[v.seg] = append(perSeg[v.seg], v)
+		}
+		sends = next
+	}
+
+	// CPU side: sort each segment's leaves, then resolve every op against
+	// its segment. Process in shared-memory groups of Θ(P log² P) pairs.
+	groupWords := int64(m.cfg.P * m.cfg.HLow * m.cfg.HLow * 2)
+	if groupWords < 1024 {
+		groupWords = 1024
+	}
+	var fetched int64
+	for si := range perSeg {
+		leaves := perSeg[si]
+		n2 := int64(2 * len(leaves))
+		if fetched+n2 > groupWords {
+			c.Tracker().Free(fetched)
+			fetched = 0
+		}
+		c.Tracker().Alloc(n2)
+		fetched += n2
+		parutil.Sort(c, leaves, func(a, b rangeLeafMsg[K, V]) bool { return a.key < b.key })
+		perSeg[si] = leaves
+	}
+	c.Tracker().Free(fetched)
+
+	// Apply ops in batch order; Transform composes in batch order on the
+	// CPU copies and writes each touched leaf back once.
+	dirty := make(map[pim.Ptr]int) // leaf → (segment, index) for write-back
+	segOf := make(map[pim.Ptr]int32)
+	for i := 0; i < B; i++ {
+		op := ops[i]
+		leaves := perSeg[opSeg[i]]
+		lo := sort.Search(len(leaves), func(j int) bool { return leaves[j].key >= op.Lo })
+		hi := sort.Search(len(leaves), func(j int) bool { return leaves[j].key > op.Hi })
+		c.Work(int64(logCeil(len(leaves)+1)) + 1)
+		out[i].Count = int64(hi - lo)
+		switch op.Kind {
+		case RangeRead:
+			c.WorkFlat(int64(hi - lo))
+			out[i].Pairs = make([]RangePair[K, V], 0, hi-lo)
+			for _, lf := range leaves[lo:hi] {
+				out[i].Pairs = append(out[i].Pairs, RangePair[K, V]{Key: lf.key, Value: lf.val})
+			}
+		case RangeTransform:
+			c.WorkFlat(int64(hi - lo))
+			for j := lo; j < hi; j++ {
+				leaves[j].val = op.Transform(leaves[j].val)
+				dirty[leaves[j].ptr] = j
+				segOf[leaves[j].ptr] = opSeg[i]
+			}
+		case RangeReduce:
+			c.WorkFlat(int64(hi - lo))
+			out[i].Reduced = op.Init
+			for j := lo; j < hi; j++ {
+				out[i].Reduced = op.Reduce(out[i].Reduced, leaves[j].val)
+			}
+		}
+	}
+	// Write back transformed values.
+	sends = sends[:0]
+	for ptr, j := range dirty {
+		v := perSeg[segOf[ptr]][j].val
+		sends = append(sends, pim.Send[*modState[K, V]]{
+			To:    ptr.ModuleOf(),
+			Task:  &writeValTask[K, V]{target: ptr, val: v},
+			Words: 2,
+		})
+	}
+	c.WorkFlat(int64(len(sends)))
+	m.drive(c, sends)
+
+	return out, phases, maxAcc
+}
+
+// RangeTreeOne executes a single tree-structured range operation.
+func (m *Map[K, V]) RangeTreeOne(op RangeOp[K, V]) (RangeResult[K, V], BatchStats) {
+	res, st := m.RangeTree([]RangeOp[K, V]{op})
+	return res[0], st
+}
+
+// writeValTask overwrites a leaf's value (range write-back).
+type writeValTask[K cmp.Ordered, V any] struct {
+	target pim.Ptr
+	val    V
+}
+
+func (t *writeValTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	st.resolve(t.target).val = t.val
+	c.Charge(1)
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+
+	"pimgo/internal/rng"
+)
+
+// seedMap fills a map with n pseudo-random keys and value = key*3, and
+// mirrors them into a reference model.
+func seedMap(t *testing.T, p, n int) (*Map[uint64, int64], *refModel) {
+	t.Helper()
+	m := newTestMap(t, p)
+	ref := newRef()
+	r := rng.NewXoshiro256(31)
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = r.Uint64n(uint64(n * 10))
+		vals[i] = int64(keys[i] * 3)
+		ref.m[keys[i]] = vals[i]
+	}
+	m.Upsert(keys, vals)
+	return m, ref
+}
+
+func (r *refModel) rangePairs(lo, hi uint64) []RangePair[uint64, int64] {
+	var out []RangePair[uint64, int64]
+	for _, k := range r.sortedKeys() {
+		if k >= lo && k <= hi {
+			out = append(out, RangePair[uint64, int64]{Key: k, Value: r.m[k]})
+		}
+	}
+	return out
+}
+
+func checkRange(t *testing.T, name string, got RangeResult[uint64, int64], want []RangePair[uint64, int64], wantPairs bool) {
+	t.Helper()
+	if got.Count != int64(len(want)) {
+		t.Fatalf("%s: count = %d, want %d", name, got.Count, len(want))
+	}
+	if !wantPairs {
+		return
+	}
+	if len(got.Pairs) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", name, len(got.Pairs), len(want))
+	}
+	for i := range want {
+		if got.Pairs[i] != want[i] {
+			t.Fatalf("%s: pair %d = %+v, want %+v", name, i, got.Pairs[i], want[i])
+		}
+	}
+}
+
+func TestRangeBroadcastRead(t *testing.T) {
+	m, ref := seedMap(t, 8, 2000)
+	for _, rg := range [][2]uint64{{0, 1 << 40}, {100, 5000}, {7000, 7100}, {19999, 20001}, {30000, 29000}} {
+		got, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: rg[0], Hi: rg[1], Kind: RangeRead})
+		checkRange(t, "broadcast", got, ref.rangePairs(rg[0], rg[1]), true)
+	}
+}
+
+func TestRangeBroadcastCount(t *testing.T) {
+	m, ref := seedMap(t, 4, 1000)
+	got, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: 50, Hi: 4000, Kind: RangeCount})
+	checkRange(t, "count", got, ref.rangePairs(50, 4000), false)
+}
+
+func TestRangeBroadcastTransform(t *testing.T) {
+	m, ref := seedMap(t, 4, 1000)
+	add10 := func(v int64) int64 { return v + 10 }
+	m.RangeBroadcast(RangeOp[uint64, int64]{Lo: 100, Hi: 3000, Kind: RangeTransform, Transform: add10})
+	mustCheck(t, m)
+	for _, k := range ref.sortedKeys() {
+		want := ref.m[k]
+		if k >= 100 && k <= 3000 {
+			want += 10
+		}
+		got, _ := m.GetOne(k)
+		if !got.Found || got.Value != want {
+			t.Fatalf("after transform, Get(%d) = %+v, want %d", k, got, want)
+		}
+	}
+}
+
+func TestRangeTreeSingleRead(t *testing.T) {
+	m, ref := seedMap(t, 8, 2000)
+	for _, rg := range [][2]uint64{{0, 1 << 40}, {100, 5000}, {7000, 7100}, {19999, 20001}, {12345, 12345}, {30000, 29000}} {
+		got, _ := m.RangeTreeOne(RangeOp[uint64, int64]{Lo: rg[0], Hi: rg[1], Kind: RangeRead})
+		checkRange(t, "tree", got, ref.rangePairs(rg[0], rg[1]), true)
+	}
+}
+
+func TestRangeTreeBatchOverlapping(t *testing.T) {
+	m, ref := seedMap(t, 8, 3000)
+	ops := []RangeOp[uint64, int64]{
+		{Lo: 0, Hi: 500, Kind: RangeRead},
+		{Lo: 400, Hi: 900, Kind: RangeRead}, // overlaps previous
+		{Lo: 450, Hi: 460, Kind: RangeCount},
+		{Lo: 5000, Hi: 5100, Kind: RangeRead},
+		{Lo: 5050, Hi: 5060, Kind: RangeCount},
+		{Lo: 29000, Hi: 29999, Kind: RangeRead},
+		{Lo: 0, Hi: 1 << 40, Kind: RangeCount},
+	}
+	res, _ := m.RangeTree(ops)
+	for i, op := range ops {
+		checkRange(t, "tree-batch", res[i], ref.rangePairs(op.Lo, op.Hi), op.Kind == RangeRead)
+	}
+	mustCheck(t, m)
+}
+
+func TestRangeTreeManySmallRanges(t *testing.T) {
+	// Lots of tiny disjoint ranges: exercises the segment machinery and the
+	// pivot-hinted expansion together.
+	m, ref := seedMap(t, 8, 3000)
+	r := rng.NewXoshiro256(91)
+	ops := make([]RangeOp[uint64, int64], 300)
+	for i := range ops {
+		lo := r.Uint64n(30000)
+		ops[i] = RangeOp[uint64, int64]{Lo: lo, Hi: lo + r.Uint64n(50), Kind: RangeRead}
+	}
+	res, _ := m.RangeTree(ops)
+	for i, op := range ops {
+		checkRange(t, "tree-small", res[i], ref.rangePairs(op.Lo, op.Hi), true)
+	}
+}
+
+func TestRangeTreeTransform(t *testing.T) {
+	m, ref := seedMap(t, 4, 1500)
+	double := func(v int64) int64 { return v * 2 }
+	add1 := func(v int64) int64 { return v + 1 }
+	ops := []RangeOp[uint64, int64]{
+		{Lo: 100, Hi: 5000, Kind: RangeTransform, Transform: double},
+		{Lo: 3000, Hi: 8000, Kind: RangeTransform, Transform: add1}, // overlaps: composes in batch order
+	}
+	m.RangeTree(ops)
+	mustCheck(t, m)
+	for _, k := range ref.sortedKeys() {
+		want := ref.m[k]
+		if k >= 100 && k <= 5000 {
+			want *= 2
+		}
+		if k >= 3000 && k <= 8000 {
+			want++
+		}
+		got, _ := m.GetOne(k)
+		if !got.Found || got.Value != want {
+			t.Fatalf("Get(%d) = %+v, want %d", k, got, want)
+		}
+	}
+}
+
+func TestRangeTreeVsBroadcastAgree(t *testing.T) {
+	m, _ := seedMap(t, 8, 2000)
+	for _, rg := range [][2]uint64{{1000, 9000}, {0, 100}, {15000, 15500}} {
+		a, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: rg[0], Hi: rg[1], Kind: RangeRead})
+		b, _ := m.RangeTreeOne(RangeOp[uint64, int64]{Lo: rg[0], Hi: rg[1], Kind: RangeRead})
+		if a.Count != b.Count || len(a.Pairs) != len(b.Pairs) {
+			t.Fatalf("range [%d,%d]: broadcast %d pairs, tree %d", rg[0], rg[1], len(a.Pairs), len(b.Pairs))
+		}
+		for i := range a.Pairs {
+			if a.Pairs[i] != b.Pairs[i] {
+				t.Fatalf("range [%d,%d] pair %d: %+v vs %+v", rg[0], rg[1], i, a.Pairs[i], b.Pairs[i])
+			}
+		}
+	}
+}
+
+func TestRangeOnEmptyMap(t *testing.T) {
+	m := newTestMap(t, 4)
+	a, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: 0, Hi: 100, Kind: RangeRead})
+	if a.Count != 0 || len(a.Pairs) != 0 {
+		t.Fatalf("broadcast on empty map: %+v", a)
+	}
+	b, _ := m.RangeTreeOne(RangeOp[uint64, int64]{Lo: 0, Hi: 100, Kind: RangeRead})
+	if b.Count != 0 || len(b.Pairs) != 0 {
+		t.Fatalf("tree on empty map: %+v", b)
+	}
+}
+
+func TestRangeAfterDeletes(t *testing.T) {
+	m, ref := seedMap(t, 8, 2000)
+	// Delete a stripe, then range over it.
+	var dels []uint64
+	for _, k := range ref.sortedKeys() {
+		if k >= 4000 && k <= 9000 {
+			dels = append(dels, k)
+			delete(ref.m, k)
+		}
+	}
+	m.Delete(dels)
+	mustCheck(t, m)
+	got, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: 3000, Hi: 10000, Kind: RangeRead})
+	checkRange(t, "bcast-after-del", got, ref.rangePairs(3000, 10000), true)
+	got2, _ := m.RangeTreeOne(RangeOp[uint64, int64]{Lo: 3000, Hi: 10000, Kind: RangeRead})
+	checkRange(t, "tree-after-del", got2, ref.rangePairs(3000, 10000), true)
+}
+
+func TestRangeBroadcastIsO1Rounds(t *testing.T) {
+	m, _ := seedMap(t, 16, 4000)
+	_, st := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: 0, Hi: 1 << 40, Kind: RangeCount})
+	// Theorem 5.1: O(1) bulk-synchronous rounds.
+	if st.Rounds > 2 {
+		t.Fatalf("broadcast range used %d rounds, want O(1)", st.Rounds)
+	}
+}
+
+func TestRangeReduceBroadcastAndTree(t *testing.T) {
+	m, ref := seedMap(t, 8, 1500)
+	sum := func(a, b int64) int64 { return a + b }
+	maxf := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for _, rg := range [][2]uint64{{100, 8000}, {0, 1 << 40}, {5000, 5001}} {
+		var wantSum, wantMax int64
+		wantMax = -1 << 62
+		n := 0
+		for _, p := range ref.rangePairs(rg[0], rg[1]) {
+			wantSum += p.Value
+			if p.Value > wantMax {
+				wantMax = p.Value
+			}
+			n++
+		}
+		if n == 0 {
+			wantMax = -1 << 62 // identity survives on empty ranges
+		}
+		sumOp := RangeOp[uint64, int64]{Lo: rg[0], Hi: rg[1], Kind: RangeReduce, Reduce: sum, Init: 0}
+		maxOp := RangeOp[uint64, int64]{Lo: rg[0], Hi: rg[1], Kind: RangeReduce, Reduce: maxf, Init: -1 << 62}
+		b1, _ := m.RangeBroadcast(sumOp)
+		t1, _ := m.RangeTreeOne(sumOp)
+		if b1.Reduced != wantSum || t1.Reduced != wantSum {
+			t.Fatalf("[%d,%d] sum: bcast %d tree %d want %d", rg[0], rg[1], b1.Reduced, t1.Reduced, wantSum)
+		}
+		b2, _ := m.RangeBroadcast(maxOp)
+		t2, _ := m.RangeTreeOne(maxOp)
+		if b2.Reduced != wantMax || t2.Reduced != wantMax {
+			t.Fatalf("[%d,%d] max: bcast %d tree %d want %d", rg[0], rg[1], b2.Reduced, t2.Reduced, wantMax)
+		}
+	}
+}
+
+func TestRangeReduceReturnIOIsConstantPerModule(t *testing.T) {
+	// The point of module-local reduction: returning the fold costs one
+	// word per module regardless of K (vs O(K/P) for RangeRead).
+	m, _ := seedMap(t, 16, 4000)
+	op := RangeOp[uint64, int64]{Lo: 0, Hi: 1 << 40, Kind: RangeReduce,
+		Reduce: func(a, b int64) int64 { return a + b }}
+	_, st := m.RangeBroadcast(op)
+	if st.IOTime > 8 {
+		t.Fatalf("reduce broadcast IO = %d, want O(1) per module", st.IOTime)
+	}
+	opRead := RangeOp[uint64, int64]{Lo: 0, Hi: 1 << 40, Kind: RangeRead}
+	_, str := m.RangeBroadcast(opRead)
+	if str.IOTime < 10*st.IOTime {
+		t.Fatalf("read IO (%d) should dwarf reduce IO (%d) on a full scan", str.IOTime, st.IOTime)
+	}
+}
+
+func TestRangeReduceAuto(t *testing.T) {
+	m, ref := seedMap(t, 8, 2000)
+	keys := m.KeysInOrder()
+	sum := func(a, b int64) int64 { return a + b }
+	ops := []RangeOp[uint64, int64]{
+		{Lo: keys[3], Hi: keys[7], Kind: RangeReduce, Reduce: sum},
+		{Lo: 0, Hi: 1 << 40, Kind: RangeReduce, Reduce: sum},
+	}
+	res, _ := m.RangeAuto(ops)
+	for i, op := range ops {
+		var want int64
+		for _, p := range ref.rangePairs(op.Lo, op.Hi) {
+			want += p.Value
+		}
+		if res[i].Reduced != want {
+			t.Fatalf("op %d: reduced %d want %d", i, res[i].Reduced, want)
+		}
+	}
+}

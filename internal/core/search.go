@@ -1,0 +1,596 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+
+	"pimgo/internal/cpu"
+	"pimgo/internal/parutil"
+	"pimgo/internal/pim"
+)
+
+// searchMode selects the descent rule of a search.
+type searchMode int8
+
+const (
+	// modeSuccessor descends keeping the current key strictly below the
+	// target; the result is the first key ≥ target (Successor of §4.2).
+	modeSuccessor searchMode = iota
+	// modePredecessor descends keeping the current key ≤ target; the result
+	// is the last key ≤ target (Predecessor of §4.2).
+	modePredecessor
+	// modeInsert is the strict-predecessor search of §4.3: like
+	// modeSuccessor, but it also records (pred, succ) at every level below
+	// the op's tower height for Algorithm 1.
+	modeInsert
+)
+
+// pathMsg streams one lower-part search-path node to the CPU side
+// (stage 1 of §4.2: "PIM modules send lower-part nodes on the search path
+// ... back to the shared memory").
+type pathMsg struct {
+	id    int32
+	level int8
+	ptr   pim.Ptr
+}
+
+// resultMsg is a search's final answer.
+type resultMsg[K cmp.Ordered, V any] struct {
+	id    int32
+	found bool
+	key   K
+	val   V
+	ptr   pim.Ptr
+}
+
+// predMsg records the strict predecessor and its old successor at one level
+// (consumed by Algorithm 1 during batched Upsert).
+type predMsg[K cmp.Ordered] struct {
+	id      int32
+	level   int8
+	pred    pim.Ptr
+	succ    pim.Ptr // pred.right at search time (nil at list end)
+	succKey K       // valid iff succ != nil
+}
+
+// searchTask is one in-flight search operation. cur == nil starts at the
+// root of the executing module's local upper replica; otherwise the task
+// resumes at the lower-part node cur (which lives on the executing module).
+type searchTask[K cmp.Ordered, V any] struct {
+	m            *Map[K, V]
+	id           int32
+	key          K
+	mode         searchMode
+	recordPath   bool
+	recordLevels int8 // modeInsert: record preds at levels < recordLevels
+	cur          pim.Ptr
+	level        int8
+}
+
+func (t *searchTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	var u *node[K, V]
+	var uptr pim.Ptr
+	var lvl int8
+	if t.cur.IsNil() {
+		uptr = pim.UpperPtr(t.m.rootAddr)
+		u = st.upper.At(t.m.rootAddr)
+		lvl = int8(t.m.cfg.MaxLevel - 1)
+	} else {
+		uptr = t.cur
+		u = st.resolve(t.cur)
+		lvl = t.level
+	}
+	for {
+		// Visit u.
+		c.Charge(1)
+		if !uptr.IsUpper() {
+			st.track(uptr.Addr())
+			if t.recordPath {
+				c.Reply(pathMsg{id: t.id, level: lvl, ptr: uptr})
+			}
+		}
+		// Move right while the neighbour still precedes the target.
+		if !u.right.IsNil() && t.goesRight(u.rightKey) {
+			next := u.right
+			if st.localTo(next) {
+				uptr, u = next, st.resolve(next)
+				continue
+			}
+			nt := *t
+			nt.cur, nt.level = next, lvl
+			c.Send(next.ModuleOf(), &nt)
+			return
+		}
+		// Descending (or finishing) at this level.
+		if t.mode == modeInsert && lvl < t.recordLevels {
+			c.ReplyWords(predMsg[K]{
+				id: t.id, level: lvl,
+				pred: uptr, succ: u.right, succKey: u.rightKey,
+			}, 3)
+		}
+		if lvl == 0 {
+			t.finish(c, st, u, uptr)
+			return
+		}
+		d := u.down
+		if st.localTo(d) {
+			uptr, u = d, st.resolve(d)
+			lvl--
+			continue
+		}
+		nt := *t
+		nt.cur, nt.level = d, lvl-1
+		c.Send(d.ModuleOf(), &nt)
+		return
+	}
+}
+
+// goesRight reports whether a neighbour with key rk still precedes the
+// search target under the task's mode.
+func (t *searchTask[K, V]) goesRight(rk K) bool {
+	if t.mode == modePredecessor {
+		return rk <= t.key
+	}
+	return rk < t.key
+}
+
+// finish emits the search result from the level-0 landing node u.
+func (t *searchTask[K, V]) finish(c *pim.Ctx[*modState[K, V]], st *modState[K, V], u *node[K, V], uptr pim.Ptr) {
+	switch t.mode {
+	case modePredecessor:
+		if u.neg {
+			c.ReplyWords(resultMsg[K, V]{id: t.id}, 2)
+			return
+		}
+		c.ReplyWords(resultMsg[K, V]{id: t.id, found: true, key: u.key, val: u.val, ptr: uptr}, 2)
+	default: // successor / insert-pred: result is u.right
+		r := u.right
+		if r.IsNil() {
+			c.ReplyWords(resultMsg[K, V]{id: t.id}, 2)
+			return
+		}
+		if st.localTo(r) {
+			rn := st.resolve(r)
+			c.Charge(1)
+			c.ReplyWords(resultMsg[K, V]{id: t.id, found: true, key: rn.key, val: rn.val, ptr: r}, 2)
+			return
+		}
+		// The result leaf is remote: hop there so its value rides back.
+		c.Send(r.ModuleOf(), &fetchLeafTask[K, V]{id: t.id, leaf: r})
+	}
+}
+
+// fetchLeafTask reads a leaf and replies with its (key, value).
+type fetchLeafTask[K cmp.Ordered, V any] struct {
+	id   int32
+	leaf pim.Ptr
+}
+
+func (t *fetchLeafTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	st := c.State()
+	c.Charge(1)
+	n := st.resolve(t.leaf)
+	c.ReplyWords(resultMsg[K, V]{id: t.id, found: true, key: n.key, val: n.val, ptr: t.leaf}, 2)
+}
+
+// SearchResult is the outcome of one Predecessor or Successor operation.
+type SearchResult[K cmp.Ordered, V any] struct {
+	// Found is false when no qualifying key exists.
+	Found bool
+	Key   K
+	Value V
+}
+
+// pathEntry is one recorded lower-part node of a pivot search path.
+type pathEntry struct {
+	ptr   pim.Ptr
+	level int8
+}
+
+// waveState accumulates the replies of one wave of concurrent searches.
+type waveState[K cmp.Ordered, V any] struct {
+	results []resultMsg[K, V]
+	done    []bool
+	paths   [][]pathEntry          // per id, in visit order (nil unless recorded)
+	preds   map[int32][]predMsg[K] // per id, modeInsert only
+}
+
+func newWaveState[K cmp.Ordered, V any](n int, withPaths, withPreds bool) *waveState[K, V] {
+	w := &waveState[K, V]{
+		results: make([]resultMsg[K, V], n),
+		done:    make([]bool, n),
+	}
+	if withPaths {
+		w.paths = make([][]pathEntry, n)
+	}
+	if withPreds {
+		w.preds = make(map[int32][]predMsg[K])
+	}
+	return w
+}
+
+// runWave drives rounds until the machine is quiet, dispatching replies.
+// CPU cost: processing each reply is a flat parallel step.
+func (m *Map[K, V]) runWave(c *cpu.Ctx, w *waveState[K, V], sends []pim.Send[*modState[K, V]]) {
+	for len(sends) > 0 {
+		replies, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(replies)))
+		for _, r := range replies {
+			switch v := r.V.(type) {
+			case resultMsg[K, V]:
+				w.results[v.id] = v
+				w.done[v.id] = true
+			case pathMsg:
+				if w.paths != nil {
+					w.paths[v.id] = append(w.paths[v.id], pathEntry{ptr: v.ptr, level: v.level})
+				}
+			case predMsg[K]:
+				if w.preds != nil {
+					w.preds[v.id] = append(w.preds[v.id], v)
+				}
+			default:
+				panic("core: unexpected reply in search wave")
+			}
+		}
+		sends = next
+	}
+}
+
+// startSend builds the initial send of a search task: at a hinted lower
+// node if hint is non-nil, else at the root replica of a random module.
+func (m *Map[K, V]) startSend(t *searchTask[K, V], hint pim.Ptr, hintLevel int8) pim.Send[*modState[K, V]] {
+	if !hint.IsNil() {
+		t.cur, t.level = hint, hintLevel
+		return pim.Send[*modState[K, V]]{To: hint.ModuleOf(), Task: t}
+	}
+	return pim.Send[*modState[K, V]]{To: pim.ModuleID(m.r.Intn(m.cfg.P)), Task: t}
+}
+
+// hint computes the stage-2/phase start hint for an operation lying between
+// two executed pivots (§4.2): if the pivots share their result leaf the
+// result is taken directly; otherwise the search starts at the lowest
+// common lower-part node of the two recorded paths, or at the root if the
+// paths share no lower-part node.
+type hint[K cmp.Ordered, V any] struct {
+	direct   bool // result resolved without any search
+	result   resultMsg[K, V]
+	start    pim.Ptr // nil → root
+	startLvl int8
+}
+
+func computeHint[K cmp.Ordered, V any](mode searchMode, id int32,
+	lRes, rRes resultMsg[K, V], lPath, rPath []pathEntry) hint[K, V] {
+
+	// Monotonicity short-circuits. Successor is monotone nondecreasing:
+	// succ(a) == succ(b) ⇒ succ(x) is the same leaf for all x in [a,b];
+	// and succ(a) == none ⇒ succ(x ≥ a) == none. Symmetric for predecessor.
+	switch mode {
+	case modePredecessor:
+		if !rRes.found {
+			return hint[K, V]{direct: true, result: resultMsg[K, V]{id: id}}
+		}
+	default:
+		if !lRes.found {
+			return hint[K, V]{direct: true, result: resultMsg[K, V]{id: id}}
+		}
+	}
+	if lRes.found && rRes.found && lRes.ptr == rRes.ptr {
+		r := lRes
+		r.id = id
+		return hint[K, V]{direct: true, result: r}
+	}
+	// Lowest common lower-part node = last entry of the common path prefix.
+	n := len(lPath)
+	if len(rPath) < n {
+		n = len(rPath)
+	}
+	last := -1
+	for i := 0; i < n; i++ {
+		if lPath[i].ptr != rPath[i].ptr {
+			break
+		}
+		last = i
+	}
+	if last < 0 {
+		return hint[K, V]{}
+	}
+	return hint[K, V]{start: lPath[last].ptr, startLvl: lPath[last].level}
+}
+
+// Successor answers, for every key in keys, the smallest key in the map ≥
+// that key, with its value. Results are in input order. The batch is
+// executed with the PIM-balanced pivot algorithm of §4.2 (Theorem 4.3)
+// unless Config.NaiveBatch reproduces the imbalanced naive execution.
+func (m *Map[K, V]) Successor(keys []K) ([]SearchResult[K, V], BatchStats) {
+	return m.batchSearch(keys, modeSuccessor)
+}
+
+// Predecessor answers, for every key in keys, the largest key in the map ≤
+// that key, with its value. Results are in input order.
+func (m *Map[K, V]) Predecessor(keys []K) ([]SearchResult[K, V], BatchStats) {
+	return m.batchSearch(keys, modePredecessor)
+}
+
+// SuccessorOne runs a single Successor query (a batch of one).
+func (m *Map[K, V]) SuccessorOne(key K) (SearchResult[K, V], BatchStats) {
+	res, st := m.Successor([]K{key})
+	return res[0], st
+}
+
+// PredecessorOne runs a single Predecessor query (a batch of one).
+func (m *Map[K, V]) PredecessorOne(key K) (SearchResult[K, V], BatchStats) {
+	res, st := m.Predecessor([]K{key})
+	return res[0], st
+}
+
+func (m *Map[K, V]) batchSearch(keys []K, mode searchMode) ([]SearchResult[K, V], BatchStats) {
+	tr, c := m.beginBatch()
+	res, phases, maxAcc, _ := m.searchCore(c, keys, mode, nil, nil)
+	out := make([]SearchResult[K, V], len(keys))
+	c.WorkFlat(int64(len(keys)))
+	for i, r := range res {
+		out[i] = SearchResult[K, V]{Found: r.found, Key: r.key, Value: r.val}
+	}
+	return out, m.endBatch(tr, c, len(keys), phases, maxAcc)
+}
+
+// expandHint is the start hint the tree-structured range operations (§5.2)
+// reuse from the pivot machinery: a lower-part node known to precede the
+// op's key, or nil for a root start.
+type expandHint struct {
+	start pim.Ptr
+	level int8
+}
+
+// searchCore runs the full §4.2 batch-search algorithm and returns the raw
+// results in input order. When insertHeights is non-nil (batched Upsert),
+// the mode is modeInsert and predsOut receives the per-level predecessor
+// records keyed by input position. When hintsOut is non-nil (len B), it
+// receives each op's start hint in input order (for §5.2 expansions).
+func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
+	insertHeights []int8, hintsOut []expandHint) (results []resultMsg[K, V], phases int, maxAcc int64, predsOut map[int32][]predMsg[K]) {
+
+	B := len(keys)
+	results = make([]resultMsg[K, V], B)
+	if B == 0 {
+		return results, 0, 0, nil
+	}
+	c.Tracker().Alloc(int64(B))
+	defer c.Tracker().Free(int64(B))
+
+	// Sort the batch by key (§4.2: "The keys in the batch are first sorted
+	// on the CPU side"). sorted[j].pos = input position of the j-th
+	// smallest key.
+	sorted := make([]sortItem[K], B)
+	for i, k := range keys {
+		sorted[i] = sortItem[K]{k: k, pos: int32(i)}
+	}
+	c.WorkFlat(int64(B))
+	parutil.Sort(c, sorted, func(a, b sortItem[K]) bool {
+		if a.k != b.k {
+			return a.k < b.k
+		}
+		return a.pos < b.pos
+	})
+
+	withPreds := mode == modeInsert
+	w := newWaveState[K, V](B, true, withPreds)
+	// In insert mode, pivots record predecessor data at EVERY level they
+	// traverse (not just their own tower height): hinted operations start
+	// below the upper levels and must borrow the records above their hint
+	// from the enclosing left pivot — valid because search paths coincide
+	// above the lowest common node, so pred_l(x) = pred_l(pivot) there.
+	newTask := func(j int, recordPath, isPivot bool) *searchTask[K, V] {
+		t := &searchTask[K, V]{
+			m: m, id: int32(j), key: sorted[j].k, mode: mode,
+			recordPath: recordPath,
+		}
+		if withPreds {
+			if isPivot {
+				t.recordLevels = int8(m.cfg.MaxLevel)
+			} else {
+				t.recordLevels = insertHeights[sorted[j].pos]
+			}
+		}
+		return t
+	}
+	// borrowPreds copies the left pivot's records above the hint level to
+	// op j (capped at maxLevel; pivots borrow everything).
+	borrowPreds := func(j, jl int, aboveLvl int8, maxLevel int8) {
+		if !withPreds {
+			return
+		}
+		for _, rec := range w.preds[int32(jl)] {
+			if rec.level > aboveLvl && rec.level < maxLevel {
+				rec.id = int32(j)
+				w.preds[int32(j)] = append(w.preds[int32(j)], rec)
+				c.Work(1)
+			}
+		}
+	}
+
+	if m.cfg.NaiveBatch {
+		// §4.2's PIM-imbalanced naive execution: all ops from the root.
+		sends := make([]pim.Send[*modState[K, V]], 0, B)
+		for j := 0; j < B; j++ {
+			sends = append(sends, m.startSend(newTask(j, withPreds, false), pim.NilPtr, 0))
+		}
+		m.resetAccessPhase()
+		m.runWave(c, w, sends)
+		if a := m.maxAccessThisPhase(); a > maxAcc {
+			maxAcc = a
+		}
+		unsortResults(c, w, sorted, results)
+		return results, 1, maxAcc, remapPreds(w, sorted)
+	}
+
+	// Stage 1: pivots. Every PivotSpacing-th op plus both extremes.
+	spacing := m.cfg.PivotSpacing
+	var pivots []int
+	for j := 0; j < B; j += spacing {
+		pivots = append(pivots, j)
+	}
+	if pivots[len(pivots)-1] != B-1 {
+		pivots = append(pivots, B-1)
+	}
+	c.Tracker().Alloc(int64(len(pivots) * (2*m.cfg.HLow + 2))) // recorded paths live in shared memory
+	defer c.Tracker().Free(int64(len(pivots) * (2*m.cfg.HLow + 2)))
+	np := len(pivots)
+	execd := make([]bool, np)
+
+	m.lastPhases = m.lastPhases[:0]
+	runPhase := func(idxs []int, record bool) {
+		phases++
+		m.resetAccessPhase()
+		trace := PhaseInfo{}
+		sends := make([]pim.Send[*modState[K, V]], 0, len(idxs))
+		for _, pi := range idxs {
+			j := pivots[pi]
+			// Hint from the nearest executed pivots on each side.
+			l, r := pi-1, pi+1
+			for l >= 0 && !execd[l] {
+				l--
+			}
+			for r < np && !execd[r] {
+				r++
+			}
+			var h hint[K, V]
+			jl := -1
+			if l >= 0 && r < np {
+				jl = pivots[l]
+				jr := pivots[r]
+				h = computeHint(mode, int32(j), w.results[jl], w.results[jr], w.paths[jl], w.paths[jr])
+			}
+			if hintsOut != nil {
+				hintsOut[sorted[j].pos] = expandHint{start: h.start, level: h.startLvl}
+			}
+			c.Work(int64(m.cfg.HLow + 2)) // LCA scan over two O(HLow) paths
+			trace.Pivots = append(trace.Pivots, j)
+			switch {
+			case h.direct:
+				trace.Hints = append(trace.Hints, "direct")
+			case h.start.IsNil():
+				trace.Hints = append(trace.Hints, "root")
+			default:
+				trace.Hints = append(trace.Hints, fmt.Sprintf("lca@L%d", h.startLvl))
+			}
+			if h.direct {
+				w.results[j] = h.result
+				w.done[j] = true
+				if withPreds {
+					// Direct results skip the search, but inserts always
+					// need the per-level records — fall through to search.
+					h.direct = false
+				} else {
+					continue
+				}
+			}
+			if withPreds && !h.start.IsNil() && jl >= 0 {
+				borrowPreds(j, jl, h.startLvl, int8(m.cfg.MaxLevel))
+			}
+			sends = append(sends, m.startSend(newTask(j, record, true), h.start, h.startLvl))
+		}
+		m.lastPhases = append(m.lastPhases, trace)
+		m.runWave(c, w, sends)
+		for _, pi := range idxs {
+			execd[pi] = true
+		}
+		if a := m.maxAccessThisPhase(); a > maxAcc {
+			maxAcc = a
+		}
+	}
+
+	// Phase 0: the two extreme pivots.
+	if np == 1 {
+		runPhase([]int{0}, true)
+	} else {
+		runPhase([]int{0, np - 1}, true)
+	}
+	// Subsequent phases: the median pivot of every unexecuted segment.
+	for {
+		var medians []int
+		i := 0
+		for i < np {
+			if execd[i] {
+				i++
+				continue
+			}
+			lo := i
+			for i < np && !execd[i] {
+				i++
+			}
+			medians = append(medians, (lo+i-1)/2)
+		}
+		if len(medians) == 0 {
+			break
+		}
+		runPhase(medians, true)
+	}
+
+	// Stage 2: every non-pivot op, hinted by its enclosing pivots.
+	phases++
+	m.resetAccessPhase()
+	var sends []pim.Send[*modState[K, V]]
+	pi := 0
+	for j := 0; j < B; j++ {
+		for pi+1 < np && pivots[pi+1] <= j {
+			pi++
+		}
+		if pivots[pi] == j {
+			continue // pivots were executed (and recorded) in stage 1
+		}
+		jl := pivots[pi]
+		jr := pivots[min(pi+1, np-1)]
+		h := computeHint(mode, int32(j), w.results[jl], w.results[jr], w.paths[jl], w.paths[jr])
+		if hintsOut != nil {
+			hintsOut[sorted[j].pos] = expandHint{start: h.start, level: h.startLvl}
+		}
+		c.Work(int64(m.cfg.HLow + 2))
+		if h.direct && !withPreds {
+			w.results[j] = h.result
+			w.done[j] = true
+			continue
+		}
+		if withPreds && !h.start.IsNil() {
+			borrowPreds(j, jl, h.startLvl, insertHeights[sorted[j].pos])
+		}
+		sends = append(sends, m.startSend(newTask(j, false, false), h.start, h.startLvl))
+	}
+	m.runWave(c, w, sends)
+	if a := m.maxAccessThisPhase(); a > maxAcc {
+		maxAcc = a
+	}
+
+	unsortResults(c, w, sorted, results)
+	return results, phases, maxAcc, remapPreds(w, sorted)
+}
+
+// sortItem pairs a key with its input position for batch sorting.
+type sortItem[K cmp.Ordered] struct {
+	k   K
+	pos int32
+}
+
+// unsortResults maps wave results (sorted order) back to input order.
+func unsortResults[K cmp.Ordered, V any](c *cpu.Ctx, w *waveState[K, V], sorted []sortItem[K], results []resultMsg[K, V]) {
+	c.WorkFlat(int64(len(sorted)))
+	for j := range sorted {
+		r := w.results[j]
+		r.id = sorted[j].pos
+		results[sorted[j].pos] = r
+	}
+}
+
+// remapPreds rekeys per-op predecessor records from sorted ids to input
+// positions.
+func remapPreds[K cmp.Ordered, V any](w *waveState[K, V], sorted []sortItem[K]) map[int32][]predMsg[K] {
+	if w.preds == nil {
+		return nil
+	}
+	out := make(map[int32][]predMsg[K], len(w.preds))
+	for j, recs := range w.preds {
+		out[sorted[j].pos] = recs
+	}
+	return out
+}

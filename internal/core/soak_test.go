@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"pimgo/internal/rng"
+)
+
+// TestSoak is the long randomized differential test: thousands of mixed
+// batches across module counts, every operation checked against the model,
+// invariants verified periodically. Skipped with -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for _, p := range []int{3, 8, 24} { // non-powers of two included
+		p := p
+		t.Run(string(rune('0'+p/10))+string(rune('0'+p%10))+"modules", func(t *testing.T) {
+			t.Parallel()
+			m := newTestMap(t, p)
+			ref := map[uint64]int64{}
+			r := rng.NewXoshiro256(uint64(p) * 777)
+			const keySpace = 1 << 16
+			sortedRef := func() []uint64 {
+				ks := make([]uint64, 0, len(ref))
+				for k := range ref {
+					ks = append(ks, k)
+				}
+				sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+				return ks
+			}
+			for round := 0; round < 250; round++ {
+				b := 20 + r.Intn(300)
+				keys := make([]uint64, b)
+				for i := range keys {
+					keys[i] = r.Uint64n(keySpace)
+				}
+				switch r.Intn(6) {
+				case 0:
+					vals := make([]int64, b)
+					for i := range vals {
+						vals[i] = int64(r.Uint64())
+					}
+					m.Upsert(keys, vals)
+					for i := range keys {
+						ref[keys[i]] = vals[i]
+					}
+				case 1:
+					got, _ := m.Delete(keys)
+					for i, k := range keys {
+						if _, ok := ref[k]; got[i] != ok {
+							t.Fatalf("round %d: Delete(%d)=%v want %v", round, k, got[i], ok)
+						}
+					}
+					for _, k := range keys {
+						delete(ref, k)
+					}
+				case 2:
+					got, _ := m.Get(keys)
+					for i, k := range keys {
+						wv, ok := ref[k]
+						if got[i].Found != ok || (ok && got[i].Value != wv) {
+							t.Fatalf("round %d: Get(%d)=%+v want (%d,%v)", round, k, got[i], wv, ok)
+						}
+					}
+				case 3:
+					ks := sortedRef()
+					got, _ := m.Successor(keys)
+					for i, q := range keys {
+						j := sort.Search(len(ks), func(x int) bool { return ks[x] >= q })
+						if j == len(ks) {
+							if got[i].Found {
+								t.Fatalf("round %d: succ(%d)=%+v want none", round, q, got[i])
+							}
+						} else if !got[i].Found || got[i].Key != ks[j] {
+							t.Fatalf("round %d: succ(%d)=%+v want %d", round, q, got[i], ks[j])
+						}
+					}
+				case 4:
+					ks := sortedRef()
+					got, _ := m.Predecessor(keys)
+					for i, q := range keys {
+						j := sort.Search(len(ks), func(x int) bool { return ks[x] > q })
+						if j == 0 {
+							if got[i].Found {
+								t.Fatalf("round %d: pred(%d)=%+v want none", round, q, got[i])
+							}
+						} else if !got[i].Found || got[i].Key != ks[j-1] {
+							t.Fatalf("round %d: pred(%d)=%+v want %d", round, q, got[i], ks[j-1])
+						}
+					}
+				case 5:
+					// Random range batch, auto-dispatched.
+					nOps := 1 + r.Intn(20)
+					ops := make([]RangeOp[uint64, int64], nOps)
+					for i := range ops {
+						lo := r.Uint64n(keySpace)
+						ops[i] = RangeOp[uint64, int64]{Lo: lo, Hi: lo + r.Uint64n(keySpace/4), Kind: RangeCount}
+					}
+					got, _ := m.RangeAuto(ops)
+					ks := sortedRef()
+					for i, op := range ops {
+						loIdx := sort.Search(len(ks), func(x int) bool { return ks[x] >= op.Lo })
+						hiIdx := sort.Search(len(ks), func(x int) bool { return ks[x] > op.Hi })
+						if got[i].Count != int64(hiIdx-loIdx) {
+							t.Fatalf("round %d: rangeCount[%d,%d]=%d want %d",
+								round, op.Lo, op.Hi, got[i].Count, hiIdx-loIdx)
+						}
+					}
+				}
+				if m.Len() != len(ref) {
+					t.Fatalf("round %d: len %d vs ref %d", round, m.Len(), len(ref))
+				}
+				if round%20 == 19 {
+					mustCheck(t, m)
+				}
+			}
+			mustCheck(t, m)
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"pimgo/internal/cpu"
+)
+
+// BatchStats reports the PIM-model cost metrics of one batch operation —
+// the quantities in Table 1 of the paper, measured.
+type BatchStats struct {
+	// Batch is the number of operations in the batch.
+	Batch int
+
+	// IOTime is Σ over rounds of the round's h-relation (max messages
+	// to/from any one module).
+	IOTime int64
+	// PIMTime is the maximum total local work over modules during the batch.
+	PIMTime int64
+	// PIMRoundTime is Σ over rounds of the per-round maximum module work
+	// (the elapsed-time view of the PIM side).
+	PIMRoundTime int64
+	// Rounds is the number of bulk-synchronous rounds.
+	Rounds int64
+	// SyncCost is Rounds · log2 P.
+	SyncCost int64
+	// TotalMsgs is the total number of messages (I in the PIM-balance
+	// definition; balanced means IOTime = O(TotalMsgs/P)).
+	TotalMsgs int64
+	// TotalPIMWork is the summed local work over modules (W in the
+	// PIM-balance definition; balanced means PIMTime = O(W/P)).
+	TotalPIMWork int64
+
+	// CPUWork, CPUDepth are the CPU-side work/depth of the batch.
+	CPUWork  int64
+	CPUDepth int64
+	// CPUMem is the peak CPU shared-memory footprint in words — the
+	// "minimum M needed" column of Table 1.
+	CPUMem int64
+
+	// Phases is the number of stage-1 pivot phases executed (0 when the
+	// operation has no pivot stage).
+	Phases int
+	// MaxNodeAccess is the largest per-node access count observed in any
+	// single phase (Lemma 4.2 instrumentation; 0 unless Config.TrackAccess).
+	MaxNodeAccess int64
+}
+
+// IOPerOp returns IO time normalized by P·batch — the per-op, per-module
+// message cost.
+func (s BatchStats) IOPerOp() float64 {
+	if s.Batch == 0 {
+		return 0
+	}
+	return float64(s.IOTime) / float64(s.Batch)
+}
+
+// PIMBalanceWork returns PIMTime / (TotalPIMWork/P): 1.0 is perfect
+// PIM-balance of local work.
+func (s BatchStats) PIMBalanceWork(p int) float64 {
+	if s.TotalPIMWork == 0 {
+		return 0
+	}
+	return float64(s.PIMTime) / (float64(s.TotalPIMWork) / float64(p))
+}
+
+// PIMBalanceIO returns IOTime / (TotalMsgs/P): 1.0 is perfect PIM-balance
+// of communication.
+func (s BatchStats) PIMBalanceIO(p int) float64 {
+	if s.TotalMsgs == 0 {
+		return 0
+	}
+	return float64(s.IOTime) / (float64(s.TotalMsgs) / float64(p))
+}
+
+// ChargeIOToCompute returns a copy of the stats with communication charged
+// to computation as §2.1's discussion describes: "one could always
+// determine what that cost would be ... by simply adding h·P to the CPU
+// work and h to the PIM time" per round — i.e. IOTime·P onto CPU work and
+// IOTime onto PIM time in aggregate. For the paper's algorithms this must
+// not change the asymptotic CPU work or PIM time; the experiments verify
+// it stays within a constant factor.
+func (s BatchStats) ChargeIOToCompute(p int) BatchStats {
+	s.CPUWork += s.IOTime * int64(p)
+	s.PIMTime += s.IOTime
+	return s
+}
+
+// String renders the stats as a single table row.
+func (s BatchStats) String() string {
+	return fmt.Sprintf("batch=%d io=%d pim=%d rounds=%d msgs=%d cpuW=%d cpuD=%d mem=%d phases=%d maxAcc=%d",
+		s.Batch, s.IOTime, s.PIMTime, s.Rounds, s.TotalMsgs, s.CPUWork, s.CPUDepth, s.CPUMem, s.Phases, s.MaxNodeAccess)
+}
+
+// beginBatch resets machine metrics and instrumentation and returns a fresh
+// CPU tracker for the batch.
+func (m *Map[K, V]) beginBatch() (*cpu.Tracker, *cpu.Ctx) {
+	m.mach.ResetMetrics()
+	m.resetMaxAccess()
+	m.resetAccessPhase()
+	tr := cpu.NewTracker()
+	return tr, tr.Root()
+}
+
+// endBatch assembles BatchStats after a batch completes.
+func (m *Map[K, V]) endBatch(tr *cpu.Tracker, c *cpu.Ctx, batch, phases int, maxAccess int64) BatchStats {
+	tr.Finish(c)
+	met := m.mach.Metrics()
+	return BatchStats{
+		Batch:         batch,
+		IOTime:        met.IOTime,
+		PIMTime:       m.mach.PIMTime(),
+		PIMRoundTime:  met.PIMRoundTime,
+		Rounds:        met.Rounds,
+		SyncCost:      met.SyncCost(m.cfg.P),
+		TotalMsgs:     met.TotalMsgs,
+		TotalPIMWork:  m.mach.TotalPIMWork(),
+		CPUWork:       tr.Work(),
+		CPUDepth:      tr.Depth(),
+		CPUMem:        tr.PeakMem(),
+		Phases:        phases,
+		MaxNodeAccess: maxAccess,
+	}
+}

@@ -1,0 +1,251 @@
+// Package cpu models the CPU side of the PIM model: parallel cores with
+// fast access to a small shared memory, analyzed by work and depth under a
+// work-stealing scheduler (§2.1 of the paper).
+//
+// The paper deliberately does not fix the number of CPU cores: an algorithm
+// with W CPU work and D CPU depth runs in O(W/P' + D) expected time on any
+// P' cores with work stealing. We therefore track exactly those two
+// quantities, analytically and deterministically, while still *executing*
+// parallel constructs on real goroutines for wall-clock speed:
+//
+//   - Work: every strand charges units via Ctx.Work; the total is the CPU
+//     work of the computation.
+//   - Depth: each Ctx carries the depth of its strand. A Parallel(n, ...)
+//     construct contributes ceil(log2 n) fork/join overhead (binary forking,
+//     as in the binary-forking model the paper cites for its CPU-side
+//     primitives) plus the maximum depth over its children.
+//
+// Because accounting is analytic, the measured work/depth of an algorithm is
+// identical no matter how many OS threads actually ran it — which is what
+// makes the Table 1 depth columns reproducible.
+//
+// The tracker also records the peak shared-memory footprint (in words) that
+// an algorithm declares via Alloc/Free, reproducing the "minimum M needed"
+// column of Table 1.
+package cpu
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Tracker accumulates the CPU-side metrics of one computation (typically one
+// batch operation). Create one per measured computation with NewTracker.
+type Tracker struct {
+	work    atomic.Int64
+	depth   atomic.Int64 // final depth, set by Finish
+	mem     atomic.Int64 // current shared-memory words
+	peakMem atomic.Int64 // high-water mark
+
+	// limit bounds the number of concurrently running goroutines spawned by
+	// Parallel. 0 means GOMAXPROCS.
+	limit int
+	sem   chan struct{}
+}
+
+// NewTracker returns a Tracker executing parallel constructs on up to
+// GOMAXPROCS goroutines.
+func NewTracker() *Tracker {
+	return NewTrackerN(0)
+}
+
+// NewTrackerN returns a Tracker with an explicit parallelism limit.
+// limit <= 0 means GOMAXPROCS. limit == 1 forces sequential execution
+// (useful in tests); accounting is identical either way.
+func NewTrackerN(limit int) *Tracker {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &Tracker{limit: limit, sem: make(chan struct{}, limit)}
+}
+
+// Root returns the root strand context of the computation.
+func (t *Tracker) Root() *Ctx {
+	return &Ctx{t: t}
+}
+
+// Work returns the total CPU work charged so far.
+func (t *Tracker) Work() int64 { return t.work.Load() }
+
+// Depth returns the depth recorded by Finish. Call after Finish.
+func (t *Tracker) Depth() int64 { return t.depth.Load() }
+
+// PeakMem returns the high-water mark of declared shared-memory words.
+func (t *Tracker) PeakMem() int64 { return t.peakMem.Load() }
+
+// Finish records the root strand's final depth. Call exactly once, with the
+// root Ctx, after the computation completes.
+func (t *Tracker) Finish(root *Ctx) {
+	t.depth.Store(root.depth)
+}
+
+// Alloc declares that words of CPU shared memory are now in use. The model's
+// shared memory is small (M = O(P polylog P)); algorithms declare their
+// buffers so experiments can report the minimum M they need.
+func (t *Tracker) Alloc(words int64) {
+	cur := t.mem.Add(words)
+	for {
+		peak := t.peakMem.Load()
+		if cur <= peak || t.peakMem.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// Free declares that words of CPU shared memory have been released.
+func (t *Tracker) Free(words int64) {
+	t.mem.Add(-words)
+}
+
+// Ctx is one strand of CPU-side computation. It is not safe for concurrent
+// use; Parallel hands each child its own Ctx.
+type Ctx struct {
+	t     *Tracker
+	depth int64
+}
+
+// Tracker returns the tracker this strand charges to.
+func (c *Ctx) Tracker() *Tracker { return c.t }
+
+// Work charges n units of CPU work to the computation and n to this strand's
+// depth (sequential work extends the critical path).
+func (c *Ctx) Work(n int64) {
+	c.t.work.Add(n)
+	c.depth += n
+}
+
+// Depth returns the depth accumulated on this strand so far.
+func (c *Ctx) Depth() int64 { return c.depth }
+
+// WorkFlat charges n units of work but only ceil(log2 n)+1 depth: it models
+// a flat data-parallel step (n independent O(1) sub-operations under binary
+// forking) whose Go implementation happens to be a sequential loop. Use it
+// only for steps that are trivially parallelizable; anything with real
+// sequential dependencies must use Work.
+func (c *Ctx) WorkFlat(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.t.work.Add(n)
+	c.depth += logCeil(int(n)) + 1
+}
+
+// logCeil returns ceil(log2(n)) for n >= 1.
+func logCeil(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return int64(bits.Len(uint(n - 1)))
+}
+
+// Parallel runs f(i) for i in [0, n) in parallel. Depth accounting follows
+// the binary-forking model: the construct costs ceil(log2 n) to fork and
+// join, plus the maximum depth of any child strand. Children receive fresh
+// Ctx values and must charge work through them.
+//
+// Execution: children run on up to the tracker's limit of goroutines; small
+// n or an exhausted limit degrade gracefully to sequential execution with
+// identical accounting.
+func (c *Ctx) Parallel(n int, f func(i int, c *Ctx)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		child := Ctx{t: c.t}
+		f(0, &child)
+		c.depth += child.depth
+		return
+	}
+	depths := make([]int64, n)
+	if c.t.limit == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			child := Ctx{t: c.t}
+			f(i, &child)
+			depths[i] = child.depth
+		}
+	} else {
+		// Block-split the index space over at most limit workers; each
+		// worker runs its indices sequentially but each index still gets an
+		// independent strand for accounting.
+		workers := c.t.limit
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					child := Ctx{t: c.t}
+					f(i, &child)
+					depths[i] = child.depth
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	maxd := int64(0)
+	for _, d := range depths {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	c.depth += logCeil(n) + maxd
+}
+
+// Fork2 runs f and g as two parallel strands (a single binary fork):
+// depth += 1 + max(depth(f), depth(g)).
+func (c *Ctx) Fork2(f, g func(c *Ctx)) {
+	var df, dg int64
+	if c.t.limit == 1 {
+		cf := Ctx{t: c.t}
+		f(&cf)
+		cg := Ctx{t: c.t}
+		g(&cg)
+		df, dg = cf.depth, cg.depth
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		cf := Ctx{t: c.t}
+		cg := Ctx{t: c.t}
+		go func() {
+			defer wg.Done()
+			f(&cf)
+		}()
+		g(&cg)
+		wg.Wait()
+		df, dg = cf.depth, cg.depth
+	}
+	m := df
+	if dg > m {
+		m = dg
+	}
+	c.depth += 1 + m
+}
+
+// Reduce computes the sum of f(i) over i in [0, n) with a parallel
+// reduction: O(n) work (plus whatever f charges) and O(log n) depth on top
+// of the deepest f strand.
+func (c *Ctx) Reduce(n int, f func(i int, c *Ctx) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	parts := make([]int64, n)
+	c.Parallel(n, func(i int, cc *Ctx) {
+		cc.Work(1)
+		parts[i] = f(i, cc)
+	})
+	// The combining tree is log-depth; charge it as such.
+	var sum int64
+	for _, p := range parts {
+		sum += p
+	}
+	c.t.work.Add(int64(n))
+	c.depth += logCeil(n)
+	return sum
+}

@@ -1,0 +1,263 @@
+package cpu
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialWorkAddsToDepth(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	root.Work(5)
+	root.Work(7)
+	tr.Finish(root)
+	if tr.Work() != 12 {
+		t.Fatalf("work = %d, want 12", tr.Work())
+	}
+	if tr.Depth() != 12 {
+		t.Fatalf("depth = %d, want 12", tr.Depth())
+	}
+}
+
+func TestParallelWorkSumsDepthMaxes(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	root.Parallel(8, func(i int, c *Ctx) {
+		c.Work(int64(i + 1)) // deepest child charges 8
+	})
+	tr.Finish(root)
+	if tr.Work() != 36 { // 1+2+...+8
+		t.Fatalf("work = %d, want 36", tr.Work())
+	}
+	// depth = log2(8) + max child = 3 + 8 = 11
+	if tr.Depth() != 11 {
+		t.Fatalf("depth = %d, want 11", tr.Depth())
+	}
+}
+
+func TestAccountingIndependentOfParallelism(t *testing.T) {
+	run := func(limit int) (int64, int64) {
+		tr := NewTrackerN(limit)
+		root := tr.Root()
+		root.Parallel(100, func(i int, c *Ctx) {
+			c.Work(3)
+			c.Parallel(4, func(j int, cc *Ctx) {
+				cc.Work(int64(j))
+			})
+		})
+		tr.Finish(root)
+		return tr.Work(), tr.Depth()
+	}
+	w1, d1 := run(1)
+	w8, d8 := run(8)
+	if w1 != w8 || d1 != d8 {
+		t.Fatalf("accounting depends on parallelism: (%d,%d) vs (%d,%d)", w1, d1, w8, d8)
+	}
+}
+
+func TestParallelRunsAllIndicesOnce(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	const n = 1000
+	var counts [n]atomic.Int32
+	root.Parallel(n, func(i int, c *Ctx) {
+		counts[i].Add(1)
+	})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestParallelZeroAndOne(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	root.Parallel(0, func(i int, c *Ctx) { t.Fatal("should not run") })
+	ran := false
+	root.Parallel(1, func(i int, c *Ctx) {
+		ran = true
+		c.Work(4)
+	})
+	tr.Finish(root)
+	if !ran {
+		t.Fatal("n=1 body did not run")
+	}
+	// n=1: no fork overhead, child depth folds in directly.
+	if tr.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", tr.Depth())
+	}
+}
+
+func TestFork2(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	root.Fork2(
+		func(c *Ctx) { c.Work(10) },
+		func(c *Ctx) { c.Work(20) },
+	)
+	tr.Finish(root)
+	if tr.Work() != 30 {
+		t.Fatalf("work = %d, want 30", tr.Work())
+	}
+	if tr.Depth() != 21 { // 1 + max(10,20)
+		t.Fatalf("depth = %d, want 21", tr.Depth())
+	}
+}
+
+func TestFork2Sequential(t *testing.T) {
+	tr := NewTrackerN(1)
+	root := tr.Root()
+	order := []int{}
+	root.Fork2(
+		func(c *Ctx) { order = append(order, 1) },
+		func(c *Ctx) { order = append(order, 2) },
+	)
+	if len(order) != 2 {
+		t.Fatalf("both branches must run, got %v", order)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	sum := root.Reduce(100, func(i int, c *Ctx) int64 { return int64(i) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+	tr.Finish(root)
+	if tr.Work() < 200 { // n charged in Parallel wrapper + n in combine
+		t.Fatalf("reduce charged too little work: %d", tr.Work())
+	}
+	if tr.Depth() > 50 {
+		t.Fatalf("reduce depth should be logarithmic, got %d", tr.Depth())
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	tr := NewTracker()
+	if got := tr.Root().Reduce(0, func(int, *Ctx) int64 { return 1 }); got != 0 {
+		t.Fatalf("empty reduce = %d", got)
+	}
+}
+
+func TestMemHighWater(t *testing.T) {
+	tr := NewTracker()
+	tr.Alloc(100)
+	tr.Alloc(50)
+	tr.Free(120)
+	tr.Alloc(10)
+	if tr.PeakMem() != 150 {
+		t.Fatalf("peak = %d, want 150", tr.PeakMem())
+	}
+}
+
+func TestMemHighWaterConcurrent(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	root.Parallel(64, func(i int, c *Ctx) {
+		tr.Alloc(10)
+		tr.Free(10)
+	})
+	if tr.PeakMem() < 10 || tr.PeakMem() > 640 {
+		t.Fatalf("peak = %d out of plausible range", tr.PeakMem())
+	}
+}
+
+func TestLogCeil(t *testing.T) {
+	cases := map[int]int64{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := logCeil(n); got != want {
+			t.Fatalf("logCeil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNestedParallelDepthComposition(t *testing.T) {
+	// Depth of nested parallel loops: outer log + inner (log + work).
+	tr := NewTrackerN(1)
+	root := tr.Root()
+	root.Parallel(16, func(i int, c *Ctx) {
+		c.Parallel(16, func(j int, cc *Ctx) {
+			cc.Work(1)
+		})
+	})
+	tr.Finish(root)
+	// 4 (outer fork) + 4 (inner fork) + 1 (work) = 9
+	if tr.Depth() != 9 {
+		t.Fatalf("depth = %d, want 9", tr.Depth())
+	}
+}
+
+func TestDepthMonotoneInWork(t *testing.T) {
+	if err := quick.Check(func(a, b uint8) bool {
+		tr := NewTracker()
+		root := tr.Root()
+		root.Work(int64(a))
+		root.Work(int64(b))
+		tr.Finish(root)
+		return tr.Depth() == int64(a)+int64(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParallelOverhead(b *testing.B) {
+	tr := NewTracker()
+	root := tr.Root()
+	for i := 0; i < b.N; i++ {
+		root.Parallel(64, func(j int, c *Ctx) { c.Work(1) })
+	}
+}
+
+func TestWorkFlat(t *testing.T) {
+	tr := NewTracker()
+	root := tr.Root()
+	root.WorkFlat(1024)
+	root.WorkFlat(0) // no-op
+	tr.Finish(root)
+	if tr.Work() != 1024 {
+		t.Fatalf("work = %d", tr.Work())
+	}
+	if tr.Depth() != 11 { // log2(1024)+1
+		t.Fatalf("depth = %d, want 11", tr.Depth())
+	}
+}
+
+func TestFork2Parallel(t *testing.T) {
+	tr := NewTrackerN(4)
+	root := tr.Root()
+	var a, b atomic.Int32
+	root.Fork2(
+		func(c *Ctx) { a.Store(1); c.Work(2) },
+		func(c *Ctx) { b.Store(1); c.Work(3) },
+	)
+	if a.Load() != 1 || b.Load() != 1 {
+		t.Fatal("both branches must run")
+	}
+	tr.Finish(root)
+	if tr.Depth() != 4 { // 1 + max(2,3)
+		t.Fatalf("depth = %d", tr.Depth())
+	}
+}
+
+func TestTrackerAccessors(t *testing.T) {
+	tr := NewTrackerN(0) // 0 → GOMAXPROCS
+	c := tr.Root()
+	if c.Tracker() != tr {
+		t.Fatal("Tracker() mismatch")
+	}
+	c.Work(3)
+	if c.Depth() != 3 {
+		t.Fatalf("strand depth = %d", c.Depth())
+	}
+}
+
+func TestReduceParallelSum(t *testing.T) {
+	tr := NewTrackerN(4)
+	got := tr.Root().Reduce(1000, func(i int, c *Ctx) int64 { return 2 })
+	if got != 2000 {
+		t.Fatalf("sum = %d", got)
+	}
+}

@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRWBasics(t *testing.T) {
+	q := NewQRW()
+	if q.MaxContention() != 0 || q.TotalWrites() != 0 || q.QueueWriteDepth() != 0 {
+		t.Fatal("fresh ledger not zero")
+	}
+	q.Write(1)
+	q.Write(2)
+	q.Write(1)
+	if q.MaxContention() != 2 {
+		t.Fatalf("max = %d", q.MaxContention())
+	}
+	if q.TotalWrites() != 3 {
+		t.Fatalf("total = %d", q.TotalWrites())
+	}
+	if q.QueueWriteDepth() != 1 {
+		t.Fatalf("qrw depth = %d", q.QueueWriteDepth())
+	}
+	q.Reset()
+	if q.MaxContention() != 0 || q.TotalWrites() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestQRWDistinctLocationsContentionOne(t *testing.T) {
+	// The property the paper's batch algorithms have by construction:
+	// scatters to per-operation slots are contention-free, so a queue-write
+	// machine charges them nothing extra.
+	q := NewQRW()
+	for i := uint64(0); i < 10000; i++ {
+		q.Write(i)
+	}
+	if q.MaxContention() != 1 || q.QueueWriteDepth() != 0 {
+		t.Fatalf("distinct writes: contention %d depth %d", q.MaxContention(), q.QueueWriteDepth())
+	}
+}
+
+func TestQRWConcurrent(t *testing.T) {
+	q := NewQRW()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Write(uint64(i)) // all workers hit the same locations
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.MaxContention() != workers {
+		t.Fatalf("contention = %d, want %d", q.MaxContention(), workers)
+	}
+	if q.TotalWrites() != workers*per {
+		t.Fatalf("total = %d", q.TotalWrites())
+	}
+}
+
+func TestQRWQuick(t *testing.T) {
+	if err := quick.Check(func(locs []uint8) bool {
+		q := NewQRW()
+		ref := map[uint64]int64{}
+		var maxRef int64
+		for _, l := range locs {
+			q.Write(uint64(l))
+			ref[uint64(l)]++
+			if ref[uint64(l)] > maxRef {
+				maxRef = ref[uint64(l)]
+			}
+		}
+		return q.MaxContention() == maxRef && q.TotalWrites() == int64(len(locs))
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

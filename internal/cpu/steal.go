@@ -1,0 +1,256 @@
+package cpu
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"pimgo/internal/rng"
+)
+
+// Work stealing — the CPU-side scheduler the model assumes (§2.1: "we
+// analyze the CPU side using work-depth analysis and we assume a
+// work-stealing scheduler [10]... For any specified number of CPU cores P′,
+// the time on the CPU side for an algorithm with W CPU work and D CPU depth
+// would be O(W/P′ + D) expected time").
+//
+// The Tracker measures W and D analytically; this Pool is the executable
+// counterpart: a fork–join runtime with per-worker deques (owners push/pop
+// LIFO at the bottom, thieves steal from the top, random victim selection à
+// la Blumofe–Leiserson). The `pimbench cpuscale` experiment runs a real
+// workload on 1..P′ workers and checks the measured wall time against the
+// O(W/P′ + D) prediction.
+//
+// Deques are mutex-guarded (not Chase–Lev lock-free): at the granularities
+// the experiments use, the mutex never becomes the bottleneck and the
+// implementation stays obviously correct.
+
+// Task is a unit of fork–join work: it may Spawn subtasks through its
+// worker handle.
+type Task func(w *Worker)
+
+// Pool is a fixed-size work-stealing fork–join pool. Create with NewPool;
+// Run executes one computation to completion; Close releases the workers.
+type Pool struct {
+	workers []*Worker
+	pending atomic.Int64 // outstanding tasks in the current Run
+	steals  atomic.Int64
+
+	runMu  sync.Mutex // one Run at a time
+	wake   *sync.Cond
+	wakeMu sync.Mutex
+	done   atomic.Bool // pool closed
+
+	idle atomic.Int64
+	fin  chan struct{} // signals Run completion
+}
+
+// Worker is one scheduler thread's handle; Spawn pushes to its own deque.
+type Worker struct {
+	pool *Pool
+	id   int
+	r    *rng.Xoshiro256
+
+	mu    sync.Mutex
+	deque []Task
+}
+
+// NewPool starts p workers (p ≥ 1).
+func NewPool(p int, seed uint64) *Pool {
+	if p < 1 {
+		panic("cpu: pool needs at least one worker")
+	}
+	pool := &Pool{fin: make(chan struct{}, 1)}
+	pool.wake = sync.NewCond(&pool.wakeMu)
+	for i := 0; i < p; i++ {
+		w := &Worker{pool: pool, id: i, r: rng.NewXoshiro256(seed ^ uint64(i)*0x9e3779b97f4a7c15)}
+		pool.workers = append(pool.workers, w)
+	}
+	for _, w := range pool.workers {
+		go w.loop()
+	}
+	return pool
+}
+
+// P returns the worker count.
+func (p *Pool) P() int { return len(p.workers) }
+
+// Steals returns the number of successful steals since pool creation.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// Run executes root and everything it spawns, blocking until all tasks
+// finish. Only one Run may be active at a time.
+func (p *Pool) Run(root Task) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	p.pending.Store(1)
+	p.workers[0].push(root)
+	p.wakeAll()
+	<-p.fin
+}
+
+// Close shuts the workers down. The pool is unusable afterwards.
+func (p *Pool) Close() {
+	p.done.Store(true)
+	p.wakeAll()
+}
+
+func (p *Pool) wakeAll() {
+	p.wakeMu.Lock()
+	p.wake.Broadcast()
+	p.wakeMu.Unlock()
+}
+
+// Spawn forks t as a subtask: it becomes stealable immediately and is
+// guaranteed to finish before the enclosing Run returns.
+func (w *Worker) Spawn(t Task) {
+	w.pool.pending.Add(1)
+	w.push(t)
+	if w.pool.idle.Load() > 0 {
+		w.pool.wakeAll()
+	}
+}
+
+// ID returns the worker's index (useful for per-worker scratch).
+func (w *Worker) ID() int { return w.id }
+
+func (w *Worker) push(t Task) {
+	w.mu.Lock()
+	w.deque = append(w.deque, t)
+	w.mu.Unlock()
+}
+
+// pop takes from the bottom (LIFO): the owner works depth-first.
+func (w *Worker) pop() (Task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.deque)
+	if n == 0 {
+		return nil, false
+	}
+	t := w.deque[n-1]
+	w.deque[n-1] = nil
+	w.deque = w.deque[:n-1]
+	return t, true
+}
+
+// stealFrom takes from the top (FIFO): thieves grab the oldest, biggest
+// pieces of work.
+func (w *Worker) stealFrom() (Task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.deque) == 0 {
+		return nil, false
+	}
+	t := w.deque[0]
+	w.deque[0] = nil
+	w.deque = w.deque[1:]
+	return t, true
+}
+
+func (w *Worker) loop() {
+	p := w.pool
+	for {
+		if p.done.Load() {
+			return
+		}
+		// Own work first.
+		if t, ok := w.pop(); ok {
+			w.exec(t)
+			continue
+		}
+		// Steal: random victims, up to a few sweeps before sleeping.
+		if t, ok := w.trySteal(); ok {
+			p.steals.Add(1)
+			w.exec(t)
+			continue
+		}
+		// Nothing anywhere: sleep until woken.
+		p.idle.Add(1)
+		p.wakeMu.Lock()
+		if !p.done.Load() && !w.anyWork() {
+			p.wake.Wait()
+		}
+		p.wakeMu.Unlock()
+		p.idle.Add(-1)
+	}
+}
+
+func (w *Worker) exec(t Task) {
+	t(w)
+	if w.pool.pending.Add(-1) == 0 {
+		select {
+		case w.pool.fin <- struct{}{}:
+		default:
+		}
+		w.pool.wakeAll()
+	}
+}
+
+func (w *Worker) trySteal() (Task, bool) {
+	p := w.pool
+	n := len(p.workers)
+	if n == 1 {
+		return nil, false
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		start := w.r.Intn(n)
+		for i := 0; i < n; i++ {
+			v := p.workers[(start+i)%n]
+			if v == w {
+				continue
+			}
+			if t, ok := v.stealFrom(); ok {
+				return t, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// anyWork reports whether any deque is non-empty — checked under the wake
+// mutex to avoid sleeping past a Spawn (Spawn pushes before it reads the
+// idle counter, and every deque check is mutex-serialized, so a task
+// pushed before this scan is always visible).
+func (w *Worker) anyWork() bool {
+	for _, v := range w.pool.workers {
+		v.mu.Lock()
+		n := len(v.deque)
+		v.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ParallelFor runs f(i) for i in [lo, hi) on the pool with recursive
+// binary splitting down to grain — the canonical work-stealing parallel
+// loop, used by the cpuscale experiment.
+func (p *Pool) ParallelFor(lo, hi, grain int, f func(i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	var rec func(w *Worker, lo, hi int)
+	rec = func(w *Worker, lo, hi int) {
+		for hi-lo > grain {
+			mid := int(uint(lo+hi) >> 1)
+			right := hi
+			hi = mid
+			w.Spawn(func(w *Worker) { rec(w, mid, right) })
+		}
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	}
+	p.Run(func(w *Worker) { rec(w, lo, hi) })
+}
+
+// SpanOf returns ceil(log2(n)) — the fork depth of an n-way ParallelFor,
+// for comparing measured times against O(W/P' + D).
+func SpanOf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,206 @@
+package cpu
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsRoot(t *testing.T) {
+	p := NewPool(2, 1)
+	defer p.Close()
+	var ran atomic.Bool
+	p.Run(func(w *Worker) { ran.Store(true) })
+	if !ran.Load() {
+		t.Fatal("root did not run")
+	}
+}
+
+func TestPoolRunsAllSpawned(t *testing.T) {
+	p := NewPool(4, 2)
+	defer p.Close()
+	const n = 5000
+	var count atomic.Int64
+	p.Run(func(w *Worker) {
+		for i := 0; i < n; i++ {
+			w.Spawn(func(w *Worker) { count.Add(1) })
+		}
+	})
+	if count.Load() != n {
+		t.Fatalf("ran %d of %d spawned tasks", count.Load(), n)
+	}
+}
+
+func TestPoolNestedSpawns(t *testing.T) {
+	p := NewPool(4, 3)
+	defer p.Close()
+	var count atomic.Int64
+	var rec func(w *Worker, depth int)
+	rec = func(w *Worker, depth int) {
+		count.Add(1)
+		if depth == 0 {
+			return
+		}
+		w.Spawn(func(w *Worker) { rec(w, depth-1) })
+		w.Spawn(func(w *Worker) { rec(w, depth-1) })
+	}
+	p.Run(func(w *Worker) { rec(w, 10) })
+	if want := int64(1<<11 - 1); count.Load() != want {
+		t.Fatalf("binary tree ran %d nodes, want %d", count.Load(), want)
+	}
+}
+
+func TestPoolSequentialRuns(t *testing.T) {
+	p := NewPool(3, 4)
+	defer p.Close()
+	for round := 0; round < 20; round++ {
+		var count atomic.Int64
+		p.Run(func(w *Worker) {
+			for i := 0; i < 100; i++ {
+				w.Spawn(func(w *Worker) { count.Add(1) })
+			}
+		})
+		if count.Load() != 100 {
+			t.Fatalf("round %d: %d tasks ran", round, count.Load())
+		}
+	}
+}
+
+func TestPoolStealsHappen(t *testing.T) {
+	p := NewPool(4, 5)
+	defer p.Close()
+	// One producer spawning slow tasks forces thieves into action.
+	var count atomic.Int64
+	p.Run(func(w *Worker) {
+		for i := 0; i < 200; i++ {
+			w.Spawn(func(w *Worker) {
+				count.Add(1)
+				time.Sleep(100 * time.Microsecond)
+			})
+		}
+	})
+	if count.Load() != 200 {
+		t.Fatalf("%d tasks ran", count.Load())
+	}
+	if p.Steals() == 0 {
+		t.Fatal("no steals recorded; the pool is not actually stealing")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	p := NewPool(4, 6)
+	defer p.Close()
+	const n = 100000
+	marks := make([]int32, n)
+	p.ParallelFor(0, n, 64, func(i int) {
+		atomic.AddInt32(&marks[i], 1)
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d ran %d times", i, m)
+		}
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	p := NewPool(2, 7)
+	defer p.Close()
+	p.ParallelFor(5, 5, 8, func(int) { t.Fatal("empty range must not run") })
+	var ran atomic.Int32
+	p.ParallelFor(0, 3, 8, func(int) { ran.Add(1) })
+	if ran.Load() != 3 {
+		t.Fatalf("tiny range ran %d", ran.Load())
+	}
+}
+
+func TestPoolSingleWorker(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+	var count atomic.Int64
+	p.Run(func(w *Worker) {
+		for i := 0; i < 100; i++ {
+			w.Spawn(func(w *Worker) { count.Add(1) })
+		}
+	})
+	if count.Load() != 100 {
+		t.Fatalf("%d tasks ran on single worker", count.Load())
+	}
+}
+
+func TestPoolScalingRoughly(t *testing.T) {
+	// The §2.1 claim: time ≈ O(W/P' + D). With CPU-bound leaf work, more
+	// workers must be materially faster. Generous thresholds keep this
+	// stable on loaded CI machines; the precise curve is measured by
+	// `pimbench cpuscale`.
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skip("needs ≥4 cores")
+	}
+	work := func(p *Pool) time.Duration {
+		start := time.Now()
+		p.ParallelFor(0, 1<<12, 8, func(i int) {
+			x := uint64(i)
+			for j := 0; j < 2000; j++ {
+				x = x*6364136223846793005 + 1442695040888963407
+			}
+			if x == 42 {
+				panic("unreachable")
+			}
+		})
+		return time.Since(start)
+	}
+	p1 := NewPool(1, 9)
+	t1 := work(p1)
+	p1.Close()
+	p4 := NewPool(4, 10)
+	t4 := work(p4)
+	p4.Close()
+	if t4 > t1 {
+		t.Fatalf("4 workers (%v) slower than 1 (%v)", t4, t1)
+	}
+	if float64(t1)/float64(t4) < 1.5 {
+		t.Fatalf("speedup only %.2fx (t1=%v t4=%v)", float64(t1)/float64(t4), t1, t4)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 workers")
+		}
+	}()
+	NewPool(0, 1)
+}
+
+func TestSpanOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 8: 3, 9: 4}
+	for n, want := range cases {
+		if got := SpanOf(n); got != want {
+			t.Fatalf("SpanOf(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestWorkerID(t *testing.T) {
+	p := NewPool(3, 11)
+	defer p.Close()
+	seen := make([]atomic.Int32, 3)
+	p.Run(func(w *Worker) {
+		for i := 0; i < 500; i++ {
+			w.Spawn(func(w *Worker) {
+				if w.ID() < 0 || w.ID() >= 3 {
+					panic("bad worker id")
+				}
+				seen[w.ID()].Add(1)
+				time.Sleep(20 * time.Microsecond)
+			})
+		}
+	})
+	total := int32(0)
+	for i := range seen {
+		total += seen[i].Load()
+	}
+	if total != 500 {
+		t.Fatalf("total %d", total)
+	}
+}

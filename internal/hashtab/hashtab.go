@@ -1,0 +1,289 @@
+// Package hashtab implements the module-local hash table of §4.1: each PIM
+// module keeps a table mapping the keys stored in that module to their leaf
+// addresses, supporting Get, Put, and Delete in O(1) work whp.
+//
+// The paper cites the fully de-amortized cuckoo hash of Goodrich et al.
+// [16]. We implement the practical core of that design: two-table cuckoo
+// hashing with a bounded eviction walk and a small stash. Displacement
+// chains are bounded by maxKick, overflowing items land in the stash, and
+// the table grows (rehashing) when load or stash pressure demands it. All
+// operations outside of rare grow events are O(1) worst-case probes; grow
+// events are O(n) but happen O(log n) times over n inserts (documented
+// substitution in DESIGN.md — the simulation charges the real probe counts,
+// so PIM-time measurements see the true cost).
+//
+// The table counts every slot probe in Probes so the simulator can charge
+// honest per-operation PIM work.
+package hashtab
+
+import (
+	"pimgo/internal/rng"
+)
+
+const (
+	maxKick    = 32 // eviction walk bound before stashing
+	stashLimit = 8  // stash size that triggers a grow
+	minBuckets = 8  // per table
+	// Two-table cuckoo hashing is reliable only below ~50% load;
+	// grow when n exceeds (maxLoadNum/maxLoadDen) of total slots (40%).
+	maxLoadNum = 2
+	maxLoadDen = 5
+)
+
+type slot[K comparable, V any] struct {
+	key  K
+	val  V
+	used bool
+}
+
+type kv[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Table is a cuckoo hash table from K to V. The zero value is not usable;
+// call New.
+type Table[K comparable, V any] struct {
+	hash   func(K) uint64
+	seed   uint64
+	k1, k2 rng.Hasher
+	t1, t2 []slot[K, V]
+	stash  []kv[K, V]
+	n      int
+
+	// Probes counts every slot inspection performed by all operations since
+	// construction (or the last ResetProbes). Callers use it to charge
+	// PIM-module work.
+	Probes int64
+}
+
+// New returns a table keyed by seed, using hash to reduce keys to 64 bits,
+// with capacity for roughly sizeHint entries before the first grow.
+func New[K comparable, V any](seed uint64, sizeHint int, hash func(K) uint64) *Table[K, V] {
+	b := minBuckets
+	for b*2*maxLoadNum/maxLoadDen < sizeHint {
+		b *= 2
+	}
+	t := &Table[K, V]{
+		hash: hash,
+		seed: seed,
+	}
+	t.rekey(seed, b)
+	return t
+}
+
+func (t *Table[K, V]) rekey(seed uint64, buckets int) {
+	sm := seed
+	t.k1 = rng.NewHasher(rng.SplitMix64(&sm))
+	t.k2 = rng.NewHasher(rng.SplitMix64(&sm))
+	t.t1 = make([]slot[K, V], buckets)
+	t.t2 = make([]slot[K, V], buckets)
+}
+
+func (t *Table[K, V]) i1(k K) int { return int(t.k1.Hash(t.hash(k), 0) & uint64(len(t.t1)-1)) }
+func (t *Table[K, V]) i2(k K) int { return int(t.k2.Hash(t.hash(k), 1) & uint64(len(t.t2)-1)) }
+
+// Len returns the number of entries.
+func (t *Table[K, V]) Len() int { return t.n }
+
+// Get returns the value for k.
+func (t *Table[K, V]) Get(k K) (V, bool) {
+	t.Probes++
+	if s := &t.t1[t.i1(k)]; s.used && s.key == k {
+		return s.val, true
+	}
+	t.Probes++
+	if s := &t.t2[t.i2(k)]; s.used && s.key == k {
+		return s.val, true
+	}
+	for i := range t.stash {
+		t.Probes++
+		if t.stash[i].key == k {
+			return t.stash[i].val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for k.
+func (t *Table[K, V]) Put(k K, v V) {
+	// Replace in place if present.
+	t.Probes++
+	if s := &t.t1[t.i1(k)]; s.used && s.key == k {
+		s.val = v
+		return
+	}
+	t.Probes++
+	if s := &t.t2[t.i2(k)]; s.used && s.key == k {
+		s.val = v
+		return
+	}
+	for i := range t.stash {
+		t.Probes++
+		if t.stash[i].key == k {
+			t.stash[i].val = v
+			return
+		}
+	}
+	t.n++
+	if t.n*maxLoadDen > (len(t.t1)+len(t.t2))*maxLoadNum {
+		t.grow()
+	}
+	t.place(k, v)
+}
+
+// place inserts a key known to be absent, using a bounded eviction walk.
+func (t *Table[K, V]) place(k K, v V) {
+	cur := kv[K, V]{key: k, val: v}
+	for kick := 0; kick < maxKick; kick++ {
+		i := t.i1(cur.key)
+		t.Probes++
+		if !t.t1[i].used {
+			t.t1[i] = slot[K, V]{key: cur.key, val: cur.val, used: true}
+			return
+		}
+		// Evict from t1, displaced entry goes to its t2 slot.
+		cur, t.t1[i].key, t.t1[i].val = kv[K, V]{t.t1[i].key, t.t1[i].val}, cur.key, cur.val
+		j := t.i2(cur.key)
+		t.Probes++
+		if !t.t2[j].used {
+			t.t2[j] = slot[K, V]{key: cur.key, val: cur.val, used: true}
+			return
+		}
+		cur, t.t2[j].key, t.t2[j].val = kv[K, V]{t.t2[j].key, t.t2[j].val}, cur.key, cur.val
+	}
+	// Walk exhausted: stash it, or grow if the stash is saturated.
+	if len(t.stash) < stashLimit {
+		t.stash = append(t.stash, cur)
+		return
+	}
+	t.growFor(&cur)
+}
+
+// grow doubles capacity and rehashes everything (including the stash).
+func (t *Table[K, V]) grow() {
+	t.growFor(nil)
+}
+
+// growFor doubles capacity and rehashes; if extra is non-nil it is inserted
+// as part of the rebuild.
+func (t *Table[K, V]) growFor(extra *kv[K, V]) {
+	old1, old2, oldStash := t.t1, t.t2, t.stash
+	buckets := len(t.t1) * 2
+	for {
+		t.seed = rng.Mix64(t.seed + 1)
+		t.rekey(t.seed, buckets)
+		t.stash = nil
+		ok := true
+		reinsert := func(k K, v V) bool {
+			// Inline a non-growing place; on stash overflow, retry with a
+			// new seed (or larger table).
+			cur := kv[K, V]{key: k, val: v}
+			for kick := 0; kick < maxKick; kick++ {
+				i := t.i1(cur.key)
+				t.Probes++
+				if !t.t1[i].used {
+					t.t1[i] = slot[K, V]{key: cur.key, val: cur.val, used: true}
+					return true
+				}
+				cur, t.t1[i].key, t.t1[i].val = kv[K, V]{t.t1[i].key, t.t1[i].val}, cur.key, cur.val
+				j := t.i2(cur.key)
+				t.Probes++
+				if !t.t2[j].used {
+					t.t2[j] = slot[K, V]{key: cur.key, val: cur.val, used: true}
+					return true
+				}
+				cur, t.t2[j].key, t.t2[j].val = kv[K, V]{t.t2[j].key, t.t2[j].val}, cur.key, cur.val
+			}
+			if len(t.stash) < stashLimit {
+				t.stash = append(t.stash, cur)
+				return true
+			}
+			return false
+		}
+		for i := range old1 {
+			if old1[i].used && ok {
+				ok = reinsert(old1[i].key, old1[i].val)
+			}
+		}
+		for i := range old2 {
+			if old2[i].used && ok {
+				ok = reinsert(old2[i].key, old2[i].val)
+			}
+		}
+		for _, e := range oldStash {
+			if ok {
+				ok = reinsert(e.key, e.val)
+			}
+		}
+		if ok && extra != nil {
+			ok = reinsert(extra.key, extra.val)
+		}
+		if ok {
+			return
+		}
+		buckets *= 2 // extremely unlikely; escape hatch
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Table[K, V]) Delete(k K) bool {
+	t.Probes++
+	if s := &t.t1[t.i1(k)]; s.used && s.key == k {
+		var zero slot[K, V]
+		*s = zero
+		t.n--
+		return true
+	}
+	t.Probes++
+	if s := &t.t2[t.i2(k)]; s.used && s.key == k {
+		var zero slot[K, V]
+		*s = zero
+		t.n--
+		return true
+	}
+	for i := range t.stash {
+		t.Probes++
+		if t.stash[i].key == k {
+			t.stash[i] = t.stash[len(t.stash)-1]
+			t.stash = t.stash[:len(t.stash)-1]
+			t.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls f for every entry until f returns false. Iteration order is
+// unspecified but deterministic for a given table state.
+func (t *Table[K, V]) Range(f func(k K, v V) bool) {
+	for i := range t.t1 {
+		if t.t1[i].used && !f(t.t1[i].key, t.t1[i].val) {
+			return
+		}
+	}
+	for i := range t.t2 {
+		if t.t2[i].used && !f(t.t2[i].key, t.t2[i].val) {
+			return
+		}
+	}
+	for _, e := range t.stash {
+		if !f(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// ResetProbes zeroes the probe counter and returns its previous value.
+func (t *Table[K, V]) ResetProbes() int64 {
+	p := t.Probes
+	t.Probes = 0
+	return p
+}
+
+// Words returns the memory footprint in words (approximate: 2 words per
+// slot capacity plus stash), for the space experiments.
+func (t *Table[K, V]) Words() int64 {
+	return int64(2*(len(t.t1)+len(t.t2)) + 2*len(t.stash))
+}

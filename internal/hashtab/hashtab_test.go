@@ -1,0 +1,306 @@
+package hashtab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimgo/internal/rng"
+)
+
+func hashU64(k uint64) uint64 { return rng.Mix64(k) }
+
+func newT(hint int) *Table[uint64, int64] {
+	return New[uint64, int64](42, hint, hashU64)
+}
+
+func TestPutGet(t *testing.T) {
+	tab := newT(0)
+	tab.Put(1, 100)
+	tab.Put(2, 200)
+	if v, ok := tab.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	if v, ok := tab.Get(2); !ok || v != 200 {
+		t.Fatalf("Get(2) = %d,%v", v, ok)
+	}
+	if _, ok := tab.Get(3); ok {
+		t.Fatal("Get(3) should miss")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tab := newT(0)
+	tab.Put(7, 1)
+	tab.Put(7, 2)
+	if v, _ := tab.Get(7); v != 2 {
+		t.Fatalf("value not replaced: %d", v)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d after replace", tab.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := newT(0)
+	tab.Put(5, 50)
+	if !tab.Delete(5) {
+		t.Fatal("delete should report present")
+	}
+	if tab.Delete(5) {
+		t.Fatal("double delete should report absent")
+	}
+	if _, ok := tab.Get(5); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestManyKeysAcrossGrowth(t *testing.T) {
+	tab := newT(0) // start tiny to force many grows
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		tab.Put(i, int64(i*3))
+	}
+	if tab.Len() != n {
+		t.Fatalf("len = %d, want %d", tab.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tab.Get(i); !ok || v != int64(i*3) {
+			t.Fatalf("lost key %d: %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestPresizedAvoidsEarlyGrowth(t *testing.T) {
+	tab := newT(10000)
+	cap0 := len(tab.t1)
+	for i := uint64(0); i < 10000; i++ {
+		tab.Put(i, 1)
+	}
+	if len(tab.t1) != cap0 {
+		t.Fatalf("presized table grew: %d -> %d", cap0, len(tab.t1))
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	tab := newT(100)
+	for i := uint64(0); i < 100; i++ {
+		tab.Put(i, int64(i))
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		tab.Delete(i)
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		tab.Put(i, int64(i+1000))
+	}
+	for i := uint64(0); i < 100; i++ {
+		want := int64(i)
+		if i%2 == 0 {
+			want = int64(i + 1000)
+		}
+		if v, ok := tab.Get(i); !ok || v != want {
+			t.Fatalf("key %d: %d,%v want %d", i, v, ok, want)
+		}
+	}
+}
+
+func TestAdversarialSameLowBits(t *testing.T) {
+	// Keys sharing low bits must still spread (the table hashes keys).
+	tab := newT(0)
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		tab.Put(i<<20, int64(i))
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tab.Get(i << 20); !ok || v != int64(i) {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+}
+
+func TestProbesCharged(t *testing.T) {
+	tab := newT(100)
+	tab.ResetProbes()
+	tab.Put(1, 1)
+	if tab.Probes == 0 {
+		t.Fatal("Put charged no probes")
+	}
+	p := tab.ResetProbes()
+	if p == 0 || tab.Probes != 0 {
+		t.Fatal("ResetProbes broken")
+	}
+	tab.Get(1)
+	if tab.Probes == 0 {
+		t.Fatal("Get charged no probes")
+	}
+}
+
+func TestProbesO1OnAverage(t *testing.T) {
+	tab := newT(1 << 16)
+	for i := uint64(0); i < 1<<16; i++ {
+		tab.Put(i, 1)
+	}
+	tab.ResetProbes()
+	for i := uint64(0); i < 1<<16; i++ {
+		tab.Get(i)
+	}
+	perOp := float64(tab.Probes) / float64(1<<16)
+	if perOp > 4 {
+		t.Fatalf("average Get probes = %f, want O(1) (≤4)", perOp)
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	tab := newT(0)
+	want := map[uint64]int64{}
+	for i := uint64(0); i < 1000; i++ {
+		tab.Put(i, int64(i*7))
+		want[i] = int64(i * 7)
+	}
+	got := map[uint64]int64{}
+	tab.Range(func(k uint64, v int64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range visited %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tab := newT(0)
+	for i := uint64(0); i < 100; i++ {
+		tab.Put(i, 1)
+	}
+	n := 0
+	tab.Range(func(uint64, int64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestWordsGrowsWithCapacity(t *testing.T) {
+	tab := newT(0)
+	w0 := tab.Words()
+	for i := uint64(0); i < 10000; i++ {
+		tab.Put(i, 1)
+	}
+	if tab.Words() <= w0 {
+		t.Fatal("Words did not grow")
+	}
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	// Randomized operation sequences vs map reference.
+	r := rng.NewXoshiro256(9)
+	tab := newT(0)
+	ref := map[uint64]int64{}
+	for op := 0; op < 200000; op++ {
+		k := r.Uint64n(2000)
+		switch r.Uint64n(3) {
+		case 0:
+			v := int64(r.Uint64n(1 << 30))
+			tab.Put(k, v)
+			ref[k] = v
+		case 1:
+			got := tab.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok := tab.Get(k)
+			wv, wok := ref[k]
+			if ok != wok || (ok && v != wv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, v, ok, wv, wok)
+			}
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("op %d: len %d vs ref %d", op, tab.Len(), len(ref))
+		}
+	}
+}
+
+func TestQuickPutGetDelete(t *testing.T) {
+	if err := quick.Check(func(keys []uint16) bool {
+		tab := newT(0)
+		ref := map[uint64]int64{}
+		for i, k16 := range keys {
+			k := uint64(k16)
+			if i%3 == 2 {
+				if tab.Delete(k) != (func() bool { _, ok := ref[k]; return ok })() {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				tab.Put(k, int64(i))
+				ref[k] = int64(i)
+			}
+		}
+		for k, v := range ref {
+			if got, ok := tab.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return tab.Len() == len(ref)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	// The table is generic; exercise a second key type.
+	hash := func(s string) uint64 {
+		var h uint64 = 1469598103934665603
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		return h
+	}
+	tab := New[string, int](7, 0, hash)
+	tab.Put("alpha", 1)
+	tab.Put("beta", 2)
+	tab.Put("alpha", 3)
+	if v, ok := tab.Get("alpha"); !ok || v != 3 {
+		t.Fatalf("alpha = %d,%v", v, ok)
+	}
+	if !tab.Delete("beta") {
+		t.Fatal("beta should be present")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tab := newT(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Put(uint64(i), int64(i))
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	tab := newT(1 << 16)
+	for i := uint64(0); i < 1<<16; i++ {
+		tab.Put(i, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Get(uint64(i) & 0xffff)
+	}
+}

@@ -1,0 +1,171 @@
+// Package listcontract implements the parallel list contraction that
+// batched Delete (§4.4) uses to splice arbitrarily long runs of marked
+// nodes out of doubly linked lists on the CPU side.
+//
+// The problem: given doubly linked lists in which some nodes are marked,
+// rewire pointers so that every maximal run of marked nodes is removed and
+// its unmarked neighbours point at each other. Splicing all marked nodes
+// independently races when runs are longer than one, so the paper copies
+// marked nodes to shared memory and applies parallel randomized list
+// contraction (citing Shun et al. [28] and the binary-forking-model
+// algorithms [9]).
+//
+// Two algorithms are provided:
+//
+//   - Splice: random-priority contraction. Each round, every live marked
+//     node that is a local priority maximum among its live marked
+//     neighbours splices itself out; rounds repeat until no marked node
+//     remains. Expected O(n) work and O(log n) rounds whp.
+//   - SpliceJump: pointer jumping, O(n log n) work, used as an independent
+//     cross-check in tests.
+//
+// Nodes are identified by index; left/right hold neighbour indices or -1 at
+// list ends. Both functions leave, for every unmarked node, left/right
+// pointing at the nearest unmarked neighbour (or -1), and are charged on
+// the provided cpu.Ctx.
+package listcontract
+
+import (
+	"pimgo/internal/cpu"
+	"pimgo/internal/rng"
+)
+
+// Splice removes marked nodes via random-priority list contraction.
+// left, right, and marked must have equal length. Marked nodes' final
+// pointers are unspecified; unmarked nodes end up linked to their nearest
+// unmarked neighbours.
+func Splice(c *cpu.Ctx, left, right []int32, marked []bool, seed uint64) {
+	n := len(left)
+	if n != len(right) || n != len(marked) {
+		panic("listcontract: slice length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	r := rng.NewXoshiro256(seed)
+	prio := make([]uint64, n)
+	for i := range prio {
+		prio[i] = r.Uint64()
+	}
+	c.Work(int64(n))
+
+	// live holds the still-marked, still-linked node indices.
+	live := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if marked[i] {
+			live = append(live, int32(i))
+		}
+	}
+	c.Work(int64(n))
+
+	// beats reports whether node a outranks node b (ties by index).
+	beats := func(a, b int32) bool {
+		if prio[a] != prio[b] {
+			return prio[a] > prio[b]
+		}
+		return a > b
+	}
+
+	for len(live) > 0 {
+		// Select local maxima among live marked nodes: a marked node
+		// splices out this round iff neither its marked left nor marked
+		// right neighbour outranks it. Spliced nodes' neighbours are not
+		// spliced in the same round, so all splices are independent.
+		winners := make([]bool, len(live))
+		c.Parallel(len(live), func(k int, cc *cpu.Ctx) {
+			cc.Work(1)
+			i := live[k]
+			if l := left[i]; l >= 0 && marked[l] && beats(l, i) {
+				return
+			}
+			if rt := right[i]; rt >= 0 && marked[rt] && beats(rt, i) {
+				return
+			}
+			winners[k] = true
+		})
+		c.Parallel(len(live), func(k int, cc *cpu.Ctx) {
+			if !winners[k] {
+				return
+			}
+			cc.Work(1)
+			i := live[k]
+			l, rt := left[i], right[i]
+			if l >= 0 {
+				right[l] = rt
+			}
+			if rt >= 0 {
+				left[rt] = l
+			}
+		})
+		// Compact survivors and un-mark winners (after all splices, so the
+		// winner test above saw a consistent view).
+		next := live[:0]
+		for k, i := range live {
+			if winners[k] {
+				marked[i] = false
+			} else {
+				next = append(next, i)
+			}
+		}
+		c.Work(int64(len(live)))
+		live = next
+	}
+}
+
+// SpliceJump removes marked nodes by pointer jumping: each marked node
+// repeatedly doubles its left/right hops until they land on unmarked nodes
+// (or -1), then unmarked nodes adopt the jumped pointers. O(n log n) work,
+// O(log n) rounds. Used as a cross-check for Splice.
+func SpliceJump(c *cpu.Ctx, left, right []int32, marked []bool) {
+	n := len(left)
+	if n == 0 {
+		return
+	}
+	// jumpL[i]/jumpR[i]: nearest unmarked (or -1) to the left/right of i,
+	// computed by doubling.
+	jumpL := make([]int32, n)
+	jumpR := make([]int32, n)
+	copy(jumpL, left)
+	copy(jumpR, right)
+	c.Work(int64(2 * n))
+	for {
+		changed := false
+		nl := make([]int32, n)
+		nr := make([]int32, n)
+		c.Parallel(n, func(i int, cc *cpu.Ctx) {
+			cc.Work(1)
+			nl[i], nr[i] = jumpL[i], jumpR[i]
+			if l := jumpL[i]; l >= 0 && marked[l] {
+				nl[i] = jumpL[l]
+			}
+			if r := jumpR[i]; r >= 0 && marked[r] {
+				nr[i] = jumpR[r]
+			}
+		})
+		for i := 0; i < n; i++ {
+			if nl[i] != jumpL[i] || nr[i] != jumpR[i] {
+				changed = true
+				break
+			}
+		}
+		c.Work(int64(n))
+		jumpL, jumpR = nl, nr
+		if !changed {
+			break
+		}
+	}
+	c.Parallel(n, func(i int, cc *cpu.Ctx) {
+		cc.Work(1)
+		if marked[i] {
+			return
+		}
+		left[i] = jumpL[i]
+		right[i] = jumpR[i]
+	})
+	for i := 0; i < n; i++ {
+		if marked[i] {
+			marked[i] = false
+		}
+	}
+	c.Work(int64(n))
+}

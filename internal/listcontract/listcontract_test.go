@@ -1,0 +1,196 @@
+package listcontract
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimgo/internal/cpu"
+	"pimgo/internal/rng"
+)
+
+// buildList constructs a single list 0→1→…→n−1 and returns left/right.
+func buildList(n int) (left, right []int32) {
+	left = make([]int32, n)
+	right = make([]int32, n)
+	for i := 0; i < n; i++ {
+		left[i] = int32(i - 1)
+		right[i] = int32(i + 1)
+	}
+	if n > 0 {
+		right[n-1] = -1
+	}
+	return
+}
+
+// refSplice computes the expected left/right for unmarked nodes of a single
+// ascending list after removing marked nodes.
+func refSplice(n int, marked []bool) (left, right []int32) {
+	left = make([]int32, n)
+	right = make([]int32, n)
+	prev := int32(-1)
+	for i := 0; i < n; i++ {
+		if marked[i] {
+			continue
+		}
+		left[i] = prev
+		if prev >= 0 {
+			right[prev] = int32(i)
+		}
+		prev = int32(i)
+	}
+	if prev >= 0 {
+		right[prev] = -1
+	}
+	return
+}
+
+func checkAgainstRef(t *testing.T, name string, n int, marked []bool, gotL, gotR []int32) {
+	t.Helper()
+	wantL, wantR := refSplice(n, marked)
+	for i := 0; i < n; i++ {
+		if marked[i] {
+			continue
+		}
+		if gotL[i] != wantL[i] || gotR[i] != wantR[i] {
+			t.Fatalf("%s: node %d: got (%d,%d) want (%d,%d)",
+				name, i, gotL[i], gotR[i], wantL[i], wantR[i])
+		}
+	}
+}
+
+func runBoth(t *testing.T, n int, markFn func(i int) bool) {
+	t.Helper()
+	origMarked := make([]bool, n)
+	for i := range origMarked {
+		origMarked[i] = markFn(i)
+	}
+	for _, alg := range []string{"splice", "jump"} {
+		left, right := buildList(n)
+		marked := append([]bool(nil), origMarked...)
+		tr := cpu.NewTracker()
+		c := tr.Root()
+		if alg == "splice" {
+			Splice(c, left, right, marked, 1234)
+		} else {
+			SpliceJump(c, left, right, marked)
+		}
+		checkAgainstRef(t, alg, n, origMarked, left, right)
+	}
+}
+
+func TestNoMarks(t *testing.T)   { runBoth(t, 100, func(int) bool { return false }) }
+func TestAllMarked(t *testing.T) { runBoth(t, 100, func(int) bool { return true }) }
+func TestAlternating(t *testing.T) {
+	runBoth(t, 101, func(i int) bool { return i%2 == 1 })
+}
+func TestLongRuns(t *testing.T) {
+	runBoth(t, 1000, func(i int) bool { return i%100 != 0 })
+}
+func TestEndsMarked(t *testing.T) {
+	runBoth(t, 50, func(i int) bool { return i < 10 || i >= 40 })
+}
+func TestSingleton(t *testing.T) {
+	runBoth(t, 1, func(int) bool { return true })
+	runBoth(t, 1, func(int) bool { return false })
+}
+func TestEmpty(t *testing.T) {
+	tr := cpu.NewTracker()
+	Splice(tr.Root(), nil, nil, nil, 1)
+	SpliceJump(tr.Root(), nil, nil, nil)
+}
+
+func TestRandomMarksLarge(t *testing.T) {
+	r := rng.NewXoshiro256(5)
+	runBoth(t, 20000, func(i int) bool { return r.Coin() })
+}
+
+func TestEntireRunConsecutive(t *testing.T) {
+	// The adversarial case from §4.4: up to the whole batch is one
+	// consecutive run of deletions.
+	runBoth(t, 5000, func(i int) bool { return i > 0 && i < 4999 })
+}
+
+func TestMultipleLists(t *testing.T) {
+	// Two disjoint lists sharing the index space: 0→1→2 and 3→4→5.
+	left := []int32{-1, 0, 1, -1, 3, 4}
+	right := []int32{1, 2, -1, 4, 5, -1}
+	marked := []bool{false, true, false, true, false, false}
+	tr := cpu.NewTracker()
+	Splice(tr.Root(), left, right, marked, 7)
+	if right[0] != 2 || left[2] != 0 {
+		t.Fatalf("list 1 wrong: right[0]=%d left[2]=%d", right[0], left[2])
+	}
+	if left[4] != -1 || right[4] != 5 || left[5] != 4 {
+		t.Fatalf("list 2 wrong: left[4]=%d right[4]=%d left[5]=%d", left[4], right[4], left[5])
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr := cpu.NewTracker()
+	Splice(tr.Root(), make([]int32, 3), make([]int32, 2), make([]bool, 3), 1)
+}
+
+func TestSpliceWorkLinearish(t *testing.T) {
+	// Random-priority contraction should do O(n) expected work: compare
+	// work at two sizes.
+	work := func(n int) int64 {
+		left, right := buildList(n)
+		marked := make([]bool, n)
+		r := rng.NewXoshiro256(3)
+		for i := range marked {
+			marked[i] = r.Coin()
+		}
+		tr := cpu.NewTracker()
+		Splice(tr.Root(), left, right, marked, 99)
+		return tr.Work()
+	}
+	w1, w4 := work(1<<12), work(1<<14)
+	if ratio := float64(w4) / float64(w1); ratio > 6.5 {
+		t.Fatalf("splice work superlinear: ratio %f for 4x input", ratio)
+	}
+}
+
+func TestSpliceAgreesWithJumpQuick(t *testing.T) {
+	if err := quick.Check(func(marks []bool, seed uint64) bool {
+		n := len(marks)
+		l1, r1 := buildList(n)
+		m1 := append([]bool(nil), marks...)
+		tr := cpu.NewTracker()
+		Splice(tr.Root(), l1, r1, m1, seed)
+		l2, r2 := buildList(n)
+		m2 := append([]bool(nil), marks...)
+		SpliceJump(tr.Root(), l2, r2, m2)
+		for i := 0; i < n; i++ {
+			if marks[i] {
+				continue
+			}
+			if l1[i] != l2[i] || r1[i] != r2[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplice64k(b *testing.B) {
+	const n = 1 << 16
+	r := rng.NewXoshiro256(1)
+	baseMarks := make([]bool, n)
+	for i := range baseMarks {
+		baseMarks[i] = r.Coin()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		left, right := buildList(n)
+		marked := append([]bool(nil), baseMarks...)
+		tr := cpu.NewTracker()
+		Splice(tr.Root(), left, right, marked, uint64(i))
+	}
+}

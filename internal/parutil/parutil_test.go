@@ -1,0 +1,401 @@
+package parutil
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pimgo/internal/cpu"
+	"pimgo/internal/rng"
+)
+
+func newCtx() (*cpu.Tracker, *cpu.Ctx) {
+	tr := cpu.NewTracker()
+	return tr, tr.Root()
+}
+
+func TestScanSmall(t *testing.T) {
+	_, c := newCtx()
+	data := []int64{3, 1, 4, 1, 5}
+	total := Scan(c, data)
+	if total != 14 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int64{0, 3, 4, 8, 9}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("data = %v, want %v", data, want)
+		}
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	_, c := newCtx()
+	if total := Scan(c, nil); total != 0 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestScanLargeMatchesSequential(t *testing.T) {
+	_, c := newCtx()
+	r := rng.NewXoshiro256(1)
+	const n = 100000
+	data := make([]int64, n)
+	ref := make([]int64, n)
+	var sum int64
+	for i := range data {
+		v := int64(r.Uint64n(1000))
+		data[i] = v
+		ref[i] = sum
+		sum += v
+	}
+	total := Scan(c, data)
+	if total != sum {
+		t.Fatalf("total = %d, want %d", total, sum)
+	}
+	for i := range data {
+		if data[i] != ref[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, data[i], ref[i])
+		}
+	}
+}
+
+func TestScanDepthLogarithmic(t *testing.T) {
+	tr, c := newCtx()
+	data := make([]int64, 1<<17)
+	for i := range data {
+		data[i] = 1
+	}
+	Scan(c, data)
+	tr.Finish(c)
+	if tr.Work() < 1<<17 {
+		t.Fatalf("scan charged too little work: %d", tr.Work())
+	}
+	// Depth should be far below n: blocked recursion keeps it polylog plus
+	// base-case blocks.
+	if tr.Depth() > 5000 {
+		t.Fatalf("scan depth too large: %d", tr.Depth())
+	}
+}
+
+func TestScanQuick(t *testing.T) {
+	if err := quick.Check(func(vals []uint16) bool {
+		_, c := newCtx()
+		data := make([]int64, len(vals))
+		var sum int64
+		ref := make([]int64, len(vals))
+		for i, v := range vals {
+			data[i] = int64(v)
+			ref[i] = sum
+			sum += int64(v)
+		}
+		if Scan(c, data) != sum {
+			return false
+		}
+		for i := range data {
+			if data[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortSmall(t *testing.T) {
+	_, c := newCtx()
+	data := []int{5, 3, 8, 1, 9, 2}
+	Sort(c, data, func(a, b int) bool { return a < b })
+	if !sort.IntsAreSorted(data) {
+		t.Fatalf("not sorted: %v", data)
+	}
+}
+
+func TestSortLargeRandom(t *testing.T) {
+	_, c := newCtx()
+	r := rng.NewXoshiro256(2)
+	const n = 200000
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = r.Uint64()
+	}
+	ref := append([]uint64(nil), data...)
+	Sort(c, data, func(a, b uint64) bool { return a < b })
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	for i := range data {
+		if data[i] != ref[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSortManyDuplicates(t *testing.T) {
+	_, c := newCtx()
+	r := rng.NewXoshiro256(3)
+	const n = 50000
+	data := make([]int, n)
+	for i := range data {
+		data[i] = int(r.Uint64n(8)) // heavy duplication stresses splitters
+	}
+	Sort(c, data, func(a, b int) bool { return a < b })
+	if !sort.IntsAreSorted(data) {
+		t.Fatal("not sorted under duplicates")
+	}
+}
+
+func TestSortAlreadySortedAndReversed(t *testing.T) {
+	for name, gen := range map[string]func(i, n int) int{
+		"sorted":   func(i, n int) int { return i },
+		"reversed": func(i, n int) int { return n - i },
+		"constant": func(i, n int) int { return 7 },
+	} {
+		_, c := newCtx()
+		const n = 30000
+		data := make([]int, n)
+		for i := range data {
+			data[i] = gen(i, n)
+		}
+		Sort(c, data, func(a, b int) bool { return a < b })
+		if !sort.IntsAreSorted(data) {
+			t.Fatalf("%s: not sorted", name)
+		}
+	}
+}
+
+func TestSortDepthPolylog(t *testing.T) {
+	tr, c := newCtx()
+	r := rng.NewXoshiro256(4)
+	const n = 1 << 17
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = r.Uint64()
+	}
+	Sort(c, data, func(a, b uint64) bool { return a < b })
+	tr.Finish(c)
+	if tr.Depth() > 60000 {
+		t.Fatalf("sort depth = %d, should be far below n=%d", tr.Depth(), n)
+	}
+	if tr.Work() < int64(n) {
+		t.Fatalf("sort work suspiciously low: %d", tr.Work())
+	}
+}
+
+func TestSortQuick(t *testing.T) {
+	if err := quick.Check(func(vals []int32) bool {
+		_, c := newCtx()
+		data := append([]int32(nil), vals...)
+		Sort(c, data, func(a, b int32) bool { return a < b })
+		ref := append([]int32(nil), vals...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i := range data {
+			if data[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hashU64(k uint64) uint64 { return rng.Mix64(k) }
+
+func TestSemisortGroupsEqualKeys(t *testing.T) {
+	_, c := newCtx()
+	keys := []uint64{5, 3, 5, 5, 3, 9}
+	groups := Semisort(c, keys, hashU64)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(groups), groups)
+	}
+	byKey := map[uint64][]int{}
+	for _, g := range groups {
+		byKey[keys[g.Index]] = g.All
+	}
+	if len(byKey[5]) != 3 || len(byKey[3]) != 2 || len(byKey[9]) != 1 {
+		t.Fatalf("group sizes wrong: %v", byKey)
+	}
+	// Representatives must be first occurrences and All ascending.
+	for _, g := range groups {
+		if g.All[0] != g.Index {
+			t.Fatalf("representative not first occurrence: %+v", g)
+		}
+		for i := 1; i < len(g.All); i++ {
+			if g.All[i] <= g.All[i-1] {
+				t.Fatalf("All not ascending: %+v", g)
+			}
+		}
+	}
+}
+
+func TestSemisortEmpty(t *testing.T) {
+	_, c := newCtx()
+	if g := Semisort(c, nil, hashU64); g != nil {
+		t.Fatal("expected nil groups")
+	}
+}
+
+func TestSemisortAllSame(t *testing.T) {
+	_, c := newCtx()
+	keys := make([]uint64, 5000)
+	groups := Semisort(c, keys, hashU64)
+	if len(groups) != 1 || len(groups[0].All) != 5000 {
+		t.Fatalf("all-same grouping wrong: %d groups", len(groups))
+	}
+}
+
+func TestSemisortLargeRandom(t *testing.T) {
+	_, c := newCtx()
+	r := rng.NewXoshiro256(6)
+	const n = 50000
+	keys := make([]uint64, n)
+	ref := map[uint64]int{}
+	for i := range keys {
+		keys[i] = r.Uint64n(5000)
+		ref[keys[i]]++
+	}
+	groups := Semisort(c, keys, hashU64)
+	if len(groups) != len(ref) {
+		t.Fatalf("groups = %d, distinct keys = %d", len(groups), len(ref))
+	}
+	total := 0
+	for _, g := range groups {
+		if want := ref[keys[g.Index]]; len(g.All) != want {
+			t.Fatalf("key %d: group size %d, want %d", keys[g.Index], len(g.All), want)
+		}
+		total += len(g.All)
+	}
+	if total != n {
+		t.Fatalf("groups cover %d of %d positions", total, n)
+	}
+}
+
+func TestSemisortLinearWork(t *testing.T) {
+	// Work must scale linearly, not n log n: measure ratio between two sizes.
+	work := func(n int) int64 {
+		tr, c := newCtx()
+		r := rng.NewXoshiro256(7)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = r.Uint64n(uint64(n))
+		}
+		Semisort(c, keys, hashU64)
+		return tr.Work()
+	}
+	w1, w4 := work(1<<14), work(1<<16)
+	if ratio := float64(w4) / float64(w1); ratio > 6 {
+		t.Fatalf("semisort work grows superlinearly: ratio %f for 4x input", ratio)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	_, c := newCtx()
+	keys := []uint64{7, 7, 2, 9, 2, 7}
+	uniq, slot := Dedup(c, keys, hashU64)
+	if len(uniq) != 3 {
+		t.Fatalf("uniq = %v", uniq)
+	}
+	for i, k := range keys {
+		if uniq[slot[i]] != k {
+			t.Fatalf("slot[%d] maps %d to %d", i, k, uniq[slot[i]])
+		}
+	}
+}
+
+func TestDedupQuick(t *testing.T) {
+	if err := quick.Check(func(vals []uint8) bool {
+		_, c := newCtx()
+		keys := make([]uint64, len(vals))
+		for i, v := range vals {
+			keys[i] = uint64(v)
+		}
+		uniq, slot := Dedup(c, keys, hashU64)
+		seen := map[uint64]bool{}
+		for _, u := range uniq {
+			if seen[u] {
+				return false // duplicate in uniq
+			}
+			seen[u] = true
+		}
+		for i, k := range keys {
+			if uniq[slot[i]] != k {
+				return false
+			}
+		}
+		return len(uniq) == len(seen)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPack(t *testing.T) {
+	_, c := newCtx()
+	data := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := Pack(c, data, func(i int) bool { return data[i]%3 == 0 })
+	want := []int{0, 3, 6, 9}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestPackEmptyAndAll(t *testing.T) {
+	_, c := newCtx()
+	if out := Pack(c, []int{}, func(int) bool { return true }); out != nil {
+		t.Fatal("empty pack should be nil")
+	}
+	data := []int{1, 2, 3}
+	if out := Pack(c, data, func(int) bool { return false }); len(out) != 0 {
+		t.Fatal("pack-none should be empty")
+	}
+	if out := Pack(c, data, func(int) bool { return true }); len(out) != 3 {
+		t.Fatal("pack-all should copy")
+	}
+}
+
+func TestPackLarge(t *testing.T) {
+	_, c := newCtx()
+	const n = 100000
+	data := make([]int, n)
+	for i := range data {
+		data[i] = i
+	}
+	out := Pack(c, data, func(i int) bool { return i%7 == 0 })
+	for i, v := range out {
+		if v != i*7 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func BenchmarkSort1M(b *testing.B) {
+	r := rng.NewXoshiro256(1)
+	data := make([]uint64, 1<<20)
+	scratch := make([]uint64, len(data))
+	for i := range data {
+		data[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, data)
+		_, c := newCtx()
+		Sort(c, scratch, func(a, b uint64) bool { return a < b })
+	}
+}
+
+func BenchmarkSemisort100k(b *testing.B) {
+	r := rng.NewXoshiro256(1)
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = r.Uint64n(10000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, c := newCtx()
+		Semisort(c, keys, hashU64)
+	}
+}

@@ -1,0 +1,342 @@
+// Package pim implements the Processing-in-Memory machine model of
+// Kang et al., SPAA 2021 (Fig. 1): P PIM modules, each a core with private
+// local memory, connected to the CPU side by a network that operates in
+// bulk-synchronous rounds.
+//
+// # Execution model
+//
+// A computation alternates CPU-side phases (instrumented by package cpu)
+// with network rounds. In one round, the CPU side sends a set of messages
+// (tasks) to modules; every module drains its task queue sequentially
+// (it is a single core); tasks may reply to the CPU side and may request
+// follow-up sends to other modules. As §2.1 specifies, a module offloads to
+// another module by returning to shared memory, which causes the CPU side to
+// perform the send — so a follow-up costs one outgoing message this round
+// and one incoming message at the destination next round.
+//
+// # Cost accounting
+//
+// The simulator measures exactly the model's metrics:
+//
+//   - IO time: per round, h = max over modules of (messages in + messages
+//     out); IO time is the sum of h over rounds (the h-relation cost of
+//     §2.1). Message sizes are in words; a task or reply carrying k words
+//     counts as k messages.
+//   - PIM time: the maximum total local work charged by any one module
+//     (tasks charge via Ctx.Charge).
+//   - Rounds: the number of bulk-synchronous rounds (synchronization cost is
+//     Rounds · log P, reported separately).
+//   - Total messages, per-module work and message vectors (for the
+//     PIM-balance experiments, which need the max/mean ratio).
+//
+// Modules execute concurrently on real goroutines, but reply and follow-up
+// collection is ordered (module-major, queue order), so every run with the
+// same seed is bit-identical.
+package pim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ModuleID identifies a PIM module, in [0, P).
+type ModuleID int32
+
+// Task is a unit of offloaded computation: the model's TaskSend payload
+// (function + arguments). Run executes on the destination module's core and
+// may only touch that module's state (via ctx.State()).
+type Task[S any] interface {
+	Run(ctx *Ctx[S])
+}
+
+// TaskFunc adapts a function to the Task interface.
+type TaskFunc[S any] func(ctx *Ctx[S])
+
+// Run implements Task.
+func (f TaskFunc[S]) Run(ctx *Ctx[S]) { f(ctx) }
+
+// Send is one CPU→module message: a task plus its size in words.
+type Send[S any] struct {
+	To    ModuleID
+	Task  Task[S]
+	Words int64 // message size; 0 is treated as 1
+}
+
+// Reply is one module→CPU message, produced by Ctx.Reply.
+type Reply struct {
+	From ModuleID
+	V    any
+}
+
+// Module is one PIM module: a core plus private local memory. State holds
+// the module-local data structures (arenas, hash tables, ...). Only the
+// module's own tasks may touch State.
+type Module[S any] struct {
+	ID    ModuleID
+	State S
+
+	work int64 // total local work charged
+	msgs int64 // total messages in+out
+
+	// Per-round scratch, reset by the machine after each round.
+	roundWork int64
+	roundMsgs int64
+	queue     []Send[S]
+	replies   []Reply
+	follow    []Send[S]
+}
+
+// Work returns the total local work this module has performed.
+func (m *Module[S]) Work() int64 { return m.work }
+
+// Msgs returns the total messages to/from this module.
+func (m *Module[S]) Msgs() int64 { return m.msgs }
+
+// Ctx is the execution context a Task receives: it identifies the module,
+// charges work, and emits messages.
+type Ctx[S any] struct {
+	mod *Module[S]
+	p   int
+}
+
+// Module returns the executing module's ID.
+func (c *Ctx[S]) Module() ModuleID { return c.mod.ID }
+
+// P returns the number of modules in the machine.
+func (c *Ctx[S]) P() int { return c.p }
+
+// State returns the executing module's local state.
+func (c *Ctx[S]) State() S { return c.mod.State }
+
+// Charge records n units of local work on this module's core.
+func (c *Ctx[S]) Charge(n int64) { c.mod.roundWork += n }
+
+// Reply sends v back to the CPU-side shared memory as a one-word message.
+func (c *Ctx[S]) Reply(v any) { c.ReplyWords(v, 1) }
+
+// ReplyWords sends v back to the CPU side as a words-sized message (use for
+// replies carrying multiple words, e.g. recorded search paths).
+func (c *Ctx[S]) ReplyWords(v any, words int64) {
+	if words <= 0 {
+		words = 1
+	}
+	c.mod.roundMsgs += words
+	c.mod.replies = append(c.mod.replies, Reply{From: c.mod.ID, V: v})
+}
+
+// Send requests a follow-up task on another module, routed through the CPU
+// side as the model prescribes: it costs one outgoing message now and one
+// incoming message at to when the machine delivers it next round.
+func (c *Ctx[S]) Send(to ModuleID, t Task[S]) { c.SendWords(to, t, 1) }
+
+// SendWords is Send with an explicit message size in words.
+func (c *Ctx[S]) SendWords(to ModuleID, t Task[S], words int64) {
+	if words <= 0 {
+		words = 1
+	}
+	c.mod.roundMsgs += words
+	c.mod.follow = append(c.mod.follow, Send[S]{To: to, Task: t, Words: words})
+}
+
+// Metrics are the accumulated network-side costs of a machine.
+type Metrics struct {
+	Rounds       int64 // bulk-synchronous rounds executed
+	IOTime       int64 // Σ over rounds of max per-module messages (h-relation)
+	PIMRoundTime int64 // Σ over rounds of max per-module work (elapsed PIM view)
+	TotalMsgs    int64 // Σ over rounds and modules of messages
+}
+
+// SyncCost returns the total synchronization cost, Rounds · log2(P),
+// as defined in §2.1. logP is ceil(log2 P), at least 1.
+func (m Metrics) SyncCost(p int) int64 {
+	lg := int64(1)
+	for 1<<lg < p {
+		lg++
+	}
+	return m.Rounds * lg
+}
+
+// Machine is a PIM machine with P modules.
+type Machine[S any] struct {
+	mods []*Module[S]
+	met  Metrics
+	mu   sync.Mutex // guards met across concurrent Round calls (not expected, but cheap)
+}
+
+// NewMachine constructs a machine with p modules whose states are produced
+// by newState (called once per module, in ID order).
+func NewMachine[S any](p int, newState func(id ModuleID) S) *Machine[S] {
+	if p <= 0 {
+		panic(fmt.Sprintf("pim: invalid module count %d", p))
+	}
+	m := &Machine[S]{mods: make([]*Module[S], p)}
+	for i := 0; i < p; i++ {
+		m.mods[i] = &Module[S]{ID: ModuleID(i)}
+		m.mods[i].State = newState(ModuleID(i))
+	}
+	return m
+}
+
+// P returns the number of modules.
+func (m *Machine[S]) P() int { return len(m.mods) }
+
+// Mod returns module id.
+func (m *Machine[S]) Mod(id ModuleID) *Module[S] { return m.mods[id] }
+
+// Metrics returns the accumulated network metrics.
+func (m *Machine[S]) Metrics() Metrics { return m.met }
+
+// PIMTime returns the maximum total local work over all modules — the
+// model's PIM time metric.
+func (m *Machine[S]) PIMTime() int64 {
+	var max int64
+	for _, mod := range m.mods {
+		if mod.work > max {
+			max = mod.work
+		}
+	}
+	return max
+}
+
+// TotalPIMWork returns the sum of local work over all modules (the W in the
+// PIM-balance definition: an algorithm is PIM-balanced if PIM time is
+// O(W/P) and IO time is O(I/P)).
+func (m *Machine[S]) TotalPIMWork() int64 {
+	var sum int64
+	for _, mod := range m.mods {
+		sum += mod.work
+	}
+	return sum
+}
+
+// WorkVector returns a copy of per-module total work.
+func (m *Machine[S]) WorkVector() []int64 {
+	v := make([]int64, len(m.mods))
+	for i, mod := range m.mods {
+		v[i] = mod.work
+	}
+	return v
+}
+
+// MsgVector returns a copy of per-module total message counts.
+func (m *Machine[S]) MsgVector() []int64 {
+	v := make([]int64, len(m.mods))
+	for i, mod := range m.mods {
+		v[i] = mod.msgs
+	}
+	return v
+}
+
+// ResetMetrics zeroes all accumulated metrics (network and per-module),
+// so a single batch operation can be measured in isolation. Module state
+// (the data structure contents) is untouched.
+func (m *Machine[S]) ResetMetrics() {
+	m.met = Metrics{}
+	for _, mod := range m.mods {
+		mod.work, mod.msgs = 0, 0
+	}
+}
+
+// Broadcast builds a send of t to every module (h = 1 per module).
+func Broadcast[S any](p int, t Task[S], words int64) []Send[S] {
+	out := make([]Send[S], p)
+	for i := range out {
+		out[i] = Send[S]{To: ModuleID(i), Task: t, Words: words}
+	}
+	return out
+}
+
+// Round executes one bulk-synchronous round: it delivers sends to their
+// modules, runs every module's queue (concurrently across modules,
+// sequentially within a module), and returns the replies and the follow-up
+// sends the CPU side must deliver next round. Reply and follow-up order is
+// deterministic: module-major, then queue order.
+func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
+	if len(sends) == 0 {
+		return nil, nil
+	}
+	active := make([]*Module[S], 0, 16)
+	for _, s := range sends {
+		if int(s.To) < 0 || int(s.To) >= len(m.mods) {
+			panic(fmt.Sprintf("pim: send to invalid module %d (P=%d)", s.To, len(m.mods)))
+		}
+		mod := m.mods[s.To]
+		if len(mod.queue) == 0 {
+			active = append(active, mod)
+		}
+		w := s.Words
+		if w <= 0 {
+			w = 1
+		}
+		mod.roundMsgs += w
+		mod.queue = append(mod.queue, s)
+	}
+
+	// Run all active modules concurrently; each drains its queue in order.
+	var wg sync.WaitGroup
+	wg.Add(len(active))
+	for _, mod := range active {
+		go func(mod *Module[S]) {
+			defer wg.Done()
+			ctx := Ctx[S]{mod: mod, p: len(m.mods)}
+			// Tasks appended during the round (there are none today — Send
+			// goes to follow — but range-by-index keeps it correct if a
+			// future task enqueues locally).
+			for i := 0; i < len(mod.queue); i++ {
+				mod.queue[i].Task.Run(&ctx)
+			}
+		}(mod)
+	}
+	wg.Wait()
+
+	// Aggregate metrics and collect outputs in module order.
+	var maxMsgs, maxWork, total int64
+	var replies []Reply
+	var follow []Send[S]
+	for _, mod := range m.mods {
+		if mod.roundMsgs == 0 && mod.roundWork == 0 && len(mod.queue) == 0 {
+			continue
+		}
+		if mod.roundMsgs > maxMsgs {
+			maxMsgs = mod.roundMsgs
+		}
+		if mod.roundWork > maxWork {
+			maxWork = mod.roundWork
+		}
+		total += mod.roundMsgs
+		mod.msgs += mod.roundMsgs
+		mod.work += mod.roundWork
+		replies = append(replies, mod.replies...)
+		follow = append(follow, mod.follow...)
+		mod.roundMsgs, mod.roundWork = 0, 0
+		mod.queue = mod.queue[:0]
+		mod.replies = nil
+		mod.follow = nil
+	}
+	m.mu.Lock()
+	m.met.Rounds++
+	m.met.IOTime += maxMsgs
+	m.met.PIMRoundTime += maxWork
+	m.met.TotalMsgs += total
+	m.mu.Unlock()
+	return replies, follow
+}
+
+// Drive runs sends and keeps delivering follow-ups until the machine is
+// quiet, invoking onReply for every reply as rounds complete. It returns the
+// number of rounds executed. Use Round directly when the CPU side needs to
+// interleave computation between rounds.
+func (m *Machine[S]) Drive(sends []Send[S], onReply func(Reply)) int64 {
+	rounds := int64(0)
+	for len(sends) > 0 {
+		replies, next := m.Round(sends)
+		rounds++
+		if onReply != nil {
+			for _, r := range replies {
+				onReply(r)
+			}
+		}
+		sends = next
+	}
+	return rounds
+}

@@ -1,0 +1,506 @@
+package pim
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+type counterState struct {
+	n int64
+}
+
+func newCounterMachine(p int) *Machine[*counterState] {
+	return NewMachine(p, func(ModuleID) *counterState { return &counterState{} })
+}
+
+// incTask bumps the module counter, charges work, and replies the new value.
+type incTask struct{ by int64 }
+
+func (t incTask) Run(c *Ctx[*counterState]) {
+	c.Charge(1)
+	c.State().n += t.by
+	c.Reply(c.State().n)
+}
+
+func TestRoundDeliversToCorrectModules(t *testing.T) {
+	m := newCounterMachine(4)
+	sends := []Send[*counterState]{
+		{To: 0, Task: incTask{1}},
+		{To: 2, Task: incTask{10}},
+		{To: 2, Task: incTask{100}},
+	}
+	replies, follow := m.Round(sends)
+	if len(follow) != 0 {
+		t.Fatalf("unexpected follow-ups: %d", len(follow))
+	}
+	if len(replies) != 3 {
+		t.Fatalf("got %d replies, want 3", len(replies))
+	}
+	if m.Mod(0).State.n != 1 || m.Mod(1).State.n != 0 || m.Mod(2).State.n != 110 {
+		t.Fatalf("module states wrong: %d %d %d", m.Mod(0).State.n, m.Mod(1).State.n, m.Mod(2).State.n)
+	}
+}
+
+func TestReplyOrderDeterministic(t *testing.T) {
+	// Replies come back module-major, queue order within a module.
+	m := newCounterMachine(4)
+	sends := []Send[*counterState]{
+		{To: 3, Task: incTask{1}},
+		{To: 1, Task: incTask{2}},
+		{To: 1, Task: incTask{3}},
+		{To: 0, Task: incTask{4}},
+	}
+	replies, _ := m.Round(sends)
+	wantFrom := []ModuleID{0, 1, 1, 3}
+	for i, r := range replies {
+		if r.From != wantFrom[i] {
+			t.Fatalf("reply %d from module %d, want %d", i, r.From, wantFrom[i])
+		}
+	}
+	if replies[1].V.(int64) != 2 || replies[2].V.(int64) != 5 {
+		t.Fatalf("within-module order violated: %v %v", replies[1].V, replies[2].V)
+	}
+}
+
+func TestIOTimeIsMaxPerModule(t *testing.T) {
+	m := newCounterMachine(4)
+	// 5 messages to module 0, 1 each to modules 1..3: h = 5+5 = 10
+	// (5 in, 5 replies out for module 0).
+	var sends []Send[*counterState]
+	for i := 0; i < 5; i++ {
+		sends = append(sends, Send[*counterState]{To: 0, Task: incTask{1}})
+	}
+	for id := 1; id < 4; id++ {
+		sends = append(sends, Send[*counterState]{To: ModuleID(id), Task: incTask{1}})
+	}
+	m.Round(sends)
+	met := m.Metrics()
+	if met.Rounds != 1 {
+		t.Fatalf("rounds = %d", met.Rounds)
+	}
+	if met.IOTime != 10 {
+		t.Fatalf("IO time = %d, want 10 (5 in + 5 out on module 0)", met.IOTime)
+	}
+	if met.TotalMsgs != 16 { // 8 in + 8 out
+		t.Fatalf("total msgs = %d, want 16", met.TotalMsgs)
+	}
+}
+
+func TestPIMTimeIsMaxTotalWork(t *testing.T) {
+	m := newCounterMachine(3)
+	// Module 1 does 3 units over two rounds; others do 1.
+	m.Round([]Send[*counterState]{{To: 1, Task: incTask{1}}, {To: 1, Task: incTask{1}}, {To: 0, Task: incTask{1}}})
+	m.Round([]Send[*counterState]{{To: 1, Task: incTask{1}}, {To: 2, Task: incTask{1}}})
+	if got := m.PIMTime(); got != 3 {
+		t.Fatalf("PIM time = %d, want 3", got)
+	}
+	if got := m.TotalPIMWork(); got != 5 {
+		t.Fatalf("total PIM work = %d, want 5", got)
+	}
+	if got := m.Metrics().PIMRoundTime; got != 3 { // 2 + 1
+		t.Fatalf("PIM round time = %d, want 3", got)
+	}
+}
+
+// hopTask forwards itself hops times to module (id+1) mod P, then replies.
+type hopTask struct{ hops int }
+
+func (t hopTask) Run(c *Ctx[*counterState]) {
+	c.Charge(1)
+	if t.hops == 0 {
+		c.Reply(c.Module())
+		return
+	}
+	c.Send((c.Module()+1)%ModuleID(c.P()), hopTask{t.hops - 1})
+}
+
+func TestFollowUpRouting(t *testing.T) {
+	m := newCounterMachine(4)
+	var got []ModuleID
+	rounds := m.Drive([]Send[*counterState]{{To: 0, Task: hopTask{3}}}, func(r Reply) {
+		got = append(got, r.V.(ModuleID))
+	})
+	if rounds != 4 {
+		t.Fatalf("rounds = %d, want 4 (one per hop)", rounds)
+	}
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("hop ended at %v, want [3]", got)
+	}
+	// Each hop: 1 in + 1 out except the last (1 in + 1 reply out) → every
+	// round h = 2; IO time = 8.
+	if io := m.Metrics().IOTime; io != 8 {
+		t.Fatalf("IO time = %d, want 8", io)
+	}
+}
+
+func TestWordsAccounting(t *testing.T) {
+	m := newCounterMachine(2)
+	task := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		c.ReplyWords("bigpath", 7)
+	})
+	m.Round([]Send[*counterState]{{To: 0, Task: task, Words: 3}})
+	if io := m.Metrics().IOTime; io != 10 { // 3 in + 7 out
+		t.Fatalf("IO time = %d, want 10", io)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	m := newCounterMachine(8)
+	sends := Broadcast[*counterState](8, incTask{5}, 1)
+	replies, _ := m.Round(sends)
+	if len(replies) != 8 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	for id := 0; id < 8; id++ {
+		if m.Mod(ModuleID(id)).State.n != 5 {
+			t.Fatalf("module %d missed broadcast", id)
+		}
+	}
+	if io := m.Metrics().IOTime; io != 2 { // h = 1 in + 1 out per module
+		t.Fatalf("broadcast IO time = %d, want 2", io)
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	m := newCounterMachine(2)
+	m.Round([]Send[*counterState]{{To: 0, Task: incTask{1}}})
+	m.ResetMetrics()
+	if m.Metrics().Rounds != 0 || m.PIMTime() != 0 || m.Mod(0).Msgs() != 0 {
+		t.Fatal("metrics not reset")
+	}
+	if m.Mod(0).State.n != 1 {
+		t.Fatal("ResetMetrics must not touch module state")
+	}
+}
+
+func TestModulesRunConcurrently(t *testing.T) {
+	// All modules increment a shared atomic; with per-module goroutines the
+	// total must still be exact (i.e., no lost updates, no double runs).
+	m := newCounterMachine(64)
+	var total atomic.Int64
+	task := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		total.Add(1)
+	})
+	var sends []Send[*counterState]
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 10; j++ {
+			sends = append(sends, Send[*counterState]{To: ModuleID(i), Task: task})
+		}
+	}
+	m.Round(sends)
+	if total.Load() != 640 {
+		t.Fatalf("ran %d tasks, want 640", total.Load())
+	}
+}
+
+func TestEmptyRound(t *testing.T) {
+	m := newCounterMachine(2)
+	replies, follow := m.Round(nil)
+	if replies != nil || follow != nil || m.Metrics().Rounds != 0 {
+		t.Fatal("empty round must be free")
+	}
+}
+
+func TestInvalidModulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := newCounterMachine(2)
+	m.Round([]Send[*counterState]{{To: 7, Task: incTask{1}}})
+}
+
+func TestSyncCost(t *testing.T) {
+	met := Metrics{Rounds: 10}
+	if got := met.SyncCost(8); got != 30 {
+		t.Fatalf("sync cost = %d, want 30", got)
+	}
+	if got := met.SyncCost(9); got != 40 {
+		t.Fatalf("sync cost = %d, want 40 (ceil log2 9 = 4)", got)
+	}
+}
+
+// --- Ptr and Arena tests ---
+
+func TestPtrPacking(t *testing.T) {
+	if err := quick.Check(func(mod uint16, addr uint32) bool {
+		p := LowerPtr(ModuleID(mod), addr)
+		return !p.IsNil() && !p.IsUpper() && p.ModuleOf() == ModuleID(mod) && p.Addr() == addr
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(addr uint32) bool {
+		p := UpperPtr(addr)
+		return !p.IsNil() && p.IsUpper() && p.Addr() == addr
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilPtr(t *testing.T) {
+	if !NilPtr.IsNil() {
+		t.Fatal("zero Ptr must be nil")
+	}
+	if LowerPtr(0, 0).IsNil() {
+		t.Fatal("LowerPtr(0,0) must not be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Addr on nil must panic")
+		}
+	}()
+	NilPtr.Addr()
+}
+
+func TestPtrString(t *testing.T) {
+	if s := NilPtr.String(); s != "nil" {
+		t.Fatal(s)
+	}
+	if s := UpperPtr(5).String(); s != "U:5" {
+		t.Fatal(s)
+	}
+	if s := LowerPtr(3, 9).String(); s != "L:9@3" {
+		t.Fatal(s)
+	}
+}
+
+func TestArenaAllocFree(t *testing.T) {
+	var a Arena[int]
+	addr1, p1 := a.Alloc()
+	*p1 = 42
+	addr2, p2 := a.Alloc()
+	*p2 = 43
+	if addr1 == addr2 {
+		t.Fatal("duplicate addresses")
+	}
+	if *a.At(addr1) != 42 || *a.At(addr2) != 43 {
+		t.Fatal("values lost")
+	}
+	a.Free(addr1)
+	if a.Live(addr1) {
+		t.Fatal("freed slot still live")
+	}
+	addr3, p3 := a.Alloc()
+	if addr3 != addr1 {
+		t.Fatalf("freed slot not recycled: got %d want %d", addr3, addr1)
+	}
+	if *p3 != 0 {
+		t.Fatal("recycled slot not zeroed")
+	}
+	if a.Len() != 2 || a.Cap() != 2 {
+		t.Fatalf("len/cap = %d/%d, want 2/2", a.Len(), a.Cap())
+	}
+}
+
+func TestArenaAtDanglingPanics(t *testing.T) {
+	var a Arena[int]
+	addr, _ := a.Alloc()
+	a.Free(addr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dangling At")
+		}
+	}()
+	a.At(addr)
+}
+
+func TestArenaDoubleFreePanics(t *testing.T) {
+	var a Arena[int]
+	addr, _ := a.Alloc()
+	a.Free(addr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	a.Free(addr)
+}
+
+func TestArenaAllocAt(t *testing.T) {
+	var a Arena[int]
+	p := a.AllocAt(10)
+	*p = 7
+	if *a.At(10) != 7 {
+		t.Fatal("AllocAt value lost")
+	}
+	// Slots 0..9 were put on the free list; plain Alloc must use them and
+	// never collide with 10.
+	for i := 0; i < 10; i++ {
+		addr, _ := a.Alloc()
+		if addr == 10 {
+			t.Fatal("Alloc collided with AllocAt slot")
+		}
+	}
+	if a.Len() != 11 {
+		t.Fatalf("len = %d, want 11", a.Len())
+	}
+}
+
+func TestArenaAllocAtInUsePanics(t *testing.T) {
+	var a Arena[int]
+	a.AllocAt(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.AllocAt(3)
+}
+
+func TestArenaRange(t *testing.T) {
+	var a Arena[int]
+	for i := 0; i < 5; i++ {
+		_, p := a.Alloc()
+		*p = i * 10
+	}
+	a.Free(2)
+	var got []int
+	a.Range(func(addr uint32, v *int) bool {
+		got = append(got, *v)
+		return true
+	})
+	want := []int{0, 10, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestArenaRangeEarlyStop(t *testing.T) {
+	var a Arena[int]
+	for i := 0; i < 5; i++ {
+		a.Alloc()
+	}
+	n := 0
+	a.Range(func(uint32, *int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("range visited %d, want 2", n)
+	}
+}
+
+func TestArenaQuickInvariant(t *testing.T) {
+	// Random alloc/free sequences: Len matches a reference set and live
+	// addresses never collide.
+	if err := quick.Check(func(ops []bool) bool {
+		var a Arena[uint64]
+		live := map[uint32]bool{}
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				addr, _ := a.Alloc()
+				if live[addr] {
+					return false
+				}
+				live[addr] = true
+			} else {
+				for addr := range live {
+					a.Free(addr)
+					delete(live, addr)
+					break
+				}
+			}
+			if a.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRound64Modules(b *testing.B) {
+	m := newCounterMachine(64)
+	sends := make([]Send[*counterState], 0, 64*8)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 8; j++ {
+			sends = append(sends, Send[*counterState]{To: ModuleID(i), Task: incTask{1}})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Round(sends)
+	}
+}
+
+func TestSendWordsAccounting(t *testing.T) {
+	// A follow-up of w words costs w outgoing now and w incoming at the
+	// destination next round.
+	m := newCounterMachine(2)
+	first := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		c.SendWords(1, incTask{1}, 5)
+	})
+	m.Round([]Send[*counterState]{{To: 0, Task: first, Words: 1}})
+	if io := m.Metrics().IOTime; io != 6 { // 1 in + 5 out on module 0
+		t.Fatalf("round 1 IO = %d, want 6", io)
+	}
+	_, follow := m.Round(nil)
+	_ = follow
+}
+
+func TestDriveNilCallback(t *testing.T) {
+	m := newCounterMachine(2)
+	rounds := m.Drive([]Send[*counterState]{{To: 0, Task: hopTask{2}}}, nil)
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestFollowUpDelivery(t *testing.T) {
+	m := newCounterMachine(3)
+	first := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		c.Send(2, incTask{7})
+	})
+	_, follow := m.Round([]Send[*counterState]{{To: 0, Task: first}})
+	if len(follow) != 1 || follow[0].To != 2 {
+		t.Fatalf("follow = %+v", follow)
+	}
+	m.Round(follow)
+	if m.Mod(2).State.n != 7 {
+		t.Fatalf("follow-up not executed: %d", m.Mod(2).State.n)
+	}
+}
+
+func TestWorkVectorAndMsgVector(t *testing.T) {
+	m := newCounterMachine(3)
+	m.Round([]Send[*counterState]{{To: 1, Task: incTask{1}}, {To: 1, Task: incTask{1}}})
+	wv, mv := m.WorkVector(), m.MsgVector()
+	if wv[1] != 2 || wv[0] != 0 {
+		t.Fatalf("work vector %v", wv)
+	}
+	if mv[1] != 4 { // 2 in + 2 replies
+		t.Fatalf("msg vector %v", mv)
+	}
+}
+
+func TestZeroWordsTreatedAsOne(t *testing.T) {
+	m := newCounterMachine(2)
+	task := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		c.ReplyWords("x", 0) // clamps to 1
+	})
+	m.Round([]Send[*counterState]{{To: 0, Task: task, Words: 0}})
+	if io := m.Metrics().IOTime; io != 2 {
+		t.Fatalf("IO = %d, want 2", io)
+	}
+}
+
+func TestCtxAccessors(t *testing.T) {
+	m := newCounterMachine(4)
+	var gotID ModuleID = -1
+	var gotP int
+	task := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		gotID, gotP = c.Module(), c.P()
+	})
+	m.Round([]Send[*counterState]{{To: 3, Task: task}})
+	if gotID != 3 || gotP != 4 {
+		t.Fatalf("ctx accessors: id=%d p=%d", gotID, gotP)
+	}
+}

@@ -1,0 +1,169 @@
+package pim
+
+import "fmt"
+
+// Ptr is a packed global pointer into PIM local memory.
+//
+// Two address spaces exist, mirroring §3.2 of the paper:
+//
+//   - Lower pointers name a node in one specific module's private arena:
+//     (module, addr).
+//   - Upper pointers name a replicated upper-part node. The upper part is
+//     stored at the same local address in every module, so an upper pointer
+//     carries only the address and is valid locally on every module.
+//
+// The zero Ptr is the nil pointer.
+type Ptr uint64
+
+const (
+	ptrPresent Ptr = 1 << 63
+	ptrUpper   Ptr = 1 << 62
+)
+
+// NilPtr is the zero, nil pointer.
+const NilPtr Ptr = 0
+
+// LowerPtr returns a pointer to address addr in module m's private arena.
+func LowerPtr(m ModuleID, addr uint32) Ptr {
+	return ptrPresent | Ptr(uint64(m)<<32) | Ptr(addr)
+}
+
+// UpperPtr returns a pointer to replicated upper-part address addr.
+func UpperPtr(addr uint32) Ptr {
+	return ptrPresent | ptrUpper | Ptr(addr)
+}
+
+// IsNil reports whether p is the nil pointer.
+func (p Ptr) IsNil() bool { return p&ptrPresent == 0 }
+
+// IsUpper reports whether p points into the replicated upper part.
+func (p Ptr) IsUpper() bool { return p&ptrUpper != 0 }
+
+// ModuleOf returns the module a lower pointer targets. It panics on upper or
+// nil pointers, which have no single home module.
+func (p Ptr) ModuleOf() ModuleID {
+	if p.IsNil() || p.IsUpper() {
+		panic("pim: ModuleOf on nil or upper pointer")
+	}
+	return ModuleID((p >> 32) & 0x3fffffff)
+}
+
+// Addr returns the local address the pointer targets.
+func (p Ptr) Addr() uint32 {
+	if p.IsNil() {
+		panic("pim: Addr on nil pointer")
+	}
+	return uint32(p)
+}
+
+// String renders the pointer for debugging and figure output.
+func (p Ptr) String() string {
+	switch {
+	case p.IsNil():
+		return "nil"
+	case p.IsUpper():
+		return fmt.Sprintf("U:%d", p.Addr())
+	default:
+		return fmt.Sprintf("L:%d@%d", p.Addr(), p.ModuleOf())
+	}
+}
+
+// Arena is a slot allocator for module-local memory. Addresses are stable
+// across Alloc/Free (freed slots are recycled), which is what lets the
+// replicated upper part keep identical addresses in every module: the CPU
+// side drives allocation in the same order everywhere.
+type Arena[T any] struct {
+	slots []T
+	used  []bool
+	free  []uint32
+	live  int
+}
+
+// Alloc reserves a slot and returns its address and a pointer to the
+// zeroed element.
+func (a *Arena[T]) Alloc() (uint32, *T) {
+	if n := len(a.free); n > 0 {
+		addr := a.free[n-1]
+		a.free = a.free[:n-1]
+		var zero T
+		a.slots[addr] = zero
+		a.used[addr] = true
+		a.live++
+		return addr, &a.slots[addr]
+	}
+	var zero T
+	a.slots = append(a.slots, zero)
+	a.used = append(a.used, true)
+	a.live++
+	addr := uint32(len(a.slots) - 1)
+	return addr, &a.slots[addr]
+}
+
+// AllocAt reserves a specific address (growing the arena as needed),
+// used by the replicated upper part where the CPU side dictates addresses.
+// It panics if the slot is already in use.
+func (a *Arena[T]) AllocAt(addr uint32) *T {
+	for uint32(len(a.slots)) <= addr {
+		var zero T
+		a.slots = append(a.slots, zero)
+		a.used = append(a.used, false)
+		a.free = append(a.free, uint32(len(a.slots)-1))
+	}
+	if a.used[addr] {
+		panic(fmt.Sprintf("pim: AllocAt(%d): slot in use", addr))
+	}
+	// Remove addr from the free list (linear scan; AllocAt is only used on
+	// the small upper part during structural changes).
+	for i, f := range a.free {
+		if f == addr {
+			a.free[i] = a.free[len(a.free)-1]
+			a.free = a.free[:len(a.free)-1]
+			break
+		}
+	}
+	var zero T
+	a.slots[addr] = zero
+	a.used[addr] = true
+	a.live++
+	return &a.slots[addr]
+}
+
+// At returns the element at addr. It panics if the slot is not live.
+func (a *Arena[T]) At(addr uint32) *T {
+	if addr >= uint32(len(a.slots)) || !a.used[addr] {
+		panic(fmt.Sprintf("pim: At(%d): dangling address", addr))
+	}
+	return &a.slots[addr]
+}
+
+// Live reports whether addr currently holds an allocated element.
+func (a *Arena[T]) Live(addr uint32) bool {
+	return addr < uint32(len(a.slots)) && a.used[addr]
+}
+
+// Free releases the slot at addr for reuse. It panics on double free.
+func (a *Arena[T]) Free(addr uint32) {
+	if addr >= uint32(len(a.slots)) || !a.used[addr] {
+		panic(fmt.Sprintf("pim: Free(%d): not allocated", addr))
+	}
+	a.used[addr] = false
+	a.live--
+	a.free = append(a.free, addr)
+}
+
+// Len returns the number of live elements.
+func (a *Arena[T]) Len() int { return a.live }
+
+// Cap returns the number of slots ever allocated (the memory footprint).
+func (a *Arena[T]) Cap() int { return len(a.slots) }
+
+// Range calls f for every live (addr, element) pair in address order.
+func (a *Arena[T]) Range(f func(addr uint32, v *T) bool) {
+	for i := range a.slots {
+		if a.used[i] {
+			if !f(uint32(i), &a.slots[i]) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package pimmap implements a batch-parallel unordered map (hash table) on
+// the PIM model — the second "other algorithm" companion to the paper's
+// skip list, and the degenerate case that shows which part of the skip
+// list's machinery the ORDER costs: with no order to maintain, every
+// operation is a single hash-routed message plus O(1) whp local work, and
+// PIM-balance under arbitrary skew needs only deduplication (§4.1's
+// argument) — no pivots, no replication, no contraction.
+//
+// Costs per batch of B = Ω(P log P) (deduplicated) operations:
+// O(B/P) whp IO time, O(B/P) whp PIM time, O(B) expected CPU work,
+// O(log B) whp CPU depth, M = Θ(B) — matching the Get/Update row of
+// Table 1 with batch-size B in place of P log P.
+package pimmap
+
+import (
+	"pimgo/internal/core"
+	"pimgo/internal/cpu"
+	"pimgo/internal/hashtab"
+	"pimgo/internal/parutil"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+)
+
+// modState is one module's local hash table.
+type modState[K comparable, V any] struct {
+	ht *hashtab.Table[K, V]
+}
+
+// Map is the PIM hash map. Methods are not safe for concurrent use.
+type Map[K comparable, V any] struct {
+	p       int
+	hashKey func(K) uint64
+	hasher  rng.Hasher
+	mach    *pim.Machine[*modState[K, V]]
+	n       int
+	noDedup bool
+}
+
+// New creates a map over p modules; hash reduces keys to 64 bits.
+func New[K comparable, V any](p int, seed uint64, hash func(K) uint64) *Map[K, V] {
+	m := &Map[K, V]{p: p, hashKey: hash, hasher: rng.NewHasher(seed)}
+	m.mach = pim.NewMachine(p, func(id pim.ModuleID) *modState[K, V] {
+		return &modState[K, V]{ht: hashtab.New[K, V](seed^uint64(id)*0x9e37, 64, hash)}
+	})
+	return m
+}
+
+// SetNoDedup disables batch deduplication (for the skew experiments).
+func (m *Map[K, V]) SetNoDedup(v bool) { m.noDedup = v }
+
+// Len returns the number of keys.
+func (m *Map[K, V]) Len() int { return m.n }
+
+// P returns the module count.
+func (m *Map[K, V]) P() int { return m.p }
+
+func (m *Map[K, V]) moduleFor(k K) pim.ModuleID {
+	return pim.ModuleID(m.hasher.HashMod(m.hashKey(k), 0, m.p))
+}
+
+type opKind int8
+
+const (
+	opGet opKind = iota
+	opPut
+	opDelete
+)
+
+type opTask[K comparable, V any] struct {
+	id   int32
+	kind opKind
+	key  K
+	val  V
+}
+
+type opMsg[V any] struct {
+	id    int32
+	found bool
+	val   V
+}
+
+func (t *opTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
+	ht := c.State().ht
+	p0 := ht.Probes
+	switch t.kind {
+	case opGet:
+		v, ok := ht.Get(t.key)
+		c.Charge(ht.Probes - p0)
+		c.Reply(opMsg[V]{id: t.id, found: ok, val: v})
+	case opPut:
+		_, existed := ht.Get(t.key)
+		ht.Put(t.key, t.val)
+		c.Charge(ht.Probes - p0)
+		c.Reply(opMsg[V]{id: t.id, found: existed})
+	case opDelete:
+		ok := ht.Delete(t.key)
+		c.Charge(ht.Probes - p0)
+		c.Reply(opMsg[V]{id: t.id, found: ok})
+	}
+}
+
+// runBatch deduplicates, routes, executes, and scatters one batch.
+// chooseLast selects last-writer-wins for values (Put).
+func (m *Map[K, V]) runBatch(kind opKind, keys []K, vals []V) ([]opMsg[V], core.BatchStats) {
+	m.mach.ResetMetrics()
+	tr := cpu.NewTracker()
+	c := tr.Root()
+	B := len(keys)
+	tr.Alloc(int64(B))
+	out := make([]opMsg[V], B)
+	if B == 0 {
+		return out, m.stats(tr, c, 0)
+	}
+
+	var uniq []K
+	var slot []int32
+	if m.noDedup {
+		uniq = keys
+		slot = make([]int32, B)
+		for i := range slot {
+			slot[i] = int32(i)
+		}
+		c.WorkFlat(int64(B))
+	} else {
+		uniq, slot = parutil.Dedup(c, keys, m.hashKey)
+	}
+	chosen := make([]V, len(uniq))
+	if vals != nil {
+		c.WorkFlat(int64(B))
+		for i := range keys {
+			chosen[slot[i]] = vals[i]
+		}
+	}
+
+	replies := make([]opMsg[V], len(uniq))
+	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	c.WorkFlat(int64(len(uniq)))
+	for i, k := range uniq {
+		t := &opTask[K, V]{id: int32(i), kind: kind, key: k}
+		if vals != nil {
+			t.val = chosen[i]
+		}
+		sends[i] = pim.Send[*modState[K, V]]{To: m.moduleFor(k), Task: t}
+	}
+	for len(sends) > 0 {
+		rs, next := m.mach.Round(sends)
+		c.WorkFlat(int64(len(rs)))
+		for _, r := range rs {
+			v := r.V.(opMsg[V])
+			replies[v.id] = v
+		}
+		sends = next
+	}
+	c.WorkFlat(int64(B))
+	for i := range keys {
+		out[i] = replies[slot[i]]
+	}
+	tr.Free(int64(B))
+	return out, m.stats(tr, c, B)
+}
+
+func (m *Map[K, V]) stats(tr *cpu.Tracker, c *cpu.Ctx, batch int) core.BatchStats {
+	tr.Finish(c)
+	met := m.mach.Metrics()
+	return core.BatchStats{
+		Batch:        batch,
+		IOTime:       met.IOTime,
+		PIMTime:      m.mach.PIMTime(),
+		PIMRoundTime: met.PIMRoundTime,
+		Rounds:       met.Rounds,
+		SyncCost:     met.SyncCost(m.p),
+		TotalMsgs:    met.TotalMsgs,
+		TotalPIMWork: m.mach.TotalPIMWork(),
+		CPUWork:      tr.Work(),
+		CPUDepth:     tr.Depth(),
+		CPUMem:       tr.PeakMem(),
+	}
+}
+
+// Get looks up every key; duplicate keys cost one message (§4.1 dedup).
+func (m *Map[K, V]) Get(keys []K) ([]core.GetResult[V], core.BatchStats) {
+	rep, st := m.runBatch(opGet, keys, nil)
+	out := make([]core.GetResult[V], len(rep))
+	for i, r := range rep {
+		out[i] = core.GetResult[V]{Found: r.found, Value: r.val}
+	}
+	return out, st
+}
+
+// Put inserts or replaces every pair (duplicates: last value wins);
+// returns per input position whether the key was newly inserted.
+func (m *Map[K, V]) Put(keys []K, vals []V) ([]bool, core.BatchStats) {
+	if len(keys) != len(vals) {
+		panic("pimmap: keys/vals length mismatch")
+	}
+	rep, st := m.runBatch(opPut, keys, vals)
+	out := make([]bool, len(rep))
+	counted := map[K]bool{}
+	for i, r := range rep {
+		out[i] = !r.found // every duplicate occurrence reports the key's fate
+		if out[i] && !counted[keys[i]] {
+			m.n++
+			counted[keys[i]] = true
+		}
+	}
+	return out, st
+}
+
+// Delete removes every key; returns found flags.
+func (m *Map[K, V]) Delete(keys []K) ([]bool, core.BatchStats) {
+	rep, st := m.runBatch(opDelete, keys, nil)
+	out := make([]bool, len(rep))
+	counted := map[K]bool{}
+	for i, r := range rep {
+		out[i] = r.found // every duplicate occurrence reports the key's fate
+		if out[i] && !counted[keys[i]] {
+			m.n--
+			counted[keys[i]] = true
+		}
+	}
+	return out, st
+}
+
+// SpaceWords returns per-module memory footprints (words).
+func (m *Map[K, V]) SpaceWords() []int64 {
+	out := make([]int64, m.p)
+	for id := 0; id < m.p; id++ {
+		out[id] = m.mach.Mod(pim.ModuleID(id)).State.ht.Words()
+	}
+	return out
+}
+
+// Counts returns per-module entry counts (balance inspection).
+func (m *Map[K, V]) Counts() []int {
+	out := make([]int, m.p)
+	for id := 0; id < m.p; id++ {
+		out[id] = m.mach.Mod(pim.ModuleID(id)).State.ht.Len()
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package pimmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimgo/internal/rng"
+)
+
+func newM(p int) *Map[uint64, int64] {
+	return New[uint64, int64](p, 0xFEED, rng.Mix64)
+}
+
+func TestPutGetDelete(t *testing.T) {
+	m := newM(8)
+	keys := []uint64{1, 2, 3}
+	vals := []int64{10, 20, 30}
+	ins, _ := m.Put(keys, vals)
+	for _, b := range ins {
+		if !b {
+			t.Fatal("fresh keys must report inserted")
+		}
+	}
+	got, _ := m.Get([]uint64{2, 4})
+	if !got[0].Found || got[0].Value != 20 || got[1].Found {
+		t.Fatalf("get = %+v", got)
+	}
+	fd, _ := m.Delete([]uint64{3, 9})
+	if !fd[0] || fd[1] {
+		t.Fatalf("delete = %v", fd)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	m := newM(4)
+	m.Put([]uint64{5}, []int64{1})
+	ins, _ := m.Put([]uint64{5}, []int64{2})
+	if ins[0] {
+		t.Fatal("replace must not report inserted")
+	}
+	got, _ := m.Get([]uint64{5})
+	if got[0].Value != 2 {
+		t.Fatalf("value = %d", got[0].Value)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestDuplicatesInBatch(t *testing.T) {
+	m := newM(4)
+	ins, _ := m.Put([]uint64{7, 7, 7}, []int64{1, 2, 3})
+	for _, b := range ins {
+		if !b {
+			t.Fatal("all duplicate occurrences report the key's insertion")
+		}
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	got, _ := m.Get([]uint64{7})
+	if got[0].Value != 3 {
+		t.Fatalf("last-writer-wins violated: %d", got[0].Value)
+	}
+	fd, _ := m.Delete([]uint64{7, 7})
+	if !fd[0] || !fd[1] {
+		t.Fatalf("delete dups = %v", fd)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestAgainstModel(t *testing.T) {
+	m := newM(16)
+	ref := map[uint64]int64{}
+	r := rng.NewXoshiro256(3)
+	for round := 0; round < 40; round++ {
+		b := 50 + r.Intn(100)
+		keys := make([]uint64, b)
+		vals := make([]int64, b)
+		for i := range keys {
+			keys[i] = r.Uint64n(2000)
+			vals[i] = int64(r.Uint64n(1 << 20))
+		}
+		switch r.Intn(3) {
+		case 0:
+			m.Put(keys, vals)
+			for i := range keys {
+				ref[keys[i]] = vals[i]
+			}
+		case 1:
+			got, _ := m.Get(keys)
+			for i, k := range keys {
+				wv, wok := ref[k]
+				if got[i].Found != wok || (wok && got[i].Value != wv) {
+					t.Fatalf("round %d: Get(%d) = %+v want (%d,%v)", round, k, got[i], wv, wok)
+				}
+			}
+		case 2:
+			// Presence is evaluated against the batch-start state: every
+			// duplicate occurrence reports the key's original presence
+			// (dedup semantics, same convention as core.Delete).
+			got, _ := m.Delete(keys)
+			for i, k := range keys {
+				if _, wok := ref[k]; got[i] != wok {
+					t.Fatalf("round %d: Delete(%d) = %v want %v", round, k, got[i], wok)
+				}
+			}
+			for _, k := range keys {
+				delete(ref, k)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("round %d: len %d vs %d", round, m.Len(), len(ref))
+		}
+	}
+}
+
+func TestSkewBalancedWithDedup(t *testing.T) {
+	const P = 32
+	m := newM(P)
+	r := rng.NewXoshiro256(4)
+	seed := make([]uint64, 4096)
+	for i := range seed {
+		seed[i] = r.Uint64()
+	}
+	m.Put(seed, make([]int64, len(seed)))
+
+	// All-same-key batch: dedup keeps it O(1) messages.
+	batch := make([]uint64, 1024)
+	for i := range batch {
+		batch[i] = seed[0]
+	}
+	_, st := m.Get(batch)
+	if st.IOTime > 8 {
+		t.Fatalf("same-key Get IO = %d, dedup should collapse it", st.IOTime)
+	}
+	m.SetNoDedup(true)
+	_, st2 := m.Get(batch)
+	if st2.IOTime < int64(len(batch)) {
+		t.Fatalf("no-dedup same-key Get IO = %d, want ≥ batch", st2.IOTime)
+	}
+}
+
+func TestUniformBalance(t *testing.T) {
+	const P = 32
+	m := newM(P)
+	r := rng.NewXoshiro256(5)
+	keys := make([]uint64, 32*P)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	_, st := m.Put(keys, make([]int64, len(keys)))
+	if bal := st.PIMBalanceWork(P); bal > 5 {
+		t.Fatalf("uniform Put imbalanced: %f", bal)
+	}
+	counts := m.Counts()
+	maxc := 0
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	if ratio := float64(maxc) / (float64(len(keys)) / P); ratio > 3 {
+		t.Fatalf("storage imbalanced: %v", counts)
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	if err := quick.Check(func(ops []struct {
+		K    uint8
+		V    int16
+		Kind uint8
+	}) bool {
+		m := newM(4)
+		ref := map[uint64]int64{}
+		for _, op := range ops {
+			k := uint64(op.K)
+			switch op.Kind % 3 {
+			case 0:
+				m.Put([]uint64{k}, []int64{int64(op.V)})
+				ref[k] = int64(op.V)
+			case 1:
+				got, _ := m.Get([]uint64{k})
+				wv, wok := ref[k]
+				if got[0].Found != wok || (wok && got[0].Value != wv) {
+					return false
+				}
+			case 2:
+				got, _ := m.Delete([]uint64{k})
+				if _, wok := ref[k]; got[0] != wok {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		return m.Len() == len(ref)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceWords(t *testing.T) {
+	m := newM(8)
+	r := rng.NewXoshiro256(6)
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	m.Put(keys, make([]int64, len(keys)))
+	words := m.SpaceWords()
+	var tot, maxw int64
+	for _, w := range words {
+		tot += w
+		if w > maxw {
+			maxw = w
+		}
+	}
+	if ratio := float64(maxw) / (float64(tot) / 8); ratio > 2.5 {
+		t.Fatalf("space imbalanced: %v", words)
+	}
+}
+
+func TestMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newM(4).Put([]uint64{1}, nil)
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	m := newM(32)
+	r := rng.NewXoshiro256(7)
+	keys := make([]uint64, 1024)
+	vals := make([]int64, 1024)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(keys, vals)
+		m.Get(keys)
+	}
+}

@@ -1,0 +1,348 @@
+// Package pimsort implements distributed sample sort on the PIM model —
+// one of the "other algorithms for the PIM model" the paper's conclusion
+// calls for, and a direct illustration of §2.1's point that the small CPU
+// shared memory earns its keep: the algorithm sorts a Θ(P log P)-word
+// sample entirely in shared memory (no network traffic), and uses it to
+// route Θ(n) words of data in one balanced h-relation.
+//
+// The input starts evenly divided among the PIM modules, as the model
+// prescribes for in-memory algorithms. The algorithm:
+//
+//  1. Every module sorts its local run (O((n/P)·log(n/P)) PIM work) and
+//     replies an oversampled set of Θ(log P) candidate splitters.
+//  2. The CPU side sorts the ≤ M-word sample and picks P−1 splitters
+//     (pure shared-memory computation).
+//  3. Splitters are broadcast; every module partitions its run and sends
+//     each bucket to its destination module. Equal keys are spread by a
+//     per-element hash tiebreak, so adversarial duplicate-heavy inputs
+//     still balance whp (the same selective-randomization idea as the
+//     skip list's node placement).
+//  4. Every module merges its received runs (O((n/P)·log P) PIM work).
+//
+// Costs: O(1) rounds, O(n/P) whp IO time, O((n/P)·log n) whp PIM time,
+// O(P log P · log P) CPU work — PIM-balanced by Lemma 2.2.
+package pimsort
+
+import (
+	"fmt"
+	"sort"
+
+	"pimgo/internal/cpu"
+	"pimgo/internal/parutil"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+)
+
+// item is a key with its duplicate-spreading tiebreak.
+type item struct {
+	key uint64
+	tie uint64
+}
+
+func itemLess(a, b item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.tie < b.tie
+}
+
+// modState is one module's local memory: its current run of keys.
+type modState struct {
+	data []item
+	out  [][]item // received buckets, merged in step 4
+}
+
+// Stats reports the cost of one Sort call (the model's metrics).
+type Stats struct {
+	IOTime   int64
+	PIMTime  int64
+	Rounds   int64
+	CPUWork  int64
+	CPUDepth int64
+	CPUMem   int64
+	MaxMsgs  int64 // max messages on any one module (balance numerator)
+}
+
+// Sorter holds a PIM machine loaded with keys to sort.
+type Sorter struct {
+	mach   *pim.Machine[*modState]
+	p      int
+	n      int
+	hasher rng.Hasher
+	over   int
+}
+
+// New creates a sorter over p modules.
+func New(p int, seed uint64) *Sorter {
+	if p < 2 {
+		panic("pimsort: need at least 2 modules")
+	}
+	return &Sorter{
+		mach:   pim.NewMachine(p, func(pim.ModuleID) *modState { return &modState{} }),
+		p:      p,
+		hasher: rng.NewHasher(seed),
+		over:   8,
+	}
+}
+
+// Load distributes keys evenly across the modules (round-robin blocks),
+// modelling the model's "input starts evenly divided" precondition.
+// Unmetered: loading is the experiment setup, not the algorithm.
+func (s *Sorter) Load(keys []uint64) {
+	s.n = len(keys)
+	per := (len(keys) + s.p - 1) / s.p
+	for id := 0; id < s.p; id++ {
+		lo := id * per
+		hi := min((id+1)*per, len(keys))
+		st := s.mach.Mod(pim.ModuleID(id)).State
+		st.data = st.data[:0]
+		st.out = nil
+		for i := lo; i < hi; i++ {
+			st.data = append(st.data, item{key: keys[i], tie: s.hasher.Hash(keys[i], i)})
+		}
+	}
+}
+
+// sortLocalTask sorts the module's run and replies a sample.
+type sortLocalTask struct {
+	s       *Sorter
+	samples int
+}
+
+type sampleMsg struct {
+	from   pim.ModuleID
+	sample []item
+}
+
+func (t *sortLocalTask) Run(c *pim.Ctx[*modState]) {
+	st := c.State()
+	n := len(st.data)
+	c.Charge(seqSortCost(n))
+	sort.Slice(st.data, func(i, j int) bool { return itemLess(st.data[i], st.data[j]) })
+	k := t.samples
+	if k > n {
+		k = n
+	}
+	sample := make([]item, 0, k)
+	for i := 0; i < k; i++ {
+		sample = append(sample, st.data[i*n/max(k, 1)])
+	}
+	c.ReplyWords(sampleMsg{from: c.Module(), sample: sample}, int64(len(sample))+1)
+}
+
+// scatterTask carries the splitters; the module partitions its sorted run
+// and forwards each bucket.
+type scatterTask struct {
+	s         *Sorter
+	splitters []item
+}
+
+type bucketMsg struct {
+	items []item
+}
+
+func (t *scatterTask) Run(c *pim.Ctx[*modState]) {
+	st := c.State()
+	data := st.data
+	st.data = nil
+	// The run is sorted; buckets are contiguous. Binary-search each
+	// boundary: O(P log(n/P)) local work.
+	c.Charge(int64(len(t.splitters)) * int64(logCeil(len(data)+2)))
+	start := 0
+	for b := 0; b <= len(t.splitters); b++ {
+		end := len(data)
+		if b < len(t.splitters) {
+			sp := t.splitters[b]
+			end = sort.Search(len(data), func(i int) bool { return !itemLess(data[i], sp) })
+		}
+		if end > start || b == len(t.splitters) {
+			bucket := data[start:end]
+			if len(bucket) > 0 {
+				if pim.ModuleID(b) == c.Module() {
+					st.out = append(st.out, bucket)
+					c.Charge(1)
+				} else {
+					c.SendWords(pim.ModuleID(b), &receiveTask{items: bucket}, int64(len(bucket)))
+				}
+			}
+		}
+		start = end
+	}
+}
+
+// receiveTask appends a bucket to the destination's received runs.
+type receiveTask struct {
+	items []item
+}
+
+func (t *receiveTask) Run(c *pim.Ctx[*modState]) {
+	st := c.State()
+	st.out = append(st.out, t.items)
+	c.Charge(1)
+}
+
+// mergeTask k-way merges the received runs into the final local run.
+type mergeTask struct{}
+
+func (t *mergeTask) Run(c *pim.Ctx[*modState]) {
+	st := c.State()
+	total := 0
+	for _, run := range st.out {
+		total += len(run)
+	}
+	merged := make([]item, 0, total)
+	// Simple iterative two-way merging (cost ≈ total · log(#runs)).
+	runs := st.out
+	st.out = nil
+	for len(runs) > 1 {
+		var next [][]item
+		for i := 0; i+1 < len(runs); i += 2 {
+			next = append(next, merge2(runs[i], runs[i+1]))
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		c.Charge(int64(total))
+		runs = next
+	}
+	if len(runs) == 1 {
+		merged = runs[0]
+	}
+	st.data = merged
+	c.Charge(int64(total))
+	c.Reply(int64(total))
+}
+
+func merge2(a, b []item) []item {
+	out := make([]item, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if itemLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Sort runs the distributed sample sort and returns its cost metrics.
+func (s *Sorter) Sort() Stats {
+	s.mach.ResetMetrics()
+	tr := cpu.NewTracker()
+	c := tr.Root()
+
+	// Round 1: local sorts + samples.
+	samplesPer := s.over * logCeil(s.p)
+	sends := pim.Broadcast[*modState](s.p, &sortLocalTask{s: s, samples: samplesPer}, 1)
+	replies, follow := s.mach.Round(sends)
+	if len(follow) != 0 {
+		panic("pimsort: unexpected follow-ups")
+	}
+	var sample []item
+	for _, r := range replies {
+		sample = append(sample, r.V.(sampleMsg).sample...)
+	}
+	tr.Alloc(int64(len(sample)))
+
+	// Shared-memory splitter selection: sort ≤ M words with zero network
+	// traffic (§2.1's "sorting up to M numbers" point).
+	parutil.Sort(c, sample, itemLess)
+	splitters := make([]item, 0, s.p-1)
+	for b := 1; b < s.p; b++ {
+		if len(sample) == 0 {
+			break
+		}
+		splitters = append(splitters, sample[b*len(sample)/s.p])
+	}
+	c.WorkFlat(int64(s.p))
+
+	// Round 2: scatter by splitters (the big h-relation).
+	sends = pim.Broadcast[*modState](s.p, &scatterTask{s: s, splitters: splitters}, int64(len(splitters))+1)
+	_, follow = s.mach.Round(sends)
+	// Round 3: deliver buckets.
+	if len(follow) > 0 {
+		_, extra := s.mach.Round(follow)
+		if len(extra) != 0 {
+			panic("pimsort: bucket delivery produced follow-ups")
+		}
+	}
+
+	// Round 4: local merges.
+	sends = pim.Broadcast[*modState](s.p, &mergeTask{}, 1)
+	s.mach.Round(sends)
+
+	tr.Free(int64(len(sample)))
+	tr.Finish(c)
+	met := s.mach.Metrics()
+	maxMsgs := int64(0)
+	for _, v := range s.mach.MsgVector() {
+		if v > maxMsgs {
+			maxMsgs = v
+		}
+	}
+	return Stats{
+		IOTime:   met.IOTime,
+		PIMTime:  s.mach.PIMTime(),
+		Rounds:   met.Rounds,
+		CPUWork:  tr.Work(),
+		CPUDepth: tr.Depth(),
+		CPUMem:   tr.PeakMem(),
+		MaxMsgs:  maxMsgs,
+	}
+}
+
+// Collect gathers the sorted output (module-major) — unmetered experiment
+// introspection.
+func (s *Sorter) Collect() []uint64 {
+	out := make([]uint64, 0, s.n)
+	for id := 0; id < s.p; id++ {
+		for _, it := range s.mach.Mod(pim.ModuleID(id)).State.data {
+			out = append(out, it.key)
+		}
+	}
+	return out
+}
+
+// RunSizes returns the per-module output sizes (balance inspection).
+func (s *Sorter) RunSizes() []int {
+	sizes := make([]int, s.p)
+	for id := 0; id < s.p; id++ {
+		sizes[id] = len(s.mach.Mod(pim.ModuleID(id)).State.data)
+	}
+	return sizes
+}
+
+func seqSortCost(n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return int64(n) * int64(logCeil(n))
+}
+
+func logCeil(n int) int {
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	return lg
+}
+
+// Verify checks global sortedness across modules; returns nil if sorted.
+func (s *Sorter) Verify() error {
+	prev := item{}
+	first := true
+	for id := 0; id < s.p; id++ {
+		for _, it := range s.mach.Mod(pim.ModuleID(id)).State.data {
+			if !first && itemLess(it, prev) {
+				return fmt.Errorf("pimsort: order violated at module %d", id)
+			}
+			prev, first = it, false
+		}
+	}
+	return nil
+}

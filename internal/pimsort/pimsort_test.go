@@ -1,0 +1,219 @@
+package pimsort
+
+import (
+	"sort"
+	"testing"
+
+	"pimgo/internal/rng"
+)
+
+func checkSorted(t *testing.T, s *Sorter, input []uint64) {
+	t.Helper()
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Collect()
+	if len(got) != len(input) {
+		t.Fatalf("collected %d keys, loaded %d", len(got), len(input))
+	}
+	want := append([]uint64(nil), input...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortUniform(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 32} {
+		s := New(p, 1)
+		r := rng.NewXoshiro256(2)
+		keys := make([]uint64, 20000)
+		for i := range keys {
+			keys[i] = r.Uint64()
+		}
+		s.Load(keys)
+		st := s.Sort()
+		checkSorted(t, s, keys)
+		if st.Rounds > 4 {
+			t.Fatalf("P=%d: %d rounds, want O(1)", p, st.Rounds)
+		}
+	}
+}
+
+func TestSortEmptyAndTiny(t *testing.T) {
+	s := New(4, 1)
+	s.Load(nil)
+	s.Sort()
+	checkSorted(t, s, nil)
+
+	s2 := New(4, 1)
+	s2.Load([]uint64{3, 1, 2})
+	s2.Sort()
+	checkSorted(t, s2, []uint64{3, 1, 2})
+}
+
+func TestSortAlreadySortedAndReversed(t *testing.T) {
+	const n = 10000
+	asc := make([]uint64, n)
+	desc := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = uint64(i)
+		desc[i] = uint64(n - i)
+	}
+	for _, in := range [][]uint64{asc, desc} {
+		s := New(8, 3)
+		s.Load(in)
+		s.Sort()
+		checkSorted(t, s, in)
+	}
+}
+
+func TestSortAllEqualStaysBalanced(t *testing.T) {
+	// The adversarial case: every key identical. The hash tiebreak must
+	// spread the duplicates across modules (without it, one module would
+	// receive everything).
+	const p, n = 16, 16000
+	s := New(p, 5)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = 42
+	}
+	s.Load(keys)
+	s.Sort()
+	checkSorted(t, s, keys)
+	sizes := s.RunSizes()
+	maxSz := 0
+	for _, sz := range sizes {
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if ratio := float64(maxSz) / (float64(n) / p); ratio > 2.5 {
+		t.Fatalf("all-equal input imbalanced: max/mean = %f (%v)", ratio, sizes)
+	}
+}
+
+func TestSortFewDistinctKeys(t *testing.T) {
+	const p, n = 8, 12000
+	s := New(p, 7)
+	r := rng.NewXoshiro256(8)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64n(4)
+	}
+	s.Load(keys)
+	s.Sort()
+	checkSorted(t, s, keys)
+	sizes := s.RunSizes()
+	maxSz := 0
+	for _, sz := range sizes {
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if ratio := float64(maxSz) / (float64(n) / p); ratio > 3 {
+		t.Fatalf("few-distinct input imbalanced: %v", sizes)
+	}
+}
+
+func TestSortBalanceUniform(t *testing.T) {
+	const p, n = 32, 64000
+	s := New(p, 9)
+	r := rng.NewXoshiro256(10)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	s.Load(keys)
+	st := s.Sort()
+	sizes := s.RunSizes()
+	maxSz := 0
+	for _, sz := range sizes {
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if ratio := float64(maxSz) / (float64(n) / p); ratio > 2 {
+		t.Fatalf("output runs imbalanced: max/mean = %f", ratio)
+	}
+	// IO balance: IO time should be ~max per-module traffic, which is
+	// Θ(n/P), not Θ(n).
+	if st.IOTime > int64(6*n/p) {
+		t.Fatalf("IO time %d >> n/P = %d", st.IOTime, n/p)
+	}
+	// Shared memory stays small: the sample, not the data.
+	if st.CPUMem > int64(4*p*logCeil(p)*8) {
+		t.Fatalf("CPU memory %d exceeds Θ(P log P) sample budget", st.CPUMem)
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	run := func() ([]uint64, Stats) {
+		s := New(8, 11)
+		r := rng.NewXoshiro256(12)
+		keys := make([]uint64, 5000)
+		for i := range keys {
+			keys[i] = r.Uint64n(1000)
+		}
+		s.Load(keys)
+		st := s.Sort()
+		return s.Collect(), st
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("outputs differ")
+		}
+	}
+}
+
+func TestSortIOScalesWithNOverP(t *testing.T) {
+	// Doubling n should roughly double IO time (it is Θ(n/P)); the point is
+	// that it is far below Θ(n) for P=16.
+	io := map[int]int64{}
+	for _, n := range []int{16000, 32000} {
+		s := New(16, 13)
+		r := rng.NewXoshiro256(14)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = r.Uint64()
+		}
+		s.Load(keys)
+		io[n] = s.Sort().IOTime
+	}
+	ratio := float64(io[32000]) / float64(io[16000])
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Fatalf("IO scaling with n looks wrong: %v (ratio %f)", io, ratio)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for P<2")
+		}
+	}()
+	New(1, 0)
+}
+
+func BenchmarkPIMSort(b *testing.B) {
+	r := rng.NewXoshiro256(1)
+	keys := make([]uint64, 1<<17)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(32, uint64(i))
+		s.Load(keys)
+		st := s.Sort()
+		b.ReportMetric(float64(st.IOTime), "IOtime")
+		b.ReportMetric(float64(st.PIMTime), "PIMtime")
+	}
+}

@@ -1,0 +1,201 @@
+// Package rng provides the deterministic random-number generation and
+// hashing primitives used throughout pimgo.
+//
+// Everything in the simulator must be reproducible from a single seed: the
+// skip-list height coins, the hash function mapping (key, level) pairs to
+// PIM modules, the random priorities of list contraction, and the workload
+// generators. This package therefore exposes:
+//
+//   - SplitMix64: a tiny stateless mixer used for seeding and one-shot hashes.
+//   - Xoshiro256: a fast, high-quality PRNG stream (xoshiro256**).
+//   - Hasher: a keyed hash for (uint64 key, level) pairs with strong
+//     avalanche behaviour, used to place lower-part skip-list nodes.
+//
+// None of these are cryptographic; the adversary in the PIM model is not
+// allowed to depend on the algorithm's random choices (§2.1 of the paper),
+// so statistical quality plus keying is exactly what is required.
+package rng
+
+import "math/bits"
+
+// SplitMix64 advances the state and returns the next value of the SplitMix64
+// sequence. It is the standard seeding generator recommended for xoshiro.
+// The state pointer is updated in place.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns a well-mixed function of x. It is the SplitMix64 finalizer
+// applied to x and is suitable as a one-shot integer hash.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Xoshiro256 is the xoshiro256** generator by Blackman and Vigna. It has a
+// period of 2^256−1 and passes all standard statistical test batteries. The
+// zero value is invalid; use NewXoshiro256.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator deterministically seeded from seed via
+// SplitMix64, as recommended by the xoshiro authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	var x Xoshiro256
+	sm := seed
+	for i := range x.s {
+		x.s[i] = SplitMix64(&sm)
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniformly random value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return x.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(x.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(x.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Coin returns true with probability 1/2.
+func (x *Xoshiro256) Coin() bool {
+	return x.Uint64()&1 == 1
+}
+
+// GeometricHeight returns 1 plus the number of consecutive heads in a fair
+// coin sequence, capped at max. This is the classic skip-list tower height:
+// a node of height h appears on levels 0..h−1, and a level-i node appears on
+// level i+1 with probability 1/2 (footnote 4 of the paper).
+func (x *Xoshiro256) GeometricHeight(max int) int {
+	h := 1
+	for h < max {
+		// Consume bits one word at a time for speed.
+		w := x.Uint64()
+		for b := 0; b < 64 && h < max; b++ {
+			if w&1 == 0 {
+				return h
+			}
+			h++
+			w >>= 1
+		}
+	}
+	return h
+}
+
+// Perm fills out with a uniformly random permutation of [0, len(out)).
+func (x *Xoshiro256) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Jump advances the generator by 2^128 steps, providing a disjoint
+// subsequence for a parallel worker. Equivalent to 2^128 calls to Uint64.
+func (x *Xoshiro256) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
+// Split returns a new generator seeded from this one's stream, suitable for
+// handing to a child task without sharing state.
+func (x *Xoshiro256) Split() *Xoshiro256 {
+	return NewXoshiro256(x.Uint64())
+}
+
+// Hasher is a keyed hash for (key, level) pairs. The PIM skip list uses it
+// to map each lower-part node to a module: module = Hash(key, level) mod P.
+// Keying (the seed) matters: the model's adversary chooses keys before the
+// algorithm draws its randomness, so a fixed public hash would be gameable
+// by *us* when writing adversarial tests — the keyed hash keeps the
+// experiments honest.
+type Hasher struct {
+	k0, k1 uint64
+}
+
+// NewHasher returns a Hasher keyed by seed.
+func NewHasher(seed uint64) Hasher {
+	sm := seed
+	return Hasher{k0: SplitMix64(&sm), k1: SplitMix64(&sm)}
+}
+
+// Hash returns a 64-bit hash of (x, level).
+func (h Hasher) Hash(x uint64, level int) uint64 {
+	v := x ^ h.k0
+	v = Mix64(v)
+	v ^= uint64(level)*0x9e3779b97f4a7c15 ^ h.k1
+	return Mix64(v)
+}
+
+// HashMod returns Hash(x, level) reduced to [0, m) without modulo bias
+// (fixed-point multiply-shift reduction).
+func (h Hasher) HashMod(x uint64, level, m int) int {
+	hi, _ := bits.Mul64(h.Hash(x, level), uint64(m))
+	return int(hi)
+}

@@ -1,0 +1,91 @@
+// Package pimgo is the public facade of the PIM-model reproduction: it
+// re-exports the skip list (the paper's contribution), its configuration
+// and statistics types, and the companion structures, so downstream users
+// write `import "pimgo"` and never touch internal packages directly.
+//
+//	m := pimgo.NewMap[uint64, int64](pimgo.Config{P: 16, Seed: 42}, pimgo.Uint64Hash)
+//	m.Upsert(keys, vals)
+//	res, stats := m.Successor(queries)
+//
+// See README.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction; the full API documentation lives on the aliased types.
+package pimgo
+
+import (
+	"cmp"
+
+	"pimgo/internal/core"
+	"pimgo/internal/pimmap"
+	"pimgo/internal/pimsort"
+)
+
+// Config configures a Map (see core.Config for field documentation).
+type Config = core.Config
+
+// BatchStats carries the PIM-model cost metrics of one batch.
+type BatchStats = core.BatchStats
+
+// Map is the PIM-balanced batch-parallel skip list of the paper.
+type Map[K cmp.Ordered, V any] = core.Map[K, V]
+
+// SearchResult is the outcome of a Predecessor/Successor operation.
+type SearchResult[K cmp.Ordered, V any] = core.SearchResult[K, V]
+
+// GetResult is the outcome of a Get operation.
+type GetResult[V any] = core.GetResult[V]
+
+// RangeOp describes one range operation over [Lo, Hi].
+type RangeOp[K cmp.Ordered, V any] = core.RangeOp[K, V]
+
+// RangePair is one key-value pair returned by range reads.
+type RangePair[K cmp.Ordered, V any] = core.RangePair[K, V]
+
+// RangeResult is the outcome of one range operation.
+type RangeResult[K cmp.Ordered, V any] = core.RangeResult[K, V]
+
+// RangeKind selects what a range operation does (count, read, transform).
+type RangeKind = core.RangeKind
+
+// Range operation kinds.
+const (
+	RangeCount     = core.RangeCount
+	RangeRead      = core.RangeRead
+	RangeTransform = core.RangeTransform
+)
+
+// NewMap constructs an empty PIM skip list on a fresh simulated machine.
+func NewMap[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) *Map[K, V] {
+	return core.New[K, V](cfg, hash)
+}
+
+// RestoreMap builds a Map from a Snapshot in O(1) network rounds.
+func RestoreMap[K cmp.Ordered, V any](cfg Config, hash func(K) uint64, keys []K, vals []V) (*Map[K, V], BatchStats) {
+	return core.Restore(cfg, hash, keys, vals)
+}
+
+// Ready-made key hashers.
+var (
+	Uint64Hash = core.Uint64Hash
+	Int64Hash  = core.Int64Hash
+	IntHash    = core.IntHash
+	StringHash = core.StringHash
+)
+
+// HashMap is the unordered companion structure (future-work extension).
+type HashMap[K comparable, V any] = pimmap.Map[K, V]
+
+// NewHashMap constructs a PIM hash map over p modules.
+func NewHashMap[K comparable, V any](p int, seed uint64, hash func(K) uint64) *HashMap[K, V] {
+	return pimmap.New[K, V](p, seed, hash)
+}
+
+// Sorter is the distributed PIM sample sorter (future-work extension).
+type Sorter = pimsort.Sorter
+
+// SortStats reports a Sorter run's cost metrics.
+type SortStats = pimsort.Stats
+
+// NewSorter constructs a sorter over p modules.
+func NewSorter(p int, seed uint64) *Sorter {
+	return pimsort.New(p, seed)
+}

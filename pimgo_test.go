@@ -1,0 +1,64 @@
+package pimgo
+
+import (
+	"testing"
+)
+
+// The facade must be fully usable without importing internals.
+func TestFacadeMap(t *testing.T) {
+	m := NewMap[uint64, int64](Config{P: 8, Seed: 1}, Uint64Hash)
+	ins, st := m.Upsert([]uint64{5, 1, 9}, []int64{50, 10, 90})
+	if len(ins) != 3 || st.Batch != 3 {
+		t.Fatalf("upsert: %v %v", ins, st)
+	}
+	s, _ := m.SuccessorOne(2)
+	if !s.Found || s.Key != 5 {
+		t.Fatalf("successor = %+v", s)
+	}
+	rr, _ := m.RangeBroadcast(RangeOp[uint64, int64]{Lo: 1, Hi: 9, Kind: RangeRead})
+	if rr.Count != 3 {
+		t.Fatalf("range = %+v", rr)
+	}
+	keys, vals, _ := m.Snapshot()
+	m2, _ := RestoreMap(Config{P: 4, Seed: 2}, Uint64Hash, keys, vals)
+	if m2.Len() != 3 {
+		t.Fatalf("restored len = %d", m2.Len())
+	}
+	if err := m2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeStringKeys(t *testing.T) {
+	m := NewMap[string, string](Config{P: 4, Seed: 3}, StringHash)
+	m.Upsert([]string{"b", "a"}, []string{"B", "A"})
+	got, _ := m.Get([]string{"a"})
+	if !got[0].Found || got[0].Value != "A" {
+		t.Fatalf("got %+v", got[0])
+	}
+}
+
+func TestFacadeHashMap(t *testing.T) {
+	h := NewHashMap[uint64, int64](8, 4, Uint64Hash)
+	h.Put([]uint64{1, 2}, []int64{10, 20})
+	got, _ := h.Get([]uint64{2, 3})
+	if !got[0].Found || got[0].Value != 20 || got[1].Found {
+		t.Fatalf("hashmap get: %+v", got)
+	}
+}
+
+func TestFacadeSorter(t *testing.T) {
+	s := NewSorter(8, 5)
+	s.Load([]uint64{5, 3, 9, 1})
+	var st SortStats = s.Sort()
+	if st.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	got := s.Collect()
+	want := []uint64{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v", got)
+		}
+	}
+}
