@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the pre-commit gate;
+# `make bench` refreshes the round-engine perf record
+# (results/BENCH_roundengine.json) that tracks engine throughput PR-over-PR.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Round-engine microbenchmarks: human-readable output from the test suite,
+# then the machine-readable JSON record via the pimbench harness.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRound|BenchmarkDrive' -benchmem ./internal/pim/
+	$(GO) run ./cmd/pimbench roundengine -out results/BENCH_roundengine.json
+
+check: build vet test race

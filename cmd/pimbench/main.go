@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"sweep", "CSV metric grid over P×n for plotting", runSweep},
 	{"why", "§1: data movement saved vs shared-memory emulation", runWhy},
 	{"cpuscale", "§2.1: O(W/P'+D) with a real work-stealing pool", runCPUScale},
+	{"roundengine", "round-engine microbenchmarks → results/BENCH_roundengine.json", runRoundEngine},
 }
 
 func main() {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
@@ -125,4 +126,41 @@ func TestRunWhy(t *testing.T) {
 
 func TestRunCPUScale(t *testing.T) {
 	quiet(t, func() { runCPUScale([]string{"-leaf", "50", "-n", "256"}) })
+}
+
+func TestRunRoundEngine(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	// First run creates the file; second run with the same label must
+	// replace the entry, and a different label must append.
+	quiet(t, func() { runRoundEngine([]string{"-out", path, "-maxp", "16", "-label", "a"}) })
+	quiet(t, func() { runRoundEngine([]string{"-out", path, "-maxp", "16", "-label", "a"}) })
+	quiet(t, func() { runRoundEngine([]string{"-out", path, "-maxp", "16", "-label", "b"}) })
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Entries []struct {
+			Label      string `json:"label"`
+			Benchmarks []struct {
+				AllocsPerOp int64 `json:"allocs_per_op"`
+			} `json:"benchmarks"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(file.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (replace same label, append new)", len(file.Entries))
+	}
+	for _, e := range file.Entries {
+		if len(e.Benchmarks) != 3 { // P=16 shapes only
+			t.Fatalf("entry %q has %d benchmarks, want 3", e.Label, len(e.Benchmarks))
+		}
+		for _, b := range e.Benchmarks {
+			if b.AllocsPerOp != 0 {
+				t.Errorf("entry %q: steady-state Round reports %d allocs/op, want 0", e.Label, b.AllocsPerOp)
+			}
+		}
+	}
 }

@@ -1,0 +1,162 @@
+package main
+
+// `pimbench roundengine` is the round-engine perf-regression harness: it
+// runs the canonical microbenchmark shapes (pim.RoundBenchShapes — the same
+// grid as `go test -bench BenchmarkRound ./internal/pim`) through
+// testing.Benchmark and records the results as one labeled entry in a
+// machine-readable JSON file, preserving every previously recorded entry.
+// Each PR that touches the engine re-runs it (see the Makefile `bench`
+// target), so results/BENCH_roundengine.json accumulates the perf
+// trajectory of the engine over time.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"pimgo/internal/pim"
+)
+
+// reBenchResult is one benchmark line of one entry.
+type reBenchResult struct {
+	Name        string  `json:"name"`
+	P           int     `json:"p"`
+	Sends       int     `json:"sends"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerSend   float64 `json:"ns_per_send"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RoundsPerS  float64 `json:"rounds_per_sec"`
+}
+
+// reEntry is one labeled run of the harness.
+type reEntry struct {
+	Label      string          `json:"label"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Note       string          `json:"note,omitempty"`
+	Benchmarks []reBenchResult `json:"benchmarks"`
+}
+
+// reFile is the on-disk shape of results/BENCH_roundengine.json.
+type reFile struct {
+	Bench   string    `json:"bench"`
+	Unit    string    `json:"unit"`
+	Entries []reEntry `json:"entries"`
+}
+
+// reState/reTask mirror the internal/pim benchmark workload: charge one
+// unit, bump the module counter, reply a preboxed value (no interface
+// boxing in the measured loop).
+type reState struct{ n int64 }
+
+var rePrebox any = int64(7)
+
+type reTask struct{}
+
+func (reTask) Run(c *pim.Ctx[*reState]) {
+	c.Charge(1)
+	c.State().n++
+	c.Reply(rePrebox)
+}
+
+func reSends(p, n int) []pim.Send[*reState] {
+	sends := make([]pim.Send[*reState], 0, n)
+	var t pim.Task[*reState] = reTask{}
+	perMod := (n + p - 1) / p
+	for m := 0; m < p && len(sends) < n; m++ {
+		for j := 0; j < perMod && len(sends) < n; j++ {
+			sends = append(sends, pim.Send[*reState]{To: pim.ModuleID(m), Task: t})
+		}
+	}
+	return sends
+}
+
+func runRoundEngine(args []string) {
+	f := fs("roundengine")
+	outPath := f.String("out", "results/BENCH_roundengine.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	maxP := f.Int("maxp", 0, "skip shapes with P larger than this (0 = run all)")
+	f.Parse(args)
+
+	entry := reEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+
+	for _, sh := range pim.RoundBenchShapes() {
+		if *maxP > 0 && sh.P > *maxP {
+			continue
+		}
+		m := pim.NewMachine(sh.P, func(pim.ModuleID) *reState { return &reState{} })
+		sends := reSends(sh.P, sh.Sends)
+		for i := 0; i < 3; i++ { // reach buffer steady state
+			m.Round(sends)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Round(sends)
+			}
+		})
+		m.Close()
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := reBenchResult{
+			Name:        fmt.Sprintf("Round/P=%d/sends=%d", sh.P, sh.Sends),
+			P:           sh.P,
+			Sends:       sh.Sends,
+			NsPerOp:     nsPerOp,
+			NsPerSend:   nsPerOp / float64(sh.Sends),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			RoundsPerS:  1e9 / nsPerOp,
+		}
+		entry.Benchmarks = append(entry.Benchmarks, res)
+		fmt.Printf("%-28s %12.1f ns/op %8.2f ns/send %6d allocs/op %8d B/op\n",
+			res.Name, res.NsPerOp, res.NsPerSend, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	if len(entry.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "roundengine: -maxp %d excludes every shape (smallest P is %d); nothing recorded\n",
+			*maxP, pim.RoundBenchShapes()[0].P)
+		os.Exit(1)
+	}
+
+	file := reFile{Bench: "roundengine", Unit: "one op = one Machine.Round call"}
+	if raw, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "roundengine: existing %s is not valid JSON (%v); refusing to overwrite\n", *outPath, err)
+			os.Exit(1)
+		}
+	}
+	replaced := false
+	for i := range file.Entries {
+		if file.Entries[i].Label == entry.Label {
+			file.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		file.Entries = append(file.Entries, entry)
+	}
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roundengine:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "roundengine:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, len(file.Entries), entry.Label)
+}

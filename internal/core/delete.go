@@ -256,7 +256,7 @@ func (m *Map[K, V]) Delete(keys []K) ([]bool, BatchStats) {
 	for _, mk := range marks {
 		if mk.ptr.IsUpper() {
 			m.freeUpper(mk.ptr.Addr())
-			sends = append(sends, pim.Broadcast[*modState[K, V]](m.cfg.P, &freeUpperTask[K, V]{addr: mk.ptr.Addr()}, 1)...)
+			sends = append(sends, m.mach.Broadcast(&freeUpperTask[K, V]{addr: mk.ptr.Addr()}, 1)...)
 		} else {
 			sends = append(sends, pim.Send[*modState[K, V]]{
 				To: mk.ptr.ModuleOf(), Task: &freeLowerTask[K, V]{addr: mk.ptr.Addr()},

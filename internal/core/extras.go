@@ -158,7 +158,7 @@ func (t *allPairsTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 func (m *Map[K, V]) AllPairs() ([]RangePair[K, V], BatchStats) {
 	tr, c := m.beginBatch()
 	var out []RangePair[K, V]
-	sends := pim.Broadcast[*modState[K, V]](m.cfg.P, &allPairsTask[K, V]{}, 1)
+	sends := m.mach.Broadcast(&allPairsTask[K, V]{}, 1)
 	for len(sends) > 0 {
 		replies, next := m.mach.Round(sends)
 		c.WorkFlat(int64(len(replies)))
@@ -197,7 +197,7 @@ func (m *Map[K, V]) Rank(keys []K) ([]int64, BatchStats) {
 	// Broadcast the sorted query list once; each module merges it against
 	// its local leaf list and replies per-query local counts.
 	counts := make([]int64, len(qs))
-	sends := pim.Broadcast[*modState[K, V]](m.cfg.P, &rankTask[K, V]{qs: qs}, int64(len(qs)))
+	sends := m.mach.Broadcast(&rankTask[K, V]{qs: qs}, int64(len(qs)))
 	for len(sends) > 0 {
 		replies, next := m.mach.Round(sends)
 		c.WorkFlat(int64(len(replies)))

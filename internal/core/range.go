@@ -130,7 +130,7 @@ func (m *Map[K, V]) RangeBroadcast(op RangeOp[K, V]) (RangeResult[K, V], BatchSt
 func (m *Map[K, V]) rangeBroadcastInner(c *cpu.Ctx, op RangeOp[K, V]) RangeResult[K, V] {
 	var res RangeResult[K, V]
 	res.Reduced = op.Init
-	sends := pim.Broadcast[*modState[K, V]](m.cfg.P, &bcastRangeTask[K, V]{m: m, op: op}, 1)
+	sends := m.mach.Broadcast(&bcastRangeTask[K, V]{m: m, op: op}, 1)
 	for len(sends) > 0 {
 		replies, next := m.mach.Round(sends)
 		c.WorkFlat(int64(len(replies)))

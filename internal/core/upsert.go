@@ -301,7 +301,7 @@ func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, BatchStats) {
 		for l := m.cfg.HLow; l < int(heights[j]); l++ {
 			addr := m.allocUpper()
 			towers[j][l] = pim.UpperPtr(addr)
-			sends = append(sends, pim.Broadcast[*modState[K, V]](m.cfg.P,
+			sends = append(sends, m.mach.Broadcast(
 				&createUpperTask[K, V]{m: m, key: k, level: int8(l), addr: addr}, 1)...)
 		}
 	}
@@ -417,7 +417,9 @@ func (m *Map[K, V]) scatterInserted(c *cpu.Ctx, tr *cpu.Tracker, inserted []bool
 // lower pointer, a broadcast for a replicated upper pointer.
 func (m *Map[K, V]) sendToOwner(ptr pim.Ptr, t pim.Task[*modState[K, V]], words int64) []pim.Send[*modState[K, V]] {
 	if ptr.IsUpper() {
-		return pim.Broadcast[*modState[K, V]](m.cfg.P, t, words)
+		// Machine-owned scratch: every caller copies the result with append
+		// immediately, which is exactly the Broadcast scratch contract.
+		return m.mach.Broadcast(t, words)
 	}
 	return []pim.Send[*modState[K, V]]{{To: ptr.ModuleOf(), Task: t, Words: words}}
 }

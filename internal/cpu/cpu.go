@@ -39,10 +39,94 @@ type Tracker struct {
 	mem     atomic.Int64 // current shared-memory words
 	peakMem atomic.Int64 // high-water mark
 
-	// limit bounds the number of concurrently running goroutines spawned by
-	// Parallel. 0 means GOMAXPROCS.
+	// limit bounds the parallelism of Parallel/Fork2 constructs (how many
+	// chunks a construct is split into). 0 means GOMAXPROCS.
 	limit int
-	sem   chan struct{}
+}
+
+// parPool is the process-wide pool of persistent workers that execute
+// Parallel chunks. It mirrors the round engine in internal/pim: workers are
+// spawned once, park on the channel between chunks, and never multiply with
+// the number of Trackers or Parallel calls (a Tracker is created per batch
+// operation, so per-call or per-tracker goroutines were the dominant spawn
+// cost). Handoffs are non-blocking with an inline fallback on the caller:
+// a nested Parallel inside a worker can never deadlock waiting for pool
+// capacity, it just degrades to sequential execution with identical
+// accounting.
+var parPool struct {
+	once   sync.Once
+	chunks chan parChunk
+}
+
+func parPoolStart() {
+	n := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g > n {
+		n = g
+	}
+	parPool.chunks = make(chan parChunk, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for ch := range parPool.chunks {
+				ch.call.run(ch.lo, ch.hi)
+			}
+		}()
+	}
+}
+
+// parChunk is one contiguous index range of one Parallel call.
+type parChunk struct {
+	lo, hi int
+	call   *parCall
+}
+
+// parCall is the shared header of one Parallel call: the function, the
+// tracker to charge, the running max of child-strand depths (max commutes,
+// so concurrent chunk completion order cannot affect accounting), and the
+// completion barrier (pending chunk count + close-on-zero channel).
+type parCall struct {
+	f       func(i int, c *Ctx)
+	t       *Tracker
+	maxd    atomic.Int64
+	pending atomic.Int64
+	done    chan struct{} // closed by the chunk that drops pending to 0
+}
+
+// run executes indices [lo, hi), each on a fresh strand, and folds the
+// chunk's deepest strand into the call-wide max.
+func (pc *parCall) run(lo, hi int) {
+	var maxd int64
+	for i := lo; i < hi; i++ {
+		child := Ctx{t: pc.t}
+		pc.f(i, &child)
+		if child.depth > maxd {
+			maxd = child.depth
+		}
+	}
+	for {
+		cur := pc.maxd.Load()
+		if maxd <= cur || pc.maxd.CompareAndSwap(cur, maxd) {
+			break
+		}
+	}
+	if pc.pending.Add(-1) == 0 {
+		close(pc.done)
+	}
+}
+
+// wait blocks until every chunk of the call has run. Crucially it *helps*
+// while waiting: queued chunks — of any call — are drained and executed by
+// the waiter. Without helping, a nested Parallel running *on* a pool worker
+// could queue chunks and then wait for them while every worker is itself
+// waiting, a classic fork-join deadlock; with helping, some waiter always
+// makes progress, so the scheme cannot deadlock at any nesting depth.
+func (pc *parCall) wait() {
+	for pc.pending.Load() > 0 {
+		select {
+		case ch := <-parPool.chunks:
+			ch.call.run(ch.lo, ch.hi)
+		case <-pc.done:
+		}
+	}
 }
 
 // NewTracker returns a Tracker executing parallel constructs on up to
@@ -58,7 +142,7 @@ func NewTrackerN(limit int) *Tracker {
 	if limit <= 0 {
 		limit = runtime.GOMAXPROCS(0)
 	}
-	return &Tracker{limit: limit, sem: make(chan struct{}, limit)}
+	return &Tracker{limit: limit}
 }
 
 // Root returns the root strand context of the computation.
@@ -145,9 +229,12 @@ func logCeil(n int) int64 {
 // join, plus the maximum depth of any child strand. Children receive fresh
 // Ctx values and must charge work through them.
 //
-// Execution: children run on up to the tracker's limit of goroutines; small
-// n or an exhausted limit degrade gracefully to sequential execution with
-// identical accounting.
+// Execution: the index space is block-split into at most the tracker's
+// limit of chunks; all but the first are handed to the process-wide pool of
+// persistent workers (no goroutine is ever spawned per call) and the caller
+// runs the rest. A chunk the pool cannot take immediately runs inline on
+// the caller, so accounting — which is analytic — is identical no matter
+// how chunks were scheduled.
 func (c *Ctx) Parallel(n int, f func(i int, c *Ctx)) {
 	if n <= 0 {
 		return
@@ -158,74 +245,56 @@ func (c *Ctx) Parallel(n int, f func(i int, c *Ctx)) {
 		c.depth += child.depth
 		return
 	}
-	depths := make([]int64, n)
-	if c.t.limit == 1 || n <= 1 {
+	workers := c.t.limit
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var maxd int64
 		for i := 0; i < n; i++ {
 			child := Ctx{t: c.t}
 			f(i, &child)
-			depths[i] = child.depth
+			if child.depth > maxd {
+				maxd = child.depth
+			}
 		}
-	} else {
-		// Block-split the index space over at most limit workers; each
-		// worker runs its indices sequentially but each index still gets an
-		// independent strand for accounting.
-		workers := c.t.limit
-		if workers > n {
-			workers = n
-		}
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			lo := w * n / workers
-			hi := (w + 1) * n / workers
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					child := Ctx{t: c.t}
-					f(i, &child)
-					depths[i] = child.depth
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+		c.depth += logCeil(n) + maxd
+		return
 	}
-	maxd := int64(0)
-	for _, d := range depths {
-		if d > maxd {
-			maxd = d
+	parPool.once.Do(parPoolStart)
+	call := parCall{f: f, t: c.t, done: make(chan struct{})}
+	call.pending.Store(int64(workers))
+	// Offer the tail chunks to the pool first, then work chunk 0 on this
+	// goroutine — by the time the caller finishes its own share, parked
+	// workers have typically drained the rest. If the pool is saturated the
+	// chunk runs inline instead: accounting is analytic, so scheduling
+	// cannot change any measured quantity.
+	for w := workers - 1; w >= 1; w-- {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		select {
+		case parPool.chunks <- parChunk{lo: lo, hi: hi, call: &call}:
+		default:
+			call.run(lo, hi)
 		}
 	}
-	c.depth += logCeil(n) + maxd
+	call.run(0, 1*n/workers)
+	call.wait()
+	c.depth += logCeil(n) + call.maxd.Load()
 }
 
 // Fork2 runs f and g as two parallel strands (a single binary fork):
-// depth += 1 + max(depth(f), depth(g)).
+// depth += 1 + max(depth(f), depth(g)). It is Parallel(2, ...) — the
+// binary-forking accounting (ceil(log2 2) = 1 fork/join level) and the
+// persistent-worker execution are exactly the two-strand case.
 func (c *Ctx) Fork2(f, g func(c *Ctx)) {
-	var df, dg int64
-	if c.t.limit == 1 {
-		cf := Ctx{t: c.t}
-		f(&cf)
-		cg := Ctx{t: c.t}
-		g(&cg)
-		df, dg = cf.depth, cg.depth
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		cf := Ctx{t: c.t}
-		cg := Ctx{t: c.t}
-		go func() {
-			defer wg.Done()
-			f(&cf)
-		}()
-		g(&cg)
-		wg.Wait()
-		df, dg = cf.depth, cg.depth
-	}
-	m := df
-	if dg > m {
-		m = dg
-	}
-	c.depth += 1 + m
+	c.Parallel(2, func(i int, cc *Ctx) {
+		if i == 0 {
+			f(cc)
+		} else {
+			g(cc)
+		}
+	})
 }
 
 // Reduce computes the sum of f(i) over i in [0, n) with a parallel

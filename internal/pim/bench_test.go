@@ -1,0 +1,100 @@
+package pim
+
+// Round-engine microbenchmarks. These are the perf contract of the round
+// engine: `pimbench roundengine` runs the same shapes (see
+// cmd/pimbench/roundengine.go) and records them in
+// results/BENCH_roundengine.json so every PR leaves a perf trajectory.
+//
+// Shapes: for each P in {16, 64, 256}, rounds of 1 send (latency floor),
+// P sends (one per module, the broadcast shape), and P·log²P sends (the
+// paper's per-round batch size for the batched skip-list operations).
+// Tasks charge one unit of work and reply a preboxed value, so the reply
+// aggregation path is exercised without the benchmark measuring interface
+// boxing of fresh values.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchReply is a preboxed reply payload: replying an existing interface
+// value copies it without allocating, keeping the benchmark focused on the
+// engine's own message path.
+var benchReply any = int64(7)
+
+type benchTask struct{}
+
+func (benchTask) Run(c *Ctx[*counterState]) {
+	c.Charge(1)
+	c.State().n++
+	c.Reply(benchReply)
+}
+
+// benchSends builds n sends spread round-robin over p modules, in
+// module-major order (the order follow-up delivery produces).
+func benchSends(p, n int) []Send[*counterState] {
+	sends := make([]Send[*counterState], 0, n)
+	var t Task[*counterState] = benchTask{}
+	perMod := (n + p - 1) / p
+	for m := 0; m < p && len(sends) < n; m++ {
+		for j := 0; j < perMod && len(sends) < n; j++ {
+			sends = append(sends, Send[*counterState]{To: ModuleID(m), Task: t})
+		}
+	}
+	return sends
+}
+
+func BenchmarkRound(b *testing.B) {
+	for _, sh := range RoundBenchShapes() {
+		b.Run(fmt.Sprintf("P=%d/sends=%d", sh.P, sh.Sends), func(b *testing.B) {
+			m := newCounterMachine(sh.P)
+			sends := benchSends(sh.P, sh.Sends)
+			for i := 0; i < 3; i++ { // reach buffer steady state
+				m.Round(sends)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Round(sends)
+			}
+		})
+	}
+}
+
+// BenchmarkRoundFollowUps measures the follow-up path: every task forwards
+// once, so each Drive is two rounds with the second round's sends coming
+// from the engine's own follow buffer.
+func BenchmarkRoundFollowUps(b *testing.B) {
+	for _, p := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			m := newCounterMachine(p)
+			sends := make([]Send[*counterState], p)
+			var t Task[*counterState] = hopTask{1}
+			for i := range sends {
+				sends[i] = Send[*counterState]{To: ModuleID(i), Task: t}
+			}
+			for i := 0; i < 3; i++ {
+				m.Drive(sends, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Drive(sends, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkDriveChain measures a long dependent chain of single-message
+// rounds (the worst case for per-round constant overhead).
+func BenchmarkDriveChain(b *testing.B) {
+	const hops = 64
+	m := newCounterMachine(64)
+	start := []Send[*counterState]{{To: 0, Task: hopTask{hops}}}
+	m.Drive(start, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Drive(start, nil)
+	}
+}

@@ -1,0 +1,28 @@
+package pim
+
+// RoundBenchShape is one round-engine benchmark configuration: rounds of
+// Sends messages on a P-module machine.
+type RoundBenchShape struct {
+	P     int
+	Sends int
+}
+
+// RoundBenchShapes is the canonical shape grid of the round-engine perf
+// contract, shared by the internal/pim microbenchmarks and the
+// `pimbench roundengine` harness (results/BENCH_roundengine.json): for each
+// P, rounds of 1 send (latency floor), P sends (the broadcast shape), and
+// P·log²P sends (the paper's per-round batch size for the batched skip-list
+// operations).
+func RoundBenchShapes() []RoundBenchShape {
+	var shapes []RoundBenchShape
+	for _, p := range []int{16, 64, 256} {
+		lg := 1
+		for 1<<lg < p {
+			lg++
+		}
+		for _, s := range []int{1, p, p * lg * lg} {
+			shapes = append(shapes, RoundBenchShape{P: p, Sends: s})
+		}
+	}
+	return shapes
+}

@@ -1,0 +1,255 @@
+package pim
+
+// Tests for the persistent-worker round engine: the worker path is forced
+// via newMachineWorkers so it is exercised even when GOMAXPROCS=1 (where
+// NewMachine runs rounds inline), equivalence between the inline and worker
+// paths is checked on randomized workloads, and AllocsPerRun guards the
+// zero-allocation steady state.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// mkWorkload builds a deterministic mixed workload: nRounds sends slices
+// over p modules where every task charges work, half reply, and a third
+// forward to another module.
+type mixTask struct {
+	by      int64
+	reply   bool
+	forward ModuleID // <0: no forward
+}
+
+func (t mixTask) Run(c *Ctx[*counterState]) {
+	c.Charge(t.by)
+	c.State().n += t.by
+	if t.reply {
+		c.Reply(c.State().n)
+	}
+	if t.forward >= 0 {
+		c.Send(t.forward%ModuleID(c.P()), mixTask{by: 1, reply: true, forward: -1})
+	}
+}
+
+func mkWorkload(p, rounds, sendsPer int, seed int64) [][]Send[*counterState] {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]Send[*counterState], rounds)
+	for r := range out {
+		sends := make([]Send[*counterState], sendsPer)
+		for i := range sends {
+			fwd := ModuleID(-1)
+			if rng.Intn(3) == 0 {
+				fwd = ModuleID(rng.Intn(p))
+			}
+			sends[i] = Send[*counterState]{
+				To:    ModuleID(rng.Intn(p)),
+				Task:  mixTask{by: int64(rng.Intn(5) + 1), reply: rng.Intn(2) == 0, forward: fwd},
+				Words: int64(rng.Intn(3)), // 0 exercises the clamp-to-1 path
+			}
+		}
+		out[r] = sends
+	}
+	return out
+}
+
+// runWorkload drives every sends slice to quiescence and returns a flat
+// trace of all replies plus the final metrics and module states.
+func runWorkload(m *Machine[*counterState], wl [][]Send[*counterState]) (trace []Reply, met Metrics, states []int64) {
+	for _, sends := range wl {
+		m.Drive(sends, func(r Reply) { trace = append(trace, r) })
+	}
+	met = m.Metrics()
+	states = make([]int64, m.P())
+	for i := range states {
+		states[i] = m.Mod(ModuleID(i)).State.n
+	}
+	return
+}
+
+// TestWorkerEngineMatchesInline is the engine's bit-identical determinism
+// contract: the worker-pool path must produce exactly the replies, metrics,
+// and module states of the inline path on the same workload.
+func TestWorkerEngineMatchesInline(t *testing.T) {
+	const p = 32
+	wl := mkWorkload(p, 20, 3*p, 12345)
+	inline := newMachineWorkers(p, 0, func(ModuleID) *counterState { return &counterState{} })
+	for _, workers := range []int{1, 3, 8, p - 1} {
+		pooled := newMachineWorkers(p, workers, func(ModuleID) *counterState { return &counterState{} })
+		defer pooled.Close()
+		wantTrace, wantMet, wantStates := runWorkload(inline, wl)
+		gotTrace, gotMet, gotStates := runWorkload(pooled, wl)
+		if gotMet != wantMet {
+			t.Fatalf("workers=%d: metrics diverge: %+v vs %+v", workers, gotMet, wantMet)
+		}
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("workers=%d: reply count %d vs %d", workers, len(gotTrace), len(wantTrace))
+		}
+		for i := range gotTrace {
+			if gotTrace[i] != wantTrace[i] {
+				t.Fatalf("workers=%d: reply %d diverges: %+v vs %+v", workers, i, gotTrace[i], wantTrace[i])
+			}
+		}
+		for i := range gotStates {
+			if gotStates[i] != wantStates[i] {
+				t.Fatalf("workers=%d: module %d state %d vs %d", workers, i, gotStates[i], wantStates[i])
+			}
+		}
+		inline = newMachineWorkers(p, 0, func(ModuleID) *counterState { return &counterState{} })
+	}
+}
+
+// TestEmptyDriveLeavesMetricsUntouched pins the documented contract: a
+// Round (and hence a Drive) with no sends is free — no round is counted and
+// Metrics stays exactly as it was.
+func TestEmptyDriveLeavesMetricsUntouched(t *testing.T) {
+	m := newCounterMachine(4)
+	m.Round([]Send[*counterState]{{To: 1, Task: incTask{1}}})
+	before := m.Metrics()
+	if rounds := m.Drive(nil, func(Reply) { t.Fatal("no replies expected") }); rounds != 0 {
+		t.Fatalf("empty Drive executed %d rounds, want 0", rounds)
+	}
+	if m.Drive([]Send[*counterState]{}, nil) != 0 {
+		t.Fatal("empty (non-nil) Drive must execute 0 rounds")
+	}
+	if got := m.Metrics(); got != before {
+		t.Fatalf("empty Drive changed metrics: %+v vs %+v", got, before)
+	}
+}
+
+// TestRoundSteadyStateZeroAllocs is the allocation regression guard for the
+// hot path: once buffers have reached steady state, Round must not allocate
+// — per send or otherwise — on either the inline or the worker path.
+func TestRoundSteadyStateZeroAllocs(t *testing.T) {
+	for _, workers := range []int{0, 3} {
+		m := newMachineWorkers(64, workers, func(ModuleID) *counterState { return &counterState{} })
+		sends := benchSends(64, 64*8)
+		for i := 0; i < 5; i++ { // grow buffers to steady state
+			m.Round(sends)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			m.Round(sends)
+		})
+		if allocs != 0 {
+			t.Errorf("workers=%d: steady-state Round allocates %.1f times per call (%d sends), want 0",
+				workers, allocs, len(sends))
+		}
+		m.Close()
+	}
+}
+
+// TestDriveSteadyStateZeroAllocs extends the guard to the follow-up loop:
+// Drive must recycle the machine-owned follow buffers instead of
+// reallocating the sends slice every round.
+func TestDriveSteadyStateZeroAllocs(t *testing.T) {
+	m := newCounterMachine(16)
+	var task Task[*counterState] = hopTask{2}
+	sends := make([]Send[*counterState], 16)
+	for i := range sends {
+		sends[i] = Send[*counterState]{To: ModuleID(i), Task: task}
+	}
+	for i := 0; i < 5; i++ {
+		m.Drive(sends, nil)
+	}
+	// hopTask's final Reply boxes a ModuleID; IDs < 256 hit the runtime's
+	// small-integer cache, so the workload itself is allocation-free.
+	allocs := testing.AllocsPerRun(50, func() {
+		m.Drive(sends, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Drive allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestMachineBroadcastZeroAllocs guards the Machine.Broadcast scratch.
+func TestMachineBroadcastZeroAllocs(t *testing.T) {
+	m := newCounterMachine(64)
+	var task Task[*counterState] = incTask{1}
+	m.Broadcast(task, 1)
+	allocs := testing.AllocsPerRun(50, func() {
+		m.Broadcast(task, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("Machine.Broadcast allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestMachineBroadcastMatchesFree checks the machine method against the
+// free function.
+func TestMachineBroadcastMatchesFree(t *testing.T) {
+	m := newCounterMachine(8)
+	var task Task[*counterState] = incTask{3}
+	got := m.Broadcast(task, 2)
+	want := Broadcast[*counterState](8, task, 2)
+	if len(got) != len(want) {
+		t.Fatalf("len %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("send %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	replies, _ := m.Round(got)
+	if len(replies) != 8 {
+		t.Fatalf("broadcast round produced %d replies, want 8", len(replies))
+	}
+}
+
+// TestReturnedSlicesSurviveOneRound pins the double-buffer lifetime
+// contract: the slices returned by round k are intact while round k+1 runs
+// (Drive and several callers rely on exactly that), and the follow slice
+// may be extended with append before being fed back in.
+func TestReturnedSlicesSurviveOneRound(t *testing.T) {
+	m := newCounterMachine(4)
+	fwd := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		c.Reply(int64(100 + c.Module()))
+		c.Send((c.Module()+1)%ModuleID(c.P()), incTask{1})
+	})
+	sends := []Send[*counterState]{{To: 0, Task: fwd}, {To: 2, Task: fwd}}
+	repliesK, followK := m.Round(sends)
+	if len(repliesK) != 2 || len(followK) != 2 {
+		t.Fatalf("round k: %d replies, %d follow", len(repliesK), len(followK))
+	}
+	// Extend the returned follow slice, as baseline/rangepart does.
+	followK = append(followK, Send[*counterState]{To: 0, Task: incTask{50}})
+	repliesK1, _ := m.Round(followK)
+	if len(repliesK1) != 3 {
+		t.Fatalf("round k+1: %d replies, want 3", len(repliesK1))
+	}
+	// repliesK (from round k) must still hold its values.
+	if repliesK[0].V.(int64) != 100 || repliesK[1].V.(int64) != 102 {
+		t.Fatalf("round k replies overwritten during round k+1: %+v", repliesK)
+	}
+	if m.Mod(0).State.n != 50 || m.Mod(1).State.n != 1 || m.Mod(3).State.n != 1 {
+		t.Fatalf("appended follow-up not delivered: %d %d %d",
+			m.Mod(0).State.n, m.Mod(1).State.n, m.Mod(3).State.n)
+	}
+}
+
+// TestCloseIdempotent: Close twice is fine, and a closed machine's workers
+// exit (observable as goroutine count settling back down).
+func TestCloseIdempotent(t *testing.T) {
+	m := newMachineWorkers(8, 4, func(ModuleID) *counterState { return &counterState{} })
+	m.Round([]Send[*counterState]{{To: 1, Task: incTask{1}}, {To: 2, Task: incTask{1}}})
+	m.Close()
+	m.Close()
+}
+
+// TestNewMachineRespectsGOMAXPROCS: with GOMAXPROCS > 1 NewMachine builds a
+// worker pool, and rounds through it agree with the inline engine.
+func TestNewMachineRespectsGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	m := newCounterMachine(16)
+	defer m.Close()
+	if m.eng == nil || len(m.eng.wake) != 3 {
+		t.Fatalf("GOMAXPROCS=4, P=16: want 3 workers, got %+v", m.eng)
+	}
+	wl := mkWorkload(16, 5, 48, 99)
+	ref := newMachineWorkers(16, 0, func(ModuleID) *counterState { return &counterState{} })
+	gotTrace, gotMet, _ := runWorkload(m, wl)
+	wantTrace, wantMet, _ := runWorkload(ref, wl)
+	if gotMet != wantMet || len(gotTrace) != len(wantTrace) {
+		t.Fatalf("pooled engine diverges: %+v vs %+v", gotMet, wantMet)
+	}
+}

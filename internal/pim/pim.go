@@ -36,7 +36,10 @@ package pim
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // ModuleID identifies a PIM module, in [0, P).
@@ -157,24 +160,142 @@ func (m Metrics) SyncCost(p int) int64 {
 }
 
 // Machine is a PIM machine with P modules.
+//
+// A Machine is externally synchronized: at most one Round/Drive/Broadcast
+// may be in flight at a time (batch operations are sequential phases of one
+// computation). Metrics are therefore plain fields — the old engine carried
+// a "just in case" mutex around the per-round metric update; it was dropped
+// deliberately when the round engine moved to persistent workers, because
+// the contract already forbids concurrent rounds and the lock was pure
+// overhead on the hot path.
 type Machine[S any] struct {
 	mods []*Module[S]
 	met  Metrics
-	mu   sync.Mutex // guards met across concurrent Round calls (not expected, but cheap)
+
+	eng *engine[S] // persistent worker pool; nil ⇒ rounds run inline on the caller
+	ctx Ctx[S]     // the caller's reusable task context (workers own their own)
+
+	active []*Module[S] // modules that received sends this round (scratch, reused)
+
+	// Double-buffered aggregation outputs. Round alternates between the two
+	// pairs, so the slices returned by round k stay intact while round k+1
+	// runs — which is what lets Drive (and any caller) feed the follow slice
+	// straight back into the next Round, and even extend it with append,
+	// without copying. They are overwritten when round k+2 starts.
+	replyBuf [2][]Reply
+	folBuf   [2][]Send[S]
+	bufIdx   int
+
+	bcast []Send[S] // Machine.Broadcast scratch
+}
+
+// engine is the persistent worker pool of one Machine. Workers park on
+// their wake channel between rounds and exit when quit closes. The engine
+// deliberately does not reference the Machine: workers only reach the
+// engine, so an abandoned Machine becomes unreachable, its finalizer runs
+// Close, and the workers exit instead of leaking.
+type engine[S any] struct {
+	p      int
+	wake   []chan struct{} // one buffered(1) channel per worker
+	quit   chan struct{}
+	stop   sync.Once
+	next   atomic.Int64 // claim index into active
+	active []*Module[S] // set by Round before waking workers
+	wg     sync.WaitGroup
 }
 
 // NewMachine constructs a machine with p modules whose states are produced
 // by newState (called once per module, in ID order).
+//
+// The machine owns min(GOMAXPROCS, p)−1 persistent worker goroutines (the
+// calling goroutine acts as one more executor during Round); with
+// GOMAXPROCS=1 no workers are spawned and rounds run entirely inline.
+// Workers are parked between rounds and reaped by a finalizer when the
+// machine becomes unreachable; call Close to release them sooner.
 func NewMachine[S any](p int, newState func(id ModuleID) S) *Machine[S] {
 	if p <= 0 {
 		panic(fmt.Sprintf("pim: invalid module count %d", p))
 	}
+	return newMachineWorkers(p, defaultWorkers(p), newState)
+}
+
+// defaultWorkers is the spawned-worker count for a fresh machine: the
+// caller participates in draining, so p modules need at most p executors
+// and GOMAXPROCS bounds useful parallelism.
+func defaultWorkers(p int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > p {
+		w = p
+	}
+	return w - 1
+}
+
+// newMachineWorkers is NewMachine with an explicit spawned-worker count
+// (tests use it to exercise the worker path regardless of GOMAXPROCS).
+func newMachineWorkers[S any](p, workers int, newState func(id ModuleID) S) *Machine[S] {
 	m := &Machine[S]{mods: make([]*Module[S], p)}
+	m.ctx.p = p
 	for i := 0; i < p; i++ {
 		m.mods[i] = &Module[S]{ID: ModuleID(i)}
 		m.mods[i].State = newState(ModuleID(i))
 	}
+	if workers > 0 {
+		e := &engine[S]{p: p, wake: make([]chan struct{}, workers), quit: make(chan struct{})}
+		for w := range e.wake {
+			e.wake[w] = make(chan struct{}, 1)
+			go e.worker(w)
+		}
+		m.eng = e
+		runtime.SetFinalizer(m, (*Machine[S]).Close)
+	}
 	return m
+}
+
+// Close releases the machine's persistent workers. It is idempotent and
+// optional — an unreachable machine is cleaned up by a finalizer — but a
+// closed machine must not execute further rounds.
+func (m *Machine[S]) Close() {
+	if m.eng != nil {
+		m.eng.stop.Do(func() { close(m.eng.quit) })
+	}
+}
+
+// worker is one persistent executor: parked on wake[w] between rounds, it
+// claims active modules until the round is drained, then parks again.
+func (e *engine[S]) worker(w int) {
+	// One long-lived Ctx per worker: handing &ctx to Task.Run makes it
+	// escape, so keeping it across rounds is what makes the steady-state
+	// round allocation-free.
+	var ctx Ctx[S]
+	ctx.p = e.p
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.wake[w]:
+		}
+		e.drain(&ctx)
+		e.wg.Done()
+	}
+}
+
+// drain claims modules off the active list until none remain. Each module
+// is processed wholly by one executor, sequentially in queue order, so the
+// model's "module = single core" semantics are preserved no matter how
+// executors and modules interleave.
+func (e *engine[S]) drain(ctx *Ctx[S]) {
+	for {
+		i := int(e.next.Add(1)) - 1
+		if i >= len(e.active) {
+			return
+		}
+		mod := e.active[i]
+		ctx.mod = mod
+		// Range by index: stays correct if a future task enqueues locally.
+		for j := 0; j < len(mod.queue); j++ {
+			mod.queue[j].Task.Run(ctx)
+		}
+	}
 }
 
 // P returns the number of modules.
@@ -237,7 +358,8 @@ func (m *Machine[S]) ResetMetrics() {
 	}
 }
 
-// Broadcast builds a send of t to every module (h = 1 per module).
+// Broadcast builds a send of t to every module (h = 1 per module). The
+// slice is freshly allocated; prefer Machine.Broadcast on a hot path.
 func Broadcast[S any](p int, t Task[S], words int64) []Send[S] {
 	out := make([]Send[S], p)
 	for i := range out {
@@ -246,16 +368,43 @@ func Broadcast[S any](p int, t Task[S], words int64) []Send[S] {
 	return out
 }
 
+// Broadcast builds a send of t to every module (h = 1 per module) in a
+// machine-owned scratch buffer: allocation-free in steady state. The slice
+// is valid until the next Broadcast on this machine; append elsewhere
+// (which copies) to retain it.
+func (m *Machine[S]) Broadcast(t Task[S], words int64) []Send[S] {
+	out := m.bcast[:0]
+	for i := range m.mods {
+		out = append(out, Send[S]{To: ModuleID(i), Task: t, Words: words})
+	}
+	m.bcast = out
+	return out
+}
+
 // Round executes one bulk-synchronous round: it delivers sends to their
 // modules, runs every module's queue (concurrently across modules,
 // sequentially within a module), and returns the replies and the follow-up
 // sends the CPU side must deliver next round. Reply and follow-up order is
 // deterministic: module-major, then queue order.
+//
+// Contract: a Round with len(sends) == 0 is free — it returns (nil, nil)
+// without executing anything, counting a round, or touching Metrics. The
+// model only charges synchronization when something communicates (see
+// docs/MODEL.md, "Known accounting simplifications").
+//
+// The returned slices are machine-owned and double-buffered: they remain
+// valid while the next Round runs (so follow may be passed straight back
+// in, and even extended with append), and are recycled when the round
+// after that starts. Copy them to retain them longer.
+//
+// Cost accounting is charged at enqueue time — delivery here records the
+// already-accumulated per-module counters — so none of the buffer reuse
+// below can change any model metric.
 func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
 	if len(sends) == 0 {
 		return nil, nil
 	}
-	active := make([]*Module[S], 0, 16)
+	active := m.active[:0]
 	for _, s := range sends {
 		if int(s.To) < 0 || int(s.To) >= len(m.mods) {
 			panic(fmt.Sprintf("pim: send to invalid module %d (P=%d)", s.To, len(m.mods)))
@@ -271,32 +420,46 @@ func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
 		mod.roundMsgs += w
 		mod.queue = append(mod.queue, s)
 	}
+	m.active = active
 
-	// Run all active modules concurrently; each drains its queue in order.
-	var wg sync.WaitGroup
-	wg.Add(len(active))
-	for _, mod := range active {
-		go func(mod *Module[S]) {
-			defer wg.Done()
-			ctx := Ctx[S]{mod: mod, p: len(m.mods)}
-			// Tasks appended during the round (there are none today — Send
-			// goes to follow — but range-by-index keeps it correct if a
-			// future task enqueues locally).
-			for i := 0; i < len(mod.queue); i++ {
-				mod.queue[i].Task.Run(&ctx)
-			}
-		}(mod)
-	}
-	wg.Wait()
-
-	// Aggregate metrics and collect outputs in module order.
-	var maxMsgs, maxWork, total int64
-	var replies []Reply
-	var follow []Send[S]
-	for _, mod := range m.mods {
-		if mod.roundMsgs == 0 && mod.roundWork == 0 && len(mod.queue) == 0 {
-			continue
+	// Execute. The caller is always an executor; persistent workers are
+	// woken only when there is more than one active module to share. Wake
+	// channels are buffered and guaranteed empty here (the previous round's
+	// wg.Wait saw every woken worker finish), so waking never blocks.
+	if k := len(active) - 1; k > 0 && m.eng != nil {
+		e := m.eng
+		if k > len(e.wake) {
+			k = len(e.wake)
 		}
+		e.active = active
+		e.next.Store(0)
+		e.wg.Add(k)
+		for w := 0; w < k; w++ {
+			e.wake[w] <- struct{}{}
+		}
+		e.drain(&m.ctx)
+		e.wg.Wait()
+	} else {
+		for _, mod := range active {
+			m.ctx.mod = mod
+			for j := 0; j < len(mod.queue); j++ {
+				mod.queue[j].Task.Run(&m.ctx)
+			}
+		}
+	}
+
+	// Aggregate metrics and collect outputs in module-ID order ("module-
+	// major"). Only modules that participated are touched; active is sorted
+	// because it was built in first-send order. Follow-up fan-out delivers
+	// in module-major order too, so in the common round the list arrives
+	// nearly sorted and the sort is a cheap verification pass.
+	slices.SortFunc(active, func(a, b *Module[S]) int { return int(a.ID) - int(b.ID) })
+	idx := m.bufIdx
+	m.bufIdx ^= 1
+	replies := m.replyBuf[idx][:0]
+	follow := m.folBuf[idx][:0]
+	var maxMsgs, maxWork, total int64
+	for _, mod := range active {
 		if mod.roundMsgs > maxMsgs {
 			maxMsgs = mod.roundMsgs
 		}
@@ -309,16 +472,18 @@ func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
 		replies = append(replies, mod.replies...)
 		follow = append(follow, mod.follow...)
 		mod.roundMsgs, mod.roundWork = 0, 0
+		// Truncate, don't nil: the backing arrays are the per-module
+		// steady-state buffers that make the hot path allocation-free.
 		mod.queue = mod.queue[:0]
-		mod.replies = nil
-		mod.follow = nil
+		mod.replies = mod.replies[:0]
+		mod.follow = mod.follow[:0]
 	}
-	m.mu.Lock()
+	m.replyBuf[idx] = replies
+	m.folBuf[idx] = follow
 	m.met.Rounds++
 	m.met.IOTime += maxMsgs
 	m.met.PIMRoundTime += maxWork
 	m.met.TotalMsgs += total
-	m.mu.Unlock()
 	return replies, follow
 }
 
@@ -326,6 +491,12 @@ func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
 // quiet, invoking onReply for every reply as rounds complete. It returns the
 // number of rounds executed. Use Round directly when the CPU side needs to
 // interleave computation between rounds.
+//
+// Driving an empty sends slice executes zero rounds and leaves Metrics
+// untouched (the empty-round contract of Round). The follow-up loop is
+// allocation-free: each iteration feeds Round's machine-owned follow buffer
+// back in, and the double-buffered pair inside the machine guarantees the
+// slice being delivered is never the one being refilled.
 func (m *Machine[S]) Drive(sends []Send[S], onReply func(Reply)) int64 {
 	rounds := int64(0)
 	for len(sends) > 0 {

@@ -238,7 +238,7 @@ func (s *Sorter) Sort() Stats {
 
 	// Round 1: local sorts + samples.
 	samplesPer := s.over * logCeil(s.p)
-	sends := pim.Broadcast[*modState](s.p, &sortLocalTask{s: s, samples: samplesPer}, 1)
+	sends := s.mach.Broadcast(&sortLocalTask{s: s, samples: samplesPer}, 1)
 	replies, follow := s.mach.Round(sends)
 	if len(follow) != 0 {
 		panic("pimsort: unexpected follow-ups")
@@ -262,7 +262,7 @@ func (s *Sorter) Sort() Stats {
 	c.WorkFlat(int64(s.p))
 
 	// Round 2: scatter by splitters (the big h-relation).
-	sends = pim.Broadcast[*modState](s.p, &scatterTask{s: s, splitters: splitters}, int64(len(splitters))+1)
+	sends = s.mach.Broadcast(&scatterTask{s: s, splitters: splitters}, int64(len(splitters))+1)
 	_, follow = s.mach.Round(sends)
 	// Round 3: deliver buckets.
 	if len(follow) > 0 {
@@ -273,7 +273,7 @@ func (s *Sorter) Sort() Stats {
 	}
 
 	// Round 4: local merges.
-	sends = pim.Broadcast[*modState](s.p, &mergeTask{}, 1)
+	sends = s.mach.Broadcast(&mergeTask{}, 1)
 	s.mach.Round(sends)
 
 	tr.Free(int64(len(sample)))

@@ -1,0 +1,120 @@
+package pimgo
+
+// Cross-GOMAXPROCS determinism: the simulator executes rounds and parallel
+// CPU constructs on real goroutines, but every measured quantity is
+// analytic and every reply stream is collected in a fixed order — so a
+// mixed Upsert/Delete/Successor workload must produce bit-identical
+// BatchStats, result sequences, and final structure no matter how many OS
+// threads ran it. This is the contract that makes every experiment in
+// EXPERIMENTS.md reproducible, and it pins the persistent-worker round
+// engine (internal/pim) and the persistent CPU worker pool (internal/cpu)
+// to the reference inline semantics.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+)
+
+// detFingerprint is everything one workload run observes: the per-batch
+// stats, an FNV hash of the in-order result stream (reply order), and an
+// FNV hash of the final structure snapshot.
+type detFingerprint struct {
+	stats     []BatchStats
+	resultSum uint64
+	structSum uint64
+}
+
+func runDetWorkload() detFingerprint {
+	const p = 16
+	m := NewMap[uint64, int64](Config{P: p, Seed: 4242}, Uint64Hash)
+	res := fnv.New64a()
+	var fp detFingerprint
+
+	// Small deterministic PRNG, independent of math/rand's default source.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(n uint64) uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state % n
+	}
+
+	for round := 0; round < 6; round++ {
+		keys := make([]uint64, 0, 64)
+		vals := make([]int64, 0, 64)
+		for i := 0; i < 64; i++ {
+			k := next(1 << 16)
+			keys = append(keys, k)
+			vals = append(vals, int64(k*3+uint64(round)))
+		}
+		ins, st := m.Upsert(keys, vals)
+		fp.stats = append(fp.stats, st)
+		for _, b := range ins {
+			fmt.Fprintf(res, "u%v", b)
+		}
+
+		queries := make([]uint64, 0, 32)
+		for i := 0; i < 32; i++ {
+			queries = append(queries, next(1<<16))
+		}
+		sr, st2 := m.Successor(queries)
+		fp.stats = append(fp.stats, st2)
+		for _, r := range sr {
+			fmt.Fprintf(res, "s%v:%v:%v", r.Found, r.Key, r.Value)
+		}
+
+		del := make([]uint64, 0, 16)
+		for i := 0; i < 16; i++ {
+			del = append(del, keys[next(uint64(len(keys)))])
+		}
+		ok, st3 := m.Delete(del)
+		fp.stats = append(fp.stats, st3)
+		for _, b := range ok {
+			fmt.Fprintf(res, "d%v", b)
+		}
+	}
+	fp.resultSum = res.Sum64()
+
+	snapKeys, snapVals, _ := m.Snapshot()
+	str := fnv.New64a()
+	for i := range snapKeys {
+		fmt.Fprintf(str, "%v=%v;", snapKeys[i], snapVals[i])
+	}
+	fp.structSum = str.Sum64()
+	return fp
+}
+
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	settings := []int{1, 4, runtime.NumCPU()}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	var ref detFingerprint
+	for i, gmp := range settings {
+		runtime.GOMAXPROCS(gmp)
+		fp := runDetWorkload()
+		if i == 0 {
+			ref = fp
+			continue
+		}
+		if fp.resultSum != ref.resultSum {
+			t.Errorf("GOMAXPROCS=%d: result stream hash %x != %x at GOMAXPROCS=%d",
+				gmp, fp.resultSum, ref.resultSum, settings[0])
+		}
+		if fp.structSum != ref.structSum {
+			t.Errorf("GOMAXPROCS=%d: structure hash %x != %x at GOMAXPROCS=%d",
+				gmp, fp.structSum, ref.structSum, settings[0])
+		}
+		if len(fp.stats) != len(ref.stats) {
+			t.Fatalf("GOMAXPROCS=%d: %d batches vs %d", gmp, len(fp.stats), len(ref.stats))
+		}
+		for j := range fp.stats {
+			if fp.stats[j] != ref.stats[j] {
+				t.Errorf("GOMAXPROCS=%d: batch %d stats diverge:\n  got  %+v\n  want %+v",
+					gmp, j, fp.stats[j], ref.stats[j])
+			}
+		}
+	}
+}
