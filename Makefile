@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the pre-commit gate;
-# `make bench` refreshes the round-engine perf record
-# (results/BENCH_roundengine.json) that tracks engine throughput PR-over-PR.
+# `make bench` refreshes the perf records (results/BENCH_*.json) that track
+# engine throughput PR-over-PR; `make benchguard` asserts the steady-state
+# zero-allocation contract of the batch engine.
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench benchguard check
 
 build:
 	$(GO) build ./...
@@ -18,10 +19,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Round-engine microbenchmarks: human-readable output from the test suite,
-# then the machine-readable JSON record via the pimbench harness.
+# Round-engine and batch-engine microbenchmarks: human-readable output from
+# the test suite, then the machine-readable JSON records via pimbench.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRound|BenchmarkDrive' -benchmem ./internal/pim/
 	$(GO) run ./cmd/pimbench roundengine -out results/BENCH_roundengine.json
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchEngine' -benchmem .
+	$(GO) run ./cmd/pimbench batchengine -out results/BENCH_batchengine.json
 
-check: build vet test race
+# Allocation guards: steady-state batch Get/Successor/Upsert/Delete on a
+# warmed Map must allocate nothing (testing.AllocsPerRun == 0), and vet must
+# be clean. Cheap enough to run on every commit, hence part of `check`.
+benchguard:
+	$(GO) test -run 'TestZeroAlloc' -count=1 .
+	$(GO) vet ./...
+
+check: build vet test benchguard race

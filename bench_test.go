@@ -181,6 +181,27 @@ func BenchmarkTable1Delete(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchEngine — steady-state batch-operation cost on a long-lived
+// warmed Map, over the same shape grid as `pimbench batchengine` (the two
+// measure the identical deterministic loop, so their numbers are directly
+// comparable). allocs/op is the headline: it must be 0 for every shape —
+// the hard guarantee is enforced by TestZeroAlloc* (`make benchguard`).
+func BenchmarkBatchEngine(b *testing.B) {
+	for _, sh := range core.BatchBenchShapes() {
+		b.Run(fmt.Sprintf("%s/P=%d/B=%d", sh.Op, sh.P, sh.Batch), func(b *testing.B) {
+			bb := core.NewBatchBench(sh)
+			bb.Warm()
+			b.ReportAllocs()
+			var last core.BatchStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last = bb.Iter(b)
+			}
+			reportStats(b, last)
+		})
+	}
+}
+
 // BenchmarkThm31Space — Theorem 3.1: build and report per-module space.
 func BenchmarkThm31Space(b *testing.B) {
 	var ratio float64

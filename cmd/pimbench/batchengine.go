@@ -1,0 +1,113 @@
+package main
+
+// `pimbench batchengine` is the batch-engine perf-regression harness: the
+// steady-state cost of repeated batch operations on a long-lived warmed
+// core.Map, over the canonical shape grid core.BatchBenchShapes() — the same
+// grid as `go test -bench BenchmarkBatchEngine .`. Each run is one labeled
+// entry in results/BENCH_batchengine.json (previous entries are preserved),
+// so the file accumulates before/after pairs across PRs. Besides wall-clock
+// and allocation numbers, every line records the model metrics (IO time,
+// PIM time, rounds, CPU work/depth): an optimization entry is only valid if
+// those columns are identical to the entry it improves on.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"pimgo/internal/core"
+)
+
+// beBenchResult is one shape's measurement in one entry.
+type beBenchResult struct {
+	Name        string  `json:"name"`
+	Op          string  `json:"op"`
+	P           int     `json:"p"`
+	Batch       int     `json:"batch"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Model metrics of the shape's fixed measurement batch (BatchBench.
+	// Measure) — must not change between entries of the same shape.
+	IOTime   int64 `json:"io_time"`
+	PIMTime  int64 `json:"pim_time"`
+	Rounds   int64 `json:"rounds"`
+	CPUWork  int64 `json:"cpu_work"`
+	CPUDepth int64 `json:"cpu_depth"`
+}
+
+// beEntry is one labeled run of the harness.
+type beEntry struct {
+	Label      string          `json:"label"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Note       string          `json:"note,omitempty"`
+	Benchmarks []beBenchResult `json:"benchmarks"`
+}
+
+func runBatchEngine(args []string) {
+	f := fs("batchengine")
+	outPath := f.String("out", "results/BENCH_batchengine.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	maxP := f.Int("maxp", 0, "skip shapes with P larger than this (0 = run all)")
+	f.Parse(args)
+
+	entry := beEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+
+	for _, sh := range core.BatchBenchShapes() {
+		if *maxP > 0 && sh.P > *maxP {
+			continue
+		}
+		bb := core.NewBatchBench(sh)
+		bb.Warm()
+		last := bb.Measure()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bb.Iter(b)
+			}
+		})
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := beBenchResult{
+			Name:        fmt.Sprintf("Batch/%s/P=%d/B=%d", sh.Op, sh.P, sh.Batch),
+			Op:          sh.Op,
+			P:           sh.P,
+			Batch:       sh.Batch,
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			IOTime:      last.IOTime,
+			PIMTime:     last.PIMTime,
+			Rounds:      last.Rounds,
+			CPUWork:     last.CPUWork,
+			CPUDepth:    last.CPUDepth,
+		}
+		entry.Benchmarks = append(entry.Benchmarks, res)
+		fmt.Printf("%-24s %12.1f ns/op %6d allocs/op %8d B/op  io=%d pim=%d rounds=%d cpuW=%d\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp,
+			res.IOTime, res.PIMTime, res.Rounds, res.CPUWork)
+	}
+
+	if len(entry.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "batchengine: -maxp %d excludes every shape; nothing recorded\n", *maxP)
+		os.Exit(1)
+	}
+
+	n, _, err := mergeBenchEntry(*outPath, "batchengine", "one op = one steady-state batch operation on a warmed Map",
+		entry, func(e beEntry) string { return e.Label })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchengine:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
+}

@@ -58,7 +58,7 @@ func runFig2(args []string) {
 // divide-and-conquer order and the start hint of every pivot (root /
 // direct / lowest-common-ancestor level).
 func runFig3(args []string) {
-	m, g := buildMapAnchored(8, 1<<10, 0xF3)
+	m, g := buildMapAnchored(8, 1<<10, 0xF3, func(c *core.Config) { c.TracePhases = true })
 	keys := g.Batch("uniform", 8*lg(8)*lg(8))
 	_, st := m.Successor(keys)
 	fmt.Println("Fig. 3 — pivot phases of batched Successor (P=8, batch", len(keys), ")")

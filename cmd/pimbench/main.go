@@ -52,6 +52,7 @@ var experiments = []experiment{
 	{"why", "§1: data movement saved vs shared-memory emulation", runWhy},
 	{"cpuscale", "§2.1: O(W/P'+D) with a real work-stealing pool", runCPUScale},
 	{"roundengine", "round-engine microbenchmarks → results/BENCH_roundengine.json", runRoundEngine},
+	{"batchengine", "steady-state batch-op benchmarks → results/BENCH_batchengine.json", runBatchEngine},
 }
 
 func main() {

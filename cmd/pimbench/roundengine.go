@@ -10,7 +10,6 @@ package main
 // trajectory of the engine over time.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -40,13 +39,6 @@ type reEntry struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	Note       string          `json:"note,omitempty"`
 	Benchmarks []reBenchResult `json:"benchmarks"`
-}
-
-// reFile is the on-disk shape of results/BENCH_roundengine.json.
-type reFile struct {
-	Bench   string    `json:"bench"`
-	Unit    string    `json:"unit"`
-	Entries []reEntry `json:"entries"`
 }
 
 // reState/reTask mirror the internal/pim benchmark workload: charge one
@@ -130,33 +122,11 @@ func runRoundEngine(args []string) {
 		os.Exit(1)
 	}
 
-	file := reFile{Bench: "roundengine", Unit: "one op = one Machine.Round call"}
-	if raw, err := os.ReadFile(*outPath); err == nil {
-		if err := json.Unmarshal(raw, &file); err != nil {
-			fmt.Fprintf(os.Stderr, "roundengine: existing %s is not valid JSON (%v); refusing to overwrite\n", *outPath, err)
-			os.Exit(1)
-		}
-	}
-	replaced := false
-	for i := range file.Entries {
-		if file.Entries[i].Label == entry.Label {
-			file.Entries[i] = entry
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		file.Entries = append(file.Entries, entry)
-	}
-	raw, err := json.MarshalIndent(file, "", "  ")
+	n, _, err := mergeBenchEntry(*outPath, "roundengine", "one op = one Machine.Round call",
+		entry, func(e reEntry) string { return e.Label })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roundengine:", err)
 		os.Exit(1)
 	}
-	raw = append(raw, '\n')
-	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "roundengine:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, len(file.Entries), entry.Label)
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -9,6 +11,47 @@ import (
 	"pimgo/internal/core"
 	"pimgo/internal/rng"
 )
+
+// benchJSON is the on-disk shape shared by every results/BENCH_*.json file:
+// a self-describing header plus an append-only list of labeled entries.
+type benchJSON[E any] struct {
+	Bench   string `json:"bench"`
+	Unit    string `json:"unit"`
+	Entries []E    `json:"entries"`
+}
+
+// mergeBenchEntry loads the bench-results file at path (a missing file
+// starts a fresh one; a present-but-corrupt file is refused so a truncated
+// write can never silently eat history), replaces the existing entry whose
+// label matches labelOf(entry) or appends if none does, and writes the file
+// back. It returns the final entry count and whether an entry was replaced.
+func mergeBenchEntry[E any](path, bench, unit string, entry E, labelOf func(E) string) (n int, replaced bool, err error) {
+	file := benchJSON[E]{Bench: bench, Unit: unit}
+	if raw, rerr := os.ReadFile(path); rerr == nil {
+		if jerr := json.Unmarshal(raw, &file); jerr != nil {
+			return 0, false, fmt.Errorf("existing %s is not valid JSON (%v); refusing to overwrite", path, jerr)
+		}
+	}
+	for i := range file.Entries {
+		if labelOf(file.Entries[i]) == labelOf(entry) {
+			file.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		file.Entries = append(file.Entries, entry)
+	}
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return 0, false, err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return 0, false, err
+	}
+	return len(file.Entries), replaced, nil
+}
 
 // table is a simple aligned-column printer for experiment output.
 type table struct {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type testEntry struct {
+	Label string `json:"label"`
+	N     int    `json:"n"`
+}
+
+func testLabel(e testEntry) string { return e.Label }
+
+// TestMergeBenchEntry covers the shared results-file writer: fresh-file
+// creation, append of a new label, in-place replacement of an existing
+// label, and refusal to touch a corrupt file.
+func TestMergeBenchEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	n, replaced, err := mergeBenchEntry(path, "test", "unit", testEntry{Label: "a", N: 1}, testLabel)
+	if err != nil || n != 1 || replaced {
+		t.Fatalf("fresh write: n=%d replaced=%v err=%v, want 1,false,nil", n, replaced, err)
+	}
+
+	n, replaced, err = mergeBenchEntry(path, "test", "unit", testEntry{Label: "b", N: 2}, testLabel)
+	if err != nil || n != 2 || replaced {
+		t.Fatalf("append: n=%d replaced=%v err=%v, want 2,false,nil", n, replaced, err)
+	}
+
+	n, replaced, err = mergeBenchEntry(path, "test", "unit", testEntry{Label: "a", N: 3}, testLabel)
+	if err != nil || n != 2 || !replaced {
+		t.Fatalf("replace: n=%d replaced=%v err=%v, want 2,true,nil", n, replaced, err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file benchJSON[testEntry]
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Bench != "test" || file.Unit != "unit" {
+		t.Errorf("header = %q/%q, want test/unit", file.Bench, file.Unit)
+	}
+	want := []testEntry{{Label: "a", N: 3}, {Label: "b", N: 2}}
+	if len(file.Entries) != len(want) {
+		t.Fatalf("entries = %v, want %v", file.Entries, want)
+	}
+	for i, e := range file.Entries {
+		if e != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestMergeBenchEntryRefusesCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := mergeBenchEntry(path, "test", "unit", testEntry{Label: "a"}, testLabel)
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("corrupt file: err = %v, want refusal", err)
+	}
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil || string(raw) != "{truncated" {
+		t.Errorf("corrupt file was modified: %q, %v", raw, rerr)
+	}
+}

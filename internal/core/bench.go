@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"pimgo/internal/rng"
+)
+
+// This file is the batch-engine benchmark harness shared by the package's
+// testing.B benchmarks (bench_test.go in the repo root) and the
+// `pimbench batchengine` command: both measure the exact same deterministic
+// steady-state loop over the exact same shape grid, so their numbers are
+// directly comparable and the recorded model metrics (IO time, PIM time,
+// rounds, CPU work) can be diffed entry-to-entry to prove an optimization
+// changed only wall-clock cost, never the model.
+
+// BatchBenchShape is one point of the batch-engine grid: which batch
+// operation, on how many modules, with what batch size.
+type BatchBenchShape struct {
+	Op    string // "get", "succ", "upsert", "delete"
+	P     int
+	Batch int
+}
+
+// BatchBenchShapes returns the canonical grid: the Table 1 batch sizes
+// (B = P·lg P for hash-routed ops, B = P·lg²P for search-routed ops) at two
+// module counts. Keep in sync with EXPERIMENTS.md.
+func BatchBenchShapes() []BatchBenchShape {
+	lg := func(p int) int {
+		l := 1
+		for 1<<l < p {
+			l++
+		}
+		return l
+	}
+	var shapes []BatchBenchShape
+	for _, op := range []string{"get", "succ", "upsert", "delete"} {
+		for _, p := range []int{16, 64} {
+			b := p * lg(p)
+			if op != "get" {
+				b = p * lg(p) * lg(p)
+			}
+			shapes = append(shapes, BatchBenchShape{Op: op, P: p, Batch: b})
+		}
+	}
+	return shapes
+}
+
+const benchKeySpace = uint64(1) << 40
+
+// BatchBench is a warmed Map plus a pregenerated deterministic batch
+// schedule for one shape. Construct with NewBatchBench, call Warm once,
+// then call Iter once per benchmark iteration.
+type BatchBench struct {
+	Shape BatchBenchShape
+
+	m       *Map[uint64, int64]
+	batches [][]uint64
+	vals    []int64
+
+	i    int
+	dstG []GetResult[int64]
+	dstS []SearchResult[uint64, int64]
+	dstB []bool
+	last BatchStats
+}
+
+// batchBenchRounds is how many distinct batches the schedule cycles over.
+const batchBenchRounds = 8
+
+// NewBatchBench builds the warmed Map (2^14 uniform keys) and the batch
+// schedule for one shape. Everything is seeded, so two runs of the same
+// shape execute identical operations.
+func NewBatchBench(sh BatchBenchShape) *BatchBench {
+	bb := &BatchBench{Shape: sh}
+	const n = 1 << 14
+	bb.m = New[uint64, int64](Config{P: sh.P, Seed: 0xBE7C4}, Uint64Hash)
+	r := rng.NewXoshiro256(0xBA7C4)
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = 1 + r.Uint64n(benchKeySpace)
+		vals[i] = int64(i)
+	}
+	bb.m.Upsert(keys, vals)
+	bb.vals = make([]int64, sh.Batch)
+
+	bb.batches = make([][]uint64, batchBenchRounds)
+	switch sh.Op {
+	case "get", "succ":
+		for i := range bb.batches {
+			b := make([]uint64, sh.Batch)
+			for j := range b {
+				b[j] = 1 + r.Uint64n(benchKeySpace)
+			}
+			bb.batches[i] = b
+		}
+	case "upsert":
+		// Steady-state Upsert is the all-present (pure update) path.
+		present, _, _ := bb.m.Snapshot()
+		for i := range bb.batches {
+			b := make([]uint64, sh.Batch)
+			for j := range b {
+				b[j] = present[r.Uint64n(uint64(len(present)))]
+			}
+			bb.batches[i] = b
+		}
+	case "delete":
+		// Disjoint fresh batches, inserted up front; Iter deletes one and
+		// re-inserts it off the clock, so the structure size is stable.
+		for i := range bb.batches {
+			b := make([]uint64, sh.Batch)
+			for j := range b {
+				b[j] = 1 + r.Uint64n(benchKeySpace)
+			}
+			bb.batches[i] = b
+			bb.m.Upsert(b, bb.vals)
+		}
+	default:
+		panic("core: unknown batch bench op " + sh.Op)
+	}
+	return bb
+}
+
+// Warm drives every buffer in the Map's batch workspace to the high-water
+// mark of the schedule, so Iter measures the allocation-free steady state.
+func (bb *BatchBench) Warm() {
+	switch bb.Shape.Op {
+	case "get":
+		for _, b := range bb.batches {
+			bb.dstG, _ = bb.m.GetInto(b, bb.dstG)
+		}
+	case "succ":
+		for _, b := range bb.batches {
+			bb.dstS, _ = bb.m.SuccessorInto(b, bb.dstS)
+		}
+	case "upsert":
+		for _, b := range bb.batches {
+			bb.dstB, _ = bb.m.UpsertInto(b, bb.vals, bb.dstB)
+		}
+	case "delete":
+		for cycle := 0; cycle < 2; cycle++ {
+			for _, b := range bb.batches {
+				bb.dstB, _ = bb.m.DeleteInto(b, bb.dstB)
+			}
+			for _, b := range bb.batches {
+				bb.m.Upsert(b, bb.vals)
+			}
+		}
+	}
+}
+
+// Measure runs schedule position 0 once, off-schedule, and returns its
+// stats. Unlike the stats of the benchmark's final iteration (which depend
+// on how many iterations testing.B chose), this is a fixed deterministic
+// batch — the model-metric columns recorded in results files come from
+// here, so entries are comparable no matter how fast each run was. Call
+// after Warm, before or after the timed loop.
+func (bb *BatchBench) Measure() BatchStats {
+	batch := bb.batches[0]
+	switch bb.Shape.Op {
+	case "get":
+		bb.dstG, bb.last = bb.m.GetInto(batch, bb.dstG)
+	case "succ":
+		bb.dstS, bb.last = bb.m.SuccessorInto(batch, bb.dstS)
+	case "upsert":
+		bb.dstB, bb.last = bb.m.UpsertInto(batch, bb.vals, bb.dstB)
+	case "delete":
+		bb.dstB, bb.last = bb.m.DeleteInto(batch, bb.dstB)
+		bb.m.Upsert(batch, bb.vals)
+	}
+	return bb.last
+}
+
+// Iter executes one steady-state batch operation and returns its stats.
+// For delete, the re-insert that restores the structure runs with the
+// benchmark timer (and its allocation accounting) paused.
+func (bb *BatchBench) Iter(b *testing.B) BatchStats {
+	batch := bb.batches[bb.i%len(bb.batches)]
+	bb.i++
+	switch bb.Shape.Op {
+	case "get":
+		bb.dstG, bb.last = bb.m.GetInto(batch, bb.dstG)
+	case "succ":
+		bb.dstS, bb.last = bb.m.SuccessorInto(batch, bb.dstS)
+	case "upsert":
+		bb.dstB, bb.last = bb.m.UpsertInto(batch, bb.vals, bb.dstB)
+	case "delete":
+		bb.dstB, bb.last = bb.m.DeleteInto(batch, bb.dstB)
+		b.StopTimer()
+		bb.m.Upsert(batch, bb.vals)
+		b.StartTimer()
+	}
+	return bb.last
+}

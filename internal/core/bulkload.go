@@ -231,7 +231,7 @@ func (m *Map[K, V]) BulkLoad(keys []K, vals []V) BatchStats {
 	for l := 0; l < maxH; l++ {
 		head := m.levelHead(l)
 		if hl, ok := links[head]; ok && hl.hasRight {
-			sends = append(sends, m.sendToOwner(head, &writeRightTask[K, V]{target: head, right: hl.right, rightKey: hl.rightKey}, 2)...)
+			sends = m.appendOwner(sends, head, &writeRightTask[K, V]{target: head, right: hl.right, rightKey: hl.rightKey}, 2)
 		}
 	}
 

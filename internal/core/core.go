@@ -74,6 +74,10 @@ type Config struct {
 	// TrackAccess enables per-node access counters used by the Lemma 4.2
 	// contention experiments (small constant overhead).
 	TrackAccess bool
+	// TracePhases records per-phase pivot/hint traces for the Fig. 3
+	// reproduction (LastPhases). Off by default: trace strings allocate,
+	// and the steady-state batch path is allocation-free without them.
+	TracePhases bool
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +154,11 @@ type modState[K cmp.Ordered, V any] struct {
 	// Lemma 4.2 instrumentation: per-phase access counts of lower nodes.
 	access    map[uint32]int64
 	maxAccess int64
+
+	// scratch holds this module's reusable task/reply objects; reset by
+	// beginBatch on the caller goroutine, used only by this module's
+	// executor within a round (see modScratch).
+	scratch modScratch[K, V]
 }
 
 // Map is the PIM skip list. Create with New; methods are not safe for
@@ -182,6 +191,10 @@ type Map[K cmp.Ordered, V any] struct {
 	// sentHash is the pseudo key-hash of the -∞ tower, fixing the modules
 	// that host its lower-part nodes.
 	sentHash uint64
+
+	// ws is the per-Map reusable batch workspace (see ws.go). Created once
+	// in New; never shared across Maps.
+	ws *batchWS[K, V]
 }
 
 // New constructs an empty Map on a fresh PIM machine. hash reduces keys to
@@ -214,6 +227,7 @@ func New[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) *Map[K, V] {
 		}
 		return st
 	})
+	m.ws = newBatchWS[K, V]()
 	m.initSentinelTower()
 	return m
 }

@@ -53,7 +53,7 @@ func (r *refModel) predecessor(k uint64) (uint64, int64, bool) {
 
 func newTestMap(t *testing.T, p int, opts ...func(*Config)) *Map[uint64, int64] {
 	t.Helper()
-	cfg := Config{P: p, Seed: 0xC0FFEE, TrackAccess: true}
+	cfg := Config{P: p, Seed: 0xC0FFEE, TrackAccess: true, TracePhases: true}
 	for _, o := range opts {
 		o(&cfg)
 	}

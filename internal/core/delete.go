@@ -27,9 +27,11 @@ type markMsg[K cmp.Ordered] struct {
 // leaf list, and repair upper-leaf next-leaf pointers. The global
 // horizontal lists are repaired later by the CPU-side contraction.
 type deleteProbeTask[K cmp.Ordered, V any] struct {
-	m   *Map[K, V]
-	id  int32
-	key K
+	m        *Map[K, V]
+	id       int32
+	key      K
+	out      getMsg[V]  // found/miss reply (one per task)
+	leafMark markMsg[K] // the leaf's neighbourhood record
 }
 
 func (t *deleteProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
@@ -38,7 +40,8 @@ func (t *deleteProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 	addr, ok := st.ht.Get(t.key)
 	c.Charge(st.ht.Probes - p0)
 	if !ok {
-		c.Reply(getMsg[V]{id: t.id})
+		t.out = getMsg[V]{id: t.id}
+		c.Reply(&t.out)
 		return
 	}
 	leaf := st.lower.At(addr)
@@ -66,10 +69,11 @@ func (t *deleteProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 	}
 
 	// Report the marked leaf.
-	c.ReplyWords(markMsg[K]{
+	t.leafMark = markMsg[K]{
 		id: t.id, ptr: leafPtr, level: 0, key: t.key,
 		left: leaf.left, right: leaf.right, rightKey: leaf.rightKey,
-	}, 4)
+	}
+	c.ReplyWords(&t.leafMark, 4)
 
 	// Mark the rest of the tower. Lower chain nodes live on other modules
 	// (one message each, O(1) expected per op); upper chain nodes are
@@ -79,21 +83,27 @@ func (t *deleteProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 		if p.IsUpper() {
 			un := st.upper.At(p.Addr())
 			c.Charge(1)
-			c.ReplyWords(markMsg[K]{
+			mm := st.scratch.marks.take()
+			*mm = markMsg[K]{
 				id: -1, ptr: p, level: un.level, key: un.key,
 				left: un.left, right: un.right, rightKey: un.rightKey,
-			}, 4)
+			}
+			c.ReplyWords(mm, 4)
 		} else {
-			c.Send(p.ModuleOf(), &markLowerTask[K, V]{ptr: p})
+			mt := st.scratch.markTasks.take()
+			mt.ptr = p
+			c.Send(p.ModuleOf(), mt)
 		}
 	}
-	c.Reply(getMsg[V]{id: t.id, found: true})
+	t.out = getMsg[V]{id: t.id, found: true}
+	c.Reply(&t.out)
 }
 
 // markLowerTask marks one lower-part tower node and reports its
 // neighbourhood.
 type markLowerTask[K cmp.Ordered, V any] struct {
 	ptr pim.Ptr
+	out markMsg[K]
 }
 
 func (t *markLowerTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
@@ -101,10 +111,11 @@ func (t *markLowerTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 	nd := st.resolve(t.ptr)
 	nd.deleted = true
 	c.Charge(1)
-	c.ReplyWords(markMsg[K]{
+	t.out = markMsg[K]{
 		id: -1, ptr: t.ptr, level: nd.level, key: nd.key,
 		left: nd.left, right: nd.right, rightKey: nd.rightKey,
-	}, 4)
+	}
+	c.ReplyWords(&t.out, 4)
 }
 
 // freeLowerTask releases a marked lower node's slot.
@@ -133,136 +144,133 @@ func (t *freeUpperTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 // contraction, so the horizontal relinking needs O(1) writes per deleted
 // node regardless of run shape.
 func (m *Map[K, V]) Delete(keys []K) ([]bool, BatchStats) {
+	return m.DeleteInto(keys, nil)
+}
+
+// DeleteInto is Delete writing results into dst (reused when it has
+// capacity) so steady-state callers allocate nothing.
+func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 	tr, c := m.beginBatch()
 	B := len(keys)
-	out := make([]bool, B)
+	out := sliceInto(dst, B)
 	if B == 0 {
 		return out, m.endBatch(tr, c, 0, 0, 0)
 	}
 	c.Tracker().Alloc(int64(2 * B))
 	defer c.Tracker().Free(int64(2 * B))
+	ws := m.ws
 
 	uniq, slot := m.dedup(c, keys)
-	found := make([]bool, len(uniq))
+	ws.found = grow(ws.found, len(uniq))
+	found := ws.found
 
 	// Stage 1: mark leaves and towers, collect neighbourhood records.
-	var marks []markMsg[K]
-	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	marks := ws.marks[:0]
+	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
 	for i, k := range uniq {
+		t := ws.delTasks.take()
+		t.m, t.id, t.key = m, int32(i), k
 		sends[i] = pim.Send[*modState[K, V]]{
 			To:   m.moduleFor(m.hashKey(k), 0),
-			Task: &deleteProbeTask[K, V]{m: m, id: int32(i), key: k},
+			Task: t,
 		}
 	}
+	ws.sends = sends
 	for len(sends) > 0 {
 		replies, next := m.mach.Round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			switch v := r.V.(type) {
-			case getMsg[V]:
+			case *getMsg[V]:
 				found[v.id] = v.found
-			case markMsg[K]:
-				marks = append(marks, v)
+			case *markMsg[K]:
+				marks = append(marks, *v)
 			}
 		}
 		sends = next
 	}
+	ws.marks = marks
 	c.Tracker().Alloc(int64(4 * len(marks)))
 	defer c.Tracker().Free(int64(4 * len(marks)))
 
 	// Stage 2: CPU-side list contraction over local copies of the marked
 	// nodes (§4.4): build the index graph of marked nodes plus their
 	// boundary (unmarked) neighbours, contract, then splice remotely.
-	idx := make(map[pim.Ptr]int32, 2*len(marks))
-	var left, right []int32
-	var marked, wasMarked []bool
-	var nodeKey []K
-	var nodePtr []pim.Ptr
-	var keyKnown []bool
-	var hadMarkedLeft, hadMarkedRight []bool
-	getIdx := func(p pim.Ptr) int32 {
-		if p.IsNil() {
-			return -1
-		}
-		if i, ok := idx[p]; ok {
-			return i
-		}
-		i := int32(len(left))
-		idx[p] = i
-		left = append(left, -1)
-		right = append(right, -1)
-		marked = append(marked, false)
-		wasMarked = append(wasMarked, false)
-		var zero K
-		nodeKey = append(nodeKey, zero)
-		keyKnown = append(keyKnown, false)
-		nodePtr = append(nodePtr, p)
-		hadMarkedLeft = append(hadMarkedLeft, false)
-		hadMarkedRight = append(hadMarkedRight, false)
-		return i
-	}
+	g := &ws.del
+	g.reset(3 * len(marks))
 	c.WorkFlat(int64(len(marks)))
-	for _, mk := range marks {
-		i := getIdx(mk.ptr)
-		marked[i], wasMarked[i] = true, true
-		nodeKey[i], keyKnown[i] = mk.key, true
-		l, r := getIdx(mk.left), getIdx(mk.right)
-		left[i], right[i] = l, r
+	for mi := range marks {
+		mk := &marks[mi]
+		i := g.getIdx(mk.ptr)
+		g.marked[i], g.wasMarked[i] = true, true
+		g.nodeKey[i], g.keyKnown[i] = mk.key, true
+		l, r := g.getIdx(mk.left), g.getIdx(mk.right)
+		g.left[i], g.right[i] = l, r
 		if l >= 0 {
-			right[l] = i
-			hadMarkedRight[l] = true
+			g.right[l] = i
+			g.hadMarkedRight[l] = true
 		}
 		if r >= 0 {
-			left[r] = i
-			hadMarkedLeft[r] = true
-			if !keyKnown[r] {
-				nodeKey[r], keyKnown[r] = mk.rightKey, true
+			g.left[r] = i
+			g.hadMarkedLeft[r] = true
+			if !g.keyKnown[r] {
+				g.nodeKey[r], g.keyKnown[r] = mk.rightKey, true
 			}
 		}
 	}
-	listcontract.Splice(c, left, right, marked, m.r.Uint64())
+	listcontract.SpliceWS(c, ws.par, g.left, g.right, g.marked, m.r.Uint64())
 
 	// Stage 3: remote splices. A surviving (boundary) node needs its right
 	// pointer repaired iff it originally had a marked right neighbour, and
 	// its left pointer repaired iff it originally had a marked left
 	// neighbour; the contracted graph supplies the new neighbours.
-	sends = sends[:0]
-	c.WorkFlat(int64(len(left)))
-	for i := range left {
-		if wasMarked[i] {
+	sends = m.ws.sends[:0]
+	c.WorkFlat(int64(len(g.left)))
+	for i := range g.left {
+		if g.wasMarked[i] {
 			continue
 		}
-		if hadMarkedRight[i] {
+		if g.hadMarkedRight[i] {
 			var rp pim.Ptr
 			var rk K
-			if right[i] >= 0 {
-				rp = nodePtr[right[i]]
-				rk = nodeKey[right[i]]
+			if g.right[i] >= 0 {
+				rp = g.nodePtr[g.right[i]]
+				rk = g.nodeKey[g.right[i]]
 			}
-			sends = append(sends, m.sendToOwner(nodePtr[i], &writeRightTask[K, V]{target: nodePtr[i], right: rp, rightKey: rk}, 2)...)
+			t := ws.wrTasks.take()
+			*t = writeRightTask[K, V]{target: g.nodePtr[i], right: rp, rightKey: rk}
+			sends = m.appendOwner(sends, g.nodePtr[i], t, 2)
 		}
-		if hadMarkedLeft[i] {
+		if g.hadMarkedLeft[i] {
 			var lp pim.Ptr
-			if left[i] >= 0 {
-				lp = nodePtr[left[i]]
+			if g.left[i] >= 0 {
+				lp = g.nodePtr[g.left[i]]
 			}
-			sends = append(sends, m.sendToOwner(nodePtr[i], &writeLeftTask[K, V]{target: nodePtr[i], left: lp}, 1)...)
+			t := ws.wlTasks.take()
+			*t = writeLeftTask[K, V]{target: g.nodePtr[i], left: lp}
+			sends = m.appendOwner(sends, g.nodePtr[i], t, 1)
 		}
 	}
 
 	// Free the marked nodes (lower: their module; upper: broadcast + CPU
 	// allocator release).
-	for _, mk := range marks {
+	for i := range marks {
+		mk := &marks[i]
 		if mk.ptr.IsUpper() {
 			m.freeUpper(mk.ptr.Addr())
-			sends = append(sends, m.mach.Broadcast(&freeUpperTask[K, V]{addr: mk.ptr.Addr()}, 1)...)
+			t := ws.fuTasks.take()
+			t.addr = mk.ptr.Addr()
+			sends = append(sends, m.mach.Broadcast(t, 1)...)
 		} else {
+			t := ws.flTasks.take()
+			t.addr = mk.ptr.Addr()
 			sends = append(sends, pim.Send[*modState[K, V]]{
-				To: mk.ptr.ModuleOf(), Task: &freeLowerTask[K, V]{addr: mk.ptr.Addr()},
+				To: mk.ptr.ModuleOf(), Task: t,
 			})
 		}
 	}
+	ws.sends = sends
 	c.WorkFlat(int64(len(sends)))
 	m.drive(c, sends)
 

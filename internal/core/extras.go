@@ -171,7 +171,7 @@ func (m *Map[K, V]) AllPairs() ([]RangePair[K, V], BatchStats) {
 	defer c.Tracker().Free(int64(2 * len(out)))
 	// Merge the per-module sorted streams by a full parallel sort (simple
 	// and O(n log n); a P-way merge would be O(n log P)).
-	sortPairs(c, out)
+	sortPairs(c, m.ws.par, out)
 	return out, m.endBatch(tr, c, 1, 0, 0)
 }
 
@@ -193,7 +193,7 @@ func (m *Map[K, V]) Rank(keys []K) ([]int64, BatchStats) {
 	defer c.Tracker().Free(int64(2 * B))
 	uniq, slot := m.dedup(c, keys)
 	qs := append([]K(nil), uniq...)
-	sortKeysCPU(c, qs)
+	sortKeysCPU(c, m.ws.par, qs)
 	// Broadcast the sorted query list once; each module merges it against
 	// its local leaf list and replies per-query local counts.
 	counts := make([]int64, len(qs))
@@ -257,12 +257,12 @@ func (t *rankTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 
 // sortPairs and sortKeysCPU are small instantiations of the parallel sort
 // for the helpers above.
-func sortPairs[K cmp.Ordered, V any](c *cpu.Ctx, pairs []RangePair[K, V]) {
-	parutil.Sort(c, pairs, func(a, b RangePair[K, V]) bool { return a.Key < b.Key })
+func sortPairs[K cmp.Ordered, V any](c *cpu.Ctx, ws *parutil.Workspace, pairs []RangePair[K, V]) {
+	parutil.SortWS(c, ws, pairs, func(a, b RangePair[K, V]) bool { return a.Key < b.Key })
 }
 
-func sortKeysCPU[K cmp.Ordered](c *cpu.Ctx, keys []K) {
-	parutil.Sort(c, keys, func(a, b K) bool { return a < b })
+func sortKeysCPU[K cmp.Ordered](c *cpu.Ctx, ws *parutil.Workspace, keys []K) {
+	parutil.SortWS(c, ws, keys, func(a, b K) bool { return a < b })
 }
 
 // Snapshot exports the full contents as sorted pairs (one broadcast;

@@ -23,10 +23,12 @@ type getMsg[V any] struct {
 
 // getTask looks a key up in the destination module's local hash table
 // (§4.1: the hash function is a shortcut to the module that must hold the
-// key, and a local hash table maps keys to leaves in O(1) whp).
+// key, and a local hash table maps keys to leaves in O(1) whp). The reply
+// is embedded so the steady-state path boxes no values.
 type getTask[K cmp.Ordered, V any] struct {
 	id  int32
 	key K
+	out getMsg[V]
 }
 
 func (t *getTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
@@ -35,11 +37,13 @@ func (t *getTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 	addr, ok := st.ht.Get(t.key)
 	c.Charge(st.ht.Probes - p0)
 	if !ok {
-		c.Reply(getMsg[V]{id: t.id})
+		t.out = getMsg[V]{id: t.id}
+		c.Reply(&t.out)
 		return
 	}
 	c.Charge(1)
-	c.Reply(getMsg[V]{id: t.id, found: true, val: st.lower.At(addr).val})
+	t.out = getMsg[V]{id: t.id, found: true, val: st.lower.At(addr).val}
+	c.Reply(&t.out)
 }
 
 // updateTask writes a new value for an existing key; non-existent keys are
@@ -48,6 +52,7 @@ type updateTask[K cmp.Ordered, V any] struct {
 	id  int32
 	key K
 	val V
+	out getMsg[V]
 }
 
 func (t *updateTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
@@ -56,12 +61,14 @@ func (t *updateTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 	addr, ok := st.ht.Get(t.key)
 	c.Charge(st.ht.Probes - p0)
 	if !ok {
-		c.Reply(getMsg[V]{id: t.id})
+		t.out = getMsg[V]{id: t.id}
+		c.Reply(&t.out)
 		return
 	}
 	c.Charge(1)
 	st.lower.At(addr).val = t.val
-	c.Reply(getMsg[V]{id: t.id, found: true})
+	t.out = getMsg[V]{id: t.id, found: true}
+	c.Reply(&t.out)
 }
 
 // Get returns, for every key, whether it is present and its value. The
@@ -69,26 +76,37 @@ func (t *updateTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 // a batch of identical keys costs one message, not a hot module — that is
 // Theorem 4.1's PIM-balance guarantee. Results are in input order.
 func (m *Map[K, V]) Get(keys []K) ([]GetResult[V], BatchStats) {
+	return m.GetInto(keys, nil)
+}
+
+// GetInto is Get writing results into dst (reused when it has capacity) so
+// steady-state callers allocate nothing.
+func (m *Map[K, V]) GetInto(keys []K, dst []GetResult[V]) ([]GetResult[V], BatchStats) {
 	tr, c := m.beginBatch()
 	B := len(keys)
-	out := make([]GetResult[V], B)
+	out := sliceInto(dst, B)
 	if B == 0 {
 		return out, m.endBatch(tr, c, 0, 0, 0)
 	}
 	c.Tracker().Alloc(int64(B))
 	defer c.Tracker().Free(int64(B))
 
+	ws := m.ws
 	uniq, slot := m.dedup(c, keys)
-	replies := make([]getMsg[V], len(uniq))
-	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	ws.greplies = grow(ws.greplies, len(uniq))
+	replies := ws.greplies
+	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
 	for i, k := range uniq {
+		t := ws.getTasks.take()
+		t.id, t.key = int32(i), k
 		sends[i] = pim.Send[*modState[K, V]]{
 			To:   m.moduleFor(m.hashKey(k), 0),
-			Task: &getTask[K, V]{id: int32(i), key: k},
+			Task: t,
 		}
 	}
-	m.drainInto(c, sends, func(v getMsg[V]) { replies[v.id] = v })
+	ws.sends = sends
+	m.drainInto(c, sends, ws.onGet)
 	c.WorkFlat(int64(B))
 	for i := range keys {
 		r := replies[slot[i]]
@@ -107,35 +125,47 @@ func (m *Map[K, V]) GetOne(key K) (GetResult[V], BatchStats) {
 // whether it was found. Duplicate keys in the batch are collapsed to their
 // last occurrence (last-writer-wins), mirroring Get's deduplication.
 func (m *Map[K, V]) Update(keys []K, vals []V) ([]bool, BatchStats) {
+	return m.UpdateInto(keys, vals, nil)
+}
+
+// UpdateInto is Update writing results into dst (reused when it has
+// capacity).
+func (m *Map[K, V]) UpdateInto(keys []K, vals []V, dst []bool) ([]bool, BatchStats) {
 	if len(keys) != len(vals) {
 		panic("core: Update keys/vals length mismatch")
 	}
 	tr, c := m.beginBatch()
 	B := len(keys)
-	out := make([]bool, B)
+	out := sliceInto(dst, B)
 	if B == 0 {
 		return out, m.endBatch(tr, c, 0, 0, 0)
 	}
 	c.Tracker().Alloc(int64(2 * B))
 	defer c.Tracker().Free(int64(2 * B))
 
+	ws := m.ws
 	uniq, slot := m.dedup(c, keys)
 	// Last occurrence wins for the value.
-	chosen := make([]V, len(uniq))
+	ws.chosen = grow(ws.chosen, len(uniq))
+	chosen := ws.chosen
 	c.WorkFlat(int64(B))
 	for i := range keys {
 		chosen[slot[i]] = vals[i]
 	}
-	replies := make([]getMsg[V], len(uniq))
-	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	ws.greplies = grow(ws.greplies, len(uniq))
+	replies := ws.greplies
+	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
 	for i, k := range uniq {
+		t := ws.updTasks.take()
+		t.id, t.key, t.val = int32(i), k, chosen[i]
 		sends[i] = pim.Send[*modState[K, V]]{
 			To:   m.moduleFor(m.hashKey(k), 0),
-			Task: &updateTask[K, V]{id: int32(i), key: k, val: chosen[i]},
+			Task: t,
 		}
 	}
-	m.drainInto(c, sends, func(v getMsg[V]) { replies[v.id] = v })
+	ws.sends = sends
+	m.drainInto(c, sends, ws.onGet)
 	c.WorkFlat(int64(B))
 	for i := range keys {
 		out[i] = replies[slot[i]].found
@@ -151,25 +181,27 @@ func (m *Map[K, V]) UpdateOne(key K, val V) (bool, BatchStats) {
 
 // dedup collapses duplicate keys (semisort, §4.1) unless disabled for the
 // ABL-DEDUP ablation; slot maps every input position to its unique index.
+// Both return slices are workspace-owned, valid until the next dedup call.
 func (m *Map[K, V]) dedup(c *cpu.Ctx, keys []K) ([]K, []int32) {
 	if m.cfg.NoDedup {
-		slot := make([]int32, len(keys))
+		m.ws.slotSeq = grow(m.ws.slotSeq, len(keys))
+		slot := m.ws.slotSeq
 		c.WorkFlat(int64(len(keys)))
 		for i := range slot {
 			slot[i] = int32(i)
 		}
 		return keys, slot
 	}
-	return parutil.Dedup(c, keys, m.hashKey)
+	return parutil.DedupWS(c, m.ws.par, keys, m.hashKey)
 }
 
 // drainInto drives rounds to completion, delivering typed replies to f.
-func (m *Map[K, V]) drainInto(c *cpu.Ctx, sends []pim.Send[*modState[K, V]], f func(getMsg[V])) {
+func (m *Map[K, V]) drainInto(c *cpu.Ctx, sends []pim.Send[*modState[K, V]], f func(*getMsg[V])) {
 	for len(sends) > 0 {
 		replies, next := m.mach.Round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
-			f(r.V.(getMsg[V]))
+			f(r.V.(*getMsg[V]))
 		}
 		sends = next
 	}

@@ -147,7 +147,7 @@ func (m *Map[K, V]) rangeBroadcastInner(c *cpu.Ctx, op RangeOp[K, V]) RangeResul
 	if op.Kind == RangeRead {
 		c.Tracker().Alloc(2 * res.Count)
 		defer c.Tracker().Free(2 * res.Count)
-		parutil.Sort(c, res.Pairs, func(a, b RangePair[K, V]) bool { return a.Key < b.Key })
+		parutil.SortWS(c, m.ws.par, res.Pairs, func(a, b RangePair[K, V]) bool { return a.Key < b.Key })
 	}
 	return res
 }
@@ -304,7 +304,7 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 
 	// Split the batch into disjoint ascending segments (§5.2 step 1).
 	order := seqInts(B)
-	parutil.Sort(c, order, func(a, b int) bool {
+	parutil.SortWS(c, m.ws.par, order, func(a, b int) bool {
 		if ops[a].Lo != ops[b].Lo {
 			return ops[a].Lo < ops[b].Lo
 		}
@@ -332,7 +332,7 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 		los[i] = s.lo
 	}
 	hints := make([]expandHint, len(segs))
-	_, phases, maxAcc, _ := m.searchCore(c, los, modeSuccessor, nil, hints)
+	_, phases, maxAcc := m.searchCore(c, los, modeSuccessor, nil, hints)
 
 	// Expansion wave: one enter/sweep per segment.
 	var sends []pim.Send[*modState[K, V]]
@@ -379,7 +379,7 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 		}
 		c.Tracker().Alloc(n2)
 		fetched += n2
-		parutil.Sort(c, leaves, func(a, b rangeLeafMsg[K, V]) bool { return a.key < b.key })
+		parutil.SortWS(c, m.ws.par, leaves, func(a, b rangeLeafMsg[K, V]) bool { return a.key < b.key })
 		perSeg[si] = leaves
 	}
 	c.Tracker().Free(fetched)

@@ -87,7 +87,9 @@ func (t *searchTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 		if !uptr.IsUpper() {
 			st.track(uptr.Addr())
 			if t.recordPath {
-				c.Reply(pathMsg{id: t.id, level: lvl, ptr: uptr})
+				pm := st.scratch.paths.take()
+				*pm = pathMsg{id: t.id, level: lvl, ptr: uptr}
+				c.Reply(pm)
 			}
 		}
 		// Move right while the neighbour still precedes the target.
@@ -97,17 +99,20 @@ func (t *searchTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 				uptr, u = next, st.resolve(next)
 				continue
 			}
-			nt := *t
+			nt := st.scratch.searchTasks.take()
+			*nt = *t
 			nt.cur, nt.level = next, lvl
-			c.Send(next.ModuleOf(), &nt)
+			c.Send(next.ModuleOf(), nt)
 			return
 		}
 		// Descending (or finishing) at this level.
 		if t.mode == modeInsert && lvl < t.recordLevels {
-			c.ReplyWords(predMsg[K]{
+			pr := st.scratch.preds.take()
+			*pr = predMsg[K]{
 				id: t.id, level: lvl,
 				pred: uptr, succ: u.right, succKey: u.rightKey,
-			}, 3)
+			}
+			c.ReplyWords(pr, 3)
 		}
 		if lvl == 0 {
 			t.finish(c, st, u, uptr)
@@ -119,9 +124,10 @@ func (t *searchTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 			lvl--
 			continue
 		}
-		nt := *t
+		nt := st.scratch.searchTasks.take()
+		*nt = *t
 		nt.cur, nt.level = d, lvl-1
-		c.Send(d.ModuleOf(), &nt)
+		c.Send(d.ModuleOf(), nt)
 		return
 	}
 }
@@ -139,25 +145,33 @@ func (t *searchTask[K, V]) goesRight(rk K) bool {
 func (t *searchTask[K, V]) finish(c *pim.Ctx[*modState[K, V]], st *modState[K, V], u *node[K, V], uptr pim.Ptr) {
 	switch t.mode {
 	case modePredecessor:
+		rm := st.scratch.results.take()
 		if u.neg {
-			c.ReplyWords(resultMsg[K, V]{id: t.id}, 2)
-			return
+			*rm = resultMsg[K, V]{id: t.id}
+		} else {
+			*rm = resultMsg[K, V]{id: t.id, found: true, key: u.key, val: u.val, ptr: uptr}
 		}
-		c.ReplyWords(resultMsg[K, V]{id: t.id, found: true, key: u.key, val: u.val, ptr: uptr}, 2)
+		c.ReplyWords(rm, 2)
 	default: // successor / insert-pred: result is u.right
 		r := u.right
 		if r.IsNil() {
-			c.ReplyWords(resultMsg[K, V]{id: t.id}, 2)
+			rm := st.scratch.results.take()
+			*rm = resultMsg[K, V]{id: t.id}
+			c.ReplyWords(rm, 2)
 			return
 		}
 		if st.localTo(r) {
 			rn := st.resolve(r)
 			c.Charge(1)
-			c.ReplyWords(resultMsg[K, V]{id: t.id, found: true, key: rn.key, val: rn.val, ptr: r}, 2)
+			rm := st.scratch.results.take()
+			*rm = resultMsg[K, V]{id: t.id, found: true, key: rn.key, val: rn.val, ptr: r}
+			c.ReplyWords(rm, 2)
 			return
 		}
 		// The result leaf is remote: hop there so its value rides back.
-		c.Send(r.ModuleOf(), &fetchLeafTask[K, V]{id: t.id, leaf: r})
+		ft := st.scratch.fetchTasks.take()
+		ft.id, ft.leaf = t.id, r
+		c.Send(r.ModuleOf(), ft)
 	}
 }
 
@@ -165,13 +179,15 @@ func (t *searchTask[K, V]) finish(c *pim.Ctx[*modState[K, V]], st *modState[K, V
 type fetchLeafTask[K cmp.Ordered, V any] struct {
 	id   int32
 	leaf pim.Ptr
+	out  resultMsg[K, V]
 }
 
 func (t *fetchLeafTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 	st := c.State()
 	c.Charge(1)
 	n := st.resolve(t.leaf)
-	c.ReplyWords(resultMsg[K, V]{id: t.id, found: true, key: n.key, val: n.val, ptr: t.leaf}, 2)
+	t.out = resultMsg[K, V]{id: t.id, found: true, key: n.key, val: n.val, ptr: t.leaf}
+	c.ReplyWords(&t.out, 2)
 }
 
 // SearchResult is the outcome of one Predecessor or Successor operation.
@@ -188,47 +204,24 @@ type pathEntry struct {
 	level int8
 }
 
-// waveState accumulates the replies of one wave of concurrent searches.
-type waveState[K cmp.Ordered, V any] struct {
-	results []resultMsg[K, V]
-	done    []bool
-	paths   [][]pathEntry          // per id, in visit order (nil unless recorded)
-	preds   map[int32][]predMsg[K] // per id, modeInsert only
-}
-
-func newWaveState[K cmp.Ordered, V any](n int, withPaths, withPreds bool) *waveState[K, V] {
-	w := &waveState[K, V]{
-		results: make([]resultMsg[K, V], n),
-		done:    make([]bool, n),
-	}
-	if withPaths {
-		w.paths = make([][]pathEntry, n)
-	}
-	if withPreds {
-		w.preds = make(map[int32][]predMsg[K])
-	}
-	return w
-}
-
-// runWave drives rounds until the machine is quiet, dispatching replies.
+// runWave drives rounds until the machine is quiet, dispatching replies
+// into the batch workspace: results land in ws.results (sorted order), path
+// and pred records append to the flat logs (regrouped by id afterwards).
 // CPU cost: processing each reply is a flat parallel step.
-func (m *Map[K, V]) runWave(c *cpu.Ctx, w *waveState[K, V], sends []pim.Send[*modState[K, V]]) {
+func (m *Map[K, V]) runWave(c *cpu.Ctx, sends []pim.Send[*modState[K, V]]) {
+	ws := m.ws
 	for len(sends) > 0 {
 		replies, next := m.mach.Round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			switch v := r.V.(type) {
-			case resultMsg[K, V]:
-				w.results[v.id] = v
-				w.done[v.id] = true
-			case pathMsg:
-				if w.paths != nil {
-					w.paths[v.id] = append(w.paths[v.id], pathEntry{ptr: v.ptr, level: v.level})
-				}
-			case predMsg[K]:
-				if w.preds != nil {
-					w.preds[v.id] = append(w.preds[v.id], v)
-				}
+			case *resultMsg[K, V]:
+				ws.results[v.id] = *v
+				ws.done[v.id] = true
+			case *pathMsg:
+				ws.pathLog = append(ws.pathLog, pathRec{id: v.id, e: pathEntry{ptr: v.ptr, level: v.level}})
+			case *predMsg[K]:
+				ws.predLog = append(ws.predLog, *v)
 			default:
 				panic("core: unexpected reply in search wave")
 			}
@@ -303,13 +296,25 @@ func computeHint[K cmp.Ordered, V any](mode searchMode, id int32,
 // executed with the PIM-balanced pivot algorithm of §4.2 (Theorem 4.3)
 // unless Config.NaiveBatch reproduces the imbalanced naive execution.
 func (m *Map[K, V]) Successor(keys []K) ([]SearchResult[K, V], BatchStats) {
-	return m.batchSearch(keys, modeSuccessor)
+	return m.batchSearch(keys, modeSuccessor, nil)
+}
+
+// SuccessorInto is Successor writing results into dst (reused when it has
+// capacity) so steady-state callers allocate nothing.
+func (m *Map[K, V]) SuccessorInto(keys []K, dst []SearchResult[K, V]) ([]SearchResult[K, V], BatchStats) {
+	return m.batchSearch(keys, modeSuccessor, dst)
 }
 
 // Predecessor answers, for every key in keys, the largest key in the map ≤
 // that key, with its value. Results are in input order.
 func (m *Map[K, V]) Predecessor(keys []K) ([]SearchResult[K, V], BatchStats) {
-	return m.batchSearch(keys, modePredecessor)
+	return m.batchSearch(keys, modePredecessor, nil)
+}
+
+// PredecessorInto is Predecessor writing results into dst (reused when it
+// has capacity).
+func (m *Map[K, V]) PredecessorInto(keys []K, dst []SearchResult[K, V]) ([]SearchResult[K, V], BatchStats) {
+	return m.batchSearch(keys, modePredecessor, dst)
 }
 
 // SuccessorOne runs a single Successor query (a batch of one).
@@ -324,10 +329,10 @@ func (m *Map[K, V]) PredecessorOne(key K) (SearchResult[K, V], BatchStats) {
 	return res[0], st
 }
 
-func (m *Map[K, V]) batchSearch(keys []K, mode searchMode) ([]SearchResult[K, V], BatchStats) {
+func (m *Map[K, V]) batchSearch(keys []K, mode searchMode, dst []SearchResult[K, V]) ([]SearchResult[K, V], BatchStats) {
 	tr, c := m.beginBatch()
-	res, phases, maxAcc, _ := m.searchCore(c, keys, mode, nil, nil)
-	out := make([]SearchResult[K, V], len(keys))
+	res, phases, maxAcc := m.searchCore(c, keys, mode, nil, nil)
+	out := sliceInto(dst, len(keys))
 	c.WorkFlat(int64(len(keys)))
 	for i, r := range res {
 		out[i] = SearchResult[K, V]{Found: r.found, Key: r.key, Value: r.val}
@@ -343,129 +348,87 @@ type expandHint struct {
 	level int8
 }
 
-// searchCore runs the full §4.2 batch-search algorithm and returns the raw
-// results in input order. When insertHeights is non-nil (batched Upsert),
-// the mode is modeInsert and predsOut receives the per-level predecessor
-// records keyed by input position. When hintsOut is non-nil (len B), it
-// receives each op's start hint in input order (for §5.2 expansions).
-func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
-	insertHeights []int8, hintsOut []expandHint) (results []resultMsg[K, V], phases int, maxAcc int64, predsOut map[int32][]predMsg[K]) {
+// sortItemLess orders batch items by key, breaking ties by input position.
+func sortItemLess[K cmp.Ordered](a, b sortItem[K]) bool {
+	if a.k != b.k {
+		return a.k < b.k
+	}
+	return a.pos < b.pos
+}
 
-	B := len(keys)
-	results = make([]resultMsg[K, V], B)
-	if B == 0 {
-		return results, 0, 0, nil
+// newTask builds the search task for sorted-id j from the Map's task arena.
+func (sr *searchRun[K, V]) newTask(j int, recordPath, isPivot bool) *searchTask[K, V] {
+	m := sr.m
+	t := m.ws.srchTasks.take()
+	*t = searchTask[K, V]{
+		m: m, id: int32(j), key: m.ws.sorted[j].k, mode: sr.mode,
+		recordPath: recordPath,
 	}
-	c.Tracker().Alloc(int64(B))
-	defer c.Tracker().Free(int64(B))
+	if sr.withPreds {
+		if isPivot {
+			t.recordLevels = int8(m.cfg.MaxLevel)
+		} else {
+			t.recordLevels = sr.insertHeights[m.ws.sorted[j].pos]
+		}
+	}
+	return t
+}
 
-	// Sort the batch by key (§4.2: "The keys in the batch are first sorted
-	// on the CPU side"). sorted[j].pos = input position of the j-th
-	// smallest key.
-	sorted := make([]sortItem[K], B)
-	for i, k := range keys {
-		sorted[i] = sortItem[K]{k: k, pos: int32(i)}
+// borrowPreds copies the left pivot's records above the hint level to op j
+// (capped at maxLevel; pivots borrow everything). In insert mode, pivots
+// record predecessor data at EVERY level they traverse (not just their own
+// tower height): hinted operations start below the upper levels and must
+// borrow the records above their hint from the enclosing left pivot — valid
+// because search paths coincide above the lowest common node, so
+// pred_l(x) = pred_l(pivot) there. Borrowed records append to the flat log
+// (before the wave's own replies, exactly where the map-based accumulator
+// used to append them); the grouped view of jl is stable because jl's phase
+// already completed.
+func (sr *searchRun[K, V]) borrowPreds(j, jl int, aboveLvl int8, maxLevel int8) {
+	if !sr.withPreds {
+		return
 	}
-	c.WorkFlat(int64(B))
-	parutil.Sort(c, sorted, func(a, b sortItem[K]) bool {
-		if a.k != b.k {
-			return a.k < b.k
+	ws := sr.m.ws
+	for _, rec := range ws.predsOf(jl) {
+		if rec.level > aboveLvl && rec.level < maxLevel {
+			rec.id = int32(j)
+			ws.predLog = append(ws.predLog, rec)
+			sr.c.Work(1)
 		}
-		return a.pos < b.pos
-	})
+	}
+}
 
-	withPreds := mode == modeInsert
-	w := newWaveState[K, V](B, true, withPreds)
-	// In insert mode, pivots record predecessor data at EVERY level they
-	// traverse (not just their own tower height): hinted operations start
-	// below the upper levels and must borrow the records above their hint
-	// from the enclosing left pivot — valid because search paths coincide
-	// above the lowest common node, so pred_l(x) = pred_l(pivot) there.
-	newTask := func(j int, recordPath, isPivot bool) *searchTask[K, V] {
-		t := &searchTask[K, V]{
-			m: m, id: int32(j), key: sorted[j].k, mode: mode,
-			recordPath: recordPath,
+// runPhase executes one stage-1 pivot phase: hint each pivot in idxs from
+// its nearest executed neighbours, launch the wave, then regroup the flat
+// path/pred logs so the next phase sees the updated per-id views.
+func (sr *searchRun[K, V]) runPhase(idxs []int, record bool) {
+	m, c, ws := sr.m, sr.c, sr.m.ws
+	sr.phases++
+	m.resetAccessPhase()
+	trace := PhaseInfo{}
+	sends := ws.sends[:0]
+	for _, pi := range idxs {
+		j := ws.pivots[pi]
+		// Hint from the nearest executed pivots on each side.
+		l, r := pi-1, pi+1
+		for l >= 0 && !ws.execd[l] {
+			l--
 		}
-		if withPreds {
-			if isPivot {
-				t.recordLevels = int8(m.cfg.MaxLevel)
-			} else {
-				t.recordLevels = insertHeights[sorted[j].pos]
-			}
+		for r < sr.np && !ws.execd[r] {
+			r++
 		}
-		return t
-	}
-	// borrowPreds copies the left pivot's records above the hint level to
-	// op j (capped at maxLevel; pivots borrow everything).
-	borrowPreds := func(j, jl int, aboveLvl int8, maxLevel int8) {
-		if !withPreds {
-			return
+		var h hint[K, V]
+		jl := -1
+		if l >= 0 && r < sr.np {
+			jl = ws.pivots[l]
+			jr := ws.pivots[r]
+			h = computeHint(sr.mode, int32(j), ws.results[jl], ws.results[jr], ws.pathsOf(jl), ws.pathsOf(jr))
 		}
-		for _, rec := range w.preds[int32(jl)] {
-			if rec.level > aboveLvl && rec.level < maxLevel {
-				rec.id = int32(j)
-				w.preds[int32(j)] = append(w.preds[int32(j)], rec)
-				c.Work(1)
-			}
+		if sr.hintsOut != nil {
+			sr.hintsOut[ws.sorted[j].pos] = expandHint{start: h.start, level: h.startLvl}
 		}
-	}
-
-	if m.cfg.NaiveBatch {
-		// §4.2's PIM-imbalanced naive execution: all ops from the root.
-		sends := make([]pim.Send[*modState[K, V]], 0, B)
-		for j := 0; j < B; j++ {
-			sends = append(sends, m.startSend(newTask(j, withPreds, false), pim.NilPtr, 0))
-		}
-		m.resetAccessPhase()
-		m.runWave(c, w, sends)
-		if a := m.maxAccessThisPhase(); a > maxAcc {
-			maxAcc = a
-		}
-		unsortResults(c, w, sorted, results)
-		return results, 1, maxAcc, remapPreds(w, sorted)
-	}
-
-	// Stage 1: pivots. Every PivotSpacing-th op plus both extremes.
-	spacing := m.cfg.PivotSpacing
-	var pivots []int
-	for j := 0; j < B; j += spacing {
-		pivots = append(pivots, j)
-	}
-	if pivots[len(pivots)-1] != B-1 {
-		pivots = append(pivots, B-1)
-	}
-	c.Tracker().Alloc(int64(len(pivots) * (2*m.cfg.HLow + 2))) // recorded paths live in shared memory
-	defer c.Tracker().Free(int64(len(pivots) * (2*m.cfg.HLow + 2)))
-	np := len(pivots)
-	execd := make([]bool, np)
-
-	m.lastPhases = m.lastPhases[:0]
-	runPhase := func(idxs []int, record bool) {
-		phases++
-		m.resetAccessPhase()
-		trace := PhaseInfo{}
-		sends := make([]pim.Send[*modState[K, V]], 0, len(idxs))
-		for _, pi := range idxs {
-			j := pivots[pi]
-			// Hint from the nearest executed pivots on each side.
-			l, r := pi-1, pi+1
-			for l >= 0 && !execd[l] {
-				l--
-			}
-			for r < np && !execd[r] {
-				r++
-			}
-			var h hint[K, V]
-			jl := -1
-			if l >= 0 && r < np {
-				jl = pivots[l]
-				jr := pivots[r]
-				h = computeHint(mode, int32(j), w.results[jl], w.results[jr], w.paths[jl], w.paths[jr])
-			}
-			if hintsOut != nil {
-				hintsOut[sorted[j].pos] = expandHint{start: h.start, level: h.startLvl}
-			}
-			c.Work(int64(m.cfg.HLow + 2)) // LCA scan over two O(HLow) paths
+		c.Work(int64(m.cfg.HLow + 2)) // LCA scan over two O(HLow) paths
+		if m.cfg.TracePhases {
 			trace.Pivots = append(trace.Pivots, j)
 			switch {
 			case h.direct:
@@ -475,63 +438,151 @@ func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
 			default:
 				trace.Hints = append(trace.Hints, fmt.Sprintf("lca@L%d", h.startLvl))
 			}
-			if h.direct {
-				w.results[j] = h.result
-				w.done[j] = true
-				if withPreds {
-					// Direct results skip the search, but inserts always
-					// need the per-level records — fall through to search.
-					h.direct = false
-				} else {
-					continue
-				}
-			}
-			if withPreds && !h.start.IsNil() && jl >= 0 {
-				borrowPreds(j, jl, h.startLvl, int8(m.cfg.MaxLevel))
-			}
-			sends = append(sends, m.startSend(newTask(j, record, true), h.start, h.startLvl))
 		}
+		if h.direct {
+			ws.results[j] = h.result
+			ws.done[j] = true
+			if sr.withPreds {
+				// Direct results skip the search, but inserts always
+				// need the per-level records — fall through to search.
+				h.direct = false
+			} else {
+				continue
+			}
+		}
+		if sr.withPreds && !h.start.IsNil() && jl >= 0 {
+			sr.borrowPreds(j, jl, h.startLvl, int8(m.cfg.MaxLevel))
+		}
+		sends = append(sends, m.startSend(sr.newTask(j, record, true), h.start, h.startLvl))
+	}
+	ws.sends = sends
+	if m.cfg.TracePhases {
 		m.lastPhases = append(m.lastPhases, trace)
-		m.runWave(c, w, sends)
-		for _, pi := range idxs {
-			execd[pi] = true
+	}
+	m.runWave(c, sends)
+	ws.groupPaths(sr.B)
+	if sr.withPreds {
+		ws.groupPreds(sr.B)
+	}
+	for _, pi := range idxs {
+		ws.execd[pi] = true
+	}
+	if a := m.maxAccessThisPhase(); a > sr.maxAcc {
+		sr.maxAcc = a
+	}
+}
+
+// searchCore runs the full §4.2 batch-search algorithm and returns the raw
+// results in input order (a workspace-owned slice, valid until the next
+// batch). When insertHeights is non-nil (batched Upsert), the mode is
+// modeInsert and the per-level predecessor records are afterwards available
+// through ws.predsOfPos, keyed by input position. When hintsOut is non-nil
+// (len B), it receives each op's start hint in input order (§5.2
+// expansions).
+func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
+	insertHeights []int8, hintsOut []expandHint) (results []resultMsg[K, V], phases int, maxAcc int64) {
+
+	B := len(keys)
+	ws := m.ws
+	ws.outRes = grow(ws.outRes, B)
+	if B == 0 {
+		return ws.outRes, 0, 0
+	}
+	c.Tracker().Alloc(int64(B))
+	defer c.Tracker().Free(int64(B))
+
+	// Sort the batch by key (§4.2: "The keys in the batch are first sorted
+	// on the CPU side"). sorted[j].pos = input position of the j-th
+	// smallest key.
+	ws.sorted = grow(ws.sorted, B)
+	for i, k := range keys {
+		ws.sorted[i] = sortItem[K]{k: k, pos: int32(i)}
+	}
+	c.WorkFlat(int64(B))
+	parutil.SortWS(c, ws.par, ws.sorted, ws.sortLess)
+
+	ws.results = grow(ws.results, B)
+	ws.done = grow(ws.done, B)
+	clear(ws.done)
+	ws.idOf = grow(ws.idOf, B)
+	sr := &ws.search
+	*sr = searchRun[K, V]{
+		m: m, c: c, mode: mode,
+		insertHeights: insertHeights, hintsOut: hintsOut,
+		withPreds: mode == modeInsert, B: B,
+	}
+
+	if m.cfg.NaiveBatch {
+		// §4.2's PIM-imbalanced naive execution: all ops from the root.
+		sends := ws.sends[:0]
+		for j := 0; j < B; j++ {
+			sends = append(sends, m.startSend(sr.newTask(j, sr.withPreds, false), pim.NilPtr, 0))
+		}
+		ws.sends = sends
+		m.resetAccessPhase()
+		m.runWave(c, sends)
+		if sr.withPreds {
+			ws.groupPreds(B)
 		}
 		if a := m.maxAccessThisPhase(); a > maxAcc {
 			maxAcc = a
 		}
+		m.unsortResults(c)
+		return ws.outRes, 1, maxAcc
 	}
+
+	// Stage 1: pivots. Every PivotSpacing-th op plus both extremes.
+	spacing := m.cfg.PivotSpacing
+	pivots := ws.pivots[:0]
+	for j := 0; j < B; j += spacing {
+		pivots = append(pivots, j)
+	}
+	if pivots[len(pivots)-1] != B-1 {
+		pivots = append(pivots, B-1)
+	}
+	ws.pivots = pivots
+	c.Tracker().Alloc(int64(len(pivots) * (2*m.cfg.HLow + 2))) // recorded paths live in shared memory
+	defer c.Tracker().Free(int64(len(pivots) * (2*m.cfg.HLow + 2)))
+	np := len(pivots)
+	sr.np = np
+	ws.execd = grow(ws.execd, np)
+	clear(ws.execd)
+
+	m.lastPhases = m.lastPhases[:0]
 
 	// Phase 0: the two extreme pivots.
 	if np == 1 {
-		runPhase([]int{0}, true)
+		ws.medians = append(ws.medians[:0], 0)
 	} else {
-		runPhase([]int{0, np - 1}, true)
+		ws.medians = append(ws.medians[:0], 0, np-1)
 	}
+	sr.runPhase(ws.medians, true)
 	// Subsequent phases: the median pivot of every unexecuted segment.
 	for {
-		var medians []int
+		medians := ws.medians[:0]
 		i := 0
 		for i < np {
-			if execd[i] {
+			if ws.execd[i] {
 				i++
 				continue
 			}
 			lo := i
-			for i < np && !execd[i] {
+			for i < np && !ws.execd[i] {
 				i++
 			}
 			medians = append(medians, (lo+i-1)/2)
 		}
+		ws.medians = medians
 		if len(medians) == 0 {
 			break
 		}
-		runPhase(medians, true)
+		sr.runPhase(medians, true)
 	}
 
 	// Stage 2: every non-pivot op, hinted by its enclosing pivots.
-	phases++
+	sr.phases++
 	m.resetAccessPhase()
-	var sends []pim.Send[*modState[K, V]]
+	sends := ws.sends[:0]
 	pi := 0
 	for j := 0; j < B; j++ {
 		for pi+1 < np && pivots[pi+1] <= j {
@@ -542,28 +593,32 @@ func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
 		}
 		jl := pivots[pi]
 		jr := pivots[min(pi+1, np-1)]
-		h := computeHint(mode, int32(j), w.results[jl], w.results[jr], w.paths[jl], w.paths[jr])
+		h := computeHint(mode, int32(j), ws.results[jl], ws.results[jr], ws.pathsOf(jl), ws.pathsOf(jr))
 		if hintsOut != nil {
-			hintsOut[sorted[j].pos] = expandHint{start: h.start, level: h.startLvl}
+			hintsOut[ws.sorted[j].pos] = expandHint{start: h.start, level: h.startLvl}
 		}
 		c.Work(int64(m.cfg.HLow + 2))
-		if h.direct && !withPreds {
-			w.results[j] = h.result
-			w.done[j] = true
+		if h.direct && !sr.withPreds {
+			ws.results[j] = h.result
+			ws.done[j] = true
 			continue
 		}
-		if withPreds && !h.start.IsNil() {
-			borrowPreds(j, jl, h.startLvl, insertHeights[sorted[j].pos])
+		if sr.withPreds && !h.start.IsNil() {
+			sr.borrowPreds(j, jl, h.startLvl, insertHeights[ws.sorted[j].pos])
 		}
-		sends = append(sends, m.startSend(newTask(j, false, false), h.start, h.startLvl))
+		sends = append(sends, m.startSend(sr.newTask(j, false, false), h.start, h.startLvl))
 	}
-	m.runWave(c, w, sends)
-	if a := m.maxAccessThisPhase(); a > maxAcc {
-		maxAcc = a
+	ws.sends = sends
+	m.runWave(c, sends)
+	if sr.withPreds {
+		ws.groupPreds(B)
+	}
+	if a := m.maxAccessThisPhase(); a > sr.maxAcc {
+		sr.maxAcc = a
 	}
 
-	unsortResults(c, w, sorted, results)
-	return results, phases, maxAcc, remapPreds(w, sorted)
+	m.unsortResults(c)
+	return ws.outRes, sr.phases, sr.maxAcc
 }
 
 // sortItem pairs a key with its input position for batch sorting.
@@ -572,25 +627,17 @@ type sortItem[K cmp.Ordered] struct {
 	pos int32
 }
 
-// unsortResults maps wave results (sorted order) back to input order.
-func unsortResults[K cmp.Ordered, V any](c *cpu.Ctx, w *waveState[K, V], sorted []sortItem[K], results []resultMsg[K, V]) {
-	c.WorkFlat(int64(len(sorted)))
-	for j := range sorted {
-		r := w.results[j]
-		r.id = sorted[j].pos
-		results[sorted[j].pos] = r
+// unsortResults maps wave results (sorted order) back to input order in
+// ws.outRes, and fills ws.idOf (input pos → sorted id) so predsOfPos can
+// translate. The idOf fill is bookkeeping the old remapPreds map rebuild
+// did implicitly — uncharged then and now.
+func (m *Map[K, V]) unsortResults(c *cpu.Ctx) {
+	ws := m.ws
+	c.WorkFlat(int64(len(ws.sorted)))
+	for j := range ws.sorted {
+		r := ws.results[j]
+		r.id = ws.sorted[j].pos
+		ws.outRes[ws.sorted[j].pos] = r
+		ws.idOf[ws.sorted[j].pos] = int32(j)
 	}
-}
-
-// remapPreds rekeys per-op predecessor records from sorted ids to input
-// positions.
-func remapPreds[K cmp.Ordered, V any](w *waveState[K, V], sorted []sortItem[K]) map[int32][]predMsg[K] {
-	if w.preds == nil {
-		return nil
-	}
-	out := make(map[int32][]predMsg[K], len(w.preds))
-	for j, recs := range w.preds {
-		out[sorted[j].pos] = recs
-	}
-	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimgo/internal/cpu"
+	"pimgo/internal/pim"
 )
 
 // BatchStats reports the PIM-model cost metrics of one batch operation —
@@ -92,14 +93,23 @@ func (s BatchStats) String() string {
 		s.Batch, s.IOTime, s.PIMTime, s.Rounds, s.TotalMsgs, s.CPUWork, s.CPUDepth, s.CPUMem, s.Phases, s.MaxNodeAccess)
 }
 
-// beginBatch resets machine metrics and instrumentation and returns a fresh
-// CPU tracker for the batch.
+// beginBatch resets machine metrics, instrumentation, and the per-Map batch
+// workspace, returning the workspace's persistent CPU tracker. Resetting
+// (rather than allocating) the tracker and recycling the task arenas is
+// metering-neutral: all accounting is analytic and independent of where the
+// scratch memory came from.
 func (m *Map[K, V]) beginBatch() (*cpu.Tracker, *cpu.Ctx) {
 	m.mach.ResetMetrics()
 	m.resetMaxAccess()
 	m.resetAccessPhase()
-	tr := cpu.NewTracker()
-	return tr, tr.Root()
+	ws := m.ws
+	for id := 0; id < m.cfg.P; id++ {
+		m.mach.Mod(pim.ModuleID(id)).State.scratch.reset()
+	}
+	ws.resetArenas()
+	ws.tr.Reset()
+	ws.tr.RootInto(&ws.root)
+	return ws.tr, &ws.root
 }
 
 // endBatch assembles BatchStats after a batch completes.

@@ -193,6 +193,7 @@ type upsertProbeTask[K cmp.Ordered, V any] struct {
 	id  int32
 	key K
 	val V
+	out getMsg[V]
 }
 
 func (t *upsertProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
@@ -204,7 +205,8 @@ func (t *upsertProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 		st.lower.At(addr).val = t.val
 		c.Charge(1)
 	}
-	c.Reply(getMsg[V]{id: t.id, found: ok})
+	t.out = getMsg[V]{id: t.id, found: ok}
+	c.Reply(&t.out)
 }
 
 // --- the batched Upsert ---
@@ -214,39 +216,51 @@ func (t *upsertProbeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 // last occurrence. It returns, per input position, whether the key was
 // newly inserted.
 func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, BatchStats) {
+	return m.UpsertInto(keys, vals, nil)
+}
+
+// UpsertInto is Upsert writing results into dst (reused when it has
+// capacity). The all-present (pure update) steady state allocates nothing.
+func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchStats) {
 	if len(keys) != len(vals) {
 		panic("core: Upsert keys/vals length mismatch")
 	}
 	tr, c := m.beginBatch()
 	B := len(keys)
-	inserted := make([]bool, B)
+	inserted := sliceInto(dst, B)
 	if B == 0 {
 		return inserted, m.endBatch(tr, c, 0, 0, 0)
 	}
 	c.Tracker().Alloc(int64(3 * B))
 	defer c.Tracker().Free(int64(3 * B))
+	ws := m.ws
 
 	// Deduplicate (last value wins).
 	uniq, slot := m.dedup(c, keys)
-	chosen := make([]V, len(uniq))
+	ws.chosen = grow(ws.chosen, len(uniq))
+	chosen := ws.chosen
 	c.WorkFlat(int64(B))
 	for i := range keys {
 		chosen[slot[i]] = vals[i]
 	}
 
 	// Stage 0: try Update; collect misses.
-	found := make([]bool, len(uniq))
-	sends := make([]pim.Send[*modState[K, V]], len(uniq))
+	ws.found = grow(ws.found, len(uniq))
+	found := ws.found
+	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
 	for i, k := range uniq {
+		t := ws.probeTasks.take()
+		t.id, t.key, t.val = int32(i), k, chosen[i]
 		sends[i] = pim.Send[*modState[K, V]]{
 			To:   m.moduleFor(m.hashKey(k), 0),
-			Task: &upsertProbeTask[K, V]{id: int32(i), key: k, val: chosen[i]},
+			Task: t,
 		}
 	}
-	m.drainInto(c, sends, func(v getMsg[V]) { found[v.id] = v.found })
+	ws.sends = sends
+	m.drainInto(c, sends, ws.onFound)
 
-	missIdx := parutil.Pack(c, seqInts(len(uniq)), func(i int) bool { return !found[i] })
+	missIdx := parutil.PackWS(c, ws.par, ws.seqIntsWS(len(uniq)), ws.keepMiss)
 	nm := len(missIdx)
 	if nm == 0 {
 		return m.scatterInserted(c, tr, inserted, slot, found, B)
@@ -325,7 +339,7 @@ func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, BatchStats) {
 				t.setChain = true
 				t.chain = append([]pim.Ptr(nil), tw[1:]...)
 			}
-			sends = append(sends, m.sendToOwner(tw[l], t, 1)...)
+			sends = m.appendOwner(sends, tw[l], t, 1)
 		}
 	}
 	c.WorkFlat(int64(len(sends)))
@@ -333,12 +347,12 @@ func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, BatchStats) {
 
 	// Stage 2: batched strict-predecessor search recording (pred, succ) at
 	// every level of each new tower (§4.3 step 6 batched).
-	_, phases, maxAcc, preds := m.searchCore(c, missKeys, modeInsert, heights, nil)
+	_, phases, maxAcc := m.searchCore(c, missKeys, modeInsert, heights, nil)
 
 	// Stage 3: Algorithm 1 — construct the horizontal pointers.
 	sends = sends[:0]
 	missOrder := seqInts(nm)
-	parutil.Sort(c, missOrder, func(a, b int) bool { return missKeys[a] < missKeys[b] })
+	parutil.SortWS(c, ws.par, missOrder, func(a, b int) bool { return missKeys[a] < missKeys[b] })
 	type entry struct {
 		cur  pim.Ptr
 		key  K
@@ -356,7 +370,7 @@ func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, BatchStats) {
 			}
 			var pm predMsg[K]
 			ok := false
-			for _, r := range preds[int32(j)] {
+			for _, r := range ws.predsOfPos(j) {
 				if int(r.level) == l {
 					pm, ok = r, true
 					break
@@ -373,18 +387,18 @@ func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, BatchStats) {
 			e := A[j]
 			if j == len(A)-1 || e.succ != A[j+1].succ {
 				// Right end of a segment.
-				sends = append(sends, m.sendToOwner(e.cur, &writeRightTask[K, V]{target: e.cur, right: e.succ, rightKey: e.sKey}, 2)...)
+				sends = m.appendOwner(sends, e.cur, &writeRightTask[K, V]{target: e.cur, right: e.succ, rightKey: e.sKey}, 2)
 				if !e.succ.IsNil() {
-					sends = append(sends, m.sendToOwner(e.succ, &writeLeftTask[K, V]{target: e.succ, left: e.cur}, 1)...)
+					sends = m.appendOwner(sends, e.succ, &writeLeftTask[K, V]{target: e.succ, left: e.cur}, 1)
 				}
 			} else {
-				sends = append(sends, m.sendToOwner(e.cur, &writeRightTask[K, V]{target: e.cur, right: A[j+1].cur, rightKey: A[j+1].key}, 2)...)
-				sends = append(sends, m.sendToOwner(A[j+1].cur, &writeLeftTask[K, V]{target: A[j+1].cur, left: e.cur}, 1)...)
+				sends = m.appendOwner(sends, e.cur, &writeRightTask[K, V]{target: e.cur, right: A[j+1].cur, rightKey: A[j+1].key}, 2)
+				sends = m.appendOwner(sends, A[j+1].cur, &writeLeftTask[K, V]{target: A[j+1].cur, left: e.cur}, 1)
 			}
 			if j == 0 || e.pred != A[j-1].pred {
 				// Left end of a segment.
-				sends = append(sends, m.sendToOwner(e.pred, &writeRightTask[K, V]{target: e.pred, right: e.cur, rightKey: e.key}, 2)...)
-				sends = append(sends, m.sendToOwner(e.cur, &writeLeftTask[K, V]{target: e.cur, left: e.pred}, 1)...)
+				sends = m.appendOwner(sends, e.pred, &writeRightTask[K, V]{target: e.pred, right: e.cur, rightKey: e.key}, 2)
+				sends = m.appendOwner(sends, e.cur, &writeLeftTask[K, V]{target: e.cur, left: e.pred}, 1)
 			}
 		}
 	}
@@ -413,15 +427,16 @@ func (m *Map[K, V]) scatterInserted(c *cpu.Ctx, tr *cpu.Tracker, inserted []bool
 	return inserted, m.endBatch(tr, c, B, phases, maxAcc)
 }
 
-// sendToOwner wraps a task for the module owning ptr: a single send for a
-// lower pointer, a broadcast for a replicated upper pointer.
-func (m *Map[K, V]) sendToOwner(ptr pim.Ptr, t pim.Task[*modState[K, V]], words int64) []pim.Send[*modState[K, V]] {
+// appendOwner appends the sends addressing the module(s) owning ptr: a
+// single send for a lower pointer, a broadcast for a replicated upper
+// pointer. Broadcast returns machine-owned scratch valid until the next
+// Broadcast; appending copies it out immediately, which is exactly the
+// Broadcast scratch contract.
+func (m *Map[K, V]) appendOwner(sends []pim.Send[*modState[K, V]], ptr pim.Ptr, t pim.Task[*modState[K, V]], words int64) []pim.Send[*modState[K, V]] {
 	if ptr.IsUpper() {
-		// Machine-owned scratch: every caller copies the result with append
-		// immediately, which is exactly the Broadcast scratch contract.
-		return m.mach.Broadcast(t, words)
+		return append(sends, m.mach.Broadcast(t, words)...)
 	}
-	return []pim.Send[*modState[K, V]]{{To: ptr.ModuleOf(), Task: t, Words: words}}
+	return append(sends, pim.Send[*modState[K, V]]{To: ptr.ModuleOf(), Task: t, Words: words})
 }
 
 // drive runs rounds until quiet, discarding replies (pointer-write rounds).

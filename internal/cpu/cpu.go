@@ -32,7 +32,8 @@ import (
 )
 
 // Tracker accumulates the CPU-side metrics of one computation (typically one
-// batch operation). Create one per measured computation with NewTracker.
+// batch operation). Create one per measured computation with NewTracker, or
+// reuse a long-lived one across computations with Reset.
 type Tracker struct {
 	work    atomic.Int64
 	depth   atomic.Int64 // final depth, set by Finish
@@ -42,6 +43,13 @@ type Tracker struct {
 	// limit bounds the parallelism of Parallel/Fork2 constructs (how many
 	// chunks a construct is split into). 0 means GOMAXPROCS.
 	limit int
+
+	// calls caches parCall headers (with their completion channels) so
+	// steady-state Parallel constructs allocate nothing. Guarded by callMu:
+	// a lock-free Treiber stack would suffer ABA on immediate node reuse,
+	// and an uncontended mutex is cheap next to a fork/join.
+	callMu sync.Mutex
+	calls  []*parCall
 }
 
 // parPool is the process-wide pool of persistent workers that execute
@@ -66,8 +74,9 @@ func parPoolStart() {
 	parPool.chunks = make(chan parChunk, 4*n)
 	for i := 0; i < n; i++ {
 		go func() {
+			child := new(Ctx) // one strand scratch per worker, for life
 			for ch := range parPool.chunks {
-				ch.call.run(ch.lo, ch.hi)
+				ch.call.run(ch.lo, ch.hi, child)
 			}
 		}()
 	}
@@ -79,25 +88,59 @@ type parChunk struct {
 	call   *parCall
 }
 
-// parCall is the shared header of one Parallel call: the function, the
+// parCall is the shared header of one Parallel call: the body, the
 // tracker to charge, the running max of child-strand depths (max commutes,
 // so concurrent chunk completion order cannot affect accounting), and the
-// completion barrier (pending chunk count + close-on-zero channel).
+// completion barrier. Completion is token-counted: every chunk sends one
+// token on done as its final action, and the caller receives exactly one
+// token per chunk — after which the channel is provably empty, so the
+// header (and its channel) can be cached on the tracker and reused by the
+// next Parallel call without any allocation.
 type parCall struct {
-	f       func(i int, c *Ctx)
-	t       *Tracker
-	maxd    atomic.Int64
-	pending atomic.Int64
-	done    chan struct{} // closed by the chunk that drops pending to 0
+	body Body
+	t    *Tracker
+	maxd atomic.Int64
+	done chan struct{} // buffered to the tracker limit; one token per chunk
 }
 
-// run executes indices [lo, hi), each on a fresh strand, and folds the
-// chunk's deepest strand into the call-wide max.
-func (pc *parCall) run(lo, hi int) {
+// getCall pops a cached call header or makes a fresh one. The done channel
+// capacity equals the tracker's parallelism limit: a construct never splits
+// into more chunks than that, so token sends can never block.
+func (t *Tracker) getCall() *parCall {
+	t.callMu.Lock()
+	if n := len(t.calls); n > 0 {
+		pc := t.calls[n-1]
+		t.calls = t.calls[:n-1]
+		t.callMu.Unlock()
+		return pc
+	}
+	t.callMu.Unlock()
+	return &parCall{t: t, done: make(chan struct{}, t.limit)}
+}
+
+// putCall returns a quiesced call header to the cache. Safe only after
+// wait consumed every token, which guarantees the channel is empty.
+func (t *Tracker) putCall(pc *parCall) {
+	pc.body = nil
+	t.callMu.Lock()
+	t.calls = append(t.calls, pc)
+	t.callMu.Unlock()
+}
+
+// run executes indices [lo, hi), each on a fresh strand, folds the chunk's
+// deepest strand into the call-wide max, and sends its completion token.
+//
+// child is caller-provided scratch for the strand contexts: a Ctx literal
+// here would escape through the Body interface call and allocate per index,
+// so pool workers own one long-lived Ctx each and ParallelBody lends its own
+// receiver. run fully re-initializes child (tracker and depth) before every
+// use and leaves no state behind that the lender needs.
+func (pc *parCall) run(lo, hi int, child *Ctx) {
+	child.t = pc.t
 	var maxd int64
 	for i := lo; i < hi; i++ {
-		child := Ctx{t: pc.t}
-		pc.f(i, &child)
+		child.depth = 0
+		pc.body.Run(i, child)
 		if child.depth > maxd {
 			maxd = child.depth
 		}
@@ -108,23 +151,25 @@ func (pc *parCall) run(lo, hi int) {
 			break
 		}
 	}
-	if pc.pending.Add(-1) == 0 {
-		close(pc.done)
-	}
+	pc.done <- struct{}{}
 }
 
-// wait blocks until every chunk of the call has run. Crucially it *helps*
-// while waiting: queued chunks — of any call — are drained and executed by
-// the waiter. Without helping, a nested Parallel running *on* a pool worker
-// could queue chunks and then wait for them while every worker is itself
-// waiting, a classic fork-join deadlock; with helping, some waiter always
-// makes progress, so the scheme cannot deadlock at any nesting depth.
-func (pc *parCall) wait() {
-	for pc.pending.Load() > 0 {
+// wait blocks until every one of the call's tokens chunks have arrived.
+// Crucially it *helps* while waiting: queued chunks — of any call — are
+// drained and executed by the waiter. Without helping, a nested Parallel
+// running *on* a pool worker could queue chunks and then wait for them
+// while every worker is itself waiting, a classic fork-join deadlock; with
+// helping, some waiter always makes progress, so the scheme cannot
+// deadlock at any nesting depth. The channel receive of each token also
+// publishes the sender's maxd fold (happens-before). scratch is the
+// waiter's reusable strand context for helped chunks (see run).
+func (pc *parCall) wait(tokens int, scratch *Ctx) {
+	for got := 0; got < tokens; {
 		select {
 		case ch := <-parPool.chunks:
-			ch.call.run(ch.lo, ch.hi)
+			ch.call.run(ch.lo, ch.hi, scratch)
 		case <-pc.done:
+			got++
 		}
 	}
 }
@@ -148,6 +193,24 @@ func NewTrackerN(limit int) *Tracker {
 // Root returns the root strand context of the computation.
 func (t *Tracker) Root() *Ctx {
 	return &Ctx{t: t}
+}
+
+// RootInto re-initializes c as the root strand of this tracker — the
+// allocation-free form of Root for callers that keep the Ctx in reusable
+// storage.
+func (t *Tracker) RootInto(c *Ctx) {
+	*c = Ctx{t: t}
+}
+
+// Reset clears all counters so the tracker can meter a new computation.
+// The parallelism limit (fixed at construction) and the cached parallel
+// call headers are retained — resetting is what makes a long-lived tracker
+// allocation-free across batches.
+func (t *Tracker) Reset() {
+	t.work.Store(0)
+	t.depth.Store(0)
+	t.mem.Store(0)
+	t.peakMem.Store(0)
 }
 
 // Work returns the total CPU work charged so far.
@@ -224,10 +287,30 @@ func logCeil(n int) int64 {
 	return int64(bits.Len(uint(n - 1)))
 }
 
+// Body is a reusable Parallel payload. Hot paths keep a Body-implementing
+// struct in long-lived scratch and pass a pointer to it: boxing a pointer
+// in an interface does not allocate, whereas every closure literal does.
+type Body interface {
+	Run(i int, c *Ctx)
+}
+
+// funcBody adapts a plain function to Body. Func values are pointer-shaped,
+// so the interface conversion in Parallel does not allocate either (the
+// closure itself, if any, is the caller's).
+type funcBody func(i int, c *Ctx)
+
+func (f funcBody) Run(i int, c *Ctx) { f(i, c) }
+
 // Parallel runs f(i) for i in [0, n) in parallel. Depth accounting follows
 // the binary-forking model: the construct costs ceil(log2 n) to fork and
 // join, plus the maximum depth of any child strand. Children receive fresh
 // Ctx values and must charge work through them.
+func (c *Ctx) Parallel(n int, f func(i int, c *Ctx)) {
+	c.ParallelBody(n, funcBody(f))
+}
+
+// ParallelBody is Parallel with a reusable Body instead of a function —
+// the allocation-free form for steady-state batch paths.
 //
 // Execution: the index space is block-split into at most the tracker's
 // limit of chunks; all but the first are handed to the process-wide pool of
@@ -235,14 +318,19 @@ func logCeil(n int) int64 {
 // runs the rest. A chunk the pool cannot take immediately runs inline on
 // the caller, so accounting — which is analytic — is identical no matter
 // how chunks were scheduled.
-func (c *Ctx) Parallel(n int, f func(i int, c *Ctx)) {
+func (c *Ctx) ParallelBody(n int, body Body) {
 	if n <= 0 {
 		return
 	}
+	// Sequential fast paths lend c itself as the child strand: a fresh Ctx
+	// literal would escape through the interface call and allocate per
+	// index. Saving and restoring (t, depth) makes the lending reentrant —
+	// a nested ParallelBody inside body.Run lends the same Ctx again.
 	if n == 1 {
-		child := Ctx{t: c.t}
-		f(0, &child)
-		c.depth += child.depth
+		saved := c.depth
+		c.depth = 0
+		body.Run(0, c)
+		c.depth += saved
 		return
 	}
 	workers := c.t.limit
@@ -250,37 +338,46 @@ func (c *Ctx) Parallel(n int, f func(i int, c *Ctx)) {
 		workers = n
 	}
 	if workers <= 1 {
+		saved := c.depth
 		var maxd int64
 		for i := 0; i < n; i++ {
-			child := Ctx{t: c.t}
-			f(i, &child)
-			if child.depth > maxd {
-				maxd = child.depth
+			c.depth = 0
+			body.Run(i, c)
+			if c.depth > maxd {
+				maxd = c.depth
 			}
 		}
-		c.depth += logCeil(n) + maxd
+		c.depth = saved + logCeil(n) + maxd
 		return
 	}
 	parPool.once.Do(parPoolStart)
-	call := parCall{f: f, t: c.t, done: make(chan struct{})}
-	call.pending.Store(int64(workers))
+	call := c.t.getCall()
+	call.body = body
+	call.maxd.Store(0)
 	// Offer the tail chunks to the pool first, then work chunk 0 on this
 	// goroutine — by the time the caller finishes its own share, parked
 	// workers have typically drained the rest. If the pool is saturated the
 	// chunk runs inline instead: accounting is analytic, so scheduling
 	// cannot change any measured quantity.
+	//
+	// The caller-side chunks (inline fallbacks, chunk 0, and helped chunks
+	// inside wait) borrow c as their strand scratch; run/wait clobber its
+	// tracker and depth, both restored before the join accounting below.
+	savedT, savedDepth := c.t, c.depth
 	for w := workers - 1; w >= 1; w-- {
 		lo := w * n / workers
 		hi := (w + 1) * n / workers
 		select {
-		case parPool.chunks <- parChunk{lo: lo, hi: hi, call: &call}:
+		case parPool.chunks <- parChunk{lo: lo, hi: hi, call: call}:
 		default:
-			call.run(lo, hi)
+			call.run(lo, hi, c)
 		}
 	}
-	call.run(0, 1*n/workers)
-	call.wait()
+	call.run(0, 1*n/workers, c)
+	call.wait(workers, c)
+	c.t, c.depth = savedT, savedDepth
 	c.depth += logCeil(n) + call.maxd.Load()
+	c.t.putCall(call)
 }
 
 // Fork2 runs f and g as two parallel strands (a single binary fork):

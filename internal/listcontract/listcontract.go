@@ -27,14 +27,90 @@ package listcontract
 
 import (
 	"pimgo/internal/cpu"
+	"pimgo/internal/parutil"
 	"pimgo/internal/rng"
 )
+
+// Role keys for the scratch SpliceWS draws from a parutil.Workspace.
+type (
+	rolePrio    struct{}
+	roleLive    struct{}
+	roleWinners struct{}
+	roleBodies  struct{}
+)
+
+// spliceBodies holds the two fork–join bodies of one contraction round,
+// kept in the workspace so repeated rounds (and repeated Splice calls)
+// allocate nothing.
+type spliceBodies struct {
+	sel spliceSelBody
+	do  spliceDoBody
+}
+
+// spliceSelBody selects the round's winners: live marked nodes that are
+// local priority maxima among their live marked neighbours.
+type spliceSelBody struct {
+	live        []int32
+	left, right []int32
+	marked      []bool
+	prio        []uint64
+	winners     []bool
+}
+
+// beats reports whether node a outranks node b (ties by index).
+func (p *spliceSelBody) beats(a, b int32) bool {
+	if p.prio[a] != p.prio[b] {
+		return p.prio[a] > p.prio[b]
+	}
+	return a > b
+}
+
+func (p *spliceSelBody) Run(k int, cc *cpu.Ctx) {
+	cc.Work(1)
+	i := p.live[k]
+	if l := p.left[i]; l >= 0 && p.marked[l] && p.beats(l, i) {
+		return
+	}
+	if rt := p.right[i]; rt >= 0 && p.marked[rt] && p.beats(rt, i) {
+		return
+	}
+	p.winners[k] = true
+}
+
+// spliceDoBody splices the winners out.
+type spliceDoBody struct {
+	live        []int32
+	left, right []int32
+	winners     []bool
+}
+
+func (p *spliceDoBody) Run(k int, cc *cpu.Ctx) {
+	if !p.winners[k] {
+		return
+	}
+	cc.Work(1)
+	i := p.live[k]
+	l, rt := p.left[i], p.right[i]
+	if l >= 0 {
+		p.right[l] = rt
+	}
+	if rt >= 0 {
+		p.left[rt] = l
+	}
+}
 
 // Splice removes marked nodes via random-priority list contraction.
 // left, right, and marked must have equal length. Marked nodes' final
 // pointers are unspecified; unmarked nodes end up linked to their nearest
 // unmarked neighbours.
 func Splice(c *cpu.Ctx, left, right []int32, marked []bool, seed uint64) {
+	SpliceWS(c, nil, left, right, marked, seed)
+}
+
+// SpliceWS is Splice drawing its priority, live-set, winner and fork–join
+// body scratch from ws (nil ws allocates per call). Charged work and depth
+// are identical to Splice.
+func SpliceWS(c *cpu.Ctx, ws *parutil.Workspace, left, right []int32, marked []bool, seed uint64) {
 	n := len(left)
 	if n != len(right) || n != len(marked) {
 		panic("listcontract: slice length mismatch")
@@ -42,15 +118,15 @@ func Splice(c *cpu.Ctx, left, right []int32, marked []bool, seed uint64) {
 	if n == 0 {
 		return
 	}
-	r := rng.NewXoshiro256(seed)
-	prio := make([]uint64, n)
+	r := rng.SeededXoshiro256(seed)
+	prio := parutil.WsSlice[uint64](ws, (*rolePrio)(nil), n)
 	for i := range prio {
 		prio[i] = r.Uint64()
 	}
 	c.Work(int64(n))
 
 	// live holds the still-marked, still-linked node indices.
-	live := make([]int32, 0, n)
+	live := parutil.WsSlice[int32](ws, (*roleLive)(nil), n)[:0]
 	for i := 0; i < n; i++ {
 		if marked[i] {
 			live = append(live, int32(i))
@@ -58,45 +134,18 @@ func Splice(c *cpu.Ctx, left, right []int32, marked []bool, seed uint64) {
 	}
 	c.Work(int64(n))
 
-	// beats reports whether node a outranks node b (ties by index).
-	beats := func(a, b int32) bool {
-		if prio[a] != prio[b] {
-			return prio[a] > prio[b]
-		}
-		return a > b
-	}
-
+	sb := parutil.WsPtr[spliceBodies](ws, (*roleBodies)(nil))
 	for len(live) > 0 {
 		// Select local maxima among live marked nodes: a marked node
 		// splices out this round iff neither its marked left nor marked
 		// right neighbour outranks it. Spliced nodes' neighbours are not
 		// spliced in the same round, so all splices are independent.
-		winners := make([]bool, len(live))
-		c.Parallel(len(live), func(k int, cc *cpu.Ctx) {
-			cc.Work(1)
-			i := live[k]
-			if l := left[i]; l >= 0 && marked[l] && beats(l, i) {
-				return
-			}
-			if rt := right[i]; rt >= 0 && marked[rt] && beats(rt, i) {
-				return
-			}
-			winners[k] = true
-		})
-		c.Parallel(len(live), func(k int, cc *cpu.Ctx) {
-			if !winners[k] {
-				return
-			}
-			cc.Work(1)
-			i := live[k]
-			l, rt := left[i], right[i]
-			if l >= 0 {
-				right[l] = rt
-			}
-			if rt >= 0 {
-				left[rt] = l
-			}
-		})
+		winners := parutil.WsSlice[bool](ws, (*roleWinners)(nil), len(live))
+		clear(winners)
+		sb.sel = spliceSelBody{live: live, left: left, right: right, marked: marked, prio: prio, winners: winners}
+		c.ParallelBody(len(live), &sb.sel)
+		sb.do = spliceDoBody{live: live, left: left, right: right, winners: winners}
+		c.ParallelBody(len(live), &sb.do)
 		// Compact survivors and un-mark winners (after all splices, so the
 		// winner test above saw a consistent view).
 		next := live[:0]

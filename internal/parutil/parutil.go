@@ -9,22 +9,248 @@
 // depth whp; Scan is O(n) work, O(log n) depth; Semisort/Dedup are O(n)
 // expected work, O(log n) depth whp — matching the bounds the paper's
 // Table 1 analysis assumes.
+//
+// # Workspaces
+//
+// Every primitive exists in two forms: the plain form (Scan, Sort,
+// Semisort, Dedup, Pack), which allocates its scratch per call, and a
+// *WS form threading an explicit Workspace, from which all scratch —
+// counts, bucket ids, offsets, cursors, flags, sample/output arenas and
+// the fork–join body headers — is drawn and reused across calls. The
+// plain forms are thin wrappers that pass a nil Workspace, so the two
+// forms are equivalent by construction; metered work and depth are
+// identical either way, because scratch reuse only changes where bytes
+// live, never what is charged.
+//
+// A Workspace serves one computation at a time: it must not be shared by
+// concurrent callers or aliased across concurrently-operated structures.
+// Slices returned by the WS forms (Dedup's uniq/slot, Semisort's groups,
+// Pack's output) are owned by the Workspace and remain valid only until
+// the next WS call that draws from the same arena.
 package parutil
 
 import (
-	"sort"
-
 	"pimgo/internal/cpu"
 	"pimgo/internal/rng"
 )
 
+// Indexes of the named int64 scratch buffers in a Workspace. Buffers that
+// are live simultaneously inside one primitive get distinct indexes;
+// primitives that never overlap may share.
+const (
+	bufCounts  = iota // sort classify counts / semisort bucket counts
+	bufOffs           // sort bucket-major offsets
+	bufCursor         // semisort scatter cursor
+	bufCursors        // sort per-chunk scatter cursors (chunks×k)
+	bufFlags          // pack flags
+	numI64Bufs
+)
+
+// Indexes of the named int32 scratch buffers.
+const (
+	bufBucketOf  = iota // sort + semisort bucket ids
+	bufSlots            // semisort slot permutation
+	bufDedupSlot        // Dedup's returned slot vector
+	numI32Bufs
+)
+
+// scanMaxDepth bounds the recursion depth of the blocked scan (block size
+// ~sqrt(n) shrinks n doubly exponentially; 32 levels is unreachable).
+const scanMaxDepth = 32
+
+// Workspace is a reusable scratch arena for the *WS primitives. The zero
+// value is ready to use; a nil *Workspace is also valid everywhere and
+// makes every primitive allocate per call (the plain wrappers do exactly
+// that). Capacity is retained across calls, so steady-state reuse with
+// same-or-smaller sizes allocates nothing.
+type Workspace struct {
+	i64s [numI64Bufs][]int64
+	i32s [numI32Bufs][]int32
+	u64s [1][]uint64
+	bls  [1][]bool
+	scan [scanMaxDepth][]int64
+
+	groups []Group
+	flat   []int // backing store for Group.All subslices
+
+	rng rng.Xoshiro256 // sort's splitter/seed source, reseeded per Sort
+
+	// slots holds type-dependent scratch (element buffers and fork–join
+	// body headers), keyed by typed-nil role pointers — see WsSlice/WsPtr.
+	slots map[any]any
+}
+
+// NewWorkspace returns an empty Workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// i64 returns the length-n int64 scratch buffer idx, reusing capacity.
+// Contents are unspecified; callers that need zeros must clear.
+func (ws *Workspace) i64(idx, n int) []int64 {
+	if ws == nil {
+		return make([]int64, n)
+	}
+	b := ws.i64s[idx]
+	if cap(b) < n {
+		b = make([]int64, n)
+	}
+	b = b[:n]
+	ws.i64s[idx] = b
+	return b
+}
+
+// i32 is i64 for int32 buffers.
+func (ws *Workspace) i32(idx, n int) []int32 {
+	if ws == nil {
+		return make([]int32, n)
+	}
+	b := ws.i32s[idx]
+	if cap(b) < n {
+		b = make([]int32, n)
+	}
+	b = b[:n]
+	ws.i32s[idx] = b
+	return b
+}
+
+// u64 is i64 for uint64 buffers.
+func (ws *Workspace) u64(idx, n int) []uint64 {
+	if ws == nil {
+		return make([]uint64, n)
+	}
+	b := ws.u64s[idx]
+	if cap(b) < n {
+		b = make([]uint64, n)
+	}
+	b = b[:n]
+	ws.u64s[idx] = b
+	return b
+}
+
+// bools is i64 for bool buffers.
+func (ws *Workspace) bools(idx, n int) []bool {
+	if ws == nil {
+		return make([]bool, n)
+	}
+	b := ws.bls[idx]
+	if cap(b) < n {
+		b = make([]bool, n)
+	}
+	b = b[:n]
+	ws.bls[idx] = b
+	return b
+}
+
+// scanBuf returns the block-sums buffer for one scan recursion level.
+func (ws *Workspace) scanBuf(depth, n int) []int64 {
+	if ws == nil {
+		return make([]int64, n)
+	}
+	b := ws.scan[depth]
+	if cap(b) < n {
+		b = make([]int64, n)
+	}
+	b = b[:n]
+	ws.scan[depth] = b
+	return b
+}
+
+// WsSlice returns a length-n scratch slice of element type T tied to key,
+// reusing capacity across calls. Keys are conventionally typed-nil
+// pointers to empty role structs — e.g. (*myRole[T])(nil) — which box into
+// an interface without allocating and are unique per (role, T). Contents
+// are unspecified on reuse; a nil ws yields a fresh zeroed slice.
+func WsSlice[T any](ws *Workspace, key any, n int) []T {
+	if ws != nil {
+		if v, ok := ws.slots[key]; ok {
+			if s := v.([]T); cap(s) >= n {
+				return s[:n]
+			}
+		}
+	}
+	s := make([]T, n)
+	if ws != nil {
+		if ws.slots == nil {
+			ws.slots = make(map[any]any)
+		}
+		ws.slots[key] = s
+	}
+	return s
+}
+
+// WsPtr returns the singleton *T tied to key (allocated on first use) —
+// used to keep cpu.Body headers alive across calls so ParallelBody never
+// boxes a fresh value. A nil ws yields a fresh *T.
+func WsPtr[T any](ws *Workspace, key any) *T {
+	if ws != nil {
+		if v, ok := ws.slots[key]; ok {
+			return v.(*T)
+		}
+	}
+	p := new(T)
+	if ws != nil {
+		if ws.slots == nil {
+			ws.slots = make(map[any]any)
+		}
+		ws.slots[key] = p
+	}
+	return p
+}
+
 // scanBase is the block size below which Scan runs sequentially.
 const scanBase = 256
+
+// scanBodies holds the two fork–join bodies of one scan level. One header
+// serves every recursion level: fields are (re)assigned immediately
+// before each synchronous ParallelBody call.
+type scanBodies struct {
+	sum   scanSumBody
+	apply scanApplyBody
+}
+
+type scanSumBody struct {
+	data, sums []int64
+	b, n       int
+}
+
+func (p *scanSumBody) Run(i int, cc *cpu.Ctx) {
+	lo, hi := i*p.b, min((i+1)*p.b, p.n)
+	cc.Work(int64(hi - lo))
+	var s int64
+	for j := lo; j < hi; j++ {
+		s += p.data[j]
+	}
+	p.sums[i] = s
+}
+
+type scanApplyBody struct {
+	data, sums []int64
+	b, n       int
+}
+
+func (p *scanApplyBody) Run(i int, cc *cpu.Ctx) {
+	lo, hi := i*p.b, min((i+1)*p.b, p.n)
+	cc.Work(int64(hi - lo))
+	run := p.sums[i]
+	for j := lo; j < hi; j++ {
+		v := p.data[j]
+		p.data[j] = run
+		run += v
+	}
+}
 
 // Scan converts data to its exclusive prefix sum in place and returns the
 // total. Work O(n), depth O(log n): a recursive blocked three-phase scan
 // (block sums → recursive scan of sums → local offsets).
 func Scan(c *cpu.Ctx, data []int64) int64 {
+	return ScanWS(c, nil, data)
+}
+
+// ScanWS is Scan drawing its block-sum scratch from ws.
+func ScanWS(c *cpu.Ctx, ws *Workspace, data []int64) int64 {
+	return scanRec(c, ws, data, 0)
+}
+
+func scanRec(c *cpu.Ctx, ws *Workspace, data []int64, depth int) int64 {
 	n := len(data)
 	if n == 0 {
 		return 0
@@ -46,47 +272,213 @@ func Scan(c *cpu.Ctx, data []int64) int64 {
 		b *= 2
 	}
 	nb := (n + b - 1) / b
-	sums := make([]int64, nb)
-	c.Parallel(nb, func(i int, cc *cpu.Ctx) {
-		lo, hi := i*b, min((i+1)*b, n)
-		cc.Work(int64(hi - lo))
-		var s int64
-		for j := lo; j < hi; j++ {
-			s += data[j]
-		}
-		sums[i] = s
-	})
-	total := Scan(c, sums)
-	c.Parallel(nb, func(i int, cc *cpu.Ctx) {
-		lo, hi := i*b, min((i+1)*b, n)
-		cc.Work(int64(hi - lo))
-		run := sums[i]
-		for j := lo; j < hi; j++ {
-			v := data[j]
-			data[j] = run
-			run += v
-		}
-	})
+	sums := ws.scanBuf(depth, nb)
+	sb := WsPtr[scanBodies](ws, (*scanBodies)(nil))
+	sb.sum = scanSumBody{data: data, sums: sums, b: b, n: n}
+	c.ParallelBody(nb, &sb.sum)
+	total := scanRec(c, ws, sums, depth+1)
+	sb.apply = scanApplyBody{data: data, sums: sums, b: b, n: n}
+	c.ParallelBody(nb, &sb.apply)
 	return total
 }
 
-// sortBase is the size below which Sort falls back to the standard library.
+// sortBase is the size below which Sort runs a sequential in-place sort.
 const sortBase = 512
+
+// seqSort is an in-place, allocation-free sequential sort (median-of-three
+// quicksort with insertion sort below 16). The standard library's
+// sort.Slice allocates an interface header per call, which would defeat
+// the zero-allocation batch path; determinism only requires a fixed
+// comparison-driven order, which this provides.
+func seqSort[T any](data []T, less func(a, b T) bool) {
+	n := len(data)
+	if n < 2 {
+		return
+	}
+	if n <= 16 {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && less(data[j], data[j-1]); j-- {
+				data[j], data[j-1] = data[j-1], data[j]
+			}
+		}
+		return
+	}
+	// Median of three as pivot; the outer swaps also place sentinels.
+	mid := n / 2
+	if less(data[mid], data[0]) {
+		data[mid], data[0] = data[0], data[mid]
+	}
+	if less(data[n-1], data[0]) {
+		data[n-1], data[0] = data[0], data[n-1]
+	}
+	if less(data[n-1], data[mid]) {
+		data[n-1], data[mid] = data[mid], data[n-1]
+	}
+	pivot := data[mid]
+	i, j := -1, n
+	for {
+		for i++; less(data[i], pivot); i++ {
+		}
+		for j--; less(pivot, data[j]); j-- {
+		}
+		if i >= j {
+			break
+		}
+		data[i], data[j] = data[j], data[i]
+	}
+	seqSort(data[:j+1], less)
+	seqSort(data[j+1:], less)
+}
+
+// Role keys for the type-dependent sort scratch.
+type (
+	roleSortSample[T any] struct{}
+	roleSortSplit[T any]  struct{}
+	roleSortOut[T any]    struct{}
+	rolePackOut[T any]    struct{}
+	rolePackLt[T any]     struct{}
+	rolePackEq[T any]     struct{}
+	rolePackGt[T any]     struct{}
+	roleSemiBody[K any]   struct{}
+	roleDedupUniq[K any]  struct{}
+	roleSortBodies[T any] struct{}
+	rolePackBodies[T any] struct{}
+)
+
+// sortBodies holds every fork–join body of one sample-sort level.
+type sortBodies[T any] struct {
+	classify  classifyBody[T]
+	transpose transposeBody
+	scatter   scatterBody[T]
+	copyback  copybackBody[T]
+	recurse   recurseBody[T]
+}
+
+type classifyBody[T any] struct {
+	data, splitters []T
+	less            func(a, b T) bool
+	counts          []int64
+	bucketOf        []int32
+	k, n            int
+}
+
+func (p *classifyBody[T]) Run(ci int, cc *cpu.Ctx) {
+	chunks := p.k
+	lo, hi := ci*p.n/chunks, (ci+1)*p.n/chunks
+	cc.Work(int64(hi-lo) * int64(logCeil(p.k)))
+	row := p.counts[ci*p.k : (ci+1)*p.k]
+	for j := lo; j < hi; j++ {
+		b := int32(bsearch(p.splitters, p.data[j], p.less))
+		p.bucketOf[j] = b
+		row[b]++
+	}
+}
+
+type transposeBody struct {
+	counts, offs []int64
+	chunks, k    int
+}
+
+func (p *transposeBody) Run(b int, cc *cpu.Ctx) {
+	cc.Work(int64(p.chunks))
+	for ci := 0; ci < p.chunks; ci++ {
+		p.offs[b*p.chunks+ci] = p.counts[ci*p.k+b]
+	}
+}
+
+type scatterBody[T any] struct {
+	data, out []T
+	bucketOf  []int32
+	offs      []int64
+	cursors   []int64 // chunks×k cursor matrix, one row per chunk
+	k, n      int
+}
+
+func (p *scatterBody[T]) Run(ci int, cc *cpu.Ctx) {
+	chunks := p.k
+	lo, hi := ci*p.n/chunks, (ci+1)*p.n/chunks
+	cc.Work(int64(hi - lo))
+	cursor := p.cursors[ci*p.k : (ci+1)*p.k]
+	for b := 0; b < p.k; b++ {
+		cursor[b] = p.offs[b*chunks+ci]
+	}
+	for j := lo; j < hi; j++ {
+		b := p.bucketOf[j]
+		p.out[cursor[b]] = p.data[j]
+		cursor[b]++
+	}
+}
+
+type copybackBody[T any] struct {
+	data, out []T
+	n         int
+}
+
+func (p *copybackBody[T]) Run(ci int, cc *cpu.Ctx) {
+	lo, hi := chunkBounds(ci, p.n)
+	cc.Work(int64(hi - lo))
+	copy(p.data[lo:hi], p.out[lo:hi])
+}
+
+type recurseBody[T any] struct {
+	data   []T
+	offs   []int64
+	seeds  []uint64
+	less   func(a, b T) bool
+	chunks int
+	k, n   int
+}
+
+func (p *recurseBody[T]) Run(b int, cc *cpu.Ctx) {
+	lo := p.offs[b*p.chunks]
+	hi := int64(p.n)
+	if b+1 < p.k {
+		hi = p.offs[(b+1)*p.chunks]
+	}
+	if hi-lo > 1 {
+		bucket := p.data[lo:hi]
+		if len(bucket) <= sortBase {
+			// Inline base case: the child generator would be freshly
+			// seeded and unused, so skipping its creation changes nothing
+			// observable — and keeps the steady state allocation-free.
+			cc.Work(seqSortCost(len(bucket)))
+			seqSort(bucket, p.less)
+		} else {
+			sortRec(cc, nil, bucket, p.less, rng.NewXoshiro256(p.seeds[b]))
+		}
+	}
+}
 
 // Sort sorts data in place with a parallel sample sort: choose ~sqrt(n)
 // splitters from an oversampled random sample, classify elements into
 // buckets in parallel, scatter with a scan, and recurse on buckets in
 // parallel. Expected work O(n log n), depth O(log n) whp.
 func Sort[T any](c *cpu.Ctx, data []T, less func(a, b T) bool) {
-	r := rng.NewXoshiro256(0x5a5a5a5a ^ uint64(len(data)))
-	sortRec(c, data, less, r)
+	SortWS(c, nil, data, less)
 }
 
-func sortRec[T any](c *cpu.Ctx, data []T, less func(a, b T) bool, r *rng.Xoshiro256) {
+// SortWS is Sort drawing the top level's scratch (sample, splitters,
+// counts, bucket ids, offsets, cursors, output arena, fork–join bodies)
+// from ws. Buckets recurse on per-call scratch: recursion sizes shrink
+// geometrically and the top level dominates the allocation volume — and
+// at steady-state batch sizes (≤ a few thousand elements) every bucket
+// falls into the sequential base case, so the whole sort allocates
+// nothing.
+func SortWS[T any](c *cpu.Ctx, ws *Workspace, data []T, less func(a, b T) bool) {
+	seed := 0x5a5a5a5a ^ uint64(len(data))
+	if ws != nil {
+		ws.rng = rng.SeededXoshiro256(seed)
+		sortRec(c, ws, data, less, &ws.rng)
+		return
+	}
+	sortRec(c, nil, data, less, rng.NewXoshiro256(seed))
+}
+
+func sortRec[T any](c *cpu.Ctx, ws *Workspace, data []T, less func(a, b T) bool, r *rng.Xoshiro256) {
 	n := len(data)
 	if n <= sortBase {
 		c.Work(seqSortCost(n))
-		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		seqSort(data, less)
 		return
 	}
 	// Number of buckets: ~sqrt(n), power of two for cheap indexing.
@@ -95,13 +487,13 @@ func sortRec[T any](c *cpu.Ctx, data []T, less func(a, b T) bool, r *rng.Xoshiro
 		k *= 2
 	}
 	over := 8
-	sample := make([]T, k*over)
+	sample := WsSlice[T](ws, (*roleSortSample[T])(nil), k*over)
 	for i := range sample {
 		sample[i] = data[r.Intn(n)]
 	}
 	c.Work(seqSortCost(len(sample)))
-	sort.Slice(sample, func(i, j int) bool { return less(sample[i], sample[j]) })
-	splitters := make([]T, k-1)
+	seqSort(sample, less)
+	splitters := WsSlice[T](ws, (*roleSortSplit[T])(nil), k-1)
 	for i := range splitters {
 		splitters[i] = sample[(i+1)*over]
 	}
@@ -110,81 +502,54 @@ func sortRec[T any](c *cpu.Ctx, data []T, less func(a, b T) bool, r *rng.Xoshiro
 	// Partition three ways around that value instead; the equal part is
 	// done, and the two sides shrink.
 	if !less(splitters[0], splitters[len(splitters)-1]) {
-		threeWay(c, data, splitters[0], less, r)
+		threeWay(c, ws, data, splitters[0], less, r)
 		return
 	}
 
+	sb := WsPtr[sortBodies[T]](ws, (*roleSortBodies[T])(nil))
+
 	// Classify in parallel chunks; per-chunk bucket counts.
 	chunks := k
-	counts := make([]int64, chunks*k)
-	bucketOf := make([]int32, n)
-	c.Parallel(chunks, func(ci int, cc *cpu.Ctx) {
-		lo, hi := ci*n/chunks, (ci+1)*n/chunks
-		cc.Work(int64(hi-lo) * int64(logCeil(k)))
-		row := counts[ci*k : (ci+1)*k]
-		for j := lo; j < hi; j++ {
-			b := int32(bsearch(splitters, data[j], less))
-			bucketOf[j] = b
-			row[b]++
-		}
-	})
+	counts := ws.i64(bufCounts, chunks*k)
+	clear(counts)
+	bucketOf := ws.i32(bufBucketOf, n)
+	sb.classify = classifyBody[T]{data: data, splitters: splitters, less: less,
+		counts: counts, bucketOf: bucketOf, k: k, n: n}
+	c.ParallelBody(chunks, &sb.classify)
 	// Column-major offsets so each bucket is contiguous: transpose the
 	// count matrix into scan order (bucket-major).
-	offs := make([]int64, chunks*k)
-	c.Parallel(k, func(b int, cc *cpu.Ctx) {
-		cc.Work(int64(chunks))
-		for ci := 0; ci < chunks; ci++ {
-			offs[b*chunks+ci] = counts[ci*k+b]
-		}
-	})
-	Scan(c, offs)
+	offs := ws.i64(bufOffs, chunks*k)
+	sb.transpose = transposeBody{counts: counts, offs: offs, chunks: chunks, k: k}
+	c.ParallelBody(k, &sb.transpose)
+	ScanWS(c, ws, offs)
 	// Scatter.
-	out := make([]T, n)
-	c.Parallel(chunks, func(ci int, cc *cpu.Ctx) {
-		lo, hi := ci*n/chunks, (ci+1)*n/chunks
-		cc.Work(int64(hi - lo))
-		cursor := make([]int64, k)
-		for b := 0; b < k; b++ {
-			cursor[b] = offs[b*chunks+ci]
-		}
-		for j := lo; j < hi; j++ {
-			b := bucketOf[j]
-			out[cursor[b]] = data[j]
-			cursor[b]++
-		}
-	})
-	c.Parallel(chunksFor(n), func(ci int, cc *cpu.Ctx) {
-		lo, hi := chunkBounds(ci, n)
-		cc.Work(int64(hi - lo))
-		copy(data[lo:hi], out[lo:hi])
-	})
+	out := WsSlice[T](ws, (*roleSortOut[T])(nil), n)
+	cursors := ws.i64(bufCursors, chunks*k)
+	sb.scatter = scatterBody[T]{data: data, out: out, bucketOf: bucketOf,
+		offs: offs, cursors: cursors, k: k, n: n}
+	c.ParallelBody(chunks, &sb.scatter)
+	sb.copyback = copybackBody[T]{data: data, out: out, n: n}
+	c.ParallelBody(chunksFor(n), &sb.copyback)
 	// Recurse on buckets in parallel. Bucket b spans
 	// [offs[b*chunks], offs[(b+1)*chunks]) in the scanned layout — but offs
 	// was overwritten by Scan to exclusive sums, so bucket b starts at
 	// offs[b*chunks] and ends at (b+1 < k ? offs[(b+1)*chunks] : n).
-	seeds := make([]uint64, k)
+	seeds := ws.u64(0, k)
 	for i := range seeds {
 		seeds[i] = r.Uint64()
 	}
-	c.Parallel(k, func(b int, cc *cpu.Ctx) {
-		lo := offs[b*chunks]
-		hi := int64(n)
-		if b+1 < k {
-			hi = offs[(b+1)*chunks]
-		}
-		if hi-lo > 1 {
-			sortRec(cc, data[lo:hi], less, rng.NewXoshiro256(seeds[b]))
-		}
-	})
+	sb.recurse = recurseBody[T]{data: data, offs: offs, seeds: seeds,
+		less: less, chunks: chunks, k: k, n: n}
+	c.ParallelBody(k, &sb.recurse)
 }
 
 // threeWay partitions data around pivot into (<, ==, >), recursing on the
 // two strict sides. Equal elements are preserved (T may carry payload), so
 // this is three packs plus a copy-back: O(n) work, O(log n) depth per level.
-func threeWay[T any](c *cpu.Ctx, data []T, pivot T, less func(a, b T) bool, r *rng.Xoshiro256) {
-	lt := Pack(c, data, func(i int) bool { return less(data[i], pivot) })
-	gt := Pack(c, data, func(i int) bool { return less(pivot, data[i]) })
-	eq := Pack(c, data, func(i int) bool { return !less(data[i], pivot) && !less(pivot, data[i]) })
+func threeWay[T any](c *cpu.Ctx, ws *Workspace, data []T, pivot T, less func(a, b T) bool, r *rng.Xoshiro256) {
+	lt := packInto(c, ws, (*rolePackLt[T])(nil), data, func(i int) bool { return less(data[i], pivot) })
+	gt := packInto(c, ws, (*rolePackGt[T])(nil), data, func(i int) bool { return less(pivot, data[i]) })
+	eq := packInto(c, ws, (*rolePackEq[T])(nil), data, func(i int) bool { return !less(data[i], pivot) && !less(pivot, data[i]) })
 	c.Work(int64(len(data)))
 	copy(data, lt)
 	copy(data[len(lt):], eq)
@@ -193,12 +558,12 @@ func threeWay[T any](c *cpu.Ctx, data []T, pivot T, less func(a, b T) bool, r *r
 	c.Fork2(
 		func(cc *cpu.Ctx) {
 			if len(lt) > 1 {
-				sortRec(cc, data[:len(lt)], less, rng.NewXoshiro256(s1))
+				sortRec(cc, nil, data[:len(lt)], less, rng.NewXoshiro256(s1))
 			}
 		},
 		func(cc *cpu.Ctx) {
 			if len(gt) > 1 {
-				sortRec(cc, data[len(lt)+len(eq):], less, rng.NewXoshiro256(s2))
+				sortRec(cc, nil, data[len(lt)+len(eq):], less, rng.NewXoshiro256(s2))
 			}
 		},
 	)
@@ -243,11 +608,34 @@ type Group struct {
 	All   []int // every input position with this key, ascending
 }
 
+// semiHashBody computes bucket ids for one chunk of keys.
+type semiHashBody[K comparable] struct {
+	keys     []K
+	hash     func(K) uint64
+	bucketOf []int32
+	m, n     int
+}
+
+func (p *semiHashBody[K]) Run(ci int, cc *cpu.Ctx) {
+	lo, hi := chunkBounds(ci, p.n)
+	cc.Work(int64(hi - lo))
+	for j := lo; j < hi; j++ {
+		p.bucketOf[j] = int32(p.hash(p.keys[j]) & uint64(p.m-1))
+	}
+}
+
 // Semisort groups equal keys: it returns one Group per distinct key.
 // Expected work O(n), depth O(log n) whp — hash keys into 2n buckets with a
 // counting scatter (scan-based), then group within buckets.
 // Group order is deterministic (by bucket, then first occurrence).
 func Semisort[K comparable](c *cpu.Ctx, keys []K, hash func(K) uint64) []Group {
+	return SemisortWS(c, nil, keys, hash)
+}
+
+// SemisortWS is Semisort drawing scratch from ws. The returned groups and
+// their All slices live in ws and are valid until the next SemisortWS or
+// DedupWS call on the same workspace.
+func SemisortWS[K comparable](c *cpu.Ctx, ws *Workspace, keys []K, hash func(K) uint64) []Group {
 	n := len(keys)
 	if n == 0 {
 		return nil
@@ -256,15 +644,10 @@ func Semisort[K comparable](c *cpu.Ctx, keys []K, hash func(K) uint64) []Group {
 	for m < 2*n {
 		m *= 2
 	}
-	bucketOf := make([]int32, n)
-	counts := make([]int64, m)
-	c.Parallel(chunksFor(n), func(ci int, cc *cpu.Ctx) {
-		lo, hi := chunkBounds(ci, n)
-		cc.Work(int64(hi - lo))
-		for j := lo; j < hi; j++ {
-			bucketOf[j] = int32(hash(keys[j]) & uint64(m-1))
-		}
-	})
+	bucketOf := ws.i32(bufBucketOf, n)
+	hb := WsPtr[semiHashBody[K]](ws, (*roleSemiBody[K])(nil))
+	*hb = semiHashBody[K]{keys: keys, hash: hash, bucketOf: bucketOf, m: m, n: n}
+	c.ParallelBody(chunksFor(n), hb)
 	// Count (sequential per bucket via atomic-free two-pass: count with a
 	// chunked matrix would need m*chunks memory; m is large, so do a simple
 	// sequential count — O(n) work, and charge depth honestly as O(n / #chunks)
@@ -272,22 +655,38 @@ func Semisort[K comparable](c *cpu.Ctx, keys []K, hash func(K) uint64) []Group {
 	// heavy. Instead: single pass count, charged as O(n) work with O(log n)
 	// depth since a standard parallel integer semisort achieves it; the
 	// sequential implementation here is the simple stand-in.)
+	counts := ws.i64(bufCounts, m)
+	clear(counts)
 	c.Work(int64(n))
 	for _, b := range bucketOf {
 		counts[b]++
 	}
 	offs := counts
-	Scan(c, offs)
-	slots := make([]int32, n)
+	ScanWS(c, ws, offs)
+	slots := ws.i32(bufSlots, n)
 	c.Work(int64(n))
-	cursor := make([]int64, m)
+	cursor := ws.i64(bufCursor, m)
+	clear(cursor)
 	for j := 0; j < n; j++ {
 		b := bucketOf[j]
 		slots[offs[b]+cursor[b]] = int32(j)
 		cursor[b]++
 	}
 	// Within each bucket, group equal keys. Buckets are O(1) expected size.
+	// Group member lists are carved out of one flat arena: each group's
+	// members are fully appended before the next group starts, and the
+	// arena is pre-sized to n, so the subslices are stable.
 	var groups []Group
+	var flat []int
+	if ws != nil {
+		groups = ws.groups[:0]
+		if cap(ws.flat) < n {
+			ws.flat = make([]int, 0, n)
+		}
+		flat = ws.flat[:0]
+	} else {
+		flat = make([]int, 0, n)
+	}
 	pos := 0
 	c.Work(int64(n))
 	for pos < n {
@@ -302,17 +701,21 @@ func Semisort[K comparable](c *cpu.Ctx, keys []K, hash func(K) uint64) []Group {
 			if idx < 0 {
 				continue
 			}
-			g := Group{Index: idx, All: []int{idx}}
+			start := len(flat)
+			flat = append(flat, idx)
 			for j := i + 1; j < end; j++ {
 				oidx := int(slots[j])
 				if oidx >= 0 && keys[oidx] == keys[idx] {
-					g.All = append(g.All, oidx)
+					flat = append(flat, oidx)
 					slots[j] = -1
 				}
 			}
-			groups = append(groups, g)
+			groups = append(groups, Group{Index: idx, All: flat[start:len(flat):len(flat)]})
 		}
 		pos = end
+	}
+	if ws != nil {
+		ws.groups = groups
 	}
 	return groups
 }
@@ -321,9 +724,17 @@ func Semisort[K comparable](c *cpu.Ctx, keys []K, hash func(K) uint64) []Group {
 // and a slot vector mapping every input position to its index in uniq.
 // Expected work O(n), depth O(log n) whp (via Semisort).
 func Dedup[K comparable](c *cpu.Ctx, keys []K, hash func(K) uint64) (uniq []K, slot []int32) {
-	groups := Semisort(c, keys, hash)
-	uniq = make([]K, len(groups))
-	slot = make([]int32, len(keys))
+	return DedupWS(c, nil, keys, hash)
+}
+
+// DedupWS is Dedup drawing scratch from ws. The returned slices live in ws
+// and are valid until the next DedupWS call on the same workspace; they
+// are NOT invalidated by intervening SortWS/ScanWS/PackWS calls (distinct
+// arenas), which is what lets a batch dedup first and sort later.
+func DedupWS[K comparable](c *cpu.Ctx, ws *Workspace, keys []K, hash func(K) uint64) (uniq []K, slot []int32) {
+	groups := SemisortWS(c, ws, keys, hash)
+	uniq = WsSlice[K](ws, (*roleDedupUniq[K])(nil), len(groups))
+	slot = ws.i32(bufDedupSlot, len(keys))
 	c.Work(int64(len(keys)))
 	for gi, g := range groups {
 		uniq[gi] = keys[g.Index]
@@ -334,34 +745,99 @@ func Dedup[K comparable](c *cpu.Ctx, keys []K, hash func(K) uint64) (uniq []K, s
 	return uniq, slot
 }
 
+// packBodies holds the fork–join bodies of one Pack call.
+type packBodies[T any] struct {
+	flag    packFlagBody
+	scatter packScatterBody[T]
+	charge  chargeBody
+}
+
+type packFlagBody struct {
+	flags []int64
+	keep  func(i int) bool
+	n     int
+}
+
+func (p *packFlagBody) Run(ci int, cc *cpu.Ctx) {
+	lo, hi := chunkBounds(ci, p.n)
+	cc.Work(int64(hi - lo))
+	for j := lo; j < hi; j++ {
+		if p.keep(j) {
+			p.flags[j] = 1
+		}
+	}
+}
+
+type packScatterBody[T any] struct {
+	data, out []T
+	flags     []int64
+	keep      func(i int) bool
+	n         int
+}
+
+func (p *packScatterBody[T]) Run(ci int, cc *cpu.Ctx) {
+	lo, hi := chunkBounds(ci, p.n)
+	cc.Work(int64(hi - lo))
+	for j := lo; j < hi; j++ {
+		if p.keep(j) {
+			p.out[p.flags[j]] = p.data[j]
+		}
+	}
+}
+
+// chargeBody charges exactly what a chunked copy pass would, without
+// touching memory — used by Pack's nothing-dropped fast path so skipping
+// the copy does not change metered work or depth.
+type chargeBody struct {
+	n int
+}
+
+func (p *chargeBody) Run(ci int, cc *cpu.Ctx) {
+	lo, hi := chunkBounds(ci, p.n)
+	cc.Work(int64(hi - lo))
+}
+
 // Pack returns the elements of data whose positions satisfy keep, in order.
 // Work O(n), depth O(log n) (flag + scan + scatter).
+//
+// Aliasing contract: if every position is kept, Pack returns data itself —
+// not a copy. Callers must treat the result as potentially aliasing the
+// input; metered work and depth are identical either way (the skipped
+// copy's charges are still applied).
 func Pack[T any](c *cpu.Ctx, data []T, keep func(i int) bool) []T {
+	return PackWS(c, nil, data, keep)
+}
+
+// PackWS is Pack drawing scratch from ws; the returned slice lives in ws
+// (unless it is the input itself — see Pack's aliasing contract) and is
+// valid until the next PackWS call on the same workspace.
+func PackWS[T any](c *cpu.Ctx, ws *Workspace, data []T, keep func(i int) bool) []T {
+	return packInto(c, ws, (*rolePackOut[T])(nil), data, keep)
+}
+
+// packInto is Pack with an explicit output role, so callers needing
+// several simultaneous pack results (threeWay) can keep them apart.
+func packInto[T any](c *cpu.Ctx, ws *Workspace, outKey any, data []T, keep func(i int) bool) []T {
 	n := len(data)
 	if n == 0 {
 		return nil
 	}
-	flags := make([]int64, n)
-	c.Parallel(chunksFor(n), func(ci int, cc *cpu.Ctx) {
-		lo, hi := chunkBounds(ci, n)
-		cc.Work(int64(hi - lo))
-		for j := lo; j < hi; j++ {
-			if keep(j) {
-				flags[j] = 1
-			}
-		}
-	})
-	total := Scan(c, flags)
-	out := make([]T, total)
-	c.Parallel(chunksFor(n), func(ci int, cc *cpu.Ctx) {
-		lo, hi := chunkBounds(ci, n)
-		cc.Work(int64(hi - lo))
-		for j := lo; j < hi; j++ {
-			if keep(j) {
-				out[flags[j]] = data[j]
-			}
-		}
-	})
+	pb := WsPtr[packBodies[T]](ws, (*rolePackBodies[T])(nil))
+	flags := ws.i64(bufFlags, n)
+	clear(flags)
+	pb.flag = packFlagBody{flags: flags, keep: keep, n: n}
+	c.ParallelBody(chunksFor(n), &pb.flag)
+	total := ScanWS(c, ws, flags)
+	if int(total) == n {
+		// Nothing dropped: the input already is the answer. Charge the
+		// scatter pass anyway so the fast path is invisible to the meter.
+		pb.charge = chargeBody{n: n}
+		c.ParallelBody(chunksFor(n), &pb.charge)
+		return data
+	}
+	out := WsSlice[T](ws, outKey, int(total))
+	pb.scatter = packScatterBody[T]{data: data, out: out, flags: flags, keep: keep, n: n}
+	c.ParallelBody(chunksFor(n), &pb.scatter)
 	return out
 }
 

@@ -1,0 +1,194 @@
+package parutil
+
+import (
+	"sync"
+	"testing"
+
+	"pimgo/internal/cpu"
+	"pimgo/internal/rng"
+)
+
+// Tests for the explicit-Workspace API: the reuse contract (same workspace,
+// wildly different sizes, no cross-talk), the Pack fast-path aliasing
+// contract, equivalence of the thin wrappers with the WS forms, and
+// concurrent use of distinct workspaces.
+
+// TestPackFastPathAliases pins the documented contract: when nothing is
+// dropped, PackWS returns the input slice itself (no copy), and the metered
+// work/depth are identical to a pack that did copy everything.
+func TestPackFastPathAliases(t *testing.T) {
+	ws := NewWorkspace()
+	data := make([]int, 5000)
+	for i := range data {
+		data[i] = i
+	}
+
+	tr1, c1 := newCtx()
+	out := PackWS(c1, ws, data, func(int) bool { return true })
+	if &out[0] != &data[0] || len(out) != len(data) {
+		t.Fatal("keep-all PackWS must return the input slice itself")
+	}
+	tr1.Finish(c1)
+
+	// A pack that copies all but drops the last element, over the same n:
+	// flag + scan + scatter. The fast path must charge exactly the same.
+	tr2, c2 := newCtx()
+	PackWS(c2, ws, data, func(i int) bool { return i < len(data)-1 })
+	tr2.Finish(c2)
+	if tr1.Work() != tr2.Work() || tr1.Depth() != tr2.Depth() {
+		t.Errorf("fast path charges (W=%d, D=%d) differ from copying pack (W=%d, D=%d)",
+			tr1.Work(), tr1.Depth(), tr2.Work(), tr2.Depth())
+	}
+
+	// And the copying pack's output must not alias the input.
+	tr3, c3 := newCtx()
+	out3 := PackWS(c3, ws, data, func(i int) bool { return i > 0 })
+	if &out3[0] == &data[1] {
+		t.Error("partial PackWS must return workspace storage, not the input")
+	}
+	tr3.Finish(c3)
+}
+
+// TestWorkspaceReuseAcrossSizes runs sort/dedup/semisort/pack through one
+// workspace with alternating large and tiny inputs, checking results against
+// fresh-allocation references each time: stale high-water-mark buffers must
+// never leak into a smaller computation.
+func TestWorkspaceReuseAcrossSizes(t *testing.T) {
+	ws := NewWorkspace()
+	r := rng.NewXoshiro256(42)
+	hash := func(k uint64) uint64 { return k * 0x9E3779B97F4A7C15 }
+	for _, n := range []int{10000, 7, 2500, 1, 100, 9999, 3} {
+		data := make([]uint64, n)
+		for i := range data {
+			data[i] = r.Uint64n(uint64(n/2 + 1))
+		}
+
+		_, c := newCtx()
+		sorted := append([]uint64(nil), data...)
+		SortWS(c, ws, sorted, func(a, b uint64) bool { return a < b })
+		for i := 1; i < n; i++ {
+			if sorted[i-1] > sorted[i] {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+
+		_, c = newCtx()
+		uniq, slot := DedupWS(c, ws, data, hash)
+		if len(slot) != n {
+			t.Fatalf("n=%d: slot len %d", n, len(slot))
+		}
+		seen := make(map[uint64]bool, len(uniq))
+		for i, k := range data {
+			if uniq[slot[i]] != k {
+				t.Fatalf("n=%d: slot[%d] maps %d to %d", n, i, k, uniq[slot[i]])
+			}
+			seen[k] = true
+		}
+		if len(seen) != len(uniq) {
+			t.Fatalf("n=%d: %d uniques reported, want %d", n, len(uniq), len(seen))
+		}
+
+		_, c = newCtx()
+		kept := PackWS(c, ws, data, func(i int) bool { return data[i]%2 == 0 })
+		want := 0
+		for _, v := range data {
+			if v%2 == 0 {
+				want++
+			}
+		}
+		if len(kept) != want {
+			t.Fatalf("n=%d: pack kept %d, want %d", n, len(kept), want)
+		}
+	}
+}
+
+// TestWrapperMatchesWS: the legacy wrappers (Sort, Dedup, Pack, Scan) are
+// documented as thin forms of the WS variants — same results, same metered
+// work and depth.
+func TestWrapperMatchesWS(t *testing.T) {
+	r := rng.NewXoshiro256(7)
+	const n = 5000
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = r.Uint64n(n / 3)
+	}
+	hash := func(k uint64) uint64 { return k * 0x9E3779B97F4A7C15 }
+
+	// Sort.
+	a := append([]uint64(nil), data...)
+	b := append([]uint64(nil), data...)
+	tra, ca := newCtx()
+	Sort(ca, a, func(x, y uint64) bool { return x < y })
+	tra.Finish(ca)
+	trb, cb := newCtx()
+	SortWS(cb, NewWorkspace(), b, func(x, y uint64) bool { return x < y })
+	trb.Finish(cb)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Sort vs SortWS differ at %d", i)
+		}
+	}
+	if tra.Work() != trb.Work() || tra.Depth() != trb.Depth() {
+		t.Errorf("Sort charges (W=%d, D=%d) != SortWS (W=%d, D=%d)",
+			tra.Work(), tra.Depth(), trb.Work(), trb.Depth())
+	}
+
+	// Dedup.
+	tra, ca = newCtx()
+	ua, sa := Dedup(ca, data, hash)
+	tra.Finish(ca)
+	trb, cb = newCtx()
+	ub, sb := DedupWS(cb, NewWorkspace(), data, hash)
+	trb.Finish(cb)
+	if len(ua) != len(ub) || len(sa) != len(sb) {
+		t.Fatalf("Dedup vs DedupWS shape mismatch")
+	}
+	for i := range sa {
+		if ua[sa[i]] != ub[sb[i]] {
+			t.Fatalf("Dedup vs DedupWS disagree at %d", i)
+		}
+	}
+	if tra.Work() != trb.Work() || tra.Depth() != trb.Depth() {
+		t.Errorf("Dedup charges (W=%d, D=%d) != DedupWS (W=%d, D=%d)",
+			tra.Work(), tra.Depth(), trb.Work(), trb.Depth())
+	}
+}
+
+// TestConcurrentWorkspaces drives distinct workspaces from concurrent
+// goroutines (run under -race): workspaces are per-owner scratch with no
+// shared state, so concurrent use of different instances must be clean.
+func TestConcurrentWorkspaces(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			r := rng.NewXoshiro256(uint64(w + 1))
+			for iter := 0; iter < 20; iter++ {
+				n := 100 + int(r.Uint64n(4000))
+				data := make([]uint64, n)
+				for i := range data {
+					data[i] = r.Uint64n(uint64(n))
+				}
+				tr := cpu.NewTrackerN(1)
+				var c cpu.Ctx
+				tr.RootInto(&c)
+				SortWS(&c, ws, data, func(a, b uint64) bool { return a < b })
+				for i := 1; i < n; i++ {
+					if data[i-1] > data[i] {
+						errs <- "sort corruption under concurrency"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -50,6 +50,14 @@ type Xoshiro256 struct {
 // NewXoshiro256 returns a generator deterministically seeded from seed via
 // SplitMix64, as recommended by the xoshiro authors.
 func NewXoshiro256(seed uint64) *Xoshiro256 {
+	x := SeededXoshiro256(seed)
+	return &x
+}
+
+// SeededXoshiro256 is NewXoshiro256 by value: the same seeding, returned
+// without a heap allocation, for generators embedded in reusable scratch
+// or kept on the stack of hot batch paths.
+func SeededXoshiro256(seed uint64) Xoshiro256 {
 	var x Xoshiro256
 	sm := seed
 	for i := range x.s {
@@ -59,7 +67,7 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
+	return x
 }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -86,6 +86,133 @@ func runDetWorkload() detFingerprint {
 	return fp
 }
 
+// detBatch is one step of the workspace-reuse schedule: an operation plus
+// its (deterministically generated) arguments.
+type detBatch struct {
+	op   string
+	keys []uint64
+	vals []int64
+}
+
+// detSchedule builds an interleaved schedule of wildly varying batch sizes
+// and all batch op kinds, so the long-lived Map's workspace is repeatedly
+// grown, shrunk, and switched between op-specific layouts.
+func detSchedule() []detBatch {
+	state := uint64(0xD5A5C4ED ^ 0xFFFF1111) // xorshift seed
+	next := func(n uint64) uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state % n
+	}
+	ops := []string{"upsert", "get", "succ", "delete", "update"}
+	sizes := []int{8, 200, 3, 64, 500, 1, 33, 128, 16, 77, 256, 5}
+	var sched []detBatch
+	for i, sz := range sizes {
+		b := detBatch{op: ops[i%len(ops)]}
+		for j := 0; j < sz; j++ {
+			k := 1 + next(1<<14)
+			b.keys = append(b.keys, k)
+			b.vals = append(b.vals, int64(k*7+uint64(i)))
+		}
+		sched = append(sched, b)
+	}
+	return sched
+}
+
+// applyDetBatch runs one scheduled batch and digests its replies.
+func applyDetBatch(m *Map[uint64, int64], b detBatch) (uint64, BatchStats) {
+	h := fnv.New64a()
+	var st BatchStats
+	switch b.op {
+	case "upsert":
+		ins, s := m.Upsert(b.keys, b.vals)
+		st = s
+		for _, v := range ins {
+			fmt.Fprintf(h, "u%v", v)
+		}
+	case "get":
+		res, s := m.Get(b.keys)
+		st = s
+		for _, r := range res {
+			fmt.Fprintf(h, "g%v:%v", r.Found, r.Value)
+		}
+	case "succ":
+		res, s := m.Successor(b.keys)
+		st = s
+		for _, r := range res {
+			fmt.Fprintf(h, "s%v:%v:%v", r.Found, r.Key, r.Value)
+		}
+	case "delete":
+		ok, s := m.Delete(b.keys)
+		st = s
+		for _, v := range ok {
+			fmt.Fprintf(h, "d%v", v)
+		}
+	case "update":
+		ok, s := m.Update(b.keys, b.vals)
+		st = s
+		for _, v := range ok {
+			fmt.Fprintf(h, "w%v", v)
+		}
+	}
+	return h.Sum64(), st
+}
+
+// TestDeterminismWorkspaceReuse pins the tentpole's reuse contract: a
+// long-lived Map whose batch workspace is recycled across an interleaved
+// schedule of different sizes and op kinds must produce, at every step,
+// exactly the replies and metrics of a cold Map that replays the prefix of
+// the schedule on fresh buffers. Any stale-buffer leak between batches
+// (a result slice not truncated, a count not cleared, an arena slot read
+// before written) shows up as a digest or stats divergence here.
+func TestDeterminismWorkspaceReuse(t *testing.T) {
+	sched := detSchedule()
+
+	// Long-lived run: one Map, one workspace, all batches.
+	live := NewMap[uint64, int64](Config{P: 8, Seed: 777}, Uint64Hash)
+	digests := make([]uint64, len(sched))
+	stats := make([]BatchStats, len(sched))
+	for i, b := range sched {
+		digests[i], stats[i] = applyDetBatch(live, b)
+	}
+
+	// Replay: for every step k, a fresh Map replays batches 0..k-1 to
+	// reach the same logical state with cold buffers, then runs batch k.
+	for k := range sched {
+		fresh := NewMap[uint64, int64](Config{P: 8, Seed: 777}, Uint64Hash)
+		for i := 0; i < k; i++ {
+			applyDetBatch(fresh, sched[i])
+		}
+		d, st := applyDetBatch(fresh, sched[k])
+		if d != digests[k] {
+			t.Errorf("batch %d (%s, size %d): reply digest %x on fresh Map != %x on long-lived Map",
+				k, sched[k].op, len(sched[k].keys), d, digests[k])
+		}
+		if st != stats[k] {
+			t.Errorf("batch %d (%s, size %d): stats diverge:\n  fresh %+v\n  lived %+v",
+				k, sched[k].op, len(sched[k].keys), st, stats[k])
+		}
+	}
+
+	// Finally the structures themselves must agree.
+	replay := NewMap[uint64, int64](Config{P: 8, Seed: 777}, Uint64Hash)
+	for _, b := range sched {
+		applyDetBatch(replay, b)
+	}
+	hashOf := func(m *Map[uint64, int64]) uint64 {
+		ks, vs, _ := m.Snapshot()
+		h := fnv.New64a()
+		for i := range ks {
+			fmt.Fprintf(h, "%v=%v;", ks[i], vs[i])
+		}
+		return h.Sum64()
+	}
+	if a, b := hashOf(live), hashOf(replay); a != b {
+		t.Errorf("final structure hash %x (long-lived) != %x (replay)", a, b)
+	}
+}
+
 func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	settings := []int{1, 4, runtime.NumCPU()}
 	old := runtime.GOMAXPROCS(0)
