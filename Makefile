@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the pre-commit gate;
 # `make bench` refreshes the perf records (results/BENCH_*.json) that track
 # engine throughput PR-over-PR; `make benchguard` asserts the steady-state
-# zero-allocation contract of the batch engine.
+# zero-allocation contract of the batch engine; `make chaos` runs the
+# fault-injection soak and refreshes results/BENCH_chaos.json.
 
 GO ?= go
 
-.PHONY: build test race vet bench benchguard check
+.PHONY: build test race vet bench benchguard chaos check
 
 build:
 	$(GO) build ./...
@@ -33,5 +34,13 @@ bench:
 benchguard:
 	$(GO) test -run 'TestZeroAlloc' -count=1 .
 	$(GO) vet ./...
+
+# Fault-injection verification: the chaos soak (every built-in plan vs a
+# fault-free oracle and the sequential baseline), the faulted determinism
+# test, and the machine-readable recovery-cost record.
+chaos:
+	$(GO) test -run 'TestChaosSoak' -count=1 ./internal/core/
+	$(GO) test -run 'TestFaultedDeterminismAcrossGOMAXPROCS' -count=1 .
+	$(GO) run ./cmd/pimbench chaos -out results/BENCH_chaos.json
 
 check: build vet test benchguard race

@@ -1,0 +1,218 @@
+package main
+
+// `pimbench chaos` is the fault-injection harness: the same mixed batch
+// workload runs on a fault-free Map and then under every built-in fault
+// plan, and each faulted run must reproduce the fault-free reply stream
+// and final structure exactly (the reliable transport hides the faults).
+// Each plan becomes one row recording what was injected, what recovery
+// cost in rounds/IO/wall-clock relative to the fault-free row, and proof
+// of equivalence. One labeled entry accumulates per run in
+// results/BENCH_chaos.json, like the other BENCH files.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"time"
+
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+)
+
+// chaosResult is one plan's measurement in one entry.
+type chaosResult struct {
+	Plan    string  `json:"plan"`
+	Batches int     `json:"batches"`
+	WallMs  float64 `json:"wall_ms"`
+	// Aggregate model metrics over the whole workload; recovery shows up
+	// as extra Rounds/IOTime over the "none" row.
+	Rounds       int64 `json:"rounds"`
+	IOTime       int64 `json:"io_time"`
+	PIMRoundTime int64 `json:"pim_round_time"`
+	TotalMsgs    int64 `json:"total_msgs"`
+	// RoundsOverNone is Rounds/Rounds(none): the round-count inflation
+	// paid to recover from this plan's faults.
+	RoundsOverNone float64 `json:"rounds_over_none"`
+	// Equivalent records that the faulted reply stream and final snapshot
+	// hashed identically to the fault-free run's.
+	Equivalent bool           `json:"equivalent"`
+	Faults     pim.FaultStats `json:"faults"`
+}
+
+// chaosEntry is one labeled run of the harness.
+type chaosEntry struct {
+	Label      string        `json:"label"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	P          int           `json:"p"`
+	Note       string        `json:"note,omitempty"`
+	Plans      []chaosResult `json:"plans"`
+}
+
+// chaosRun drives the fixed mixed workload and returns aggregate metrics
+// plus FNV hashes of the reply stream and the final snapshot.
+type chaosRun struct {
+	rounds, ioTime, pimRoundTime, totalMsgs int64
+	batches                                 int
+	replySum, structSum                     uint64
+	faults                                  pim.FaultStats
+	wall                                    time.Duration
+}
+
+func runChaosWorkload(p, batches int, plan core.FaultPlan) chaosRun {
+	m := core.New[uint64, int64](core.Config{P: p, Seed: 0xC0FFEE, Fault: plan}, core.Uint64Hash)
+	r := rng.NewXoshiro256(0xC4A05)
+	h := fnv.New64a()
+	var out chaosRun
+	out.batches = batches
+	const space = 1 << 14
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		b := 16 + int(r.Uint64n(112))
+		keys := make([]uint64, b)
+		for j := range keys {
+			keys[j] = 1 + r.Uint64n(space)
+		}
+		var st core.BatchStats
+		switch r.Intn(6) {
+		case 0:
+			vals := make([]int64, b)
+			for j := range vals {
+				vals[j] = int64(r.Uint64() >> 1)
+			}
+			var ins []bool
+			ins, st = m.Upsert(keys, vals)
+			for _, v := range ins {
+				fmt.Fprintf(h, "u%v", v)
+			}
+		case 1:
+			var ok []bool
+			ok, st = m.Delete(keys)
+			for _, v := range ok {
+				fmt.Fprintf(h, "d%v", v)
+			}
+		case 2:
+			var res []core.GetResult[int64]
+			res, st = m.Get(keys)
+			for _, g := range res {
+				fmt.Fprintf(h, "g%v:%v", g.Found, g.Value)
+			}
+		case 3:
+			vals := make([]int64, b)
+			for j := range vals {
+				vals[j] = int64(r.Uint64() >> 1)
+			}
+			var ok []bool
+			ok, st = m.Update(keys, vals)
+			for _, v := range ok {
+				fmt.Fprintf(h, "w%v", v)
+			}
+		case 4:
+			var res []core.SearchResult[uint64, int64]
+			res, st = m.Successor(keys)
+			for _, s := range res {
+				fmt.Fprintf(h, "s%v:%v:%v", s.Found, s.Key, s.Value)
+			}
+		case 5:
+			var res []core.SearchResult[uint64, int64]
+			res, st = m.Predecessor(keys)
+			for _, s := range res {
+				fmt.Fprintf(h, "p%v:%v:%v", s.Found, s.Key, s.Value)
+			}
+		}
+		out.rounds += st.Rounds
+		out.ioTime += st.IOTime
+		out.pimRoundTime += st.PIMRoundTime
+		out.totalMsgs += st.TotalMsgs
+	}
+	out.wall = time.Since(start)
+	out.replySum = h.Sum64()
+	ks, vs, _ := m.Snapshot()
+	sh := fnv.New64a()
+	for i := range ks {
+		fmt.Fprintf(sh, "%v=%v;", ks[i], vs[i])
+	}
+	out.structSum = sh.Sum64()
+	out.faults = m.FaultStats()
+	m.Close()
+	return out
+}
+
+func runChaos(args []string) {
+	f := fs("chaos")
+	outPath := f.String("out", "results/BENCH_chaos.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	p := f.Int("p", 16, "module count")
+	batches := f.Int("batches", 120, "mixed batches per plan")
+	seed := f.Uint64("seed", 0xFA17, "fault-plan seed")
+	f.Parse(args)
+
+	plans := []struct {
+		name string
+		plan core.FaultPlan
+	}{
+		{"none", nil},
+		{"drop", pim.DropPlan(*seed, 800)},
+		{"duplicate", pim.DupPlan(*seed, 800)},
+		{"delay", pim.DelayPlan(*seed, 800, 3)},
+		{"stall", pim.StallPlan(*seed, 1500, 4)},
+		{"crash", pim.CrashPlan(*seed, 400, 2)},
+		{"chaos", pim.ChaosPlan(*seed)},
+	}
+
+	entry := chaosEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		P:          *p,
+		Note:       *note,
+	}
+
+	var base chaosRun
+	tbl := newTable("plan", "rounds", "io", "pimRound", "msgs", "xRounds", "retx", "replays", "equiv", "wall ms")
+	allEquivalent := true
+	for i, pl := range plans {
+		run := runChaosWorkload(*p, *batches, pl.plan)
+		if i == 0 {
+			base = run
+		}
+		equiv := run.replySum == base.replySum && run.structSum == base.structSum
+		allEquivalent = allEquivalent && equiv
+		over := float64(run.rounds) / float64(base.rounds)
+		res := chaosResult{
+			Plan:           pl.name,
+			Batches:        run.batches,
+			WallMs:         float64(run.wall.Microseconds()) / 1000,
+			Rounds:         run.rounds,
+			IOTime:         run.ioTime,
+			PIMRoundTime:   run.pimRoundTime,
+			TotalMsgs:      run.totalMsgs,
+			RoundsOverNone: over,
+			Equivalent:     equiv,
+			Faults:         run.faults,
+		}
+		entry.Plans = append(entry.Plans, res)
+		tbl.add(pl.name, run.rounds, run.ioTime, run.pimRoundTime, run.totalMsgs,
+			over, run.faults.Retransmits, run.faults.Replays, equiv, res.WallMs)
+	}
+	tbl.print()
+
+	if !allEquivalent {
+		fmt.Fprintln(os.Stderr, "chaos: a faulted run diverged from the fault-free run; not recording")
+		os.Exit(1)
+	}
+
+	n, _, err := mergeBenchEntry(*outPath, "chaos",
+		"one row = the fixed mixed workload under one fault plan; equivalence vs the fault-free row",
+		entry, func(e chaosEntry) string { return e.Label })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
+}

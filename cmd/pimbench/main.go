@@ -19,6 +19,7 @@
 //	range     Thm 5.1/5.2 — broadcast vs tree range operations
 //	baseline  §2.2/§3.1 — ours vs range-partitioned skip list
 //	ablate    design ablations: -what=hlow|pivot|dedup
+//	chaos     fault-injection recovery costs under every built-in plan
 //	all       every experiment in sequence
 package main
 
@@ -53,6 +54,7 @@ var experiments = []experiment{
 	{"cpuscale", "§2.1: O(W/P'+D) with a real work-stealing pool", runCPUScale},
 	{"roundengine", "round-engine microbenchmarks → results/BENCH_roundengine.json", runRoundEngine},
 	{"batchengine", "steady-state batch-op benchmarks → results/BENCH_batchengine.json", runBatchEngine},
+	{"chaos", "fault-injection recovery costs → results/BENCH_chaos.json", runChaos},
 }
 
 func main() {

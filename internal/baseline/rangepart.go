@@ -1,9 +1,15 @@
+// Package baseline implements the prior-work comparator of §2.2/§3.1: a
+// skip list partitioned across PIM modules by disjoint contiguous key
+// ranges. Each module holds a classic sequential skip list
+// (internal/baseline/seqlist) over its range; the CPU routes each
+// operation to the unique owning module.
 package baseline
 
 import (
 	"cmp"
 	"sort"
 
+	"pimgo/internal/baseline/seqlist"
 	"pimgo/internal/core"
 	"pimgo/internal/cpu"
 	"pimgo/internal/pim"
@@ -11,7 +17,7 @@ import (
 
 // partState is one module's local state: its key range's skip list.
 type partState[K cmp.Ordered, V any] struct {
-	sl *skiplist[K, V]
+	sl *seqlist.List[K, V]
 }
 
 // Map is the range-partitioned skip list. Module i owns the key interval
@@ -40,7 +46,7 @@ func New[K cmp.Ordered, V any](p int, seed uint64, splitters []K) *Map[K, V] {
 	}
 	m := &Map[K, V]{p: p, splitters: append([]K(nil), splitters...)}
 	m.mach = pim.NewMachine(p, func(id pim.ModuleID) *partState[K, V] {
-		return &partState[K, V]{sl: newSkiplist[K, V](seed ^ uint64(id)*0x9e3779b9)}
+		return &partState[K, V]{sl: seqlist.New[K, V](seed ^ uint64(id)*0x9e3779b9)}
 	})
 	return m
 }
@@ -83,19 +89,19 @@ func (t *blOp[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
 	sl := c.State().sl
 	switch t.kind {
 	case 0:
-		v, ok, cost := sl.get(t.key)
+		v, ok, cost := sl.Get(t.key)
 		c.Charge(cost)
 		c.Reply(blReply[K, V]{id: t.id, found: ok, key: t.key, val: v})
 	case 1:
-		ins, cost := sl.upsert(t.key, t.val)
+		ins, cost := sl.Upsert(t.key, t.val)
 		c.Charge(cost)
 		c.Reply(blReply[K, V]{id: t.id, found: !ins})
 	case 2:
-		ok, cost := sl.del(t.key)
+		ok, cost := sl.Delete(t.key)
 		c.Charge(cost)
 		c.Reply(blReply[K, V]{id: t.id, found: ok})
 	case 3:
-		k, v, ok, cost := sl.succ(t.key)
+		k, v, ok, cost := sl.Succ(t.key)
 		c.Charge(cost)
 		c.Reply(blReply[K, V]{id: t.id, found: ok, key: k, val: v})
 	}
@@ -244,7 +250,7 @@ type rangeReply[K cmp.Ordered, V any] struct {
 
 func (t *rangeTask[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
 	var pairs []core.RangePair[K, V]
-	_, cost := c.State().sl.scan(t.lo, t.hi, func(k K, v V) {
+	_, cost := c.State().sl.Scan(t.lo, t.hi, func(k K, v V) {
 		pairs = append(pairs, core.RangePair[K, V]{Key: k, Value: v})
 	})
 	c.Charge(cost)
@@ -299,12 +305,9 @@ type collectTask[K cmp.Ordered, V any] struct{}
 
 func (t *collectTask[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
 	var pairs []core.RangePair[K, V]
-	sl := c.State().sl
-	cur := sl.head.next[0]
-	for cur != nil {
-		pairs = append(pairs, core.RangePair[K, V]{Key: cur.key, Value: cur.val})
-		cur = cur.next[0]
-	}
+	c.State().sl.Ascend(func(k K, v V) {
+		pairs = append(pairs, core.RangePair[K, V]{Key: k, Value: v})
+	})
 	c.Charge(int64(len(pairs)))
 	c.ReplyWords(rangeReply[K, V]{pairs: pairs}, int64(1+2*len(pairs)))
 }
@@ -317,7 +320,7 @@ type loadTask[K cmp.Ordered, V any] struct {
 func (t *loadTask[K, V]) Run(c *pim.Ctx[*partState[K, V]]) {
 	sl := c.State().sl
 	for _, p := range t.pairs {
-		_, cost := sl.upsert(p.Key, p.Value)
+		_, cost := sl.Upsert(p.Key, p.Value)
 		c.Charge(cost)
 	}
 }
@@ -359,7 +362,7 @@ func (m *Map[K, V]) Rebalance() core.BatchStats {
 	// Rebuild partitions from scratch and redistribute.
 	for id := 0; id < m.p; id++ {
 		st := m.mach.Mod(pim.ModuleID(id)).State
-		st.sl = newSkiplist[K, V](uint64(id)*0x9e3779b9 + 1)
+		st.sl = seqlist.New[K, V](uint64(id)*0x9e3779b9 + 1)
 	}
 	perPart := make([][]core.RangePair[K, V], m.p)
 	for _, pr := range all {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pimgo/internal/adversary"
+	"pimgo/internal/baseline/seqlist"
 	"pimgo/internal/rng"
 )
 
@@ -188,7 +189,7 @@ func TestSplitterOrderValidation(t *testing.T) {
 }
 
 func TestLocalSkiplist(t *testing.T) {
-	sl := newSkiplist[uint64, int64](1)
+	sl := seqlist.New[uint64, int64](1)
 	ref := map[uint64]int64{}
 	r := rng.NewXoshiro256(2)
 	for i := 0; i < 5000; i++ {
@@ -196,24 +197,24 @@ func TestLocalSkiplist(t *testing.T) {
 		switch r.Intn(3) {
 		case 0:
 			v := int64(r.Uint64n(100))
-			sl.upsert(k, v)
+			sl.Upsert(k, v)
 			ref[k] = v
 		case 1:
-			got, _ := sl.del(k)
+			got, _ := sl.Delete(k)
 			_, want := ref[k]
 			if got != want {
 				t.Fatalf("del(%d) = %v want %v", k, got, want)
 			}
 			delete(ref, k)
 		case 2:
-			v, ok, _ := sl.get(k)
+			v, ok, _ := sl.Get(k)
 			wv, wok := ref[k]
 			if ok != wok || (ok && v != wv) {
 				t.Fatalf("get(%d) = %d,%v want %d,%v", k, v, ok, wv, wok)
 			}
 		}
-		if sl.len() != len(ref) {
-			t.Fatalf("len %d vs %d", sl.len(), len(ref))
+		if sl.Len() != len(ref) {
+			t.Fatalf("len %d vs %d", sl.Len(), len(ref))
 		}
 	}
 }

@@ -1,0 +1,151 @@
+// Package seqlist is a classic sequential skip list with cost reporting.
+// It serves two roles: the module-local structure of the range-partitioned
+// prior-work comparator (internal/baseline, §2.2/§3.1 of the paper), and a
+// plain single-threaded oracle for differential tests — the chaos soak
+// cross-checks every faulted batch operation against it. Costs are node
+// visits, so the baseline simulator can charge honest PIM work; oracle
+// callers simply discard them.
+package seqlist
+
+import (
+	"cmp"
+
+	"pimgo/internal/rng"
+)
+
+// List is the sequential skip list.
+type List[K cmp.Ordered, V any] struct {
+	head     *node[K, V]
+	r        *rng.Xoshiro256
+	n        int
+	maxLevel int
+}
+
+type node[K cmp.Ordered, V any] struct {
+	key  K
+	val  V
+	neg  bool
+	next []*node[K, V]
+}
+
+// New builds an empty list whose tower heights are drawn from seed.
+func New[K cmp.Ordered, V any](seed uint64) *List[K, V] {
+	const maxLevel = 32
+	return &List[K, V]{
+		head:     &node[K, V]{neg: true, next: make([]*node[K, V], maxLevel)},
+		r:        rng.NewXoshiro256(seed),
+		maxLevel: maxLevel,
+	}
+}
+
+// Len returns the number of keys present.
+func (s *List[K, V]) Len() int { return s.n }
+
+// findPreds locates the strict predecessor of k at every level and counts
+// visited nodes.
+func (s *List[K, V]) findPreds(k K) (preds []*node[K, V], cost int64) {
+	preds = make([]*node[K, V], s.maxLevel)
+	cur := s.head
+	for l := s.maxLevel - 1; l >= 0; l-- {
+		for cur.next[l] != nil && cur.next[l].key < k {
+			cur = cur.next[l]
+			cost++
+		}
+		preds[l] = cur
+		cost++
+	}
+	return preds, cost
+}
+
+// Get returns the value for k and the visit cost.
+func (s *List[K, V]) Get(k K) (V, bool, int64) {
+	preds, cost := s.findPreds(k)
+	if nx := preds[0].next[0]; nx != nil && nx.key == k {
+		return nx.val, true, cost + 1
+	}
+	var zero V
+	return zero, false, cost
+}
+
+// Upsert inserts or updates k and reports whether it inserted.
+func (s *List[K, V]) Upsert(k K, v V) (bool, int64) {
+	preds, cost := s.findPreds(k)
+	if nx := preds[0].next[0]; nx != nil && nx.key == k {
+		nx.val = v
+		return false, cost + 1
+	}
+	h := s.r.GeometricHeight(s.maxLevel)
+	nd := &node[K, V]{key: k, val: v, next: make([]*node[K, V], h)}
+	for l := 0; l < h; l++ {
+		nd.next[l] = preds[l].next[l]
+		preds[l].next[l] = nd
+	}
+	s.n++
+	return true, cost + int64(h)
+}
+
+// Delete removes k, reporting whether it was present.
+func (s *List[K, V]) Delete(k K) (bool, int64) {
+	preds, cost := s.findPreds(k)
+	nx := preds[0].next[0]
+	if nx == nil || nx.key != k {
+		return false, cost
+	}
+	for l := 0; l < len(nx.next); l++ {
+		if preds[l].next[l] == nx {
+			preds[l].next[l] = nx.next[l]
+		}
+	}
+	s.n--
+	return true, cost + int64(len(nx.next))
+}
+
+// Succ returns the smallest key ≥ k.
+func (s *List[K, V]) Succ(k K) (K, V, bool, int64) {
+	preds, cost := s.findPreds(k)
+	if nx := preds[0].next[0]; nx != nil {
+		return nx.key, nx.val, true, cost + 1
+	}
+	var zk K
+	var zv V
+	return zk, zv, false, cost
+}
+
+// Pred returns the largest key ≤ k.
+func (s *List[K, V]) Pred(k K) (K, V, bool, int64) {
+	preds, cost := s.findPreds(k)
+	if nx := preds[0].next[0]; nx != nil && nx.key == k {
+		return nx.key, nx.val, true, cost + 1
+	}
+	if p := preds[0]; !p.neg {
+		return p.key, p.val, true, cost
+	}
+	var zk K
+	var zv V
+	return zk, zv, false, cost
+}
+
+// Scan calls f for each pair with lo ≤ key ≤ hi, in order; returns count
+// and cost.
+func (s *List[K, V]) Scan(lo, hi K, f func(K, V)) (int64, int64) {
+	preds, cost := s.findPreds(lo)
+	cur := preds[0].next[0]
+	var count int64
+	for cur != nil && cur.key <= hi {
+		if f != nil {
+			f(cur.key, cur.val)
+		}
+		count++
+		cost++
+		cur = cur.next[0]
+	}
+	return count, cost
+}
+
+// Ascend calls f for every pair in key order (no cost accounting — used
+// for whole-structure collection and test comparison).
+func (s *List[K, V]) Ascend(f func(K, V)) {
+	for cur := s.head.next[0]; cur != nil; cur = cur.next[0] {
+		f(cur.key, cur.val)
+	}
+}

@@ -120,10 +120,10 @@ func (t *bulkLocalLinkTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 // resides in PIM modules; BulkLoad is how it gets there).
 func (m *Map[K, V]) BulkLoad(keys []K, vals []V) BatchStats {
 	if len(keys) != len(vals) {
-		panic("core: BulkLoad keys/vals length mismatch")
+		panic(batchAbort{fmt.Errorf("%w: BulkLoad keys/vals length mismatch (%d vs %d)", ErrBadBatch, len(keys), len(vals))})
 	}
 	if m.n != 0 {
-		panic("core: BulkLoad requires an empty, freshly constructed map")
+		panic(batchAbort{fmt.Errorf("%w: BulkLoad requires an empty, freshly constructed map", ErrBadBatch)})
 	}
 	tr, c := m.beginBatch()
 	n := len(keys)
@@ -175,7 +175,7 @@ func (m *Map[K, V]) BulkLoad(keys []K, vals []V) BatchStats {
 		})
 	}
 	addrOf := make([]pim.Ptr, n*cfg.HLow) // (i, l<hLow) → ptr
-	replies, follow := m.mach.Round(sends)
+	replies, follow := m.round(sends)
 	if len(follow) != 0 {
 		panic("core: unexpected follow-ups in bulk alloc")
 	}

@@ -78,11 +78,16 @@ type Config struct {
 	// reproduction (LastPhases). Off by default: trace strings allocate,
 	// and the steady-state batch path is allocation-free without them.
 	TracePhases bool
+	// Fault installs a deterministic fault-injection plan on the machine
+	// (see pim.FaultPlan and docs/MODEL.md, "Fault model and recovery").
+	// nil — the default — is the perfectly reliable network of the paper,
+	// with zero overhead.
+	Fault FaultPlan
 }
 
 func (c Config) withDefaults() Config {
-	if c.P < 2 {
-		panic(fmt.Sprintf("core: Config.P must be >= 2, got %d", c.P))
+	if err := c.validate(); err != nil {
+		panic(err)
 	}
 	if c.HLow == 0 {
 		c.HLow = logCeil(c.P)
@@ -227,6 +232,9 @@ func New[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) *Map[K, V] {
 		}
 		return st
 	})
+	if cfg.Fault != nil {
+		m.mach.SetFaultPlan(cfg.Fault)
+	}
 	m.ws = newBatchWS[K, V]()
 	m.initSentinelTower()
 	return m

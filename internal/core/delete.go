@@ -178,7 +178,7 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 	}
 	ws.sends = sends
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			switch v := r.V.(type) {

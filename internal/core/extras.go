@@ -51,7 +51,7 @@ func (m *Map[K, V]) Min() (SearchResult[K, V], BatchStats) {
 		To: start.ModuleOf(), Task: &minTask[K, V]{m: m, at: start},
 	}}
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			res = r.V.(resultMsg[K, V])
@@ -122,7 +122,7 @@ func (m *Map[K, V]) Max() (SearchResult[K, V], BatchStats) {
 		To: pim.ModuleID(m.r.Intn(m.cfg.P)), Task: &maxTask[K, V]{m: m},
 	}}
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			res = r.V.(resultMsg[K, V])
@@ -160,7 +160,7 @@ func (m *Map[K, V]) AllPairs() ([]RangePair[K, V], BatchStats) {
 	var out []RangePair[K, V]
 	sends := m.mach.Broadcast(&allPairsTask[K, V]{}, 1)
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			out = append(out, r.V.(bcastRangeMsg[K, V]).pairs...)
@@ -199,7 +199,7 @@ func (m *Map[K, V]) Rank(keys []K) ([]int64, BatchStats) {
 	counts := make([]int64, len(qs))
 	sends := m.mach.Broadcast(&rankTask[K, V]{qs: qs}, int64(len(qs)))
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			local := r.V.([]int64)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"fmt"
 	"pimgo/internal/cpu"
 
 	"pimgo/internal/parutil"
@@ -132,7 +133,7 @@ func (m *Map[K, V]) Update(keys []K, vals []V) ([]bool, BatchStats) {
 // capacity).
 func (m *Map[K, V]) UpdateInto(keys []K, vals []V, dst []bool) ([]bool, BatchStats) {
 	if len(keys) != len(vals) {
-		panic("core: Update keys/vals length mismatch")
+		panic(batchAbort{fmt.Errorf("%w: Update keys/vals length mismatch (%d vs %d)", ErrBadBatch, len(keys), len(vals))})
 	}
 	tr, c := m.beginBatch()
 	B := len(keys)
@@ -198,7 +199,7 @@ func (m *Map[K, V]) dedup(c *cpu.Ctx, keys []K) ([]K, []int32) {
 // drainInto drives rounds to completion, delivering typed replies to f.
 func (m *Map[K, V]) drainInto(c *cpu.Ctx, sends []pim.Send[*modState[K, V]], f func(*getMsg[V])) {
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			f(r.V.(*getMsg[V]))

@@ -132,7 +132,7 @@ func (m *Map[K, V]) rangeBroadcastInner(c *cpu.Ctx, op RangeOp[K, V]) RangeResul
 	res.Reduced = op.Init
 	sends := m.mach.Broadcast(&bcastRangeTask[K, V]{m: m, op: op}, 1)
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			v := r.V.(bcastRangeMsg[K, V])
@@ -354,7 +354,7 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 	}
 	perSeg := make([][]rangeLeafMsg[K, V], len(segs))
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			v := r.V.(rangeLeafMsg[K, V])

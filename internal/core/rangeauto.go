@@ -115,7 +115,7 @@ func (m *Map[K, V]) estimateBig(c *cpu.Ctx, ops []RangeOp[K, V]) []bool {
 	}
 	big := make([]bool, B)
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			v := r.V.(estimateMsg)

@@ -211,7 +211,7 @@ type pathEntry struct {
 func (m *Map[K, V]) runWave(c *cpu.Ctx, sends []pim.Send[*modState[K, V]]) {
 	ws := m.ws
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			switch v := r.V.(type) {

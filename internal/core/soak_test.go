@@ -4,6 +4,8 @@ import (
 	"sort"
 	"testing"
 
+	"pimgo/internal/baseline/seqlist"
+	"pimgo/internal/pim"
 	"pimgo/internal/rng"
 )
 
@@ -117,6 +119,190 @@ func TestSoak(t *testing.T) {
 				}
 			}
 			mustCheck(t, m)
+		})
+	}
+}
+
+// TestChaosSoak is the fault-injection differential soak: for every
+// built-in fault plan, a faulted Map replays an adversarial mixed batch
+// workload next to a fault-free oracle Map with the same seed and a
+// sequential baseline skip list. Every batch's replies must be identical
+// to the oracle's (the reliable transport hides all injected faults),
+// consistent with the baseline's semantics, and the structure must pass
+// CheckInvariants after every round in which the transport performed a
+// recovery. Skipped with -short.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	const faultSeed = 0xFA17ED
+	plans := []struct {
+		name  string
+		plan  *pim.SeededPlan
+		fired func(FaultStats) bool
+	}{
+		{"drop", pim.DropPlan(faultSeed, 800), func(f FaultStats) bool {
+			return f.SendsDropped+f.BundlesDropped > 0 && f.Retransmits > 0
+		}},
+		{"duplicate", pim.DupPlan(faultSeed, 800), func(f FaultStats) bool {
+			return f.SendsDuplicated+f.BundlesDuplicated > 0 && f.Replays+f.DupDiscards > 0
+		}},
+		{"delay", pim.DelayPlan(faultSeed, 800, 3), func(f FaultStats) bool {
+			return f.SendsDelayed+f.BundlesDelayed > 0
+		}},
+		{"stall", pim.StallPlan(faultSeed, 1500, 4), func(f FaultStats) bool {
+			return f.StalledModuleRounds > 0
+		}},
+		{"crash", pim.CrashPlan(faultSeed, 400, 2), func(f FaultStats) bool {
+			return f.CrashedModuleRounds > 0 && f.LostToCrash > 0
+		}},
+		{"chaos", pim.ChaosPlan(faultSeed), func(f FaultStats) bool {
+			return f.SendsDropped > 0 && f.SendsDuplicated > 0 && f.SendsDelayed > 0 &&
+				f.StalledModuleRounds > 0 && f.CrashedModuleRounds > 0
+		}},
+	}
+	for _, tc := range plans {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			const p = 8
+			fm := newTestMap(t, p, func(c *Config) { c.Fault = tc.plan })
+			om := newTestMap(t, p) // fault-free oracle, same seed
+			ref := seqlist.New[uint64, int64](99)
+			r := rng.NewXoshiro256(0xBADC0DE ^ uint64(len(tc.name)))
+			const keySpace = 1 << 12
+			var prevStats FaultStats
+			for round := 0; round < 80; round++ {
+				b := 10 + r.Intn(90)
+				keys := make([]uint64, b)
+				for i := range keys {
+					keys[i] = 1 + r.Uint64n(keySpace)
+				}
+				switch r.Intn(6) {
+				case 0: // Upsert
+					vals := make([]int64, b)
+					for i := range vals {
+						vals[i] = int64(r.Uint64() >> 1)
+					}
+					got, _ := fm.Upsert(keys, vals)
+					want, _ := om.Upsert(keys, vals)
+					last := map[uint64]int64{}
+					for i, k := range keys {
+						last[k] = vals[i]
+					}
+					for k, v := range last {
+						ref.Upsert(k, v)
+					}
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Upsert(%d) inserted=%v, oracle %v", round, k, got[i], want[i])
+						}
+					}
+				case 1: // Delete
+					got, _ := fm.Delete(keys)
+					want, _ := om.Delete(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Delete(%d)=%v, oracle %v", round, k, got[i], want[i])
+						}
+					}
+					seen := map[uint64]bool{}
+					for _, k := range keys {
+						if !seen[k] {
+							seen[k] = true
+							ref.Delete(k)
+						}
+					}
+				case 2: // Get
+					got, _ := fm.Get(keys)
+					want, _ := om.Get(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Get(%d)=%+v, oracle %+v", round, k, got[i], want[i])
+						}
+						rv, rok, _ := ref.Get(k)
+						if got[i].Found != rok || (rok && got[i].Value != rv) {
+							t.Fatalf("round %d: Get(%d)=%+v, baseline (%d,%v)", round, k, got[i], rv, rok)
+						}
+					}
+				case 3: // Update (fresh values; misses on absent keys)
+					vals := make([]int64, b)
+					for i := range vals {
+						vals[i] = int64(r.Uint64() >> 1)
+					}
+					got, _ := fm.Update(keys, vals)
+					want, _ := om.Update(keys, vals)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Update(%d)=%v, oracle %v", round, k, got[i], want[i])
+						}
+					}
+					last := map[uint64]int64{}
+					hit := map[uint64]bool{}
+					for i, k := range keys {
+						last[k] = vals[i]
+						if got[i] {
+							hit[k] = true
+						}
+					}
+					for k := range hit {
+						ref.Upsert(k, last[k])
+					}
+				case 4: // Successor
+					got, _ := fm.Successor(keys)
+					want, _ := om.Successor(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Succ(%d)=%+v, oracle %+v", round, k, got[i], want[i])
+						}
+						rk, rv, rok, _ := ref.Succ(k)
+						if got[i].Found != rok || (rok && (got[i].Key != rk || got[i].Value != rv)) {
+							t.Fatalf("round %d: Succ(%d)=%+v, baseline (%d,%d,%v)", round, k, got[i], rk, rv, rok)
+						}
+					}
+				case 5: // Predecessor
+					got, _ := fm.Predecessor(keys)
+					want, _ := om.Predecessor(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Pred(%d)=%+v, oracle %+v", round, k, got[i], want[i])
+						}
+						rk, rv, rok, _ := ref.Pred(k)
+						if got[i].Found != rok || (rok && (got[i].Key != rk || got[i].Value != rv)) {
+							t.Fatalf("round %d: Pred(%d)=%+v, baseline (%d,%d,%v)", round, k, got[i], rk, rv, rok)
+						}
+					}
+				}
+				if fm.Len() != om.Len() || fm.Len() != ref.Len() {
+					t.Fatalf("round %d: len faulted %d, oracle %d, baseline %d",
+						round, fm.Len(), om.Len(), ref.Len())
+				}
+				// Invariants after every round in which the transport
+				// actually recovered from something.
+				if fs := fm.FaultStats(); fs != prevStats {
+					prevStats = fs
+					mustCheck(t, fm)
+				}
+			}
+			// Final structure: faulted and oracle snapshots must be equal.
+			fk, fv, _ := fm.Snapshot()
+			ok2, ov, _ := om.Snapshot()
+			if len(fk) != len(ok2) {
+				t.Fatalf("snapshot length %d != oracle %d", len(fk), len(ok2))
+			}
+			for i := range fk {
+				if fk[i] != ok2[i] || fv[i] != ov[i] {
+					t.Fatalf("snapshot[%d] = (%d,%d), oracle (%d,%d)", i, fk[i], fv[i], ok2[i], ov[i])
+				}
+			}
+			if fs := fm.FaultStats(); !tc.fired(fs) {
+				t.Errorf("plan %q never fired its faults: %+v", tc.name, fs)
+			}
+			if fs := om.FaultStats(); fs != (FaultStats{}) {
+				t.Errorf("oracle recorded faults: %+v", fs)
+			}
+			mustCheck(t, fm)
+			mustCheck(t, om)
 		})
 	}
 }

@@ -99,6 +99,12 @@ func (s BatchStats) String() string {
 // metering-neutral: all accounting is analytic and independent of where the
 // scratch memory came from.
 func (m *Map[K, V]) beginBatch() (*cpu.Tracker, *cpu.Ctx) {
+	if m.mach.Closed() {
+		panic(batchAbort{ErrClosed})
+	}
+	// New op epoch: the reliable transport (if a fault plan is installed)
+	// discards previous batches' dedup records and in-flight state.
+	m.mach.BeginEpoch()
 	m.mach.ResetMetrics()
 	m.resetMaxAccess()
 	m.resetAccessPhase()

@@ -223,7 +223,7 @@ func (m *Map[K, V]) Upsert(keys []K, vals []V) ([]bool, BatchStats) {
 // capacity). The all-present (pure update) steady state allocates nothing.
 func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchStats) {
 	if len(keys) != len(vals) {
-		panic("core: Upsert keys/vals length mismatch")
+		panic(batchAbort{fmt.Errorf("%w: Upsert keys/vals length mismatch (%d vs %d)", ErrBadBatch, len(keys), len(vals))})
 	}
 	tr, c := m.beginBatch()
 	B := len(keys)
@@ -300,7 +300,7 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	}
 	c.WorkFlat(int64(len(sends)))
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		for _, r := range replies {
 			v := r.V.(createLowerMsg)
@@ -442,7 +442,7 @@ func (m *Map[K, V]) appendOwner(sends []pim.Send[*modState[K, V]], ptr pim.Ptr, 
 // drive runs rounds until quiet, discarding replies (pointer-write rounds).
 func (m *Map[K, V]) drive(c *cpu.Ctx, sends []pim.Send[*modState[K, V]]) {
 	for len(sends) > 0 {
-		replies, next := m.mach.Round(sends)
+		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
 		sends = next
 	}

@@ -1,0 +1,214 @@
+// Fault injection for the PIM machine. The paper's model (§2, Fig. 1)
+// assumes a perfectly reliable network and perfectly uniform modules; the
+// hardware it abstracts is neither. A FaultPlan installed on a Machine
+// (SetFaultPlan / core.Config.Fault) perturbs the message layer at round
+// boundaries — dropping, duplicating, or delaying CPU→module task sends
+// and module→CPU reply bundles, stalling a module's round work, or
+// crashing a module for a window of rounds — while the reliable transport
+// in reliable.go recovers exactly-once semantics on top.
+//
+// Every decision is a pure function of (seed, round, module, message id,
+// direction), so a faulted run replays bit-identically across executions
+// and GOMAXPROCS settings: fault schedules are data, not races.
+package pim
+
+import "pimgo/internal/rng"
+
+// FaultDir distinguishes the two message directions a plan can perturb.
+type FaultDir uint8
+
+const (
+	// DirSend is a CPU→module task delivery.
+	DirSend FaultDir = iota
+	// DirReply is a module→CPU reply/follow bundle.
+	DirReply
+)
+
+// Fate is the outcome a plan assigns to one message transmission attempt.
+// The zero Fate delivers normally. Drop loses the message. Dup delivers it
+// now and again Delay rounds later. Delay (without Dup) postpones the only
+// copy by Delay rounds.
+type Fate struct {
+	Drop  bool
+	Dup   bool
+	Delay int32
+}
+
+// FaultPlan decides, deterministically, what goes wrong and when. Methods
+// must be pure functions of their arguments (plus the plan's own seed):
+// the transport may consult them more than once for the same tuple.
+type FaultPlan interface {
+	// MsgFate returns the fate of message id crossing the network in
+	// direction dir during round, to/from module mod.
+	MsgFate(dir FaultDir, round int64, mod ModuleID, id uint64) Fate
+	// Crashed reports whether mod is down during round. A crashed module
+	// loses messages addressed to it (its memory persists; it resumes
+	// service when the window ends).
+	Crashed(round int64, mod ModuleID) bool
+	// StallFactor returns the multiplier (≥ 1) applied to mod's local work
+	// in round; > 1 models a straggler inflating the round's PIM time.
+	StallFactor(round int64, mod ModuleID) int64
+}
+
+// FaultConfig parameterizes a SeededPlan. Probabilities are in basis
+// points (x/10000) so the plan is float-free and trivially deterministic.
+// Drop, Dup and Delay are mutually exclusive per message (evaluated in
+// that order against one hash draw).
+type FaultConfig struct {
+	Seed uint64
+
+	DropBP  int // chance a message is lost
+	DupBP   int // chance a message is delivered twice
+	DelayBP int // chance a message is postponed
+
+	MaxDelay int // delays/dup-echoes land 1..MaxDelay rounds late (default 3)
+
+	StallBP     int   // per (round, module) chance of a straggler round
+	StallFactor int64 // work multiplier for stalled rounds (default 4)
+
+	CrashBP     int // per (round, module) chance a crash window starts
+	CrashRounds int // length of each crash window in rounds (default 2)
+}
+
+// SeededPlan is the built-in FaultPlan: every decision is one Mix64 hash
+// of (seed, salt, round, module, id) reduced mod 10000.
+type SeededPlan struct {
+	cfg FaultConfig
+}
+
+// NewSeededPlan builds a deterministic plan from cfg, applying defaults
+// for zero-valued shape parameters.
+func NewSeededPlan(cfg FaultConfig) *SeededPlan {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 3
+	}
+	if cfg.StallFactor <= 1 {
+		cfg.StallFactor = 4
+	}
+	if cfg.CrashRounds <= 0 {
+		cfg.CrashRounds = 2
+	}
+	return &SeededPlan{cfg: cfg}
+}
+
+// Convenience constructors for the built-in single-fault plans used by the
+// chaos soak and `pimbench chaos`.
+
+// DropPlan loses bp/10000 of all messages.
+func DropPlan(seed uint64, bp int) *SeededPlan {
+	return NewSeededPlan(FaultConfig{Seed: seed, DropBP: bp})
+}
+
+// DupPlan double-delivers bp/10000 of all messages.
+func DupPlan(seed uint64, bp int) *SeededPlan {
+	return NewSeededPlan(FaultConfig{Seed: seed, DupBP: bp})
+}
+
+// DelayPlan postpones bp/10000 of all messages by up to maxDelay rounds.
+func DelayPlan(seed uint64, bp, maxDelay int) *SeededPlan {
+	return NewSeededPlan(FaultConfig{Seed: seed, DelayBP: bp, MaxDelay: maxDelay})
+}
+
+// StallPlan inflates a module's round work by factor with chance bp/10000
+// per (round, module).
+func StallPlan(seed uint64, bp int, factor int64) *SeededPlan {
+	return NewSeededPlan(FaultConfig{Seed: seed, StallBP: bp, StallFactor: factor})
+}
+
+// CrashPlan takes a module down for rounds consecutive rounds with chance
+// bp/10000 per (round, module) of a window starting.
+func CrashPlan(seed uint64, bp, rounds int) *SeededPlan {
+	return NewSeededPlan(FaultConfig{Seed: seed, CrashBP: bp, CrashRounds: rounds})
+}
+
+// ChaosPlan exercises every fault kind at moderate rates.
+func ChaosPlan(seed uint64) *SeededPlan {
+	return NewSeededPlan(FaultConfig{
+		Seed:   seed,
+		DropBP: 300, DupBP: 300, DelayBP: 300, MaxDelay: 3,
+		StallBP: 200, StallFactor: 4,
+		CrashBP: 100, CrashRounds: 2,
+	})
+}
+
+// hash salts keep the three decision families statistically independent.
+const (
+	saltFate  = 0x8bea_7f42_0d15_9d01
+	saltStall = 0x5b4c_9e21_77aa_13f3
+	saltCrash = 0xc3a5_c85c_97cb_3127
+)
+
+func (p *SeededPlan) hash(salt, a, b, c uint64) uint64 {
+	h := rng.Mix64(p.cfg.Seed ^ salt)
+	h = rng.Mix64(h ^ a)
+	h = rng.Mix64(h ^ b)
+	return rng.Mix64(h ^ c)
+}
+
+// MsgFate implements FaultPlan.
+func (p *SeededPlan) MsgFate(dir FaultDir, round int64, mod ModuleID, id uint64) Fate {
+	if p.cfg.DropBP+p.cfg.DupBP+p.cfg.DelayBP == 0 {
+		return Fate{}
+	}
+	h := p.hash(saltFate^uint64(dir), uint64(round), uint64(mod), id)
+	pick := int(h % 10000)
+	delay := int32(1 + (h>>32)%uint64(p.cfg.MaxDelay))
+	switch {
+	case pick < p.cfg.DropBP:
+		return Fate{Drop: true}
+	case pick < p.cfg.DropBP+p.cfg.DupBP:
+		return Fate{Dup: true, Delay: delay}
+	case pick < p.cfg.DropBP+p.cfg.DupBP+p.cfg.DelayBP:
+		return Fate{Delay: delay}
+	}
+	return Fate{}
+}
+
+// Crashed implements FaultPlan: mod is down in round iff a crash window
+// started at most CrashRounds-1 rounds ago.
+func (p *SeededPlan) Crashed(round int64, mod ModuleID) bool {
+	if p.cfg.CrashBP == 0 {
+		return false
+	}
+	for r0 := round - int64(p.cfg.CrashRounds) + 1; r0 <= round; r0++ {
+		if r0 < 1 {
+			continue
+		}
+		if int(p.hash(saltCrash, uint64(r0), uint64(mod), 0)%10000) < p.cfg.CrashBP {
+			return true
+		}
+	}
+	return false
+}
+
+// StallFactor implements FaultPlan.
+func (p *SeededPlan) StallFactor(round int64, mod ModuleID) int64 {
+	if p.cfg.StallBP == 0 {
+		return 1
+	}
+	if int(p.hash(saltStall, uint64(round), uint64(mod), 0)%10000) < p.cfg.StallBP {
+		return p.cfg.StallFactor
+	}
+	return 1
+}
+
+// FaultStats counts what the plan did and what the transport paid to
+// recover, accumulated across the machine's lifetime.
+type FaultStats struct {
+	SendsDropped    int64 `json:"sends_dropped"`    // task sends lost by the plan
+	SendsDuplicated int64 `json:"sends_duplicated"` // task sends delivered twice
+	SendsDelayed    int64 `json:"sends_delayed"`    // task sends postponed
+	LostToCrash     int64 `json:"lost_to_crash"`    // task sends arriving at a down module
+
+	BundlesDropped    int64 `json:"bundles_dropped"`    // reply bundles lost by the plan
+	BundlesDuplicated int64 `json:"bundles_duplicated"` // reply bundles delivered twice
+	BundlesDelayed    int64 `json:"bundles_delayed"`    // reply bundles postponed
+
+	StalledModuleRounds int64 `json:"stalled_module_rounds"` // (round, module) pairs stalled
+	CrashedModuleRounds int64 `json:"crashed_module_rounds"` // (round, module) pairs down
+
+	Retransmits int64 `json:"retransmits"`  // task sends re-issued after a round budget
+	Replays     int64 `json:"replays"`      // dedup hits: task already executed, bundle re-emitted
+	DupDiscards int64 `json:"dup_discards"` // bundles discarded as already acknowledged
+	IdleRounds  int64 `json:"idle_rounds"`  // recovery rounds with nothing deliverable
+}

@@ -1,0 +1,346 @@
+package pim
+
+// Tests for the fault-injection layer (fault.go) and the reliable
+// exactly-once transport (reliable.go): plan decisions are deterministic,
+// every built-in fault plan is survived with bit-identical replies and
+// final module state, execution is exactly-once under duplication, the
+// hardened error surface (ErrClosed / ErrInvalidModule /
+// ErrFaultUnrecoverable) replaces panics and hangs, and the disabled path
+// stays allocation-free.
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// faultWorkload is a deterministic mixed workload: direct increments plus
+// multi-hop forwarding tasks, driven to quiescence. It returns an FNV
+// fingerprint of the in-order reply stream, the final module counters, and
+// the machine metrics.
+func faultWorkload(m *Machine[*counterState], rounds int) (uint64, []int64, Metrics, error) {
+	h := fnv.New64a()
+	state := uint64(0x1234_5678_9abc_def0)
+	next := func(n uint64) uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state % n
+	}
+	p := m.P()
+	for r := 0; r < rounds; r++ {
+		var sends []Send[*counterState]
+		for i := 0; i < 3+int(next(8)); i++ {
+			to := ModuleID(next(uint64(p)))
+			if next(4) == 0 {
+				sends = append(sends, Send[*counterState]{To: to, Task: hopTask{int(next(3)) + 1}})
+			} else {
+				sends = append(sends, Send[*counterState]{To: to, Task: incTask{int64(next(100))}})
+			}
+		}
+		if _, err := m.TryDrive(sends, func(rp Reply) {
+			fmt.Fprintf(h, "%d:%v;", rp.From, rp.V)
+		}); err != nil {
+			return 0, nil, Metrics{}, err
+		}
+	}
+	counters := make([]int64, p)
+	for i := 0; i < p; i++ {
+		counters[i] = m.Mod(ModuleID(i)).State.n
+	}
+	return h.Sum64(), counters, m.Metrics(), nil
+}
+
+func TestSeededPlanDeterministic(t *testing.T) {
+	a := ChaosPlan(99)
+	b := ChaosPlan(99)
+	other := ChaosPlan(100)
+	same, diff := 0, 0
+	for r := int64(1); r <= 200; r++ {
+		for mod := ModuleID(0); mod < 8; mod++ {
+			for id := uint64(0); id < 4; id++ {
+				for _, dir := range []FaultDir{DirSend, DirReply} {
+					fa, fb := a.MsgFate(dir, r, mod, id), b.MsgFate(dir, r, mod, id)
+					if fa != fb {
+						t.Fatalf("same seed, different fate at (%v,%d,%d,%d): %+v vs %+v", dir, r, mod, id, fa, fb)
+					}
+					if fa == other.MsgFate(dir, r, mod, id) {
+						same++
+					} else {
+						diff++
+					}
+				}
+			}
+			if a.Crashed(r, mod) != b.Crashed(r, mod) {
+				t.Fatalf("same seed, different crash at (%d,%d)", r, mod)
+			}
+			if a.StallFactor(r, mod) != b.StallFactor(r, mod) {
+				t.Fatalf("same seed, different stall at (%d,%d)", r, mod)
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical fate schedules")
+	}
+}
+
+// builtinPlans is the full set of single-fault plans plus the combined
+// chaos plan, at rates high enough that every plan demonstrably fires.
+func builtinPlans(seed uint64) map[string]*SeededPlan {
+	return map[string]*SeededPlan{
+		"drop":  DropPlan(seed, 1200),
+		"dup":   DupPlan(seed, 1200),
+		"delay": DelayPlan(seed, 1200, 3),
+		"stall": StallPlan(seed, 2000, 4),
+		"crash": CrashPlan(seed, 600, 2),
+		"chaos": ChaosPlan(seed),
+	}
+}
+
+// TestReliableUnderEveryPlan: for each built-in plan, the faulted run must
+// produce exactly the reply stream and final module state of the
+// fault-free run — the transport hides every injected fault — while Rounds
+// does not decrease and the plan's own counters show it actually fired.
+func TestReliableUnderEveryPlan(t *testing.T) {
+	ref := newCounterMachine(8)
+	refSum, refState, refMet, err := faultWorkload(ref, 40)
+	if err != nil {
+		t.Fatalf("fault-free workload: %v", err)
+	}
+	for name, plan := range builtinPlans(0xFA17) {
+		t.Run(name, func(t *testing.T) {
+			m := newCounterMachine(8)
+			m.SetFaultPlan(plan)
+			m.BeginEpoch()
+			sum, state, met, err := faultWorkload(m, 40)
+			if err != nil {
+				t.Fatalf("faulted workload: %v", err)
+			}
+			if sum != refSum {
+				t.Errorf("reply stream %x != fault-free %x", sum, refSum)
+			}
+			for i := range state {
+				if state[i] != refState[i] {
+					t.Errorf("module %d counter %d != fault-free %d", i, state[i], refState[i])
+				}
+			}
+			if met.Rounds < refMet.Rounds {
+				t.Errorf("faulted Rounds %d < fault-free %d", met.Rounds, refMet.Rounds)
+			}
+			fs := m.FaultStats()
+			fired := map[string]bool{
+				"drop":  fs.SendsDropped+fs.BundlesDropped > 0,
+				"dup":   fs.SendsDuplicated+fs.BundlesDuplicated > 0,
+				"delay": fs.SendsDelayed+fs.BundlesDelayed > 0,
+				"stall": fs.StalledModuleRounds > 0,
+				"crash": fs.CrashedModuleRounds > 0,
+				"chaos": fs.SendsDropped > 0 && fs.SendsDuplicated > 0 && fs.SendsDelayed > 0 && fs.StalledModuleRounds > 0 && fs.CrashedModuleRounds > 0,
+			}
+			if !fired[name] {
+				t.Errorf("plan %q never fired: %+v", name, fs)
+			}
+			if name == "stall" && met.PIMRoundTime <= refMet.PIMRoundTime {
+				t.Errorf("stall plan did not inflate PIMRoundTime: %d <= %d", met.PIMRoundTime, refMet.PIMRoundTime)
+			}
+		})
+	}
+}
+
+// TestNoopPlanIdentical: a plan that injects nothing must be bit-identical
+// to no plan at all — replies, follow-ups, module state AND metrics. This
+// pins the transport's accounting: acks piggyback on reply bundles and
+// cost zero extra words or rounds.
+func TestNoopPlanIdentical(t *testing.T) {
+	plain := newCounterMachine(8)
+	noop := newCounterMachine(8)
+	noop.SetFaultPlan(NewSeededPlan(FaultConfig{Seed: 7}))
+	noop.BeginEpoch()
+	wantSum, wantState, wantMet, err1 := faultWorkload(plain, 30)
+	gotSum, gotState, gotMet, err2 := faultWorkload(noop, 30)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("workload errors: %v %v", err1, err2)
+	}
+	if gotSum != wantSum {
+		t.Errorf("reply stream %x != plan-free %x", gotSum, wantSum)
+	}
+	for i := range wantState {
+		if gotState[i] != wantState[i] {
+			t.Errorf("module %d counter %d != plan-free %d", i, gotState[i], wantState[i])
+		}
+	}
+	if gotMet != wantMet {
+		t.Errorf("metrics diverge under noop plan:\n got  %+v\n want %+v", gotMet, wantMet)
+	}
+	if fs := noop.FaultStats(); fs != (FaultStats{}) {
+		t.Errorf("noop plan recorded faults: %+v", fs)
+	}
+}
+
+// TestExactlyOnceUnderDuplication: heavy duplication must not double-apply
+// side effects — the counters see every increment exactly once.
+func TestExactlyOnceUnderDuplication(t *testing.T) {
+	m := newCounterMachine(4)
+	m.SetFaultPlan(DupPlan(3, 5000)) // half of all messages duplicated
+	m.BeginEpoch()
+	var want [4]int64
+	for r := 0; r < 20; r++ {
+		var sends []Send[*counterState]
+		for i := 0; i < 8; i++ {
+			to := ModuleID((r + i) % 4)
+			by := int64(r*10 + i)
+			want[to] += by
+			sends = append(sends, Send[*counterState]{To: to, Task: incTask{by}})
+		}
+		if _, _, err := m.TryRound(sends); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	for i := range want {
+		if got := m.Mod(ModuleID(i)).State.n; got != want[i] {
+			t.Errorf("module %d counter = %d, want %d (duplicates re-applied?)", i, got, want[i])
+		}
+	}
+	if fs := m.FaultStats(); fs.SendsDuplicated == 0 || fs.DupDiscards+fs.Replays == 0 {
+		t.Errorf("duplication plan did not exercise dedup: %+v", fs)
+	}
+}
+
+// TestFaultedDeterminismInlineVsWorkers: the same seeded plan on an inline
+// machine (no workers) and a worker-pool machine must produce identical
+// reply streams, state, metrics and fault stats — fault decisions live on
+// the caller goroutine, never in a worker race.
+func TestFaultedDeterminismInlineVsWorkers(t *testing.T) {
+	run := func(workers int) (uint64, []int64, Metrics, FaultStats) {
+		m := newMachineWorkers(8, workers, func(ModuleID) *counterState { return &counterState{} })
+		defer m.Close()
+		m.SetFaultPlan(ChaosPlan(0xDE1))
+		m.BeginEpoch()
+		sum, state, met, err := faultWorkload(m, 30)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sum, state, met, m.FaultStats()
+	}
+	s0, st0, m0, f0 := run(0)
+	s3, st3, m3, f3 := run(3)
+	if s0 != s3 {
+		t.Errorf("reply stream differs inline vs workers: %x vs %x", s0, s3)
+	}
+	for i := range st0 {
+		if st0[i] != st3[i] {
+			t.Errorf("module %d state differs: %d vs %d", i, st0[i], st3[i])
+		}
+	}
+	if m0 != m3 {
+		t.Errorf("metrics differ:\n inline  %+v\n workers %+v", m0, m3)
+	}
+	if f0 != f3 {
+		t.Errorf("fault stats differ:\n inline  %+v\n workers %+v", f0, f3)
+	}
+}
+
+// TestUnrecoverableFaults: a plan that drops everything must surface
+// ErrFaultUnrecoverable instead of looping forever, and the machine must
+// remain usable afterwards.
+func TestUnrecoverableFaults(t *testing.T) {
+	m := newCounterMachine(4)
+	m.SetFaultPlan(DropPlan(1, 10000))
+	m.BeginEpoch()
+	_, _, err := m.TryRound([]Send[*counterState]{{To: 1, Task: incTask{1}}})
+	if !errors.Is(err, ErrFaultUnrecoverable) {
+		t.Fatalf("always-drop plan: err = %v, want ErrFaultUnrecoverable", err)
+	}
+	// The machine recovers once the network does.
+	m.SetFaultPlan(nil)
+	replies, _, err := m.TryRound([]Send[*counterState]{{To: 1, Task: incTask{5}}})
+	if err != nil || len(replies) != 1 {
+		t.Fatalf("machine unusable after unrecoverable batch: %v, %d replies", err, len(replies))
+	}
+}
+
+// TestClosedMachineDeterministic: after Close, every entry point returns
+// (or panics with) ErrClosed — repeatably, with no hangs and no races
+// against exited workers.
+func TestClosedMachineDeterministic(t *testing.T) {
+	m := newMachineWorkers(8, 4, func(ModuleID) *counterState { return &counterState{} })
+	m.Round([]Send[*counterState]{{To: 1, Task: incTask{1}}})
+	m.Close()
+	sends := []Send[*counterState]{{To: 1, Task: incTask{1}}, {To: 5, Task: incTask{2}}}
+	for i := 0; i < 50; i++ {
+		if _, _, err := m.TryRound(sends); !errors.Is(err, ErrClosed) {
+			t.Fatalf("TryRound after Close (try %d): err = %v, want ErrClosed", i, err)
+		}
+		if _, err := m.TryDrive(nil, nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("TryDrive after Close (try %d): err = %v, want ErrClosed", i, err)
+		}
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("Round after Close did not panic")
+			} else if err, ok := r.(error); !ok || !errors.Is(err, ErrClosed) {
+				t.Errorf("Round after Close panicked with %v, want ErrClosed", r)
+			}
+		}()
+		m.Round(sends)
+	}()
+	if !m.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+}
+
+// TestInvalidSendSurfacedAsError: a bad To in the initial sends fails the
+// round before anything is dispatched; a bad To in a worker-side follow-up
+// is recorded and surfaced as the round's error instead of panicking the
+// worker. The machine stays usable in both cases.
+func TestInvalidSendSurfacedAsError(t *testing.T) {
+	m := newMachineWorkers(4, 3, func(ModuleID) *counterState { return &counterState{} })
+	defer m.Close()
+	_, _, err := m.TryRound([]Send[*counterState]{{To: 0, Task: incTask{1}}, {To: 9, Task: incTask{1}}})
+	if !errors.Is(err, ErrInvalidModule) {
+		t.Fatalf("bad To: err = %v, want ErrInvalidModule", err)
+	}
+	if got := m.Mod(0).State.n; got != 0 {
+		t.Errorf("round with invalid send partially executed: module 0 counter = %d", got)
+	}
+	// Worker-side: a task whose follow-up targets a bogus module.
+	bad := TaskFunc[*counterState](func(c *Ctx[*counterState]) {
+		c.Charge(1)
+		c.Send(ModuleID(99), incTask{1})
+	})
+	sends := make([]Send[*counterState], 4)
+	for i := range sends {
+		sends[i] = Send[*counterState]{To: ModuleID(i), Task: bad}
+	}
+	_, _, err = m.TryRound(sends)
+	if !errors.Is(err, ErrInvalidModule) {
+		t.Fatalf("bad follow-up: err = %v, want ErrInvalidModule", err)
+	}
+	// Still usable.
+	replies, _, err := m.TryRound([]Send[*counterState]{{To: 2, Task: incTask{7}}})
+	if err != nil || len(replies) != 1 {
+		t.Fatalf("machine unusable after invalid-send error: %v, %d replies", err, len(replies))
+	}
+}
+
+// TestDisabledPathAllocationFree: with no plan installed the fault hooks
+// must cost nothing — the steady-state round stays at zero allocations,
+// exactly as guarded since the round-engine overhaul.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	m := newCounterMachine(8)
+	defer m.Close()
+	sends := make([]Send[*counterState], 16)
+	for i := range sends {
+		sends[i] = Send[*counterState]{To: ModuleID(i % 8), Task: incTask{1}}
+	}
+	for i := 0; i < 8; i++ { // warm buffers
+		m.Round(sends)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		m.Round(sends)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Round with fault layer disabled allocates %.1f/round, want 0", allocs)
+	}
+}

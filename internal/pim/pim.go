@@ -87,6 +87,21 @@ type Module[S any] struct {
 	queue     []Send[S]
 	replies   []Reply
 	follow    []Send[S]
+
+	// sendErr records the first invalid follow-up send a task on this
+	// module requested; surfaced as the round's error after execution so a
+	// worker goroutine never panics with parked peers holding the round.
+	sendErr error
+
+	// Reliable-transport state (reliable.go), nil unless a FaultPlan is
+	// installed — the disabled path never touches these.
+	relDone    map[uint64]*ackRec[S] // logical send id → done-record
+	relIDs     []uint64              // id of queue[j]
+	relSpans   []relSpan             // output high-water marks after queue[j]
+	relInWords int64                 // incoming words this sub-round
+	relHold    []relHeld[S]          // reorder buffer: arrivals ahead of the gap
+	relExpect  uint64                // next sequence number to execute
+	relSeqNext uint64                // next sequence number to assign (CPU side)
 }
 
 // Work returns the total local work this module has performed.
@@ -132,8 +147,18 @@ func (c *Ctx[S]) ReplyWords(v any, words int64) {
 // incoming message at to when the machine delivers it next round.
 func (c *Ctx[S]) Send(to ModuleID, t Task[S]) { c.SendWords(to, t, 1) }
 
-// SendWords is Send with an explicit message size in words.
+// SendWords is Send with an explicit message size in words. A destination
+// outside [0, P) is rejected here — recorded on the module and surfaced as
+// the round's error — rather than panicking on a worker goroutine with
+// parked peers holding the round.
 func (c *Ctx[S]) SendWords(to ModuleID, t Task[S], words int64) {
+	if uint32(to) >= uint32(c.p) {
+		if c.mod.sendErr == nil {
+			c.mod.sendErr = fmt.Errorf("%w: follow-up from module %d targets module %d (P=%d)",
+				ErrInvalidModule, c.mod.ID, to, c.p)
+		}
+		return
+	}
 	if words <= 0 {
 		words = 1
 	}
@@ -172,8 +197,10 @@ type Machine[S any] struct {
 	mods []*Module[S]
 	met  Metrics
 
-	eng *engine[S] // persistent worker pool; nil ⇒ rounds run inline on the caller
-	ctx Ctx[S]     // the caller's reusable task context (workers own their own)
+	eng    *engine[S]   // persistent worker pool; nil ⇒ rounds run inline on the caller
+	ctx    Ctx[S]       // the caller's reusable task context (workers own their own)
+	rel    *relState[S] // reliable transport; nil unless a FaultPlan is installed
+	closed bool         // set by Close; every later round returns ErrClosed
 
 	active []*Module[S] // modules that received sends this round (scratch, reused)
 
@@ -252,13 +279,19 @@ func newMachineWorkers[S any](p, workers int, newState func(id ModuleID) S) *Mac
 }
 
 // Close releases the machine's persistent workers. It is idempotent and
-// optional — an unreachable machine is cleaned up by a finalizer — but a
-// closed machine must not execute further rounds.
+// optional — an unreachable machine is cleaned up by a finalizer. After
+// Close, TryRound/TryDrive return ErrClosed deterministically (and the
+// panicking Round/Drive wrappers panic with it) instead of racing dead
+// workers.
 func (m *Machine[S]) Close() {
+	m.closed = true
 	if m.eng != nil {
 		m.eng.stop.Do(func() { close(m.eng.quit) })
 	}
 }
+
+// Closed reports whether Close has been called.
+func (m *Machine[S]) Closed() bool { return m.closed }
 
 // worker is one persistent executor: parked on wake[w] between rounds, it
 // claims active modules until the round is drained, then parks again.
@@ -289,12 +322,37 @@ func (e *engine[S]) drain(ctx *Ctx[S]) {
 		if i >= len(e.active) {
 			return
 		}
-		mod := e.active[i]
-		ctx.mod = mod
+		e.active[i].runQueue(ctx)
+	}
+}
+
+// runQueue executes this module's task queue sequentially on the calling
+// executor. With the reliable transport active (relDone non-nil) it skips
+// ids that already executed this epoch — marking them with a placeholder
+// so a second copy in the same queue is skipped too — and records output
+// high-water marks after every entry so collection can slice each entry's
+// reply bundle out of the shared round buffers.
+func (mod *Module[S]) runQueue(ctx *Ctx[S]) {
+	ctx.mod = mod
+	if mod.relDone == nil {
 		// Range by index: stays correct if a future task enqueues locally.
 		for j := 0; j < len(mod.queue); j++ {
 			mod.queue[j].Task.Run(ctx)
 		}
+		return
+	}
+	mod.relSpans = mod.relSpans[:0]
+	for j := 0; j < len(mod.queue); j++ {
+		id := mod.relIDs[j]
+		if _, done := mod.relDone[id]; !done {
+			mod.queue[j].Task.Run(ctx)
+			mod.relDone[id] = nil // placeholder: executed, record pending
+		}
+		mod.relSpans = append(mod.relSpans, relSpan{
+			r:    int32(len(mod.replies)),
+			f:    int32(len(mod.follow)),
+			msgs: mod.roundMsgs,
+		})
 	}
 }
 
@@ -381,51 +439,12 @@ func (m *Machine[S]) Broadcast(t Task[S], words int64) []Send[S] {
 	return out
 }
 
-// Round executes one bulk-synchronous round: it delivers sends to their
-// modules, runs every module's queue (concurrently across modules,
-// sequentially within a module), and returns the replies and the follow-up
-// sends the CPU side must deliver next round. Reply and follow-up order is
-// deterministic: module-major, then queue order.
-//
-// Contract: a Round with len(sends) == 0 is free — it returns (nil, nil)
-// without executing anything, counting a round, or touching Metrics. The
-// model only charges synchronization when something communicates (see
-// docs/MODEL.md, "Known accounting simplifications").
-//
-// The returned slices are machine-owned and double-buffered: they remain
-// valid while the next Round runs (so follow may be passed straight back
-// in, and even extended with append), and are recycled when the round
-// after that starts. Copy them to retain them longer.
-//
-// Cost accounting is charged at enqueue time — delivery here records the
-// already-accumulated per-module counters — so none of the buffer reuse
-// below can change any model metric.
-func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
-	if len(sends) == 0 {
-		return nil, nil
-	}
-	active := m.active[:0]
-	for _, s := range sends {
-		if int(s.To) < 0 || int(s.To) >= len(m.mods) {
-			panic(fmt.Sprintf("pim: send to invalid module %d (P=%d)", s.To, len(m.mods)))
-		}
-		mod := m.mods[s.To]
-		if len(mod.queue) == 0 {
-			active = append(active, mod)
-		}
-		w := s.Words
-		if w <= 0 {
-			w = 1
-		}
-		mod.roundMsgs += w
-		mod.queue = append(mod.queue, s)
-	}
-	m.active = active
-
-	// Execute. The caller is always an executor; persistent workers are
-	// woken only when there is more than one active module to share. Wake
-	// channels are buffered and guaranteed empty here (the previous round's
-	// wg.Wait saw every woken worker finish), so waking never blocks.
+// runActive executes every module in active: the caller is always an
+// executor; persistent workers are woken only when there is more than one
+// active module to share. Wake channels are buffered and guaranteed empty
+// here (the previous round's wg.Wait saw every woken worker finish), so
+// waking never blocks.
+func (m *Machine[S]) runActive(active []*Module[S]) {
 	if k := len(active) - 1; k > 0 && m.eng != nil {
 		e := m.eng
 		if k > len(e.wake) {
@@ -441,12 +460,70 @@ func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
 		e.wg.Wait()
 	} else {
 		for _, mod := range active {
-			m.ctx.mod = mod
-			for j := 0; j < len(mod.queue); j++ {
-				mod.queue[j].Task.Run(&m.ctx)
-			}
+			mod.runQueue(&m.ctx)
 		}
 	}
+}
+
+// TryRound executes one bulk-synchronous round: it delivers sends to their
+// modules, runs every module's queue (concurrently across modules,
+// sequentially within a module), and returns the replies and the follow-up
+// sends the CPU side must deliver next round. Reply and follow-up order is
+// deterministic: module-major, then queue order.
+//
+// Errors are part of the hardened surface: ErrClosed after Close,
+// ErrInvalidModule if any send (or any task's follow-up) targets a module
+// outside [0, P) — validated before anything is dispatched, so a bad To
+// never reaches a worker goroutine — and ErrFaultUnrecoverable when an
+// installed FaultPlan defeats the retransmit budget (reliable.go).
+//
+// Contract: a TryRound with len(sends) == 0 is free — it returns
+// (nil, nil, nil) without executing anything, counting a round, or
+// touching Metrics. The model only charges synchronization when something
+// communicates (see docs/MODEL.md, "Known accounting simplifications").
+//
+// The returned slices are machine-owned and double-buffered: they remain
+// valid while the next round runs (so follow may be passed straight back
+// in, and even extended with append), and are recycled when the round
+// after that starts. Copy them to retain them longer.
+//
+// Cost accounting is charged at enqueue time — delivery here records the
+// already-accumulated per-module counters — so none of the buffer reuse
+// below can change any model metric.
+func (m *Machine[S]) TryRound(sends []Send[S]) ([]Reply, []Send[S], error) {
+	if m.closed {
+		return nil, nil, ErrClosed
+	}
+	if len(sends) == 0 {
+		return nil, nil, nil
+	}
+	if m.rel != nil {
+		return m.reliableRound(sends)
+	}
+	// Validate every destination before the first enqueue, so an error
+	// leaves no partially-delivered round behind.
+	for i := range sends {
+		if uint32(sends[i].To) >= uint32(len(m.mods)) {
+			return nil, nil, fmt.Errorf("%w: send %d targets module %d (P=%d)",
+				ErrInvalidModule, i, sends[i].To, len(m.mods))
+		}
+	}
+	active := m.active[:0]
+	for _, s := range sends {
+		mod := m.mods[s.To]
+		if len(mod.queue) == 0 {
+			active = append(active, mod)
+		}
+		w := s.Words
+		if w <= 0 {
+			w = 1
+		}
+		mod.roundMsgs += w
+		mod.queue = append(mod.queue, s)
+	}
+	m.active = active
+
+	m.runActive(active)
 
 	// Aggregate metrics and collect outputs in module-ID order ("module-
 	// major"). Only modules that participated are touched; active is sorted
@@ -459,7 +536,14 @@ func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
 	replies := m.replyBuf[idx][:0]
 	follow := m.folBuf[idx][:0]
 	var maxMsgs, maxWork, total int64
+	var sendErr error
 	for _, mod := range active {
+		if mod.sendErr != nil {
+			if sendErr == nil {
+				sendErr = mod.sendErr
+			}
+			mod.sendErr = nil
+		}
 		if mod.roundMsgs > maxMsgs {
 			maxMsgs = mod.roundMsgs
 		}
@@ -484,23 +568,45 @@ func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
 	m.met.IOTime += maxMsgs
 	m.met.PIMRoundTime += maxWork
 	m.met.TotalMsgs += total
+	if sendErr != nil {
+		return nil, nil, sendErr
+	}
+	return replies, follow, nil
+}
+
+// Round is TryRound for callers that treat a misused machine as a
+// programming error: it panics with the typed error (ErrClosed,
+// ErrInvalidModule, ...) instead of returning it.
+func (m *Machine[S]) Round(sends []Send[S]) ([]Reply, []Send[S]) {
+	replies, follow, err := m.TryRound(sends)
+	if err != nil {
+		panic(err)
+	}
 	return replies, follow
 }
 
-// Drive runs sends and keeps delivering follow-ups until the machine is
-// quiet, invoking onReply for every reply as rounds complete. It returns the
-// number of rounds executed. Use Round directly when the CPU side needs to
+// TryDrive runs sends and keeps delivering follow-ups until the machine is
+// quiet, invoking onReply for every reply as rounds complete. It returns
+// the number of rounds executed, stopping early with the round's error if
+// one fails — a crashed-beyond-recovery machine fails the batch instead of
+// deadlocking the loop. Use TryRound directly when the CPU side needs to
 // interleave computation between rounds.
 //
 // Driving an empty sends slice executes zero rounds and leaves Metrics
-// untouched (the empty-round contract of Round). The follow-up loop is
-// allocation-free: each iteration feeds Round's machine-owned follow buffer
+// untouched (the empty-round contract of TryRound). The follow-up loop is
+// allocation-free: each iteration feeds the machine-owned follow buffer
 // back in, and the double-buffered pair inside the machine guarantees the
 // slice being delivered is never the one being refilled.
-func (m *Machine[S]) Drive(sends []Send[S], onReply func(Reply)) int64 {
+func (m *Machine[S]) TryDrive(sends []Send[S], onReply func(Reply)) (int64, error) {
+	if m.closed {
+		return 0, ErrClosed
+	}
 	rounds := int64(0)
 	for len(sends) > 0 {
-		replies, next := m.Round(sends)
+		replies, next, err := m.TryRound(sends)
+		if err != nil {
+			return rounds, err
+		}
 		rounds++
 		if onReply != nil {
 			for _, r := range replies {
@@ -508,6 +614,15 @@ func (m *Machine[S]) Drive(sends []Send[S], onReply func(Reply)) int64 {
 			}
 		}
 		sends = next
+	}
+	return rounds, nil
+}
+
+// Drive is TryDrive with the panicking error convention of Round.
+func (m *Machine[S]) Drive(sends []Send[S], onReply func(Reply)) int64 {
+	rounds, err := m.TryDrive(sends, onReply)
+	if err != nil {
+		panic(err)
 	}
 	return rounds
 }

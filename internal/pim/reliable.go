@@ -1,0 +1,490 @@
+// Reliable exactly-once transport over a faulty network. When a FaultPlan
+// is installed, every logical CPU→module send gets an epoch-scoped id and
+// TryRound becomes a recovery loop of physical sub-rounds: messages are
+// (re)submitted, fated by the plan, executed at most once per module
+// (module-side done-records dedup re-deliveries and replay the recorded
+// reply bundle), and acknowledged at the CPU side exactly once. A logical
+// round returns only when every send it submitted has been acknowledged —
+// with the same replies, follow-ups, and ordering a fault-free round would
+// have produced — or fails with ErrFaultUnrecoverable after the retransmit
+// budget is exhausted.
+//
+// Everything here runs on the caller goroutine except task execution
+// (which the normal round engine parallelizes across modules): fault
+// decisions, delivery, collection and retransmit scheduling never iterate
+// a Go map for ordered choices, so a faulted run is bit-identical across
+// GOMAXPROCS settings.
+package pim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed errors for the hardened API surface. Callers match with errors.Is.
+var (
+	// ErrClosed reports use of a machine after Close.
+	ErrClosed = errors.New("pim: machine is closed")
+	// ErrInvalidModule reports a send whose To is outside [0, P).
+	ErrInvalidModule = errors.New("pim: send to invalid module")
+	// ErrFaultUnrecoverable reports that injected faults exceeded the
+	// transport's retransmit budget; the current batch is abandoned.
+	ErrFaultUnrecoverable = errors.New("pim: faults exceeded recovery budget")
+)
+
+// Retransmit policy, in rounds (never wall-clock): a send unacknowledged
+// relBudget rounds after submission is re-issued, with the deadline
+// doubling per attempt up to relMaxBackoff. relMaxAttempts bounds total
+// attempts per send and relMaxRounds bounds sub-rounds per logical round;
+// beyond either the batch fails with ErrFaultUnrecoverable.
+const (
+	relBudget      = 4
+	relMaxBackoff  = 64
+	relMaxAttempts = 25
+	relMaxRounds   = 4096
+)
+
+// relSpan marks, after queue entry j ran (or was skipped), the cumulative
+// high-water marks of the module's output buffers: entry j's own outputs
+// are the deltas against entry j-1's span.
+type relSpan struct {
+	r    int32 // len(mod.replies)
+	f    int32 // len(mod.follow)
+	msgs int64 // mod.roundMsgs (output words charged by Run)
+}
+
+// ackRec is a module-side done-record: the reply bundle of one executed
+// logical send, kept for the epoch so re-deliveries replay it instead of
+// re-running the task.
+type ackRec[S any] struct {
+	replies []Reply
+	follows []Send[S]
+	words   int64 // outgoing words the bundle charges when (re)emitted
+}
+
+// pendSend is one logical CPU→module send awaiting acknowledgment.
+type pendSend[S any] struct {
+	id       uint64
+	seq      uint64 // per-destination sequence number (in-order delivery)
+	send     Send[S]
+	attempts int
+	due      int64 // round of the next (re)submission if still unacked
+}
+
+// delayedSend is an in-flight task copy the plan postponed.
+type delayedSend[S any] struct {
+	due  int64
+	id   uint64
+	seq  uint64
+	send Send[S]
+}
+
+// relHeld is an out-of-order arrival parked in a module's reorder buffer
+// until the gap before it fills.
+type relHeld[S any] struct {
+	seq  uint64
+	id   uint64
+	send Send[S]
+}
+
+// delayedBundle is an in-flight reply bundle the plan postponed.
+type delayedBundle[S any] struct {
+	due int64
+	id  uint64
+	rec *ackRec[S]
+}
+
+// relState is the CPU-side transport state of one machine with a plan
+// installed. Ids and the physical round counter grow monotonically across
+// epochs (so fault schedules vary batch to batch); everything else is
+// epoch-scoped.
+type relState[S any] struct {
+	plan   FaultPlan
+	round  int64  // physical sub-round counter (drives all plan decisions)
+	nextID uint64 // next logical send id
+
+	pending        []pendSend[S]
+	acked          map[uint64]bool
+	delayedSends   []delayedSend[S]
+	delayedBundles []delayedBundle[S]
+
+	active []*Module[S] // per-sub-round scratch
+	stats  FaultStats
+}
+
+// SetFaultPlan installs (or, with nil, removes) a fault plan. Must not be
+// called while a round is in flight. With a plan installed every round
+// runs through the reliable transport; without one the machine is the
+// plain zero-overhead engine.
+func (m *Machine[S]) SetFaultPlan(plan FaultPlan) {
+	if plan == nil {
+		m.rel = nil
+		for _, mod := range m.mods {
+			mod.relDone, mod.relIDs, mod.relSpans = nil, nil, nil
+		}
+		return
+	}
+	m.rel = &relState[S]{plan: plan, acked: make(map[uint64]bool)}
+	for _, mod := range m.mods {
+		mod.relDone = make(map[uint64]*ackRec[S])
+	}
+}
+
+// BeginEpoch starts a new operation epoch: done-records and transport
+// state from previous batches are discarded, so their memory does not
+// accumulate and their ids cannot collide with this batch's. Core calls
+// this at every batch boundary. A no-op without a plan.
+func (m *Machine[S]) BeginEpoch() {
+	rt := m.rel
+	if rt == nil {
+		return
+	}
+	rt.pending = rt.pending[:0]
+	rt.delayedSends = rt.delayedSends[:0]
+	rt.delayedBundles = rt.delayedBundles[:0]
+	clear(rt.acked)
+	for _, mod := range m.mods {
+		clear(mod.relDone)
+		mod.relHold = mod.relHold[:0]
+		mod.relExpect, mod.relSeqNext = 0, 0
+	}
+}
+
+// FaultStats returns the accumulated fault and recovery counters (zero
+// without a plan).
+func (m *Machine[S]) FaultStats() FaultStats {
+	if m.rel == nil {
+		return FaultStats{}
+	}
+	return m.rel.stats
+}
+
+// relAbort clears all in-flight transport and module round state after an
+// unrecoverable error, so the machine is reusable (the *structure* may be
+// left partially mutated — exactly-once covers completed batches only).
+func (m *Machine[S]) relAbort() {
+	rt := m.rel
+	rt.pending = rt.pending[:0]
+	rt.delayedSends = rt.delayedSends[:0]
+	rt.delayedBundles = rt.delayedBundles[:0]
+	clear(rt.acked)
+	for _, mod := range m.mods {
+		mod.queue = mod.queue[:0]
+		mod.relIDs = mod.relIDs[:0]
+		mod.relSpans = mod.relSpans[:0]
+		mod.replies = mod.replies[:0]
+		mod.follow = mod.follow[:0]
+		mod.roundMsgs, mod.roundWork, mod.relInWords = 0, 0, 0
+		mod.relHold = mod.relHold[:0]
+		mod.relExpect, mod.relSeqNext = 0, 0
+		mod.sendErr = nil
+	}
+}
+
+// reliableRound is TryRound with a plan installed: it loops physical
+// sub-rounds until every logical send in sends has been executed exactly
+// once and its reply bundle accepted exactly once. With a plan that
+// injects nothing it performs exactly one sub-round and returns
+// bit-identical replies, follow-ups and metrics to the plan-free engine.
+func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) {
+	rt := m.rel
+	for i := range sends {
+		if uint32(sends[i].To) >= uint32(len(m.mods)) {
+			return nil, nil, fmt.Errorf("%w: send %d targets module %d (P=%d)",
+				ErrInvalidModule, i, sends[i].To, len(m.mods))
+		}
+	}
+	firstID := rt.nextID
+	for i := range sends {
+		mod := m.mods[sends[i].To]
+		rt.pending = append(rt.pending, pendSend[S]{
+			id: rt.nextID, seq: mod.relSeqNext, send: sends[i], due: rt.round + 1,
+		})
+		rt.nextID++
+		mod.relSeqNext++
+	}
+	outstanding := len(sends)
+	// Accepted bundles are buffered per logical send and assembled into
+	// the canonical fault-free order (module-major, submission order
+	// within a module) only when the whole round has quiesced — arrival
+	// order under faults is timing, not semantics.
+	recs := make([]*ackRec[S], len(sends))
+
+	for guard := 0; outstanding > 0; guard++ {
+		if guard >= relMaxRounds {
+			m.relAbort()
+			return nil, nil, fmt.Errorf("%w: round not quiesced after %d recovery sub-rounds",
+				ErrFaultUnrecoverable, relMaxRounds)
+		}
+		rt.round++
+		r := rt.round
+
+		// Fail before touching any module if a send is out of attempts.
+		for i := range rt.pending {
+			ps := &rt.pending[i]
+			if !rt.acked[ps.id] && ps.due <= r && ps.attempts >= relMaxAttempts {
+				err := fmt.Errorf("%w: send %d to module %d lost after %d attempts",
+					ErrFaultUnrecoverable, ps.id, ps.send.To, ps.attempts)
+				m.relAbort()
+				return nil, nil, err
+			}
+		}
+
+		active := rt.active[:0]
+		progress := false
+		enqueue := func(mod *Module[S], s Send[S], id uint64) {
+			if len(mod.queue) == 0 {
+				active = append(active, mod)
+			}
+			mod.queue = append(mod.queue, s)
+			mod.relIDs = append(mod.relIDs, id)
+		}
+		// deliver routes one arriving task copy. In-order delivery per
+		// module: sequence numbers ahead of the gap park in the reorder
+		// buffer, so intra-module execution order always equals submission
+		// order — a module's state evolves exactly as it would fault-free,
+		// no matter how the plan reorders arrivals. Copies at or behind
+		// the gap go straight to the queue (the done-records replay them).
+		deliver := func(s Send[S], id, seq uint64) {
+			w := s.Words
+			if w <= 0 {
+				w = 1
+			}
+			mod := m.mods[s.To]
+			mod.relInWords += w // incoming words cross the network even if lost below
+			if rt.plan.Crashed(r, s.To) {
+				rt.stats.LostToCrash++
+				return
+			}
+			if seq > mod.relExpect {
+				mod.relHold = append(mod.relHold, relHeld[S]{seq: seq, id: id, send: s})
+				return
+			}
+			if seq == mod.relExpect {
+				mod.relExpect++
+			}
+			enqueue(mod, s, id)
+			// Flush parked arrivals the gap-fill just unblocked; purge
+			// stale duplicates the gap has moved past (their logical sends
+			// already executed — retransmits replay them if still unacked).
+			for {
+				advanced := false
+				for i := 0; i < len(mod.relHold); {
+					h := mod.relHold[i]
+					switch {
+					case h.seq < mod.relExpect:
+						mod.relHold = append(mod.relHold[:i], mod.relHold[i+1:]...)
+					case h.seq == mod.relExpect:
+						mod.relHold = append(mod.relHold[:i], mod.relHold[i+1:]...)
+						mod.relExpect++
+						enqueue(mod, h.send, h.id)
+						advanced = true
+					default:
+						i++
+					}
+				}
+				if !advanced {
+					return
+				}
+			}
+		}
+
+		// 1. Submissions and retransmits due this sub-round, in id order.
+		for i := range rt.pending {
+			ps := &rt.pending[i]
+			if rt.acked[ps.id] || ps.due > r {
+				continue
+			}
+			if ps.attempts > 0 {
+				rt.stats.Retransmits++
+			}
+			ps.attempts++
+			backoff := int64(relBudget) << (ps.attempts - 1)
+			if backoff > relMaxBackoff {
+				backoff = relMaxBackoff
+			}
+			ps.due = r + backoff
+			progress = true
+			fate := rt.plan.MsgFate(DirSend, r, ps.send.To, ps.id)
+			switch {
+			case fate.Drop:
+				rt.stats.SendsDropped++
+				w := ps.send.Words
+				if w <= 0 {
+					w = 1
+				}
+				m.mods[ps.send.To].relInWords += w
+			case fate.Dup:
+				rt.stats.SendsDuplicated++
+				deliver(ps.send, ps.id, ps.seq)
+				rt.delayedSends = append(rt.delayedSends,
+					delayedSend[S]{due: r + int64(fate.Delay), id: ps.id, seq: ps.seq, send: ps.send})
+			case fate.Delay > 0:
+				rt.stats.SendsDelayed++
+				rt.delayedSends = append(rt.delayedSends,
+					delayedSend[S]{due: r + int64(fate.Delay), id: ps.id, seq: ps.seq, send: ps.send})
+			default:
+				deliver(ps.send, ps.id, ps.seq)
+			}
+		}
+
+		// 2. Postponed copies arriving now (already fated at submission —
+		// only the crash check applies, inside deliver).
+		keepS := rt.delayedSends[:0]
+		for _, ds := range rt.delayedSends {
+			if ds.due > r {
+				keepS = append(keepS, ds)
+				continue
+			}
+			progress = true
+			deliver(ds.send, ds.id, ds.seq)
+		}
+		rt.delayedSends = keepS
+		rt.active = active
+
+		// 3. Execute through the normal round engine. Workers see the
+		// done-records read-only and skip already-executed ids.
+		m.runActive(active)
+
+		// accept delivers a bundle to the CPU side exactly once. Bundles
+		// from a previous logical round (dangling duplicates) are already
+		// acknowledged and discarded here.
+		accept := func(id uint64, rec *ackRec[S]) {
+			if rt.acked[id] {
+				rt.stats.DupDiscards++
+				return
+			}
+			rt.acked[id] = true
+			outstanding--
+			recs[id-firstID] = rec
+		}
+
+		// 4a. Postponed bundles arriving now.
+		keepB := rt.delayedBundles[:0]
+		for _, db := range rt.delayedBundles {
+			if db.due > r {
+				keepB = append(keepB, db)
+				continue
+			}
+			progress = true
+			accept(db.id, db.rec)
+		}
+		rt.delayedBundles = keepB
+
+		// 4b. Collect this sub-round's module outputs in module-ID order
+		// (queue order within a module), fate each bundle, and aggregate
+		// metrics over all modules.
+		var maxMsgs, maxWork, total int64
+		var sendErr error
+		for _, mod := range m.mods {
+			if len(mod.queue) > 0 {
+				if mod.sendErr != nil {
+					if sendErr == nil {
+						sendErr = mod.sendErr
+					}
+					mod.sendErr = nil
+				}
+				var prev relSpan
+				for j := range mod.queue {
+					id := mod.relIDs[j]
+					span := mod.relSpans[j]
+					rec := mod.relDone[id]
+					if rec == nil {
+						// First execution: copy the outputs out of the
+						// module's round buffers (truncated below) into a
+						// stable done-record.
+						rec = &ackRec[S]{words: span.msgs - prev.msgs}
+						if span.r > prev.r {
+							rec.replies = append([]Reply(nil), mod.replies[prev.r:span.r]...)
+						}
+						if span.f > prev.f {
+							rec.follows = append([]Send[S](nil), mod.follow[prev.f:span.f]...)
+						}
+						mod.relDone[id] = rec
+					} else {
+						// Re-delivery of an executed send: no re-execution,
+						// just re-emit (and re-charge) the recorded bundle.
+						mod.roundMsgs += rec.words
+						rt.stats.Replays++
+					}
+					prev = span
+					fate := rt.plan.MsgFate(DirReply, r, mod.ID, id)
+					switch {
+					case fate.Drop:
+						rt.stats.BundlesDropped++
+					case fate.Dup:
+						rt.stats.BundlesDuplicated++
+						accept(id, rec)
+						rt.delayedBundles = append(rt.delayedBundles,
+							delayedBundle[S]{due: r + int64(fate.Delay), id: id, rec: rec})
+					case fate.Delay > 0:
+						rt.stats.BundlesDelayed++
+						rt.delayedBundles = append(rt.delayedBundles,
+							delayedBundle[S]{due: r + int64(fate.Delay), id: id, rec: rec})
+					default:
+						accept(id, rec)
+					}
+				}
+				mod.queue = mod.queue[:0]
+				mod.relIDs = mod.relIDs[:0]
+				mod.relSpans = mod.relSpans[:0]
+				mod.replies = mod.replies[:0]
+				mod.follow = mod.follow[:0]
+			}
+			if f := rt.plan.StallFactor(r, mod.ID); f > 1 && mod.roundWork > 0 {
+				mod.roundWork *= f
+				rt.stats.StalledModuleRounds++
+			}
+			if rt.plan.Crashed(r, mod.ID) {
+				rt.stats.CrashedModuleRounds++
+			}
+			mod.roundMsgs += mod.relInWords
+			mod.relInWords = 0
+			if mod.roundMsgs > maxMsgs {
+				maxMsgs = mod.roundMsgs
+			}
+			if mod.roundWork > maxWork {
+				maxWork = mod.roundWork
+			}
+			total += mod.roundMsgs
+			mod.msgs += mod.roundMsgs
+			mod.work += mod.roundWork
+			mod.roundMsgs, mod.roundWork = 0, 0
+		}
+		m.met.Rounds++
+		m.met.IOTime += maxMsgs
+		m.met.PIMRoundTime += maxWork
+		m.met.TotalMsgs += total
+		if sendErr != nil {
+			m.relAbort()
+			return nil, nil, sendErr
+		}
+		if !progress {
+			rt.stats.IdleRounds++
+		}
+	}
+	// Everything acknowledged: assemble the outputs in the exact order the
+	// fault-free engine would have produced them — module-ID major, then
+	// submission order within a module (a counting sort over destinations).
+	rt.pending = rt.pending[:0]
+	p := len(m.mods)
+	counts := make([]int, p+1)
+	for i := range sends {
+		counts[sends[i].To+1]++
+	}
+	for i := 0; i < p; i++ {
+		counts[i+1] += counts[i]
+	}
+	order := make([]int, len(sends))
+	for i := range sends {
+		order[counts[sends[i].To]] = i
+		counts[sends[i].To]++
+	}
+	var outReplies []Reply
+	var outFollows []Send[S]
+	for _, i := range order {
+		outReplies = append(outReplies, recs[i].replies...)
+		outFollows = append(outFollows, recs[i].follows...)
+	}
+	return outReplies, outFollows, nil
+}

@@ -15,6 +15,7 @@ import (
 	"cmp"
 
 	"pimgo/internal/core"
+	"pimgo/internal/pim"
 	"pimgo/internal/pimmap"
 	"pimgo/internal/pimsort"
 )
@@ -53,9 +54,65 @@ const (
 	RangeTransform = core.RangeTransform
 )
 
+// Typed errors of the batch API; match with errors.Is. The legacy
+// two-value methods panic with these values on caller mistakes; the Try*
+// variants return them.
+var (
+	// ErrBadConfig reports an invalid Config (TryNewMap).
+	ErrBadConfig = core.ErrBadConfig
+	// ErrBadBatch reports malformed batch arguments, e.g. a keys/vals
+	// length mismatch.
+	ErrBadBatch = core.ErrBadBatch
+	// ErrClosed reports use of a Map after Close.
+	ErrClosed = core.ErrClosed
+	// ErrInvalidModule reports a send routed outside [0, P).
+	ErrInvalidModule = core.ErrInvalidModule
+	// ErrFaultUnrecoverable reports that an installed fault plan defeated
+	// the reliable transport's retransmit budget; see docs/MODEL.md.
+	ErrFaultUnrecoverable = core.ErrFaultUnrecoverable
+)
+
+// FaultPlan injects deterministic message/module faults into the simulated
+// machine; install one via Config.Fault. Nil means the paper's reliable
+// network (the default, with zero simulation overhead).
+type FaultPlan = core.FaultPlan
+
+// FaultConfig parameterizes NewSeededFaultPlan.
+type FaultConfig = core.FaultConfig
+
+// FaultStats reports what a plan injected and what recovery cost; read it
+// with Map.FaultStats.
+type FaultStats = core.FaultStats
+
+// NewSeededFaultPlan builds the deterministic built-in plan: every
+// decision is a pure hash of (seed, round, module, message), so a faulted
+// run replays bit-identically across runs and GOMAXPROCS settings.
+func NewSeededFaultPlan(cfg FaultConfig) FaultPlan { return core.NewSeededFaultPlan(cfg) }
+
+// Single-fault convenience plans (rates in basis points of 10000).
+func DropFaultPlan(seed uint64, bp int) FaultPlan  { return pim.DropPlan(seed, bp) }
+func DupFaultPlan(seed uint64, bp int) FaultPlan   { return pim.DupPlan(seed, bp) }
+func DelayFaultPlan(seed uint64, bp, maxDelay int) FaultPlan {
+	return pim.DelayPlan(seed, bp, maxDelay)
+}
+func StallFaultPlan(seed uint64, bp int, factor int64) FaultPlan {
+	return pim.StallPlan(seed, bp, factor)
+}
+func CrashFaultPlan(seed uint64, bp, rounds int) FaultPlan { return pim.CrashPlan(seed, bp, rounds) }
+
+// ChaosFaultPlan mixes drops, duplicates, delays, stalls, and crashes at
+// moderate rates — the plan the chaos soak and `pimbench chaos` use.
+func ChaosFaultPlan(seed uint64) FaultPlan { return pim.ChaosPlan(seed) }
+
 // NewMap constructs an empty PIM skip list on a fresh simulated machine.
 func NewMap[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) *Map[K, V] {
 	return core.New[K, V](cfg, hash)
+}
+
+// TryNewMap is NewMap with the error convention: an invalid Config or nil
+// hasher returns ErrBadConfig instead of panicking.
+func TryNewMap[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) (*Map[K, V], error) {
+	return core.TryNew[K, V](cfg, hash)
 }
 
 // RestoreMap builds a Map from a Snapshot in O(1) network rounds.

@@ -24,11 +24,14 @@ type detFingerprint struct {
 	stats     []BatchStats
 	resultSum uint64
 	structSum uint64
+	faults    FaultStats
 }
 
-func runDetWorkload() detFingerprint {
+// runDetWorkload executes the mixed workload, optionally under a fault
+// plan (nil = reliable network).
+func runDetWorkload(plan FaultPlan) detFingerprint {
 	const p = 16
-	m := NewMap[uint64, int64](Config{P: p, Seed: 4242}, Uint64Hash)
+	m := NewMap[uint64, int64](Config{P: p, Seed: 4242, Fault: plan}, Uint64Hash)
 	res := fnv.New64a()
 	var fp detFingerprint
 
@@ -83,6 +86,7 @@ func runDetWorkload() detFingerprint {
 		fmt.Fprintf(str, "%v=%v;", snapKeys[i], snapVals[i])
 	}
 	fp.structSum = str.Sum64()
+	fp.faults = m.FaultStats()
 	return fp
 }
 
@@ -214,6 +218,22 @@ func TestDeterminismWorkspaceReuse(t *testing.T) {
 }
 
 func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	checkDetAcrossGOMAXPROCS(t, nil)
+}
+
+// TestFaultedDeterminismAcrossGOMAXPROCS extends the contract to faulted
+// runs: with a seeded chaos plan installed, drops, duplicates, delays,
+// stalls, and crashes are all decided by pure hashing and every recovery
+// step runs on the caller's goroutine — so the reply stream, every batch's
+// stats (including the inflated Rounds/IOTime paid for recovery), the
+// final structure, AND the fault counters themselves must be bit-identical
+// at any thread count.
+func TestFaultedDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	checkDetAcrossGOMAXPROCS(t, ChaosFaultPlan(0xFA011))
+}
+
+func checkDetAcrossGOMAXPROCS(t *testing.T, plan FaultPlan) {
+	t.Helper()
 	settings := []int{1, 4, runtime.NumCPU()}
 	old := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(old)
@@ -221,9 +241,12 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	var ref detFingerprint
 	for i, gmp := range settings {
 		runtime.GOMAXPROCS(gmp)
-		fp := runDetWorkload()
+		fp := runDetWorkload(plan)
 		if i == 0 {
 			ref = fp
+			if plan != nil && ref.faults == (FaultStats{}) {
+				t.Fatalf("fault plan installed but no faults fired: %+v", ref.faults)
+			}
 			continue
 		}
 		if fp.resultSum != ref.resultSum {
@@ -233,6 +256,10 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 		if fp.structSum != ref.structSum {
 			t.Errorf("GOMAXPROCS=%d: structure hash %x != %x at GOMAXPROCS=%d",
 				gmp, fp.structSum, ref.structSum, settings[0])
+		}
+		if fp.faults != ref.faults {
+			t.Errorf("GOMAXPROCS=%d: fault stats diverge:\n  got  %+v\n  want %+v",
+				gmp, fp.faults, ref.faults)
 		}
 		if len(fp.stats) != len(ref.stats) {
 			t.Fatalf("GOMAXPROCS=%d: %d batches vs %d", gmp, len(fp.stats), len(ref.stats))
