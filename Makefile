@@ -2,11 +2,13 @@
 # `make bench` refreshes the perf records (results/BENCH_*.json) that track
 # engine throughput PR-over-PR; `make benchguard` asserts the steady-state
 # zero-allocation contract of the batch engine; `make chaos` runs the
-# fault-injection soak and refreshes results/BENCH_chaos.json.
+# fault-injection soak and refreshes results/BENCH_chaos.json; `make docs`
+# lints the documentation (markdown links, pimbench command references,
+# facade godoc coverage) and gofmt cleanliness.
 
 GO ?= go
 
-.PHONY: build test race vet bench benchguard chaos check
+.PHONY: build test race vet bench benchguard chaos docs check
 
 build:
 	$(GO) build ./...
@@ -43,4 +45,13 @@ chaos:
 	$(GO) test -run 'TestFaultedDeterminismAcrossGOMAXPROCS' -count=1 .
 	$(GO) run ./cmd/pimbench chaos -out results/BENCH_chaos.json
 
-check: build vet test benchguard race
+# Documentation gate: every intra-repo markdown link resolves, every
+# `pimbench <cmd>` in the docs is a real command (validated against
+# `pimbench -list`), every exported facade identifier has a doc comment,
+# and all sources are gofmt-clean.
+docs:
+	$(GO) run ./cmd/pimbench -list | $(GO) run ./cmd/doccheck -cmds - -pkg .
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+
+check: build vet test benchguard docs race

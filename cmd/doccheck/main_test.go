@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func collect() (func(string, ...any), *[]string) {
+	var got []string
+	return func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	}, &got
+}
+
+func TestCheckMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("ok.md", "see [design](design.md) and [anchor](#local) and [web](https://example.com)")
+	write("design.md", "run `pimbench trace` or `go run ./cmd/pimbench chaos -out x.json`;\n"+
+		"in prose, pimbench regenerates tables. Placeholder: `pimbench <cmd>`, flag: `pimbench -list`.")
+	write("bad.md", "see [missing](gone.md); run `pimbench bogus`")
+
+	valid := map[string]bool{"trace": true, "chaos": true}
+	report, got := collect()
+	checkMarkdown(dir, valid, report)
+
+	if len(*got) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(*got), *got)
+	}
+	var link, cmd bool
+	for _, p := range *got {
+		if strings.Contains(p, "broken link") {
+			link = true
+		}
+		if strings.Contains(p, "unknown pimbench command") {
+			cmd = true
+		}
+	}
+	if !link || !cmd {
+		t.Fatalf("missing expected problem kinds in %v", *got)
+	}
+}
+
+func TestCheckGodoc(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package sample is a doc-coverage fixture.
+package sample
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+// Grouped declarations share the group comment.
+var (
+	A = 1
+	B = 2
+)
+
+type Bare struct{}
+`
+	if err := os.WriteFile(filepath.Join(dir, "sample.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, got := collect()
+	checkGodoc(dir, report)
+
+	if len(*got) != 2 {
+		t.Fatalf("got %d problems, want 2 (Undocumented, Bare): %v", len(*got), *got)
+	}
+	var fn, ty bool
+	for _, p := range *got {
+		if strings.Contains(p, "Undocumented") {
+			fn = true
+		}
+		if strings.Contains(p, "Bare") {
+			ty = true
+		}
+	}
+	if !fn || !ty {
+		t.Fatalf("missing expected identifiers in %v", *got)
+	}
+}
+
+// TestRepoDocsClean runs the real checks over the repository itself, so a
+// broken doc link or an undocumented facade export fails `go test ./...`
+// too, not only the `make docs` gate.
+func TestRepoDocsClean(t *testing.T) {
+	report, got := collect()
+	checkMarkdown("../..", nil, report) // command list needs pimbench; make docs covers it
+	checkGodoc("../..", report)
+	if len(*got) != 0 {
+		t.Fatalf("repository docs have %d problem(s): %v", len(*got), *got)
+	}
+}

@@ -20,7 +20,11 @@
 //	baseline  §2.2/§3.1 — ours vs range-partitioned skip list
 //	ablate    design ablations: -what=hlow|pivot|dedup
 //	chaos     fault-injection recovery costs under every built-in plan
+//	trace     per-phase metric attribution; -chrome exports a Chrome trace
 //	all       every experiment in sequence
+//
+// `pimbench -list` prints every command name, one per line (used by the
+// docs CI job to validate command references in the documentation).
 package main
 
 import (
@@ -55,6 +59,7 @@ var experiments = []experiment{
 	{"roundengine", "round-engine microbenchmarks → results/BENCH_roundengine.json", runRoundEngine},
 	{"batchengine", "steady-state batch-op benchmarks → results/BENCH_batchengine.json", runBatchEngine},
 	{"chaos", "fault-injection recovery costs → results/BENCH_chaos.json", runChaos},
+	{"trace", "per-phase metric attribution → results/BENCH_trace.json (-chrome exports Chrome trace JSON)", runTrace},
 }
 
 func main() {
@@ -64,6 +69,16 @@ func main() {
 	}
 	name := os.Args[1]
 	args := os.Args[2:]
+	if name == "-list" || name == "--list" {
+		// Machine-readable command list, one name per line ("all" included).
+		// The docs CI job uses it to verify every `pimbench <cmd>` named in
+		// the documentation exists.
+		for _, e := range experiments {
+			fmt.Println(e.name)
+		}
+		fmt.Println("all")
+		return
+	}
 	if name == "all" {
 		for _, e := range experiments {
 			fmt.Printf("\n================ %s — %s ================\n", e.name, e.desc)

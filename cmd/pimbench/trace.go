@@ -1,0 +1,160 @@
+package main
+
+// `pimbench trace` exercises the observability layer end to end: a mixed
+// batch workload runs with a trace.Profile sink installed, the per-op,
+// per-phase metric attribution is printed and recorded in
+// results/BENCH_trace.json, and -chrome additionally streams the run as
+// Chrome trace_event JSON loadable in chrome://tracing or Perfetto
+// (ui.perfetto.dev). The command refuses to record a profile whose phase
+// columns do not sum exactly to the headline totals (the decomposition
+// invariant of docs/TRACING.md).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+	"pimgo/internal/trace"
+)
+
+// traceEntry is one labeled run of the trace harness.
+type traceEntry struct {
+	Label      string `json:"label"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	P          int    `json:"p"`
+	N          int    `json:"n"`
+	Batches    int    `json:"batches"`
+	FaultPlan  string `json:"fault_plan"`
+	Note       string `json:"note,omitempty"`
+	// Rounds is the total machine rounds observed by the sink, including
+	// recovery sub-rounds of faulted runs.
+	Rounds int64 `json:"rounds"`
+	// Ops is the per-op aggregate attribution: every decomposable metric's
+	// phase column sums exactly to its totals field (docs/METRICS.md).
+	Ops []*trace.BatchProfile `json:"ops"`
+}
+
+func runTrace(args []string) {
+	f := fs("trace")
+	outPath := f.String("out", "results/BENCH_trace.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	p := f.Int("p", 16, "module count")
+	n := f.Int("n", 1<<14, "prefill size")
+	batches := f.Int("batches", 60, "mixed batches to trace")
+	seed := f.Uint64("seed", 0x7e5c, "workload seed")
+	chrome := f.String("chrome", "", "also write a Chrome trace_event JSON to this path")
+	chaos := f.Bool("chaos", false, "run under the chaos fault plan (fault events land in the trace)")
+	f.Parse(args)
+
+	prof := trace.NewProfile()
+	var sink trace.Sink = prof
+	var chromeFile *os.File
+	var ct *trace.ChromeTracer
+	if *chrome != "" {
+		var err error
+		chromeFile, err = os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		ct = trace.NewChromeTracer(chromeFile)
+		ct.EmitTrackNames()
+		sink = trace.Tee(prof, ct)
+	}
+
+	cfg := core.Config{P: *p, Seed: *seed, Trace: sink}
+	planName := "none"
+	if *chaos {
+		cfg.Fault = pim.ChaosPlan(*seed)
+		planName = "chaos"
+	}
+	m := core.New[uint64, int64](cfg, core.Uint64Hash)
+
+	// Prefill (traced too: bulk upsert shows the rebuild-heavy profile).
+	r := rng.NewXoshiro256(*seed ^ 0xF111)
+	keys := make([]uint64, *n)
+	vals := make([]int64, *n)
+	for i := range keys {
+		keys[i] = 1 + r.Uint64n(keySpace)
+		vals[i] = int64(i)
+	}
+	m.Upsert(keys, vals)
+
+	// Mixed steady-state workload.
+	for i := 0; i < *batches; i++ {
+		b := 64 + int(r.Uint64n(192))
+		bk := make([]uint64, b)
+		for j := range bk {
+			bk[j] = 1 + r.Uint64n(keySpace)
+		}
+		switch i % 5 {
+		case 0:
+			bv := make([]int64, b)
+			for j := range bv {
+				bv[j] = int64(r.Uint64() >> 1)
+			}
+			m.Upsert(bk, bv)
+		case 1:
+			m.Get(bk)
+		case 2:
+			m.Successor(bk)
+		case 3:
+			m.Predecessor(bk)
+		case 4:
+			m.Delete(bk[:b/2])
+		}
+	}
+
+	fmt.Printf("traced %d batches on P=%d, n=%d (fault plan: %s)\n\n", *batches+1, *p, *n, planName)
+	fmt.Print(prof.String())
+
+	// The decomposition invariant gates recording: a profile whose phase
+	// columns do not sum to the totals is a bug, not a measurement.
+	for _, agg := range prof.ByOp() {
+		if msg := agg.CheckSums(); msg != "" {
+			fmt.Fprintf(os.Stderr, "trace: attribution broken (%s); not recording\n", msg)
+			os.Exit(1)
+		}
+	}
+
+	if ct != nil {
+		if err := ct.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace: chrome export:", err)
+			os.Exit(1)
+		}
+		if err := chromeFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace: chrome export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+
+	entry := traceEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		P:          *p,
+		N:          *n,
+		Batches:    *batches + 1,
+		FaultPlan:  planName,
+		Note:       *note,
+		Rounds:     prof.Rounds(),
+		Ops:        prof.ByOp(),
+	}
+	cnt, _, err := mergeBenchEntry(*outPath, "trace",
+		"one row = per-op per-phase metric attribution of the mixed workload; phase columns sum exactly to totals",
+		entry, func(e traceEntry) string { return e.Label })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, cnt, entry.Label)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestRunTrace smoke-tests the trace subcommand end to end: the BENCH JSON
+// must parse, carry the per-op attribution, and the -chrome export must be
+// a valid JSON document.
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/bench.json"
+	chrome := dir + "/chrome.json"
+	quiet(t, func() {
+		runTrace([]string{"-out", out, "-chrome", chrome,
+			"-p", "4", "-n", "512", "-batches", "6", "-label", "a"})
+	})
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Entries []struct {
+			Label  string `json:"label"`
+			Rounds int64  `json:"rounds"`
+			Ops    []struct {
+				Op      string `json:"op"`
+				Batches int    `json:"batches"`
+			} `json:"ops"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(file.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(file.Entries))
+	}
+	e := file.Entries[0]
+	if e.Rounds <= 0 {
+		t.Errorf("rounds = %d, want > 0", e.Rounds)
+	}
+	if len(e.Ops) == 0 {
+		t.Fatal("entry has no per-op profiles")
+	}
+	seen := map[string]bool{}
+	for _, op := range e.Ops {
+		if op.Batches <= 0 {
+			t.Errorf("op %q has %d batches, want > 0", op.Op, op.Batches)
+		}
+		seen[op.Op] = true
+	}
+	if !seen["upsert"] || !seen["get"] {
+		t.Errorf("ops = %v, want at least upsert and get", seen)
+	}
+
+	cdata, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cdata, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+
+	// Chaos mode must still satisfy the decomposition invariant: a
+	// violation makes runTrace exit(1), killing the test binary.
+	quiet(t, func() {
+		runTrace([]string{"-out", out, "-p", "4", "-n", "512",
+			"-batches", "6", "-chaos", "-label", "b"})
+	})
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("output after chaos run is not valid JSON: %v", err)
+	}
+	if len(file.Entries) != 2 {
+		t.Fatalf("got %d entries after chaos run, want 2", len(file.Entries))
+	}
+}

@@ -1,0 +1,33 @@
+package pimgo_test
+
+import (
+	"fmt"
+
+	"pimgo"
+)
+
+// Example mirrors the README quickstart, so the snippet there is verified
+// by `go test` and cannot rot.
+func Example() {
+	m := pimgo.NewMap[uint64, int64](pimgo.Config{P: 16, Seed: 42}, pimgo.Uint64Hash)
+
+	inserted, stats := m.Upsert([]uint64{10, 20, 30}, []int64{1, 2, 3})
+	res, _ := m.Successor([]uint64{15})
+	rr, _ := m.RangeBroadcast(pimgo.RangeOp[uint64, int64]{Lo: 10, Hi: 25, Kind: pimgo.RangeRead})
+
+	n := 0
+	for _, fresh := range inserted {
+		if fresh {
+			n++
+		}
+	}
+	fmt.Println("inserted:", n)
+	fmt.Println("successor of 15:", res[0].Key, res[0].Value)
+	fmt.Println("pairs in [10,25]:", len(rr.Pairs))
+	fmt.Println("metrics nonzero:", stats.Rounds > 0 && stats.IOTime > 0)
+	// Output:
+	// inserted: 3
+	// successor of 15: 20 2
+	// pairs in [10,25]: 2
+	// metrics nonzero: true
+}

@@ -1,0 +1,35 @@
+package pimgo_test
+
+import (
+	"fmt"
+
+	"pimgo"
+)
+
+// ExampleNewTraceProfile installs the aggregating trace sink on a Map and
+// reads back the per-phase attribution of a batch — the workflow
+// docs/TRACING.md documents. The profile's phase columns sum exactly to
+// the batch's headline metrics.
+func ExampleNewTraceProfile() {
+	prof := pimgo.NewTraceProfile()
+	m := pimgo.NewMap[uint64, int64](pimgo.Config{P: 4, Seed: 7, Trace: prof}, pimgo.Uint64Hash)
+
+	keys := []uint64{10, 20, 30, 40}
+	vals := []int64{1, 2, 3, 4}
+	m.Upsert(keys, vals)
+	_, stats := m.Get(keys)
+
+	bp := m.LastProfile() // the Get batch's per-phase breakdown
+	fmt.Println("op:", bp.Op)
+	fmt.Println("sums:", bp.CheckSums() == "") // phase columns == totals?
+
+	var rounds int64
+	for _, ph := range bp.Phases {
+		rounds += ph.Rounds
+	}
+	fmt.Println("rounds attributed:", rounds == stats.Rounds)
+	// Output:
+	// op: get
+	// sums: true
+	// rounds attributed: true
+}

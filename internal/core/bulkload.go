@@ -125,7 +125,7 @@ func (m *Map[K, V]) BulkLoad(keys []K, vals []V) BatchStats {
 	if m.n != 0 {
 		panic(batchAbort{fmt.Errorf("%w: BulkLoad requires an empty, freshly constructed map", ErrBadBatch)})
 	}
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("bulkload", len(keys))
 	n := len(keys)
 	if n == 0 {
 		return m.endBatch(tr, c, 0, 0, 0)

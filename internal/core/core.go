@@ -44,6 +44,7 @@ import (
 	"pimgo/internal/hashtab"
 	"pimgo/internal/pim"
 	"pimgo/internal/rng"
+	"pimgo/internal/trace"
 )
 
 // Config configures a Map. The zero value of optional fields selects the
@@ -83,6 +84,12 @@ type Config struct {
 	// nil — the default — is the perfectly reliable network of the paper,
 	// with zero overhead.
 	Fault FaultPlan
+	// Trace installs a structured trace sink receiving per-round, per-phase,
+	// and fault-layer events (see docs/TRACING.md). nil — the default — has
+	// zero overhead: the steady-state batch path stays allocation-free and
+	// all metrics are bit-identical to an untraced run. Can also be installed
+	// later with SetTraceSink.
+	Trace trace.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +242,9 @@ func New[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) *Map[K, V] {
 	if cfg.Fault != nil {
 		m.mach.SetFaultPlan(cfg.Fault)
 	}
+	if cfg.Trace != nil {
+		m.mach.SetTraceSink(cfg.Trace)
+	}
 	m.ws = newBatchWS[K, V]()
 	m.initSentinelTower()
 	return m
@@ -350,6 +360,24 @@ func (m *Map[K, V]) Config() Config { return m.cfg }
 
 // Machine exposes the underlying PIM machine (read-only use: metrics).
 func (m *Map[K, V]) Machine() *pim.Machine[*modState[K, V]] { return m.mach }
+
+// SetTraceSink installs (or, with nil, removes) the structured trace sink
+// receiving this Map's round, phase, and fault events (docs/TRACING.md).
+// Install between batches only.
+func (m *Map[K, V]) SetTraceSink(s trace.Sink) { m.mach.SetTraceSink(s) }
+
+// TraceSink returns the installed trace sink, or nil.
+func (m *Map[K, V]) TraceSink() trace.Sink { return m.mach.TraceSink() }
+
+// LastProfile returns the metric-attribution profile of the most recently
+// completed batch, when the installed sink is (or tees into) a
+// *trace.Profile; otherwise nil.
+func (m *Map[K, V]) LastProfile() *trace.BatchProfile {
+	if p := trace.FindProfile(m.mach.TraceSink()); p != nil {
+		return p.Last()
+	}
+	return nil
+}
 
 // SpaceWords returns the per-module memory footprint in words (node slots ×
 // node size estimate + hash-table words) — the Theorem 3.1 measurement.

@@ -5,6 +5,7 @@ import (
 
 	"pimgo/internal/listcontract"
 	"pimgo/internal/pim"
+	"pimgo/internal/trace"
 )
 
 // markMsg reports one marked node (leaf, lower-tower node, or upper-tower
@@ -150,7 +151,7 @@ func (m *Map[K, V]) Delete(keys []K) ([]bool, BatchStats) {
 // DeleteInto is Delete writing results into dst (reused when it has
 // capacity) so steady-state callers allocate nothing.
 func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("delete", len(keys))
 	B := len(keys)
 	out := sliceInto(dst, B)
 	if B == 0 {
@@ -160,11 +161,13 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 	defer c.Tracker().Free(int64(2 * B))
 	ws := m.ws
 
+	m.phase(c, trace.PhaseSemisort)
 	uniq, slot := m.dedup(c, keys)
 	ws.found = grow(ws.found, len(uniq))
 	found := ws.found
 
 	// Stage 1: mark leaves and towers, collect neighbourhood records.
+	m.phase(c, trace.PhaseExecute)
 	marks := ws.marks[:0]
 	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
@@ -197,6 +200,7 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 	// Stage 2: CPU-side list contraction over local copies of the marked
 	// nodes (§4.4): build the index graph of marked nodes plus their
 	// boundary (unmarked) neighbours, contract, then splice remotely.
+	m.phase(c, trace.PhaseContract)
 	g := &ws.del
 	g.reset(3 * len(marks))
 	c.WorkFlat(int64(len(marks)))
@@ -225,6 +229,7 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 	// pointer repaired iff it originally had a marked right neighbour, and
 	// its left pointer repaired iff it originally had a marked left
 	// neighbour; the contracted graph supplies the new neighbours.
+	m.phase(c, trace.PhaseRebuild)
 	sends = m.ws.sends[:0]
 	c.WorkFlat(int64(len(g.left)))
 	for i := range g.left {

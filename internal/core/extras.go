@@ -44,7 +44,7 @@ func (t *minTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 // Min returns the smallest key (O(1) messages: the -∞ leaf knows its right
 // neighbour).
 func (m *Map[K, V]) Min() (SearchResult[K, V], BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("min", 1)
 	start := m.sentLower[0]
 	var res resultMsg[K, V]
 	sends := []pim.Send[*modState[K, V]]{{
@@ -116,7 +116,7 @@ func (t *maxTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 
 // Max returns the largest key (a rightmost descent, O(log n) whp messages).
 func (m *Map[K, V]) Max() (SearchResult[K, V], BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("max", 1)
 	var res resultMsg[K, V]
 	sends := []pim.Send[*modState[K, V]]{{
 		To: pim.ModuleID(m.r.Intn(m.cfg.P)), Task: &maxTask[K, V]{m: m},
@@ -156,7 +156,7 @@ func (t *allPairsTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 // with no range bounds (usable for any key type, unlike a [min,max] range).
 // O(1) rounds, Θ(n/P) whp IO time and PIM time.
 func (m *Map[K, V]) AllPairs() ([]RangePair[K, V], BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("all_pairs", 1)
 	var out []RangePair[K, V]
 	sends := m.mach.Broadcast(&allPairsTask[K, V]{}, 1)
 	for len(sends) > 0 {
@@ -183,7 +183,7 @@ func (m *Map[K, V]) AllPairs() ([]RangePair[K, V], BatchStats) {
 // case) — for batched ranks the per-module counting is shared across the
 // batch in one broadcast of the whole (deduplicated, sorted) query list.
 func (m *Map[K, V]) Rank(keys []K) ([]int64, BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("rank", len(keys))
 	B := len(keys)
 	out := make([]int64, B)
 	if B == 0 {

@@ -7,6 +7,7 @@ import (
 
 	"pimgo/internal/parutil"
 	"pimgo/internal/pim"
+	"pimgo/internal/trace"
 )
 
 // GetResult is the outcome of one Get operation.
@@ -83,7 +84,7 @@ func (m *Map[K, V]) Get(keys []K) ([]GetResult[V], BatchStats) {
 // GetInto is Get writing results into dst (reused when it has capacity) so
 // steady-state callers allocate nothing.
 func (m *Map[K, V]) GetInto(keys []K, dst []GetResult[V]) ([]GetResult[V], BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("get", len(keys))
 	B := len(keys)
 	out := sliceInto(dst, B)
 	if B == 0 {
@@ -93,7 +94,9 @@ func (m *Map[K, V]) GetInto(keys []K, dst []GetResult[V]) ([]GetResult[V], Batch
 	defer c.Tracker().Free(int64(B))
 
 	ws := m.ws
+	m.phase(c, trace.PhaseSemisort)
 	uniq, slot := m.dedup(c, keys)
+	m.phase(c, trace.PhaseExecute)
 	ws.greplies = grow(ws.greplies, len(uniq))
 	replies := ws.greplies
 	sends := grow(ws.sends[:0], len(uniq))
@@ -135,7 +138,7 @@ func (m *Map[K, V]) UpdateInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	if len(keys) != len(vals) {
 		panic(batchAbort{fmt.Errorf("%w: Update keys/vals length mismatch (%d vs %d)", ErrBadBatch, len(keys), len(vals))})
 	}
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("update", len(keys))
 	B := len(keys)
 	out := sliceInto(dst, B)
 	if B == 0 {
@@ -145,7 +148,9 @@ func (m *Map[K, V]) UpdateInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	defer c.Tracker().Free(int64(2 * B))
 
 	ws := m.ws
+	m.phase(c, trace.PhaseSemisort)
 	uniq, slot := m.dedup(c, keys)
+	m.phase(c, trace.PhaseExecute)
 	// Last occurrence wins for the value.
 	ws.chosen = grow(ws.chosen, len(uniq))
 	chosen := ws.chosen

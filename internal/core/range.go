@@ -8,6 +8,7 @@ import (
 
 	"pimgo/internal/parutil"
 	"pimgo/internal/pim"
+	"pimgo/internal/trace"
 )
 
 // RangeKind selects what a range operation does with each key-value pair in
@@ -120,7 +121,7 @@ func (t *bcastRangeTask[K, V]) Run(c *pim.Ctx[*modState[K, V]]) {
 // whp PIM time, O(K/P) whp IO time to return values, O(1) rounds.
 // Preferable to RangeTree when the range holds Ω(P log P) pairs.
 func (m *Map[K, V]) RangeBroadcast(op RangeOp[K, V]) (RangeResult[K, V], BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("range_broadcast", 1)
 	res := m.rangeBroadcastInner(c, op)
 	return res, m.endBatch(tr, c, 1, 0, 0)
 }
@@ -128,6 +129,7 @@ func (m *Map[K, V]) RangeBroadcast(op RangeOp[K, V]) (RangeResult[K, V], BatchSt
 // rangeBroadcastInner is the metered body of RangeBroadcast, reusable
 // inside composite operations (RangeAuto).
 func (m *Map[K, V]) rangeBroadcastInner(c *cpu.Ctx, op RangeOp[K, V]) RangeResult[K, V] {
+	m.phase(c, trace.PhaseExecute)
 	var res RangeResult[K, V]
 	res.Reduced = op.Init
 	sends := m.mach.Broadcast(&bcastRangeTask[K, V]{m: m, op: op}, 1)
@@ -286,7 +288,7 @@ type segment[K cmp.Ordered] struct {
 // shared-memory-sized groups where Func is applied and written back.
 // Results are in input order.
 func (m *Map[K, V]) RangeTree(ops []RangeOp[K, V]) ([]RangeResult[K, V], BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("range_tree", len(ops))
 	out, phases, maxAcc := m.rangeTreeInner(c, ops)
 	return out, m.endBatch(tr, c, len(ops), phases, maxAcc)
 }
@@ -335,6 +337,7 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 	_, phases, maxAcc := m.searchCore(c, los, modeSuccessor, nil, hints)
 
 	// Expansion wave: one enter/sweep per segment.
+	m.phase(c, trace.PhaseExecute)
 	var sends []pim.Send[*modState[K, V]]
 	for i, s := range segs {
 		if h := hints[i]; !h.start.IsNil() {

@@ -22,7 +22,7 @@ import (
 //
 // Results are in input order and identical to either strategy alone.
 func (m *Map[K, V]) RangeAuto(ops []RangeOp[K, V]) ([]RangeResult[K, V], BatchStats) {
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("range_auto", len(ops))
 	B := len(ops)
 	out := make([]RangeResult[K, V], B)
 	if B == 0 {

@@ -7,6 +7,7 @@ import (
 	"pimgo/internal/cpu"
 	"pimgo/internal/parutil"
 	"pimgo/internal/pim"
+	"pimgo/internal/trace"
 )
 
 // searchMode selects the descent rule of a search.
@@ -330,7 +331,11 @@ func (m *Map[K, V]) PredecessorOne(key K) (SearchResult[K, V], BatchStats) {
 }
 
 func (m *Map[K, V]) batchSearch(keys []K, mode searchMode, dst []SearchResult[K, V]) ([]SearchResult[K, V], BatchStats) {
-	tr, c := m.beginBatch()
+	op := "successor"
+	if mode == modePredecessor {
+		op = "predecessor"
+	}
+	tr, c := m.beginBatch(op, len(keys))
 	res, phases, maxAcc := m.searchCore(c, keys, mode, nil, nil)
 	out := sliceInto(dst, len(keys))
 	c.WorkFlat(int64(len(keys)))
@@ -405,7 +410,7 @@ func (sr *searchRun[K, V]) runPhase(idxs []int, record bool) {
 	m, c, ws := sr.m, sr.c, sr.m.ws
 	sr.phases++
 	m.resetAccessPhase()
-	trace := PhaseInfo{}
+	pinfo := PhaseInfo{}
 	sends := ws.sends[:0]
 	for _, pi := range idxs {
 		j := ws.pivots[pi]
@@ -429,14 +434,14 @@ func (sr *searchRun[K, V]) runPhase(idxs []int, record bool) {
 		}
 		c.Work(int64(m.cfg.HLow + 2)) // LCA scan over two O(HLow) paths
 		if m.cfg.TracePhases {
-			trace.Pivots = append(trace.Pivots, j)
+			pinfo.Pivots = append(pinfo.Pivots, j)
 			switch {
 			case h.direct:
-				trace.Hints = append(trace.Hints, "direct")
+				pinfo.Hints = append(pinfo.Hints, "direct")
 			case h.start.IsNil():
-				trace.Hints = append(trace.Hints, "root")
+				pinfo.Hints = append(pinfo.Hints, "root")
 			default:
-				trace.Hints = append(trace.Hints, fmt.Sprintf("lca@L%d", h.startLvl))
+				pinfo.Hints = append(pinfo.Hints, fmt.Sprintf("lca@L%d", h.startLvl))
 			}
 		}
 		if h.direct {
@@ -457,7 +462,7 @@ func (sr *searchRun[K, V]) runPhase(idxs []int, record bool) {
 	}
 	ws.sends = sends
 	if m.cfg.TracePhases {
-		m.lastPhases = append(m.lastPhases, trace)
+		m.lastPhases = append(m.lastPhases, pinfo)
 	}
 	m.runWave(c, sends)
 	ws.groupPaths(sr.B)
@@ -494,12 +499,14 @@ func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
 	// Sort the batch by key (§4.2: "The keys in the batch are first sorted
 	// on the CPU side"). sorted[j].pos = input position of the j-th
 	// smallest key.
+	m.phase(c, trace.PhaseSort)
 	ws.sorted = grow(ws.sorted, B)
 	for i, k := range keys {
 		ws.sorted[i] = sortItem[K]{k: k, pos: int32(i)}
 	}
 	c.WorkFlat(int64(B))
 	parutil.SortWS(c, ws.par, ws.sorted, ws.sortLess)
+	m.phase(c, trace.PhaseSearch)
 
 	ws.results = grow(ws.results, B)
 	ws.done = grow(ws.done, B)

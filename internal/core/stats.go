@@ -5,6 +5,7 @@ import (
 
 	"pimgo/internal/cpu"
 	"pimgo/internal/pim"
+	"pimgo/internal/trace"
 )
 
 // BatchStats reports the PIM-model cost metrics of one batch operation —
@@ -97,8 +98,10 @@ func (s BatchStats) String() string {
 // workspace, returning the workspace's persistent CPU tracker. Resetting
 // (rather than allocating) the tracker and recycling the task arenas is
 // metering-neutral: all accounting is analytic and independent of where the
-// scratch memory came from.
-func (m *Map[K, V]) beginBatch() (*cpu.Tracker, *cpu.Ctx) {
+// scratch memory came from. op names the batch operation and n its size for
+// the tracing layer (docs/TRACING.md); with no sink installed the extra cost
+// is one nil check.
+func (m *Map[K, V]) beginBatch(op string, n int) (*cpu.Tracker, *cpu.Ctx) {
 	if m.mach.Closed() {
 		panic(batchAbort{ErrClosed})
 	}
@@ -115,14 +118,23 @@ func (m *Map[K, V]) beginBatch() (*cpu.Tracker, *cpu.Ctx) {
 	ws.resetArenas()
 	ws.tr.Reset()
 	ws.tr.RootInto(&ws.root)
+	ws.op = op
+	ws.ph.open = false
+	if s := m.mach.TraceSink(); s != nil {
+		s.BatchStart(op, n)
+	}
 	return ws.tr, &ws.root
 }
 
 // endBatch assembles BatchStats after a batch completes.
 func (m *Map[K, V]) endBatch(tr *cpu.Tracker, c *cpu.Ctx, batch, phases int, maxAccess int64) BatchStats {
+	s := m.mach.TraceSink()
+	if s != nil {
+		m.phaseEnd(c)
+	}
 	tr.Finish(c)
 	met := m.mach.Metrics()
-	return BatchStats{
+	st := BatchStats{
 		Batch:         batch,
 		IOTime:        met.IOTime,
 		PIMTime:       m.mach.PIMTime(),
@@ -137,4 +149,77 @@ func (m *Map[K, V]) endBatch(tr *cpu.Tracker, c *cpu.Ctx, batch, phases int, max
 		Phases:        phases,
 		MaxNodeAccess: maxAccess,
 	}
+	if s != nil {
+		s.BatchEnd(m.ws.op, trace.Totals{
+			Batch:        st.Batch,
+			Rounds:       st.Rounds,
+			IOTime:       st.IOTime,
+			PIMTime:      st.PIMTime,
+			PIMRoundTime: st.PIMRoundTime,
+			TotalMsgs:    st.TotalMsgs,
+			TotalPIMWork: st.TotalPIMWork,
+			SyncCost:     st.SyncCost,
+			CPUWork:      st.CPUWork,
+			CPUDepth:     st.CPUDepth,
+			CPUMem:       st.CPUMem,
+		})
+	}
+	return st
+}
+
+// phaseSnap is the open-phase snapshot the workspace keeps between phase and
+// phaseEnd: the machine metrics and CPU counters at phase start, so the
+// phase's span is the delta at phase end.
+type phaseSnap struct {
+	open  bool
+	ph    trace.Phase
+	met   pim.Metrics
+	work  int64
+	depth int64
+}
+
+// phase marks the start of an algorithm phase for the tracing layer
+// (docs/TRACING.md). A still-open previous phase is closed first, so batch
+// implementations only mark transitions. c must be the batch's root strand
+// (phase boundaries sit on the driving goroutine between parallel
+// constructs, which is what keeps traced profiles deterministic). With no
+// sink installed this is a single nil check.
+func (m *Map[K, V]) phase(c *cpu.Ctx, ph trace.Phase) {
+	s := m.mach.TraceSink()
+	if s == nil {
+		return
+	}
+	m.phaseEnd(c)
+	ws := m.ws
+	ws.ph = phaseSnap{
+		open:  true,
+		ph:    ph,
+		met:   m.mach.Metrics(),
+		work:  ws.tr.Work(),
+		depth: c.Depth(),
+	}
+	s.PhaseStart(ws.op, ph)
+}
+
+// phaseEnd closes the open phase, if any, emitting its metric deltas as a
+// trace.Span. endBatch calls it implicitly; explicit calls end a phase early
+// so the following region attributes to the "other" remainder.
+func (m *Map[K, V]) phaseEnd(c *cpu.Ctx) {
+	s := m.mach.TraceSink()
+	ws := m.ws
+	if s == nil || !ws.ph.open {
+		return
+	}
+	ws.ph.open = false
+	met := m.mach.Metrics()
+	s.PhaseEnd(trace.Span{
+		Op:           ws.op,
+		Phase:        ws.ph.ph,
+		Rounds:       met.Rounds - ws.ph.met.Rounds,
+		IOTime:       met.IOTime - ws.ph.met.IOTime,
+		PIMRoundTime: met.PIMRoundTime - ws.ph.met.PIMRoundTime,
+		TotalMsgs:    met.TotalMsgs - ws.ph.met.TotalMsgs,
+		CPUWork:      ws.tr.Work() - ws.ph.work,
+		CPUDepth:     c.Depth() - ws.ph.depth,
+	})
 }

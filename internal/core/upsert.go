@@ -7,6 +7,7 @@ import (
 	"pimgo/internal/cpu"
 	"pimgo/internal/parutil"
 	"pimgo/internal/pim"
+	"pimgo/internal/trace"
 )
 
 // --- module-side tasks for batched Upsert (§4.3) ---
@@ -225,7 +226,7 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	if len(keys) != len(vals) {
 		panic(batchAbort{fmt.Errorf("%w: Upsert keys/vals length mismatch (%d vs %d)", ErrBadBatch, len(keys), len(vals))})
 	}
-	tr, c := m.beginBatch()
+	tr, c := m.beginBatch("upsert", len(keys))
 	B := len(keys)
 	inserted := sliceInto(dst, B)
 	if B == 0 {
@@ -236,6 +237,7 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	ws := m.ws
 
 	// Deduplicate (last value wins).
+	m.phase(c, trace.PhaseSemisort)
 	uniq, slot := m.dedup(c, keys)
 	ws.chosen = grow(ws.chosen, len(uniq))
 	chosen := ws.chosen
@@ -245,6 +247,7 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	}
 
 	// Stage 0: try Update; collect misses.
+	m.phase(c, trace.PhaseExecute)
 	ws.found = grow(ws.found, len(uniq))
 	found := ws.found
 	sends := grow(ws.sends[:0], len(uniq))
@@ -281,6 +284,7 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	}
 
 	// Stage 1a: create lower-part nodes (leaves splice into local lists).
+	m.phase(c, trace.PhaseRebuild)
 	towers := make([][]pim.Ptr, nm) // towers[j][l] = node of missKeys[j] at level l
 	for j := range towers {
 		towers[j] = make([]pim.Ptr, heights[j])
@@ -350,6 +354,7 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	_, phases, maxAcc := m.searchCore(c, missKeys, modeInsert, heights, nil)
 
 	// Stage 3: Algorithm 1 — construct the horizontal pointers.
+	m.phase(c, trace.PhaseRebuild)
 	sends = sends[:0]
 	missOrder := seqInts(nm)
 	parutil.SortWS(c, ws.par, missOrder, func(a, b int) bool { return missKeys[a] < missKeys[b] })

@@ -231,6 +231,11 @@ type batchWS[K cmp.Ordered, V any] struct {
 	root cpu.Ctx
 	par  *parutil.Workspace
 
+	// Tracing state (stats.go): the running batch's op name and the
+	// open-phase snapshot. Maintained only while a trace sink is installed.
+	op string
+	ph phaseSnap
+
 	sends []pim.Send[*modState[K, V]]
 
 	// Dedup / reply scratch shared by Get, Update, Upsert, Delete.

@@ -40,6 +40,8 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+
+	"pimgo/internal/trace"
 )
 
 // ModuleID identifies a PIM module, in [0, P).
@@ -84,6 +86,7 @@ type Module[S any] struct {
 	// Per-round scratch, reset by the machine after each round.
 	roundWork int64
 	roundMsgs int64
+	roundIn   int64 // incoming words this round; maintained only when tracing
 	queue     []Send[S]
 	replies   []Reply
 	follow    []Send[S]
@@ -202,6 +205,15 @@ type Machine[S any] struct {
 	rel    *relState[S] // reliable transport; nil unless a FaultPlan is installed
 	closed bool         // set by Close; every later round returns ErrClosed
 
+	// sink receives structured trace events (trace.Sink); nil — the default
+	// — is the zero-overhead path: every emission site is a single nil
+	// branch and no event is ever built. All emissions happen on the
+	// caller goroutine, after metric aggregation, so traced metrics are
+	// bit-identical to untraced ones. modIO is the reusable per-round
+	// module-attribution scratch handed to RoundEnd (sink must not retain).
+	sink  trace.Sink
+	modIO []trace.ModuleIO
+
 	active []*Module[S] // modules that received sends this round (scratch, reused)
 
 	// Double-buffered aggregation outputs. Round alternates between the two
@@ -292,6 +304,26 @@ func (m *Machine[S]) Close() {
 
 // Closed reports whether Close has been called.
 func (m *Machine[S]) Closed() bool { return m.closed }
+
+// SetTraceSink installs (or, with nil, removes) a structured-event sink
+// (see package trace and docs/TRACING.md). Must not be called while a
+// round is in flight. With no sink the machine is the plain zero-overhead
+// engine; with one, every round emits a trace.RoundStat with per-module
+// send/receive word attribution, and the reliable transport additionally
+// emits a trace.FaultEvent per injected fault and recovery action. All
+// events fire on the goroutine driving the machine, in deterministic
+// order, so traced runs are bit-identical across GOMAXPROCS settings.
+func (m *Machine[S]) SetTraceSink(s trace.Sink) {
+	m.sink = s
+	if s == nil {
+		for _, mod := range m.mods {
+			mod.roundIn = 0
+		}
+	}
+}
+
+// TraceSink returns the installed trace sink, or nil.
+func (m *Machine[S]) TraceSink() trace.Sink { return m.sink }
 
 // worker is one persistent executor: parked on wake[w] between rounds, it
 // claims active modules until the round is drained, then parks again.
@@ -509,6 +541,7 @@ func (m *Machine[S]) TryRound(sends []Send[S]) ([]Reply, []Send[S], error) {
 		}
 	}
 	active := m.active[:0]
+	traced := m.sink != nil
 	for _, s := range sends {
 		mod := m.mods[s.To]
 		if len(mod.queue) == 0 {
@@ -519,6 +552,9 @@ func (m *Machine[S]) TryRound(sends []Send[S]) ([]Reply, []Send[S], error) {
 			w = 1
 		}
 		mod.roundMsgs += w
+		if traced {
+			mod.roundIn += w
+		}
 		mod.queue = append(mod.queue, s)
 	}
 	m.active = active
@@ -537,6 +573,9 @@ func (m *Machine[S]) TryRound(sends []Send[S]) ([]Reply, []Send[S], error) {
 	follow := m.folBuf[idx][:0]
 	var maxMsgs, maxWork, total int64
 	var sendErr error
+	if traced {
+		m.modIO = m.modIO[:0]
+	}
 	for _, mod := range active {
 		if mod.sendErr != nil {
 			if sendErr == nil {
@@ -555,6 +594,13 @@ func (m *Machine[S]) TryRound(sends []Send[S]) ([]Reply, []Send[S], error) {
 		mod.work += mod.roundWork
 		replies = append(replies, mod.replies...)
 		follow = append(follow, mod.follow...)
+		if traced {
+			m.modIO = append(m.modIO, trace.ModuleIO{
+				Mod: int32(mod.ID), In: mod.roundIn,
+				Out: mod.roundMsgs - mod.roundIn, Work: mod.roundWork,
+			})
+			mod.roundIn = 0
+		}
 		mod.roundMsgs, mod.roundWork = 0, 0
 		// Truncate, don't nil: the backing arrays are the per-module
 		// steady-state buffers that make the hot path allocation-free.
@@ -568,6 +614,12 @@ func (m *Machine[S]) TryRound(sends []Send[S]) ([]Reply, []Send[S], error) {
 	m.met.IOTime += maxMsgs
 	m.met.PIMRoundTime += maxWork
 	m.met.TotalMsgs += total
+	if traced {
+		m.sink.RoundEnd(trace.RoundStat{
+			Round: m.met.Rounds, H: maxMsgs, MaxWork: maxWork,
+			TotalMsgs: total, Mods: m.modIO,
+		})
+	}
 	if sendErr != nil {
 		return nil, nil, sendErr
 	}

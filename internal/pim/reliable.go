@@ -19,6 +19,8 @@ package pim
 import (
 	"errors"
 	"fmt"
+
+	"pimgo/internal/trace"
 )
 
 // Typed errors for the hardened API surface. Callers match with errors.Is.
@@ -218,6 +220,13 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 		}
 		rt.round++
 		r := rt.round
+		// fault mirrors a FaultStats increment as a structured trace event;
+		// a single nil branch when tracing is off.
+		fault := func(kind trace.FaultKind, mod ModuleID, id uint64) {
+			if m.sink != nil {
+				m.sink.Fault(trace.FaultEvent{Kind: kind, Round: r, Mod: int32(mod), ID: id})
+			}
+		}
 
 		// Fail before touching any module if a send is out of attempts.
 		for i := range rt.pending {
@@ -254,6 +263,7 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 			mod.relInWords += w // incoming words cross the network even if lost below
 			if rt.plan.Crashed(r, s.To) {
 				rt.stats.LostToCrash++
+				fault(trace.FaultLostToCrash, s.To, id)
 				return
 			}
 			if seq > mod.relExpect {
@@ -297,6 +307,7 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 			}
 			if ps.attempts > 0 {
 				rt.stats.Retransmits++
+				fault(trace.FaultRetransmit, ps.send.To, ps.id)
 			}
 			ps.attempts++
 			backoff := int64(relBudget) << (ps.attempts - 1)
@@ -309,6 +320,7 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 			switch {
 			case fate.Drop:
 				rt.stats.SendsDropped++
+				fault(trace.FaultSendDropped, ps.send.To, ps.id)
 				w := ps.send.Words
 				if w <= 0 {
 					w = 1
@@ -316,11 +328,13 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 				m.mods[ps.send.To].relInWords += w
 			case fate.Dup:
 				rt.stats.SendsDuplicated++
+				fault(trace.FaultSendDuplicated, ps.send.To, ps.id)
 				deliver(ps.send, ps.id, ps.seq)
 				rt.delayedSends = append(rt.delayedSends,
 					delayedSend[S]{due: r + int64(fate.Delay), id: ps.id, seq: ps.seq, send: ps.send})
 			case fate.Delay > 0:
 				rt.stats.SendsDelayed++
+				fault(trace.FaultSendDelayed, ps.send.To, ps.id)
 				rt.delayedSends = append(rt.delayedSends,
 					delayedSend[S]{due: r + int64(fate.Delay), id: ps.id, seq: ps.seq, send: ps.send})
 			default:
@@ -352,6 +366,7 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 		accept := func(id uint64, rec *ackRec[S]) {
 			if rt.acked[id] {
 				rt.stats.DupDiscards++
+				fault(trace.FaultDupDiscard, -1, id)
 				return
 			}
 			rt.acked[id] = true
@@ -376,6 +391,9 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 		// metrics over all modules.
 		var maxMsgs, maxWork, total int64
 		var sendErr error
+		if m.sink != nil {
+			m.modIO = m.modIO[:0]
+		}
 		for _, mod := range m.mods {
 			if len(mod.queue) > 0 {
 				if mod.sendErr != nil {
@@ -406,19 +424,23 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 						// just re-emit (and re-charge) the recorded bundle.
 						mod.roundMsgs += rec.words
 						rt.stats.Replays++
+						fault(trace.FaultReplay, mod.ID, id)
 					}
 					prev = span
 					fate := rt.plan.MsgFate(DirReply, r, mod.ID, id)
 					switch {
 					case fate.Drop:
 						rt.stats.BundlesDropped++
+						fault(trace.FaultBundleDropped, mod.ID, id)
 					case fate.Dup:
 						rt.stats.BundlesDuplicated++
+						fault(trace.FaultBundleDuplicated, mod.ID, id)
 						accept(id, rec)
 						rt.delayedBundles = append(rt.delayedBundles,
 							delayedBundle[S]{due: r + int64(fate.Delay), id: id, rec: rec})
 					case fate.Delay > 0:
 						rt.stats.BundlesDelayed++
+						fault(trace.FaultBundleDelayed, mod.ID, id)
 						rt.delayedBundles = append(rt.delayedBundles,
 							delayedBundle[S]{due: r + int64(fate.Delay), id: id, rec: rec})
 					default:
@@ -434,10 +456,14 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 			if f := rt.plan.StallFactor(r, mod.ID); f > 1 && mod.roundWork > 0 {
 				mod.roundWork *= f
 				rt.stats.StalledModuleRounds++
+				fault(trace.FaultStall, mod.ID, 0)
 			}
 			if rt.plan.Crashed(r, mod.ID) {
 				rt.stats.CrashedModuleRounds++
+				fault(trace.FaultCrashRound, mod.ID, 0)
 			}
+			in := mod.relInWords
+			out := mod.roundMsgs
 			mod.roundMsgs += mod.relInWords
 			mod.relInWords = 0
 			if mod.roundMsgs > maxMsgs {
@@ -449,12 +475,23 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 			total += mod.roundMsgs
 			mod.msgs += mod.roundMsgs
 			mod.work += mod.roundWork
+			if m.sink != nil && (in != 0 || out != 0 || mod.roundWork != 0) {
+				m.modIO = append(m.modIO, trace.ModuleIO{
+					Mod: int32(mod.ID), In: in, Out: out, Work: mod.roundWork,
+				})
+			}
 			mod.roundMsgs, mod.roundWork = 0, 0
 		}
 		m.met.Rounds++
 		m.met.IOTime += maxMsgs
 		m.met.PIMRoundTime += maxWork
 		m.met.TotalMsgs += total
+		if m.sink != nil {
+			m.sink.RoundEnd(trace.RoundStat{
+				Round: m.met.Rounds, H: maxMsgs, MaxWork: maxWork,
+				TotalMsgs: total, Mods: m.modIO,
+			})
+		}
 		if sendErr != nil {
 			m.relAbort()
 			return nil, nil, sendErr

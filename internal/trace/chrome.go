@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeTracer is a Sink that exports the event stream in the Chrome
+// trace_event JSON format, loadable in chrome://tracing and Perfetto
+// (ui.perfetto.dev). The simulator has no wall clock, so the timeline is
+// synthetic model time: every completed machine round advances the clock
+// by one tick (rendered as 1 "µs"), and events between rounds are spread
+// on sub-tick offsets to stay monotonic. Durations therefore read as
+// rounds, which is the model's elapsed-time axis.
+//
+// Track layout: thread "batch" carries the batch-operation spans, thread
+// "phase" the phase spans, thread "faults" the fault-layer instants, and
+// counter tracks "h-relation" / "round max work" / "round msgs" plot the
+// per-round Table 1 ingredients.
+//
+// Create with NewChromeTracer, drive it (install on a Map), then Close to
+// emit the closing bracket. Write errors are sticky and reported by Close.
+type ChromeTracer struct {
+	w     io.Writer
+	err   error
+	first bool
+
+	rounds int64 // completed rounds = whole ticks
+	seq    int64 // sub-tick offset since the last round boundary
+}
+
+// Chrome trace thread ids (one per track).
+const (
+	ctTidBatch = 1
+	ctTidPhase = 2
+	ctTidFault = 3
+)
+
+// ctTicksPerRound is the sub-tick resolution: events between two round
+// boundaries land on distinct timestamps as long as fewer than this many
+// occur (excess events share the last sub-tick, which Perfetto accepts).
+const ctTicksPerRound = 1000
+
+// NewChromeTracer returns a ChromeTracer streaming to w.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	return &ChromeTracer{w: w, first: true}
+}
+
+// ts returns the current synthetic timestamp in trace "µs".
+func (c *ChromeTracer) ts() int64 {
+	s := c.seq
+	if s >= ctTicksPerRound {
+		s = ctTicksPerRound - 1
+	}
+	return c.rounds*ctTicksPerRound + s
+}
+
+// ctEvent is one trace_event record.
+type ctEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (c *ChromeTracer) emit(ev ctEvent) {
+	if c.err != nil {
+		return
+	}
+	ev.PID = 1
+	b, err := json.Marshal(ev)
+	if err != nil {
+		c.err = err
+		return
+	}
+	sep := ",\n  "
+	if c.first {
+		sep = "{\"traceEvents\": [\n  "
+		c.first = false
+	}
+	if _, err := io.WriteString(c.w, sep); err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.w.Write(b); err != nil {
+		c.err = err
+		return
+	}
+	c.seq++
+}
+
+// BatchStart implements Sink.
+func (c *ChromeTracer) BatchStart(op string, n int) {
+	c.emit(ctEvent{Name: op, Cat: "batch", Ph: "B", TS: c.ts(), TID: ctTidBatch,
+		Args: map[string]any{"batch": n}})
+}
+
+// PhaseStart implements Sink.
+func (c *ChromeTracer) PhaseStart(op string, ph Phase) {
+	c.emit(ctEvent{Name: ph.String(), Cat: "phase", Ph: "B", TS: c.ts(), TID: ctTidPhase,
+		Args: map[string]any{"op": op}})
+}
+
+// PhaseEnd implements Sink.
+func (c *ChromeTracer) PhaseEnd(sp Span) {
+	c.emit(ctEvent{Name: sp.Phase.String(), Cat: "phase", Ph: "E", TS: c.ts(), TID: ctTidPhase,
+		Args: map[string]any{
+			"rounds": sp.Rounds, "io": sp.IOTime, "pim_round": sp.PIMRoundTime,
+			"msgs": sp.TotalMsgs, "cpu_work": sp.CPUWork, "cpu_depth": sp.CPUDepth,
+		}})
+}
+
+// RoundEnd implements Sink: the clock advances one tick and the round's
+// h-relation, max work, and message total land on counter tracks.
+func (c *ChromeTracer) RoundEnd(r RoundStat) {
+	c.rounds++
+	c.seq = 0
+	ts := c.rounds * ctTicksPerRound
+	c.emit(ctEvent{Name: "h-relation", Ph: "C", TS: ts, TID: ctTidBatch,
+		Args: map[string]any{"h": r.H}})
+	c.emit(ctEvent{Name: "round max work", Ph: "C", TS: ts, TID: ctTidBatch,
+		Args: map[string]any{"work": r.MaxWork}})
+	c.emit(ctEvent{Name: "round msgs", Ph: "C", TS: ts, TID: ctTidBatch,
+		Args: map[string]any{"msgs": r.TotalMsgs}})
+	c.seq = 3
+}
+
+// Fault implements Sink.
+func (c *ChromeTracer) Fault(ev FaultEvent) {
+	c.emit(ctEvent{Name: ev.Kind.String(), Cat: "fault", Ph: "i", TS: c.ts(),
+		TID: ctTidFault, S: "t",
+		Args: map[string]any{"round": ev.Round, "mod": ev.Mod, "id": ev.ID}})
+}
+
+// BatchEnd implements Sink.
+func (c *ChromeTracer) BatchEnd(op string, t Totals) {
+	c.emit(ctEvent{Name: op, Cat: "batch", Ph: "E", TS: c.ts(), TID: ctTidBatch,
+		Args: map[string]any{
+			"rounds": t.Rounds, "io": t.IOTime, "pim": t.PIMTime,
+			"msgs": t.TotalMsgs, "cpu_work": t.CPUWork, "cpu_depth": t.CPUDepth,
+			"cpu_mem": t.CPUMem,
+		}})
+}
+
+// Close finalizes the JSON document and returns the first write or encode
+// error encountered, if any. The tracer must not be used after Close.
+func (c *ChromeTracer) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	doc := "{\"traceEvents\": [\n]}\n"
+	if !c.first {
+		doc = "\n], \"displayTimeUnit\": \"ms\"}\n"
+	}
+	if _, err := io.WriteString(c.w, doc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EmitTrackNames emits thread-name metadata events so the tracks carry
+// human-readable labels in the UI. Call once, before installing the tracer
+// (optional; Perfetto renders unlabeled tracks fine).
+func (c *ChromeTracer) EmitTrackNames() {
+	for _, t := range []struct {
+		tid  int
+		name string
+	}{{ctTidBatch, "batch ops"}, {ctTidPhase, "phases"}, {ctTidFault, "faults"}} {
+		c.emit(ctEvent{Name: "thread_name", Ph: "M", TID: t.tid,
+			Args: map[string]any{"name": t.name}})
+	}
+}

@@ -1,0 +1,288 @@
+// Package trace is the observability layer of the PIM simulator: a
+// structured-event stream that attributes every model metric — rounds,
+// IO time, PIM round time, message totals, CPU work/depth — to the batch
+// operation and algorithm phase that incurred it, plus the fault-layer
+// recovery events of a faulted run.
+//
+// The design contract (docs/TRACING.md) has three clauses:
+//
+//   - Zero overhead when disabled. With no Sink installed the simulator
+//     takes a single predictable nil-branch per emission site: no events
+//     are built, nothing allocates, and every model metric is bit-identical
+//     to an untraced run.
+//   - Caller-goroutine emission. Every Sink method is invoked from the
+//     goroutine driving the machine (never from a module worker), in a
+//     deterministic order, so sinks need no synchronization and a traced
+//     run produces the same event stream at every GOMAXPROCS setting.
+//   - Events carry model quantities, not wall-clock time. Spans are deltas
+//     of the paper's Table 1 metrics (docs/METRICS.md); the Chrome exporter
+//     synthesizes its timeline from round counts.
+//
+// Two ready-made sinks ship with the package: Profile (an aggregating
+// per-op, per-phase breakdown, exposed as Map.LastProfile and dumped by
+// `pimbench trace`) and ChromeTracer (a Chrome trace_event JSON exporter
+// for chrome://tracing / Perfetto). Tee fans events out to several sinks.
+package trace
+
+// Phase names one stage of a batch operation's algorithm, the unit of
+// metric attribution. The taxonomy follows the paper's algorithm structure
+// (§4–§5); docs/TRACING.md defines each phase normatively.
+type Phase uint8
+
+const (
+	// PhaseOther is the remainder bucket: metric deltas accrued outside any
+	// explicit span (batch setup, result scattering). Profile synthesizes
+	// it so per-phase totals always sum exactly to the batch totals.
+	PhaseOther Phase = iota
+	// PhaseSort is the CPU-side comparison sort of a search batch (§4.2
+	// stage 0: "the keys in the batch are first sorted on the CPU side").
+	PhaseSort
+	// PhaseSemisort is the semisort-based deduplication of a point batch
+	// (§4.1: collapse duplicate keys so a hot key costs one message).
+	PhaseSemisort
+	// PhaseSearch is skip-list descent: the pivot phases and hinted
+	// expansions of batched Predecessor/Successor (§4.2) and the
+	// strict-predecessor searches of batched Upsert (§4.3 stage 6).
+	PhaseSearch
+	// PhaseExecute is point-task execution at the home module: hash-table
+	// probes, value reads/writes, leaf marking (§4.1, §4.3 step 1, §4.4
+	// steps 1–3), and range-scan delivery (§5).
+	PhaseExecute
+	// PhaseRebuild is structural pointer construction: tower node creation
+	// and the horizontal pointer writes of Algorithm 1 (§4.3), and the
+	// remote splices and frees after a batched Delete (§4.4).
+	PhaseRebuild
+	// PhaseContract is the CPU-side parallel list contraction of batched
+	// Delete (§4.4): building and contracting the marked-node graph.
+	PhaseContract
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	PhaseOther:    "other",
+	PhaseSort:     "sort",
+	PhaseSemisort: "semisort",
+	PhaseSearch:   "search",
+	PhaseExecute:  "execute",
+	PhaseRebuild:  "rebuild",
+	PhaseContract: "contract",
+}
+
+// String returns the phase's canonical lower-case name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "invalid"
+}
+
+// Phases lists every phase in canonical order, PhaseOther last (it is the
+// synthesized remainder, reported after the explicit phases).
+func Phases() []Phase {
+	return []Phase{PhaseSort, PhaseSemisort, PhaseSearch, PhaseExecute,
+		PhaseRebuild, PhaseContract, PhaseOther}
+}
+
+// Totals carries the headline Table 1 metrics of one completed batch
+// operation (the same quantities as core.BatchStats, repeated here so the
+// trace layer does not import the data structure it observes).
+type Totals struct {
+	Batch        int   `json:"batch"`          // operations in the batch
+	Rounds       int64 `json:"rounds"`         // bulk-synchronous rounds
+	IOTime       int64 `json:"io_time"`        // Σ per-round h-relation
+	PIMTime      int64 `json:"pim_time"`       // max per-module total work
+	PIMRoundTime int64 `json:"pim_round_time"` // Σ per-round max module work
+	TotalMsgs    int64 `json:"total_msgs"`     // Σ messages (words)
+	TotalPIMWork int64 `json:"total_pim_work"` // Σ per-module work
+	SyncCost     int64 `json:"sync_cost"`      // Rounds · log2 P
+	CPUWork      int64 `json:"cpu_work"`       // CPU-side work
+	CPUDepth     int64 `json:"cpu_depth"`      // CPU-side depth
+	CPUMem       int64 `json:"cpu_mem"`        // peak CPU shared-memory words
+}
+
+// Span is the metric delta of one completed phase of one batch operation.
+// Only the per-round-decomposable metrics appear: PIMTime (a max over the
+// whole batch) and CPUMem (a high-water mark) cannot be attributed to
+// phases and live only in Totals.
+type Span struct {
+	Op    string // batch operation ("get", "successor", "upsert", ...)
+	Phase Phase
+
+	Rounds       int64
+	IOTime       int64
+	PIMRoundTime int64
+	TotalMsgs    int64
+	CPUWork      int64
+	CPUDepth     int64
+}
+
+// add accumulates s into t field-wise.
+func (t *Span) add(s Span) {
+	t.Rounds += s.Rounds
+	t.IOTime += s.IOTime
+	t.PIMRoundTime += s.PIMRoundTime
+	t.TotalMsgs += s.TotalMsgs
+	t.CPUWork += s.CPUWork
+	t.CPUDepth += s.CPUDepth
+}
+
+// ModuleIO is one module's traffic and work during one round.
+type ModuleIO struct {
+	Mod  int32
+	In   int64 // words delivered to the module this round
+	Out  int64 // words the module emitted (replies + follow-ups)
+	Work int64 // local work charged this round
+}
+
+// RoundStat describes one completed bulk-synchronous round (with a fault
+// plan installed: one physical sub-round of the reliable transport).
+type RoundStat struct {
+	Round     int64 // cumulative round index on this machine (1-based)
+	H         int64 // the round's h-relation: max over modules of In+Out
+	MaxWork   int64 // max per-module work this round
+	TotalMsgs int64 // Σ over modules of In+Out
+
+	// Mods lists the modules that participated (nonzero traffic or work),
+	// ascending by ID. The slice is machine-owned scratch, valid only for
+	// the duration of the RoundEnd call — copy to retain.
+	Mods []ModuleIO
+}
+
+// FaultKind classifies a fault-layer event. The kinds mirror the counters
+// of pim.FaultStats one-to-one; docs/METRICS.md maps each to its site.
+type FaultKind uint8
+
+const (
+	FaultSendDropped FaultKind = iota
+	FaultSendDuplicated
+	FaultSendDelayed
+	FaultLostToCrash
+	FaultBundleDropped
+	FaultBundleDuplicated
+	FaultBundleDelayed
+	FaultStall
+	FaultCrashRound
+	FaultRetransmit
+	FaultReplay
+	FaultDupDiscard
+
+	numFaultKinds
+)
+
+var faultKindNames = [numFaultKinds]string{
+	FaultSendDropped:      "send_dropped",
+	FaultSendDuplicated:   "send_duplicated",
+	FaultSendDelayed:      "send_delayed",
+	FaultLostToCrash:      "lost_to_crash",
+	FaultBundleDropped:    "bundle_dropped",
+	FaultBundleDuplicated: "bundle_duplicated",
+	FaultBundleDelayed:    "bundle_delayed",
+	FaultStall:            "stall",
+	FaultCrashRound:       "crash_round",
+	FaultRetransmit:       "retransmit",
+	FaultReplay:           "replay",
+	FaultDupDiscard:       "dup_discard",
+}
+
+// String returns the kind's canonical snake_case name (the same label the
+// Chrome exporter and Profile dumps use).
+func (k FaultKind) String() string {
+	if int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return "invalid"
+}
+
+// FaultEvent is one fault-layer occurrence: an injected fault or a
+// recovery action of the reliable transport.
+type FaultEvent struct {
+	Kind  FaultKind
+	Round int64  // physical sub-round of the occurrence
+	Mod   int32  // module involved (destination or emitter)
+	ID    uint64 // logical send id, when the event concerns one (else 0)
+}
+
+// Sink receives the structured event stream of a traced machine. All
+// methods are called from the driving goroutine only, strictly ordered:
+// BatchStart, then alternating PhaseStart/PhaseEnd pairs (never nested)
+// interleaved with RoundEnd and Fault events, then BatchEnd. Rounds run by
+// a Map outside any explicit phase (and machine use outside any batch)
+// appear between spans. Implementations must not retain RoundStat.Mods.
+type Sink interface {
+	// BatchStart opens a batch operation of n ops named op.
+	BatchStart(op string, n int)
+	// PhaseStart opens a phase span; metric deltas until the matching
+	// PhaseEnd belong to it.
+	PhaseStart(op string, ph Phase)
+	// PhaseEnd closes the open span with its measured deltas.
+	PhaseEnd(sp Span)
+	// RoundEnd reports one completed round with per-module attribution.
+	RoundEnd(r RoundStat)
+	// Fault reports one fault-layer event (faulted runs only).
+	Fault(ev FaultEvent)
+	// BatchEnd closes the batch with its headline totals.
+	BatchEnd(op string, t Totals)
+}
+
+// Tee returns a sink that forwards every event to each of sinks in order.
+// A nil entry is skipped.
+func Tee(sinks ...Sink) Sink {
+	out := make(tee, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type tee []Sink
+
+func (t tee) BatchStart(op string, n int) {
+	for _, s := range t {
+		s.BatchStart(op, n)
+	}
+}
+func (t tee) PhaseStart(op string, ph Phase) {
+	for _, s := range t {
+		s.PhaseStart(op, ph)
+	}
+}
+func (t tee) PhaseEnd(sp Span) {
+	for _, s := range t {
+		s.PhaseEnd(sp)
+	}
+}
+func (t tee) RoundEnd(r RoundStat) {
+	for _, s := range t {
+		s.RoundEnd(r)
+	}
+}
+func (t tee) Fault(ev FaultEvent) {
+	for _, s := range t {
+		s.Fault(ev)
+	}
+}
+func (t tee) BatchEnd(op string, tot Totals) {
+	for _, s := range t {
+		s.BatchEnd(op, tot)
+	}
+}
+
+// FindProfile returns the first *Profile reachable from s (s itself, or a
+// member of a Tee), or nil. Map.LastProfile uses it so callers can install
+// a Profile composed with other sinks and still read it back.
+func FindProfile(s Sink) *Profile {
+	switch v := s.(type) {
+	case *Profile:
+		return v
+	case tee:
+		for _, m := range v {
+			if p := FindProfile(m); p != nil {
+				return p
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// driveSample plays a small, fully-specified event stream into s: one
+// "get" batch with two phases, a round, and a fault event.
+func driveSample(s Sink) {
+	s.BatchStart("get", 8)
+	s.PhaseStart("get", PhaseSemisort)
+	s.RoundEnd(RoundStat{Round: 1, H: 4, MaxWork: 2, TotalMsgs: 10,
+		Mods: []ModuleIO{{Mod: 0, In: 3, Out: 2, Work: 2}, {Mod: 1, In: 3, Out: 2, Work: 1}}})
+	s.PhaseEnd(Span{Op: "get", Phase: PhaseSemisort, Rounds: 1, IOTime: 4, PIMRoundTime: 2, TotalMsgs: 10, CPUWork: 16, CPUDepth: 5})
+	s.PhaseStart("get", PhaseExecute)
+	s.RoundEnd(RoundStat{Round: 2, H: 6, MaxWork: 3, TotalMsgs: 12})
+	s.PhaseEnd(Span{Op: "get", Phase: PhaseExecute, Rounds: 1, IOTime: 6, PIMRoundTime: 3, TotalMsgs: 12, CPUWork: 8, CPUDepth: 4})
+	s.Fault(FaultEvent{Kind: FaultRetransmit, Round: 2, Mod: 1, ID: 7})
+	s.BatchEnd("get", Totals{Batch: 8, Rounds: 3, IOTime: 11, PIMTime: 5, PIMRoundTime: 6,
+		TotalMsgs: 25, TotalPIMWork: 9, SyncCost: 12, CPUWork: 30, CPUDepth: 12, CPUMem: 16})
+}
+
+func TestProfileAttribution(t *testing.T) {
+	p := NewProfile()
+	driveSample(p)
+
+	bp := p.Last()
+	if bp == nil {
+		t.Fatal("no last batch profile")
+	}
+	if bp.Op != "get" || bp.Ops != 8 || bp.Batches != 1 {
+		t.Fatalf("header = %q/%d/%d", bp.Op, bp.Ops, bp.Batches)
+	}
+	if msg := bp.CheckSums(); msg != "" {
+		t.Fatalf("CheckSums: %s", msg)
+	}
+	// The remainder phase must hold exactly totals − explicit spans.
+	var other *PhaseTotals
+	for i := range bp.Phases {
+		if bp.Phases[i].Phase == PhaseOther {
+			other = &bp.Phases[i]
+		}
+	}
+	if other == nil {
+		t.Fatal("no synthesized other phase")
+	}
+	if other.Rounds != 1 || other.IOTime != 1 || other.TotalMsgs != 3 || other.CPUWork != 6 || other.CPUDepth != 3 {
+		t.Fatalf("other remainder = %+v", *other)
+	}
+	// "other" is reported last.
+	if bp.Phases[len(bp.Phases)-1].Phase != PhaseOther {
+		t.Fatalf("phase order = %v", bp.Phases)
+	}
+	if bp.Faults["retransmit"] != 1 {
+		t.Fatalf("faults = %v", bp.Faults)
+	}
+	if p.Rounds() != 2 {
+		t.Fatalf("rounds observed = %d", p.Rounds())
+	}
+
+	// A second identical batch doubles the per-op aggregate.
+	driveSample(p)
+	agg := p.ByOp()
+	if len(agg) != 1 || agg[0].Batches != 2 || agg[0].Totals.Rounds != 6 {
+		t.Fatalf("aggregate = %+v", agg[0])
+	}
+	if msg := agg[0].CheckSums(); msg != "" {
+		t.Fatalf("aggregate CheckSums: %s", msg)
+	}
+	if agg[0].Faults["retransmit"] != 2 {
+		t.Fatalf("aggregate faults = %v", agg[0].Faults)
+	}
+}
+
+func TestProfileAbortedBatchDiscarded(t *testing.T) {
+	p := NewProfile()
+	p.BatchStart("upsert", 4)
+	p.PhaseStart("upsert", PhaseSearch)
+	p.PhaseEnd(Span{Op: "upsert", Phase: PhaseSearch, Rounds: 2})
+	// No BatchEnd: the batch aborted. The next batch must not inherit it.
+	driveSample(p)
+	if got := p.Last().Op; got != "get" {
+		t.Fatalf("last op = %q", got)
+	}
+	if len(p.ByOp()) != 1 {
+		t.Fatalf("aborted batch leaked into aggregates: %v", p.ByOp())
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseOther: "other", PhaseSort: "sort", PhaseSemisort: "semisort",
+		PhaseSearch: "search", PhaseExecute: "execute", PhaseRebuild: "rebuild",
+		PhaseContract: "contract",
+	}
+	for ph, name := range want {
+		if ph.String() != name {
+			t.Errorf("%d.String() = %q, want %q", ph, ph.String(), name)
+		}
+	}
+	if Phase(250).String() != "invalid" {
+		t.Errorf("out-of-range phase = %q", Phase(250).String())
+	}
+	if len(Phases()) != int(numPhases) {
+		t.Errorf("Phases() lists %d of %d phases", len(Phases()), numPhases)
+	}
+}
+
+func TestTeeAndFindProfile(t *testing.T) {
+	a, b := NewProfile(), NewProfile()
+	s := Tee(a, nil, b)
+	driveSample(s)
+	if a.Last() == nil || b.Last() == nil {
+		t.Fatal("tee did not reach both sinks")
+	}
+	if a.Last().Totals != b.Last().Totals {
+		t.Fatal("tee members diverged")
+	}
+	if FindProfile(s) != a {
+		t.Fatal("FindProfile did not return the first profile")
+	}
+	if FindProfile(NewChromeTracer(&bytes.Buffer{})) != nil {
+		t.Fatal("FindProfile invented a profile")
+	}
+}
+
+// chromeDoc is the trace_event JSON shape Perfetto accepts.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTracerEmitsLoadableJSON(t *testing.T) {
+	var buf bytes.Buffer
+	ct := NewChromeTracer(&buf)
+	ct.EmitTrackNames()
+	driveSample(ct)
+	if err := ct.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	// Every B has a matching E per (tid, name) and timestamps never run
+	// backwards (Perfetto rejects unbalanced or time-travelling spans).
+	open := map[string]int{}
+	var lastTS int64 = -1
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" && ev.TS < lastTS {
+			t.Fatalf("timestamp regressed: %d after %d (%s)", ev.TS, lastTS, ev.Name)
+		}
+		if ev.Ph != "M" {
+			lastTS = ev.TS
+		}
+		switch ev.Ph {
+		case "B":
+			open[ev.Name]++
+		case "E":
+			open[ev.Name]--
+			if open[ev.Name] < 0 {
+				t.Fatalf("E without B for %q", ev.Name)
+			}
+		}
+	}
+	for name, n := range open {
+		if n != 0 {
+			t.Fatalf("unbalanced span %q (%d open)", name, n)
+		}
+	}
+}
+
+func TestChromeTracerEmptyClose(t *testing.T) {
+	var buf bytes.Buffer
+	ct := NewChromeTracer(&buf)
+	if err := ct.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty tracer exported %d events", len(doc.TraceEvents))
+	}
+}

@@ -7,17 +7,48 @@
 //	m.Upsert(keys, vals)
 //	res, stats := m.Successor(queries)
 //
-// See README.md for the architecture and EXPERIMENTS.md for the paper
-// reproduction; the full API documentation lives on the aliased types.
+// # Architecture
+//
+// A Map runs on a simulated Processing-in-Memory machine (internal/pim):
+// P memory modules, each a sequential processor with private memory,
+// driven bulk-synchronously by a CPU-side fork–join program
+// (internal/cpu) whose work, depth, and peak shared memory are accounted
+// analytically. Every batch operation returns BatchStats carrying the
+// paper's cost metrics — rounds, IO time as h-relations, PIM time, sync
+// cost, CPU work/depth, minimum M — each defined normatively in
+// docs/METRICS.md. All metrics are deterministic: identical seeds give
+// bit-identical structures and numbers regardless of GOMAXPROCS.
+//
+// Batches are PIM-balanced per the paper: pivot-based batched search
+// (§4.2), Algorithm 1 insert linking (§4.3), list-contraction delete
+// (§4.4), and broadcast/tree range operations (§5). Companion structures
+// (HashMap, Sorter) cover the paper's stated future work; FaultPlan adds
+// deterministic fault injection with a reliable transport on top.
+//
+// # Observability
+//
+// Installing a TraceSink (Config.Trace or Map.SetTraceSink) streams
+// structured events — batch boundaries, per-phase metric deltas,
+// per-round per-module IO, fault events — to a TraceProfile (exact
+// per-phase attribution; Map.LastProfile) or a ChromeTracer
+// (chrome://tracing / Perfetto export). With no sink installed the layer
+// costs nothing: steady-state batches allocate zero and metrics are
+// bit-identical. See docs/TRACING.md for the schema and guarantees.
+//
+// See README.md for the repository layout and EXPERIMENTS.md for the
+// paper reproduction; the full API documentation lives on the aliased
+// types.
 package pimgo
 
 import (
 	"cmp"
+	"io"
 
 	"pimgo/internal/core"
 	"pimgo/internal/pim"
 	"pimgo/internal/pimmap"
 	"pimgo/internal/pimsort"
+	"pimgo/internal/trace"
 )
 
 // Config configures a Map (see core.Config for field documentation).
@@ -89,20 +120,103 @@ type FaultStats = core.FaultStats
 // run replays bit-identically across runs and GOMAXPROCS settings.
 func NewSeededFaultPlan(cfg FaultConfig) FaultPlan { return core.NewSeededFaultPlan(cfg) }
 
-// Single-fault convenience plans (rates in basis points of 10000).
-func DropFaultPlan(seed uint64, bp int) FaultPlan  { return pim.DropPlan(seed, bp) }
-func DupFaultPlan(seed uint64, bp int) FaultPlan   { return pim.DupPlan(seed, bp) }
+// DropFaultPlan drops each message with probability bp/10000.
+func DropFaultPlan(seed uint64, bp int) FaultPlan { return pim.DropPlan(seed, bp) }
+
+// DupFaultPlan duplicates each message with probability bp/10000; the
+// reliable transport must deduplicate the copies.
+func DupFaultPlan(seed uint64, bp int) FaultPlan { return pim.DupPlan(seed, bp) }
+
+// DelayFaultPlan delays each message with probability bp/10000 by up to
+// maxDelay rounds before delivery.
 func DelayFaultPlan(seed uint64, bp, maxDelay int) FaultPlan {
 	return pim.DelayPlan(seed, bp, maxDelay)
 }
+
+// StallFaultPlan slows a module's round with probability bp/10000,
+// multiplying its processing cost by factor (straggler injection).
 func StallFaultPlan(seed uint64, bp int, factor int64) FaultPlan {
 	return pim.StallPlan(seed, bp, factor)
 }
+
+// CrashFaultPlan crash-stops a module with probability bp/10000 for the
+// given number of rounds; its state is replayed on recovery.
 func CrashFaultPlan(seed uint64, bp, rounds int) FaultPlan { return pim.CrashPlan(seed, bp, rounds) }
 
 // ChaosFaultPlan mixes drops, duplicates, delays, stalls, and crashes at
 // moderate rates — the plan the chaos soak and `pimbench chaos` use.
 func ChaosFaultPlan(seed uint64) FaultPlan { return pim.ChaosPlan(seed) }
+
+// TraceSink receives the structured trace events of a Map: batch start/end,
+// phase spans with metric deltas, per-round module IO, and fault-layer
+// events. Install one via Config.Trace or Map.SetTraceSink; nil (the
+// default) has zero overhead. The event schema and the zero-overhead
+// contract are documented in docs/TRACING.md.
+type TraceSink = trace.Sink
+
+// TraceProfile is the aggregating TraceSink: it attributes every Table 1
+// metric to the algorithm phase that produced it. Read the most recent
+// batch's breakdown with Map.LastProfile, cross-batch aggregates with
+// TraceProfile.ByOp.
+type TraceProfile = trace.Profile
+
+// BatchProfile is one batch's (or one op kind's aggregated) per-phase
+// metric attribution, produced by a TraceProfile.
+type BatchProfile = trace.BatchProfile
+
+// PhaseTotals is the attribution of one phase within a BatchProfile.
+type PhaseTotals = trace.PhaseTotals
+
+// TracePhase identifies an algorithm phase in trace events (sort, semisort,
+// search, execute, rebuild, contract, other).
+type TracePhase = trace.Phase
+
+// Trace phase identifiers (see docs/TRACING.md for the taxonomy).
+const (
+	PhaseOther    = trace.PhaseOther
+	PhaseSort     = trace.PhaseSort
+	PhaseSemisort = trace.PhaseSemisort
+	PhaseSearch   = trace.PhaseSearch
+	PhaseExecute  = trace.PhaseExecute
+	PhaseRebuild  = trace.PhaseRebuild
+	PhaseContract = trace.PhaseContract
+)
+
+// TraceSpan is one completed phase span: the metric deltas the phase
+// produced.
+type TraceSpan = trace.Span
+
+// TraceTotals is a batch's headline metric totals as seen by trace sinks.
+type TraceTotals = trace.Totals
+
+// TraceRoundStat is one machine round's statistics (h-relation, max work,
+// per-module IO split).
+type TraceRoundStat = trace.RoundStat
+
+// TraceModuleIO is one module's in/out/work contribution to a round.
+type TraceModuleIO = trace.ModuleIO
+
+// TraceFaultEvent is one fault-layer event (injection or recovery action).
+type TraceFaultEvent = trace.FaultEvent
+
+// TraceFaultKind enumerates fault-layer event kinds; the names mirror the
+// FaultStats counters one to one.
+type TraceFaultKind = trace.FaultKind
+
+// ChromeTracer is the TraceSink that streams Chrome trace_event JSON,
+// loadable in chrome://tracing and Perfetto (ui.perfetto.dev).
+type ChromeTracer = trace.ChromeTracer
+
+// NewTraceProfile returns an empty aggregating profile sink.
+func NewTraceProfile() *TraceProfile { return trace.NewProfile() }
+
+// NewChromeTracer returns a ChromeTracer streaming to w; call Close after
+// the last batch to finalize the JSON document.
+func NewChromeTracer(w io.Writer) *ChromeTracer { return trace.NewChromeTracer(w) }
+
+// TeeTraceSinks fans trace events out to several sinks (nil entries are
+// skipped), e.g. a TraceProfile and a ChromeTracer at once.
+func TeeTraceSinks(sinks ...TraceSink) TraceSink { return trace.Tee(sinks...) }
 
 // NewMap constructs an empty PIM skip list on a fresh simulated machine.
 func NewMap[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) *Map[K, V] {

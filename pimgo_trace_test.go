@@ -1,0 +1,297 @@
+package pimgo
+
+// Trace-layer contract tests (ISSUE 5 tentpole):
+//
+//   - golden sink-event stream on a tiny fixed-seed batch,
+//   - traced metrics bit-identical to untraced runs,
+//   - phase attribution sums exactly to the headline BatchStats,
+//   - traced profiles deterministic across GOMAXPROCS,
+//   - Chrome export of a chaos run is loadable trace_event JSON.
+//
+// The nil-sink zero-allocation guard lives in pimgo_alloc_test.go: every
+// TestZeroAlloc* there runs the exact steady-state paths with no sink
+// installed, so any allocation introduced by the tracing layer's disabled
+// branch fails those tests.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// recordingSink renders every event as one compact line.
+type recordingSink struct {
+	lines []string
+}
+
+func (r *recordingSink) BatchStart(op string, n int) {
+	r.lines = append(r.lines, fmt.Sprintf("batch_start %s n=%d", op, n))
+}
+func (r *recordingSink) PhaseStart(op string, ph TracePhase) {
+	r.lines = append(r.lines, fmt.Sprintf("phase_start %s %s", op, ph))
+}
+func (r *recordingSink) PhaseEnd(sp TraceSpan) {
+	r.lines = append(r.lines, fmt.Sprintf("phase_end %s %s rounds=%d io=%d msgs=%d",
+		sp.Op, sp.Phase, sp.Rounds, sp.IOTime, sp.TotalMsgs))
+}
+func (r *recordingSink) RoundEnd(rs TraceRoundStat) {
+	var in, out int64
+	for _, m := range rs.Mods {
+		in += m.In
+		out += m.Out
+	}
+	r.lines = append(r.lines, fmt.Sprintf("round %d h=%d maxwork=%d msgs=%d in=%d out=%d",
+		rs.Round, rs.H, rs.MaxWork, rs.TotalMsgs, in, out))
+}
+func (r *recordingSink) Fault(ev TraceFaultEvent) {
+	r.lines = append(r.lines, fmt.Sprintf("fault %s round=%d", ev.Kind, ev.Round))
+}
+func (r *recordingSink) BatchEnd(op string, t TraceTotals) {
+	r.lines = append(r.lines, fmt.Sprintf("batch_end %s rounds=%d io=%d msgs=%d",
+		op, t.Rounds, t.IOTime, t.TotalMsgs))
+}
+
+// TestTraceGoldenEvents pins the literal event stream of one tiny
+// fixed-seed Get batch: the phase taxonomy, the per-round stats, and the
+// totals are part of the metrics contract (docs/TRACING.md), so an
+// unintentional change to any of them must show up here.
+func TestTraceGoldenEvents(t *testing.T) {
+	rec := &recordingSink{}
+	m := NewMap[uint64, int64](Config{P: 4, Seed: 7}, Uint64Hash)
+	if _, st := m.Upsert([]uint64{10, 20, 30, 40}, []int64{1, 2, 3, 4}); st.Batch != 4 {
+		t.Fatalf("seed upsert batch = %d", st.Batch)
+	}
+	m.SetTraceSink(rec)
+	if _, st := m.Get([]uint64{10, 20, 30, 99}); st.Batch != 4 {
+		t.Fatalf("get batch = %d", st.Batch)
+	}
+	m.SetTraceSink(nil)
+
+	got := strings.Join(rec.lines, "\n")
+	want := strings.Join([]string{
+		"batch_start get n=4",
+		"phase_start get semisort",
+		"phase_end get semisort rounds=0 io=0 msgs=0",
+		"phase_start get execute",
+		"round 1 h=4 maxwork=4 msgs=8 in=4 out=4",
+		"phase_end get execute rounds=1 io=4 msgs=8",
+		"batch_end get rounds=1 io=4 msgs=8",
+	}, "\n")
+	if got != want {
+		t.Errorf("golden event stream mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// traceWorkload drives a fixed mixed batch schedule against m, returning
+// the BatchStats of every batch in order.
+func traceWorkload(m *Map[uint64, int64]) []BatchStats {
+	var stats []BatchStats
+	keys := make([]uint64, 64)
+	vals := make([]int64, 64)
+	for i := range keys {
+		keys[i] = uint64(i)*2 + 1
+		vals[i] = int64(i)
+	}
+	_, st := m.Upsert(keys, vals)
+	stats = append(stats, st)
+	_, st = m.Get(append([]uint64(nil), 1, 3, 5, 999, 999, 7))
+	stats = append(stats, st)
+	_, st = m.Successor([]uint64{0, 4, 8, 1000, 50, 50})
+	stats = append(stats, st)
+	_, st = m.Predecessor([]uint64{0, 4, 8, 1000})
+	stats = append(stats, st)
+	_, st = m.Upsert([]uint64{1, 3, 200, 201}, []int64{-1, -3, -200, -201})
+	stats = append(stats, st)
+	_, st = m.Delete([]uint64{1, 5, 9, 999, 200})
+	stats = append(stats, st)
+	_, st = m.RangeTree([]RangeOp[uint64, int64]{
+		{Kind: RangeCount, Lo: 3, Hi: 90},
+		{Kind: RangeRead, Lo: 10, Hi: 40},
+	})
+	stats = append(stats, st)
+	return stats
+}
+
+// TestTraceMetricsBitIdenticalToUntraced pins the tentpole's disabled-path
+// contract from the other side: installing a sink must not change any
+// measured quantity, so a traced run's BatchStats equal an untraced run's
+// exactly.
+func TestTraceMetricsBitIdenticalToUntraced(t *testing.T) {
+	cfg := Config{P: 8, Seed: 42}
+	plain := traceWorkload(NewMap[uint64, int64](cfg, Uint64Hash))
+
+	cfg.Trace = NewTraceProfile()
+	traced := traceWorkload(NewMap[uint64, int64](cfg, Uint64Hash))
+
+	if len(plain) != len(traced) {
+		t.Fatalf("batch counts diverge: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Errorf("batch %d stats diverge:\n  untraced %+v\n  traced   %+v", i, plain[i], traced[i])
+		}
+	}
+}
+
+// TestTraceProfileMatchesStats verifies the attribution invariant on every
+// op kind of the workload: the profile's totals equal the returned
+// BatchStats field for field, and the per-phase columns sum exactly to the
+// totals (BatchProfile.CheckSums).
+func TestTraceProfileMatchesStats(t *testing.T) {
+	p := NewTraceProfile()
+	m := NewMap[uint64, int64](Config{P: 8, Seed: 42, Trace: p}, Uint64Hash)
+
+	keys := []uint64{5, 1, 9, 13, 5}
+	vals := []int64{50, 10, 90, 130, 51}
+	checks := []struct {
+		op  string
+		run func() BatchStats
+	}{
+		{"upsert", func() BatchStats { _, st := m.Upsert(keys, vals); return st }},
+		{"get", func() BatchStats { _, st := m.Get(keys); return st }},
+		{"update", func() BatchStats { _, st := m.Update(keys, vals); return st }},
+		{"successor", func() BatchStats { _, st := m.Successor(keys); return st }},
+		{"predecessor", func() BatchStats { _, st := m.Predecessor(keys); return st }},
+		{"delete", func() BatchStats { _, st := m.Delete(keys[:2]); return st }},
+	}
+	for _, ck := range checks {
+		st := ck.run()
+		bp := m.LastProfile()
+		if bp == nil {
+			t.Fatalf("%s: no profile", ck.op)
+		}
+		if bp.Op != ck.op {
+			t.Fatalf("profile op = %q, want %q", bp.Op, ck.op)
+		}
+		if msg := bp.CheckSums(); msg != "" {
+			t.Errorf("%s: phase sums broken: %s", ck.op, msg)
+		}
+		tt := bp.Totals
+		if tt.Rounds != st.Rounds || tt.IOTime != st.IOTime || tt.PIMTime != st.PIMTime ||
+			tt.PIMRoundTime != st.PIMRoundTime || tt.TotalMsgs != st.TotalMsgs ||
+			tt.TotalPIMWork != st.TotalPIMWork || tt.SyncCost != st.SyncCost ||
+			tt.CPUWork != st.CPUWork || tt.CPUDepth != st.CPUDepth || tt.CPUMem != st.CPUMem {
+			t.Errorf("%s: profile totals %+v != stats %+v", ck.op, tt, st)
+		}
+	}
+	// Cross-batch aggregates preserve the invariant too.
+	for _, agg := range p.ByOp() {
+		if msg := agg.CheckSums(); msg != "" {
+			t.Errorf("aggregate %s: %s", agg.Op, msg)
+		}
+	}
+}
+
+// TestTraceDeterminismAcrossGOMAXPROCS pins the enabled-path determinism
+// contract: two traced runs of the same seeded workload produce identical
+// profiles (rendered and structural) no matter how many OS threads executed
+// the parallel constructs.
+func TestTraceDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	type run struct {
+		table string
+		byOp  []*BatchProfile
+	}
+	var ref *run
+	for _, gmp := range []int{1, 2, old} {
+		runtime.GOMAXPROCS(gmp)
+		p := NewTraceProfile()
+		traceWorkload(NewMap[uint64, int64](Config{P: 8, Seed: 42, Trace: p}, Uint64Hash))
+		r := &run{table: p.String(), byOp: p.ByOp()}
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if r.table != ref.table {
+			t.Errorf("GOMAXPROCS=%d: profile table diverges:\n--- got ---\n%s--- want ---\n%s", gmp, r.table, ref.table)
+		}
+		if len(r.byOp) != len(ref.byOp) {
+			t.Fatalf("GOMAXPROCS=%d: %d op aggregates vs %d", gmp, len(r.byOp), len(ref.byOp))
+		}
+		for i := range r.byOp {
+			if !reflect.DeepEqual(r.byOp[i], ref.byOp[i]) {
+				t.Errorf("GOMAXPROCS=%d: aggregate %s diverges:\n  got  %+v\n  want %+v",
+					gmp, r.byOp[i].Op, r.byOp[i], ref.byOp[i])
+			}
+		}
+	}
+}
+
+// TestTraceChromeExportChaosLoads drives a chaos-faulted workload through
+// the ChromeTracer and verifies the export is a loadable trace_event
+// document: valid JSON, events present, fault instants recorded, spans
+// balanced (Perfetto rejects unbalanced streams).
+func TestTraceChromeExportChaosLoads(t *testing.T) {
+	var buf bytes.Buffer
+	ct := NewChromeTracer(&buf)
+	ct.EmitTrackNames()
+	p := NewTraceProfile()
+	m := NewMap[uint64, int64](Config{
+		P: 8, Seed: 42,
+		Fault: ChaosFaultPlan(0xC0FFEE),
+		Trace: TeeTraceSinks(p, ct),
+	}, Uint64Hash)
+	traceWorkload(m)
+	if err := ct.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chaos export is not valid JSON: %v", err)
+	}
+	var faults, batches int
+	open := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			open[ev.Name]++
+		case "E":
+			open[ev.Name]--
+			if open[ev.Name] < 0 {
+				t.Fatalf("E without B for %q", ev.Name)
+			}
+		case "i":
+			faults++
+		}
+		if ev.Cat == "batch" && ev.Ph == "B" {
+			batches++
+		}
+	}
+	for name, n := range open {
+		if n != 0 {
+			t.Fatalf("unbalanced span %q (%d open)", name, n)
+		}
+	}
+	if batches != 7 {
+		t.Errorf("exported %d batch spans, want 7", batches)
+	}
+	if faults == 0 {
+		t.Error("chaos run exported no fault instants")
+	}
+	// The teed profile must agree with the fault layer actually firing.
+	var sawFault bool
+	for _, agg := range p.ByOp() {
+		if len(agg.Faults) > 0 {
+			sawFault = true
+		}
+		if msg := agg.CheckSums(); msg != "" {
+			t.Errorf("faulted aggregate %s: %s", agg.Op, msg)
+		}
+	}
+	if !sawFault {
+		t.Error("profile recorded no fault events under chaos plan")
+	}
+}
