@@ -2,13 +2,15 @@
 # `make bench` refreshes the perf records (results/BENCH_*.json) that track
 # engine throughput PR-over-PR; `make benchguard` asserts the steady-state
 # zero-allocation contract of the batch engine; `make chaos` runs the
-# fault-injection soak and refreshes results/BENCH_chaos.json; `make docs`
-# lints the documentation (markdown links, pimbench command references,
-# facade godoc coverage) and gofmt cleanliness.
+# fault-injection soak and refreshes results/BENCH_chaos.json; `make
+# frontend` runs the concurrent-frontend verification suite and refreshes
+# results/BENCH_frontend.json; `make docs` lints the documentation
+# (markdown links, pimbench command references, facade godoc coverage) and
+# gofmt cleanliness.
 
 GO ?= go
 
-.PHONY: build test race vet bench benchguard chaos docs check
+.PHONY: build test race vet bench benchguard chaos frontend docs check
 
 build:
 	$(GO) build ./...
@@ -44,6 +46,13 @@ chaos:
 	$(GO) test -run 'TestChaosSoak' -count=1 ./internal/core/
 	$(GO) test -run 'TestFaultedDeterminismAcrossGOMAXPROCS' -count=1 .
 	$(GO) run ./cmd/pimbench chaos -out results/BENCH_chaos.json
+
+# Concurrent batching frontend verification: the oracle and chaos-soak
+# equivalence tests (plus -race), then the client-ladder record.
+frontend:
+	$(GO) test -run 'TestFrontend' -count=1 ./internal/frontend/
+	$(GO) test -race -run 'TestFrontend' -count=1 ./internal/frontend/
+	$(GO) run ./cmd/pimbench frontend -out results/BENCH_frontend.json
 
 # Documentation gate: every intra-repo markdown link resolves, every
 # `pimbench <cmd>` in the docs is a real command (validated against

@@ -20,6 +20,7 @@
 //	baseline  §2.2/§3.1 — ours vs range-partitioned skip list
 //	ablate    design ablations: -what=hlow|pivot|dedup
 //	chaos     fault-injection recovery costs under every built-in plan
+//	frontend  concurrent batching frontend: client-goroutine ladder
 //	trace     per-phase metric attribution; -chrome exports a Chrome trace
 //	all       every experiment in sequence
 //
@@ -59,6 +60,7 @@ var experiments = []experiment{
 	{"roundengine", "round-engine microbenchmarks → results/BENCH_roundengine.json", runRoundEngine},
 	{"batchengine", "steady-state batch-op benchmarks → results/BENCH_batchengine.json", runBatchEngine},
 	{"chaos", "fault-injection recovery costs → results/BENCH_chaos.json", runChaos},
+	{"frontend", "concurrent batching frontend ladder → results/BENCH_frontend.json", runFrontend},
 	{"trace", "per-phase metric attribution → results/BENCH_trace.json (-chrome exports Chrome trace JSON)", runTrace},
 }
 

@@ -4,14 +4,22 @@
 //
 // The store ingests orders keyed by (timestamp-ordered) order IDs, serves
 // point lookups, ordered scans ("the 50 orders after X"), and windowed
-// deletions (retention), and prints the per-batch PIM-model costs so you
-// can see PIM-balance hold as the store grows.
+// deletions (retention).
+//
+// By default the store is served through pimgo.Frontend: many client
+// goroutines issue one operation at a time and the collector coalesces
+// them into amortized Map batches (docs/FRONTEND.md). Run with -direct
+// for the original single-caller batch API on the same workload — the
+// printed per-batch PIM-model costs are the comparison the frontend's
+// coalescing statistics should be read against.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"sync"
 
-	"pimgo/internal/core"
+	"pimgo"
 	"pimgo/internal/rng"
 )
 
@@ -22,10 +30,148 @@ const (
 )
 
 func main() {
-	store := core.New[uint64, int64](core.Config{P: modules, Seed: 7}, core.Uint64Hash)
+	direct := flag.Bool("direct", false,
+		"serve through the single-caller batch API instead of the concurrent frontend")
+	flag.Parse()
+	if *direct {
+		runDirect()
+		return
+	}
+	runFrontend()
+}
+
+// runFrontend serves the store the way a real deployment would: concurrent
+// client goroutines, each issuing one operation at a time, coalesced by the
+// frontend collector into amortized batches.
+func runFrontend() {
+	store := pimgo.NewMap[uint64, int64](pimgo.Config{P: modules, Seed: 7}, pimgo.Uint64Hash)
+	f := pimgo.NewFrontend(store, pimgo.FrontendConfig{})
+
+	const clients = 64
+	const ordersPerClient = (batchSize * batches) / clients
+
+	fmt.Printf("ordered KV store on %d PIM modules, %d concurrent clients\n\n", modules, clients)
+
+	// Ingest: every client inserts its own ascending-ish ID stream (sparse,
+	// with jitter, as real ID generators produce), one Upsert at a time.
+	// Client c owns IDs ≡ c (mod clients), so streams never collide.
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.NewXoshiro256(99 + uint64(c))
+			id := uint64(1<<20) + uint64(c)
+			for i := 0; i < ordersPerClient; i++ {
+				id += uint64(clients) * (1 + r.Uint64n(64))
+				if _, err := f.Upsert(id, int64(r.Uint64n(10000))); err != nil {
+					panic(err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := f.Stats()
+	fmt.Printf("ingest: %d orders via %d single-op calls → %d flushes (mean batch %.1f)\n",
+		store.Len(), st.Ops, st.Flushes, float64(st.Ops)/float64(st.Flushes))
+
+	// Serve: each client mixes point lookups (half of them misses) with
+	// ordered scans — a Successor, then walking forward one Successor at a
+	// time, the single-key flavour of "the orders after X".
+	var hits, scanned int64
+	var mu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.NewXoshiro256(7177 + uint64(c))
+			var h, s int64
+			for i := 0; i < 64; i++ {
+				g, err := f.Get(uint64(1<<20) + r.Uint64n(1<<21))
+				if err != nil {
+					panic(err)
+				}
+				if g.Found {
+					h++
+				}
+			}
+			cur := uint64(1<<20) + r.Uint64n(1<<21)
+			for i := 0; i < 16; i++ { // 16-order forward scan
+				sr, err := f.Successor(cur)
+				if err != nil {
+					panic(err)
+				}
+				if !sr.Found {
+					break
+				}
+				s++
+				cur = sr.Key + 1
+			}
+			mu.Lock()
+			hits += h
+			scanned += s
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	st = f.Stats()
+	fmt.Printf("serve:  %d lookup hits, %d orders scanned; collector now at %d ops / %d flushes\n",
+		hits, scanned, st.Ops, st.Flushes)
+
+	// Retention: clients delete their own oldest orders, one Delete at a
+	// time; conflicting writes within a flush would coalesce (none here —
+	// the ID streams are disjoint).
+	ids := store.KeysInOrder()
+	oldest := ids[:len(ids)/4]
+	per := (len(oldest) + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		lo := c * per
+		if lo >= len(oldest) {
+			break
+		}
+		hi := min(lo+per, len(oldest))
+		wg.Add(1)
+		go func(part []uint64) {
+			defer wg.Done()
+			for _, id := range part {
+				if _, err := f.Delete(id); err != nil {
+					panic(err)
+				}
+			}
+		}(oldest[lo:hi])
+	}
+	wg.Wait()
+	st = f.Stats()
+	fmt.Printf("retention: deleted %d oldest orders\n\n", len(oldest))
+	fmt.Printf("collector totals: %d ops in %d flushes (mean batch %.1f, max %d), %d submitted after coalescing\n",
+		st.Ops, st.Flushes, float64(st.Ops)/float64(st.Flushes), st.MaxFlush, st.Submitted)
+
+	// Range aggregates are batch-API territory: close the frontend (the Map
+	// stays open) and hand the store back to the direct caller.
+	f.Close()
+	lo, hi := ids[len(ids)/4], ids[3*len(ids)/4]
+	all, bst := store.RangeBroadcast(pimgo.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: pimgo.RangeRead})
+	var total int64
+	for _, p := range all.Pairs {
+		total += p.Value
+	}
+	fmt.Printf("aggregate [%d, %d] after Close: %d orders, %d cents (1 round, IO=%d)\n",
+		lo, hi, all.Count, total, bst.IOTime)
+
+	if err := store.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("final store: %d orders, invariants ok\n", store.Len())
+}
+
+// runDirect is the pre-frontend path: one caller building explicit batches.
+// Kept as the comparison baseline — the per-batch PIM costs printed here are
+// what the frontend's coalesced flushes achieve for free under concurrency.
+func runDirect() {
+	store := pimgo.NewMap[uint64, int64](pimgo.Config{P: modules, Seed: 7}, pimgo.Uint64Hash)
 	r := rng.NewXoshiro256(99)
 
-	fmt.Printf("ordered KV store on %d PIM modules\n\n", modules)
+	fmt.Printf("ordered KV store on %d PIM modules (direct batch API)\n\n", modules)
 
 	// Ingest: batch upserts of new order IDs (sparse, ascending-ish with
 	// jitter, as real ID generators produce).
@@ -70,8 +216,8 @@ func main() {
 	// to find the start, then a tree range.
 	start := ids[len(ids)/2]
 	s, _ := store.SuccessorOne(start)
-	scan, st := store.RangeTreeOne(core.RangeOp[uint64, int64]{
-		Lo: s.Key, Hi: ids[min(len(ids)/2+49, len(ids)-1)], Kind: core.RangeRead,
+	scan, st := store.RangeTreeOne(pimgo.RangeOp[uint64, int64]{
+		Lo: s.Key, Hi: ids[min(len(ids)/2+49, len(ids)-1)], Kind: pimgo.RangeRead,
 	})
 	fmt.Printf("scan from %d: %d orders, first=%d last=%d  IO=%d\n",
 		start, scan.Count, scan.Pairs[0].Key, scan.Pairs[len(scan.Pairs)-1].Key, st.IOTime)
@@ -79,7 +225,7 @@ func main() {
 	// Aggregate: total order value over the middle half of the ID space —
 	// large range, so the broadcast execution is the right tool.
 	lo, hi := ids[len(ids)/4], ids[3*len(ids)/4]
-	all, st := store.RangeBroadcast(core.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: core.RangeRead})
+	all, st := store.RangeBroadcast(pimgo.RangeOp[uint64, int64]{Lo: lo, Hi: hi, Kind: pimgo.RangeRead})
 	var total int64
 	for _, p := range all.Pairs {
 		total += p.Value

@@ -40,6 +40,7 @@ import (
 	"cmp"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"pimgo/internal/hashtab"
 	"pimgo/internal/pim"
@@ -207,6 +208,12 @@ type Map[K cmp.Ordered, V any] struct {
 	// ws is the per-Map reusable batch workspace (see ws.go). Created once
 	// in New; never shared across Maps.
 	ws *batchWS[K, V]
+
+	// inBatch is the single-flight gate: a Map executes one batch at a
+	// time, and a second concurrent (or re-entrant) batch fails with
+	// ErrConcurrentBatch instead of racing on the shared workspace.
+	// beginBatch acquires it, endBatch and the round-error path release it.
+	inBatch atomic.Bool
 }
 
 // New constructs an empty Map on a fresh PIM machine. hash reduces keys to

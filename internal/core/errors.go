@@ -36,6 +36,14 @@ var (
 	// reliable transport's retransmit budget; the batch is abandoned and
 	// the structure may be partially mutated (see docs/MODEL.md).
 	ErrFaultUnrecoverable = pim.ErrFaultUnrecoverable
+	// ErrConcurrentBatch reports a second batch submitted while another is
+	// still running on the same Map. A Map executes one batch at a time;
+	// concurrent callers must serialize externally — or, better, go through
+	// the coalescing frontend (internal/frontend), which turns concurrent
+	// single-op traffic into well-formed batches. The losing call fails
+	// deterministically and side-effect-free; the running batch is
+	// undisturbed.
+	ErrConcurrentBatch = errors.New("pimgo: concurrent batch on a single Map")
 )
 
 // FaultPlan is re-exported so callers can install fault plans through
@@ -78,6 +86,9 @@ func catchAbort(errp *error) {
 func (m *Map[K, V]) round(sends []pim.Send[*modState[K, V]]) ([]pim.Reply, []pim.Send[*modState[K, V]]) {
 	replies, next, err := m.mach.TryRound(sends)
 	if err != nil {
+		// The batch is being abandoned mid-flight: release the single-flight
+		// gate so the Map stays usable after a Try* caller recovers.
+		m.inBatch.Store(false)
 		panic(batchAbort{err})
 	}
 	return replies, next
@@ -160,6 +171,40 @@ func (m *Map[K, V]) TryDelete(keys []K) (res []bool, st BatchStats, err error) {
 func (m *Map[K, V]) TrySuccessor(keys []K) (res []SearchResult[K, V], st BatchStats, err error) {
 	defer catchAbort(&err)
 	res, st = m.Successor(keys)
+	return res, st, nil
+}
+
+// TryGetInto is GetInto with the error convention: the steady-state
+// allocation-free entry point for long-lived callers (the coalescing
+// frontend) that must also survive runtime failures as errors.
+func (m *Map[K, V]) TryGetInto(keys []K, dst []GetResult[V]) (res []GetResult[V], st BatchStats, err error) {
+	defer catchAbort(&err)
+	res, st = m.GetInto(keys, dst)
+	return res, st, nil
+}
+
+// TryUpsertInto is UpsertInto with the error convention.
+func (m *Map[K, V]) TryUpsertInto(keys []K, vals []V, dst []bool) (res []bool, st BatchStats, err error) {
+	if len(keys) != len(vals) {
+		return nil, BatchStats{}, fmt.Errorf("%w: Upsert keys/vals length mismatch (%d vs %d)",
+			ErrBadBatch, len(keys), len(vals))
+	}
+	defer catchAbort(&err)
+	res, st = m.UpsertInto(keys, vals, dst)
+	return res, st, nil
+}
+
+// TryDeleteInto is DeleteInto with the error convention.
+func (m *Map[K, V]) TryDeleteInto(keys []K, dst []bool) (res []bool, st BatchStats, err error) {
+	defer catchAbort(&err)
+	res, st = m.DeleteInto(keys, dst)
+	return res, st, nil
+}
+
+// TrySuccessorInto is SuccessorInto with the error convention.
+func (m *Map[K, V]) TrySuccessorInto(keys []K, dst []SearchResult[K, V]) (res []SearchResult[K, V], st BatchStats, err error) {
+	defer catchAbort(&err)
+	res, st = m.SuccessorInto(keys, dst)
 	return res, st, nil
 }
 

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pimgo/internal/pim"
+	"pimgo/internal/trace"
+)
+
+// reentrantSink is a trace sink that issues a second batch on the same Map
+// from inside a running batch (on the driving goroutine) — the
+// deterministic way to exercise the single-flight gate.
+type reentrantSink struct {
+	m    *Map[uint64, int64]
+	errs []error
+}
+
+func (s *reentrantSink) PhaseStart(op string, ph trace.Phase) {
+	_, _, err := s.m.TryGet([]uint64{42})
+	s.errs = append(s.errs, err)
+}
+func (s *reentrantSink) BatchStart(string, int)        {}
+func (s *reentrantSink) PhaseEnd(trace.Span)           {}
+func (s *reentrantSink) RoundEnd(trace.RoundStat)      {}
+func (s *reentrantSink) Fault(trace.FaultEvent)        {}
+func (s *reentrantSink) BatchEnd(string, trace.Totals) {}
+
+// TestConcurrentBatchReentrant: a batch started while another is running on
+// the same Map fails with ErrConcurrentBatch, side-effect-free, and the
+// running batch completes with correct results.
+func TestConcurrentBatchReentrant(t *testing.T) {
+	m := newTestMap(t, 4)
+	m.Upsert([]uint64{10, 20, 30}, []int64{1, 2, 3})
+	sink := &reentrantSink{m: m}
+	m.SetTraceSink(sink)
+	res, _ := m.Get([]uint64{20})
+	m.SetTraceSink(nil)
+	if !res[0].Found || res[0].Value != 2 {
+		t.Fatalf("outer batch corrupted by re-entrant attempt: %+v", res[0])
+	}
+	if len(sink.errs) == 0 {
+		t.Fatal("re-entrant sink never ran")
+	}
+	for i, err := range sink.errs {
+		if !errors.Is(err, ErrConcurrentBatch) {
+			t.Fatalf("re-entrant TryGet %d: err = %v, want ErrConcurrentBatch", i, err)
+		}
+	}
+	// The Map is fully usable afterwards.
+	if res, _, err := m.TryGet([]uint64{30}); err != nil || !res[0].Found || res[0].Value != 3 {
+		t.Fatalf("Map unusable after gate rejection: %v %+v", err, res)
+	}
+	mustCheck(t, m)
+}
+
+// TestConcurrentBatchStress: many goroutines hammering Try* entry points on
+// one Map never race (run under -race in CI); every failure is the typed
+// ErrConcurrentBatch and at least one batch per goroutine succeeds
+// eventually.
+func TestConcurrentBatchStress(t *testing.T) {
+	m := newTestMap(t, 4)
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	vals := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	m.Upsert(keys, vals)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	var rejected, succeeded atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ok := 0
+			for i := 0; ok < 20 && i < 100000; i++ {
+				var err error
+				switch (g + i) % 3 {
+				case 0:
+					_, _, err = m.TryGet(keys)
+				case 1:
+					_, _, err = m.TrySuccessor(keys[:4])
+				case 2:
+					_, _, err = m.TryUpsertInto(keys, vals, nil)
+				}
+				switch {
+				case err == nil:
+					ok++
+					succeeded.Add(1)
+				case errors.Is(err, ErrConcurrentBatch):
+					rejected.Add(1)
+				default:
+					t.Errorf("goroutine %d: unexpected error %v", g, err)
+					return
+				}
+			}
+			if ok < 20 {
+				t.Errorf("goroutine %d: only %d batches succeeded", g, ok)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if succeeded.Load() < goroutines*20 {
+		t.Fatalf("only %d successful batches (rejected %d)", succeeded.Load(), rejected.Load())
+	}
+	mustCheck(t, m)
+}
+
+// TestGateReleasedAfterAbort: a batch abandoned by a runtime error
+// (unrecoverable faults) releases the gate, so the next batch fails with the
+// runtime error again — never with a stale ErrConcurrentBatch.
+func TestGateReleasedAfterAbort(t *testing.T) {
+	m := newTestMap(t, 4, func(c *Config) { c.Fault = pim.DropPlan(7, 10000) })
+	for i := 0; i < 3; i++ {
+		_, _, err := m.TryGet([]uint64{9})
+		if !errors.Is(err, ErrFaultUnrecoverable) {
+			t.Fatalf("attempt %d: err = %v, want ErrFaultUnrecoverable", i, err)
+		}
+		if errors.Is(err, ErrConcurrentBatch) {
+			t.Fatalf("attempt %d: gate leaked across aborted batch", i)
+		}
+	}
+}

@@ -105,6 +105,12 @@ func (m *Map[K, V]) beginBatch(op string, n int) (*cpu.Tracker, *cpu.Ctx) {
 	if m.mach.Closed() {
 		panic(batchAbort{ErrClosed})
 	}
+	// Single-flight gate: acquire before touching any shared batch state, so
+	// a losing concurrent caller fails typed and side-effect-free while the
+	// winner's batch runs undisturbed.
+	if !m.inBatch.CompareAndSwap(false, true) {
+		panic(batchAbort{ErrConcurrentBatch})
+	}
 	// New op epoch: the reliable transport (if a fault plan is installed)
 	// discards previous batches' dedup records and in-flight state.
 	m.mach.BeginEpoch()
@@ -164,6 +170,7 @@ func (m *Map[K, V]) endBatch(tr *cpu.Tracker, c *cpu.Ctx, batch, phases int, max
 			CPUMem:       st.CPUMem,
 		})
 	}
+	m.inBatch.Store(false)
 	return st
 }
 

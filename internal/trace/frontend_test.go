@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProfileCollectorAggregation: Profile folds FlushStat events into its
+// collector totals without touching the machine-event attribution.
+func TestProfileCollectorAggregation(t *testing.T) {
+	p := NewProfile()
+	p.Flush(FlushStat{Ops: 10, Submitted: 8, QueueWait: 5 * time.Microsecond,
+		MaxQueueWait: 2 * time.Microsecond, FlushTime: 7 * time.Microsecond})
+	p.Flush(FlushStat{Ops: 6, Submitted: 6, QueueWait: 3 * time.Microsecond,
+		MaxQueueWait: 3 * time.Microsecond, FlushTime: 2 * time.Microsecond})
+	c := p.Collector()
+	if c.Flushes != 2 || c.Ops != 16 || c.Submitted != 14 {
+		t.Fatalf("collector counts: %+v", c)
+	}
+	if c.QueueWait != 8*time.Microsecond || c.MaxQueueWait != 3*time.Microsecond ||
+		c.FlushTime != 9*time.Microsecond {
+		t.Fatalf("collector durations: %+v", c)
+	}
+	if got := c.MeanBatch(); got != 8 {
+		t.Fatalf("MeanBatch = %v, want 8", got)
+	}
+	if p.Last() != nil {
+		t.Fatal("Flush events must not fabricate batch profiles")
+	}
+}
+
+// TestTeeForwardsFlush: Tee forwards Flush only to members implementing
+// FlushSink, and itself satisfies the interface.
+func TestTeeForwardsFlush(t *testing.T) {
+	p1, p2 := NewProfile(), NewProfile()
+	chrome := NewChromeTracer(discard{})
+	s := Tee(p1, chrome, nil, p2)
+	fs, ok := s.(FlushSink)
+	if !ok {
+		t.Fatal("Tee does not implement FlushSink")
+	}
+	fs.Flush(FlushStat{Ops: 4, Submitted: 4})
+	if p1.Collector().Flushes != 1 || p2.Collector().Flushes != 1 {
+		t.Fatalf("tee did not forward: %+v / %+v", p1.Collector(), p2.Collector())
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -203,6 +203,10 @@ type Profile struct {
 	keys []string                 // op kinds in first-seen order
 
 	rounds int64 // machine rounds observed (incl. recovery sub-rounds)
+
+	// collector aggregates frontend flush events (frontend.go); populated
+	// only when the profile observes a Map driven through internal/frontend.
+	collector CollectorTotals
 }
 
 // NewProfile returns an empty profile sink.

@@ -45,6 +45,7 @@ import (
 	"io"
 
 	"pimgo/internal/core"
+	"pimgo/internal/frontend"
 	"pimgo/internal/pim"
 	"pimgo/internal/pimmap"
 	"pimgo/internal/pimsort"
@@ -101,7 +102,35 @@ var (
 	// ErrFaultUnrecoverable reports that an installed fault plan defeated
 	// the reliable transport's retransmit budget; see docs/MODEL.md.
 	ErrFaultUnrecoverable = core.ErrFaultUnrecoverable
+	// ErrConcurrentBatch reports a second batch started on a Map while
+	// another is running. A Map is a single-driver structure; coalesce
+	// concurrent single-op traffic through a Frontend instead.
+	ErrConcurrentBatch = core.ErrConcurrentBatch
 )
+
+// Frontend coalesces single-key operations from arbitrarily many client
+// goroutines into amortized Map batches: clients call Get/Upsert/Delete/
+// Successor one key at a time, a collector goroutine batches them (bounded
+// by FrontendConfig.MaxBatch and MaxWait), runs the batch through the Map,
+// and demultiplexes the replies. Replies are bit-identical to running each
+// op as its own batch at the flush's linearization point; the steady-state
+// enqueue/reply path allocates nothing. See docs/FRONTEND.md.
+type Frontend[K cmp.Ordered, V any] = frontend.Frontend[K, V]
+
+// FrontendConfig tunes the collector (batch size cap and dwell); the zero
+// value selects the defaults.
+type FrontendConfig = frontend.Config
+
+// FrontendStats reports the collector's accumulated behaviour (flush count,
+// coalesced sizes, queue waits); read it with Frontend.Stats.
+type FrontendStats = frontend.Stats
+
+// NewFrontend starts a collector over m and takes over as the Map's sole
+// driver; stop it with Frontend.Close (the Map itself stays open). Direct
+// batches on m while the frontend is open fail with ErrConcurrentBatch.
+func NewFrontend[K cmp.Ordered, V any](m *Map[K, V], cfg FrontendConfig) *Frontend[K, V] {
+	return frontend.New(m, cfg)
+}
 
 // FaultPlan injects deterministic message/module faults into the simulated
 // machine; install one via Config.Fault. Nil means the paper's reliable
@@ -202,6 +231,21 @@ type TraceFaultEvent = trace.FaultEvent
 // TraceFaultKind enumerates fault-layer event kinds; the names mirror the
 // FaultStats counters one to one.
 type TraceFaultKind = trace.FaultKind
+
+// TraceFlushStat describes one Frontend flush: ops coalesced, ops actually
+// submitted after write-coalescing, queue waits, and flush wall time (the
+// collector lives outside the simulated machine, so wall clock is the
+// honest unit — see docs/FRONTEND.md).
+type TraceFlushStat = trace.FlushStat
+
+// TraceFlushSink is optionally implemented by trace sinks that want the
+// Frontend's flush events in addition to the machine stream; TraceProfile
+// implements it (read back with TraceProfile.Collector).
+type TraceFlushSink = trace.FlushSink
+
+// TraceCollectorTotals is TraceProfile's aggregate over Frontend flush
+// events.
+type TraceCollectorTotals = trace.CollectorTotals
 
 // ChromeTracer is the TraceSink that streams Chrome trace_event JSON,
 // loadable in chrome://tracing and Perfetto (ui.perfetto.dev).

@@ -108,6 +108,67 @@ func TestZeroAllocUpsertUpdate(t *testing.T) {
 	}
 }
 
+// TestZeroAllocFrontendGet guards the frontend's whole single-op round trip
+// — client enqueue, collector coalesce + flush, reply demultiplex — with a
+// live collector goroutine. AllocsPerRun pins GOMAXPROCS=1 and counts every
+// heap allocation in the process, so the collector's flush path is measured
+// together with the client path: pooled futures, the pending double buffer,
+// the flush workspace, and the core batch engine must all run warm.
+func TestZeroAllocFrontendGet(t *testing.T) {
+	m, r := allocTestMap(4096)
+	f := NewFrontend(m, FrontendConfig{})
+	defer f.Close()
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = 1 + r.Uint64n(keySpace)
+	}
+	for _, k := range keys { // warm pool, buffers, and workspace
+		if _, err := f.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(allocRuns, func() {
+		if _, err := f.Get(keys[i%len(keys)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state frontend Get allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// TestZeroAllocFrontendUpsert is the write-side guard: steady-state
+// single-op Upserts of already-present keys (the update path — inserts grow
+// the structure and may allocate) must be allocation-free end to end,
+// including the collector's write-coalescing bookkeeping and replay.
+func TestZeroAllocFrontendUpsert(t *testing.T) {
+	m, r := allocTestMap(4096)
+	snapKeys, _, _ := m.Snapshot()
+	f := NewFrontend(m, FrontendConfig{})
+	defer f.Close()
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = snapKeys[r.Uint64n(uint64(len(snapKeys)))]
+	}
+	for _, k := range keys {
+		if _, err := f.Upsert(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(allocRuns, func() {
+		if _, err := f.Upsert(keys[i%len(keys)], 2); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state frontend Upsert (update path) allocates %.1f times per op, want 0", avg)
+	}
+}
+
 func TestZeroAllocDelete(t *testing.T) {
 	// Deletion shrinks the structure, so the measured calls each delete a
 	// distinct, still-present batch. Two warm-up cycles of delete-all /
