@@ -4,13 +4,14 @@
 # zero-allocation contract of the batch engine; `make chaos` runs the
 # fault-injection soak and refreshes results/BENCH_chaos.json; `make
 # frontend` runs the concurrent-frontend verification suite and refreshes
-# results/BENCH_frontend.json; `make docs` lints the documentation
-# (markdown links, pimbench command references, facade godoc coverage) and
-# gofmt cleanliness.
+# results/BENCH_frontend.json; `make cluster` runs the sharded-cluster
+# verification suite and refreshes results/BENCH_cluster.json; `make docs`
+# lints the documentation (markdown links, pimbench command references,
+# facade godoc coverage) and gofmt cleanliness.
 
 GO ?= go
 
-.PHONY: build test race vet bench benchguard chaos frontend docs check
+.PHONY: build test race vet bench benchguard chaos frontend cluster docs check
 
 build:
 	$(GO) build ./...
@@ -53,6 +54,15 @@ frontend:
 	$(GO) test -run 'TestFrontend' -count=1 ./internal/frontend/
 	$(GO) test -race -run 'TestFrontend' -count=1 ./internal/frontend/
 	$(GO) run ./cmd/pimbench frontend -out results/BENCH_frontend.json
+
+# Sharded-cluster verification: the cluster-wide chaos soak (every fault
+# plan x shard kills, all batch ops vs a fault-free single Map and the
+# sequential oracle), routing determinism across GOMAXPROCS (plus -race),
+# then the machine-readable cluster-ladder record.
+cluster:
+	$(GO) test -run 'TestCluster' -count=1 ./internal/cluster/
+	$(GO) test -race -run 'TestClusterChaosSoak|TestClusterRoutingDeterminism' -count=1 ./internal/cluster/
+	$(GO) run ./cmd/pimbench cluster -out results/BENCH_cluster.json
 
 # Documentation gate: every intra-repo markdown link resolves, every
 # `pimbench <cmd>` in the docs is a real command (validated against

@@ -12,7 +12,6 @@ package main
 
 import (
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -99,15 +98,13 @@ func runBatchEngine(args []string) {
 	}
 
 	if len(entry.Benchmarks) == 0 {
-		fmt.Fprintf(os.Stderr, "batchengine: -maxp %d excludes every shape; nothing recorded\n", *maxP)
-		os.Exit(1)
+		refuse("batchengine: -maxp %d excludes every shape; nothing recorded", *maxP)
 	}
 
 	n, _, err := mergeBenchEntry(*outPath, "batchengine", "one op = one steady-state batch operation on a warmed Map",
 		entry, func(e beEntry) string { return e.Label })
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "batchengine:", err)
-		os.Exit(1)
+		refuse("batchengine: %v", err)
 	}
 	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
 }

@@ -12,7 +12,6 @@ package main
 import (
 	"fmt"
 	"hash/fnv"
-	"os"
 	"runtime"
 	"time"
 
@@ -203,16 +202,14 @@ func runChaos(args []string) {
 	tbl.print()
 
 	if !allEquivalent {
-		fmt.Fprintln(os.Stderr, "chaos: a faulted run diverged from the fault-free run; not recording")
-		os.Exit(1)
+		refuse("chaos: a faulted run diverged from the fault-free run; not recording")
 	}
 
 	n, _, err := mergeBenchEntry(*outPath, "chaos",
 		"one row = the fixed mixed workload under one fault plan; equivalence vs the fault-free row",
 		entry, func(e chaosEntry) string { return e.Label })
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chaos:", err)
-		os.Exit(1)
+		refuse("chaos: %v", err)
 	}
 	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
 }

@@ -1,0 +1,348 @@
+package main
+
+// `pimbench cluster` is the sharded-cluster ladder: one deterministic
+// mixed batch workload (point ops, successors, range operations) runs
+// once on a fault-free single Map — the oracle — and then on clusters of
+// increasing shard counts under three fault regimes: fault-free, chaos on
+// every shard, and chaos plus permanent shard kills recovered from the
+// journal. Every cluster row must reproduce the oracle's reply stream and
+// final structure hash exactly (scatter/gather and exactly-once recovery
+// are both invisible to callers); a divergence refuses to record and
+// exits non-zero. Each row also records what recovery cost: kills,
+// rebuilds, and the rounds charged to the recovery account. One labeled
+// entry accumulates per run in results/BENCH_cluster.json.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"pimgo/internal/cluster"
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+)
+
+// clusterResult is one (shards, regime) row in one entry.
+type clusterResult struct {
+	Shards  int     `json:"shards"`
+	Plan    string  `json:"plan"`
+	Batches int     `json:"batches"`
+	WallMs  float64 `json:"wall_ms"`
+	// MaxRounds/MaxIOTime sum each batch's slowest-shard metric (the
+	// parallel-elapsed view); TotalMsgs/TotalPIMWork sum over all shards.
+	MaxRounds    int64 `json:"max_rounds"`
+	MaxIOTime    int64 `json:"max_io_time"`
+	TotalMsgs    int64 `json:"total_msgs"`
+	TotalPIMWork int64 `json:"total_pim_work"`
+	// Recovery accounting: shard machine deaths, journal rebuilds, and the
+	// rounds charged to the per-shard recovery accounts.
+	Kills          int64 `json:"kills"`
+	Recoveries     int64 `json:"recoveries"`
+	RecoveryRounds int64 `json:"recovery_rounds"`
+	// Equivalent records that the reply stream and final structure hashed
+	// identically to the single-Map oracle's.
+	Equivalent bool `json:"equivalent"`
+}
+
+// clusterEntry is one labeled run of the ladder.
+type clusterEntry struct {
+	Label      string          `json:"label"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	ShardP     int             `json:"shard_p"`
+	Note       string          `json:"note,omitempty"`
+	Rows       []clusterResult `json:"rows"`
+}
+
+// clusterWop is one pre-generated workload batch, shared by the oracle and
+// every cluster run so the reply streams are comparable byte for byte.
+type clusterWop struct {
+	kind int // 0 upsert, 1 delete, 2 get, 3 successor, 4 range
+	keys []uint64
+	vals []int64
+	rops []core.RangeOp[uint64, int64]
+}
+
+// genClusterOps builds the deterministic workload.
+func genClusterOps(batches int) []clusterWop {
+	r := rng.NewXoshiro256(0xC4A05)
+	const space = 1 << 13
+	ops := make([]clusterWop, batches)
+	for i := range ops {
+		b := 16 + int(r.Uint64n(112))
+		w := clusterWop{kind: int(r.Uint64n(5))}
+		w.keys = make([]uint64, b)
+		for j := range w.keys {
+			w.keys[j] = 1 + r.Uint64n(space)
+		}
+		switch w.kind {
+		case 0:
+			w.vals = make([]int64, b)
+			for j := range w.vals {
+				w.vals[j] = int64(r.Uint64() >> 1)
+			}
+		case 4:
+			n := 1 + int(r.Uint64n(6))
+			transform := r.Intn(3) == 0
+			w.rops = make([]core.RangeOp[uint64, int64], n)
+			for j := range w.rops {
+				lo := 1 + r.Uint64n(space)
+				op := core.RangeOp[uint64, int64]{Lo: lo, Hi: lo + r.Uint64n(space/4)}
+				if transform {
+					op.Kind = core.RangeTransform
+					op.Transform = func(v int64) int64 { return v + 9 }
+				} else {
+					switch r.Intn(3) {
+					case 0:
+						op.Kind = core.RangeCount
+					case 1:
+						op.Kind = core.RangeRead
+					case 2:
+						op.Kind = core.RangeReduce
+						op.Reduce = func(a, b int64) int64 { return a + b }
+					}
+				}
+				w.rops[j] = op
+			}
+		}
+		ops[i] = w
+	}
+	return ops
+}
+
+// hashRangeResults folds range replies into the stream hash.
+func hashRangeResults(h *fnv64w, res []core.RangeResult[uint64, int64]) {
+	for _, rr := range res {
+		fmt.Fprintf(h.h, "r%d:%d:", rr.Count, rr.Reduced)
+		for _, p := range rr.Pairs {
+			fmt.Fprintf(h.h, "%d=%d;", p.Key, p.Value)
+		}
+	}
+}
+
+// fnv64w is a tiny wrapper so helpers share one hash stream.
+type fnv64w struct {
+	h interface{ Write([]byte) (int, error) }
+}
+
+// runClusterOracle drives the workload on a fault-free single Map and
+// returns the reply-stream and final-structure hashes.
+func runClusterOracle(ops []clusterWop) (replySum, structSum uint64) {
+	m := core.New[uint64, int64](core.Config{P: 16, Seed: 0xC0FFEE}, core.Uint64Hash)
+	defer m.Close()
+	h := fnv.New64a()
+	hw := &fnv64w{h: h}
+	for _, w := range ops {
+		switch w.kind {
+		case 0:
+			ins, _ := m.Upsert(w.keys, w.vals)
+			for _, v := range ins {
+				fmt.Fprintf(h, "u%v", v)
+			}
+		case 1:
+			ok, _ := m.Delete(w.keys)
+			for _, v := range ok {
+				fmt.Fprintf(h, "d%v", v)
+			}
+		case 2:
+			res, _ := m.Get(w.keys)
+			for _, g := range res {
+				fmt.Fprintf(h, "g%v:%v", g.Found, g.Value)
+			}
+		case 3:
+			res, _ := m.Successor(w.keys)
+			for _, s := range res {
+				fmt.Fprintf(h, "s%v:%v:%v", s.Found, s.Key, s.Value)
+			}
+		case 4:
+			res, _ := m.RangeAuto(w.rops)
+			hashRangeResults(hw, res)
+		}
+	}
+	replySum = h.Sum64()
+	ks, vs, _ := m.Snapshot()
+	sh := fnv.New64a()
+	for i := range ks {
+		fmt.Fprintf(sh, "%v=%v;", ks[i], vs[i])
+	}
+	return replySum, sh.Sum64()
+}
+
+// runClusterWorkload drives the workload on one cluster configuration.
+func runClusterWorkload(shards, shardP int, ops []clusterWop, plans []core.FaultPlan) (clusterResult, uint64, uint64) {
+	cfg := cluster.Config{
+		Shards: shards,
+		Seed:   0xC10C,
+		Shard:  core.Config{P: shardP},
+		Faults: plans,
+	}
+	c, err := cluster.New[uint64, int64](cfg, core.Uint64Hash)
+	if err != nil {
+		refuse("cluster: New(%d shards): %v", shards, err)
+	}
+	defer c.Close()
+	h := fnv.New64a()
+	hw := &fnv64w{h: h}
+	var out clusterResult
+	out.Shards = shards
+	out.Batches = len(ops)
+	start := time.Now()
+	for i, w := range ops {
+		var st cluster.Stats
+		var errs []error
+		var err error
+		switch w.kind {
+		case 0:
+			var ins []bool
+			ins, errs, st, err = c.TryUpsert(w.keys, w.vals)
+			for _, v := range ins {
+				fmt.Fprintf(h, "u%v", v)
+			}
+		case 1:
+			var ok []bool
+			ok, errs, st, err = c.TryDelete(w.keys)
+			for _, v := range ok {
+				fmt.Fprintf(h, "d%v", v)
+			}
+		case 2:
+			var res []core.GetResult[int64]
+			res, errs, st, err = c.TryGet(w.keys)
+			for _, g := range res {
+				fmt.Fprintf(h, "g%v:%v", g.Found, g.Value)
+			}
+		case 3:
+			var res []core.SearchResult[uint64, int64]
+			res, errs, st, err = c.TrySuccessor(w.keys)
+			for _, s := range res {
+				fmt.Fprintf(h, "s%v:%v:%v", s.Found, s.Key, s.Value)
+			}
+		case 4:
+			var res []core.RangeResult[uint64, int64]
+			res, errs, st, err = c.TryRangeOperation(w.rops)
+			hashRangeResults(hw, res)
+		}
+		if err != nil {
+			refuse("cluster: batch %d failed: %v", i, err)
+		}
+		for j, e := range errs {
+			if e != nil {
+				refuse("cluster: batch %d op %d degraded: %v (recovery must be transparent here)", i, j, e)
+			}
+		}
+		out.MaxRounds += st.MaxRounds()
+		out.MaxIOTime += st.MaxIOTime()
+		out.TotalMsgs += st.TotalMsgs()
+		out.TotalPIMWork += st.TotalPIMWork()
+	}
+	out.WallMs = float64(time.Since(start).Microseconds()) / 1000
+
+	// Final structure via a cluster-wide ordered read.
+	read := []core.RangeOp[uint64, int64]{{Lo: 0, Hi: 1 << 14, Kind: core.RangeRead}}
+	res, errs, _, err := c.TryRangeOperation(read)
+	if err != nil {
+		refuse("cluster: final read: %v", err)
+	}
+	for _, e := range errs {
+		if e != nil {
+			refuse("cluster: final read degraded: %v", e)
+		}
+	}
+	sh := fnv.New64a()
+	for _, p := range res[0].Pairs {
+		fmt.Fprintf(sh, "%v=%v;", p.Key, p.Value)
+	}
+	for i := 0; i < shards; i++ {
+		ss := c.ShardStats(i)
+		out.Kills += ss.Kills
+		out.Recoveries += ss.Recoveries
+		out.RecoveryRounds += ss.Recovery.Rounds
+	}
+	return out, h.Sum64(), sh.Sum64()
+}
+
+func runCluster(args []string) {
+	f := fs("cluster")
+	outPath := f.String("out", "results/BENCH_cluster.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	shardP := f.Int("p", 8, "modules per shard")
+	batches := f.Int("batches", 100, "mixed batches per row")
+	seed := f.Uint64("seed", 0x5EED, "fault-plan seed")
+	smoke := f.Bool("smoke", false, "small CI ladder (1,2 shards, 24 batches), result not recorded")
+	f.Parse(args)
+
+	ladder := []int{1, 2, 4, 8}
+	nBatches := *batches
+	if *smoke {
+		ladder = []int{1, 2}
+		nBatches = 24
+	}
+	regimes := []struct {
+		name string
+		mk   func(shards int) []core.FaultPlan
+	}{
+		{"none", func(int) []core.FaultPlan { return nil }},
+		{"chaos", func(shards int) []core.FaultPlan {
+			plans := make([]core.FaultPlan, shards)
+			for i := range plans {
+				plans[i] = pim.ChaosPlan(*seed + uint64(i))
+			}
+			return plans
+		}},
+		{"chaos+kill", func(shards int) []core.FaultPlan {
+			plans := make([]core.FaultPlan, shards)
+			for i := range plans {
+				plans[i] = pim.ChaosPlan(*seed + uint64(i))
+			}
+			// The last shard dies early and is rebuilt from its journal;
+			// with one shard the whole "cluster" dies and recovers.
+			plans[shards-1] = pim.KillPlan(50, plans[shards-1])
+			return plans
+		}},
+	}
+
+	ops := genClusterOps(nBatches)
+	oracleReply, oracleStruct := runClusterOracle(ops)
+
+	entry := clusterEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ShardP:     *shardP,
+		Note:       *note,
+	}
+	tbl := newTable("shards", "plan", "maxRounds", "maxIO", "msgs", "kills", "rebuilds", "recRounds", "equiv", "wall ms")
+	allEquivalent := true
+	for _, shards := range ladder {
+		for _, reg := range regimes {
+			row, replySum, structSum := runClusterWorkload(shards, *shardP, ops, reg.mk(shards))
+			row.Plan = reg.name
+			row.Equivalent = replySum == oracleReply && structSum == oracleStruct
+			allEquivalent = allEquivalent && row.Equivalent
+			entry.Rows = append(entry.Rows, row)
+			tbl.add(shards, reg.name, row.MaxRounds, row.MaxIOTime, row.TotalMsgs,
+				row.Kills, row.Recoveries, row.RecoveryRounds, row.Equivalent, row.WallMs)
+		}
+	}
+	tbl.print()
+
+	if !allEquivalent {
+		refuse("cluster: a cluster run diverged from the single-Map oracle; not recording")
+	}
+	if *smoke {
+		fmt.Println("smoke run: not recorded")
+		return
+	}
+
+	n, _, err := mergeBenchEntry(*outPath, "cluster",
+		"one row = the fixed mixed workload on one (shard count, fault regime); equivalence vs a fault-free single Map",
+		entry, func(e clusterEntry) string { return e.Label })
+	if err != nil {
+		refuse("cluster: %v", err)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
+}

@@ -542,8 +542,7 @@ func runFrontend(args []string) {
 	tbl.print()
 
 	if !allEquivalent {
-		fmt.Fprintln(os.Stderr, "frontend: a client's replies diverged from its sequential oracle; not recording")
-		os.Exit(1)
+		refuse("frontend: a client's replies diverged from its sequential oracle; not recording")
 	}
 	if *smoke {
 		fmt.Println("smoke run: not recorded")
@@ -554,8 +553,7 @@ func runFrontend(args []string) {
 		"one row = single-op traffic from N client goroutines coalesced by the frontend, vs naive one-op direct batches",
 		entry, func(e frontendEntry) string { return e.Label })
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "frontend:", err)
-		os.Exit(1)
+		refuse("frontend: %v", err)
 	}
 	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
 }

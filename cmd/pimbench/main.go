@@ -61,6 +61,7 @@ var experiments = []experiment{
 	{"batchengine", "steady-state batch-op benchmarks → results/BENCH_batchengine.json", runBatchEngine},
 	{"chaos", "fault-injection recovery costs → results/BENCH_chaos.json", runChaos},
 	{"frontend", "concurrent batching frontend ladder → results/BENCH_frontend.json", runFrontend},
+	{"cluster", "sharded multi-Map cluster ladder → results/BENCH_cluster.json", runCluster},
 	{"trace", "per-phase metric attribution → results/BENCH_trace.json (-chrome exports Chrome trace JSON)", runTrace},
 }
 

@@ -164,3 +164,56 @@ func TestRunRoundEngine(t *testing.T) {
 		}
 	}
 }
+
+// TestRunClusterSmoke drives the sharded-cluster ladder end to end in
+// smoke mode: every row must reproduce the single-Map oracle, and a smoke
+// run must not touch the results file.
+func TestRunClusterSmoke(t *testing.T) {
+	path := t.TempDir() + "/BENCH_cluster.json"
+	quiet(t, func() { runCluster([]string{"-out", path, "-smoke", "-p", "4"}) })
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("smoke run wrote %s (stat err %v); smoke must not record", path, err)
+	}
+}
+
+// TestRunClusterRecords checks the recorded (non-smoke) path: the entry
+// lands in the JSON file with every row marked equivalent.
+func TestRunClusterRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cluster ladder in -short mode")
+	}
+	path := t.TempDir() + "/BENCH_cluster.json"
+	quiet(t, func() {
+		runCluster([]string{"-out", path, "-batches", "12", "-p", "4", "-label", "test"})
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Bench   string `json:"bench"`
+		Entries []struct {
+			Label string `json:"label"`
+			Rows  []struct {
+				Shards     int    `json:"shards"`
+				Plan       string `json:"plan"`
+				Equivalent bool   `json:"equivalent"`
+			} `json:"rows"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if file.Bench != "cluster" || len(file.Entries) != 1 {
+		t.Fatalf("bench %q entries %d, want cluster/1", file.Bench, len(file.Entries))
+	}
+	rows := file.Entries[0].Rows
+	if len(rows) != 12 { // 4 shard counts x 3 regimes
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equivalent {
+			t.Fatalf("row shards=%d plan=%q not equivalent to oracle", r.Shards, r.Plan)
+		}
+	}
+}

@@ -11,7 +11,6 @@ package main
 
 import (
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -117,16 +116,14 @@ func runRoundEngine(args []string) {
 	}
 
 	if len(entry.Benchmarks) == 0 {
-		fmt.Fprintf(os.Stderr, "roundengine: -maxp %d excludes every shape (smallest P is %d); nothing recorded\n",
+		refuse("roundengine: -maxp %d excludes every shape (smallest P is %d); nothing recorded",
 			*maxP, pim.RoundBenchShapes()[0].P)
-		os.Exit(1)
 	}
 
 	n, _, err := mergeBenchEntry(*outPath, "roundengine", "one op = one Machine.Round call",
 		entry, func(e reEntry) string { return e.Label })
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "roundengine:", err)
-		os.Exit(1)
+		refuse("roundengine: %v", err)
 	}
 	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
 }

@@ -22,8 +22,7 @@ func runSweep(args []string) {
 	if *outPath != "" {
 		file, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			refuse("sweep: %v", err)
 		}
 		defer file.Close()
 		w = csv.NewWriter(file)
@@ -32,8 +31,7 @@ func runSweep(args []string) {
 
 	write := func(rec ...string) {
 		if err := w.Write(rec); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			refuse("sweep: %v", err)
 		}
 	}
 	write("op", "P", "n", "batch", "io_time", "pim_time", "pim_round_time",

@@ -61,8 +61,7 @@ func runTrace(args []string) {
 		var err error
 		chromeFile, err = os.Create(*chrome)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			refuse("trace: %v", err)
 		}
 		ct = trace.NewChromeTracer(chromeFile)
 		ct.EmitTrackNames()
@@ -119,19 +118,16 @@ func runTrace(args []string) {
 	// columns do not sum to the totals is a bug, not a measurement.
 	for _, agg := range prof.ByOp() {
 		if msg := agg.CheckSums(); msg != "" {
-			fmt.Fprintf(os.Stderr, "trace: attribution broken (%s); not recording\n", msg)
-			os.Exit(1)
+			refuse("trace: attribution broken (%s); not recording", msg)
 		}
 	}
 
 	if ct != nil {
 		if err := ct.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace: chrome export:", err)
-			os.Exit(1)
+			refuse("trace: chrome export: %v", err)
 		}
 		if err := chromeFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace: chrome export:", err)
-			os.Exit(1)
+			refuse("trace: chrome export: %v", err)
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 	}
@@ -153,8 +149,7 @@ func runTrace(args []string) {
 		"one row = per-op per-phase metric attribution of the mixed workload; phase columns sum exactly to totals",
 		entry, func(e traceEntry) string { return e.Label })
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		refuse("trace: %v", err)
 	}
 	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, cnt, entry.Label)
 }

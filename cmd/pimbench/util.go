@@ -12,6 +12,19 @@ import (
 	"pimgo/internal/rng"
 )
 
+// exitFn is indirected so the refusal-path regression test can assert the
+// exit code without killing the test process.
+var exitFn = os.Exit
+
+// refuse prints a refusal to stderr and exits non-zero — the single choke
+// point for every "not recording" path (oracle divergence, broken
+// decomposition, unwritable results file), so a divergence can never exit
+// 0 and slip past CI.
+func refuse(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	exitFn(1)
+}
+
 // benchJSON is the on-disk shape shared by every results/BENCH_*.json file:
 // a self-describing header plus an append-only list of labeled entries.
 type benchJSON[E any] struct {

@@ -72,3 +72,71 @@ func TestMergeBenchEntryRefusesCorruptFile(t *testing.T) {
 		t.Errorf("corrupt file was modified: %q, %v", raw, rerr)
 	}
 }
+
+// stubExit replaces exitFn with one that records the code and panics with
+// sentinel (so the refusing command stops like a real exit would), and
+// returns a closure that asserts exactly one exit with code 1 happened.
+func stubExit(t *testing.T, run func()) (exited bool, code int) {
+	t.Helper()
+	type exitSentinel struct{ code int }
+	old := exitFn
+	exitFn = func(c int) { panic(exitSentinel{c}) }
+	defer func() { exitFn = old }()
+	defer func() {
+		if r := recover(); r != nil {
+			s, ok := r.(exitSentinel)
+			if !ok {
+				panic(r)
+			}
+			exited, code = true, s.code
+		}
+	}()
+	run()
+	return false, 0
+}
+
+// TestRefuseExitsNonZero pins the refusal contract: every "not recording"
+// path funnels through refuse, which must exit with a non-zero status so
+// CI catches oracle divergences instead of reading a green run.
+func TestRefuseExitsNonZero(t *testing.T) {
+	oldStderr := os.Stderr
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = devnull
+	defer func() { os.Stderr = oldStderr; devnull.Close() }()
+
+	exited, code := stubExit(t, func() { refuse("synthetic divergence: %d != %d", 1, 2) })
+	if !exited || code != 1 {
+		t.Fatalf("refuse: exited=%v code=%d, want exit 1", exited, code)
+	}
+}
+
+// TestChaosRefusalExitsNonZero drives the chaos command end-to-end into a
+// refusal (corrupt results file) and asserts it exits 1 — the regression
+// for divergence-style failures escaping CI with status 0.
+func TestChaosRefusalExitsNonZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = devnull
+	defer func() { os.Stderr = oldStderr; devnull.Close() }()
+
+	var exited bool
+	var code int
+	quiet(t, func() {
+		exited, code = stubExit(t, func() {
+			runChaos([]string{"-out", path, "-p", "4", "-batches", "4"})
+		})
+	})
+	if !exited || code != 1 {
+		t.Fatalf("chaos refusal: exited=%v code=%d, want exit 1", exited, code)
+	}
+}

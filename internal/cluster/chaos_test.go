@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"testing"
+
+	"pimgo/internal/baseline/seqlist"
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+	"pimgo/internal/trace"
+)
+
+// sumFaults aggregates the per-shard fault counters of c.
+func sumFaults(c *Cluster[uint64, int64]) core.FaultStats {
+	var out core.FaultStats
+	for i := 0; i < c.Shards(); i++ {
+		addFaults(&out, c.ShardStats(i).Faults)
+	}
+	return out
+}
+
+// TestClusterChaosSoak is the cluster-wide fault-injection differential
+// soak — the PR's acceptance gate, mirroring core.TestChaosSoak one layer
+// up. For every built-in fault plan, with and without permanent shard
+// kills layered on top, a 4-shard cluster replays a mixed batch workload
+// (point ops, successors, range operations) next to a fault-free
+// single-Map oracle and the sequential baseline. Every reply must be
+// bit-identical to the oracle's with no per-key errors: the reliable
+// transport hides transient faults inside each shard, and the journaled
+// supervisor hides permanent kills behind exactly-once rebuilds. Recovery
+// costs must land in the per-shard metrics and every per-shard trace
+// profile must keep the exact phase decomposition. Skipped with -short.
+func TestClusterChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos soak skipped in -short mode")
+	}
+	const faultSeed = 0x5EED
+	const nShards = 4
+	mkPlans := func(mk func(shard int) core.FaultPlan) []core.FaultPlan {
+		plans := make([]core.FaultPlan, nShards)
+		for i := range plans {
+			plans[i] = mk(i)
+		}
+		return plans
+	}
+	cases := []struct {
+		name  string
+		mk    func(shard int) core.FaultPlan
+		kill  bool // wrap two shards in permanent kill plans
+		fired func(core.FaultStats) bool
+	}{
+		{"none+kill", func(int) core.FaultPlan { return nil }, true, nil},
+		{"drop", func(i int) core.FaultPlan { return pim.DropPlan(faultSeed+uint64(i), 800) }, false,
+			func(f core.FaultStats) bool { return f.SendsDropped+f.BundlesDropped > 0 && f.Retransmits > 0 }},
+		{"duplicate", func(i int) core.FaultPlan { return pim.DupPlan(faultSeed+uint64(i), 800) }, false,
+			func(f core.FaultStats) bool {
+				return f.SendsDuplicated+f.BundlesDuplicated > 0 && f.Replays+f.DupDiscards > 0
+			}},
+		{"delay", func(i int) core.FaultPlan { return pim.DelayPlan(faultSeed+uint64(i), 800, 3) }, false,
+			func(f core.FaultStats) bool { return f.SendsDelayed+f.BundlesDelayed > 0 }},
+		{"stall", func(i int) core.FaultPlan { return pim.StallPlan(faultSeed+uint64(i), 1500, 4) }, false,
+			func(f core.FaultStats) bool { return f.StalledModuleRounds > 0 }},
+		{"crash", func(i int) core.FaultPlan { return pim.CrashPlan(faultSeed+uint64(i), 400, 2) }, false,
+			func(f core.FaultStats) bool { return f.CrashedModuleRounds > 0 && f.LostToCrash > 0 }},
+		{"chaos", func(i int) core.FaultPlan { return pim.ChaosPlan(faultSeed + uint64(i)) }, false,
+			func(f core.FaultStats) bool { return f.SendsDropped > 0 && f.SendsDuplicated > 0 && f.SendsDelayed > 0 }},
+		{"chaos+kill", func(i int) core.FaultPlan { return pim.ChaosPlan(faultSeed + uint64(i)) }, true,
+			func(f core.FaultStats) bool { return f.SendsDropped > 0 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			plans := mkPlans(tc.mk)
+			if tc.kill {
+				// Two shards die at seeded physical rounds: one almost
+				// immediately (mid first batches), one mid-soak.
+				plans[1] = pim.KillPlan(40, plans[1])
+				plans[2] = pim.KillPlan(600, plans[2])
+			}
+			profs := make([]*trace.Profile, nShards)
+			for i := range profs {
+				profs[i] = trace.NewProfile()
+			}
+			cfg := Config{
+				Shards: nShards,
+				Seed:   0xC10C ^ uint64(len(tc.name)),
+				Shard:  core.Config{P: 4, TrackAccess: true, TracePhases: true},
+				Faults: plans,
+				Trace:  func(i int) trace.Sink { return profs[i] },
+				// Small checkpoint interval so the soak exercises journal
+				// compaction and rebuild-from-base, not just replay.
+				CompactEvery: 16,
+			}
+			c, err := New[uint64, int64](cfg, core.Uint64Hash)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer c.Close()
+			om := core.New[uint64, int64](core.Config{P: 8, Seed: 0xC0FFEE}, core.Uint64Hash)
+			defer om.Close()
+			ref := seqlist.New[uint64, int64](99)
+			r := rng.NewXoshiro256(0xBADC0DE ^ uint64(len(tc.name)))
+			const keySpace = 1 << 12
+			recovered := 0
+			for round := 0; round < 80; round++ {
+				b := 10 + r.Intn(90)
+				keys := make([]uint64, b)
+				for i := range keys {
+					keys[i] = 1 + r.Uint64n(keySpace)
+				}
+				switch r.Intn(5) {
+				case 0: // Upsert
+					vals := make([]int64, b)
+					for i := range vals {
+						vals[i] = int64(r.Uint64() >> 1)
+					}
+					got, errs, st, err := c.TryUpsert(keys, vals)
+					if err != nil {
+						t.Fatalf("round %d: TryUpsert: %v", round, err)
+					}
+					noErrs(t, errs, "Upsert")
+					recovered += st.Recovered
+					want, _ := om.Upsert(keys, vals)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Upsert(%d)=%v, oracle %v", round, k, got[i], want[i])
+						}
+					}
+					last := map[uint64]int64{}
+					for i, k := range keys {
+						last[k] = vals[i]
+					}
+					for k, v := range last {
+						ref.Upsert(k, v)
+					}
+				case 1: // Delete
+					got, errs, st, err := c.TryDelete(keys)
+					if err != nil {
+						t.Fatalf("round %d: TryDelete: %v", round, err)
+					}
+					noErrs(t, errs, "Delete")
+					recovered += st.Recovered
+					want, _ := om.Delete(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Delete(%d)=%v, oracle %v", round, k, got[i], want[i])
+						}
+					}
+					seen := map[uint64]bool{}
+					for _, k := range keys {
+						if !seen[k] {
+							seen[k] = true
+							ref.Delete(k)
+						}
+					}
+				case 2: // Get
+					got, errs, st, err := c.TryGet(keys)
+					if err != nil {
+						t.Fatalf("round %d: TryGet: %v", round, err)
+					}
+					noErrs(t, errs, "Get")
+					recovered += st.Recovered
+					want, _ := om.Get(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Get(%d)=%+v, oracle %+v", round, k, got[i], want[i])
+						}
+						rv, rok, _ := ref.Get(k)
+						if got[i].Found != rok || (rok && got[i].Value != rv) {
+							t.Fatalf("round %d: Get(%d)=%+v, baseline (%d,%v)", round, k, got[i], rv, rok)
+						}
+					}
+				case 3: // Successor (cross-shard broadcast + min-gather)
+					got, errs, st, err := c.TrySuccessor(keys)
+					if err != nil {
+						t.Fatalf("round %d: TrySuccessor: %v", round, err)
+					}
+					noErrs(t, errs, "Successor")
+					recovered += st.Recovered
+					want, _ := om.Successor(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Succ(%d)=%+v, oracle %+v", round, k, got[i], want[i])
+						}
+						rk, rv, rok, _ := ref.Succ(k)
+						if got[i].Found != rok || (rok && (got[i].Key != rk || got[i].Value != rv)) {
+							t.Fatalf("round %d: Succ(%d)=%+v, baseline (%d,%d,%v)", round, k, got[i], rk, rv, rok)
+						}
+					}
+				case 4: // RangeOperation (read-mix or transform-only batch)
+					nOps := 1 + r.Intn(6)
+					ops := make([]core.RangeOp[uint64, int64], nOps)
+					transformBatch := r.Intn(3) == 0
+					for i := range ops {
+						lo := 1 + r.Uint64n(keySpace)
+						op := core.RangeOp[uint64, int64]{Lo: lo, Hi: lo + r.Uint64n(keySpace/4)}
+						if transformBatch {
+							op.Kind = core.RangeTransform
+							op.Transform = func(v int64) int64 { return v + 5 }
+						} else {
+							switch r.Intn(3) {
+							case 0:
+								op.Kind = core.RangeCount
+							case 1:
+								op.Kind = core.RangeRead
+							case 2:
+								op.Kind = core.RangeReduce
+								op.Reduce = func(a, b int64) int64 { return a + b }
+							}
+						}
+						ops[i] = op
+					}
+					got, errs, st, err := c.TryRangeOperation(ops)
+					if err != nil {
+						t.Fatalf("round %d: TryRangeOperation: %v", round, err)
+					}
+					noErrs(t, errs, "Range")
+					recovered += st.Recovered
+					want, _ := om.RangeAuto(ops)
+					for i := range ops {
+						if got[i].Count != want[i].Count || got[i].Reduced != want[i].Reduced ||
+							len(got[i].Pairs) != len(want[i].Pairs) {
+							t.Fatalf("round %d: range[%d]=%+v, oracle %+v", round, i, got[i], want[i])
+						}
+						for j := range got[i].Pairs {
+							if got[i].Pairs[j] != want[i].Pairs[j] {
+								t.Fatalf("round %d: range[%d] pair %d = %+v, oracle %+v",
+									round, i, j, got[i].Pairs[j], want[i].Pairs[j])
+							}
+						}
+					}
+					for i, op := range ops {
+						if transformBatch {
+							var ks []uint64
+							var vs []int64
+							ref.Scan(op.Lo, op.Hi, func(k uint64, v int64) {
+								ks = append(ks, k)
+								vs = append(vs, v)
+							})
+							for j := range ks {
+								ref.Upsert(ks[j], op.Transform(vs[j]))
+							}
+							if got[i].Count != int64(len(ks)) {
+								t.Fatalf("round %d: transform[%d] count %d, baseline %d",
+									round, i, got[i].Count, len(ks))
+							}
+						} else {
+							cnt, _ := ref.Scan(op.Lo, op.Hi, nil)
+							if got[i].Count != cnt {
+								t.Fatalf("round %d: range[%d] count %d, baseline %d",
+									round, i, got[i].Count, cnt)
+							}
+						}
+					}
+				}
+				if c.Len() != om.Len() || c.Len() != ref.Len() {
+					t.Fatalf("round %d: len cluster %d, oracle %d, baseline %d",
+						round, c.Len(), om.Len(), ref.Len())
+				}
+			}
+
+			// Final state: a cluster-wide range read must equal the oracle's.
+			read := []core.RangeOp[uint64, int64]{{Lo: 0, Hi: keySpace + 1, Kind: core.RangeRead}}
+			got, errs, _, err := c.TryRangeOperation(read)
+			if err != nil {
+				t.Fatalf("final read: %v", err)
+			}
+			noErrs(t, errs, "final read")
+			want, _ := om.RangeAuto(read)
+			if len(got[0].Pairs) != len(want[0].Pairs) {
+				t.Fatalf("final read %d pairs, oracle %d", len(got[0].Pairs), len(want[0].Pairs))
+			}
+			for j := range got[0].Pairs {
+				if got[0].Pairs[j] != want[0].Pairs[j] {
+					t.Fatalf("final pair %d = %+v, oracle %+v", j, got[0].Pairs[j], want[0].Pairs[j])
+				}
+			}
+
+			// Fault plans must actually have fired.
+			if tc.fired != nil {
+				if fs := sumFaults(c); !tc.fired(fs) {
+					t.Errorf("plan %q never fired its faults: %+v", tc.name, fs)
+				}
+			}
+			if tc.kill {
+				var kills, recs int64
+				for i := 0; i < nShards; i++ {
+					st := c.ShardStats(i)
+					kills += st.Kills
+					recs += st.Recoveries
+					if st.State != ShardRunning {
+						t.Errorf("shard %d finished %v (recovery should be transparent)", i, st.State)
+					}
+				}
+				if kills == 0 || recs == 0 || recovered == 0 {
+					t.Errorf("kill case: kills=%d recoveries=%d batch-recovered=%d, all must be > 0",
+						kills, recs, recovered)
+				}
+				// Recovery costs are honestly charged: the rebuilt shards'
+				// recovery account saw real rounds.
+				var recRounds int64
+				for i := 0; i < nShards; i++ {
+					recRounds += c.ShardStats(i).Recovery.Rounds
+				}
+				if recRounds == 0 {
+					t.Error("kill case: recovery account charged zero rounds")
+				}
+			} else if recovered != 0 {
+				t.Errorf("transient-fault case performed %d rebuilds (transport should recover in-place)", recovered)
+			}
+
+			// Per-shard trace profiles must keep the exact decomposition,
+			// with shard-attributed op labels.
+			for i, p := range profs {
+				aggs := p.ByOp()
+				if len(aggs) == 0 {
+					t.Errorf("shard %d: profile saw no batches", i)
+					continue
+				}
+				for _, agg := range aggs {
+					if msg := agg.CheckSums(); msg != "" {
+						t.Errorf("shard %d: %s", i, msg)
+					}
+					if len(agg.Op) < 3 || agg.Op[0] != 's' {
+						t.Errorf("shard %d: op label %q missing shard attribution", i, agg.Op)
+					}
+				}
+			}
+		})
+	}
+}

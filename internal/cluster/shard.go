@@ -1,0 +1,482 @@
+package cluster
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+	"pimgo/internal/trace"
+)
+
+// batchKind selects the operation a shardBatch carries.
+type batchKind int8
+
+const (
+	opGet batchKind = iota
+	opUpsert
+	opDelete
+	opSucc
+	opRange
+)
+
+// mutates reports whether the kind can change shard state. opRange counts:
+// a batch may carry RangeTransform ops (the journal records only those).
+func (k batchKind) mutates() bool { return k == opUpsert || k == opDelete || k == opRange }
+
+// shardBatch is one shard's slice of a cluster batch. For point ops the
+// keys/vals are the scatter workspace's permuted sub-slices; for broadcast
+// ops (opSucc, opRange) they alias the caller's input, shared read-only by
+// every shard.
+type shardBatch[K cmp.Ordered, V any] struct {
+	kind batchKind
+	keys []K
+	vals []V
+	rops []core.RangeOp[K, V]
+}
+
+// shardReply is one shard's answer: exactly one result slice is populated
+// (by kind), plus the shard's accumulated cost for the batch — including
+// failed attempts, rebuilds, replays and checkpoints, all charged honestly
+// to the batch that triggered them.
+type shardReply[K cmp.Ordered, V any] struct {
+	bools  []bool
+	gets   []core.GetResult[V]
+	succs  []core.SearchResult[K, V]
+	ranges []core.RangeResult[K, V]
+
+	st        core.BatchStats
+	recovered int
+	err       error
+}
+
+// logKind tags one journal entry.
+type logKind int8
+
+const (
+	logUpsert logKind = iota
+	logDelete
+	logTransform
+)
+
+// logEntry is one acked mutating batch, copied out of the (reused) scatter
+// workspace. Replaying base + entries in order reconstructs the shard's
+// committed state exactly.
+type logEntry[K cmp.Ordered, V any] struct {
+	kind logKind
+	keys []K
+	vals []V
+	ops  []core.RangeOp[K, V]
+}
+
+// shard supervises one core.Map incarnation plus the journal that outlives
+// it. All fields are guarded by mu: run() and the lifecycle methods
+// serialize per shard while distinct shards execute in parallel.
+type shard[K cmp.Ordered, V any] struct {
+	c  *Cluster[K, V]
+	id int
+
+	mu    sync.Mutex
+	state ShardState
+	m     *core.Map[K, V]
+	plan  core.FaultPlan
+	sink  trace.Sink
+
+	// Journal: the last checkpointed base snapshot plus every acked
+	// mutating batch since.
+	baseKeys []K
+	baseVals []V
+	entries  []logEntry[K, V]
+
+	// committedLen is the logical key count as of the last acked batch —
+	// the length a rebuild must land on.
+	committedLen int
+
+	batches    int64
+	kills      int64
+	recoveries int64
+	total      core.BatchStats
+	recovery   core.BatchStats
+	faultsAcc  core.FaultStats // from closed incarnations
+	downCause  error
+}
+
+// saltShardSeed decorrelates per-shard core seeds from each other and from
+// the router salt.
+const saltShardSeed = 0x1f83_d9ab_fb41_bd6b
+
+// shardConfig derives this shard's core.Config from the cluster template:
+// per-shard P override, a distinct mixed seed, and the shard's current
+// fault plan and (wrapped) trace sink.
+func (s *shard[K, V]) shardConfig() core.Config {
+	cfg := s.c.cfg.Shard
+	if len(s.c.cfg.ShardP) != 0 {
+		cfg.P = s.c.cfg.ShardP[s.id]
+	}
+	cfg.Seed = rng.Mix64(s.c.cfg.Seed ^ (saltShardSeed + uint64(s.id)*0x9E37_79B9_7F4A_7C15))
+	cfg.Fault = s.plan
+	cfg.Trace = s.sink
+	return cfg
+}
+
+// boot constructs the shard's first machine incarnation.
+func (s *shard[K, V]) boot() error {
+	m, err := core.TryNew[K, V](s.shardConfig(), s.c.hash)
+	if err != nil {
+		return err
+	}
+	s.m = m
+	s.state = ShardRunning
+	return nil
+}
+
+// closeMachine retires the current incarnation, banking its fault counters
+// so ShardStats survives rebuilds. Safe to call with no machine live.
+func (s *shard[K, V]) closeMachine() {
+	if s.m == nil {
+		return
+	}
+	addFaults(&s.faultsAcc, s.m.FaultStats())
+	s.m.Close()
+	s.m = nil
+}
+
+// addFaults accumulates b into a field-wise.
+func addFaults(a *core.FaultStats, b core.FaultStats) {
+	a.SendsDropped += b.SendsDropped
+	a.SendsDuplicated += b.SendsDuplicated
+	a.SendsDelayed += b.SendsDelayed
+	a.LostToCrash += b.LostToCrash
+	a.BundlesDropped += b.BundlesDropped
+	a.BundlesDuplicated += b.BundlesDuplicated
+	a.BundlesDelayed += b.BundlesDelayed
+	a.StalledModuleRounds += b.StalledModuleRounds
+	a.CrashedModuleRounds += b.CrashedModuleRounds
+	a.Retransmits += b.Retransmits
+	a.Replays += b.Replays
+	a.DupDiscards += b.DupDiscards
+	a.IdleRounds += b.IdleRounds
+}
+
+// goDown transitions the shard to ShardDown, retiring its machine.
+func (s *shard[K, V]) goDown(cause error) {
+	s.closeMachine()
+	s.state = ShardDown
+	s.downCause = cause
+}
+
+// downErr is the typed error a down shard answers every request with.
+func (s *shard[K, V]) downErr() error {
+	if s.downCause != nil {
+		return fmt.Errorf("shard %d: %w (cause: %v)", s.id, ErrShardDown, s.downCause)
+	}
+	return fmt.Errorf("shard %d: %w (stopped)", s.id, ErrShardDown)
+}
+
+// run serves one sub-batch with at-most-MaxRecoveries transparent rebuilds.
+// The exactly-once argument: a failed attempt's incarnation is discarded
+// wholesale (its partial mutations with it); the journal holds only acked
+// batches; the rebuilt incarnation is base + journal replay, i.e. exactly
+// the committed state; the in-flight batch is then re-driven from scratch.
+// Every attempt, rebuild and replay is charged into the reply's stats.
+func (s *shard[K, V]) run(b *shardBatch[K, V]) (rep shardReply[K, V]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case ShardDown:
+		rep.err = s.downErr()
+		return rep
+	case ShardDraining:
+		if b.kind.mutates() {
+			rep.err = fmt.Errorf("shard %d: %w", s.id, ErrShardDraining)
+			return rep
+		}
+	}
+	rebuilds := 0
+	for {
+		err := s.exec(b, &rep)
+		if err == nil {
+			s.commit(b, &rep)
+			return rep
+		}
+		if errors.Is(err, pim.ErrMachineKilled) {
+			s.kills++
+		}
+		// Recover or degrade. Each rebuild attempt consumes budget whether
+		// the rebuild itself succeeds or dies (its inner plan still injects
+		// faults); budget < 0 means unbounded.
+		for {
+			if s.c.cfg.DisableRecovery ||
+				(s.c.cfg.MaxRecoveries >= 0 && rebuilds >= s.c.cfg.MaxRecoveries) {
+				s.goDown(err)
+				rep.err = s.downErr()
+				return rep
+			}
+			rebuilds++
+			rerr := s.rebuildLocked(&rep)
+			if rerr == nil {
+				break
+			}
+			if errors.Is(rerr, pim.ErrMachineKilled) {
+				s.kills++
+			}
+			err = rerr
+		}
+	}
+}
+
+// exec drives b on the live incarnation, charging the attempt's cost —
+// complete or partial — into rep.st.
+func (s *shard[K, V]) exec(b *shardBatch[K, V], rep *shardReply[K, V]) error {
+	var st core.BatchStats
+	var err error
+	switch b.kind {
+	case opGet:
+		rep.gets, st, err = s.m.TryGet(b.keys)
+	case opUpsert:
+		rep.bools, st, err = s.m.TryUpsert(b.keys, b.vals)
+	case opDelete:
+		rep.bools, st, err = s.m.TryDelete(b.keys)
+	case opSucc:
+		rep.succs, st, err = s.m.TrySuccessor(b.keys)
+	case opRange:
+		rep.ranges, st, err = s.m.TryRangeAuto(b.rops)
+	}
+	rep.st.Accumulate(st)
+	if err != nil {
+		// A failed Try* returns zero stats; the rounds it burned are still
+		// on the machine's counters.
+		rep.st.Accumulate(s.m.PartialStats())
+	}
+	return err
+}
+
+// commit acks b: journal the mutation, advance the committed length, and
+// checkpoint the journal when it has grown past CompactEvery.
+func (s *shard[K, V]) commit(b *shardBatch[K, V], rep *shardReply[K, V]) {
+	s.journal(b)
+	s.committedLen = s.m.Len()
+	s.batches++
+	if ce := s.c.cfg.CompactEvery; ce > 0 && len(s.entries) >= ce {
+		// Best-effort: a failed checkpoint (the fault plan can kill the
+		// snapshot too) keeps the longer journal; the batch itself is
+		// already acked.
+		_ = s.compactLocked(&rep.st)
+	}
+	s.total.Accumulate(rep.st)
+}
+
+// journal records b's mutation, copying keys/vals out of the reused scatter
+// workspace. Range batches record only their RangeTransform ops — reads
+// don't change state, and transforms apply in batch order among themselves.
+func (s *shard[K, V]) journal(b *shardBatch[K, V]) {
+	switch b.kind {
+	case opUpsert:
+		s.entries = append(s.entries, logEntry[K, V]{
+			kind: logUpsert,
+			keys: append([]K(nil), b.keys...),
+			vals: append([]V(nil), b.vals...),
+		})
+	case opDelete:
+		s.entries = append(s.entries, logEntry[K, V]{
+			kind: logDelete,
+			keys: append([]K(nil), b.keys...),
+		})
+	case opRange:
+		var tf []core.RangeOp[K, V]
+		for _, op := range b.rops {
+			if op.Kind == core.RangeTransform {
+				tf = append(tf, op)
+			}
+		}
+		if len(tf) > 0 {
+			s.entries = append(s.entries, logEntry[K, V]{kind: logTransform, ops: tf})
+		}
+	}
+}
+
+// rebuildLocked replaces the dead incarnation: close it, strip a terminal
+// kill plan to its inner plan (the kill consumed the incarnation it was
+// aimed at), construct a fresh machine, bulk-load the base snapshot, replay
+// the journal in order, and verify the committed length. All costs charge
+// into rep.st and the shard's recovery account.
+func (s *shard[K, V]) rebuildLocked(rep *shardReply[K, V]) error {
+	s.closeMachine()
+	if ip, ok := s.plan.(interface{ Inner() core.FaultPlan }); ok {
+		s.plan = ip.Inner()
+	}
+	m, err := core.TryNew[K, V](s.shardConfig(), s.c.hash)
+	if err != nil {
+		return err
+	}
+	s.m = m
+	charge := func(st core.BatchStats) {
+		rep.st.Accumulate(st)
+		s.recovery.Accumulate(st)
+	}
+	fail := func(err error) error {
+		p := m.PartialStats()
+		charge(p)
+		return err
+	}
+	if len(s.baseKeys) > 0 {
+		st, err := m.TryBulkLoad(s.baseKeys, s.baseVals)
+		charge(st)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	for _, e := range s.entries {
+		var st core.BatchStats
+		var err error
+		switch e.kind {
+		case logUpsert:
+			_, st, err = m.TryUpsert(e.keys, e.vals)
+		case logDelete:
+			_, st, err = m.TryDelete(e.keys)
+		case logTransform:
+			_, st, err = m.TryRangeAuto(e.ops)
+		}
+		charge(st)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if m.Len() != s.committedLen {
+		return fmt.Errorf("shard %d: journal replay rebuilt %d keys, committed state had %d",
+			s.id, m.Len(), s.committedLen)
+	}
+	s.recoveries++
+	rep.recovered++
+	return nil
+}
+
+// compactLocked checkpoints the live state into a fresh base snapshot and
+// truncates the journal. charge receives the snapshot's cost (it also lands
+// in the recovery/maintenance account).
+func (s *shard[K, V]) compactLocked(charge *core.BatchStats) error {
+	keys, vals, st, err := s.m.TrySnapshot()
+	charge.Accumulate(st)
+	s.recovery.Accumulate(st)
+	if err != nil {
+		p := s.m.PartialStats()
+		charge.Accumulate(p)
+		s.recovery.Accumulate(p)
+		return err
+	}
+	s.baseKeys = keys
+	s.baseVals = vals
+	s.entries = nil
+	return nil
+}
+
+// --- lifecycle API (control plane; serializes with run per shard) ---
+
+// ShardStats is one shard's public health and cost summary.
+type ShardStats struct {
+	// State is the current lifecycle state.
+	State ShardState
+	// Len is the committed key count (meaningful even when Down).
+	Len int
+	// Batches counts acked sub-batches; Kills counts machine deaths
+	// (terminal faults); Recoveries counts successful journal rebuilds.
+	Batches, Kills, Recoveries int64
+	// JournalBase and JournalBatches size the journal: base snapshot keys
+	// plus acked batches since the last checkpoint.
+	JournalBase, JournalBatches int
+	// Total accumulates every acked batch's cost (including recovery and
+	// checkpoint work charged to those batches); Recovery isolates just the
+	// rebuild/replay/checkpoint share.
+	Total, Recovery core.BatchStats
+	// Faults accumulates fault-injection counters across all incarnations.
+	Faults core.FaultStats
+}
+
+// ShardStats returns shard i's summary.
+func (c *Cluster[K, V]) ShardStats(i int) ShardStats {
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ShardStats{
+		State:          s.state,
+		Len:            s.committedLen,
+		Batches:        s.batches,
+		Kills:          s.kills,
+		Recoveries:     s.recoveries,
+		JournalBase:    len(s.baseKeys),
+		JournalBatches: len(s.entries),
+		Total:          s.total,
+		Recovery:       s.recovery,
+		Faults:         s.faultsAcc,
+	}
+	if s.m != nil {
+		addFaults(&st.Faults, s.m.FaultStats())
+	}
+	return st
+}
+
+// StartShard brings a Down shard back: a fresh machine is rebuilt from the
+// journal (base + acked batches) and the shard resumes Running. Fails with
+// ErrShardState unless the shard is Down, or ErrClosed on a closed cluster.
+func (c *Cluster[K, V]) StartShard(i int) error {
+	if c.closed.Load() {
+		return core.ErrClosed
+	}
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != ShardDown {
+		return fmt.Errorf("shard %d: %w: StartShard from %v", i, ErrShardState, s.state)
+	}
+	var scratch shardReply[K, V]
+	if err := s.rebuildLocked(&scratch); err != nil {
+		s.closeMachine()
+		s.downCause = err
+		return err
+	}
+	s.state = ShardRunning
+	s.downCause = nil
+	return nil
+}
+
+// DrainShard moves a Running shard to Draining: reads keep serving,
+// mutations fail typed with ErrShardDraining, and the journal is
+// checkpointed so the shard can be stopped with a minimal journal. The
+// checkpoint is best-effort; its error is returned but the shard stays
+// Draining.
+func (c *Cluster[K, V]) DrainShard(i int) error {
+	if c.closed.Load() {
+		return core.ErrClosed
+	}
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != ShardRunning {
+		return fmt.Errorf("shard %d: %w: DrainShard from %v", i, ErrShardState, s.state)
+	}
+	s.state = ShardDraining
+	if len(s.entries) > 0 {
+		var scratch core.BatchStats
+		return s.compactLocked(&scratch)
+	}
+	return nil
+}
+
+// StopShard takes a Running or Draining shard Down, retiring its machine.
+// Its keys answer ErrShardDown until StartShard rebuilds it.
+func (c *Cluster[K, V]) StopShard(i int) error {
+	if c.closed.Load() {
+		return core.ErrClosed
+	}
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == ShardDown {
+		return fmt.Errorf("shard %d: %w: StopShard from %v", i, ErrShardState, s.state)
+	}
+	s.goDown(nil)
+	return nil
+}

@@ -214,3 +214,54 @@ func (m *Map[K, V]) TryPredecessor(keys []K) (res []SearchResult[K, V], st Batch
 	res, st = m.Predecessor(keys)
 	return res, st, nil
 }
+
+// TryRangeAuto is RangeAuto with the error convention — the entry point a
+// shard supervisor uses to drive (and on recovery, re-drive) range batches
+// on a machine that can legitimately die mid-batch.
+func (m *Map[K, V]) TryRangeAuto(ops []RangeOp[K, V]) (res []RangeResult[K, V], st BatchStats, err error) {
+	defer catchAbort(&err)
+	res, st = m.RangeAuto(ops)
+	return res, st, nil
+}
+
+// TrySnapshot is Snapshot with the error convention: journal compaction
+// checkpoints a live faulted shard, so the export must surface machine
+// death as an error instead of a panic.
+func (m *Map[K, V]) TrySnapshot() (keys []K, vals []V, st BatchStats, err error) {
+	defer catchAbort(&err)
+	keys, vals, st = m.Snapshot()
+	return keys, vals, st, nil
+}
+
+// TryBulkLoad is BulkLoad with the error convention — the rebuild path of
+// a journaled recovery (bulk-load the last base snapshot, then replay the
+// acked batches) runs under the replacement incarnation's fault plan and
+// must report failures as errors.
+func (m *Map[K, V]) TryBulkLoad(keys []K, vals []V) (st BatchStats, err error) {
+	if len(keys) != len(vals) {
+		return BatchStats{}, fmt.Errorf("%w: BulkLoad keys/vals length mismatch (%d vs %d)",
+			ErrBadBatch, len(keys), len(vals))
+	}
+	defer catchAbort(&err)
+	st = m.BulkLoad(keys, vals)
+	return st, nil
+}
+
+// PartialStats assembles the model cost of an aborted batch from the
+// machine's round counters (a Try* call that failed returns zero
+// BatchStats — the batch never completed — but its rounds were real and a
+// supervisor charging recovery honestly must account for them). Call it
+// only after a failed Try* and before the next batch begins; CPU-side
+// counters are not recoverable from an unwound batch and read zero.
+func (m *Map[K, V]) PartialStats() BatchStats {
+	met := m.mach.Metrics()
+	return BatchStats{
+		IOTime:       met.IOTime,
+		PIMTime:      m.mach.PIMTime(),
+		PIMRoundTime: met.PIMRoundTime,
+		Rounds:       met.Rounds,
+		SyncCost:     met.SyncCost(m.cfg.P),
+		TotalMsgs:    met.TotalMsgs,
+		TotalPIMWork: m.mach.TotalPIMWork(),
+	}
+}

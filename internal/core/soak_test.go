@@ -178,7 +178,7 @@ func TestChaosSoak(t *testing.T) {
 				for i := range keys {
 					keys[i] = 1 + r.Uint64n(keySpace)
 				}
-				switch r.Intn(6) {
+				switch r.Intn(7) {
 				case 0: // Upsert
 					vals := make([]int64, b)
 					for i := range vals {
@@ -270,6 +270,91 @@ func TestChaosSoak(t *testing.T) {
 						rk, rv, rok, _ := ref.Pred(k)
 						if got[i].Found != rok || (rok && (got[i].Key != rk || got[i].Value != rv)) {
 							t.Fatalf("round %d: Pred(%d)=%+v, baseline (%d,%d,%v)", round, k, got[i], rk, rv, rok)
+						}
+					}
+				case 6: // RangeOperation: every kind, faulted vs oracle vs baseline.
+					// A batch is either read-only (count/read/reduce) or
+					// transform-only: RangeAuto runs broadcast-dispatched ops
+					// before the tree batch, so mixing reads with transforms
+					// over overlapping ranges would be order-ambiguous.
+					// Transforms add a constant, so they commute among
+					// themselves and the baseline mirror is order-free.
+					nOps := 1 + r.Intn(8)
+					ops := make([]RangeOp[uint64, int64], nOps)
+					transformBatch := r.Intn(3) == 0
+					for i := range ops {
+						lo := 1 + r.Uint64n(keySpace)
+						op := RangeOp[uint64, int64]{Lo: lo, Hi: lo + r.Uint64n(keySpace/4)}
+						if transformBatch {
+							op.Kind = RangeTransform
+							op.Transform = func(v int64) int64 { return v + 3 }
+						} else {
+							switch r.Intn(3) {
+							case 0:
+								op.Kind = RangeCount
+							case 1:
+								op.Kind = RangeRead
+							case 2:
+								op.Kind = RangeReduce
+								op.Reduce = func(a, b int64) int64 { return a + b }
+							}
+						}
+						ops[i] = op
+					}
+					got, _ := fm.RangeAuto(ops)
+					want, _ := om.RangeAuto(ops)
+					for i := range ops {
+						if got[i].Count != want[i].Count || got[i].Reduced != want[i].Reduced ||
+							len(got[i].Pairs) != len(want[i].Pairs) {
+							t.Fatalf("round %d: range[%d]=%+v, oracle %+v", round, i, got[i], want[i])
+						}
+						for j := range got[i].Pairs {
+							if got[i].Pairs[j] != want[i].Pairs[j] {
+								t.Fatalf("round %d: range[%d] pair %d = %+v, oracle %+v",
+									round, i, j, got[i].Pairs[j], want[i].Pairs[j])
+							}
+						}
+					}
+					for i, op := range ops {
+						if transformBatch {
+							var ks []uint64
+							var vs []int64
+							ref.Scan(op.Lo, op.Hi, func(k uint64, v int64) {
+								ks = append(ks, k)
+								vs = append(vs, v)
+							})
+							for j := range ks {
+								ref.Upsert(ks[j], op.Transform(vs[j]))
+							}
+							if got[i].Count != int64(len(ks)) {
+								t.Fatalf("round %d: transform[%d] count %d, baseline %d",
+									round, i, got[i].Count, len(ks))
+							}
+							continue
+						}
+						var sum int64
+						var pairs []RangePair[uint64, int64]
+						cnt, _ := ref.Scan(op.Lo, op.Hi, func(k uint64, v int64) {
+							sum += v
+							pairs = append(pairs, RangePair[uint64, int64]{Key: k, Value: v})
+						})
+						if got[i].Count != cnt {
+							t.Fatalf("round %d: range[%d] count %d, baseline %d", round, i, got[i].Count, cnt)
+						}
+						if op.Kind == RangeReduce && got[i].Reduced != sum {
+							t.Fatalf("round %d: range[%d] reduced %d, baseline %d", round, i, got[i].Reduced, sum)
+						}
+						if op.Kind == RangeRead {
+							if len(got[i].Pairs) != len(pairs) {
+								t.Fatalf("round %d: range[%d] %d pairs, baseline %d",
+									round, i, len(got[i].Pairs), len(pairs))
+							}
+							for j := range pairs {
+								if got[i].Pairs[j] != pairs[j] {
+									t.Fatalf("round %d: range[%d] pair %d = %+v, baseline %+v",
+										round, i, j, got[i].Pairs[j], pairs[j])
+								}
+							}
 						}
 					}
 				}

@@ -88,6 +88,35 @@ func (s BatchStats) ChargeIOToCompute(p int) BatchStats {
 	return s
 }
 
+// Accumulate folds o into s as the serial composition of two batches on
+// the same machine — the shard-safe way to aggregate per-shard costs
+// across a cluster batch's attempts, rebuilds, journal replays and
+// re-drives. Additive metrics (rounds, IO, message and work totals, CPU
+// work/depth) sum; whole-run envelopes (PIMTime, CPUMem, MaxNodeAccess)
+// take the maximum; Batch and Phases sum (o's ops were really executed,
+// even if only to reconstruct state).
+func (s *BatchStats) Accumulate(o BatchStats) {
+	s.Batch += o.Batch
+	s.IOTime += o.IOTime
+	s.PIMRoundTime += o.PIMRoundTime
+	s.Rounds += o.Rounds
+	s.SyncCost += o.SyncCost
+	s.TotalMsgs += o.TotalMsgs
+	s.TotalPIMWork += o.TotalPIMWork
+	s.CPUWork += o.CPUWork
+	s.CPUDepth += o.CPUDepth
+	s.Phases += o.Phases
+	if o.PIMTime > s.PIMTime {
+		s.PIMTime = o.PIMTime
+	}
+	if o.CPUMem > s.CPUMem {
+		s.CPUMem = o.CPUMem
+	}
+	if o.MaxNodeAccess > s.MaxNodeAccess {
+		s.MaxNodeAccess = o.MaxNodeAccess
+	}
+}
+
 // String renders the stats as a single table row.
 func (s BatchStats) String() string {
 	return fmt.Sprintf("batch=%d io=%d pim=%d rounds=%d msgs=%d cpuW=%d cpuD=%d mem=%d phases=%d maxAcc=%d",

@@ -254,19 +254,25 @@ func (f *Frontend[K, V]) Successor(key K) (core.SearchResult[K, V], error) {
 // Close drains the collector — every already-enqueued op still receives
 // its reply — and stops it. Ops submitted after Close fail with
 // core.ErrClosed. Close is idempotent and safe to call concurrently with
-// client ops. The underlying Map stays open.
-func (f *Frontend[K, V]) Close() {
+// client ops: exactly one caller (the one that performed the shutdown)
+// returns nil, every other call — second, concurrent, or racing in-flight
+// ops — returns core.ErrClosed deterministically after the collector has
+// fully drained. The underlying Map stays open.
+func (f *Frontend[K, V]) Close() error {
 	f.mu.Lock()
 	already := f.closed
 	f.closed = true
 	f.mu.Unlock()
-	if !already {
-		select {
-		case f.notify <- struct{}{}:
-		default:
-		}
+	if already {
+		<-f.done
+		return core.ErrClosed
+	}
+	select {
+	case f.notify <- struct{}{}:
+	default:
 	}
 	<-f.done
+	return nil
 }
 
 // take pops a pooled future (or allocates one on burst).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -177,6 +178,70 @@ func TestFrontendClose(t *testing.T) {
 	// so the Map is free again).
 	if err := m.CheckInvariants(); err != nil {
 		t.Fatalf("invariants after drain: %v", err)
+	}
+}
+
+// TestFrontendCloseDeterministic is the regression test for Close's error
+// contract: among any number of Close calls — sequential repeats or
+// concurrent races, with client ops still in flight — exactly the one that
+// performed the shutdown returns nil and every other returns
+// core.ErrClosed, always after the collector has fully drained.
+func TestFrontendCloseDeterministic(t *testing.T) {
+	// Sequential: second call reports ErrClosed.
+	m := newTestMap(t, 4)
+	defer m.Close()
+	f := New(m, Config{})
+	if err := f.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("second Close: %v, want ErrClosed", err)
+	}
+
+	// Concurrent: 8 racing Closes while 8 clients submit ops; exactly one
+	// nil, and all return only after the drain (the collector goroutine has
+	// exited, so a follow-up op must fail typed, never hang or race).
+	for trial := 0; trial < 20; trial++ {
+		m2 := newTestMap(t, 4)
+		f2 := New(m2, Config{})
+		var ops sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			ops.Add(1)
+			go func(g int) {
+				defer ops.Done()
+				for i := 0; i < 50; i++ {
+					if _, err := f2.Upsert(uint64(g*100+i), int64(i)); err != nil {
+						if !errors.Is(err, core.ErrClosed) {
+							t.Errorf("Upsert: %v, want ErrClosed", err)
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		var nils int32
+		var closers sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			closers.Add(1)
+			go func() {
+				defer closers.Done()
+				switch err := f2.Close(); {
+				case err == nil:
+					atomic.AddInt32(&nils, 1)
+				case !errors.Is(err, core.ErrClosed):
+					t.Errorf("Close: %v, want nil or ErrClosed", err)
+				}
+			}()
+		}
+		closers.Wait()
+		ops.Wait()
+		if nils != 1 {
+			t.Fatalf("trial %d: %d Close calls returned nil, want exactly 1", trial, nils)
+		}
+		if _, err := f2.Get(1); !errors.Is(err, core.ErrClosed) {
+			t.Fatalf("trial %d: Get after Close: %v", trial, err)
+		}
+		m2.Close()
 	}
 }
 

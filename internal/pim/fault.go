@@ -131,6 +131,81 @@ func ChaosPlan(seed uint64) *SeededPlan {
 	})
 }
 
+// TerminalPlan is optionally implemented by fault plans that model a
+// permanent, machine-wide failure. When the reliable transport observes
+// Dead(round) while acknowledgments are still outstanding it aborts the
+// round immediately with ErrMachineKilled instead of burning the whole
+// retransmit budget against a machine that will never answer again.
+type TerminalPlan interface {
+	// Dead reports whether the machine is permanently gone as of round.
+	// It must be monotone: once true for some round, true for every later
+	// round.
+	Dead(round int64) bool
+}
+
+// KilledPlan is the permanent shard-kill fault: the machine behaves
+// according to the wrapped inner plan (nil = fault-free) until physical
+// round At, then dies forever — every module is crashed, every message is
+// lost, and the transport fails the in-flight logical round with
+// ErrMachineKilled. Unlike the transient faults above there is no
+// recovery inside the machine; a supervisor (internal/cluster) discards
+// the dead incarnation and rebuilds a replacement from its journal,
+// running it under Inner().
+type KilledPlan struct {
+	at    int64
+	inner FaultPlan
+}
+
+// KillPlan returns a plan that permanently kills the machine at physical
+// round at (1-based; with a plan installed the round counter accumulates
+// across batches, so a seeded at lands mid-batch deterministically).
+// Rounds before at are governed by inner; nil means fault-free until the
+// kill.
+func KillPlan(at int64, inner FaultPlan) *KilledPlan {
+	if at < 1 {
+		at = 1
+	}
+	return &KilledPlan{at: at, inner: inner}
+}
+
+// MsgFate implements FaultPlan: after the kill every message is lost.
+func (p *KilledPlan) MsgFate(dir FaultDir, round int64, mod ModuleID, id uint64) Fate {
+	if round >= p.at {
+		return Fate{Drop: true}
+	}
+	if p.inner != nil {
+		return p.inner.MsgFate(dir, round, mod, id)
+	}
+	return Fate{}
+}
+
+// Crashed implements FaultPlan: after the kill every module is down.
+func (p *KilledPlan) Crashed(round int64, mod ModuleID) bool {
+	if round >= p.at {
+		return true
+	}
+	return p.inner != nil && p.inner.Crashed(round, mod)
+}
+
+// StallFactor implements FaultPlan.
+func (p *KilledPlan) StallFactor(round int64, mod ModuleID) int64 {
+	if round < p.at && p.inner != nil {
+		return p.inner.StallFactor(round, mod)
+	}
+	return 1
+}
+
+// Dead implements TerminalPlan.
+func (p *KilledPlan) Dead(round int64) bool { return round >= p.at }
+
+// KillRound returns the physical round at which the machine dies.
+func (p *KilledPlan) KillRound() int64 { return p.at }
+
+// Inner returns the wrapped plan (possibly nil): the fault environment a
+// replacement incarnation should run under, the kill having consumed the
+// incarnation it was aimed at.
+func (p *KilledPlan) Inner() FaultPlan { return p.inner }
+
 // hash salts keep the three decision families statistically independent.
 const (
 	saltFate  = 0x8bea_7f42_0d15_9d01

@@ -32,6 +32,12 @@ var (
 	// ErrFaultUnrecoverable reports that injected faults exceeded the
 	// transport's retransmit budget; the current batch is abandoned.
 	ErrFaultUnrecoverable = errors.New("pim: faults exceeded recovery budget")
+	// ErrMachineKilled reports that the installed fault plan declared the
+	// machine permanently failed (TerminalPlan/KillPlan): the in-flight
+	// logical round is abandoned immediately — no retransmit can ever
+	// succeed — and every future round fails the same way. Supervisors
+	// (internal/cluster) treat this as a shard incident and rebuild.
+	ErrMachineKilled = errors.New("pim: machine permanently killed by fault plan")
 )
 
 // Retransmit policy, in rounds (never wall-clock): a send unacknowledged
@@ -211,6 +217,7 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 	// within a module) only when the whole round has quiesced — arrival
 	// order under faults is timing, not semantics.
 	recs := make([]*ackRec[S], len(sends))
+	terminal, isTerminal := rt.plan.(TerminalPlan)
 
 	for guard := 0; outstanding > 0; guard++ {
 		if guard >= relMaxRounds {
@@ -220,6 +227,14 @@ func (m *Machine[S]) reliableRound(sends []Send[S]) ([]Reply, []Send[S], error) 
 		}
 		rt.round++
 		r := rt.round
+		// A terminal plan that has fired can never acknowledge the
+		// outstanding work: abort now rather than spending the full
+		// retransmit budget on a machine that is gone for good.
+		if isTerminal && terminal.Dead(r) {
+			m.relAbort()
+			return nil, nil, fmt.Errorf("%w: terminal fault at round %d with %d sends outstanding",
+				ErrMachineKilled, r, outstanding)
+		}
 		// fault mirrors a FaultStats increment as a structured trace event;
 		// a single nil branch when tracing is off.
 		fault := func(kind trace.FaultKind, mod ModuleID, id uint64) {

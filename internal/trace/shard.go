@@ -1,0 +1,65 @@
+package trace
+
+import "strconv"
+
+// Shard wraps inner so every batch- and phase-level event is attributed to
+// one shard of a cluster: op labels arrive prefixed with "s<id>/" (shard 3's
+// upsert batches profile under "s3/upsert"). Each shard machine must own its
+// own wrapped sink — the Sink contract is single-goroutine, and a cluster
+// executes shards in parallel — but because the labels disagree, per-shard
+// profiles can later be aggregated or compared without losing attribution.
+// The decomposition invariant is untouched: spans are relabeled, never
+// split, so a per-shard Profile's CheckSums stays exact. Round and fault
+// events carry no op label and pass through unchanged. A nil inner returns
+// nil, preserving the zero-overhead disabled path.
+func Shard(id int, inner Sink) Sink {
+	if inner == nil {
+		return nil
+	}
+	return &shardSink{
+		inner: inner,
+		tag:   "s" + strconv.Itoa(id) + "/",
+		ops:   make(map[string]string),
+	}
+}
+
+type shardSink struct {
+	inner Sink
+	tag   string
+	// ops memoizes tag+op per distinct op label; emission is
+	// single-goroutine by the Sink contract, so no lock is needed and the
+	// steady state allocates nothing per event.
+	ops map[string]string
+}
+
+func (s *shardSink) op(op string) string {
+	if v, ok := s.ops[op]; ok {
+		return v
+	}
+	v := s.tag + op
+	s.ops[op] = v
+	return v
+}
+
+func (s *shardSink) BatchStart(op string, n int) { s.inner.BatchStart(s.op(op), n) }
+
+func (s *shardSink) PhaseStart(op string, ph Phase) { s.inner.PhaseStart(s.op(op), ph) }
+
+func (s *shardSink) PhaseEnd(sp Span) {
+	sp.Op = s.op(sp.Op)
+	s.inner.PhaseEnd(sp)
+}
+
+func (s *shardSink) RoundEnd(r RoundStat) { s.inner.RoundEnd(r) }
+
+func (s *shardSink) Fault(ev FaultEvent) { s.inner.Fault(ev) }
+
+func (s *shardSink) BatchEnd(op string, t Totals) { s.inner.BatchEnd(s.op(op), t) }
+
+// Flush forwards frontend flush events when the wrapped sink accepts them,
+// so a shard served through a Frontend keeps its collector attribution.
+func (s *shardSink) Flush(fs FlushStat) {
+	if f, ok := s.inner.(FlushSink); ok {
+		f.Flush(fs)
+	}
+}

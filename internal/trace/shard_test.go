@@ -1,0 +1,57 @@
+package trace
+
+import "testing"
+
+// TestShardSinkAttribution: the shard wrapper prefixes op labels with
+// "s<id>/" on every batch- and phase-level event, passes round and fault
+// events through, and keeps the wrapped profile's decomposition exact.
+func TestShardSinkAttribution(t *testing.T) {
+	p := NewProfile()
+	s := Shard(3, p)
+	driveSample(s)
+
+	bp := p.Last()
+	if bp == nil {
+		t.Fatal("no last batch profile")
+	}
+	if bp.Op != "s3/get" {
+		t.Fatalf("op label = %q, want \"s3/get\"", bp.Op)
+	}
+	if msg := bp.CheckSums(); msg != "" {
+		t.Fatalf("CheckSums through shard wrapper: %s", msg)
+	}
+	if bp.Faults["retransmit"] != 1 {
+		t.Fatalf("faults = %v", bp.Faults)
+	}
+	if p.Rounds() != 2 {
+		t.Fatalf("rounds observed = %d", p.Rounds())
+	}
+
+	// FindProfile reaches through the wrapper (and through a Tee of one).
+	if FindProfile(s) != p {
+		t.Fatal("FindProfile did not reach through shardSink")
+	}
+	if FindProfile(Tee(Shard(1, p))) != p {
+		t.Fatal("FindProfile did not reach through Tee(shardSink)")
+	}
+
+	// Nil inner stays nil: the zero-overhead disabled path.
+	if Shard(0, nil) != nil {
+		t.Fatal("Shard(0, nil) != nil")
+	}
+}
+
+// TestShardSinkFlushForwarding: frontend flush events forward only when
+// the wrapped sink accepts them.
+func TestShardSinkFlushForwarding(t *testing.T) {
+	p := NewProfile()
+	s := Shard(1, p)
+	fs, ok := s.(FlushSink)
+	if !ok {
+		t.Fatal("shardSink does not implement FlushSink")
+	}
+	fs.Flush(FlushStat{Ops: 4, Submitted: 4})
+	if got := p.Collector(); got.Flushes != 1 || got.Ops != 4 {
+		t.Fatalf("collector totals = %+v", got)
+	}
+}

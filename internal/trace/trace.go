@@ -277,6 +277,8 @@ func FindProfile(s Sink) *Profile {
 	switch v := s.(type) {
 	case *Profile:
 		return v
+	case *shardSink:
+		return FindProfile(v.inner)
 	case tee:
 		for _, m := range v {
 			if p := FindProfile(m); p != nil {

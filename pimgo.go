@@ -44,6 +44,7 @@ import (
 	"cmp"
 	"io"
 
+	"pimgo/internal/cluster"
 	"pimgo/internal/core"
 	"pimgo/internal/frontend"
 	"pimgo/internal/pim"
@@ -84,6 +85,7 @@ const (
 	RangeCount     = core.RangeCount
 	RangeRead      = core.RangeRead
 	RangeTransform = core.RangeTransform
+	RangeReduce    = core.RangeReduce
 )
 
 // Typed errors of the batch API; match with errors.Is. The legacy
@@ -106,6 +108,19 @@ var (
 	// another is running. A Map is a single-driver structure; coalesce
 	// concurrent single-op traffic through a Frontend instead.
 	ErrConcurrentBatch = core.ErrConcurrentBatch
+	// ErrMachineKilled reports that a terminal fault plan (KillFaultPlan)
+	// permanently killed a machine mid-batch; only a supervisor rebuild
+	// (Cluster) brings the shard back.
+	ErrMachineKilled = pim.ErrMachineKilled
+	// ErrShardDown reports a Cluster operation touching a permanently down
+	// shard; it is surfaced per key (degraded mode), not per batch.
+	ErrShardDown = cluster.ErrShardDown
+	// ErrShardDraining reports a mutating Cluster batch routed to a
+	// draining shard.
+	ErrShardDraining = cluster.ErrShardDraining
+	// ErrShardState reports an invalid shard lifecycle transition
+	// (e.g. StartShard on a running shard).
+	ErrShardState = cluster.ErrShardState
 )
 
 // Frontend coalesces single-key operations from arbitrarily many client
@@ -175,6 +190,14 @@ func CrashFaultPlan(seed uint64, bp, rounds int) FaultPlan { return pim.CrashPla
 // ChaosFaultPlan mixes drops, duplicates, delays, stalls, and crashes at
 // moderate rates — the plan the chaos soak and `pimbench chaos` use.
 func ChaosFaultPlan(seed uint64) FaultPlan { return pim.ChaosPlan(seed) }
+
+// KillFaultPlan permanently kills the machine at physical round at
+// (terminal fault): inner (nil = fault-free) governs the rounds before the
+// kill, after which every module is down forever and the in-flight batch
+// fails with ErrMachineKilled. Meant for Cluster shards, whose supervisor
+// rebuilds a killed shard from its journal under the inner plan; on a
+// standalone Map the error is permanent.
+func KillFaultPlan(at int64, inner FaultPlan) FaultPlan { return pim.KillPlan(at, inner) }
 
 // TraceSink receives the structured trace events of a Map: batch start/end,
 // phase spans with metric deltas, per-round module IO, and fault-layer
@@ -285,6 +308,49 @@ var (
 	IntHash    = core.IntHash
 	StringHash = core.StringHash
 )
+
+// Cluster shards one logical ordered map across N fault-isolated Map
+// shards, each on its own simulated machine with its own fault plan and
+// trace sink, behind a deterministic hash router. Batches scatter by
+// shard, execute shards in parallel, and gather replies into submission
+// order — bit-identical to a single Map. Killed shards are rebuilt
+// exactly-once from a journal, or degrade to typed per-key ErrShardDown
+// errors. See docs/CLUSTER.md.
+type Cluster[K cmp.Ordered, V any] = cluster.Cluster[K, V]
+
+// ClusterConfig configures a Cluster (shard count, template shard Config,
+// per-shard fault plans and trace sinks, recovery policy).
+type ClusterConfig = cluster.Config
+
+// ClusterStats aggregates the model cost of one cluster batch: per-shard
+// BatchStats (parallel shards combine by max for elapsed metrics, sum for
+// throughput metrics) plus the rebuilds performed.
+type ClusterStats = cluster.Stats
+
+// ClusterShardStats is one shard's health and cost summary (state, journal
+// size, kills, recoveries, accumulated and recovery-only costs).
+type ClusterShardStats = cluster.ShardStats
+
+// ClusterShardState is one shard's lifecycle state.
+type ClusterShardState = cluster.ShardState
+
+// Shard lifecycle states.
+const (
+	ShardRunning  = cluster.ShardRunning
+	ShardDraining = cluster.ShardDraining
+	ShardDown     = cluster.ShardDown
+)
+
+// NewCluster builds a sharded cluster per cfg; hash is shared by the
+// router and every shard.
+func NewCluster[K cmp.Ordered, V any](cfg ClusterConfig, hash func(K) uint64) (*Cluster[K, V], error) {
+	return cluster.New[K, V](cfg, hash)
+}
+
+// ShardTraceSink wraps a TraceSink so its op labels carry "s<id>/" shard
+// attribution — what ClusterConfig.Trace installs on each shard's sink.
+// Exported for callers that drive core Maps as shards by hand.
+func ShardTraceSink(id int, inner TraceSink) TraceSink { return trace.Shard(id, inner) }
 
 // HashMap is the unordered companion structure (future-work extension).
 type HashMap[K comparable, V any] = pimmap.Map[K, V]
