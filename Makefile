@@ -5,13 +5,15 @@
 # fault-injection soak and refreshes results/BENCH_chaos.json; `make
 # frontend` runs the concurrent-frontend verification suite and refreshes
 # results/BENCH_frontend.json; `make cluster` runs the sharded-cluster
-# verification suite and refreshes results/BENCH_cluster.json; `make docs`
+# verification suite and refreshes results/BENCH_cluster.json; `make
+# pipeline` runs the pipelined-execution verification suite and refreshes
+# results/BENCH_pipeline.json; `make docs`
 # lints the documentation (markdown links, pimbench command references,
 # facade godoc coverage) and gofmt cleanliness.
 
 GO ?= go
 
-.PHONY: build test race vet bench benchguard chaos frontend cluster docs check
+.PHONY: build test race vet bench benchguard chaos frontend cluster pipeline docs check
 
 build:
 	$(GO) build ./...
@@ -63,6 +65,16 @@ cluster:
 	$(GO) test -run 'TestCluster' -count=1 ./internal/cluster/
 	$(GO) test -race -run 'TestClusterChaosSoak|TestClusterRoutingDeterminism' -count=1 ./internal/cluster/
 	$(GO) run ./cmd/pimbench cluster -out results/BENCH_cluster.json
+
+# Pipelined-execution verification: the bit-identity oracles (core,
+# frontend, cluster; plus -race), the pipelined zero-alloc guards, then the
+# serial-vs-pipelined shape-ladder record with its refuse-on-divergence
+# guard.
+pipeline:
+	$(GO) test -run 'TestPipeline|TestFrontendPipelined|TestClusterPipeline' -count=1 . ./internal/frontend/ ./internal/cluster/
+	$(GO) test -race -run 'TestPipeline|TestFrontendPipelined|TestClusterPipeline' -count=1 . ./internal/frontend/ ./internal/cluster/
+	$(GO) test -run 'TestZeroAllocPipeline|TestZeroAllocFrontendPipelined' -count=1 .
+	$(GO) run ./cmd/pimbench pipeline -out results/BENCH_pipeline.json
 
 # Documentation gate: every intra-repo markdown link resolves, every
 # `pimbench <cmd>` in the docs is a real command (validated against

@@ -21,6 +21,7 @@
 //	ablate    design ablations: -what=hlow|pivot|dedup
 //	chaos     fault-injection recovery costs under every built-in plan
 //	frontend  concurrent batching frontend: client-goroutine ladder
+//	pipeline  pipelined batch execution: serial vs two-deep overlap
 //	trace     per-phase metric attribution; -chrome exports a Chrome trace
 //	all       every experiment in sequence
 //
@@ -61,6 +62,7 @@ var experiments = []experiment{
 	{"batchengine", "steady-state batch-op benchmarks → results/BENCH_batchengine.json", runBatchEngine},
 	{"chaos", "fault-injection recovery costs → results/BENCH_chaos.json", runChaos},
 	{"frontend", "concurrent batching frontend ladder → results/BENCH_frontend.json", runFrontend},
+	{"pipeline", "pipelined batch execution vs serial → results/BENCH_pipeline.json", runPipeline},
 	{"cluster", "sharded multi-Map cluster ladder → results/BENCH_cluster.json", runCluster},
 	{"trace", "per-phase metric attribution → results/BENCH_trace.json (-chrome exports Chrome trace JSON)", runTrace},
 }

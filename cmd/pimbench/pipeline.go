@@ -1,0 +1,585 @@
+package main
+
+// `pimbench pipeline` measures the two-deep batch execution pipeline
+// (pimgo.Pipeline): a ladder of batch shapes, each run once serially
+// (Into-variant direct batches) and once pipelined (windowed Submit/Wait,
+// two batches in flight), on identically seeded Maps. Every result and
+// BatchStats is FNV-folded in both modes; a hash mismatch means the
+// pipeline broke its bit-identity contract and the run refuses to record,
+// like `pimbench chaos`. A third, untimed instrumented run collects the
+// pipeline's own scheduling telemetry (prep/wait/exec, overlap fraction)
+// through a TraceProfile. Results accumulate in results/BENCH_pipeline.json.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pimgo/internal/cluster"
+	"pimgo/internal/core"
+	"pimgo/internal/rng"
+	"pimgo/internal/trace"
+)
+
+// pipeBenchShape is one ladder rung's workload shape.
+type pipeBenchShape struct {
+	name string
+	mix  string // "get", "succ", "upsert", "mixed"
+	b    int    // batch size
+	nb   int    // batch count
+}
+
+// pipelineRung is one shape's measurement.
+type pipelineRung struct {
+	// Layer is "core" (Map driven through pimgo.Pipeline) or "cluster"
+	// (4-shard Cluster driven through pimgo.ClusterPipeline).
+	Layer   string `json:"layer"`
+	Shape   string `json:"shape"`
+	B       int    `json:"b"`
+	Batches int    `json:"batches"`
+	Ops     int64  `json:"ops"`
+	// Wall time of the two timed runs and the resulting speedup.
+	SerialMs      float64 `json:"serial_ms"`
+	PipelinedMs   float64 `json:"pipelined_ms"`
+	Speedup       float64 `json:"speedup"`
+	SerialOpsPerS float64 `json:"serial_ops_per_s"`
+	PipeOpsPerS   float64 `json:"pipelined_ops_per_s"`
+	// Scheduling telemetry from the untimed instrumented run (core layer
+	// only; zero for cluster rungs): submitter prep wall time, executor wait
+	// (a positive wait means the prep overlapped an earlier batch's rounds),
+	// executor exec wall time, and the fraction of batches that overlapped.
+	PrepMs      float64 `json:"prep_ms"`
+	WaitMs      float64 `json:"wait_ms"`
+	ExecMs      float64 `json:"exec_ms"`
+	OverlapFrac float64 `json:"overlap_frac"`
+	// IdealSpeedup is the speedup trace attribution predicts on hardware
+	// with a core to spare: (prep+exec)/max(prep,exec), the two-deep
+	// pipeline's ceiling. On a single-core host the measured Speedup is
+	// bounded at ~1.0 regardless (docs/PIPELINE.md §When overlap helps).
+	IdealSpeedup float64 `json:"ideal_speedup"`
+	// ResultHash folds every reply and BatchStats of the serial run;
+	// Equivalent records that the pipelined run folded to the same hash.
+	ResultHash uint64 `json:"result_hash"`
+	Equivalent bool   `json:"equivalent"`
+}
+
+// pipelineEntry is one labeled run of the ladder.
+type pipelineEntry struct {
+	Label      string         `json:"label"`
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	P          int            `json:"p"`
+	Prefill    int            `json:"prefill"`
+	Note       string         `json:"note,omitempty"`
+	Rungs      []pipelineRung `json:"rungs"`
+}
+
+// Batch kinds of the pipeline bench (mixed cycles through all four).
+const (
+	pbGet = iota
+	pbSucc
+	pbUpsert
+	pbDelete
+)
+
+// pipeBenchKind maps batch index to op kind for a shape.
+func pipeBenchKind(mix string, i int) int {
+	switch mix {
+	case "get":
+		return pbGet
+	case "succ":
+		return pbSucc
+	case "upsert":
+		return pbUpsert
+	default:
+		return []int{pbUpsert, pbGet, pbSucc, pbDelete}[i%4]
+	}
+}
+
+// pipeBenchBatches pregenerates the shape's key batches outside the timed
+// region. Upserts draw from the prefilled keys (the steady-state update
+// path, so the structure neither grows nor skews between modes); deletes
+// churn a private dense region; reads probe the full key space.
+func pipeBenchBatches(shape pipeBenchShape, prefill []uint64, seed uint64) ([][]uint64, []int) {
+	r := rng.NewXoshiro256(seed)
+	const churnBase = keySpace + 1
+	batches := make([][]uint64, shape.nb)
+	kinds := make([]int, shape.nb)
+	for i := range batches {
+		kinds[i] = pipeBenchKind(shape.mix, i)
+		b := make([]uint64, shape.b)
+		for j := range b {
+			switch kinds[i] {
+			case pbUpsert:
+				b[j] = prefill[r.Uint64n(uint64(len(prefill)))]
+			case pbDelete:
+				b[j] = churnBase + r.Uint64n(1<<16)
+			default:
+				b[j] = 1 + r.Uint64n(keySpace)
+			}
+		}
+		batches[i] = b
+	}
+	return batches, kinds
+}
+
+// pipeBenchMap builds one mode's Map: identical seed and prefill for the
+// serial, pipelined, and instrumented runs, so replies must be identical.
+func pipeBenchMap(p int, prefill []uint64) *core.Map[uint64, int64] {
+	m := core.New[uint64, int64](core.Config{P: p, Seed: 0xC0FFEE}, core.Uint64Hash)
+	benchLoadShared(m, prefill)
+	return m
+}
+
+// foldGetResults, foldSearchResults, foldBools, foldBatchStats fold one
+// batch's observables into the running FNV hash — identical code on the
+// serial and pipelined paths, so any divergence flips the final hash.
+func foldGetResults(h uint64, res []core.GetResult[int64]) uint64 {
+	for i := range res {
+		if res[i].Found {
+			h = fnvMix(h, uint64(res[i].Value)|1<<63)
+		} else {
+			h = fnvMix(h, 5)
+		}
+	}
+	return h
+}
+
+func foldSearchResults(h uint64, res []core.SearchResult[uint64, int64]) uint64 {
+	for i := range res {
+		if res[i].Found {
+			h = fnvMix(h, res[i].Key)
+			h = fnvMix(h, uint64(res[i].Value))
+		} else {
+			h = fnvMix(h, 7)
+		}
+	}
+	return h
+}
+
+func foldBools(h uint64, res []bool) uint64 {
+	for _, b := range res {
+		if b {
+			h = fnvMix(h, 1)
+		} else {
+			h = fnvMix(h, 2)
+		}
+	}
+	return h
+}
+
+func foldBatchStats(h uint64, st core.BatchStats) uint64 {
+	h = fnvMix(h, uint64(st.Batch))
+	h = fnvMix(h, uint64(st.Rounds))
+	h = fnvMix(h, uint64(st.IOTime))
+	h = fnvMix(h, uint64(st.TotalMsgs))
+	h = fnvMix(h, uint64(st.PIMTime))
+	h = fnvMix(h, uint64(st.CPUWork))
+	return h
+}
+
+// runPipeBenchSerial drives the schedule as direct Into-variant batches.
+func runPipeBenchSerial(m *core.Map[uint64, int64], batches [][]uint64, kinds []int, vals []int64) (uint64, time.Duration) {
+	var gdst []core.GetResult[int64]
+	var sdst []core.SearchResult[uint64, int64]
+	var bdst []bool
+	h := uint64(fnvOffset)
+	start := time.Now()
+	for i, b := range batches {
+		var st core.BatchStats
+		switch kinds[i] {
+		case pbGet:
+			gdst, st = m.GetInto(b, gdst)
+			h = foldGetResults(h, gdst)
+		case pbSucc:
+			sdst, st = m.SuccessorInto(b, sdst)
+			h = foldSearchResults(h, sdst)
+		case pbUpsert:
+			bdst, st = m.UpsertInto(b, vals[:len(b)], bdst)
+			h = foldBools(h, bdst)
+		case pbDelete:
+			bdst, st = m.DeleteInto(b, bdst)
+			h = foldBools(h, bdst)
+		}
+		h = foldBatchStats(h, st)
+	}
+	return h, time.Since(start)
+}
+
+// runPipeBenchPipelined drives the same schedule through a Pipeline with a
+// two-deep window: batch k+1 is submitted (its CPU prefix runs on this
+// goroutine) before batch k's ticket is awaited, so prep overlaps rounds.
+// Result buffers alternate per slot parity; the fold runs between Wait and
+// the next Submit, mirroring the serial loop's fold placement.
+func runPipeBenchPipelined(m *core.Map[uint64, int64], batches [][]uint64, kinds []int, vals []int64) (uint64, time.Duration) {
+	p := core.NewPipeline(m)
+	defer p.Close()
+	var gdst [2][]core.GetResult[int64]
+	var sdst [2][]core.SearchResult[uint64, int64]
+	var bdst [2][]bool
+	h := uint64(fnvOffset)
+
+	submit := func(i int) *core.PipeTicket[uint64, int64] {
+		s := i % 2
+		switch kinds[i] {
+		case pbGet:
+			return p.SubmitGet(batches[i], gdst[s])
+		case pbSucc:
+			return p.SubmitSuccessor(batches[i], sdst[s])
+		case pbUpsert:
+			return p.SubmitUpsert(batches[i], vals[:len(batches[i])], bdst[s])
+		default:
+			return p.SubmitDelete(batches[i], bdst[s])
+		}
+	}
+	settle := func(i int, tk *core.PipeTicket[uint64, int64]) {
+		res := tk.Wait()
+		if res.Err != nil {
+			refuse("pipeline: batch %d failed: %v", i, res.Err)
+		}
+		s := i % 2
+		switch kinds[i] {
+		case pbGet:
+			gdst[s] = res.Gets
+			h = foldGetResults(h, res.Gets)
+		case pbSucc:
+			sdst[s] = res.Searches
+			h = foldSearchResults(h, res.Searches)
+		default:
+			bdst[s] = res.Bools
+			h = foldBools(h, res.Bools)
+		}
+		h = foldBatchStats(h, res.Stats)
+	}
+
+	start := time.Now()
+	var pending *core.PipeTicket[uint64, int64]
+	for i := range batches {
+		tk := submit(i)
+		if pending != nil {
+			settle(i-1, pending)
+		}
+		pending = tk
+	}
+	if pending != nil {
+		settle(len(batches)-1, pending)
+	}
+	wall := time.Since(start)
+	return h, wall
+}
+
+// runPipeBenchInstrumented repeats the pipelined schedule, untimed, with a
+// TraceProfile installed to read back the pipeline's scheduling totals.
+func runPipeBenchInstrumented(p int, prefill []uint64, batches [][]uint64, kinds []int, vals []int64) trace.PipelineTotals {
+	m := pipeBenchMap(p, prefill)
+	defer m.Close()
+	prof := trace.NewProfile()
+	m.SetTraceSink(prof)
+	runPipeBenchPipelined(m, batches, kinds, vals)
+	return prof.Pipeline()
+}
+
+// pipeBenchCluster builds one mode's 4-shard cluster, prefilled identically.
+func pipeBenchCluster(prefill []uint64) *cluster.Cluster[uint64, int64] {
+	c, err := cluster.New[uint64, int64](cluster.Config{
+		Shards: 4,
+		Seed:   0xC0FFEE,
+		Shard:  core.Config{P: 4},
+	}, core.Uint64Hash)
+	if err != nil {
+		refuse("pipeline: cluster: %v", err)
+	}
+	const chunk = 1 << 15
+	vals := make([]int64, 0, chunk)
+	for off := 0; off < len(prefill); off += chunk {
+		end := min(off+chunk, len(prefill))
+		vals = vals[:end-off]
+		for i, k := range prefill[off:end] {
+			vals[i] = int64(k)
+		}
+		if _, _, _, err := c.TryUpsert(prefill[off:end], vals); err != nil {
+			refuse("pipeline: cluster prefill: %v", err)
+		}
+	}
+	return c
+}
+
+// foldClusterStats folds a cluster batch's Stats (per-shard BatchStats plus
+// batch size and recoveries) into the running hash.
+func foldClusterStats(h uint64, st cluster.Stats) uint64 {
+	h = fnvMix(h, uint64(st.Batch))
+	h = fnvMix(h, uint64(st.Recovered))
+	for _, ss := range st.Shards {
+		h = foldBatchStats(h, ss)
+	}
+	return h
+}
+
+// foldErrs folds a per-key error surface (nil/non-nil pattern).
+func foldErrs(h uint64, errs []error) uint64 {
+	if errs == nil {
+		return fnvMix(h, 11)
+	}
+	for _, e := range errs {
+		if e == nil {
+			h = fnvMix(h, 0)
+		} else {
+			h = fnvMix(h, 13)
+		}
+	}
+	return h
+}
+
+// runPipeBenchClusterSerial drives the schedule through the serial Try*
+// cluster entry points.
+func runPipeBenchClusterSerial(c *cluster.Cluster[uint64, int64], batches [][]uint64, kinds []int, vals []int64) (uint64, time.Duration) {
+	h := uint64(fnvOffset)
+	start := time.Now()
+	for i, b := range batches {
+		switch kinds[i] {
+		case pbGet:
+			res, errs, st, err := c.TryGet(b)
+			if err != nil {
+				refuse("pipeline: cluster serial Get: %v", err)
+			}
+			h = foldGetResults(h, res)
+			h = foldErrs(h, errs)
+			h = foldClusterStats(h, st)
+		case pbSucc:
+			res, errs, st, err := c.TrySuccessor(b)
+			if err != nil {
+				refuse("pipeline: cluster serial Successor: %v", err)
+			}
+			h = foldSearchResults(h, res)
+			h = foldErrs(h, errs)
+			h = foldClusterStats(h, st)
+		case pbUpsert:
+			res, errs, st, err := c.TryUpsert(b, vals[:len(b)])
+			if err != nil {
+				refuse("pipeline: cluster serial Upsert: %v", err)
+			}
+			h = foldBools(h, res)
+			h = foldErrs(h, errs)
+			h = foldClusterStats(h, st)
+		case pbDelete:
+			res, errs, st, err := c.TryDelete(b)
+			if err != nil {
+				refuse("pipeline: cluster serial Delete: %v", err)
+			}
+			h = foldBools(h, res)
+			h = foldErrs(h, errs)
+			h = foldClusterStats(h, st)
+		}
+	}
+	return h, time.Since(start)
+}
+
+// runPipeBenchClusterPipelined drives the same schedule through a
+// ClusterPipeline with the same two-deep window as the core runner.
+func runPipeBenchClusterPipelined(c *cluster.Cluster[uint64, int64], batches [][]uint64, kinds []int, vals []int64) (uint64, time.Duration) {
+	p, err := cluster.NewClusterPipeline(c)
+	if err != nil {
+		refuse("pipeline: cluster pipeline: %v", err)
+	}
+	defer p.Close()
+	h := uint64(fnvOffset)
+
+	submit := func(i int) *cluster.ClusterTicket[uint64, int64] {
+		switch kinds[i] {
+		case pbGet:
+			return p.SubmitGet(batches[i])
+		case pbSucc:
+			return p.SubmitSuccessor(batches[i])
+		case pbUpsert:
+			return p.SubmitUpsert(batches[i], vals[:len(batches[i])])
+		default:
+			return p.SubmitDelete(batches[i])
+		}
+	}
+	settle := func(i int, tk *cluster.ClusterTicket[uint64, int64]) {
+		res := tk.Wait()
+		if res.Err != nil {
+			refuse("pipeline: cluster batch %d failed: %v", i, res.Err)
+		}
+		switch kinds[i] {
+		case pbGet:
+			h = foldGetResults(h, res.Gets)
+		case pbSucc:
+			h = foldSearchResults(h, res.Searches)
+		default:
+			h = foldBools(h, res.Bools)
+		}
+		h = foldErrs(h, res.Errs)
+		h = foldClusterStats(h, res.Stats)
+	}
+
+	start := time.Now()
+	var pending *cluster.ClusterTicket[uint64, int64]
+	for i := range batches {
+		tk := submit(i)
+		if pending != nil {
+			settle(i-1, pending)
+		}
+		pending = tk
+	}
+	if pending != nil {
+		settle(len(batches)-1, pending)
+	}
+	return h, time.Since(start)
+}
+
+func runPipeline(args []string) {
+	f := fs("pipeline")
+	outPath := f.String("out", "results/BENCH_pipeline.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	p := f.Int("p", 16, "module count")
+	prefillN := f.Int("prefill", 1<<17, "prefilled key count (the steady-state structure size)")
+	smoke := f.Bool("smoke", false, "small CI ladder, result not recorded")
+	f.Parse(args)
+
+	shapes := []pipeBenchShape{
+		{"get/4k", "get", 4096, 48},
+		{"succ/4k", "succ", 4096, 48},
+		{"upsert/4k", "upsert", 4096, 48},
+		{"mixed/2k", "mixed", 2048, 64},
+		{"succ/16k", "succ", 16384, 16},
+	}
+	clusterShapes := []pipeBenchShape{
+		{"get/4k", "get", 4096, 32},
+		{"mixed/2k", "mixed", 2048, 48},
+	}
+	if *smoke {
+		shapes = []pipeBenchShape{
+			{"get/512", "get", 512, 8},
+			{"succ/512", "succ", 512, 8},
+			{"mixed/512", "mixed", 512, 8},
+		}
+		clusterShapes = []pipeBenchShape{
+			{"mixed/512", "mixed", 512, 8},
+		}
+	}
+
+	prefill := make([]uint64, *prefillN)
+	r := rng.NewXoshiro256(0xF111)
+	for i := range prefill {
+		prefill[i] = 1 + r.Uint64n(keySpace)
+	}
+	maxB := 0
+	for _, s := range shapes {
+		maxB = max(maxB, s.b)
+	}
+	vals := make([]int64, maxB)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+
+	entry := pipelineEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		P:          *p,
+		Prefill:    *prefillN,
+		Note:       *note,
+	}
+
+	tbl := newTable("layer", "shape", "ops", "serial ms", "pipe ms", "speedup", "prep ms", "exec ms", "ideal", "equiv")
+	allEquivalent := true
+	for si, shape := range shapes {
+		batches, kinds := pipeBenchBatches(shape, prefill, 0xB197^uint64(si)*0x9E3779B97F4A7C15)
+		ops := int64(shape.b) * int64(shape.nb)
+
+		ms := pipeBenchMap(*p, prefill)
+		serialHash, serialWall := runPipeBenchSerial(ms, batches, kinds, vals)
+		ms.Close()
+
+		runtime.GC() // don't bill the serial phase's garbage to the pipeline
+		mp := pipeBenchMap(*p, prefill)
+		pipeHash, pipeWall := runPipeBenchPipelined(mp, batches, kinds, vals)
+		mp.Close()
+
+		totals := runPipeBenchInstrumented(*p, prefill, batches, kinds, vals)
+		prepS, execS := totals.Prep.Seconds(), totals.Exec.Seconds()
+		ideal := 0.0
+		if m := max(prepS, execS); m > 0 {
+			ideal = (prepS + execS) / m
+		}
+
+		equiv := serialHash == pipeHash
+		allEquivalent = allEquivalent && equiv
+		rung := pipelineRung{
+			Layer:         "core",
+			Shape:         shape.name,
+			B:             shape.b,
+			Batches:       shape.nb,
+			Ops:           ops,
+			SerialMs:      float64(serialWall.Microseconds()) / 1000,
+			PipelinedMs:   float64(pipeWall.Microseconds()) / 1000,
+			Speedup:       serialWall.Seconds() / pipeWall.Seconds(),
+			SerialOpsPerS: float64(ops) / serialWall.Seconds(),
+			PipeOpsPerS:   float64(ops) / pipeWall.Seconds(),
+			PrepMs:        float64(totals.Prep.Microseconds()) / 1000,
+			WaitMs:        float64(totals.Wait.Microseconds()) / 1000,
+			ExecMs:        float64(totals.Exec.Microseconds()) / 1000,
+			OverlapFrac:   totals.OverlapFraction(),
+			IdealSpeedup:  ideal,
+			ResultHash:    serialHash,
+			Equivalent:    equiv,
+		}
+		entry.Rungs = append(entry.Rungs, rung)
+		tbl.add("core", shape.name, ops, rung.SerialMs, rung.PipelinedMs, rung.Speedup,
+			rung.PrepMs, rung.ExecMs, fmt.Sprintf("%.2fx", ideal), equiv)
+	}
+	for si, shape := range clusterShapes {
+		batches, kinds := pipeBenchBatches(shape, prefill, 0xC197^uint64(si)*0x9E3779B97F4A7C15)
+		ops := int64(shape.b) * int64(shape.nb)
+
+		cs := pipeBenchCluster(prefill)
+		serialHash, serialWall := runPipeBenchClusterSerial(cs, batches, kinds, vals)
+		cs.Close()
+
+		runtime.GC()
+		cp := pipeBenchCluster(prefill)
+		pipeHash, pipeWall := runPipeBenchClusterPipelined(cp, batches, kinds, vals)
+		cp.Close()
+
+		equiv := serialHash == pipeHash
+		allEquivalent = allEquivalent && equiv
+		rung := pipelineRung{
+			Layer:         "cluster",
+			Shape:         shape.name,
+			B:             shape.b,
+			Batches:       shape.nb,
+			Ops:           ops,
+			SerialMs:      float64(serialWall.Microseconds()) / 1000,
+			PipelinedMs:   float64(pipeWall.Microseconds()) / 1000,
+			Speedup:       serialWall.Seconds() / pipeWall.Seconds(),
+			SerialOpsPerS: float64(ops) / serialWall.Seconds(),
+			PipeOpsPerS:   float64(ops) / pipeWall.Seconds(),
+			ResultHash:    serialHash,
+			Equivalent:    equiv,
+		}
+		entry.Rungs = append(entry.Rungs, rung)
+		tbl.add("cluster", shape.name, ops, rung.SerialMs, rung.PipelinedMs, rung.Speedup,
+			"-", "-", "-", equiv)
+	}
+	tbl.print()
+
+	if !allEquivalent {
+		refuse("pipeline: pipelined result hash diverged from serial; not recording")
+	}
+	if *smoke {
+		fmt.Println("smoke run: not recorded")
+		return
+	}
+
+	n, _, err := mergeBenchEntry(*outPath, "pipeline",
+		"one row = a batch shape run serially then pipelined on identically seeded Maps; speedup = serial wall / pipelined wall",
+		entry, func(e pipelineEntry) string { return e.Label })
+	if err != nil {
+		refuse("pipeline: %v", err)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
+}

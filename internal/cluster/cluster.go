@@ -301,14 +301,19 @@ func (c *Cluster[K, V]) begin() error {
 
 func (c *Cluster[K, V]) end() { c.inBatch.Store(false) }
 
-// scatter routes keys (and vals, when non-nil) into shard-major,
+// scatterInto routes keys (and vals, when non-nil) into shard-major,
 // submission-order-within-shard position using one stable counting sort —
 // the reply-assembly idiom of the reliable transport. After scatter,
 // ws.starts[s]..starts[s]+counts[s] is shard s's sub-batch and ws.order[j]
 // is the submission index occupying scatter position j, which gather uses
 // to put replies back into the caller's order.
-func (c *Cluster[K, V]) scatter(keys []K, vals []V) {
-	ws := &c.ws
+//
+// The workspace is explicit: serial batches use the cluster's own ws, while
+// the pipeline scatters into its second workspace whilst an earlier batch's
+// shards are still executing (pipeline.go). Routing is a pure function of
+// (hash, Seed, Shards) — it reads no shard state — which is what makes that
+// overlap legal.
+func (c *Cluster[K, V]) scatterInto(ws *clusterWS[K, V], keys []K, vals []V) {
 	n := len(keys)
 	ns := len(c.shards)
 	ws.home = resize(ws.home, n)
@@ -377,10 +382,9 @@ func (c *Cluster[K, V]) runShards(batches []*shardBatch[K, V]) []shardReply[K, V
 	return reps
 }
 
-// pointBatches slices the scattered workspace into one shardBatch per
+// pointBatchesWS slices the scattered workspace into one shardBatch per
 // non-empty shard. withVals selects whether the permuted vals ride along.
-func (c *Cluster[K, V]) pointBatches(kind batchKind, withVals bool) []*shardBatch[K, V] {
-	ws := &c.ws
+func (c *Cluster[K, V]) pointBatchesWS(ws *clusterWS[K, V], kind batchKind, withVals bool) []*shardBatch[K, V] {
 	batches := make([]*shardBatch[K, V], len(c.shards))
 	for s := range c.shards {
 		if ws.counts[s] == 0 {
@@ -418,10 +422,10 @@ func (c *Cluster[K, V]) TryGet(keys []K) (res []core.GetResult[V], errs []error,
 		return nil, nil, Stats{}, err
 	}
 	defer c.end()
-	c.scatter(keys, nil)
-	reps := c.runShards(c.pointBatches(opGet, false))
+	c.scatterInto(&c.ws, keys, nil)
+	reps := c.runShards(c.pointBatchesWS(&c.ws, opGet, false))
 	res = make([]core.GetResult[V], len(keys))
-	errs = c.gatherPoint(len(keys), reps, func(j, i, s int) {
+	errs = c.gatherPointWS(&c.ws, len(keys), reps, func(j, i, s int) {
 		res[i] = reps[s].gets[j]
 	})
 	return res, errs, c.finish(len(keys), reps), nil
@@ -438,10 +442,10 @@ func (c *Cluster[K, V]) TryUpsert(keys []K, vals []V) (res []bool, errs []error,
 		return nil, nil, Stats{}, err
 	}
 	defer c.end()
-	c.scatter(keys, vals)
-	reps := c.runShards(c.pointBatches(opUpsert, true))
+	c.scatterInto(&c.ws, keys, vals)
+	reps := c.runShards(c.pointBatchesWS(&c.ws, opUpsert, true))
 	res = make([]bool, len(keys))
-	errs = c.gatherPoint(len(keys), reps, func(j, i, s int) {
+	errs = c.gatherPointWS(&c.ws, len(keys), reps, func(j, i, s int) {
 		res[i] = reps[s].bools[j]
 	})
 	return res, errs, c.finish(len(keys), reps), nil
@@ -454,10 +458,10 @@ func (c *Cluster[K, V]) TryDelete(keys []K) (res []bool, errs []error, st Stats,
 		return nil, nil, Stats{}, err
 	}
 	defer c.end()
-	c.scatter(keys, nil)
-	reps := c.runShards(c.pointBatches(opDelete, false))
+	c.scatterInto(&c.ws, keys, nil)
+	reps := c.runShards(c.pointBatchesWS(&c.ws, opDelete, false))
 	res = make([]bool, len(keys))
-	errs = c.gatherPoint(len(keys), reps, func(j, i, s int) {
+	errs = c.gatherPointWS(&c.ws, len(keys), reps, func(j, i, s int) {
 		res[i] = reps[s].bools[j]
 	})
 	return res, errs, c.finish(len(keys), reps), nil
@@ -466,8 +470,7 @@ func (c *Cluster[K, V]) TryDelete(keys []K) (res []bool, errs []error, st Stats,
 // gatherPoint walks the scattered order permutation and invokes set(j, i, s)
 // for each position j of shard s holding submission index i, building the
 // per-key error slice along the way (nil when no shard failed).
-func (c *Cluster[K, V]) gatherPoint(n int, reps []shardReply[K, V], set func(j, i, s int)) []error {
-	ws := &c.ws
+func (c *Cluster[K, V]) gatherPointWS(ws *clusterWS[K, V], n int, reps []shardReply[K, V], set func(j, i, s int)) []error {
 	var errs []error
 	anyErr := false
 	for _, rep := range reps {

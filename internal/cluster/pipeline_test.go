@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+)
+
+// clusterPipeSched is a deterministic mixed schedule (empty batches
+// included) shared by the serial and pipelined runs.
+type clusterPipeOp struct {
+	kind clusterPipeKind
+	keys []uint64
+	vals []int64
+}
+
+func clusterPipeSched(rounds int) []clusterPipeOp {
+	r := rng.NewXoshiro256(0xC1B5)
+	const keySpace = 1 << 12
+	sizes := []int{96, 0, 40, 256, 7, 128, 1, 64}
+	var sched []clusterPipeOp
+	for i := 0; i < rounds; i++ {
+		for k, kind := range []clusterPipeKind{cpUpsert, cpGet, cpSucc, cpDelete} {
+			n := sizes[(i*4+k)%len(sizes)]
+			op := clusterPipeOp{kind: kind}
+			for j := 0; j < n; j++ {
+				key := 1 + r.Uint64n(keySpace)
+				op.keys = append(op.keys, key)
+				if kind == cpUpsert {
+					op.vals = append(op.vals, int64(key*3+uint64(i)))
+				}
+			}
+			sched = append(sched, op)
+		}
+	}
+	return sched
+}
+
+// clusterPipeCfg builds the shared test Config; plans may be nil.
+func clusterPipeCfg(plans []core.FaultPlan) Config {
+	return Config{
+		Shards:       4,
+		Seed:         0xC10C,
+		Shard:        core.Config{P: 4},
+		Faults:       plans,
+		CompactEvery: 8,
+	}
+}
+
+// serialClusterRun drives the schedule through the serial Try* entry points
+// and renders every observable to a line per batch.
+func serialClusterRun(t *testing.T, c *Cluster[uint64, int64], sched []clusterPipeOp) []string {
+	t.Helper()
+	var out []string
+	for _, op := range sched {
+		switch op.kind {
+		case cpUpsert:
+			res, errs, st, err := c.TryUpsert(op.keys, op.vals)
+			out = append(out, fmt.Sprintf("u %v %v %+v %v", res, errsOf(errs), st, err))
+		case cpGet:
+			res, errs, st, err := c.TryGet(op.keys)
+			out = append(out, fmt.Sprintf("g %v %v %+v %v", res, errsOf(errs), st, err))
+		case cpDelete:
+			res, errs, st, err := c.TryDelete(op.keys)
+			out = append(out, fmt.Sprintf("d %v %v %+v %v", res, errsOf(errs), st, err))
+		case cpSucc:
+			res, errs, st, err := c.TrySuccessor(op.keys)
+			out = append(out, fmt.Sprintf("s %v %v %+v %v", res, errsOf(errs), st, err))
+		}
+	}
+	return out
+}
+
+// pipelinedClusterRun drives the schedule through a ClusterPipeline,
+// submitting every batch before awaiting the first ticket so batches
+// genuinely overlap, and renders the identical observable lines.
+func pipelinedClusterRun(t *testing.T, c *Cluster[uint64, int64], sched []clusterPipeOp) []string {
+	t.Helper()
+	p, err := NewClusterPipeline(c)
+	if err != nil {
+		t.Fatalf("NewClusterPipeline: %v", err)
+	}
+	tks := make([]*ClusterTicket[uint64, int64], len(sched))
+	for i, op := range sched {
+		switch op.kind {
+		case cpUpsert:
+			tks[i] = p.SubmitUpsert(op.keys, op.vals)
+		case cpGet:
+			tks[i] = p.SubmitGet(op.keys)
+		case cpDelete:
+			tks[i] = p.SubmitDelete(op.keys)
+		case cpSucc:
+			tks[i] = p.SubmitSuccessor(op.keys)
+		}
+	}
+	var out []string
+	for i, tk := range tks {
+		r := tk.Wait()
+		switch sched[i].kind {
+		case cpUpsert:
+			out = append(out, fmt.Sprintf("u %v %v %+v %v", r.Bools, errsOf(r.Errs), r.Stats, r.Err))
+		case cpGet:
+			out = append(out, fmt.Sprintf("g %v %v %+v %v", r.Gets, errsOf(r.Errs), r.Stats, r.Err))
+		case cpDelete:
+			out = append(out, fmt.Sprintf("d %v %v %+v %v", r.Bools, errsOf(r.Errs), r.Stats, r.Err))
+		case cpSucc:
+			out = append(out, fmt.Sprintf("s %v %v %+v %v", r.Searches, errsOf(r.Errs), r.Stats, r.Err))
+		}
+	}
+	p.Close()
+	return out
+}
+
+// errsOf renders a per-key error slice compactly and deterministically.
+func errsOf(errs []error) string {
+	if errs == nil {
+		return "-"
+	}
+	s := ""
+	for _, e := range errs {
+		if e == nil {
+			s += "."
+		} else {
+			s += "E"
+		}
+	}
+	return s
+}
+
+// comparePipeRuns asserts line-for-line equality of the two observable
+// streams plus the final logical state.
+func comparePipeRuns(t *testing.T, serial, piped []string, cs, cp *Cluster[uint64, int64]) {
+	t.Helper()
+	if len(serial) != len(piped) {
+		t.Fatalf("batch counts diverge: serial %d, pipelined %d", len(serial), len(piped))
+	}
+	for i := range serial {
+		if serial[i] != piped[i] {
+			t.Fatalf("batch %d diverges:\n  serial    %s\n  pipelined %s", i, serial[i], piped[i])
+		}
+	}
+	if a, b := cs.Len(), cp.Len(); a != b {
+		t.Fatalf("final Len diverges: serial %d, pipelined %d", a, b)
+	}
+}
+
+// TestClusterPipelineBitIdenticalToSerial: every result, per-key error,
+// and per-shard Stats of the pipelined schedule must match the serial
+// schedule exactly — routing is a pure hash and shard execution is FIFO on
+// the executor, so overlapping the scatter changes nothing observable.
+func TestClusterPipelineBitIdenticalToSerial(t *testing.T) {
+	sched := clusterPipeSched(6)
+	cs, err := New[uint64, int64](clusterPipeCfg(nil), core.Uint64Hash)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer cs.Close()
+	cp, err := New[uint64, int64](clusterPipeCfg(nil), core.Uint64Hash)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer cp.Close()
+
+	serial := serialClusterRun(t, cs, sched)
+	piped := pipelinedClusterRun(t, cp, sched)
+	comparePipeRuns(t, serial, piped, cs, cp)
+}
+
+// TestClusterPipelineShardKillRecovery: with a chaos plan on every shard
+// and two shards wrapped in permanent kill plans, the pipelined run must
+// reproduce the serial run's entire observable stream — including the
+// recovery costs charged into Stats and any degraded per-key error surface.
+func TestClusterPipelineShardKillRecovery(t *testing.T) {
+	mkPlans := func() []core.FaultPlan {
+		plans := make([]core.FaultPlan, 4)
+		for i := range plans {
+			plans[i] = pim.ChaosPlan(0x5EED + uint64(i))
+		}
+		plans[1] = pim.KillPlan(40, plans[1])
+		plans[2] = pim.KillPlan(600, plans[2])
+		return plans
+	}
+	sched := clusterPipeSched(6)
+	cs, err := New[uint64, int64](clusterPipeCfg(mkPlans()), core.Uint64Hash)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer cs.Close()
+	cp, err := New[uint64, int64](clusterPipeCfg(mkPlans()), core.Uint64Hash)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer cp.Close()
+
+	serial := serialClusterRun(t, cs, sched)
+	piped := pipelinedClusterRun(t, cp, sched)
+	comparePipeRuns(t, serial, piped, cs, cp)
+
+	recovered := int64(0)
+	for i := 0; i < cp.Shards(); i++ {
+		recovered += cp.ShardStats(i).Recoveries
+	}
+	if recovered == 0 {
+		t.Fatalf("kill plans installed but no shard recovered")
+	}
+}
+
+// TestClusterPipelineGate: the pipeline holds the cluster's single-flight
+// gate — direct batches fail typed while it is open, serial use resumes
+// after Close, and misuse resolves through the ticket.
+func TestClusterPipelineGate(t *testing.T) {
+	c, err := New[uint64, int64](clusterPipeCfg(nil), core.Uint64Hash)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+
+	p, err := NewClusterPipeline(c)
+	if err != nil {
+		t.Fatalf("NewClusterPipeline: %v", err)
+	}
+	if _, _, _, err := c.TryGet([]uint64{1}); !errors.Is(err, core.ErrConcurrentBatch) {
+		t.Fatalf("direct TryGet while pipeline open: %v, want ErrConcurrentBatch", err)
+	}
+	if _, err := NewClusterPipeline(c); !errors.Is(err, core.ErrConcurrentBatch) {
+		t.Fatalf("second pipeline: %v, want ErrConcurrentBatch", err)
+	}
+	if r := p.SubmitUpsert([]uint64{1, 2}, []int64{1}).Wait(); !errors.Is(r.Err, core.ErrBadBatch) {
+		t.Fatalf("length mismatch: %v, want ErrBadBatch", r.Err)
+	}
+	tk := p.SubmitUpsert([]uint64{1, 2, 3}, []int64{10, 20, 30})
+	p.Drain()
+	if r := tk.Wait(); r.Err != nil || r.Stats.Batch != 3 {
+		t.Fatalf("post-Drain ticket: %+v", r)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if r := p.SubmitGet([]uint64{1}).Wait(); !errors.Is(r.Err, core.ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", r.Err)
+	}
+	res, _, _, err := c.TryGet([]uint64{1, 99})
+	if err != nil || !res[0].Found || res[0].Value != 10 || res[1].Found {
+		t.Fatalf("serial TryGet after Close: res=%v err=%v", res, err)
+	}
+}

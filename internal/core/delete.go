@@ -3,6 +3,7 @@ package core
 import (
 	"cmp"
 
+	"pimgo/internal/cpu"
 	"pimgo/internal/listcontract"
 	"pimgo/internal/pim"
 	"pimgo/internal/trace"
@@ -157,18 +158,26 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 	if B == 0 {
 		return out, m.endBatch(tr, c, 0, 0, 0)
 	}
+	m.prepDelete(m.ws, c, keys)
+	m.execDelete(c, B, out)
+	return out, m.endBatch(tr, c, B, 0, 0)
+}
+
+// prepDelete is Delete's round-free CPU prefix on workspace ws: semisort
+// dedup and probe-send construction. Like prepGet it is a pure function of
+// (keys, config, hash) — no structure or machine state is read and no Map
+// RNG is drawn — so the pipeline may run it while an earlier batch's rounds
+// are in flight.
+func (m *Map[K, V]) prepDelete(ws *batchWS[K, V], c *cpu.Ctx, keys []K) {
+	B := len(keys)
 	c.Tracker().Alloc(int64(2 * B))
-	defer c.Tracker().Free(int64(2 * B))
-	ws := m.ws
 
-	m.phase(c, trace.PhaseSemisort)
-	uniq, slot := m.dedup(c, keys)
+	m.markPhase(ws, c, trace.PhaseSemisort)
+	uniq, slot := m.dedupWS(ws, c, keys)
 	ws.found = grow(ws.found, len(uniq))
-	found := ws.found
 
-	// Stage 1: mark leaves and towers, collect neighbourhood records.
-	m.phase(c, trace.PhaseExecute)
-	marks := ws.marks[:0]
+	// Stage 1 send construction: mark leaves and towers.
+	m.markPhase(ws, c, trace.PhaseExecute)
 	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
 	for i, k := range uniq {
@@ -180,6 +189,20 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 		}
 	}
 	ws.sends = sends
+	ws.prepUniq, ws.prepSlot = uniq, slot
+}
+
+// execDelete is Delete's machine half: the marking rounds, CPU-side list
+// contraction, remote splices and frees, and the found/slot scatter into
+// out (length B). Runs on the Map's active workspace.
+func (m *Map[K, V]) execDelete(c *cpu.Ctx, B int, out []bool) {
+	ws := m.ws
+	slot := ws.prepSlot
+	found := ws.found
+	sends := ws.sends
+
+	// Stage 1: mark leaves and towers, collect neighbourhood records.
+	marks := ws.marks[:0]
 	for len(sends) > 0 {
 		replies, next := m.round(sends)
 		c.WorkFlat(int64(len(replies)))
@@ -195,7 +218,6 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 	}
 	ws.marks = marks
 	c.Tracker().Alloc(int64(4 * len(marks)))
-	defer c.Tracker().Free(int64(4 * len(marks)))
 
 	// Stage 2: CPU-side list contraction over local copies of the marked
 	// nodes (§4.4): build the index graph of marked nodes plus their
@@ -290,7 +312,8 @@ func (m *Map[K, V]) DeleteInto(keys []K, dst []bool) ([]bool, BatchStats) {
 		}
 	}
 	m.n -= deleted
-	return out, m.endBatch(tr, c, B, 0, 0)
+	c.Tracker().Free(int64(4 * len(marks)))
+	c.Tracker().Free(int64(2 * B))
 }
 
 // DeleteOne removes a single key (a batch of one).

@@ -90,15 +90,23 @@ func (m *Map[K, V]) GetInto(keys []K, dst []GetResult[V]) ([]GetResult[V], Batch
 	if B == 0 {
 		return out, m.endBatch(tr, c, 0, 0, 0)
 	}
-	c.Tracker().Alloc(int64(B))
-	defer c.Tracker().Free(int64(B))
+	m.prepGet(m.ws, c, keys)
+	m.execGet(c, B, out)
+	return out, m.endBatch(tr, c, B, 0, 0)
+}
 
-	ws := m.ws
-	m.phase(c, trace.PhaseSemisort)
-	uniq, slot := m.dedup(c, keys)
-	m.phase(c, trace.PhaseExecute)
+// prepGet is Get's round-free CPU prefix on workspace ws: the semisort dedup
+// and the probe-send construction. It is a pure function of (keys, config,
+// hash) — it reads no structure or machine state and draws nothing from the
+// Map's RNG — which is what lets the pipeline run it while an earlier batch's
+// rounds are in flight (docs/PIPELINE.md). The caller's keys slice is not
+// retained (with NoDedup it is aliased by ws.prepUniq; see Pipeline docs).
+func (m *Map[K, V]) prepGet(ws *batchWS[K, V], c *cpu.Ctx, keys []K) {
+	c.Tracker().Alloc(int64(len(keys)))
+	m.markPhase(ws, c, trace.PhaseSemisort)
+	uniq, slot := m.dedupWS(ws, c, keys)
+	m.markPhase(ws, c, trace.PhaseExecute)
 	ws.greplies = grow(ws.greplies, len(uniq))
-	replies := ws.greplies
 	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
 	for i, k := range uniq {
@@ -110,13 +118,22 @@ func (m *Map[K, V]) GetInto(keys []K, dst []GetResult[V]) ([]GetResult[V], Batch
 		}
 	}
 	ws.sends = sends
-	m.drainInto(c, sends, ws.onGet)
+	ws.prepUniq, ws.prepSlot = uniq, slot
+}
+
+// execGet is Get's machine half: drive the probe rounds and scatter replies
+// into out (length B). Runs on the Map's active workspace.
+func (m *Map[K, V]) execGet(c *cpu.Ctx, B int, out []GetResult[V]) {
+	ws := m.ws
+	slot := ws.prepSlot
+	replies := ws.greplies
+	m.drainInto(c, ws.sends, ws.onGet)
 	c.WorkFlat(int64(B))
-	for i := range keys {
+	for i := 0; i < B; i++ {
 		r := replies[slot[i]]
 		out[i] = GetResult[V]{Found: r.found, Value: r.val}
 	}
-	return out, m.endBatch(tr, c, B, 0, 0)
+	c.Tracker().Free(int64(B))
 }
 
 // GetOne runs a single Get (a batch of one).
@@ -189,16 +206,22 @@ func (m *Map[K, V]) UpdateOne(key K, val V) (bool, BatchStats) {
 // ABL-DEDUP ablation; slot maps every input position to its unique index.
 // Both return slices are workspace-owned, valid until the next dedup call.
 func (m *Map[K, V]) dedup(c *cpu.Ctx, keys []K) ([]K, []int32) {
+	return m.dedupWS(m.ws, c, keys)
+}
+
+// dedupWS is dedup on an explicit workspace, for prep halves that run before
+// the workspace becomes the Map's active one.
+func (m *Map[K, V]) dedupWS(ws *batchWS[K, V], c *cpu.Ctx, keys []K) ([]K, []int32) {
 	if m.cfg.NoDedup {
-		m.ws.slotSeq = grow(m.ws.slotSeq, len(keys))
-		slot := m.ws.slotSeq
+		ws.slotSeq = grow(ws.slotSeq, len(keys))
+		slot := ws.slotSeq
 		c.WorkFlat(int64(len(keys)))
 		for i := range slot {
 			slot[i] = int32(i)
 		}
 		return keys, slot
 	}
-	return parutil.DedupWS(c, m.ws.par, keys, m.hashKey)
+	return parutil.DedupWS(c, ws.par, keys, m.hashKey)
 }
 
 // drainInto drives rounds to completion, delivering typed replies to f.

@@ -1,0 +1,397 @@
+// Two-deep batch execution pipeline (docs/PIPELINE.md).
+//
+// A batch operation on a Map has two halves with disjoint resource needs:
+// a round-free CPU prefix (the semisort dedup of a point batch, the key
+// sort of a search batch, send construction) and a machine half (the
+// bulk-synchronous PIM rounds plus the CPU suffix that consumes replies).
+// The serial entry points run both halves back-to-back on the caller's
+// goroutine. Pipeline overlaps them across consecutive batches: while batch
+// k's machine half runs on the executor goroutine, batch k+1's CPU prefix
+// runs on the submitter's goroutine against a second workspace.
+//
+// The hand-off contract that keeps every observable — replies, BatchStats,
+// and the trace event stream — bit-identical to the serial schedule:
+//
+//   - The prep half is a pure function of the batch arguments. It reads no
+//     Map or machine state that batches mutate, and draws nothing from the
+//     Map's RNG (prepGet/prepUpsert/prepDelete route by the stateless
+//     hasher; prepSearch's parutil sort seeds its own deterministic RNG).
+//     Running it early therefore computes exactly what the serial schedule
+//     would have computed.
+//   - Everything state-dependent — rounds, tower-height draws, the random
+//     start modules of searches, m.n updates — lives in the exec half,
+//     and exec halves run strictly FIFO on one executor goroutine. The
+//     machine therefore sees the same operations in the same order as the
+//     serial schedule, so every model metric matches bit for bit.
+//   - Trace events emitted during prep are buffered in the workspace
+//     (markPhase) and replayed at the hand-off (beginBatchPrepped), so a
+//     sink sees the exact serial stream: BatchStart, the prep's phases with
+//     zero machine deltas (valid: the prefix is round-free and metrics are
+//     freshly reset at exec start), then the machine half's events.
+//   - Each workspace has its own cpu.Tracker; prep-side Alloc/Work charges
+//     land on the batch's own tracker exactly as they would serially.
+//
+// Memory hand-off is a channel send (submitter → executor), so the
+// executor's reads of the prepped workspace happen-after the prep's writes.
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"time"
+
+	"pimgo/internal/trace"
+)
+
+// pipeKind discriminates the operation a prepped pipeline slot carries.
+type pipeKind int8
+
+const (
+	pipeGet pipeKind = iota
+	pipeUpsert
+	pipeDelete
+	pipeSuccessor
+	pipePredecessor
+)
+
+// pipeSlot is one of the pipeline's two workspaces plus the in-flight batch
+// prepped on it: the operation kind, size, result destination, and the
+// ticket to resolve. Slots cycle free → prepped (jobs queue) → executing →
+// free; there are exactly two, which is what bounds the pipeline's depth.
+type pipeSlot[K cmp.Ordered, V any] struct {
+	ws       *batchWS[K, V]
+	kind     pipeKind
+	n        int
+	gets     []GetResult[V]
+	bools    []bool
+	searches []SearchResult[K, V]
+	tk       *PipeTicket[K, V]
+
+	// Wall-clock instrumentation, maintained only when the Map's sink
+	// implements trace.PipeSink.
+	prep    time.Duration
+	prepEnd time.Time
+}
+
+// PipeResult is the outcome of one pipelined batch, delivered through its
+// PipeTicket. Exactly one of Gets/Bools/Searches is non-nil, matching the
+// submitted operation; the slices are the dst the caller passed to Submit
+// (or fresh ones when dst lacked capacity), with the same reuse contract as
+// the serial *Into entry points.
+type PipeResult[K cmp.Ordered, V any] struct {
+	// Gets holds SubmitGet results, in input order.
+	Gets []GetResult[V]
+	// Bools holds SubmitUpsert (inserted?) or SubmitDelete (found?) results.
+	Bools []bool
+	// Searches holds SubmitSuccessor/SubmitPredecessor results.
+	Searches []SearchResult[K, V]
+	// Stats is the batch's model cost, identical to the serial schedule's.
+	Stats BatchStats
+	// Err is the typed error of a failed batch (ErrClosed, ErrBadBatch,
+	// ErrFaultUnrecoverable, ...); the other fields are zero when set.
+	Err error
+}
+
+// PipeTicket is the future of one submitted batch. Wait blocks until the
+// executor resolves it and returns the result; a ticket is single-use and
+// invalid after Wait returns (the pipeline recycles it).
+type PipeTicket[K cmp.Ordered, V any] struct {
+	ch chan PipeResult[K, V]
+	p  *Pipeline[K, V]
+}
+
+// Wait blocks until the batch completes and returns its result. The ticket
+// must not be used again.
+func (t *PipeTicket[K, V]) Wait() PipeResult[K, V] {
+	res := <-t.ch
+	select {
+	case t.p.tickets <- t:
+	default:
+	}
+	return res
+}
+
+// Pipeline is the two-deep execution pipeline over one Map. Submit* preps
+// the batch's CPU half on the caller's goroutine and enqueues it; a
+// dedicated executor goroutine runs machine halves strictly FIFO. At most
+// two batches are in flight (one prepping/queued, one executing); a third
+// Submit blocks until a workspace frees up — natural backpressure.
+//
+// Submit* calls may come from multiple goroutines (they serialize on an
+// internal mutex). While a Pipeline is open, the Map must not be used
+// directly: serial batch calls race with prep halves on shared workspaces
+// and are misuse (at best they fail with ErrConcurrentBatch). After Close
+// the Map is serially usable again.
+//
+// Argument slices are read only during the Submit call — except with
+// Config.NoDedup, where the keys slice is aliased until the batch's ticket
+// resolves (the dedup copy that normally severs it is skipped).
+type Pipeline[K cmp.Ordered, V any] struct {
+	m       *Map[K, V]
+	mu      sync.Mutex
+	jobs    chan *pipeSlot[K, V]
+	free    chan *pipeSlot[K, V]
+	done    chan struct{}
+	tickets chan *PipeTicket[K, V]
+	closed  bool
+	ps      trace.PipeSink // cached at construction; nil when absent
+}
+
+// NewPipeline builds a pipeline over m and starts its executor. The Map's
+// own workspace becomes one pipeline slot and a second workspace is built
+// for the other, so steady-state pipelined batches allocate nothing beyond
+// what the serial path does. The Map's trace sink is inspected once here
+// for trace.PipeSink; installing a different sink while the pipeline is
+// open is not supported.
+func NewPipeline[K cmp.Ordered, V any](m *Map[K, V]) *Pipeline[K, V] {
+	p := &Pipeline[K, V]{
+		m:       m,
+		jobs:    make(chan *pipeSlot[K, V], 1),
+		free:    make(chan *pipeSlot[K, V], 2),
+		done:    make(chan struct{}),
+		tickets: make(chan *PipeTicket[K, V], 4),
+	}
+	p.ps, _ = m.TraceSink().(trace.PipeSink)
+	p.free <- &pipeSlot[K, V]{ws: m.ws}
+	p.free <- &pipeSlot[K, V]{ws: newBatchWS[K, V]()}
+	go p.run()
+	return p
+}
+
+// takeTicket reuses a pooled ticket or builds one.
+func (p *Pipeline[K, V]) takeTicket() *PipeTicket[K, V] {
+	select {
+	case t := <-p.tickets:
+		return t
+	default:
+		return &PipeTicket[K, V]{ch: make(chan PipeResult[K, V], 1), p: p}
+	}
+}
+
+// reject resolves a ticket immediately with err, without consuming a slot.
+// Submit* never fails synchronously: misuse and closure surface through the
+// ticket like any batch error, so caller loops need one error path.
+func (p *Pipeline[K, V]) reject(tk *PipeTicket[K, V], err error) *PipeTicket[K, V] {
+	tk.ch <- PipeResult[K, V]{Err: err}
+	return tk
+}
+
+// begin runs the shared Submit head after the closed check: take a free
+// slot (blocking — this is the pipeline's backpressure), stamp it, and open
+// its workspace for prep. Returns the prep start time (zero with no
+// PipeSink). No closures: the Submit* bodies inline their op's prep so the
+// steady-state submit path allocates nothing.
+func (p *Pipeline[K, V]) begin(tk *PipeTicket[K, V], kind pipeKind, n int, op string) (*pipeSlot[K, V], time.Time) {
+	slot := <-p.free
+	slot.kind, slot.n, slot.tk = kind, n, tk
+	var t0 time.Time
+	if p.ps != nil {
+		t0 = time.Now()
+	}
+	p.m.prepBegin(slot.ws, op)
+	return slot, t0
+}
+
+// enqueue hands the prepped slot to the executor. Empty batches enqueue
+// too, so the executor replays the serial empty-batch event stream
+// (BatchStart/BatchEnd).
+func (p *Pipeline[K, V]) enqueue(slot *pipeSlot[K, V], t0 time.Time) {
+	if p.ps != nil {
+		slot.prepEnd = time.Now()
+		slot.prep = slot.prepEnd.Sub(t0)
+	}
+	p.jobs <- slot
+}
+
+// SubmitGet enqueues a Get batch (semantics of Map.GetInto). dst is reused
+// when it has capacity.
+func (p *Pipeline[K, V]) SubmitGet(keys []K, dst []GetResult[V]) *PipeTicket[K, V] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tk := p.takeTicket()
+	if p.closed {
+		return p.reject(tk, ErrClosed)
+	}
+	slot, t0 := p.begin(tk, pipeGet, len(keys), "get")
+	slot.gets = sliceInto(dst, len(keys))
+	if len(keys) > 0 {
+		p.m.prepGet(slot.ws, &slot.ws.root, keys)
+	}
+	p.enqueue(slot, t0)
+	return tk
+}
+
+// SubmitUpsert enqueues an Upsert batch (semantics of Map.UpsertInto).
+func (p *Pipeline[K, V]) SubmitUpsert(keys []K, vals []V, dst []bool) *PipeTicket[K, V] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tk := p.takeTicket()
+	if p.closed {
+		return p.reject(tk, ErrClosed)
+	}
+	if len(keys) != len(vals) {
+		return p.reject(tk, fmt.Errorf("%w: Upsert keys/vals length mismatch (%d vs %d)",
+			ErrBadBatch, len(keys), len(vals)))
+	}
+	slot, t0 := p.begin(tk, pipeUpsert, len(keys), "upsert")
+	slot.bools = sliceInto(dst, len(keys))
+	if len(keys) > 0 {
+		p.m.prepUpsert(slot.ws, &slot.ws.root, keys, vals)
+	}
+	p.enqueue(slot, t0)
+	return tk
+}
+
+// SubmitDelete enqueues a Delete batch (semantics of Map.DeleteInto).
+func (p *Pipeline[K, V]) SubmitDelete(keys []K, dst []bool) *PipeTicket[K, V] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tk := p.takeTicket()
+	if p.closed {
+		return p.reject(tk, ErrClosed)
+	}
+	slot, t0 := p.begin(tk, pipeDelete, len(keys), "delete")
+	slot.bools = sliceInto(dst, len(keys))
+	if len(keys) > 0 {
+		p.m.prepDelete(slot.ws, &slot.ws.root, keys)
+	}
+	p.enqueue(slot, t0)
+	return tk
+}
+
+// SubmitSuccessor enqueues a Successor batch (semantics of
+// Map.SuccessorInto).
+func (p *Pipeline[K, V]) SubmitSuccessor(keys []K, dst []SearchResult[K, V]) *PipeTicket[K, V] {
+	return p.submitSearch(keys, dst, pipeSuccessor, "successor")
+}
+
+// SubmitPredecessor enqueues a Predecessor batch (semantics of
+// Map.PredecessorInto).
+func (p *Pipeline[K, V]) SubmitPredecessor(keys []K, dst []SearchResult[K, V]) *PipeTicket[K, V] {
+	return p.submitSearch(keys, dst, pipePredecessor, "predecessor")
+}
+
+func (p *Pipeline[K, V]) submitSearch(keys []K, dst []SearchResult[K, V], kind pipeKind, op string) *PipeTicket[K, V] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tk := p.takeTicket()
+	if p.closed {
+		return p.reject(tk, ErrClosed)
+	}
+	slot, t0 := p.begin(tk, kind, len(keys), op)
+	slot.searches = sliceInto(dst, len(keys))
+	p.m.prepSearch(slot.ws, &slot.ws.root, keys)
+	p.enqueue(slot, t0)
+	return tk
+}
+
+// Drain blocks until every submitted batch has resolved its ticket. It
+// takes no new work while waiting (it holds the submit mutex).
+func (p *Pipeline[K, V]) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Both slots at rest in free ⇔ no batch is prepped, queued, or
+	// executing; the executor returns a slot only after resolving its
+	// ticket.
+	a := <-p.free
+	b := <-p.free
+	p.free <- a
+	p.free <- b
+}
+
+// Close drains the pipeline and stops the executor. Already-submitted
+// batches complete and resolve their tickets; subsequent Submit* calls
+// resolve with ErrClosed. Close is idempotent and does not close the Map.
+// After Close returns, the Map is serially usable again.
+func (p *Pipeline[K, V]) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	<-p.done
+}
+
+// run is the executor: machine halves, strictly FIFO — the ordering that
+// makes the pipelined schedule observationally identical to the serial one.
+func (p *Pipeline[K, V]) run() {
+	for slot := range p.jobs {
+		if p.ps != nil {
+			t1 := time.Now()
+			res := p.runJob(slot)
+			p.ps.PipeBatch(trace.PipeStat{
+				Op: slot.ws.op, Batch: slot.n,
+				Prep: slot.prep, Wait: t1.Sub(slot.prepEnd), Exec: time.Since(t1),
+			})
+			p.resolve(slot, res)
+		} else {
+			p.resolve(slot, p.runJob(slot))
+		}
+	}
+	close(p.done)
+}
+
+// resolve delivers res to the slot's ticket and returns the slot to the
+// free pool (in that order: Drain relies on resolved-before-free).
+func (p *Pipeline[K, V]) resolve(slot *pipeSlot[K, V], res PipeResult[K, V]) {
+	tk := slot.tk
+	slot.tk = nil
+	tk.ch <- res
+	p.free <- slot
+}
+
+// runJob executes one prepped batch's machine half: hand-off
+// (beginBatchPrepped installs the slot's workspace and replays its buffered
+// trace prefix), the op's exec half, and endBatch. A round failure unwinds
+// as a batchAbort exactly as on the serial Try* path and resolves the
+// ticket with the typed error.
+func (p *Pipeline[K, V]) runJob(slot *pipeSlot[K, V]) (res PipeResult[K, V]) {
+	m := p.m
+	defer catchAbort(&res.Err)
+	if err := m.beginBatchPrepped(slot.ws, slot.n); err != nil {
+		res.Err = err
+		return res
+	}
+	ws := slot.ws
+	tr, c := ws.tr, &ws.root
+	n := slot.n
+	switch slot.kind {
+	case pipeGet:
+		if n > 0 {
+			m.execGet(c, n, slot.gets)
+		}
+		res.Gets = slot.gets
+		res.Stats = m.endBatch(tr, c, n, 0, 0)
+	case pipeUpsert:
+		if n == 0 {
+			res.Bools = slot.bools
+			res.Stats = m.endBatch(tr, c, 0, 0, 0)
+			return res
+		}
+		phases, maxAcc := m.execUpsert(c, n)
+		res.Bools, res.Stats = m.scatterInserted(c, tr, slot.bools, ws.prepSlot, ws.found, n, phases, maxAcc)
+	case pipeDelete:
+		if n > 0 {
+			m.execDelete(c, n, slot.bools)
+		}
+		res.Bools = slot.bools
+		res.Stats = m.endBatch(tr, c, n, 0, 0)
+	case pipeSuccessor, pipePredecessor:
+		mode := modeSuccessor
+		if slot.kind == pipePredecessor {
+			mode = modePredecessor
+		}
+		raw, phases, maxAcc := m.execSearch(c, n, mode, nil, nil)
+		c.WorkFlat(int64(n))
+		for i := 0; i < n; i++ {
+			slot.searches[i] = SearchResult[K, V]{Found: raw[i].found, Key: raw[i].key, Value: raw[i].val}
+		}
+		res.Searches = slot.searches
+		res.Stats = m.endBatch(tr, c, n, phases, maxAcc)
+	}
+	return res
+}

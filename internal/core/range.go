@@ -388,9 +388,15 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 	c.Tracker().Free(fetched)
 
 	// Apply ops in batch order; Transform composes in batch order on the
-	// CPU copies and writes each touched leaf back once.
-	dirty := make(map[pim.Ptr]int) // leaf → (segment, index) for write-back
-	segOf := make(map[pim.Ptr]int32)
+	// CPU copies and writes each touched leaf back once. Touched leaves are
+	// marked per segment rather than collected in a map: map iteration order
+	// is randomized, and with a fault plan installed the order in which
+	// write-back sends are submitted fixes their logical ids and therefore
+	// which of them the plan faults — a map here made faulted IOTime and
+	// TotalMsgs scheduling-dependent (ROADMAP item 5). A leaf lives in
+	// exactly one disjoint segment, so marking is idempotent and the ordered
+	// sweep below emits the identical send set deterministically.
+	var dirty [][]bool // dirty[si][j]: leaves[si][j] was transformed
 	for i := 0; i < B; i++ {
 		op := ops[i]
 		leaves := perSeg[opSeg[i]]
@@ -407,10 +413,16 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 			}
 		case RangeTransform:
 			c.WorkFlat(int64(hi - lo))
+			if dirty == nil {
+				dirty = make([][]bool, len(perSeg))
+			}
+			if dirty[opSeg[i]] == nil {
+				dirty[opSeg[i]] = make([]bool, len(leaves))
+			}
+			d := dirty[opSeg[i]]
 			for j := lo; j < hi; j++ {
 				leaves[j].val = op.Transform(leaves[j].val)
-				dirty[leaves[j].ptr] = j
-				segOf[leaves[j].ptr] = opSeg[i]
+				d[j] = true
 			}
 		case RangeReduce:
 			c.WorkFlat(int64(hi - lo))
@@ -420,15 +432,22 @@ func (m *Map[K, V]) rangeTreeInner(c *cpu.Ctx, ops []RangeOp[K, V]) ([]RangeResu
 			}
 		}
 	}
-	// Write back transformed values.
+	// Write back transformed values, ascending by (segment, leaf index) so
+	// the send order — and the logical ids the fault layer keys on — is a
+	// pure function of the batch.
 	sends = sends[:0]
-	for ptr, j := range dirty {
-		v := perSeg[segOf[ptr]][j].val
-		sends = append(sends, pim.Send[*modState[K, V]]{
-			To:    ptr.ModuleOf(),
-			Task:  &writeValTask[K, V]{target: ptr, val: v},
-			Words: 2,
-		})
+	for si, d := range dirty {
+		leaves := perSeg[si]
+		for j, isDirty := range d {
+			if !isDirty {
+				continue
+			}
+			sends = append(sends, pim.Send[*modState[K, V]]{
+				To:    leaves[j].ptr.ModuleOf(),
+				Task:  &writeValTask[K, V]{target: leaves[j].ptr, val: leaves[j].val},
+				Words: 2,
+			})
+		}
 	}
 	c.WorkFlat(int64(len(sends)))
 	m.drive(c, sends)

@@ -487,26 +487,45 @@ func (sr *searchRun[K, V]) runPhase(idxs []int, record bool) {
 func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
 	insertHeights []int8, hintsOut []expandHint) (results []resultMsg[K, V], phases int, maxAcc int64) {
 
+	m.prepSearch(m.ws, c, keys)
+	return m.execSearch(c, len(keys), mode, insertHeights, hintsOut)
+}
+
+// prepSearch is the round-free CPU prefix of a batch search on workspace ws:
+// the key sort of §4.2 ("The keys in the batch are first sorted on the CPU
+// side"). sorted[j].pos = input position of the j-th smallest key. The sort
+// is a pure function of keys — parutil.SortWS seeds its own deterministic
+// RNG, reads no structure state, and draws nothing from the Map's RNG — so
+// the pipeline may run it while an earlier batch's rounds are in flight.
+func (m *Map[K, V]) prepSearch(ws *batchWS[K, V], c *cpu.Ctx, keys []K) {
 	B := len(keys)
-	ws := m.ws
 	ws.outRes = grow(ws.outRes, B)
 	if B == 0 {
-		return ws.outRes, 0, 0
+		return
 	}
 	c.Tracker().Alloc(int64(B))
-	defer c.Tracker().Free(int64(B))
 
-	// Sort the batch by key (§4.2: "The keys in the batch are first sorted
-	// on the CPU side"). sorted[j].pos = input position of the j-th
-	// smallest key.
-	m.phase(c, trace.PhaseSort)
+	m.markPhase(ws, c, trace.PhaseSort)
 	ws.sorted = grow(ws.sorted, B)
 	for i, k := range keys {
 		ws.sorted[i] = sortItem[K]{k: k, pos: int32(i)}
 	}
 	c.WorkFlat(int64(B))
 	parutil.SortWS(c, ws.par, ws.sorted, ws.sortLess)
-	m.phase(c, trace.PhaseSearch)
+	m.markPhase(ws, c, trace.PhaseSearch)
+}
+
+// execSearch is the machine half of a batch search: the pivot phases, waves,
+// and the unsort back to input order. Runs on the Map's active workspace,
+// whose ws.sorted was filled by prepSearch. Returns the raw results in input
+// order (workspace-owned, valid until the next batch).
+func (m *Map[K, V]) execSearch(c *cpu.Ctx, B int, mode searchMode,
+	insertHeights []int8, hintsOut []expandHint) (results []resultMsg[K, V], phases int, maxAcc int64) {
+
+	ws := m.ws
+	if B == 0 {
+		return ws.outRes, 0, 0
+	}
 
 	ws.results = grow(ws.results, B)
 	ws.done = grow(ws.done, B)
@@ -535,6 +554,7 @@ func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
 			maxAcc = a
 		}
 		m.unsortResults(c)
+		c.Tracker().Free(int64(B))
 		return ws.outRes, 1, maxAcc
 	}
 
@@ -549,7 +569,6 @@ func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
 	}
 	ws.pivots = pivots
 	c.Tracker().Alloc(int64(len(pivots) * (2*m.cfg.HLow + 2))) // recorded paths live in shared memory
-	defer c.Tracker().Free(int64(len(pivots) * (2*m.cfg.HLow + 2)))
 	np := len(pivots)
 	sr.np = np
 	ws.execd = grow(ws.execd, np)
@@ -625,6 +644,8 @@ func (m *Map[K, V]) searchCore(c *cpu.Ctx, keys []K, mode searchMode,
 	}
 
 	m.unsortResults(c)
+	c.Tracker().Free(int64(np * (2*m.cfg.HLow + 2)))
+	c.Tracker().Free(int64(B))
 	return ws.outRes, sr.phases, sr.maxAcc
 }
 

@@ -232,13 +232,23 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	if B == 0 {
 		return inserted, m.endBatch(tr, c, 0, 0, 0)
 	}
+	m.prepUpsert(m.ws, c, keys, vals)
+	phases, maxAcc := m.execUpsert(c, B)
+	return m.scatterInserted(c, tr, inserted, m.ws.prepSlot, m.ws.found, B, phases, maxAcc)
+}
+
+// prepUpsert is Upsert's round-free CPU prefix on workspace ws: the semisort
+// dedup (last value wins) and the stage-0 probe-send construction. Like
+// prepGet it is a pure function of the batch arguments — tower heights (the
+// Map's RNG) are drawn on the exec side, after the probe rounds, exactly as
+// in the serial schedule.
+func (m *Map[K, V]) prepUpsert(ws *batchWS[K, V], c *cpu.Ctx, keys []K, vals []V) {
+	B := len(keys)
 	c.Tracker().Alloc(int64(3 * B))
-	defer c.Tracker().Free(int64(3 * B))
-	ws := m.ws
 
 	// Deduplicate (last value wins).
-	m.phase(c, trace.PhaseSemisort)
-	uniq, slot := m.dedup(c, keys)
+	m.markPhase(ws, c, trace.PhaseSemisort)
+	uniq, slot := m.dedupWS(ws, c, keys)
 	ws.chosen = grow(ws.chosen, len(uniq))
 	chosen := ws.chosen
 	c.WorkFlat(int64(B))
@@ -247,9 +257,8 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	}
 
 	// Stage 0: try Update; collect misses.
-	m.phase(c, trace.PhaseExecute)
+	m.markPhase(ws, c, trace.PhaseExecute)
 	ws.found = grow(ws.found, len(uniq))
-	found := ws.found
 	sends := grow(ws.sends[:0], len(uniq))
 	c.WorkFlat(int64(len(uniq)))
 	for i, k := range uniq {
@@ -261,12 +270,23 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 		}
 	}
 	ws.sends = sends
-	m.drainInto(c, sends, ws.onFound)
+	ws.prepUniq, ws.prepSlot = uniq, slot
+}
+
+// execUpsert is Upsert's machine half: drive the probe rounds, then build the
+// missing towers (stages 1a–3). Returns (pivot phases, max node access) for
+// the final stats. Runs on the Map's active workspace.
+func (m *Map[K, V]) execUpsert(c *cpu.Ctx, B int) (int64, int64) {
+	ws := m.ws
+	uniq := ws.prepUniq
+	chosen := ws.chosen
+	m.drainInto(c, ws.sends, ws.onFound)
 
 	missIdx := parutil.PackWS(c, ws.par, ws.seqIntsWS(len(uniq)), ws.keepMiss)
 	nm := len(missIdx)
 	if nm == 0 {
-		return m.scatterInserted(c, tr, inserted, slot, found, B)
+		c.Tracker().Free(int64(3 * B))
+		return 0, 0
 	}
 	missKeys := make([]K, nm)
 	missVals := make([]V, nm)
@@ -289,7 +309,7 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	for j := range towers {
 		towers[j] = make([]pim.Ptr, heights[j])
 	}
-	sends = sends[:0]
+	sends := ws.sends[:0]
 	for j, k := range missKeys {
 		kh := m.hashKey(k)
 		hl := min(int(heights[j]), m.cfg.HLow)
@@ -410,7 +430,8 @@ func (m *Map[K, V]) UpsertInto(keys []K, vals []V, dst []bool) ([]bool, BatchSta
 	m.drive(c, sends)
 
 	m.n += nm
-	return m.scatterInserted(c, tr, inserted, slot, found, B, int64(phases), maxAcc)
+	c.Tracker().Free(int64(3 * B))
+	return int64(phases), maxAcc
 }
 
 // UpsertOne inserts or updates a single key (a batch of one).

@@ -62,6 +62,12 @@ type Config struct {
 	// form anyway, because ops arriving during a flush coalesce into the
 	// next one.
 	MaxWait time.Duration
+	// Pipelined drives the Map through a core.Pipeline: each flush submits
+	// its write and read sub-batches back-to-back, overlapping a later
+	// sub-batch's CPU prep with an earlier one's PIM rounds. Replies and
+	// coalescing semantics are unchanged (the pipeline executes FIFO); see
+	// the error caveat on flushPipelined and docs/PIPELINE.md.
+	Pipelined bool
 }
 
 func (c Config) withDefaults() Config {
@@ -146,7 +152,8 @@ type Frontend[K cmp.Ordered, V any] struct {
 	done   chan struct{} // closed when the collector exits
 	pool   chan *future[K, V]
 
-	ws flushWS[K, V] // collector-owned scratch
+	ws flushWS[K, V]        // collector-owned scratch
+	p  *core.Pipeline[K, V] // non-nil iff Config.Pipelined
 }
 
 // New starts a collector over m. The frontend takes over as the Map's sole
@@ -164,6 +171,9 @@ func New[K cmp.Ordered, V any](m *core.Map[K, V], cfg Config) *Frontend[K, V] {
 		pool:    make(chan *future[K, V], poolCap(cfg.MaxBatch)),
 	}
 	f.ws.init()
+	if cfg.Pipelined {
+		f.p = core.NewPipeline(m)
+	}
 	go f.run()
 	return f
 }
@@ -265,6 +275,9 @@ func (f *Frontend[K, V]) Close() error {
 	f.mu.Unlock()
 	if already {
 		<-f.done
+		if f.p != nil {
+			f.p.Close() // idempotent; racing closers are safe
+		}
 		return core.ErrClosed
 	}
 	select {
@@ -272,6 +285,11 @@ func (f *Frontend[K, V]) Close() error {
 	default:
 	}
 	<-f.done
+	if f.p != nil {
+		// The collector has drained; closing the pipeline hands the Map's
+		// workspace back for serial use.
+		f.p.Close()
+	}
 	return nil
 }
 

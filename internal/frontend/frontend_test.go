@@ -438,6 +438,77 @@ func TestFrontendChaosSoak(t *testing.T) {
 	}
 }
 
+// TestFrontendPipelinedOracle: the concurrent-oracle workload with the
+// collector driving the Map through a core.Pipeline (Config.Pipelined).
+// Reply exactness is the whole contract — the pipelined flush must be
+// observationally identical to the serial flush — so every client reply
+// must still match its sequential oracle, under several batch shapes.
+func TestFrontendPipelinedOracle(t *testing.T) {
+	for _, cfg := range []Config{
+		{Pipelined: true},
+		{Pipelined: true, MaxBatch: 64},
+		{Pipelined: true, MaxWait: 200 * time.Microsecond},
+	} {
+		m := newTestMap(t, 8)
+		f := New(m, cfg)
+		var wg sync.WaitGroup
+		clients, ops := 16, 200
+		if testing.Short() {
+			clients, ops = 4, 50
+		}
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				shardClient(t, f, c, ops)
+			}(c)
+		}
+		wg.Wait()
+		st := f.Stats()
+		f.Close()
+		if st.Ops == 0 || st.Flushes == 0 {
+			t.Fatalf("cfg %+v: collector saw no traffic: %+v", cfg, st)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("cfg %+v: invariants: %v", cfg, err)
+		}
+		// Close handed the Map back: serial batches work again.
+		if _, bst := m.Get([]uint64{1, 2, 3}); bst.Batch != 3 {
+			t.Fatalf("cfg %+v: serial Get after pipelined Close: %+v", cfg, bst)
+		}
+		m.Close()
+	}
+}
+
+// TestFrontendPipelinedChaos: the pipelined collector over a chaos-faulted
+// Map. The pipeline's FIFO executor drives the same reliable transport, so
+// every injected fault must stay hidden and every reply exact.
+func TestFrontendPipelinedChaos(t *testing.T) {
+	m := newTestMap(t, 8, func(c *core.Config) { c.Fault = pim.ChaosPlan(0xFA17ED) })
+	f := New(m, Config{Pipelined: true, MaxBatch: 128})
+	var wg sync.WaitGroup
+	clients, ops := 16, 250
+	if testing.Short() {
+		clients, ops = 4, 60
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			shardClient(t, f, c, ops)
+		}(c)
+	}
+	wg.Wait()
+	f.Close()
+	fs := m.FaultStats()
+	if fs.SendsDropped == 0 || fs.SendsDuplicated == 0 {
+		t.Fatalf("chaos plan never fired under pipelined frontend traffic: %+v", fs)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
 // TestFrontendFlushTrace: a Profile installed on the Map receives FlushStat
 // events alongside the machine stream, and its collector totals agree with
 // the frontend's own Stats.

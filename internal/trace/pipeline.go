@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// PipeStat describes one batch executed through the two-deep execution
+// pipeline (internal/core.Pipeline): how long its CPU prep half took on the
+// submitter goroutine, how long the prepped batch waited for the machine
+// (the window in which it overlapped an earlier batch's PIM rounds), and how
+// long its machine half took on the executor.
+//
+// Like FlushStat — and unlike the machine events of this package — PipeStat
+// carries wall-clock durations: the pipeline's scheduling exists outside the
+// simulated machine, so wall clock is the honest unit. The model cost of the
+// batch is still reported through the ordinary BatchStart/PhaseEnd/BatchEnd
+// stream, which the pipeline reproduces bit-identically to the serial
+// schedule; determinism oracles must therefore exclude PipeStat (see
+// docs/PIPELINE.md).
+type PipeStat struct {
+	// Op is the batch operation ("get", "upsert", "delete", "successor",
+	// "predecessor").
+	Op string `json:"op"`
+	// Batch is the number of operations in the batch.
+	Batch int `json:"batch"`
+	// Prep is the wall time of the batch's CPU prefix (sort/semisort/dedup
+	// and send construction) on the submitter goroutine.
+	Prep time.Duration `json:"prep_ns"`
+	// Wait is the wall time between prep completion and the executor picking
+	// the batch up. A positive Wait means the prep ran concurrently with an
+	// earlier batch's machine half — the overlap the pipeline exists for.
+	Wait time.Duration `json:"wait_ns"`
+	// Exec is the wall time of the batch's machine half (rounds, CPU suffix,
+	// stats assembly) on the executor goroutine.
+	Exec time.Duration `json:"exec_ns"`
+}
+
+// PipeSink is optionally implemented by sinks that want the pipeline's
+// per-batch scheduling events in addition to the machine stream. The
+// pipeline checks for it once at construction; Tee forwards to every member
+// that implements it. PipeBatch is invoked from the pipeline's executor
+// goroutine, after the batch's BatchEnd — the same goroutine that emitted
+// the batch's machine events, so a shared sink sees a serial stream.
+type PipeSink interface {
+	PipeBatch(PipeStat)
+}
+
+// PipeBatch implements PipeSink for Tee by forwarding to every member sink
+// that implements it.
+func (t tee) PipeBatch(ps PipeStat) {
+	for _, s := range t {
+		if p, ok := s.(PipeSink); ok {
+			p.PipeBatch(ps)
+		}
+	}
+}
+
+// PipelineTotals is Profile's aggregate over pipeline scheduling events.
+type PipelineTotals struct {
+	Batches    int64         `json:"batches"`
+	Ops        int64         `json:"ops"`
+	Prep       time.Duration `json:"prep_ns"`
+	Wait       time.Duration `json:"wait_ns"`
+	Exec       time.Duration `json:"exec_ns"`
+	Overlapped int64         `json:"overlapped"` // batches with Wait > 0
+}
+
+// OverlapFraction returns the fraction of batches whose prep overlapped an
+// earlier batch's machine half, 0 before any batch.
+func (pt PipelineTotals) OverlapFraction() float64 {
+	if pt.Batches == 0 {
+		return 0
+	}
+	return float64(pt.Overlapped) / float64(pt.Batches)
+}
+
+// String renders the pipeline aggregate as one line.
+func (pt PipelineTotals) String() string {
+	return fmt.Sprintf("batches=%d ops=%d prep=%v wait=%v exec=%v overlapped=%d (%.0f%%)",
+		pt.Batches, pt.Ops, pt.Prep, pt.Wait, pt.Exec, pt.Overlapped, 100*pt.OverlapFraction())
+}
+
+// PipeBatch implements PipeSink: Profile attributes pipeline scheduling time
+// alongside the per-phase machine attribution, read back with Pipeline.
+func (p *Profile) PipeBatch(ps PipeStat) {
+	pt := &p.pipeline
+	pt.Batches++
+	pt.Ops += int64(ps.Batch)
+	pt.Prep += ps.Prep
+	pt.Wait += ps.Wait
+	pt.Exec += ps.Exec
+	if ps.Wait > 0 {
+		pt.Overlapped++
+	}
+}
+
+// Pipeline returns the aggregated pipeline scheduling statistics (zero
+// unless the profile is installed on a Map driven through core.Pipeline).
+func (p *Profile) Pipeline() PipelineTotals { return p.pipeline }

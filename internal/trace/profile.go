@@ -207,6 +207,10 @@ type Profile struct {
 	// collector aggregates frontend flush events (frontend.go); populated
 	// only when the profile observes a Map driven through internal/frontend.
 	collector CollectorTotals
+
+	// pipeline aggregates pipeline scheduling events (pipeline.go); populated
+	// only when the profile observes a Map driven through core.Pipeline.
+	pipeline PipelineTotals
 }
 
 // NewProfile returns an empty profile sink.

@@ -77,6 +77,26 @@ func runDetWorkload(plan FaultPlan) detFingerprint {
 		for _, b := range ok {
 			fmt.Fprintf(res, "d%v", b)
 		}
+
+		// Range transforms over deterministic windows, mixed with reads.
+		// Under a fault plan this regression-tests ROADMAP item 5: a faulted
+		// RangeTransform batch's IOTime/TotalMsgs must not depend on the
+		// scheduling of the write-back sends (the dirty-leaf sweep is an
+		// ordered traversal, not a map iteration).
+		lo := next(1 << 16)
+		rr, st4 := m.RangeAuto([]RangeOp[uint64, int64]{
+			{Lo: lo, Hi: lo + 4096, Kind: RangeTransform,
+				Transform: func(v int64) int64 { return v*2 + 1 }},
+			{Lo: lo / 2, Hi: lo/2 + 8192, Kind: RangeCount},
+			{Lo: lo, Hi: lo + 1024, Kind: RangeRead},
+		})
+		fp.stats = append(fp.stats, st4)
+		for _, r := range rr {
+			fmt.Fprintf(res, "r%v", r.Count)
+			for _, pr := range r.Pairs {
+				fmt.Fprintf(res, "p%v=%v", pr.Key, pr.Value)
+			}
+		}
 	}
 	fp.resultSum = res.Sum64()
 
@@ -230,6 +250,35 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 // at any thread count.
 func TestFaultedDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	checkDetAcrossGOMAXPROCS(t, ChaosFaultPlan(0xFA011))
+}
+
+// TestFaultedDeterminismAllPlans runs the same cross-GOMAXPROCS contract —
+// which now includes RangeTransform batches — under every built-in fault
+// plan. Fault fates key on per-send logical ids assigned in submission
+// order, so any scheduling-dependent send ordering (like the map-iteration
+// write-back RangeTransform used to have; ROADMAP item 5) diverges here as
+// an IOTime/TotalMsgs mismatch between thread counts.
+func TestFaultedDeterminismAllPlans(t *testing.T) {
+	plans := []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"drop", DropFaultPlan(0xD1, 200)},
+		{"dup", DupFaultPlan(0xD2, 200)},
+		{"delay", DelayFaultPlan(0xD3, 200, 3)},
+		{"stall", StallFaultPlan(0xD4, 200, 4)},
+		{"crash", CrashFaultPlan(0xD5, 30, 2)},
+		{"chaos", ChaosFaultPlan(0xD6)},
+		{"seeded", NewSeededFaultPlan(FaultConfig{
+			Seed: 0xD7, DropBP: 100, DupBP: 100, DelayBP: 100,
+			MaxDelay: 2, StallBP: 100, StallFactor: 3,
+		})},
+	}
+	for _, tc := range plans {
+		t.Run(tc.name, func(t *testing.T) {
+			checkDetAcrossGOMAXPROCS(t, tc.plan)
+		})
+	}
 }
 
 func checkDetAcrossGOMAXPROCS(t *testing.T, plan FaultPlan) {

@@ -1,0 +1,385 @@
+package pimgo
+
+// Pipeline oracle tests (ISSUE 8 tentpole): the two-deep execution pipeline
+// must be observationally identical to the serial schedule — same replies,
+// same BatchStats, same trace event stream, same fault counters — across
+// GOMAXPROCS and under every built-in fault plan. Wall-clock PipeStats are
+// deliberately excluded from every oracle here (docs/PIPELINE.md); the
+// recording sink does not implement TracePipeSink, so the pipeline under
+// test never even reads the clock.
+//
+// The zero-allocation guard for the pipelined steady state lives in
+// pimgo_alloc_test.go next to the serial guards.
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// pipeBatch is one step of the pipeline oracle schedule.
+type pipeBatch struct {
+	op   string // "upsert", "get", "delete", "succ", "pred"
+	keys []uint64
+	vals []int64
+}
+
+// pipeSchedule builds a deterministic mixed schedule over every pipelined op
+// kind: wildly varying sizes, empty batches, and heavy duplicate keys (the
+// semisort path), so both pipeline workspaces are repeatedly grown, shrunk,
+// and switched between op layouts while batches overlap.
+func pipeSchedule() []pipeBatch {
+	state := uint64(0xBADC0FFEE0DDF00D)
+	next := func(n uint64) uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state % n
+	}
+	ops := []string{"upsert", "get", "succ", "delete", "pred", "upsert", "get"}
+	sizes := []int{64, 200, 0, 33, 128, 500, 1, 0, 77, 256, 8, 3, 192, 16, 400, 5, 0, 64, 100, 31}
+	var sched []pipeBatch
+	for i, sz := range sizes {
+		b := pipeBatch{op: ops[i%len(ops)]}
+		for j := 0; j < sz; j++ {
+			k := 1 + next(1<<13) // small key space: plenty of in-batch duplicates
+			if j%7 == 3 && j > 0 {
+				k = b.keys[j-1] // explicit adjacent duplicate
+			}
+			b.keys = append(b.keys, k)
+			b.vals = append(b.vals, int64(k*5+uint64(i)))
+		}
+		sched = append(sched, b)
+	}
+	return sched
+}
+
+// pipeFingerprint is everything one schedule run observes.
+type pipeFingerprint struct {
+	stats  []BatchStats
+	errs   []string
+	digest uint64
+	strSum uint64
+	faults FaultStats
+}
+
+func digestGets(h *fnv64w, res []GetResult[int64]) {
+	for _, r := range res {
+		fmt.Fprintf(h, "g%v:%v", r.Found, r.Value)
+	}
+}
+
+func digestBools(h *fnv64w, tag string, res []bool) {
+	for _, v := range res {
+		fmt.Fprintf(h, "%s%v", tag, v)
+	}
+}
+
+func digestSearches(h *fnv64w, res []SearchResult[uint64, int64]) {
+	for _, r := range res {
+		fmt.Fprintf(h, "s%v:%v:%v", r.Found, r.Key, r.Value)
+	}
+}
+
+type fnv64w = strings.Builder
+
+func finishPipe(m *Map[uint64, int64], fp *pipeFingerprint, h *fnv64w) {
+	sum := fnv.New64a()
+	sum.Write([]byte(h.String()))
+	fp.digest = sum.Sum64()
+	snapKeys, snapVals, _ := m.Snapshot()
+	str := fnv.New64a()
+	for i := range snapKeys {
+		fmt.Fprintf(str, "%v=%v;", snapKeys[i], snapVals[i])
+	}
+	fp.strSum = str.Sum64()
+	fp.faults = m.FaultStats()
+}
+
+// runPipeSerial replays the schedule through the serial Try* entry points.
+func runPipeSerial(m *Map[uint64, int64], sched []pipeBatch) pipeFingerprint {
+	var fp pipeFingerprint
+	var h fnv64w
+	for _, b := range sched {
+		var st BatchStats
+		var err error
+		switch b.op {
+		case "upsert":
+			var res []bool
+			res, st, err = m.TryUpsert(b.keys, b.vals)
+			if err == nil {
+				digestBools(&h, "u", res)
+			}
+		case "get":
+			var res []GetResult[int64]
+			res, st, err = m.TryGet(b.keys)
+			if err == nil {
+				digestGets(&h, res)
+			}
+		case "delete":
+			var res []bool
+			res, st, err = m.TryDelete(b.keys)
+			if err == nil {
+				digestBools(&h, "d", res)
+			}
+		case "succ":
+			var res []SearchResult[uint64, int64]
+			res, st, err = m.TrySuccessor(b.keys)
+			if err == nil {
+				digestSearches(&h, res)
+			}
+		case "pred":
+			var res []SearchResult[uint64, int64]
+			res, st, err = m.TryPredecessor(b.keys)
+			if err == nil {
+				digestSearches(&h, res)
+			}
+		}
+		fp.stats = append(fp.stats, st)
+		fp.errs = append(fp.errs, fmt.Sprint(err))
+	}
+	finishPipe(m, &fp, &h)
+	return fp
+}
+
+// submitPipe enqueues one scheduled batch with nil dst (each in-flight batch
+// owns its results).
+func submitPipe(p *Pipeline[uint64, int64], b pipeBatch) *PipelineTicket[uint64, int64] {
+	switch b.op {
+	case "upsert":
+		return p.SubmitUpsert(b.keys, b.vals, nil)
+	case "get":
+		return p.SubmitGet(b.keys, nil)
+	case "delete":
+		return p.SubmitDelete(b.keys, nil)
+	case "succ":
+		return p.SubmitSuccessor(b.keys, nil)
+	default: // "pred"
+		return p.SubmitPredecessor(b.keys, nil)
+	}
+}
+
+// runPipePipelined drives the schedule through a Pipeline. All batches are
+// submitted before any ticket is awaited: the two-slot free list throttles
+// submission, so batches genuinely overlap (batch k+1 preps while batch k
+// executes) while tickets still resolve in FIFO order.
+func runPipePipelined(m *Map[uint64, int64], sched []pipeBatch) pipeFingerprint {
+	p := NewPipeline(m)
+	tks := make([]*PipelineTicket[uint64, int64], len(sched))
+	for i, b := range sched {
+		tks[i] = submitPipe(p, b)
+	}
+	var fp pipeFingerprint
+	var h fnv64w
+	for i, tk := range tks {
+		res := tk.Wait()
+		fp.stats = append(fp.stats, res.Stats)
+		fp.errs = append(fp.errs, fmt.Sprint(res.Err))
+		if res.Err != nil {
+			continue
+		}
+		switch sched[i].op {
+		case "upsert":
+			digestBools(&h, "u", res.Bools)
+		case "get":
+			digestGets(&h, res.Gets)
+		case "delete":
+			digestBools(&h, "d", res.Bools)
+		case "succ", "pred":
+			digestSearches(&h, res.Searches)
+		}
+	}
+	p.Close()
+	finishPipe(m, &fp, &h)
+	return fp
+}
+
+func comparePipeFingerprints(t *testing.T, label string, got, want pipeFingerprint) {
+	t.Helper()
+	if got.digest != want.digest {
+		t.Errorf("%s: reply digest %x != serial %x", label, got.digest, want.digest)
+	}
+	if got.strSum != want.strSum {
+		t.Errorf("%s: final structure hash %x != serial %x", label, got.strSum, want.strSum)
+	}
+	if got.faults != want.faults {
+		t.Errorf("%s: fault stats diverge:\n  got  %+v\n  want %+v", label, got.faults, want.faults)
+	}
+	if len(got.stats) != len(want.stats) {
+		t.Fatalf("%s: %d batches vs %d", label, len(got.stats), len(want.stats))
+	}
+	for i := range got.stats {
+		if got.errs[i] != want.errs[i] {
+			t.Errorf("%s: batch %d error %q != serial %q", label, i, got.errs[i], want.errs[i])
+		}
+		if got.stats[i] != want.stats[i] {
+			t.Errorf("%s: batch %d stats diverge:\n  got  %+v\n  want %+v",
+				label, i, got.stats[i], want.stats[i])
+		}
+	}
+}
+
+// TestPipelineBitIdenticalToSerial is the tentpole oracle: the pipelined
+// schedule must produce, at every thread count, exactly the replies, the
+// per-batch BatchStats, the final structure, and (fault-free here) zero
+// fault counters of the serial schedule.
+func TestPipelineBitIdenticalToSerial(t *testing.T) {
+	sched := pipeSchedule()
+	cfg := Config{P: 16, Seed: 2024}
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	ref := runPipeSerial(NewMap[uint64, int64](cfg, Uint64Hash), sched)
+	for _, gmp := range []int{1, 4, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(gmp)
+		serial := runPipeSerial(NewMap[uint64, int64](cfg, Uint64Hash), sched)
+		comparePipeFingerprints(t, fmt.Sprintf("serial GOMAXPROCS=%d", gmp), serial, ref)
+		piped := runPipePipelined(NewMap[uint64, int64](cfg, Uint64Hash), sched)
+		comparePipeFingerprints(t, fmt.Sprintf("pipelined GOMAXPROCS=%d", gmp), piped, ref)
+	}
+}
+
+// TestPipelineTraceStreamIdenticalToSerial pins the stronger event-level
+// contract: a sink installed on a pipelined Map sees the exact serial event
+// stream, line for line — BatchStart, the prep phases (replayed at hand-off
+// with zero machine deltas), every round, every phase end, every batch end.
+// The recording sink does not implement TracePipeSink, so no wall-clock
+// events can leak in.
+func TestPipelineTraceStreamIdenticalToSerial(t *testing.T) {
+	sched := pipeSchedule()
+	cfg := Config{P: 16, Seed: 2024}
+
+	serialRec := &recordingSink{}
+	ms := NewMap[uint64, int64](cfg, Uint64Hash)
+	ms.SetTraceSink(serialRec)
+	runPipeSerial(ms, sched)
+
+	pipeRec := &recordingSink{}
+	mp := NewMap[uint64, int64](cfg, Uint64Hash)
+	mp.SetTraceSink(pipeRec)
+	runPipePipelined(mp, sched)
+
+	if len(serialRec.lines) != len(pipeRec.lines) {
+		t.Fatalf("event counts diverge: serial %d, pipelined %d",
+			len(serialRec.lines), len(pipeRec.lines))
+	}
+	for i := range serialRec.lines {
+		if serialRec.lines[i] != pipeRec.lines[i] {
+			t.Fatalf("event %d diverges:\n  serial    %s\n  pipelined %s",
+				i, serialRec.lines[i], pipeRec.lines[i])
+		}
+	}
+}
+
+// TestPipelineChaosSoak extends the oracle to faulted runs: under every
+// built-in fault plan, the pipelined schedule must reproduce the serial
+// schedule's replies, stats (including recovery inflation), typed errors,
+// and fault counters exactly. Fault fates key on per-send logical ids
+// assigned in submission order, and the pipeline's executor issues sends in
+// the serial order, so even drop/dup/crash decisions land identically.
+func TestPipelineChaosSoak(t *testing.T) {
+	sched := pipeSchedule()
+	plans := []struct {
+		name string
+		plan func() FaultPlan
+	}{
+		{"drop", func() FaultPlan { return DropFaultPlan(0xE1, 200) }},
+		{"dup", func() FaultPlan { return DupFaultPlan(0xE2, 200) }},
+		{"delay", func() FaultPlan { return DelayFaultPlan(0xE3, 200, 3) }},
+		{"stall", func() FaultPlan { return StallFaultPlan(0xE4, 200, 4) }},
+		{"crash", func() FaultPlan { return CrashFaultPlan(0xE5, 30, 2) }},
+		{"chaos", func() FaultPlan { return ChaosFaultPlan(0xE6) }},
+		{"seeded", func() FaultPlan {
+			return NewSeededFaultPlan(FaultConfig{
+				Seed: 0xE7, DropBP: 100, DupBP: 100, DelayBP: 100,
+				MaxDelay: 2, StallBP: 100, StallFactor: 3,
+			})
+		}},
+	}
+	cfg := Config{P: 16, Seed: 2024}
+	for _, tc := range plans {
+		t.Run(tc.name, func(t *testing.T) {
+			scfg := cfg
+			scfg.Fault = tc.plan()
+			serial := runPipeSerial(NewMap[uint64, int64](scfg, Uint64Hash), sched)
+			if serial.faults == (FaultStats{}) {
+				t.Fatalf("fault plan installed but no faults fired")
+			}
+			pcfg := cfg
+			pcfg.Fault = tc.plan()
+			piped := runPipePipelined(NewMap[uint64, int64](pcfg, Uint64Hash), sched)
+			comparePipeFingerprints(t, "pipelined", piped, serial)
+		})
+	}
+}
+
+// TestPipelineProfileMatchesSerial drives both schedules under a
+// TraceProfile: the per-op, per-phase attribution tables must agree exactly
+// (the pipeline adds only the separate wall-clock Pipeline() aggregate,
+// which must have seen every batch).
+func TestPipelineProfileMatchesSerial(t *testing.T) {
+	sched := pipeSchedule()
+
+	sp := NewTraceProfile()
+	runPipeSerial(NewMap[uint64, int64](Config{P: 16, Seed: 2024, Trace: sp}, Uint64Hash), sched)
+
+	pp := NewTraceProfile()
+	runPipePipelined(NewMap[uint64, int64](Config{P: 16, Seed: 2024, Trace: pp}, Uint64Hash), sched)
+
+	if got, want := pp.String(), sp.String(); got != want {
+		t.Errorf("pipelined profile table diverges:\n--- pipelined ---\n%s--- serial ---\n%s", got, want)
+	}
+	for _, agg := range pp.ByOp() {
+		if msg := agg.CheckSums(); msg != "" {
+			t.Errorf("pipelined aggregate %s: %s", agg.Op, msg)
+		}
+	}
+	pt := pp.Pipeline()
+	if pt.Batches != int64(len(sched)) {
+		t.Errorf("pipeline totals saw %d batches, want %d", pt.Batches, len(sched))
+	}
+	var ops int64
+	for _, b := range sched {
+		ops += int64(len(b.keys))
+	}
+	if pt.Ops != ops {
+		t.Errorf("pipeline totals saw %d ops, want %d", pt.Ops, ops)
+	}
+	if pt.Exec <= 0 {
+		t.Errorf("pipeline totals report no exec time: %+v", pt)
+	}
+	if st := sp.Pipeline(); st.Batches != 0 {
+		t.Errorf("serial profile unexpectedly saw pipeline events: %+v", st)
+	}
+}
+
+// TestPipelineErrors pins the error surface: misuse resolves through the
+// ticket (never a panic or a sync error), Close is idempotent and drains,
+// and the Map is serially usable again after Close.
+func TestPipelineErrors(t *testing.T) {
+	m := NewMap[uint64, int64](Config{P: 8, Seed: 9}, Uint64Hash)
+	p := NewPipeline(m)
+
+	if res := p.SubmitUpsert([]uint64{1, 2}, []int64{1}, nil).Wait(); !errors.Is(res.Err, ErrBadBatch) {
+		t.Fatalf("length mismatch: err = %v, want ErrBadBatch", res.Err)
+	}
+	tk := p.SubmitUpsert([]uint64{1, 2, 3}, []int64{10, 20, 30}, nil)
+	p.Drain()
+	if res := tk.Wait(); res.Err != nil || res.Stats.Batch != 3 {
+		t.Fatalf("post-Drain ticket: %+v", res)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if res := p.SubmitGet([]uint64{1}, nil).Wait(); !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("submit after Close: err = %v, want ErrClosed", res.Err)
+	}
+	// Serial use resumes after Close.
+	res, st := m.Get([]uint64{1, 2, 3, 4})
+	if st.Batch != 4 || !res[0].Found || res[0].Value != 10 || res[3].Found {
+		t.Fatalf("serial Get after Close: res=%+v st=%+v", res, st)
+	}
+}
