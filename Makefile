@@ -7,13 +7,14 @@
 # results/BENCH_frontend.json; `make cluster` runs the sharded-cluster
 # verification suite and refreshes results/BENCH_cluster.json; `make
 # pipeline` runs the pipelined-execution verification suite and refreshes
-# results/BENCH_pipeline.json; `make docs`
+# results/BENCH_pipeline.json; `make rebalance` runs the live-rebalancing
+# verification suite and refreshes results/BENCH_rebalance.json; `make docs`
 # lints the documentation (markdown links, pimbench command references,
 # facade godoc coverage) and gofmt cleanliness.
 
 GO ?= go
 
-.PHONY: build test race vet bench benchguard chaos frontend cluster pipeline docs check
+.PHONY: build test race vet bench benchguard chaos frontend cluster rebalance pipeline docs check
 
 build:
 	$(GO) build ./...
@@ -65,6 +66,16 @@ cluster:
 	$(GO) test -run 'TestCluster' -count=1 ./internal/cluster/
 	$(GO) test -race -run 'TestClusterChaosSoak|TestClusterRoutingDeterminism' -count=1 ./internal/cluster/
 	$(GO) run ./cmd/pimbench cluster -out results/BENCH_cluster.json
+
+# Live-rebalancing verification: the migration/policy/lifecycle suites and
+# the rebalance chaos soak (splits and merges under every fault plan x
+# shard kills, traffic injected into both migration phases, vs the
+# fault-free single Map and the sequential oracle; plus -race), then the
+# elastic-ladder record with its refuse-on-divergence guard.
+rebalance:
+	$(GO) test -run 'TestSplitShard|TestMergeShards|TestMigration|TestRetiredShard|TestLoad|TestRebalance|TestClusterClose|TestStopShard|TestJournalGrowth|TestDegradedBroadcasts' -count=1 ./internal/cluster/
+	$(GO) test -race -run 'TestRebalanceChaosSoak|TestClusterCloseDeterministic' -count=1 ./internal/cluster/
+	$(GO) run ./cmd/pimbench rebalance -out results/BENCH_rebalance.json
 
 # Pipelined-execution verification: the bit-identity oracles (core,
 # frontend, cluster; plus -race), the pipelined zero-alloc guards, then the

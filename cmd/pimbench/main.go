@@ -64,6 +64,7 @@ var experiments = []experiment{
 	{"frontend", "concurrent batching frontend ladder → results/BENCH_frontend.json", runFrontend},
 	{"pipeline", "pipelined batch execution vs serial → results/BENCH_pipeline.json", runPipeline},
 	{"cluster", "sharded multi-Map cluster ladder → results/BENCH_cluster.json", runCluster},
+	{"rebalance", "live shard split/merge rebalancing ladder → results/BENCH_rebalance.json", runRebalance},
 	{"trace", "per-phase metric attribution → results/BENCH_trace.json (-chrome exports Chrome trace JSON)", runTrace},
 }
 

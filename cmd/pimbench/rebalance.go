@@ -1,0 +1,316 @@
+package main
+
+// `pimbench rebalance` is the live-rebalancing ladder: the cluster ladder's
+// deterministic mixed workload runs against clusters that split and merge
+// shards every few batches — the slot-heaviest shard splits, then the two
+// slot-lightest merge, alternating — under three fault regimes (fault-free,
+// chaos on every shard, chaos plus permanent shard kills). The reply stream
+// and final structure must hash identically to the fault-free single-Map
+// oracle's: an epoch cutover is invisible to callers or the run refuses to
+// record and exits non-zero. Each row also records what the migrations
+// cost: slots and keys moved, journal-suffix batches replayed at cutover,
+// build retries consumed by faults, and the rounds charged to the
+// per-shard Migration accounts. One labeled entry accumulates per run in
+// results/BENCH_rebalance.json.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"pimgo/internal/cluster"
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+)
+
+// rebalanceResult is one (shards, regime) row in one entry.
+type rebalanceResult struct {
+	Shards  int     `json:"shards"`
+	Plan    string  `json:"plan"`
+	Batches int     `json:"batches"`
+	WallMs  float64 `json:"wall_ms"`
+	// Workload cost, as in the cluster ladder: per-batch slowest-shard
+	// metrics summed, plus cluster-wide totals.
+	MaxRounds    int64 `json:"max_rounds"`
+	MaxIOTime    int64 `json:"max_io_time"`
+	TotalMsgs    int64 `json:"total_msgs"`
+	TotalPIMWork int64 `json:"total_pim_work"`
+	// Migration accounting: published cutovers, routing slots and keys
+	// moved, distinct journal-suffix batches replayed at cutover, build
+	// retries burned by faults, and the rounds charged to the per-shard
+	// Migration accounts. FinalEpoch must equal Migrations; FinalShards
+	// counts the roster at the end (retired ids included).
+	Migrations      int   `json:"migrations"`
+	SlotsMoved      int   `json:"slots_moved"`
+	KeysCopied      int   `json:"keys_copied"`
+	SuffixBatches   int   `json:"suffix_batches"`
+	Retries         int   `json:"retries"`
+	MigrationRounds int64 `json:"migration_rounds"`
+	FinalEpoch      int64 `json:"final_epoch"`
+	FinalShards     int   `json:"final_shards"`
+	// Equivalent records that the reply stream and final structure hashed
+	// identically to the single-Map oracle's across every cutover.
+	Equivalent bool `json:"equivalent"`
+}
+
+// rebalanceEntry is one labeled run of the ladder.
+type rebalanceEntry struct {
+	Label      string            `json:"label"`
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	ShardP     int               `json:"shard_p"`
+	Every      int               `json:"migrate_every"`
+	Note       string            `json:"note,omitempty"`
+	Rows       []rebalanceResult `json:"rows"`
+}
+
+// pickSplit returns the Running shard owning the most routing slots (ties
+// to the lowest id), or -1 if none owns two.
+func pickSplit(loads []cluster.ShardLoad) int {
+	src, best := -1, 1
+	for _, l := range loads {
+		if l.State == cluster.ShardRunning && l.Slots > best {
+			src, best = l.Shard, l.Slots
+		}
+	}
+	return src
+}
+
+// pickMerge returns the two slot-lightest Running shards (src the lightest,
+// dst the second), or (-1, -1) when fewer than three are active — merging
+// below two shards would collapse the cluster.
+func pickMerge(loads []cluster.ShardLoad) (src, dst int) {
+	src, dst = -1, -1
+	var srcSlots, dstSlots int
+	active := 0
+	for _, l := range loads {
+		if l.State != cluster.ShardRunning || l.Slots == 0 {
+			continue
+		}
+		active++
+		switch {
+		case src < 0 || l.Slots < srcSlots:
+			dst, dstSlots = src, srcSlots
+			src, srcSlots = l.Shard, l.Slots
+		case dst < 0 || l.Slots < dstSlots:
+			dst, dstSlots = l.Shard, l.Slots
+		}
+	}
+	if active < 3 {
+		return -1, -1
+	}
+	return src, dst
+}
+
+// runRebalanceWorkload drives the workload on one elastic cluster, migrating
+// every `every` batches.
+func runRebalanceWorkload(shards, shardP, every int, ops []clusterWop, plans []core.FaultPlan) (rebalanceResult, uint64, uint64) {
+	cfg := cluster.Config{
+		Shards: shards,
+		Slots:  64,
+		Seed:   0xC10C,
+		Shard:  core.Config{P: shardP},
+		Faults: plans,
+		// Unbounded recovery: a shard killed mid-migration rolls forward
+		// from its journal instead of failing the cutover.
+		MaxRecoveries: -1,
+	}
+	c, err := cluster.New[uint64, int64](cfg, core.Uint64Hash)
+	if err != nil {
+		refuse("rebalance: New(%d shards): %v", shards, err)
+	}
+	defer c.Close()
+	h := fnv.New64a()
+	hw := &fnv64w{h: h}
+	var out rebalanceResult
+	out.Shards = shards
+	out.Batches = len(ops)
+	start := time.Now()
+	addMigration := func(rep cluster.MigrationReport) {
+		out.Migrations++
+		out.SlotsMoved += rep.SlotsMoved
+		out.KeysCopied += rep.KeysCopied
+		out.SuffixBatches += rep.SuffixBatches
+		out.Retries += rep.Retries
+	}
+	for i, w := range ops {
+		var st cluster.Stats
+		var errs []error
+		var err error
+		switch w.kind {
+		case 0:
+			var ins []bool
+			ins, errs, st, err = c.TryUpsert(w.keys, w.vals)
+			for _, v := range ins {
+				fmt.Fprintf(h, "u%v", v)
+			}
+		case 1:
+			var ok []bool
+			ok, errs, st, err = c.TryDelete(w.keys)
+			for _, v := range ok {
+				fmt.Fprintf(h, "d%v", v)
+			}
+		case 2:
+			var res []core.GetResult[int64]
+			res, errs, st, err = c.TryGet(w.keys)
+			for _, g := range res {
+				fmt.Fprintf(h, "g%v:%v", g.Found, g.Value)
+			}
+		case 3:
+			var res []core.SearchResult[uint64, int64]
+			res, errs, st, err = c.TrySuccessor(w.keys)
+			for _, s := range res {
+				fmt.Fprintf(h, "s%v:%v:%v", s.Found, s.Key, s.Value)
+			}
+		case 4:
+			var res []core.RangeResult[uint64, int64]
+			res, errs, st, err = c.TryRangeOperation(w.rops)
+			hashRangeResults(hw, res)
+		}
+		if err != nil {
+			refuse("rebalance: batch %d failed: %v", i, err)
+		}
+		for j, e := range errs {
+			if e != nil {
+				refuse("rebalance: batch %d op %d degraded: %v (cutover must be transparent)", i, j, e)
+			}
+		}
+		out.MaxRounds += st.MaxRounds()
+		out.MaxIOTime += st.MaxIOTime()
+		out.TotalMsgs += st.TotalMsgs()
+		out.TotalPIMWork += st.TotalPIMWork()
+
+		// Elastic schedule: split, then merge back, alternating.
+		if (i+1)%every == 0 {
+			if out.Migrations%2 == 0 {
+				if src := pickSplit(c.Loads()); src >= 0 {
+					_, rep, err := c.SplitShard(src, nil)
+					if err != nil {
+						refuse("rebalance: batch %d: SplitShard(%d): %v", i, src, err)
+					}
+					addMigration(rep)
+				}
+			} else if src, dst := pickMerge(c.Loads()); src >= 0 {
+				rep, err := c.MergeShards(dst, src, nil)
+				if err != nil {
+					refuse("rebalance: batch %d: MergeShards(%d, %d): %v", i, dst, src, err)
+				}
+				addMigration(rep)
+			}
+		}
+	}
+	out.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	out.FinalEpoch = c.Epoch()
+	out.FinalShards = c.Shards()
+	if int(out.FinalEpoch) != out.Migrations {
+		refuse("rebalance: epoch %d after %d migrations", out.FinalEpoch, out.Migrations)
+	}
+
+	// Final structure via a cluster-wide ordered read.
+	read := []core.RangeOp[uint64, int64]{{Lo: 0, Hi: 1 << 14, Kind: core.RangeRead}}
+	res, errs, _, err := c.TryRangeOperation(read)
+	if err != nil {
+		refuse("rebalance: final read: %v", err)
+	}
+	for _, e := range errs {
+		if e != nil {
+			refuse("rebalance: final read degraded: %v", e)
+		}
+	}
+	sh := fnv.New64a()
+	for _, p := range res[0].Pairs {
+		fmt.Fprintf(sh, "%v=%v;", p.Key, p.Value)
+	}
+	for i := 0; i < c.Shards(); i++ {
+		out.MigrationRounds += c.ShardStats(i).Migration.Rounds
+	}
+	return out, h.Sum64(), sh.Sum64()
+}
+
+func runRebalance(args []string) {
+	f := fs("rebalance")
+	outPath := f.String("out", "results/BENCH_rebalance.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	shardP := f.Int("p", 8, "modules per shard")
+	batches := f.Int("batches", 100, "mixed batches per row")
+	every := f.Int("every", 10, "migrate after every this-many batches")
+	seed := f.Uint64("seed", 0x5EED, "fault-plan seed")
+	smoke := f.Bool("smoke", false, "small CI ladder (2 shards, 30 batches), result not recorded")
+	f.Parse(args)
+
+	ladder := []int{2, 4}
+	nBatches := *batches
+	if *smoke {
+		ladder = []int{2}
+		nBatches = 30
+	}
+	regimes := []struct {
+		name string
+		mk   func(shards int) []core.FaultPlan
+	}{
+		{"none", func(int) []core.FaultPlan { return nil }},
+		{"chaos", func(shards int) []core.FaultPlan {
+			plans := make([]core.FaultPlan, shards)
+			for i := range plans {
+				plans[i] = pim.ChaosPlan(*seed + uint64(i))
+			}
+			return plans
+		}},
+		{"chaos+kill", func(shards int) []core.FaultPlan {
+			plans := make([]core.FaultPlan, shards)
+			for i := range plans {
+				plans[i] = pim.ChaosPlan(*seed + uint64(i))
+			}
+			// The last shard dies early; unbounded recovery rebuilds it and
+			// later migrations move its slots anyway.
+			plans[shards-1] = pim.KillPlan(50, plans[shards-1])
+			return plans
+		}},
+	}
+
+	ops := genClusterOps(nBatches)
+	oracleReply, oracleStruct := runClusterOracle(ops)
+
+	entry := rebalanceEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ShardP:     *shardP,
+		Every:      *every,
+		Note:       *note,
+	}
+	tbl := newTable("shards", "plan", "migs", "slots", "keys", "suffix", "retries", "migRounds", "equiv", "wall ms")
+	allEquivalent := true
+	for _, shards := range ladder {
+		for _, reg := range regimes {
+			row, replySum, structSum := runRebalanceWorkload(shards, *shardP, *every, ops, reg.mk(shards))
+			row.Plan = reg.name
+			row.Equivalent = replySum == oracleReply && structSum == oracleStruct
+			allEquivalent = allEquivalent && row.Equivalent
+			entry.Rows = append(entry.Rows, row)
+			tbl.add(shards, reg.name, row.Migrations, row.SlotsMoved, row.KeysCopied,
+				row.SuffixBatches, row.Retries, row.MigrationRounds, row.Equivalent, row.WallMs)
+		}
+	}
+	tbl.print()
+
+	if !allEquivalent {
+		refuse("rebalance: a rebalancing run diverged from the single-Map oracle; not recording")
+	}
+	if *smoke {
+		fmt.Println("smoke run: not recorded")
+		return
+	}
+
+	n, _, err := mergeBenchEntry(*outPath, "rebalance",
+		"one row = the fixed mixed workload on one (shard count, fault regime) with live split/merge migrations every few batches; equivalence vs a fault-free single Map",
+		entry, func(e rebalanceEntry) string { return e.Label })
+	if err != nil {
+		refuse("rebalance: %v", err)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
+}

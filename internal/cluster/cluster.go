@@ -7,13 +7,18 @@
 // single-Map oracle) or degrades to typed per-key ErrShardDown errors while
 // the surviving shards keep serving.
 //
-// Routing is a pure hash: shardOf(k) = Mix64(hash(k) ^ salt) mod N. The
-// salt is derived from the cluster seed, decorrelating shard routing from
-// the intra-shard module routing that uses hash(k) directly. Batches
-// scatter into per-shard sub-batches with one stable counting sort (the
-// reply-assembly idiom of internal/pim/reliable.go), execute shards in
-// parallel, and gather replies back into the caller's submission order.
-// See docs/CLUSTER.md.
+// Routing is a pure hash through an epoch-versioned slot table:
+// slotOf(k) = Mix64(hash(k) ^ salt) mod Slots never changes, while the
+// slot→shard ownership table is an immutable snapshot republished by live
+// migrations (route.go, migrate.go) — SplitShard, MergeShards, and the
+// policy-driven Rebalance move slots between shards online, with replies
+// bit-identical to a single Map across the cutover. The salt is derived
+// from the cluster seed, decorrelating shard routing from the intra-shard
+// module routing that uses hash(k) directly. Batches scatter into
+// per-shard sub-batches with one stable counting sort (the reply-assembly
+// idiom of internal/pim/reliable.go), execute shards in parallel, and
+// gather replies back into the caller's submission order. See
+// docs/CLUSTER.md and docs/REBALANCE.md.
 package cluster
 
 import (
@@ -42,8 +47,13 @@ var (
 	// ErrShardDraining reports a mutating batch routed to a draining shard.
 	ErrShardDraining = errors.New("pimgo: shard is draining")
 	// ErrShardState reports a lifecycle transition invalid from the shard's
-	// current state (e.g. StartShard on a running shard).
+	// current state (e.g. StartShard on a running shard, StopShard on a
+	// retired or migrating shard).
 	ErrShardState = errors.New("pimgo: invalid shard lifecycle transition")
+	// ErrRebalancing reports a migration rejected because another migration
+	// is already in flight, or because the routing table changed between
+	// planning and execution.
+	ErrRebalancing = errors.New("pimgo: cluster is rebalancing")
 )
 
 // ShardState is one shard's lifecycle state.
@@ -57,6 +67,11 @@ const (
 	ShardDraining
 	// ShardDown serves nothing; keys routed to it error with ErrShardDown.
 	ShardDown
+	// ShardRetired marks a merge victim: the shard owns zero routing slots,
+	// holds no state, and is skipped by broadcasts. Retirement is terminal —
+	// a later split appends a fresh shard rather than reviving a retired id,
+	// so shard ids stay stable for stats and trace attribution.
+	ShardRetired
 )
 
 // String renders the state for logs and tables.
@@ -68,14 +83,24 @@ func (s ShardState) String() string {
 		return "draining"
 	case ShardDown:
 		return "down"
+	case ShardRetired:
+		return "retired"
 	}
 	return fmt.Sprintf("ShardState(%d)", int8(s))
 }
 
 // Config parameterizes a Cluster.
 type Config struct {
-	// Shards is the number of shards. Required, ≥ 1.
+	// Shards is the number of shards at construction. Required, ≥ 1. Live
+	// migrations (SplitShard/MergeShards/Rebalance) grow and shrink the
+	// active roster afterwards.
 	Shards int
+	// Slots is the number of routing slots keys hash into; slot ownership —
+	// not the key hash — is what migrations move, so Slots bounds rebalancing
+	// granularity and never changes after construction. 0 selects
+	// max(256, Shards); otherwise it must be ≥ Shards so every shard can own
+	// at least one slot.
+	Slots int
 	// Seed drives the routing salt and the per-shard core seeds. Clusters
 	// with equal seeds are bit-identical.
 	Seed uint64
@@ -166,13 +191,25 @@ func (s Stats) TotalPIMWork() int64 {
 // batch at a time, concurrent callers fail typed with ErrConcurrentBatch —
 // but within a batch the shards execute in parallel.
 type Cluster[K cmp.Ordered, V any] struct {
-	cfg    Config
-	hash   func(K) uint64
-	salt   uint64
-	shards []*shard[K, V]
+	cfg  Config
+	hash func(K) uint64
+	salt uint64
 
-	inBatch atomic.Bool
-	closed  atomic.Bool
+	// view is the current routing epoch (slot table + shard roster). It is
+	// replaced — never mutated — and only while the batch gate is held, so
+	// every batch sees exactly one epoch (route.go).
+	view viewPtr[K, V]
+
+	inBatch   atomic.Bool
+	closed    atomic.Bool
+	migrating atomic.Bool
+
+	// mutSeq stamps every acked mutating batch with a cluster-wide commit
+	// sequence number (written only under the batch gate). Migration cutover
+	// merges per-shard journal suffixes by this sequence, which is what lets
+	// a broadcast transform — journaled by every mutating shard — replay
+	// exactly once per batch (shard.go, migrate.go).
+	mutSeq int64
 
 	ws clusterWS[K, V]
 }
@@ -214,13 +251,19 @@ func New[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) (*Cluster[K, V],
 	if cfg.CompactEvery == 0 {
 		cfg.CompactEvery = 64
 	}
+	if cfg.Slots == 0 {
+		cfg.Slots = max(256, cfg.Shards)
+	}
+	if cfg.Slots < cfg.Shards {
+		return nil, fmt.Errorf("%w: Slots (%d) must be >= Shards (%d)", ErrBadConfig, cfg.Slots, cfg.Shards)
+	}
 	c := &Cluster[K, V]{
 		cfg:  cfg,
 		hash: hash,
 		salt: rng.Mix64(cfg.Seed ^ saltRouter),
 	}
-	c.shards = make([]*shard[K, V], cfg.Shards)
-	for i := range c.shards {
+	shards := make([]*shard[K, V], cfg.Shards)
+	for i := range shards {
 		s := &shard[K, V]{c: c, id: i}
 		if len(cfg.Faults) != 0 {
 			s.plan = cfg.Faults[i]
@@ -229,13 +272,20 @@ func New[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) (*Cluster[K, V],
 			s.sink = trace.Shard(i, cfg.Trace(i))
 		}
 		if err := s.boot(); err != nil {
-			for _, prev := range c.shards[:i] {
+			for _, prev := range shards[:i] {
 				prev.closeMachine()
 			}
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		c.shards[i] = s
+		shards[i] = s
 	}
+	// Epoch 0: slots dealt round-robin, the same balanced assignment the
+	// fixed mod-N router produced.
+	slots := make([]int32, cfg.Slots)
+	for j := range slots {
+		slots[j] = int32(j % cfg.Shards)
+	}
+	c.view.store(newEpochView(0, slots, shards))
 	return c, nil
 }
 
@@ -243,14 +293,18 @@ func New[K cmp.Ordered, V any](cfg Config, hash func(K) uint64) (*Cluster[K, V],
 // routing, which consumes hash(k) directly.
 const saltRouter = 0x7c15_9d2b_4bfa_8e63
 
-// Shards returns the number of shards.
-func (c *Cluster[K, V]) Shards() int { return len(c.shards) }
+// Shards returns the current number of shards, including retired ones
+// (shard ids are stable; splits append, merges retire in place).
+func (c *Cluster[K, V]) Shards() int { return len(c.view.load().shards) }
 
-// ShardFor returns the shard key routes to. The routing is a pure function
-// of (hash, Seed, Shards): independent of GOMAXPROCS, insertion history,
-// and shard health — a down shard still owns its keys.
+// ShardFor returns the shard key routes to in the current epoch: the owner
+// of the key's routing slot. Within one epoch the routing is a pure
+// function of (hash, Seed, Slots, table): independent of GOMAXPROCS,
+// insertion history, and shard health — a down shard still owns its keys.
+// Across epochs only migrated slots change owner.
 func (c *Cluster[K, V]) ShardFor(key K) int {
-	return int(rng.Mix64(c.hash(key)^c.salt) % uint64(len(c.shards)))
+	v := c.view.load()
+	return int(v.slots[c.slotOf(key, len(v.slots))])
 }
 
 // Len returns the committed number of keys across all shards, including
@@ -258,7 +312,7 @@ func (c *Cluster[K, V]) ShardFor(key K) int {
 // logical map contents).
 func (c *Cluster[K, V]) Len() int {
 	n := 0
-	for _, s := range c.shards {
+	for _, s := range c.view.load().shards {
 		s.mu.Lock()
 		n += s.committedLen
 		s.mu.Unlock()
@@ -267,18 +321,21 @@ func (c *Cluster[K, V]) Len() int {
 }
 
 // Close releases every shard machine. Further batches fail with ErrClosed.
-// Close is idempotent.
-func (c *Cluster[K, V]) Close() {
+// Exactly one caller wins: it runs the teardown and returns nil; every
+// other concurrent or later Close returns core.ErrClosed (mirroring
+// Frontend.Close's deterministic contract).
+func (c *Cluster[K, V]) Close() error {
 	if c.closed.Swap(true) {
-		return
+		return core.ErrClosed
 	}
-	for _, s := range c.shards {
+	for _, s := range c.view.load().shards {
 		s.mu.Lock()
 		s.closeMachine()
 		s.state = ShardDown
 		s.downCause = core.ErrClosed
 		s.mu.Unlock()
 	}
+	return nil
 }
 
 // Closed reports whether Close has been called.
@@ -310,12 +367,14 @@ func (c *Cluster[K, V]) end() { c.inBatch.Store(false) }
 //
 // The workspace is explicit: serial batches use the cluster's own ws, while
 // the pipeline scatters into its second workspace whilst an earlier batch's
-// shards are still executing (pipeline.go). Routing is a pure function of
-// (hash, Seed, Shards) — it reads no shard state — which is what makes that
-// overlap legal.
+// shards are still executing (pipeline.go). Routing within an epoch is a
+// pure function of (hash, Seed, table) — it reads no shard state — and the
+// epoch cannot change while the gate is held (migrations need the gate to
+// publish), which is what makes that overlap legal.
 func (c *Cluster[K, V]) scatterInto(ws *clusterWS[K, V], keys []K, vals []V) {
+	v := c.view.load()
 	n := len(keys)
-	ns := len(c.shards)
+	ns := len(v.shards)
 	ws.home = resize(ws.home, n)
 	ws.order = resize(ws.order, n)
 	ws.keys = resize(ws.keys, n)
@@ -328,7 +387,7 @@ func (c *Cluster[K, V]) scatterInto(ws *clusterWS[K, V], keys []K, vals []V) {
 		ws.counts[i] = 0
 	}
 	for i, k := range keys {
-		h := c.ShardFor(k)
+		h := int(v.slots[c.slotOf(k, len(v.slots))])
 		ws.home[i] = h
 		ws.counts[h]++
 	}
@@ -366,7 +425,8 @@ func resize[T any](s []T, n int) []T {
 // work and charge nothing). Assembly is by shard index, so the result is
 // deterministic regardless of goroutine scheduling.
 func (c *Cluster[K, V]) runShards(batches []*shardBatch[K, V]) []shardReply[K, V] {
-	reps := make([]shardReply[K, V], len(c.shards))
+	shards := c.view.load().shards
+	reps := make([]shardReply[K, V], len(shards))
 	var wg sync.WaitGroup
 	for i, b := range batches {
 		if b == nil {
@@ -375,7 +435,7 @@ func (c *Cluster[K, V]) runShards(batches []*shardBatch[K, V]) []shardReply[K, V
 		wg.Add(1)
 		go func(i int, b *shardBatch[K, V]) {
 			defer wg.Done()
-			reps[i] = c.shards[i].run(b)
+			reps[i] = shards[i].run(b)
 		}(i, b)
 	}
 	wg.Wait()
@@ -384,14 +444,22 @@ func (c *Cluster[K, V]) runShards(batches []*shardBatch[K, V]) []shardReply[K, V
 
 // pointBatchesWS slices the scattered workspace into one shardBatch per
 // non-empty shard. withVals selects whether the permuted vals ride along.
+// Mutating kinds draw one cluster-wide commit sequence number, shared by
+// every shard's sub-batch (see Cluster.mutSeq).
 func (c *Cluster[K, V]) pointBatchesWS(ws *clusterWS[K, V], kind batchKind, withVals bool) []*shardBatch[K, V] {
-	batches := make([]*shardBatch[K, V], len(c.shards))
-	for s := range c.shards {
+	ns := len(ws.counts)
+	var seq int64
+	if kind.mutates() {
+		c.mutSeq++
+		seq = c.mutSeq
+	}
+	batches := make([]*shardBatch[K, V], ns)
+	for s := 0; s < ns; s++ {
 		if ws.counts[s] == 0 {
 			continue
 		}
 		lo, hi := ws.starts[s], ws.starts[s]+ws.counts[s]
-		b := &shardBatch[K, V]{kind: kind, keys: ws.keys[lo:hi]}
+		b := &shardBatch[K, V]{kind: kind, seq: seq, keys: ws.keys[lo:hi]}
 		if withVals {
 			b.vals = ws.vals[lo:hi]
 		}
@@ -404,7 +472,7 @@ func (c *Cluster[K, V]) pointBatchesWS(ws *clusterWS[K, V], kind batchKind, with
 // the batch gate. It returns the first non-shard-level error (a concurrent
 // batch, a closed cluster — failures of the whole call, not of one shard).
 func (c *Cluster[K, V]) finish(batch int, reps []shardReply[K, V]) Stats {
-	st := Stats{Batch: batch, Shards: make([]core.BatchStats, len(c.shards))}
+	st := Stats{Batch: batch, Shards: make([]core.BatchStats, len(reps))}
 	for i := range reps {
 		st.Shards[i] = reps[i].st
 		st.Recovered += reps[i].recovered
@@ -482,7 +550,7 @@ func (c *Cluster[K, V]) gatherPointWS(ws *clusterWS[K, V], n int, reps []shardRe
 	if anyErr {
 		errs = make([]error, n)
 	}
-	for s := range c.shards {
+	for s := range ws.counts {
 		lo, cnt := ws.starts[s], ws.counts[s]
 		if cnt == 0 {
 			continue
@@ -510,8 +578,12 @@ func (c *Cluster[K, V]) TrySuccessor(keys []K) (res []core.SearchResult[K, V], e
 		return nil, nil, Stats{}, err
 	}
 	defer c.end()
-	batches := make([]*shardBatch[K, V], len(c.shards))
-	for s := range c.shards {
+	v := c.view.load()
+	batches := make([]*shardBatch[K, V], len(v.shards))
+	for s := range v.shards {
+		if v.owned[s] == 0 {
+			continue // retired: owns no keys, cannot hold any answer
+		}
 		batches[s] = &shardBatch[K, V]{kind: opSucc, keys: keys}
 	}
 	reps := c.runShards(batches)
@@ -520,6 +592,9 @@ func (c *Cluster[K, V]) TrySuccessor(keys []K) (res []core.SearchResult[K, V], e
 		for i := range keys {
 			best := core.SearchResult[K, V]{}
 			for s := range reps {
+				if reps[s].succs == nil {
+					continue // retired shard, skipped above
+				}
 				r := reps[s].succs[i]
 				if r.Found && (!best.Found || r.Key < best.Key) {
 					best = r
@@ -559,9 +634,14 @@ func (c *Cluster[K, V]) TryRangeOperation(ops []core.RangeOp[K, V]) (res []core.
 		return nil, nil, Stats{}, err
 	}
 	defer c.end()
-	batches := make([]*shardBatch[K, V], len(c.shards))
-	for s := range c.shards {
-		batches[s] = &shardBatch[K, V]{kind: opRange, rops: ops}
+	v := c.view.load()
+	c.mutSeq++ // the batch may carry transforms; one commit seq covers it
+	batches := make([]*shardBatch[K, V], len(v.shards))
+	for s := range v.shards {
+		if v.owned[s] == 0 {
+			continue // retired: owns no keys, nothing to scan or transform
+		}
+		batches[s] = &shardBatch[K, V]{kind: opRange, seq: c.mutSeq, rops: ops}
 	}
 	reps := c.runShards(batches)
 	res = make([]core.RangeResult[K, V], len(ops))
@@ -581,12 +661,18 @@ func (c *Cluster[K, V]) mergeRange(op core.RangeOp[K, V], reps []shardReply[K, V
 	}
 	total := 0
 	for s := range reps {
+		if reps[s].ranges == nil {
+			continue
+		}
 		total += len(reps[s].ranges[i].Pairs)
 	}
 	if total > 0 {
 		out.Pairs = make([]core.RangePair[K, V], 0, total)
 	}
 	for s := range reps {
+		if reps[s].ranges == nil {
+			continue // retired shard, skipped by the broadcast
+		}
 		r := reps[s].ranges[i]
 		out.Count += r.Count
 		out.Pairs = append(out.Pairs, r.Pairs...)

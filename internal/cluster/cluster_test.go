@@ -27,7 +27,7 @@ func newTestCluster(t *testing.T, shards int, opts ...func(*Config)) *Cluster[ui
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { c.Close() })
 	return c
 }
 

@@ -232,8 +232,12 @@ func (p *ClusterPipeline[K, V]) runJob(slot *clusterSlot[K, V]) ClusterPipeResul
 		})
 		res.Stats = c.finish(n, reps)
 	case cpSucc:
-		batches := make([]*shardBatch[K, V], len(c.shards))
-		for s := range c.shards {
+		v := c.view.load()
+		batches := make([]*shardBatch[K, V], len(v.shards))
+		for s := range v.shards {
+			if v.owned[s] == 0 {
+				continue // retired: owns no keys, cannot hold any answer
+			}
 			batches[s] = &shardBatch[K, V]{kind: opSucc, keys: ws.keys[:n]}
 		}
 		reps := c.runShards(batches)
@@ -242,6 +246,9 @@ func (p *ClusterPipeline[K, V]) runJob(slot *clusterSlot[K, V]) ClusterPipeResul
 			for i := 0; i < n; i++ {
 				best := core.SearchResult[K, V]{}
 				for s := range reps {
+					if reps[s].succs == nil {
+						continue // retired shard, skipped above
+					}
 					r := reps[s].succs[i]
 					if r.Found && (!best.Found || r.Key < best.Key) {
 						best = r

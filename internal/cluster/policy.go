@@ -1,0 +1,233 @@
+// Hot-shard detection: per-shard load counters feeding a RebalancePolicy
+// that proposes splits and merges, driven by Cluster.Rebalance
+// (docs/REBALANCE.md §policy).
+package cluster
+
+import "fmt"
+
+// ShardLoad is one shard's load sample: its routing-slot share plus the
+// op/IO counters the trace layer also sees per shard ("s<id>/" profiles).
+// Counters are cumulative since construction; use DeltaLoads to turn two
+// samples into a rate over a window.
+type ShardLoad struct {
+	// Shard is the shard id; State its lifecycle state (retired shards
+	// report ShardRetired and zero Slots).
+	Shard int
+	State ShardState
+	// Slots is the number of routing slots the shard owns in the current
+	// epoch; Len its committed key count.
+	Slots int
+	Len   int
+	// Batches counts acked sub-batches; Rounds, IOTime, Msgs, and PIMWork
+	// are the shard's cumulative cost counters (ShardStats.Total).
+	Batches int64
+	Rounds  int64
+	IOTime  int64
+	Msgs    int64
+	PIMWork int64
+}
+
+// weight is the scalar a load sample is ranked by: the shard's share of the
+// cluster's elapsed-cost metrics (IO dominates the PIM model's bottleneck
+// analysis; PIM work breaks ties on IO-free workloads).
+func (l ShardLoad) weight() int64 { return l.IOTime + l.PIMWork }
+
+// Loads samples every shard's current load, in shard-id order.
+func (c *Cluster[K, V]) Loads() []ShardLoad {
+	v := c.view.load()
+	out := make([]ShardLoad, len(v.shards))
+	for i, s := range v.shards {
+		s.mu.Lock()
+		out[i] = ShardLoad{
+			Shard:   i,
+			State:   s.state,
+			Slots:   v.owned[i],
+			Len:     s.committedLen,
+			Batches: s.batches,
+			Rounds:  s.total.Rounds,
+			IOTime:  s.total.IOTime,
+			Msgs:    s.total.TotalMsgs,
+			PIMWork: s.total.TotalPIMWork,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// DeltaLoads subtracts prev's cumulative counters from cur's, matching by
+// shard id, yielding per-window load samples (shards absent from prev —
+// split targets created since — keep their cur counters whole). State,
+// Slots, and Len are point-in-time and carried from cur.
+func DeltaLoads(cur, prev []ShardLoad) []ShardLoad {
+	byID := make(map[int]ShardLoad, len(prev))
+	for _, l := range prev {
+		byID[l.Shard] = l
+	}
+	out := make([]ShardLoad, len(cur))
+	for i, l := range cur {
+		if p, ok := byID[l.Shard]; ok {
+			l.Batches -= p.Batches
+			l.Rounds -= p.Rounds
+			l.IOTime -= p.IOTime
+			l.Msgs -= p.Msgs
+			l.PIMWork -= p.PIMWork
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// ActionKind discriminates a RebalanceAction.
+type ActionKind int8
+
+const (
+	// ActionSplit splits shard Src (SplitShard semantics; Dst is unused —
+	// the target is freshly created).
+	ActionSplit ActionKind = iota
+	// ActionMerge merges shard Src into shard Dst (MergeShards semantics).
+	ActionMerge
+)
+
+// String renders the action kind.
+func (k ActionKind) String() string {
+	if k == ActionMerge {
+		return "merge"
+	}
+	return "split"
+}
+
+// RebalanceAction is one migration a policy proposes.
+type RebalanceAction struct {
+	Kind     ActionKind
+	Src, Dst int
+}
+
+// RebalancePolicy proposes migrations from a load sample. Implementations
+// must be pure functions of the sample so rebalancing decisions replay
+// deterministically.
+type RebalancePolicy interface {
+	// Propose returns the migrations to run, in order, given the current
+	// per-shard loads. Returning nil means the cluster is balanced.
+	Propose(loads []ShardLoad) []RebalanceAction
+}
+
+// LoadRatioPolicy is the built-in hot/cold detector: a shard whose load
+// weight exceeds SplitAbove × the mean (over active shards) is split; the
+// two lightest shards are merged when both fall below MergeBelow × the
+// mean. Only Running shards with slots participate; splits need ≥ 2 slots
+// to move. The zero value selects the defaults.
+type LoadRatioPolicy struct {
+	// SplitAbove is the hot threshold as a multiple of the mean load
+	// weight. 0 selects 2.0 (expressed as a ratio; must be > 1 to make
+	// progress).
+	SplitAbove float64
+	// MergeBelow is the cold threshold as a multiple of the mean. 0 selects
+	// 0.25.
+	MergeBelow float64
+	// MaxActions bounds the proposals per call. 0 selects 1 — one migration
+	// per Rebalance keeps each cutover window small.
+	MaxActions int
+}
+
+// Propose implements RebalancePolicy.
+func (p LoadRatioPolicy) Propose(loads []ShardLoad) []RebalanceAction {
+	splitAbove := p.SplitAbove
+	if splitAbove == 0 {
+		splitAbove = 2.0
+	}
+	mergeBelow := p.MergeBelow
+	if mergeBelow == 0 {
+		mergeBelow = 0.25
+	}
+	maxActions := p.MaxActions
+	if maxActions == 0 {
+		maxActions = 1
+	}
+	var active []ShardLoad
+	var sum int64
+	for _, l := range loads {
+		if l.State == ShardRunning && l.Slots > 0 {
+			active = append(active, l)
+			sum += l.weight()
+		}
+	}
+	if len(active) == 0 || sum == 0 {
+		return nil
+	}
+	mean := float64(sum) / float64(len(active))
+	var actions []RebalanceAction
+
+	// Hottest splittable shards first, heaviest-first, stable by id.
+	hot := append([]ShardLoad(nil), active...)
+	sortLoadsByWeightDesc(hot)
+	for _, l := range hot {
+		if len(actions) >= maxActions {
+			return actions
+		}
+		if l.Slots < 2 || float64(l.weight()) <= splitAbove*mean {
+			break
+		}
+		actions = append(actions, RebalanceAction{Kind: ActionSplit, Src: l.Shard})
+	}
+	// Coldest pair merges, lightest into second-lightest, when both are
+	// cold and at least two shards stay active afterwards.
+	if len(actions) < maxActions && len(active) >= 3 {
+		cold := hot
+		a, b := cold[len(cold)-1], cold[len(cold)-2]
+		if float64(a.weight()) < mergeBelow*mean && float64(b.weight()) < mergeBelow*mean {
+			actions = append(actions, RebalanceAction{Kind: ActionMerge, Src: a.Shard, Dst: b.Shard})
+		}
+	}
+	return actions
+}
+
+// sortLoadsByWeightDesc orders loads heaviest-first, ties by ascending id
+// (deterministic for equal weights).
+func sortLoadsByWeightDesc(loads []ShardLoad) {
+	for i := 1; i < len(loads); i++ {
+		for j := i; j > 0; j-- {
+			a, b := loads[j-1], loads[j]
+			if a.weight() > b.weight() || (a.weight() == b.weight() && a.Shard < b.Shard) {
+				break
+			}
+			loads[j-1], loads[j] = b, a
+		}
+	}
+}
+
+// RebalanceReport is the outcome of one Rebalance call: the actions the
+// policy proposed and the per-action migration reports, index-aligned.
+type RebalanceReport struct {
+	Actions []RebalanceAction
+	Reports []MigrationReport
+}
+
+// Rebalance samples the per-shard loads, asks policy (nil selects the zero
+// LoadRatioPolicy) what to migrate, and runs the proposed actions in order
+// under opts. It stops at the first failing action, returning the reports
+// completed so far alongside the error; an empty proposal returns an empty
+// report and nil error.
+func (c *Cluster[K, V]) Rebalance(policy RebalancePolicy, opts *MigrateOpts) (RebalanceReport, error) {
+	if policy == nil {
+		policy = LoadRatioPolicy{}
+	}
+	var out RebalanceReport
+	for _, a := range policy.Propose(c.Loads()) {
+		var mrep MigrationReport
+		var err error
+		switch a.Kind {
+		case ActionSplit:
+			_, mrep, err = c.SplitShard(a.Src, opts)
+		case ActionMerge:
+			mrep, err = c.MergeShards(a.Dst, a.Src, opts)
+		default:
+			err = fmt.Errorf("%w: unknown rebalance action %d", ErrBadConfig, a.Kind)
+		}
+		out.Actions = append(out.Actions, a)
+		out.Reports = append(out.Reports, mrep)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

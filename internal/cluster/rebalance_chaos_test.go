@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"testing"
+
+	"pimgo/internal/baseline/seqlist"
+	"pimgo/internal/core"
+	"pimgo/internal/pim"
+	"pimgo/internal/rng"
+	"pimgo/internal/trace"
+)
+
+// TestRebalanceChaosSoak is the tentpole acceptance gate: a 4-shard cluster
+// migrates repeatedly — alternating splits of the slot-heaviest shard and
+// merges of the two slot-lightest — while the full mixed batch workload of
+// TestClusterChaosSoak runs under every built-in fault plan, with and
+// without permanent shard kills, and every migration's OnPhase hooks inject
+// additional batches (including broadcast transforms) into the copy window
+// so the journal-suffix replay is exercised under fault injection. Recovery
+// is unbounded (MaxRecoveries -1), so a machine killed mid-copy rolls
+// forward through its journal rather than failing the migration. Every
+// reply must stay bit-identical to the fault-free single-Map oracle and the
+// sequential baseline across every cutover, the final structures must be
+// equal, migration rounds must land in the Migration accounts and trace
+// totals, and every per-shard profile must keep the exact phase
+// decomposition. Skipped with -short.
+func TestRebalanceChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebalance chaos soak skipped in -short mode")
+	}
+	const faultSeed = 0x4EBA
+	const nShards = 4
+	const maxShards = nShards + 16 // 8 migrations/case; splits append at most 8 ids
+	mkPlans := func(mk func(shard int) core.FaultPlan) []core.FaultPlan {
+		plans := make([]core.FaultPlan, nShards)
+		for i := range plans {
+			plans[i] = mk(i)
+		}
+		return plans
+	}
+	cases := []struct {
+		name string
+		mk   func(shard int) core.FaultPlan
+		kill bool // wrap two shards in permanent kill plans
+	}{
+		{"none", func(int) core.FaultPlan { return nil }, false},
+		{"none+kill", func(int) core.FaultPlan { return nil }, true},
+		{"drop", func(i int) core.FaultPlan { return pim.DropPlan(faultSeed+uint64(i), 800) }, false},
+		{"duplicate", func(i int) core.FaultPlan { return pim.DupPlan(faultSeed+uint64(i), 800) }, false},
+		{"delay", func(i int) core.FaultPlan { return pim.DelayPlan(faultSeed+uint64(i), 800, 3) }, false},
+		{"stall", func(i int) core.FaultPlan { return pim.StallPlan(faultSeed+uint64(i), 1500, 4) }, false},
+		{"crash", func(i int) core.FaultPlan { return pim.CrashPlan(faultSeed+uint64(i), 400, 2) }, false},
+		{"chaos+kill", func(i int) core.FaultPlan { return pim.ChaosPlan(faultSeed + uint64(i)) }, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			plans := mkPlans(tc.mk)
+			if tc.kill {
+				// One shard dies almost immediately, one mid-soak — the second
+				// lands inside a migration window on this schedule, exercising
+				// the roll-forward path.
+				plans[1] = pim.KillPlan(40, plans[1])
+				plans[2] = pim.KillPlan(600, plans[2])
+			}
+			profs := make([]*trace.Profile, maxShards)
+			for i := range profs {
+				profs[i] = trace.NewProfile()
+			}
+			cfg := Config{
+				Shards: nShards,
+				Slots:  64,
+				Seed:   0xC10C ^ uint64(len(tc.name)),
+				Shard:  core.Config{P: 4, TrackAccess: true, TracePhases: true},
+				Faults: plans,
+				Trace:  func(i int) trace.Sink { return profs[i] },
+				// Unbounded recovery: kills never strand a shard Down, so every
+				// migration can roll forward and replies stay exact.
+				MaxRecoveries: -1,
+				CompactEvery:  16,
+			}
+			c, err := New[uint64, int64](cfg, core.Uint64Hash)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer c.Close()
+			om := core.New[uint64, int64](core.Config{P: 8, Seed: 0xC0FFEE}, core.Uint64Hash)
+			defer om.Close()
+			ref := seqlist.New[uint64, int64](99)
+			r := rng.NewXoshiro256(0xBADC0DE ^ uint64(len(tc.name)))
+			const keySpace = 1 << 12
+
+			// upsert/del/transform mutate cluster, oracle, and baseline in
+			// lockstep, checking replies — shared by the round-robin workload
+			// and the OnPhase mid-migration injections.
+			upsert := func(tag string, keys []uint64, vals []int64) {
+				got, errs, _, err := c.TryUpsert(keys, vals)
+				if err != nil {
+					t.Fatalf("%s: TryUpsert: %v", tag, err)
+				}
+				noErrs(t, errs, tag+" Upsert")
+				want, _ := om.Upsert(keys, vals)
+				for i, k := range keys {
+					if got[i] != want[i] {
+						t.Fatalf("%s: Upsert(%d)=%v, oracle %v", tag, k, got[i], want[i])
+					}
+				}
+				last := map[uint64]int64{}
+				for i, k := range keys {
+					last[k] = vals[i]
+				}
+				for k, v := range last {
+					ref.Upsert(k, v)
+				}
+			}
+			del := func(tag string, keys []uint64) {
+				got, errs, _, err := c.TryDelete(keys)
+				if err != nil {
+					t.Fatalf("%s: TryDelete: %v", tag, err)
+				}
+				noErrs(t, errs, tag+" Delete")
+				want, _ := om.Delete(keys)
+				for i, k := range keys {
+					if got[i] != want[i] {
+						t.Fatalf("%s: Delete(%d)=%v, oracle %v", tag, k, got[i], want[i])
+					}
+				}
+				seen := map[uint64]bool{}
+				for _, k := range keys {
+					if !seen[k] {
+						seen[k] = true
+						ref.Delete(k)
+					}
+				}
+			}
+			transform := func(tag string, ops []core.RangeOp[uint64, int64]) {
+				got, errs, _, err := c.TryRangeOperation(ops)
+				if err != nil {
+					t.Fatalf("%s: TryRangeOperation: %v", tag, err)
+				}
+				noErrs(t, errs, tag+" Range")
+				want, _ := om.RangeAuto(ops)
+				for i := range ops {
+					if got[i].Count != want[i].Count || got[i].Reduced != want[i].Reduced ||
+						len(got[i].Pairs) != len(want[i].Pairs) {
+						t.Fatalf("%s: range[%d]=%+v, oracle %+v", tag, i, got[i], want[i])
+					}
+				}
+				for i, op := range ops {
+					if op.Kind != core.RangeTransform {
+						cnt, _ := ref.Scan(op.Lo, op.Hi, nil)
+						if got[i].Count != cnt {
+							t.Fatalf("%s: range[%d] count %d, baseline %d", tag, i, got[i].Count, cnt)
+						}
+						continue
+					}
+					var ks []uint64
+					var vs []int64
+					ref.Scan(op.Lo, op.Hi, func(k uint64, v int64) {
+						ks = append(ks, k)
+						vs = append(vs, v)
+					})
+					for j := range ks {
+						ref.Upsert(ks[j], op.Transform(vs[j]))
+					}
+					if got[i].Count != int64(len(ks)) {
+						t.Fatalf("%s: transform[%d] count %d, baseline %d", tag, i, got[i].Count, len(ks))
+					}
+				}
+			}
+			// inject runs a burst of mid-migration traffic from inside the
+			// copy/catchup windows: an upsert, a delete, and — in the catchup
+			// window — a broadcast transform that every affected shard must
+			// journal under one seq and the cutover must replay exactly once.
+			inject := func(phase string) {
+				b := 10 + r.Intn(30)
+				keys := make([]uint64, b)
+				vals := make([]int64, b)
+				for i := range keys {
+					keys[i] = 1 + r.Uint64n(keySpace)
+					vals[i] = int64(r.Uint64() >> 1)
+				}
+				upsert("mid-migration "+phase, keys, vals)
+				del("mid-migration "+phase, keys[:b/3])
+				if phase == PhaseCatchup {
+					lo := 1 + r.Uint64n(keySpace)
+					transform("mid-migration "+phase, []core.RangeOp[uint64, int64]{{
+						Lo: lo, Hi: lo + r.Uint64n(keySpace/2), Kind: core.RangeTransform,
+						Transform: func(v int64) int64 { return v - 3 },
+					}})
+				}
+			}
+			opts := &MigrateOpts{OnPhase: inject}
+
+			migrations := 0
+			migrate := func(round int) {
+				// Deterministic elastic schedule: alternate splitting the
+				// slot-heaviest Running shard and merging the two lightest
+				// (when at least three are active, so two always remain).
+				loads := c.Loads()
+				var active []ShardLoad
+				for _, l := range loads {
+					if l.State == ShardRunning && l.Slots > 0 {
+						active = append(active, l)
+					}
+				}
+				split := migrations%2 == 0 || len(active) < 3
+				if split {
+					src, best := -1, 1
+					for _, l := range active {
+						if l.Slots > best {
+							src, best = l.Shard, l.Slots
+						}
+					}
+					if src < 0 {
+						t.Fatalf("round %d: no splittable shard among %d active", round, len(active))
+					}
+					if _, _, err := c.SplitShard(src, opts); err != nil {
+						t.Fatalf("round %d: SplitShard(%d): %v", round, src, err)
+					}
+				} else {
+					// Two slot-lightest actives; ties broken by id via the scan
+					// order, keeping the schedule deterministic.
+					sA, sB := -1, -1 // lightest, second-lightest
+					for _, l := range active {
+						switch {
+						case sA < 0 || l.Slots < slotsOf(active, sA):
+							sA, sB = l.Shard, sA
+						case sB < 0 || l.Slots < slotsOf(active, sB):
+							sB = l.Shard
+						}
+					}
+					if _, err := c.MergeShards(sB, sA, opts); err != nil {
+						t.Fatalf("round %d: MergeShards(%d, %d): %v", round, sB, sA, err)
+					}
+				}
+				migrations++
+				if got := c.Epoch(); got != int64(migrations) {
+					t.Fatalf("round %d: epoch %d after %d migrations", round, got, migrations)
+				}
+			}
+
+			for round := 0; round < 80; round++ {
+				b := 10 + r.Intn(90)
+				keys := make([]uint64, b)
+				for i := range keys {
+					keys[i] = 1 + r.Uint64n(keySpace)
+				}
+				switch r.Intn(5) {
+				case 0:
+					vals := make([]int64, b)
+					for i := range vals {
+						vals[i] = int64(r.Uint64() >> 1)
+					}
+					upsert("round", keys, vals)
+				case 1:
+					del("round", keys)
+				case 2:
+					got, errs, _, err := c.TryGet(keys)
+					if err != nil {
+						t.Fatalf("round %d: TryGet: %v", round, err)
+					}
+					noErrs(t, errs, "Get")
+					want, _ := om.Get(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Get(%d)=%+v, oracle %+v", round, k, got[i], want[i])
+						}
+						rv, rok, _ := ref.Get(k)
+						if got[i].Found != rok || (rok && got[i].Value != rv) {
+							t.Fatalf("round %d: Get(%d)=%+v, baseline (%d,%v)", round, k, got[i], rv, rok)
+						}
+					}
+				case 3:
+					got, errs, _, err := c.TrySuccessor(keys)
+					if err != nil {
+						t.Fatalf("round %d: TrySuccessor: %v", round, err)
+					}
+					noErrs(t, errs, "Successor")
+					want, _ := om.Successor(keys)
+					for i, k := range keys {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: Succ(%d)=%+v, oracle %+v", round, k, got[i], want[i])
+						}
+						rk, rv, rok, _ := ref.Succ(k)
+						if got[i].Found != rok || (rok && (got[i].Key != rk || got[i].Value != rv)) {
+							t.Fatalf("round %d: Succ(%d)=%+v, baseline (%d,%d,%v)", round, k, got[i], rk, rv, rok)
+						}
+					}
+				case 4:
+					nOps := 1 + r.Intn(6)
+					ops := make([]core.RangeOp[uint64, int64], nOps)
+					transformBatch := r.Intn(3) == 0
+					for i := range ops {
+						lo := 1 + r.Uint64n(keySpace)
+						op := core.RangeOp[uint64, int64]{Lo: lo, Hi: lo + r.Uint64n(keySpace/4)}
+						if transformBatch {
+							op.Kind = core.RangeTransform
+							op.Transform = func(v int64) int64 { return v + 5 }
+						} else {
+							switch r.Intn(3) {
+							case 0:
+								op.Kind = core.RangeCount
+							case 1:
+								op.Kind = core.RangeRead
+							case 2:
+								op.Kind = core.RangeReduce
+								op.Reduce = func(a, b int64) int64 { return a + b }
+							}
+						}
+						ops[i] = op
+					}
+					transform("round", ops)
+				}
+				if c.Len() != om.Len() || c.Len() != ref.Len() {
+					t.Fatalf("round %d: len cluster %d, oracle %d, baseline %d",
+						round, c.Len(), om.Len(), ref.Len())
+				}
+				if round%10 == 9 {
+					migrate(round)
+				}
+			}
+			if migrations < 8 {
+				t.Fatalf("soak ran %d migrations, want 8", migrations)
+			}
+
+			// Final structure equality: the cluster-wide range read must equal
+			// the oracle's pair for pair.
+			read := []core.RangeOp[uint64, int64]{{Lo: 0, Hi: keySpace + 1, Kind: core.RangeRead}}
+			got, errs, _, err := c.TryRangeOperation(read)
+			if err != nil {
+				t.Fatalf("final read: %v", err)
+			}
+			noErrs(t, errs, "final read")
+			want, _ := om.RangeAuto(read)
+			if len(got[0].Pairs) != len(want[0].Pairs) {
+				t.Fatalf("final read %d pairs, oracle %d", len(got[0].Pairs), len(want[0].Pairs))
+			}
+			for j := range got[0].Pairs {
+				if got[0].Pairs[j] != want[0].Pairs[j] {
+					t.Fatalf("final pair %d = %+v, oracle %+v", j, got[0].Pairs[j], want[0].Pairs[j])
+				}
+			}
+
+			// Every shard ends Running or Retired — unbounded recovery plus
+			// roll-forward must never leave a shard stranded Down.
+			var migTotal, migRounds int64
+			for i := 0; i < c.Shards(); i++ {
+				st := c.ShardStats(i)
+				if st.State != ShardRunning && st.State != ShardRetired {
+					t.Errorf("shard %d finished %v", i, st.State)
+				}
+				migTotal += st.Migrations
+				migRounds += st.Migration.Rounds
+			}
+			if migTotal == 0 || migRounds == 0 {
+				t.Errorf("migration accounting empty: participations=%d rounds=%d", migTotal, migRounds)
+			}
+			if tc.kill {
+				var kills int64
+				for i := 0; i < c.Shards(); i++ {
+					kills += c.ShardStats(i).Kills
+				}
+				if kills == 0 {
+					t.Error("kill case recorded no machine kills")
+				}
+			}
+
+			// Trace: migration events reached the per-shard sinks, and every
+			// profile that saw batches keeps the exact phase decomposition
+			// with shard-attributed labels.
+			var traced trace.MigrationTotals
+			for _, p := range profs {
+				mt := p.Migrations()
+				traced.Migrations += mt.Migrations
+				traced.Rounds += mt.Rounds
+			}
+			if traced.Migrations == 0 || traced.Rounds == 0 {
+				t.Errorf("trace migration totals empty: %+v", traced)
+			}
+			for i, p := range profs {
+				aggs := p.ByOp()
+				if len(aggs) == 0 {
+					if i < nShards {
+						t.Errorf("shard %d: profile saw no batches", i)
+					}
+					continue
+				}
+				for _, agg := range aggs {
+					if msg := agg.CheckSums(); msg != "" {
+						t.Errorf("shard %d: %s", i, msg)
+					}
+					if len(agg.Op) < 3 || agg.Op[0] != 's' {
+						t.Errorf("shard %d: op label %q missing shard attribution", i, agg.Op)
+					}
+				}
+			}
+		})
+	}
+}
+
+// slotsOf returns the slot count of shard id within the sample (-1 if absent).
+func slotsOf(loads []ShardLoad, id int) int {
+	for _, l := range loads {
+		if l.Shard == id {
+			return l.Slots
+		}
+	}
+	return -1
+}

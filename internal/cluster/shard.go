@@ -33,6 +33,11 @@ func (k batchKind) mutates() bool { return k == opUpsert || k == opDelete || k =
 // every shard.
 type shardBatch[K cmp.Ordered, V any] struct {
 	kind batchKind
+	// seq is the cluster-wide commit sequence number of the batch (0 for
+	// pure reads). Every shard's sub-batch of one cluster batch shares it;
+	// the journal records it so migration cutover can merge per-shard
+	// suffixes into the global commit order (migrate.go).
+	seq  int64
 	keys []K
 	vals []V
 	rops []core.RangeOp[K, V]
@@ -67,6 +72,12 @@ const (
 // committed state exactly.
 type logEntry[K cmp.Ordered, V any] struct {
 	kind logKind
+	// seq is the cluster-wide commit sequence of the acked batch. Within one
+	// shard's journal seqs are strictly increasing; across shards the same
+	// seq marks shares of the same cluster batch (a broadcast transform is
+	// journaled by every mutating shard under one seq, and replayed exactly
+	// once per seq at migration cutover).
+	seq  int64
 	keys []K
 	vals []V
 	ops  []core.RangeOp[K, V]
@@ -102,6 +113,18 @@ type shard[K cmp.Ordered, V any] struct {
 	recovery   core.BatchStats
 	faultsAcc  core.FaultStats // from closed incarnations
 	downCause  error
+
+	// migrating marks the shard as a participant of an in-flight migration:
+	// auto-compaction is suppressed (the cutover needs the journal suffix
+	// intact) and lifecycle transitions are refused. Guarded by mu like the
+	// rest; the cluster-level Cluster.migrating gate serializes migrations
+	// themselves.
+	migrating bool
+	// migrations counts epoch cutovers this shard took part in; migration
+	// accumulates the model cost of building its new incarnations (the
+	// Recovery-style account migration rounds are honestly charged to).
+	migrations int64
+	migration  core.BatchStats
 }
 
 // saltShardSeed decorrelates per-shard core seeds from each other and from
@@ -112,13 +135,22 @@ const saltShardSeed = 0x1f83_d9ab_fb41_bd6b
 // per-shard P override, a distinct mixed seed, and the shard's current
 // fault plan and (wrapped) trace sink.
 func (s *shard[K, V]) shardConfig() core.Config {
+	return s.configWith(s.plan, s.sink)
+}
+
+// configWith derives the shard's core.Config with an explicit fault plan
+// and trace sink. Migrations build replacement incarnations with a nil sink
+// (the live incarnation still emits on s.sink until cutover; the Sink
+// contract is single-goroutine) and install s.sink at publish via
+// SetTraceSink.
+func (s *shard[K, V]) configWith(plan core.FaultPlan, sink trace.Sink) core.Config {
 	cfg := s.c.cfg.Shard
-	if len(s.c.cfg.ShardP) != 0 {
+	if len(s.c.cfg.ShardP) != 0 && s.id < len(s.c.cfg.ShardP) {
 		cfg.P = s.c.cfg.ShardP[s.id]
 	}
 	cfg.Seed = rng.Mix64(s.c.cfg.Seed ^ (saltShardSeed + uint64(s.id)*0x9E37_79B9_7F4A_7C15))
-	cfg.Fault = s.plan
-	cfg.Trace = s.sink
+	cfg.Fault = plan
+	cfg.Trace = sink
 	return cfg
 }
 
@@ -188,6 +220,11 @@ func (s *shard[K, V]) run(b *shardBatch[K, V]) (rep shardReply[K, V]) {
 	switch s.state {
 	case ShardDown:
 		rep.err = s.downErr()
+		return rep
+	case ShardRetired:
+		// Unreachable by routing (a retired shard owns no slots and
+		// broadcasts skip it); fail typed rather than panic if reached.
+		rep.err = fmt.Errorf("shard %d: %w: batch routed to retired shard", s.id, ErrShardState)
 		return rep
 	case ShardDraining:
 		if b.kind.mutates() {
@@ -260,11 +297,13 @@ func (s *shard[K, V]) commit(b *shardBatch[K, V], rep *shardReply[K, V]) {
 	s.journal(b)
 	s.committedLen = s.m.Len()
 	s.batches++
-	if ce := s.c.cfg.CompactEvery; ce > 0 && len(s.entries) >= ce {
+	if ce := s.c.cfg.CompactEvery; ce > 0 && len(s.entries) >= ce && !s.migrating {
 		// Best-effort: a failed checkpoint (the fault plan can kill the
 		// snapshot too) keeps the longer journal; the batch itself is
-		// already acked.
-		_ = s.compactLocked(&rep.st)
+		// already acked. Suppressed mid-migration: the cutover replays the
+		// journal suffix accumulated since the migration froze its base, so
+		// truncating it here would lose acked batches from the new epoch.
+		_ = s.compactLocked(&rep.st, &s.recovery)
 	}
 	s.total.Accumulate(rep.st)
 }
@@ -277,12 +316,14 @@ func (s *shard[K, V]) journal(b *shardBatch[K, V]) {
 	case opUpsert:
 		s.entries = append(s.entries, logEntry[K, V]{
 			kind: logUpsert,
+			seq:  b.seq,
 			keys: append([]K(nil), b.keys...),
 			vals: append([]V(nil), b.vals...),
 		})
 	case opDelete:
 		s.entries = append(s.entries, logEntry[K, V]{
 			kind: logDelete,
+			seq:  b.seq,
 			keys: append([]K(nil), b.keys...),
 		})
 	case opRange:
@@ -293,7 +334,7 @@ func (s *shard[K, V]) journal(b *shardBatch[K, V]) {
 			}
 		}
 		if len(tf) > 0 {
-			s.entries = append(s.entries, logEntry[K, V]{kind: logTransform, ops: tf})
+			s.entries = append(s.entries, logEntry[K, V]{kind: logTransform, seq: b.seq, ops: tf})
 		}
 	}
 }
@@ -355,16 +396,17 @@ func (s *shard[K, V]) rebuildLocked(rep *shardReply[K, V]) error {
 }
 
 // compactLocked checkpoints the live state into a fresh base snapshot and
-// truncates the journal. charge receives the snapshot's cost (it also lands
-// in the recovery/maintenance account).
-func (s *shard[K, V]) compactLocked(charge *core.BatchStats) error {
+// truncates the journal. charge receives the snapshot's cost; acct is the
+// maintenance account it also lands in — s.recovery for batch-triggered and
+// drain checkpoints, s.migration when a migration freezes its base.
+func (s *shard[K, V]) compactLocked(charge, acct *core.BatchStats) error {
 	keys, vals, st, err := s.m.TrySnapshot()
 	charge.Accumulate(st)
-	s.recovery.Accumulate(st)
+	acct.Accumulate(st)
 	if err != nil {
 		p := s.m.PartialStats()
 		charge.Accumulate(p)
-		s.recovery.Accumulate(p)
+		acct.Accumulate(p)
 		return err
 	}
 	s.baseKeys = keys
@@ -385,21 +427,33 @@ type ShardStats struct {
 	// (terminal faults); Recoveries counts successful journal rebuilds.
 	Batches, Kills, Recoveries int64
 	// JournalBase and JournalBatches size the journal: base snapshot keys
-	// plus acked batches since the last checkpoint.
-	JournalBase, JournalBatches int
+	// plus acked batches since the last checkpoint. JournalOps is the total
+	// operation count across those batches (Σ keys per point entry, Σ ops
+	// per transform entry) — the observable measure of journal growth when
+	// CompactEvery < 0 disables compaction.
+	JournalBase, JournalBatches, JournalOps int
+	// Migrations counts epoch cutovers this shard took part in (as a source,
+	// target, or retiree of SplitShard/MergeShards/Rebalance).
+	Migrations int64
 	// Total accumulates every acked batch's cost (including recovery and
 	// checkpoint work charged to those batches); Recovery isolates just the
-	// rebuild/replay/checkpoint share.
-	Total, Recovery core.BatchStats
+	// rebuild/replay/checkpoint share. Migration is the Recovery-style
+	// account migration rounds are charged to: snapshot freezes, bulk loads,
+	// and journal-suffix replays that built this shard's new incarnations.
+	Total, Recovery, Migration core.BatchStats
 	// Faults accumulates fault-injection counters across all incarnations.
 	Faults core.FaultStats
 }
 
 // ShardStats returns shard i's summary.
 func (c *Cluster[K, V]) ShardStats(i int) ShardStats {
-	s := c.shards[i]
+	s := c.view.load().shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	journalOps := 0
+	for j := range s.entries {
+		journalOps += len(s.entries[j].keys) + len(s.entries[j].ops)
+	}
 	st := ShardStats{
 		State:          s.state,
 		Len:            s.committedLen,
@@ -408,8 +462,11 @@ func (c *Cluster[K, V]) ShardStats(i int) ShardStats {
 		Recoveries:     s.recoveries,
 		JournalBase:    len(s.baseKeys),
 		JournalBatches: len(s.entries),
+		JournalOps:     journalOps,
+		Migrations:     s.migrations,
 		Total:          s.total,
 		Recovery:       s.recovery,
+		Migration:      s.migration,
 		Faults:         s.faultsAcc,
 	}
 	if s.m != nil {
@@ -425,9 +482,12 @@ func (c *Cluster[K, V]) StartShard(i int) error {
 	if c.closed.Load() {
 		return core.ErrClosed
 	}
-	s := c.shards[i]
+	s := c.view.load().shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.migrating {
+		return fmt.Errorf("shard %d: %w: StartShard during migration", i, ErrShardState)
+	}
 	if s.state != ShardDown {
 		return fmt.Errorf("shard %d: %w: StartShard from %v", i, ErrShardState, s.state)
 	}
@@ -451,30 +511,39 @@ func (c *Cluster[K, V]) DrainShard(i int) error {
 	if c.closed.Load() {
 		return core.ErrClosed
 	}
-	s := c.shards[i]
+	s := c.view.load().shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.migrating {
+		return fmt.Errorf("shard %d: %w: DrainShard during migration", i, ErrShardState)
+	}
 	if s.state != ShardRunning {
 		return fmt.Errorf("shard %d: %w: DrainShard from %v", i, ErrShardState, s.state)
 	}
 	s.state = ShardDraining
 	if len(s.entries) > 0 {
 		var scratch core.BatchStats
-		return s.compactLocked(&scratch)
+		return s.compactLocked(&scratch, &s.recovery)
 	}
 	return nil
 }
 
 // StopShard takes a Running or Draining shard Down, retiring its machine.
-// Its keys answer ErrShardDown until StartShard rebuilds it.
+// Its keys answer ErrShardDown until StartShard rebuilds it. Stopping a
+// shard that is already Down — including one already killed by its fault
+// plan — fails typed with ErrShardState, never panics; so does stopping a
+// retired or migrating shard.
 func (c *Cluster[K, V]) StopShard(i int) error {
 	if c.closed.Load() {
 		return core.ErrClosed
 	}
-	s := c.shards[i]
+	s := c.view.load().shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.state == ShardDown {
+	if s.migrating {
+		return fmt.Errorf("shard %d: %w: StopShard during migration", i, ErrShardState)
+	}
+	if s.state == ShardDown || s.state == ShardRetired {
 		return fmt.Errorf("shard %d: %w: StopShard from %v", i, ErrShardState, s.state)
 	}
 	s.goDown(nil)

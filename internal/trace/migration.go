@@ -1,0 +1,108 @@
+package trace
+
+import "fmt"
+
+// MigrationStat describes one shard's share of a completed cluster
+// migration (the live split/merge rebalancing of internal/cluster): how many
+// routing slots it owned before and after the epoch cutover, how much state
+// was bulk-loaded into its new incarnation, how many journal-suffix batches
+// were replayed into it at cutover, and the model cost charged to the
+// shard's migration account for that work.
+//
+// Migration events are emitted once per affected shard when the new epoch
+// publishes, from the migrating goroutine while the cluster's batch gate is
+// held — no batch events are in flight, so a shard's sink still observes a
+// serial stream. The build and replay rounds of a migration run on the new
+// incarnation before its trace sink is installed, so they never appear as
+// batch spans: per-shard Profile CheckSums decompositions stay exact, and
+// the migration's cost is reported here (and in ClusterShardStats.Migration)
+// instead.
+type MigrationStat struct {
+	// Shard is the shard the new incarnation belongs to.
+	Shard int `json:"shard"`
+	// Epoch is the routing-table epoch published by this migration.
+	Epoch int64 `json:"epoch"`
+	// SlotsBefore and SlotsAfter are the shard's owned routing-slot counts
+	// on either side of the cutover. A retired shard has SlotsAfter == 0.
+	SlotsBefore int `json:"slots_before"`
+	SlotsAfter  int `json:"slots_after"`
+	// KeysLoaded is the number of pairs bulk-loaded into the shard's new
+	// incarnation from the frozen base partition.
+	KeysLoaded int `json:"keys_loaded"`
+	// SuffixBatches is the number of journal-suffix batches (mutations acked
+	// during the copy) replayed into the new incarnation at cutover.
+	SuffixBatches int `json:"suffix_batches"`
+	// Retries counts incarnation rebuilds consumed by faults injected into
+	// the migration's own snapshot/bulk-load/replay operations.
+	Retries int `json:"retries"`
+	// Rounds and IOTime are the model cost charged to the shard's migration
+	// account for building this incarnation.
+	Rounds int64 `json:"rounds"`
+	IOTime int64 `json:"io_time"`
+	// Retired reports that the shard lost all its slots (a merge victim) and
+	// now serves nothing.
+	Retired bool `json:"retired"`
+}
+
+// MigrationSink is optionally implemented by sinks that want per-shard
+// migration events in addition to the machine stream. Tee forwards to every
+// member that implements it; Shard forwards to its inner sink unchanged
+// (the event already carries its shard id).
+type MigrationSink interface {
+	Migration(MigrationStat)
+}
+
+// Migration implements MigrationSink for Tee by forwarding to every member
+// sink that implements it.
+func (t tee) Migration(ms MigrationStat) {
+	for _, s := range t {
+		if m, ok := s.(MigrationSink); ok {
+			m.Migration(ms)
+		}
+	}
+}
+
+// Migration forwards migration events to the wrapped sink when it accepts
+// them, so a shard's profile keeps its rebalancing history.
+func (s *shardSink) Migration(ms MigrationStat) {
+	if m, ok := s.inner.(MigrationSink); ok {
+		m.Migration(ms)
+	}
+}
+
+// MigrationTotals is Profile's aggregate over migration events.
+type MigrationTotals struct {
+	// Migrations counts epoch cutovers this shard took part in.
+	Migrations int64 `json:"migrations"`
+	// KeysLoaded, SuffixBatches, and Retries sum the per-event fields.
+	KeysLoaded    int64 `json:"keys_loaded"`
+	SuffixBatches int64 `json:"suffix_batches"`
+	Retries       int64 `json:"retries"`
+	// Rounds and IOTime sum the model cost charged to migration accounts.
+	Rounds int64 `json:"rounds"`
+	IOTime int64 `json:"io_time"`
+}
+
+// String renders the migration aggregate as one line.
+func (mt MigrationTotals) String() string {
+	return fmt.Sprintf("migrations=%d keysLoaded=%d suffixBatches=%d retries=%d rounds=%d io=%d",
+		mt.Migrations, mt.KeysLoaded, mt.SuffixBatches, mt.Retries, mt.Rounds, mt.IOTime)
+}
+
+// Migration implements MigrationSink: Profile accumulates rebalancing
+// history alongside the per-phase machine attribution, read back with
+// Migrations.
+func (p *Profile) Migration(ms MigrationStat) {
+	mt := &p.migration
+	mt.Migrations++
+	mt.KeysLoaded += int64(ms.KeysLoaded)
+	mt.SuffixBatches += int64(ms.SuffixBatches)
+	mt.Retries += int64(ms.Retries)
+	mt.Rounds += ms.Rounds
+	mt.IOTime += ms.IOTime
+}
+
+// Migrations returns the aggregated migration statistics (zero unless the
+// profile is installed on a cluster shard that was split, merged, or
+// rebalanced).
+func (p *Profile) Migrations() MigrationTotals { return p.migration }

@@ -211,6 +211,11 @@ type Profile struct {
 	// pipeline aggregates pipeline scheduling events (pipeline.go); populated
 	// only when the profile observes a Map driven through core.Pipeline.
 	pipeline PipelineTotals
+
+	// migration aggregates cluster rebalancing events (migration.go);
+	// populated only when the profile observes a cluster shard that takes
+	// part in a split/merge migration.
+	migration MigrationTotals
 }
 
 // NewProfile returns an empty profile sink.

@@ -121,6 +121,10 @@ var (
 	// ErrShardState reports an invalid shard lifecycle transition
 	// (e.g. StartShard on a running shard).
 	ErrShardState = cluster.ErrShardState
+	// ErrRebalancing reports a Cluster migration rejected because another
+	// migration is already in flight, or because the routing table changed
+	// between planning and execution.
+	ErrRebalancing = cluster.ErrRebalancing
 )
 
 // Frontend coalesces single-key operations from arbitrarily many client
@@ -310,6 +314,20 @@ type TracePipeSink = trace.PipeSink
 // events.
 type TracePipelineTotals = trace.PipelineTotals
 
+// TraceMigrationStat describes one shard's part in a published cluster
+// migration (epoch, slot delta, keys bulk-loaded, suffix batches replayed,
+// retries, model cost, or retirement), emitted to that shard's sink under
+// the batch gate at cutover.
+type TraceMigrationStat = trace.MigrationStat
+
+// TraceMigrationSink is optionally implemented by trace sinks that want the
+// Cluster's migration events in addition to the machine stream;
+// TraceProfile implements it (read back with TraceProfile.Migrations).
+type TraceMigrationSink = trace.MigrationSink
+
+// TraceMigrationTotals is TraceProfile's aggregate over migration events.
+type TraceMigrationTotals = trace.MigrationTotals
+
 // ChromeTracer is the TraceSink that streams Chrome trace_event JSON,
 // loadable in chrome://tracing and Perfetto (ui.perfetto.dev).
 type ChromeTracer = trace.ChromeTracer
@@ -355,7 +373,10 @@ var (
 // shard, execute shards in parallel, and gather replies into submission
 // order — bit-identical to a single Map. Killed shards are rebuilt
 // exactly-once from a journal, or degrade to typed per-key ErrShardDown
-// errors. See docs/CLUSTER.md.
+// errors. Live rebalancing (SplitShard, MergeShards, and the policy-driven
+// Rebalance) moves routing slots between shards online through an
+// epoch-versioned routing table, with replies bit-identical to a single
+// Map across every cutover. See docs/CLUSTER.md and docs/REBALANCE.md.
 type Cluster[K cmp.Ordered, V any] = cluster.Cluster[K, V]
 
 // ClusterConfig configures a Cluster (shard count, template shard Config,
@@ -368,7 +389,8 @@ type ClusterConfig = cluster.Config
 type ClusterStats = cluster.Stats
 
 // ClusterShardStats is one shard's health and cost summary (state, journal
-// size, kills, recoveries, accumulated and recovery-only costs).
+// size in batches and operations, kills, recoveries, migrations, and the
+// accumulated, recovery-only, and migration-only cost accounts).
 type ClusterShardStats = cluster.ShardStats
 
 // ClusterShardState is one shard's lifecycle state.
@@ -379,6 +401,7 @@ const (
 	ShardRunning  = cluster.ShardRunning
 	ShardDraining = cluster.ShardDraining
 	ShardDown     = cluster.ShardDown
+	ShardRetired  = cluster.ShardRetired
 )
 
 // NewCluster builds a sharded cluster per cfg; hash is shared by the
@@ -411,6 +434,70 @@ type ClusterPipelineResult[K cmp.Ordered, V any] = cluster.ClusterPipeResult[K, 
 func NewClusterPipeline[K cmp.Ordered, V any](c *Cluster[K, V]) (*ClusterPipeline[K, V], error) {
 	return cluster.NewClusterPipeline(c)
 }
+
+// ClusterMigrateOpts tunes one live migration (SplitShard, MergeShards, or
+// a Rebalance action): an OnPhase hook fired at the copy/catchup boundaries
+// with the batch gate released, and the fault plan installed on a split's
+// freshly created target shard. The zero value (or nil) is valid.
+type ClusterMigrateOpts = cluster.MigrateOpts
+
+// ClusterMigrationReport summarizes one published (or attempted) migration:
+// the resulting epoch, slots and keys moved, journal-suffix batches carried
+// across the cutover, build retries consumed by faults, shards added and
+// retired, and the migration's total model cost.
+type ClusterMigrationReport = cluster.MigrationReport
+
+// Migration phase names passed to ClusterMigrateOpts.OnPhase.
+const (
+	// MigratePhaseCopy fires after the freeze, with the batch gate
+	// released: client batches keep flowing while the frozen bases are
+	// partitioned and bulk-loaded into the new incarnations.
+	MigratePhaseCopy = cluster.PhaseCopy
+	// MigratePhaseCatchup fires when the copy is complete, just before the
+	// cutover reacquires the gate to replay the journal suffix and publish
+	// the new epoch.
+	MigratePhaseCatchup = cluster.PhaseCatchup
+)
+
+// ClusterShardLoad is one shard's load sample — routing-slot share, key
+// count, and cumulative cost counters — fed to a ClusterRebalancePolicy by
+// Cluster.Rebalance (sample directly with Cluster.Loads).
+type ClusterShardLoad = cluster.ShardLoad
+
+// ClusterDeltaLoads subtracts an earlier Cluster.Loads sample from a later
+// one, matching by shard id, turning cumulative counters into a per-window
+// load rate for hot-shard detection.
+func ClusterDeltaLoads(cur, prev []ClusterShardLoad) []ClusterShardLoad {
+	return cluster.DeltaLoads(cur, prev)
+}
+
+// ClusterRebalancePolicy proposes migrations from a load sample; pass one
+// to Cluster.Rebalance. Implementations must be pure functions of the
+// sample so rebalancing decisions replay deterministically.
+type ClusterRebalancePolicy = cluster.RebalancePolicy
+
+// ClusterRebalanceAction is one migration a policy proposes: split a hot
+// shard or merge a cold one into another.
+type ClusterRebalanceAction = cluster.RebalanceAction
+
+// ClusterActionKind discriminates a ClusterRebalanceAction.
+type ClusterActionKind = cluster.ActionKind
+
+// Rebalance action kinds.
+const (
+	ActionSplit = cluster.ActionSplit
+	ActionMerge = cluster.ActionMerge
+)
+
+// ClusterLoadRatioPolicy is the built-in hot/cold detector: shards whose
+// load weight exceeds SplitAbove × the mean split, and the two lightest
+// merge when both fall below MergeBelow × the mean. The zero value selects
+// the defaults (2.0, 0.25, one action per call).
+type ClusterLoadRatioPolicy = cluster.LoadRatioPolicy
+
+// ClusterRebalanceReport is the outcome of one Cluster.Rebalance call: the
+// proposed actions and their per-migration reports, index-aligned.
+type ClusterRebalanceReport = cluster.RebalanceReport
 
 // ShardTraceSink wraps a TraceSink so its op labels carry "s<id>/" shard
 // attribution — what ClusterConfig.Trace installs on each shard's sink.
