@@ -8,13 +8,16 @@
 # verification suite and refreshes results/BENCH_cluster.json; `make
 # pipeline` runs the pipelined-execution verification suite and refreshes
 # results/BENCH_pipeline.json; `make rebalance` runs the live-rebalancing
-# verification suite and refreshes results/BENCH_rebalance.json; `make docs`
-# lints the documentation (markdown links, pimbench command references,
-# facade godoc coverage) and gofmt cleanliness.
+# verification suite and refreshes results/BENCH_rebalance.json; `make
+# clusterfrontend` runs the composed-stack verification suite (coalescing
+# frontend over the elastic cluster, rebalance loop live) and refreshes
+# results/BENCH_clusterfrontend.json; `make docs` lints the documentation
+# (markdown links, pimbench command and pimgo.* API references, cited
+# benchmark files, facade godoc coverage) and gofmt cleanliness.
 
 GO ?= go
 
-.PHONY: build test race vet bench benchguard chaos frontend cluster rebalance pipeline docs check
+.PHONY: build test race vet bench benchguard chaos frontend cluster rebalance pipeline clusterfrontend docs check
 
 build:
 	$(GO) build ./...
@@ -87,10 +90,20 @@ pipeline:
 	$(GO) test -run 'TestZeroAllocPipeline|TestZeroAllocFrontendPipelined' -count=1 .
 	$(GO) run ./cmd/pimbench pipeline -out results/BENCH_pipeline.json
 
+# Composed-stack verification: the ClusterFrontend oracle/lifecycle suites,
+# the chaos soak with the background rebalance loop live (plus -race), the
+# DeltaLoads window edge cases, then the client-ladder record with its
+# refuse-on-divergence guard and single-Map baseline.
+clusterfrontend:
+	$(GO) test -run 'TestClusterFrontend|TestClusterFlush|TestLoadDeltaEdgeCases|TestRebalanceFromStaleWindow' -count=1 ./internal/frontend/ ./internal/cluster/
+	$(GO) test -race -run 'TestClusterFrontendChaosSoak|TestClusterFrontendCloseDeterministic|TestClusterFrontendRebalanceLoop' -count=1 ./internal/frontend/
+	$(GO) run ./cmd/pimbench clusterfrontend -out results/BENCH_clusterfrontend.json
+
 # Documentation gate: every intra-repo markdown link resolves, every
 # `pimbench <cmd>` in the docs is a real command (validated against
-# `pimbench -list`), every exported facade identifier has a doc comment,
-# and all sources are gofmt-clean.
+# `pimbench -list`), every `pimgo.*` reference is a real facade export,
+# every cited results/BENCH_*.json is checked in, every exported facade
+# identifier has a doc comment, and all sources are gofmt-clean.
 docs:
 	$(GO) run ./cmd/pimbench -list | $(GO) run ./cmd/doccheck -cmds - -pkg .
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

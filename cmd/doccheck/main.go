@@ -7,6 +7,12 @@
 //     stdin so CI can pipe `pimbench -list` straight in).
 //  3. Every exported identifier of the public facade package (-pkg) must
 //     carry a doc comment, keeping the godoc complete as the API grows.
+//  4. Every `pimgo.Xxx` symbol the docs mention must be an exported
+//     identifier of the facade package (-pkg), so renames and removals
+//     cannot leave stale API references behind.
+//  5. Every results/BENCH_*.json file the docs cite must exist in the
+//     repository, so a benchmark doc cannot reference a ladder that was
+//     never recorded.
 //
 // It prints one line per violation and exits 1 if any were found, so it
 // composes with make and CI the same way gofmt -l does.
@@ -34,6 +40,13 @@ var (
 	// in fenced blocks — so prose like "pimbench regenerates ..." is not
 	// mistaken for one. Flags and <placeholders> are filtered afterwards.
 	cmdRe = regexp.MustCompile("(?m)(?:`|\\./cmd/|^\\s*\\$?\\s*)pimbench\\s+([A-Za-z0-9_<>-]+)")
+	// pimgo.Xxx API references. Only uppercase-initial identifiers are
+	// checked (pimgo.go and similar file mentions are not API references);
+	// dotted chains like pimgo.Cluster.Rebalance validate their first
+	// identifier, which is the facade export.
+	symRe = regexp.MustCompile(`\bpimgo\.([A-Z][A-Za-z0-9_]*)`)
+	// Recorded benchmark ladders the docs cite.
+	benchRe = regexp.MustCompile(`results/BENCH_[A-Za-z0-9_]+\.json`)
 )
 
 func main() {
@@ -48,10 +61,11 @@ func main() {
 	}
 
 	valid := loadCommands(*cmds)
-	checkMarkdown(*root, valid, report)
+	var exported map[string]bool
 	if *pkg != "" {
-		checkGodoc(*pkg, report)
+		exported = checkGodoc(*pkg, report)
 	}
+	checkMarkdown(*root, valid, exported, report)
 
 	for _, p := range problems {
 		fmt.Println(p)
@@ -90,9 +104,11 @@ func loadCommands(path string) map[string]bool {
 	return valid
 }
 
-// checkMarkdown walks *.md files under root, validating intra-repo links
-// and (when valid is non-nil) pimbench command references.
-func checkMarkdown(root string, valid map[string]bool, report func(string, ...any)) {
+// checkMarkdown walks *.md files under root, validating intra-repo links,
+// (when valid is non-nil) pimbench command references, (when exported is
+// non-nil) pimgo.* API references, and that every cited results/BENCH_*.json
+// ladder exists in the repository.
+func checkMarkdown(root string, valid, exported map[string]bool, report func(string, ...any)) {
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -127,6 +143,20 @@ func checkMarkdown(root string, valid map[string]bool, report func(string, ...an
 			}
 		}
 
+		for _, m := range benchRe.FindAllString(text, -1) {
+			if _, err := os.Stat(filepath.Join(root, m)); err != nil {
+				report("%s: benchmark file %q is not checked in", path, m)
+			}
+		}
+
+		if exported != nil {
+			for _, m := range symRe.FindAllStringSubmatch(text, -1) {
+				if !exported[m[1]] {
+					report("%s: unknown API reference %q (pimgo does not export %s)", path, m[0], m[1])
+				}
+			}
+		}
+
 		if valid == nil {
 			return nil
 		}
@@ -151,8 +181,10 @@ func checkMarkdown(root string, valid map[string]bool, report func(string, ...an
 
 // checkGodoc parses the package in dir and reports every exported top-level
 // identifier without a doc comment. A comment on a grouped GenDecl covers
-// its specs, matching godoc's own attribution.
-func checkGodoc(dir string, report func(string, ...any)) {
+// its specs, matching godoc's own attribution. It returns the set of
+// exported identifier names, which checkMarkdown uses to validate pimgo.*
+// references in the documentation.
+func checkGodoc(dir string, report func(string, ...any)) map[string]bool {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -161,6 +193,7 @@ func checkGodoc(dir string, report func(string, ...any)) {
 		fmt.Fprintln(os.Stderr, "doccheck:", err)
 		os.Exit(1)
 	}
+	exported := map[string]bool{}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
@@ -169,24 +202,33 @@ func checkGodoc(dir string, report func(string, ...any)) {
 					if d.Recv != nil {
 						continue // methods of aliased types live in internal/
 					}
-					if d.Name.IsExported() && d.Doc == nil {
-						report("%s: exported func %s has no doc comment",
-							fset.Position(d.Pos()), d.Name.Name)
+					if d.Name.IsExported() {
+						exported[d.Name.Name] = true
+						if d.Doc == nil {
+							report("%s: exported func %s has no doc comment",
+								fset.Position(d.Pos()), d.Name.Name)
+						}
 					}
 				case *ast.GenDecl:
 					groupDoc := d.Doc != nil
 					for _, spec := range d.Specs {
 						switch s := spec.(type) {
 						case *ast.TypeSpec:
-							if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
-								report("%s: exported type %s has no doc comment",
-									fset.Position(s.Pos()), s.Name.Name)
+							if s.Name.IsExported() {
+								exported[s.Name.Name] = true
+								if !groupDoc && s.Doc == nil && s.Comment == nil {
+									report("%s: exported type %s has no doc comment",
+										fset.Position(s.Pos()), s.Name.Name)
+								}
 							}
 						case *ast.ValueSpec:
 							for _, name := range s.Names {
-								if name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
-									report("%s: exported %s %s has no doc comment",
-										fset.Position(s.Pos()), declKind(d.Tok), name.Name)
+								if name.IsExported() {
+									exported[name.Name] = true
+									if !groupDoc && s.Doc == nil && s.Comment == nil {
+										report("%s: exported %s %s has no doc comment",
+											fset.Position(s.Pos()), declKind(d.Tok), name.Name)
+									}
 								}
 							}
 						}
@@ -195,6 +237,7 @@ func checkGodoc(dir string, report func(string, ...any)) {
 			}
 		}
 	}
+	return exported
 }
 
 func declKind(tok token.Token) string {

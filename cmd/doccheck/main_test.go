@@ -22,19 +22,30 @@ func TestCheckMarkdown(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	write("ok.md", "see [design](design.md) and [anchor](#local) and [web](https://example.com)")
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "results", "BENCH_real.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	write("ok.md", "see [design](design.md) and [anchor](#local) and [web](https://example.com);\n"+
+		"`pimgo.Frontend` coalesces, and pimgo.Cluster.Rebalance validates its\n"+
+		"first identifier; the file pimgo.go itself is not an API reference.\n"+
+		"Numbers live in results/BENCH_real.json.")
 	write("design.md", "run `pimbench trace` or `go run ./cmd/pimbench chaos -out x.json`;\n"+
 		"in prose, pimbench regenerates tables. Placeholder: `pimbench <cmd>`, flag: `pimbench -list`.")
-	write("bad.md", "see [missing](gone.md); run `pimbench bogus`")
+	write("bad.md", "see [missing](gone.md); run `pimbench bogus`;\n"+
+		"`pimgo.Nonexistent` was renamed away; results/BENCH_phantom.json was never recorded")
 
 	valid := map[string]bool{"trace": true, "chaos": true}
+	exported := map[string]bool{"Frontend": true, "Cluster": true}
 	report, got := collect()
-	checkMarkdown(dir, valid, report)
+	checkMarkdown(dir, valid, exported, report)
 
-	if len(*got) != 2 {
-		t.Fatalf("got %d problems, want 2: %v", len(*got), *got)
+	if len(*got) != 4 {
+		t.Fatalf("got %d problems, want 4: %v", len(*got), *got)
 	}
-	var link, cmd bool
+	var link, cmd, sym, bench bool
 	for _, p := range *got {
 		if strings.Contains(p, "broken link") {
 			link = true
@@ -42,8 +53,14 @@ func TestCheckMarkdown(t *testing.T) {
 		if strings.Contains(p, "unknown pimbench command") {
 			cmd = true
 		}
+		if strings.Contains(p, "unknown API reference") && strings.Contains(p, "Nonexistent") {
+			sym = true
+		}
+		if strings.Contains(p, "not checked in") && strings.Contains(p, "BENCH_phantom") {
+			bench = true
+		}
 	}
-	if !link || !cmd {
+	if !link || !cmd || !sym || !bench {
 		t.Fatalf("missing expected problem kinds in %v", *got)
 	}
 }
@@ -70,8 +87,13 @@ type Bare struct{}
 		t.Fatal(err)
 	}
 	report, got := collect()
-	checkGodoc(dir, report)
+	exported := checkGodoc(dir, report)
 
+	for _, name := range []string{"Documented", "Undocumented", "A", "B", "Bare"} {
+		if !exported[name] {
+			t.Fatalf("exported set %v is missing %s", exported, name)
+		}
+	}
 	if len(*got) != 2 {
 		t.Fatalf("got %d problems, want 2 (Undocumented, Bare): %v", len(*got), *got)
 	}
@@ -94,8 +116,8 @@ type Bare struct{}
 // too, not only the `make docs` gate.
 func TestRepoDocsClean(t *testing.T) {
 	report, got := collect()
-	checkMarkdown("../..", nil, report) // command list needs pimbench; make docs covers it
-	checkGodoc("../..", report)
+	exported := checkGodoc("../..", report)
+	checkMarkdown("../..", nil, exported, report) // command list needs pimbench; make docs covers it
 	if len(*got) != 0 {
 		t.Fatalf("repository docs have %d problem(s): %v", len(*got), *got)
 	}

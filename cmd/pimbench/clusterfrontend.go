@@ -1,0 +1,266 @@
+package main
+
+// `pimbench clusterfrontend` measures the composed serving stack: a ladder
+// of client-goroutine counts driving single-op traffic through a
+// pimgo.ClusterFrontend — the coalescing collector over the elastic
+// sharded cluster — with the background rebalance control loop running the
+// whole time. Each rung reuses the `frontend` workload (read-mostly mix,
+// inline verification against per-client oracles and the static shared
+// region), so a reply perturbed by coalescing, scatter/gather, or a
+// mid-traffic migration refuses to record, exactly like `pimbench chaos`.
+// The single-Map frontend at the same op budget is the baseline: the
+// speedup column is the scale-out factor the shards buy. Results
+// accumulate in results/BENCH_clusterfrontend.json.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimgo/internal/cluster"
+	"pimgo/internal/core"
+	"pimgo/internal/frontend"
+)
+
+// clusterFrontendRung is one ladder rung's measurement.
+type clusterFrontendRung struct {
+	Clients int     `json:"clients"`
+	Ops     int64   `json:"ops"`
+	WallMs  float64 `json:"wall_ms"`
+	OpsPerS float64 `json:"ops_per_s"`
+	P50Us   float64 `json:"p50_us"`
+	P99Us   float64 `json:"p99_us"`
+	// Collector behaviour, as in the frontend ladder.
+	Flushes     int64   `json:"flushes"`
+	MeanBatch   float64 `json:"mean_batch"`
+	Submitted   int64   `json:"submitted"`
+	MaxFlush    int     `json:"max_flush"`
+	FlushTimeMs float64 `json:"flush_time_ms"`
+	// Control-loop behaviour: DeltaLoads windows consumed, migrations
+	// proposed/published, transient (stale-window) failures absorbed, and
+	// the routing epoch when the rung ended.
+	Windows    int64 `json:"windows"`
+	Proposed   int64 `json:"proposed"`
+	Published  int64 `json:"published"`
+	Transients int64 `json:"transients"`
+	Epoch      int64 `json:"epoch"`
+	// Single-Map frontend baseline at the same op budget, and the
+	// resulting scale-out speedup.
+	SingleOpsPerS float64 `json:"single_ops_per_s"`
+	Speedup       float64 `json:"speedup"`
+	// ReplyHash / Equivalent as in the frontend ladder: XOR of per-client
+	// FNV reply-stream hashes; every reply matched its oracle.
+	ReplyHash  uint64 `json:"reply_hash"`
+	Equivalent bool   `json:"equivalent"`
+}
+
+// clusterFrontendEntry is one labeled run of the ladder.
+type clusterFrontendEntry struct {
+	Label       string                `json:"label"`
+	Date        string                `json:"date"`
+	GoVersion   string                `json:"go"`
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	Shards      int                   `json:"shards"`
+	ShardP      int                   `json:"shard_p"`
+	Slots       int                   `json:"slots"`
+	MaxBatch    int                   `json:"max_batch"`
+	RebalanceUs float64               `json:"rebalance_us"`
+	SplitAbove  float64               `json:"split_above"`
+	MergeBelow  float64               `json:"merge_below"`
+	Note        string                `json:"note,omitempty"`
+	Rungs       []clusterFrontendRung `json:"rungs"`
+}
+
+// benchLoadSharedCluster bulk-installs the shared read region into the
+// cluster before the clock starts, mirroring benchLoadShared.
+func benchLoadSharedCluster(c *cluster.Cluster[uint64, int64], shared []uint64) error {
+	const chunk = 1 << 16
+	vals := make([]int64, 0, chunk)
+	for off := 0; off < len(shared); off += chunk {
+		end := min(off+chunk, len(shared))
+		vals = vals[:end-off]
+		for i, k := range shared[off:end] {
+			vals[i] = int64(k)
+		}
+		if _, errs, _, err := c.TryUpsert(shared[off:end], vals); err != nil || errs != nil {
+			if err == nil {
+				err = fmt.Errorf("per-key errors during prefill")
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// runSingleFrontend runs the rung's exact workload through a single-Map
+// frontend (same per-shard P) — the baseline the sharded stack scales out
+// from. Replies are verified just like the cluster rung's.
+func runSingleFrontend(p, maxBatch, clients int, perClient int64, shared []uint64) (float64, bool) {
+	m := core.New[uint64, int64](core.Config{P: p, Seed: 0xC0FFEE}, core.Uint64Hash)
+	defer m.Close()
+	benchLoadShared(m, shared)
+	fe := frontend.New(m, frontend.Config{MaxBatch: maxBatch})
+	hist := &latHist{}
+	var diverged atomic.Bool
+	hashes := make([]uint64, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			benchClient(fe, c, perClient, shared, hist, &diverged, hashes)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	fe.Close()
+	ops := perClient * int64(clients)
+	return float64(ops) / wall.Seconds(), !diverged.Load()
+}
+
+func runClusterFrontend(args []string) {
+	f := fs("clusterfrontend")
+	outPath := f.String("out", "results/BENCH_clusterfrontend.json", "JSON output file")
+	label := f.String("label", "current", "entry label (an existing entry with the same label is replaced)")
+	note := f.String("note", "", "free-form note stored with the entry")
+	shards := f.Int("shards", 4, "cluster shard count")
+	shardP := f.Int("shardp", 8, "modules per shard")
+	slots := f.Int("slots", 256, "routing slots (rebalance granularity)")
+	clientsList := f.String("clients", "100,1000,10000,100000", "ladder of client-goroutine counts")
+	totalOps := f.Int64("totalops", 200000, "target total ops per rung (per-client ops = max(1, totalops/clients))")
+	maxBatch := f.Int("maxbatch", 0, "collector MaxBatch (0 = default)")
+	rebalance := f.Duration("rebalance", 25*time.Millisecond, "DeltaLoads sampling interval (0 disables the control loop)")
+	splitAbove := f.Float64("splitabove", 0, "LoadRatioPolicy hot threshold ×mean (0 = policy default 2.0; near 1 keeps migrations churning)")
+	mergeBelow := f.Float64("mergebelow", 0, "LoadRatioPolicy cold threshold ×mean (0 = policy default 0.25)")
+	prefill := f.Int("prefill", 1<<17, "size of the shared read region (the steady-state working set)")
+	smoke := f.Bool("smoke", false, "small CI ladder (100,1000 clients, 20k ops), result not recorded")
+	f.Parse(args)
+
+	if *smoke {
+		*clientsList = "100,1000"
+		*totalOps = 20000
+		*prefill = 1 << 14
+	}
+	ladder := parseInts(*clientsList)
+	shared := benchSharedKeys(*prefill)
+	policy := cluster.LoadRatioPolicy{SplitAbove: *splitAbove, MergeBelow: *mergeBelow}
+
+	entry := clusterFrontendEntry{
+		Label:       *label,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Shards:      *shards,
+		ShardP:      *shardP,
+		Slots:       *slots,
+		MaxBatch:    *maxBatch,
+		RebalanceUs: float64(rebalance.Microseconds()),
+		SplitAbove:  *splitAbove,
+		MergeBelow:  *mergeBelow,
+		Note:        *note,
+	}
+
+	tbl := newTable("clients", "ops", "ops/s", "p50 µs", "p99 µs", "meanBatch",
+		"windows", "published", "epoch", "single ops/s", "speedup", "equiv")
+	allEquivalent := true
+	for _, clients := range ladder {
+		perClient := *totalOps / int64(clients)
+		if perClient < 1 {
+			perClient = 1
+		}
+		ops := perClient * int64(clients)
+
+		c, err := cluster.New[uint64, int64](cluster.Config{
+			Shards: *shards,
+			Slots:  *slots,
+			Seed:   0xC10C,
+			Shard:  core.Config{P: *shardP},
+		}, core.Uint64Hash)
+		if err != nil {
+			refuse("clusterfrontend: cluster.New: %v", err)
+		}
+		if err := benchLoadSharedCluster(c, shared); err != nil {
+			refuse("clusterfrontend: prefill: %v", err)
+		}
+		fe := frontend.NewClusterFrontend(c, frontend.ClusterConfig{
+			MaxBatch:       *maxBatch,
+			RebalanceEvery: *rebalance,
+			Policy:         policy,
+		})
+		hist := &latHist{}
+		var diverged atomic.Bool
+		hashes := make([]uint64, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				benchClient(fe, cl, perClient, shared, hist, &diverged, hashes)
+			}(cl)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		st := fe.Stats()
+		epoch := c.Epoch()
+		fe.Close()
+		c.Close()
+
+		var replyHash uint64
+		for _, h := range hashes {
+			replyHash ^= h
+		}
+
+		runtime.GC() // don't bill the cluster phase's garbage to the baseline
+		singlePerS, singleEquiv := runSingleFrontend(*shardP, *maxBatch, clients, perClient, shared)
+
+		equiv := !diverged.Load() && singleEquiv
+		allEquivalent = allEquivalent && equiv
+		opsPerS := float64(ops) / wall.Seconds()
+		rung := clusterFrontendRung{
+			Clients:       clients,
+			Ops:           ops,
+			WallMs:        float64(wall.Microseconds()) / 1000,
+			OpsPerS:       opsPerS,
+			P50Us:         float64(hist.quantile(0.50).Nanoseconds()) / 1000,
+			P99Us:         float64(hist.quantile(0.99).Nanoseconds()) / 1000,
+			Flushes:       st.Flushes,
+			MeanBatch:     float64(st.Ops) / float64(st.Flushes),
+			Submitted:     st.Submitted,
+			MaxFlush:      st.MaxFlush,
+			FlushTimeMs:   float64(st.FlushTime.Microseconds()) / 1000,
+			Windows:       st.Windows,
+			Proposed:      st.Proposed,
+			Published:     st.Published,
+			Transients:    st.Transients,
+			Epoch:         epoch,
+			SingleOpsPerS: singlePerS,
+			Speedup:       opsPerS / singlePerS,
+			ReplyHash:     replyHash,
+			Equivalent:    equiv,
+		}
+		entry.Rungs = append(entry.Rungs, rung)
+		tbl.add(clients, ops, opsPerS, rung.P50Us, rung.P99Us, rung.MeanBatch,
+			st.Windows, st.Published, epoch, singlePerS, rung.Speedup, equiv)
+	}
+	tbl.print()
+
+	if !allEquivalent {
+		refuse("clusterfrontend: a client's replies diverged from its sequential oracle; not recording")
+	}
+	if *smoke {
+		fmt.Println("smoke run: not recorded")
+		return
+	}
+
+	n, _, err := mergeBenchEntry(*outPath, "clusterfrontend",
+		"one row = single-op traffic from N client goroutines through the coalescing frontend over the elastic cluster (rebalance loop live), vs the single-Map frontend",
+		entry, func(e clusterFrontendEntry) string { return e.Label })
+	if err != nil {
+		refuse("clusterfrontend: %v", err)
+	}
+	fmt.Printf("wrote %s (%d entries, label %q)\n", *outPath, n, entry.Label)
+}

@@ -250,11 +250,20 @@ const (
 	opDeleteIdx
 )
 
+// pointAPI is the single-key client surface shared by frontend.Frontend and
+// frontend.ClusterFrontend; benchClient drives either through it.
+type pointAPI interface {
+	Get(uint64) (core.GetResult[int64], error)
+	Upsert(uint64, int64) (bool, error)
+	Delete(uint64) (bool, error)
+	Successor(uint64) (core.SearchResult[uint64, int64], error)
+}
+
 // benchClient drives one client's deterministic single-op workload through
 // the frontend, verifying every reply inline (reads against the static
 // shared region, writes against its private shardOracle), FNV-folding the
 // reply stream, and recording per-op latency.
-func benchClient(f *frontend.Frontend[uint64, int64], client int, ops int64,
+func benchClient(f pointAPI, client int, ops int64,
 	shared []uint64, hist *latHist, diverged *atomic.Bool, hashes []uint64) {
 	base := benchShardBase(client)
 	oracle := &shardOracle{}

@@ -65,6 +65,7 @@ var experiments = []experiment{
 	{"pipeline", "pipelined batch execution vs serial → results/BENCH_pipeline.json", runPipeline},
 	{"cluster", "sharded multi-Map cluster ladder → results/BENCH_cluster.json", runCluster},
 	{"rebalance", "live shard split/merge rebalancing ladder → results/BENCH_rebalance.json", runRebalance},
+	{"clusterfrontend", "coalescing frontend over the elastic cluster, rebalance loop live → results/BENCH_clusterfrontend.json", runClusterFrontend},
 	{"trace", "per-phase metric attribution → results/BENCH_trace.json (-chrome exports Chrome trace JSON)", runTrace},
 }
 

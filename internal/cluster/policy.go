@@ -208,11 +208,24 @@ type RebalanceReport struct {
 // completed so far alongside the error; an empty proposal returns an empty
 // report and nil error.
 func (c *Cluster[K, V]) Rebalance(policy RebalancePolicy, opts *MigrateOpts) (RebalanceReport, error) {
+	return c.RebalanceFrom(c.Loads(), policy, opts)
+}
+
+// RebalanceFrom is Rebalance over a caller-supplied load sample instead of
+// the cumulative Loads: the control-loop entry point. Feeding it a DeltaLoads
+// window rates shards by what they did recently, so a shard that was hot an
+// hour ago but is idle now does not keep splitting forever (cumulative
+// counters never forget). The sample may be stale by the time the actions
+// run — a proposed shard may have been retired or shrunk below two slots by
+// an interleaved migration — in which case the failing action returns
+// ErrShardState or ErrRebalancing; callers driving a loop treat those as
+// transient and re-propose from the next window.
+func (c *Cluster[K, V]) RebalanceFrom(loads []ShardLoad, policy RebalancePolicy, opts *MigrateOpts) (RebalanceReport, error) {
 	if policy == nil {
 		policy = LoadRatioPolicy{}
 	}
 	var out RebalanceReport
-	for _, a := range policy.Propose(c.Loads()) {
+	for _, a := range policy.Propose(loads) {
 		var mrep MigrationReport
 		var err error
 		switch a.Kind {

@@ -587,3 +587,123 @@ func TestRebalanceDriven(t *testing.T) {
 	}
 	assertOracleEqual(t, c, om, keys)
 }
+
+// TestLoadDeltaEdgeCases pins DeltaLoads' behaviour on the windows a live
+// control loop actually produces: empty samples (no shards yet, or a
+// sampler racing construction), windows containing retired shards, and
+// windows spanning an epoch change (the shard roster differs between the
+// two samples).
+func TestLoadDeltaEdgeCases(t *testing.T) {
+	// Empty windows: nil-safe on both sides.
+	if d := DeltaLoads(nil, nil); len(d) != 0 {
+		t.Fatalf("DeltaLoads(nil, nil) = %v, want empty", d)
+	}
+	prev := []ShardLoad{{Shard: 0, Batches: 3, IOTime: 5}}
+	if d := DeltaLoads(nil, prev); len(d) != 0 {
+		t.Fatalf("DeltaLoads(nil, prev) = %v, want empty", d)
+	}
+	// No prev: counters carried whole (a loop's very first window).
+	if d := DeltaLoads(prev, nil); d[0].Batches != 3 || d[0].IOTime != 5 {
+		t.Fatalf("DeltaLoads(cur, nil) = %+v, want counters whole", d[0])
+	}
+	// An empty window proposes nothing — the policy sees no shards, not a
+	// balanced cluster of zero-weight shards.
+	if acts := (LoadRatioPolicy{}).Propose(nil); acts != nil {
+		t.Fatalf("empty window proposed %v", acts)
+	}
+
+	// Retired shard in the window: a merge retires its source; both samples
+	// straddling the merge still difference cleanly, the retired shard stays
+	// in the window (state/slots point-in-time from cur), and the policy
+	// never proposes actions involving it.
+	c := newTestCluster(t, 2, func(cfg *Config) { cfg.Slots = 8 })
+	om := newOracle(t)
+	fillCluster(t, c, om, 300, 0x5EED_20)
+	before := c.Loads()
+	if _, err := c.MergeShards(0, 1, nil); err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+	fillCluster(t, c, om, 100, 0x5EED_21)
+	after := c.Loads()
+	window := DeltaLoads(after, before)
+	if len(window) != 2 {
+		t.Fatalf("window has %d shards, want 2", len(window))
+	}
+	ret := window[1]
+	if ret.State != ShardRetired || ret.Slots != 0 {
+		t.Fatalf("retired shard sample = %+v, want ShardRetired with 0 slots", ret)
+	}
+	if ret.Batches < 0 || ret.IOTime < 0 {
+		t.Fatalf("retired shard delta went negative: %+v", ret)
+	}
+	for _, a := range (LoadRatioPolicy{MergeBelow: 10, SplitAbove: 1.01}).Propose(window) {
+		if a.Src == 1 || a.Dst == 1 {
+			t.Fatalf("policy proposed retired shard 1: %+v", a)
+		}
+	}
+
+	// Window spanning an epoch change: prev predates a split, cur follows
+	// it. Shards present in both difference by id; the split's fresh target
+	// is absent from prev and keeps its counters whole.
+	c2 := newTestCluster(t, 2, func(cfg *Config) { cfg.Slots = 8 })
+	fillCluster(t, c2, newOracle(t), 300, 0x5EED_22)
+	prev2 := c2.Loads()
+	if _, _, err := c2.SplitShard(0, nil); err != nil {
+		t.Fatalf("SplitShard: %v", err)
+	}
+	fillCluster(t, c2, newOracle(t), 100, 0x5EED_23)
+	cur2 := c2.Loads()
+	if len(cur2) != len(prev2)+1 {
+		t.Fatalf("post-split Loads has %d shards, want %d", len(cur2), len(prev2)+1)
+	}
+	w2 := DeltaLoads(cur2, prev2)
+	for i := range prev2 {
+		if w2[i].Batches != cur2[i].Batches-prev2[i].Batches {
+			t.Fatalf("spanning window shard %d: Batches %d, want %d",
+				i, w2[i].Batches, cur2[i].Batches-prev2[i].Batches)
+		}
+	}
+	fresh := w2[len(w2)-1]
+	if fresh.Shard != 2 || fresh.Batches != cur2[len(cur2)-1].Batches {
+		t.Fatalf("fresh split target delta %+v, want counters carried whole", fresh)
+	}
+	if fresh.Slots == 0 {
+		t.Fatalf("fresh split target owns no slots: %+v", fresh)
+	}
+}
+
+// TestRebalanceFromStaleWindow: RebalanceFrom runs actions planned from a
+// window that no longer matches the cluster — the control loop's normal
+// hazard — and surfaces the failure as a typed transient the caller drops,
+// leaving the cluster serving.
+func TestRebalanceFromStaleWindow(t *testing.T) {
+	c := newTestCluster(t, 2, func(cfg *Config) { cfg.Slots = 8 })
+	om := newOracle(t)
+	keys := fillCluster(t, c, om, 300, 0x5EED_24)
+
+	// Sample, then invalidate the sample: retire shard 1 behind its back.
+	window := c.Loads()
+	if _, err := c.MergeShards(0, 1, nil); err != nil {
+		t.Fatalf("MergeShards: %v", err)
+	}
+
+	// The stale window still believes shard 1 is splittable.
+	rr, err := c.RebalanceFrom(window, proposeList{{Kind: ActionSplit, Src: 1}}, nil)
+	if !errors.Is(err, ErrShardState) {
+		t.Fatalf("stale split: err = %v, want ErrShardState", err)
+	}
+	if len(rr.Actions) != 1 || rr.Reports[0].SlotsMoved != 0 || c.Epoch() != 1 {
+		t.Fatalf("stale split report %+v (epoch %d): want the failed action recorded, nothing published",
+			rr, c.Epoch())
+	}
+
+	// The failure was transient: fresh loads re-propose and succeed.
+	rr, err = c.RebalanceFrom(c.Loads(), proposeList{{Kind: ActionSplit, Src: 0}}, nil)
+	if err != nil {
+		t.Fatalf("fresh split: %v", err)
+	}
+	if len(rr.Reports) != 1 || rr.Reports[0].SlotsMoved == 0 {
+		t.Fatalf("fresh split report %+v: want a published migration", rr)
+	}
+	assertOracleEqual(t, c, om, keys)
+}

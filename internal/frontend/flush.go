@@ -65,9 +65,10 @@ func (ws *flushWS[K, V]) reset() {
 // partition sorts the batch into the workspace's per-kind sub-batches,
 // coalescing conflicting writes per key (last writer wins), and accumulates
 // the queue-wait statistics. It returns the number of ops that will reach
-// the Map.
-func (f *Frontend[K, V]) partition(batch []*future[K, V], start time.Time, queueWait, maxQueueWait *time.Duration) (submitted int) {
-	ws := &f.ws
+// the backing store. Shared by the single-Map Frontend and the
+// ClusterFrontend — the coalescing semantics are identical; only what the
+// sub-batches are submitted to differs.
+func (ws *flushWS[K, V]) partition(batch []*future[K, V], start time.Time, queueWait, maxQueueWait *time.Duration) (submitted int) {
 	ws.reset()
 	for _, fu := range batch {
 		w := start.Sub(fu.enq)
@@ -127,7 +128,7 @@ func (f *Frontend[K, V]) flush(batch []*future[K, V]) {
 	start := time.Now()
 	ws := &f.ws
 	var queueWait, maxQueueWait time.Duration
-	submitted := f.partition(batch, start, &queueWait, &maxQueueWait)
+	submitted := ws.partition(batch, start, &queueWait, &maxQueueWait)
 
 	// Writes before reads: the flush's linearization applies every write,
 	// then evaluates every read against the post-write state.
@@ -156,10 +157,10 @@ func (f *Frontend[K, V]) flush(batch []*future[K, V]) {
 	// exact reply every op — superseded or final — would have received had
 	// it run as its own batch.
 	for x, i := range ws.ufin {
-		f.replay(i, !ws.ures[x])
+		ws.replay(i, !ws.ures[x])
 	}
 	for x, i := range ws.dfin {
-		f.replay(i, ws.dres[x])
+		ws.replay(i, ws.dres[x])
 	}
 
 	errs := 0
@@ -215,7 +216,7 @@ func (f *Frontend[K, V]) flushPipelined(batch []*future[K, V]) {
 	start := time.Now()
 	ws := &f.ws
 	var queueWait, maxQueueWait time.Duration
-	submitted := f.partition(batch, start, &queueWait, &maxQueueWait)
+	submitted := ws.partition(batch, start, &queueWait, &maxQueueWait)
 
 	var utk, dtk, gtk, stk *core.PipeTicket[K, V]
 	if len(ws.ukeys) > 0 {
@@ -265,10 +266,10 @@ func (f *Frontend[K, V]) flushPipelined(batch []*future[K, V]) {
 	}
 
 	for x, i := range ws.ufin {
-		f.replay(i, !ws.ures[x])
+		ws.replay(i, !ws.ures[x])
 	}
 	for x, i := range ws.dfin {
-		f.replay(i, ws.dres[x])
+		ws.replay(i, ws.dres[x])
 	}
 
 	if resG.Err != nil {
@@ -305,8 +306,7 @@ func (f *Frontend[K, V]) flushPipelined(batch []*future[K, V]) {
 // replay walks one key's write chain (ending at wfut index last) in arrival
 // order, starting from the key's presence at flush start, and replies to
 // every write future in the chain.
-func (f *Frontend[K, V]) replay(last int32, present bool) {
-	ws := &f.ws
+func (ws *flushWS[K, V]) replay(last int32, present bool) {
 	ws.chain = ws.chain[:0]
 	for j := last; j >= 0; j = ws.wprev[j] {
 		ws.chain = append(ws.chain, j)
@@ -322,6 +322,21 @@ func (f *Frontend[K, V]) replay(last int32, present bool) {
 		}
 		fu.ready <- struct{}{}
 	}
+}
+
+// failChain answers every write future in one key's chain (ending at wfut
+// index last) with err, returning the number answered. The ClusterFrontend
+// uses it when a final write lands on a down shard: the key's presence is
+// unknowable, so no op in the chain can be replayed.
+func (ws *flushWS[K, V]) failChain(last int32, err error) int {
+	n := 0
+	for j := last; j >= 0; j = ws.wprev[j] {
+		fu := ws.wfut[j]
+		fu.err = err
+		fu.ready <- struct{}{}
+		n++
+	}
+	return n
 }
 
 // deliverErr answers every future in futs with err.

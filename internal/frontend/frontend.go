@@ -10,6 +10,11 @@
 // and demultiplexes the replies back to the waiting callers through pooled
 // futures. In steady state the enqueue/reply path allocates nothing.
 //
+// Two frontends share the machinery: Frontend drives one core.Map, and
+// ClusterFrontend (clusterfrontend.go) drives an elastic cluster.Cluster —
+// same coalescing semantics, per-shard sub-batches via the cluster's
+// scatter/gather, plus a background rebalance control loop.
+//
 // # Coalescing semantics
 //
 // Each flush is one linearization point for every operation it contains
@@ -43,7 +48,6 @@ package frontend
 import (
 	"cmp"
 	"runtime"
-	"sync"
 	"time"
 
 	"pimgo/internal/core"
@@ -139,18 +143,12 @@ type Stats struct {
 // batch calls on the same Map while the frontend is open race with the
 // collector and fail with core.ErrConcurrentBatch.
 type Frontend[K cmp.Ordered, V any] struct {
+	intake[K, V]
+
 	m   *core.Map[K, V]
 	cfg Config
 
-	mu      sync.Mutex
-	pending []*future[K, V] // client-appended, collector-swapped
-	spare   []*future[K, V] // the other half of the double buffer
-	closed  bool
-	stats   Stats
-
-	notify chan struct{} // cap 1: "pending may be non-empty"
-	done   chan struct{} // closed when the collector exits
-	pool   chan *future[K, V]
+	stats Stats // guarded by intake.mu
 
 	ws flushWS[K, V]        // collector-owned scratch
 	p  *core.Pipeline[K, V] // non-nil iff Config.Pipelined
@@ -161,31 +159,14 @@ type Frontend[K cmp.Ordered, V any] struct {
 // remains the caller's responsibility).
 func New[K cmp.Ordered, V any](m *core.Map[K, V], cfg Config) *Frontend[K, V] {
 	cfg = cfg.withDefaults()
-	f := &Frontend[K, V]{
-		m:       m,
-		cfg:     cfg,
-		pending: make([]*future[K, V], 0, cfg.MaxBatch),
-		spare:   make([]*future[K, V], 0, cfg.MaxBatch),
-		notify:  make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		pool:    make(chan *future[K, V], poolCap(cfg.MaxBatch)),
-	}
+	f := &Frontend[K, V]{m: m, cfg: cfg}
+	f.intake.init(cfg.MaxBatch)
 	f.ws.init()
 	if cfg.Pipelined {
 		f.p = core.NewPipeline(m)
 	}
 	go f.run()
 	return f
-}
-
-// poolCap sizes the future free-list: enough for several flushes' worth of
-// concurrent clients; beyond it, bursts fall back to the allocator.
-func poolCap(maxBatch int) int {
-	c := 4 * maxBatch
-	if c < 1024 {
-		c = 1024
-	}
-	return c
 }
 
 // Map returns the underlying Map (read-only introspection — Len, stats,
@@ -197,68 +178,6 @@ func (f *Frontend[K, V]) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.stats
-}
-
-// Get returns the key's presence and value as of this op's flush (after
-// that flush's writes).
-func (f *Frontend[K, V]) Get(key K) (core.GetResult[V], error) {
-	fu := f.take()
-	fu.kind, fu.key = opGet, key
-	if err := f.enqueue(fu); err != nil {
-		f.put(fu)
-		return core.GetResult[V]{}, err
-	}
-	<-fu.ready
-	res := core.GetResult[V]{Found: fu.found, Value: fu.rval}
-	err := fu.err
-	f.put(fu)
-	return res, err
-}
-
-// Upsert inserts or overwrites the key, reporting whether it was inserted
-// (absent at this op's point in its flush's arrival order).
-func (f *Frontend[K, V]) Upsert(key K, val V) (bool, error) {
-	fu := f.take()
-	fu.kind, fu.key, fu.val = opUpsert, key, val
-	if err := f.enqueue(fu); err != nil {
-		f.put(fu)
-		return false, err
-	}
-	<-fu.ready
-	inserted, err := fu.found, fu.err
-	f.put(fu)
-	return inserted, err
-}
-
-// Delete removes the key, reporting whether it was present (at this op's
-// point in its flush's arrival order).
-func (f *Frontend[K, V]) Delete(key K) (bool, error) {
-	fu := f.take()
-	fu.kind, fu.key = opDelete, key
-	if err := f.enqueue(fu); err != nil {
-		f.put(fu)
-		return false, err
-	}
-	<-fu.ready
-	present, err := fu.found, fu.err
-	f.put(fu)
-	return present, err
-}
-
-// Successor returns the smallest key ≥ key with its value, as of this op's
-// flush (after that flush's writes).
-func (f *Frontend[K, V]) Successor(key K) (core.SearchResult[K, V], error) {
-	fu := f.take()
-	fu.kind, fu.key = opSucc, key
-	if err := f.enqueue(fu); err != nil {
-		f.put(fu)
-		return core.SearchResult[K, V]{}, err
-	}
-	<-fu.ready
-	res := core.SearchResult[K, V]{Found: fu.found, Key: fu.rkey, Value: fu.rval}
-	err := fu.err
-	f.put(fu)
-	return res, err
 }
 
 // Close drains the collector — every already-enqueued op still receives
@@ -280,57 +199,12 @@ func (f *Frontend[K, V]) Close() error {
 		}
 		return core.ErrClosed
 	}
-	select {
-	case f.notify <- struct{}{}:
-	default:
-	}
+	f.wake()
 	<-f.done
 	if f.p != nil {
 		// The collector has drained; closing the pipeline hands the Map's
 		// workspace back for serial use.
 		f.p.Close()
-	}
-	return nil
-}
-
-// take pops a pooled future (or allocates one on burst).
-func (f *Frontend[K, V]) take() *future[K, V] {
-	select {
-	case fu := <-f.pool:
-		fu.err = nil
-		return fu
-	default:
-		return &future[K, V]{ready: make(chan struct{}, 1)}
-	}
-}
-
-// put recycles a future, zeroing value-carrying fields so the pool does not
-// retain caller data.
-func (f *Frontend[K, V]) put(fu *future[K, V]) {
-	var zk K
-	var zv V
-	fu.key, fu.rkey = zk, zk
-	fu.val, fu.rval = zv, zv
-	fu.err = nil
-	select {
-	case f.pool <- fu:
-	default: // pool full: let the GC have it
-	}
-}
-
-// enqueue appends fu to the pending batch and wakes the collector.
-func (f *Frontend[K, V]) enqueue(fu *future[K, V]) error {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return core.ErrClosed
-	}
-	fu.enq = time.Now()
-	f.pending = append(f.pending, fu)
-	f.mu.Unlock()
-	select {
-	case f.notify <- struct{}{}:
-	default:
 	}
 	return nil
 }

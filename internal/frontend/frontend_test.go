@@ -245,11 +245,21 @@ func TestFrontendCloseDeterministic(t *testing.T) {
 	}
 }
 
+// pointAPI is the single-key client surface both frontends promote from
+// intake; tests that only need Get/Upsert/Delete/Successor run unchanged
+// against a Frontend or a ClusterFrontend.
+type pointAPI interface {
+	Get(uint64) (core.GetResult[int64], error)
+	Upsert(uint64, int64) (bool, error)
+	Delete(uint64) (bool, error)
+	Successor(uint64) (core.SearchResult[uint64, int64], error)
+}
+
 // shardClient runs one client's deterministic workload against its private
 // key shard and checks every reply against a private seqlist oracle. Shards
 // are disjoint and each keeps a never-deleted sentinel top key, so each
 // client's reply stream is independent of how flushes interleave clients.
-func shardClient(t *testing.T, f *Frontend[uint64, int64], client, ops int) {
+func shardClient(t *testing.T, f pointAPI, client, ops int) {
 	base := uint64(client+1) << 32
 	const span = 1 << 10
 	sentinel := base + span + 1

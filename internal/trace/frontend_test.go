@@ -48,3 +48,29 @@ func TestTeeForwardsFlush(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRebalanceSinkForwarding: Profile accumulates RebalanceStat events into
+// its control-loop totals, and Tee/Shard forward them only to members that
+// accept them.
+func TestRebalanceSinkForwarding(t *testing.T) {
+	p1, p2 := NewProfile(), NewProfile()
+	chrome := NewChromeTracer(discard{})
+	s := Tee(p1, chrome, Shard(3, p2))
+	rs, ok := s.(RebalanceSink)
+	if !ok {
+		t.Fatal("Tee does not implement RebalanceSink")
+	}
+	rs.Rebalance(RebalanceStat{Window: 1, Shards: 4, Proposed: 1, Published: 1, Epoch: 1})
+	rs.Rebalance(RebalanceStat{Window: 2, Shards: 5, Proposed: 1, Published: 0, Epoch: 1, Transient: true})
+	rs.Rebalance(RebalanceStat{Window: 3, Shards: 5, Proposed: 0, Published: 0, Epoch: 1})
+	for i, p := range []*Profile{p1, p2} {
+		rt := p.Rebalances()
+		if rt.Windows != 3 || rt.Proposed != 2 || rt.Published != 1 || rt.Transients != 1 || rt.Epoch != 1 {
+			t.Fatalf("profile %d totals = %+v", i, rt)
+		}
+	}
+	want := "windows=3 proposed=2 published=1 transients=1 epoch=1"
+	if got := p1.Rebalances().String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -216,6 +216,11 @@ type Profile struct {
 	// populated only when the profile observes a cluster shard that takes
 	// part in a split/merge migration.
 	migration MigrationTotals
+
+	// rebalance aggregates control-loop decisions (rebalance.go); populated
+	// only when the profile observes a ClusterFrontend whose background
+	// rebalance loop is running.
+	rebalance RebalanceTotals
 }
 
 // NewProfile returns an empty profile sink.

@@ -1,0 +1,97 @@
+package trace
+
+import "fmt"
+
+// RebalanceStat describes one invocation of a rebalance control loop (the
+// ClusterFrontend's background policy driver, internal/frontend): one
+// DeltaLoads window fed to a RebalancePolicy, and what came of it. It is the
+// control-plane companion to MigrationStat — a MigrationStat records one
+// shard's part in one published migration, a RebalanceStat records one
+// policy decision, including the decisions that proposed nothing or failed
+// against a stale window.
+//
+// Rebalance events are emitted from the collector goroutine between flushes
+// (the same goroutine that emits FlushStat), so a sink shared with the flush
+// stream still observes a serial stream.
+type RebalanceStat struct {
+	// Window is the 1-based sequence number of the DeltaLoads window this
+	// decision consumed.
+	Window int64 `json:"window"`
+	// Shards is the number of shards in the window sample.
+	Shards int `json:"shards"`
+	// Proposed is the number of actions the policy proposed from the window
+	// (0 = the cluster looked balanced).
+	Proposed int `json:"proposed"`
+	// Published is the number of proposed migrations that published a new
+	// routing epoch.
+	Published int `json:"published"`
+	// Epoch is the routing epoch after the invocation.
+	Epoch int64 `json:"epoch"`
+	// Transient reports that a proposed action failed against a stale window
+	// (ErrRebalancing/ErrShardState) and was dropped; the next window
+	// re-proposes from fresh loads.
+	Transient bool `json:"transient,omitempty"`
+}
+
+// RebalanceSink is optionally implemented by sinks that want control-loop
+// rebalance events in addition to the machine stream. The ClusterFrontend
+// checks for it on its configured sink; Tee forwards to every member that
+// implements it.
+type RebalanceSink interface {
+	Rebalance(RebalanceStat)
+}
+
+// Rebalance implements RebalanceSink for Tee by forwarding to every member
+// sink that implements it.
+func (t tee) Rebalance(rs RebalanceStat) {
+	for _, s := range t {
+		if r, ok := s.(RebalanceSink); ok {
+			r.Rebalance(rs)
+		}
+	}
+}
+
+// Rebalance forwards control-loop events to the wrapped sink when it accepts
+// them.
+func (s *shardSink) Rebalance(rs RebalanceStat) {
+	if r, ok := s.inner.(RebalanceSink); ok {
+		r.Rebalance(rs)
+	}
+}
+
+// RebalanceTotals is Profile's aggregate over control-loop rebalance events.
+type RebalanceTotals struct {
+	// Windows counts control-loop invocations (DeltaLoads windows consumed).
+	Windows int64 `json:"windows"`
+	// Proposed and Published sum the per-event action counts.
+	Proposed  int64 `json:"proposed"`
+	Published int64 `json:"published"`
+	// Transients counts invocations dropped against a stale window.
+	Transients int64 `json:"transients"`
+	// Epoch is the routing epoch after the most recent invocation.
+	Epoch int64 `json:"epoch"`
+}
+
+// String renders the control-loop aggregate as one line.
+func (rt RebalanceTotals) String() string {
+	return fmt.Sprintf("windows=%d proposed=%d published=%d transients=%d epoch=%d",
+		rt.Windows, rt.Proposed, rt.Published, rt.Transients, rt.Epoch)
+}
+
+// Rebalance implements RebalanceSink: Profile accumulates control-loop
+// history alongside the per-phase machine attribution, read back with
+// Rebalances.
+func (p *Profile) Rebalance(rs RebalanceStat) {
+	rt := &p.rebalance
+	rt.Windows++
+	rt.Proposed += int64(rs.Proposed)
+	rt.Published += int64(rs.Published)
+	if rs.Transient {
+		rt.Transients++
+	}
+	rt.Epoch = rs.Epoch
+}
+
+// Rebalances returns the aggregated control-loop statistics (zero unless the
+// profile observes a ClusterFrontend with a rebalance loop running).
+func (p *Profile) Rebalances() RebalanceTotals { return p.rebalance }

@@ -328,6 +328,22 @@ type TraceMigrationSink = trace.MigrationSink
 // TraceMigrationTotals is TraceProfile's aggregate over migration events.
 type TraceMigrationTotals = trace.MigrationTotals
 
+// TraceRebalanceStat describes one invocation of the ClusterFrontend's
+// rebalance control loop: the ClusterDeltaLoads window consumed, the
+// actions the policy proposed, the migrations that published a new routing
+// epoch, and whether the attempt failed transiently against a stale
+// window. Emitted from the collector goroutine between flushes.
+type TraceRebalanceStat = trace.RebalanceStat
+
+// TraceRebalanceSink is optionally implemented by trace sinks that want the
+// ClusterFrontend's control-loop events in addition to the machine stream;
+// TraceProfile implements it (read back with TraceProfile.Rebalances).
+type TraceRebalanceSink = trace.RebalanceSink
+
+// TraceRebalanceTotals is TraceProfile's aggregate over control-loop
+// rebalance events.
+type TraceRebalanceTotals = trace.RebalanceTotals
+
 // ChromeTracer is the TraceSink that streams Chrome trace_event JSON,
 // loadable in chrome://tracing and Perfetto (ui.perfetto.dev).
 type ChromeTracer = trace.ChromeTracer
@@ -498,6 +514,39 @@ type ClusterLoadRatioPolicy = cluster.LoadRatioPolicy
 // ClusterRebalanceReport is the outcome of one Cluster.Rebalance call: the
 // proposed actions and their per-migration reports, index-aligned.
 type ClusterRebalanceReport = cluster.RebalanceReport
+
+// ClusterFrontend composes the whole serving stack: the Frontend's
+// coalescing collector over an elastic Cluster. Arbitrarily many client
+// goroutines submit single-key ops; one collector goroutine coalesces them
+// (writes-before-reads, last-writer-wins — replies bit-identical to the
+// single-Map Frontend), scatters each flush into per-shard sub-batches
+// through the epoch-versioned slot table, and gathers exactly-once replies.
+// With ClusterFrontendConfig.RebalanceEvery set it also drives the
+// cluster's elasticity: a background sampler feeds per-window load deltas
+// (ClusterDeltaLoads) to a ClusterRebalancePolicy and the collector runs
+// the proposed migrations between flushes, so shards split and merge under
+// live traffic with no client-visible errors. Create with
+// NewClusterFrontend; see docs/FRONTEND.md and docs/ARCHITECTURE.md.
+type ClusterFrontend[K cmp.Ordered, V any] = frontend.ClusterFrontend[K, V]
+
+// ClusterFrontendConfig tunes the ClusterFrontend: the collector knobs of
+// FrontendConfig (MaxBatch, MaxWait) plus the rebalance control loop's
+// sampling interval, policy, and trace sink. The zero value selects the
+// collector defaults and disables the loop.
+type ClusterFrontendConfig = frontend.ClusterConfig
+
+// ClusterFrontendStats extends FrontendStats with the control loop's
+// counters (windows consumed, migrations proposed/published, transient
+// stale-window failures absorbed); read it with ClusterFrontend.Stats.
+type ClusterFrontendStats = frontend.ClusterStats
+
+// NewClusterFrontend starts a collector (and, if configured, a rebalance
+// loop) over c and takes over as the cluster's sole driver; stop it with
+// ClusterFrontend.Close (the cluster itself stays open). Direct batches or
+// migrations on c while the frontend is open race with the collector.
+func NewClusterFrontend[K cmp.Ordered, V any](c *Cluster[K, V], cfg ClusterFrontendConfig) *ClusterFrontend[K, V] {
+	return frontend.NewClusterFrontend(c, cfg)
+}
 
 // ShardTraceSink wraps a TraceSink so its op labels carry "s<id>/" shard
 // attribution — what ClusterConfig.Trace installs on each shard's sink.
